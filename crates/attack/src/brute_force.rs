@@ -1,0 +1,192 @@
+//! Brute-force search over the client's secret selection.
+//!
+//! Section III-D of the paper argues that because any subset of the server
+//! networks yields a *plausible* shadow reconstruction, the adversary cannot
+//! tell which one matches the client's secret selector and must brute-force
+//! all `2^N - 1` non-empty subsets (or all `C(N, P)` subsets if it knows `P`).
+//! This module makes that cost concrete: it enumerates candidate selections,
+//! scores each one, and reports how much work distinguishing the true secret
+//! would take.
+
+use ensembler::Selector;
+use serde::{Deserialize, Serialize};
+
+/// One candidate selection considered by the brute-force attacker together
+/// with the score its reconstruction achieved.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CandidateScore {
+    /// The candidate subset of server networks, sorted ascending.
+    pub indices: Vec<usize>,
+    /// The attacker's score for this candidate (higher = the attacker
+    /// believes this reconstruction more).
+    pub score: f32,
+}
+
+/// Summary of a brute-force selector search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BruteForceReport {
+    /// Number of candidate subsets that were enumerated.
+    pub candidates_evaluated: usize,
+    /// All candidates sorted by descending score.
+    pub ranking: Vec<CandidateScore>,
+    /// Position (0-based) of the true secret selection in the ranking, if the
+    /// caller supplied it.
+    pub true_selection_rank: Option<usize>,
+}
+
+impl BruteForceReport {
+    /// Returns `true` if the attacker's best-scoring candidate is exactly the
+    /// client's secret selection.
+    pub fn attacker_succeeded(&self) -> bool {
+        self.true_selection_rank == Some(0)
+    }
+}
+
+/// Enumerates every subset of `0..n` of size `p`, in lexicographic order.
+///
+/// # Panics
+///
+/// Panics if `p` is zero or larger than `n`, or if the number of subsets
+/// would be astronomically large (`n > 25`), since enumerating them would be
+/// pointless.
+pub fn enumerate_selections(n: usize, p: usize) -> Vec<Vec<usize>> {
+    assert!(p > 0 && p <= n, "selection size must be in 1..=n");
+    assert!(n <= 25, "enumerating subsets of more than 25 networks is intractable by design");
+    let mut out = Vec::new();
+    let mut current = Vec::with_capacity(p);
+    fn recurse(start: usize, n: usize, p: usize, current: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if current.len() == p {
+            out.push(current.clone());
+            return;
+        }
+        for i in start..n {
+            // Prune: not enough remaining elements to fill the subset.
+            if n - i < p - current.len() {
+                break;
+            }
+            current.push(i);
+            recurse(i + 1, n, p, current, out);
+            current.pop();
+        }
+    }
+    recurse(0, n, p, &mut current, &mut out);
+    out
+}
+
+/// Runs a brute-force search over all size-`p` selections of `n` networks.
+///
+/// The attacker supplies a scoring function (typically: train a shadow
+/// network and decoder for the candidate subset and measure how
+/// self-consistent the reconstruction looks). Because the attacker has no
+/// ground truth, the paper's argument is precisely that these scores do not
+/// single out the true selection; the report records where the truth landed.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`enumerate_selections`].
+pub fn brute_force_selector(
+    n: usize,
+    p: usize,
+    true_selection: Option<&Selector>,
+    mut score: impl FnMut(&[usize]) -> f32,
+) -> BruteForceReport {
+    let candidates = enumerate_selections(n, p);
+    let mut ranking: Vec<CandidateScore> = candidates
+        .into_iter()
+        .map(|indices| {
+            let s = score(&indices);
+            CandidateScore { indices, score: s }
+        })
+        .collect();
+    ranking.sort_by(|a, b| b.score.total_cmp(&a.score));
+
+    let true_selection_rank = true_selection.map(|sel| {
+        let target: Vec<usize> = sel.active_indices().to_vec();
+        ranking
+            .iter()
+            .position(|c| c.indices == target)
+            .expect("the true selection is one of the enumerated candidates")
+    });
+
+    BruteForceReport {
+        candidates_evaluated: ranking.len(),
+        ranking,
+        true_selection_rank,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ensembler_tensor::Rng;
+
+    #[test]
+    fn enumeration_counts_match_binomial_coefficients() {
+        assert_eq!(enumerate_selections(4, 2).len(), 6);
+        assert_eq!(enumerate_selections(10, 4).len(), 210);
+        assert_eq!(enumerate_selections(3, 3), vec![vec![0, 1, 2]]);
+        // Every candidate is sorted and has distinct entries.
+        for cand in enumerate_selections(6, 3) {
+            assert!(cand.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "intractable")]
+    fn very_large_ensembles_are_rejected() {
+        let _ = enumerate_selections(26, 2);
+    }
+
+    #[test]
+    fn brute_force_ranks_candidates_by_score() {
+        // A contrived scorer that prefers subsets with small indices.
+        let report = brute_force_selector(4, 2, None, |idx| {
+            -(idx.iter().sum::<usize>() as f32)
+        });
+        assert_eq!(report.candidates_evaluated, 6);
+        assert_eq!(report.ranking[0].indices, vec![0, 1]);
+        assert_eq!(report.true_selection_rank, None);
+        assert!(!report.attacker_succeeded());
+    }
+
+    #[test]
+    fn true_selection_rank_is_found_when_supplied() {
+        let selector = Selector::from_indices(5, vec![1, 3]).unwrap();
+        let report = brute_force_selector(5, 2, Some(&selector), |idx| {
+            // Scorer that happens to prefer exactly the true subset.
+            if idx == [1, 3] {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        assert_eq!(report.true_selection_rank, Some(0));
+        assert!(report.attacker_succeeded());
+    }
+
+    #[test]
+    fn uninformative_scores_leave_the_secret_hidden_on_average() {
+        // With a score that carries no information about the secret, the true
+        // selection's rank is essentially uniform — the formalisation of the
+        // paper's "Schrödinger's model" argument. We check it is rarely rank 0
+        // across many secrets.
+        let mut rng = Rng::seed_from(42);
+        let n = 6;
+        let p = 3;
+        let mut successes = 0;
+        let trials = 40;
+        for t in 0..trials {
+            let secret = Selector::random(n, p, &mut rng).unwrap();
+            let mut noise_rng = Rng::seed_from(1000 + t);
+            let report = brute_force_selector(n, p, Some(&secret), |_| noise_rng.next_f32());
+            if report.attacker_succeeded() {
+                successes += 1;
+            }
+        }
+        // Chance level is 1/C(6,3) = 1/20; allow generous slack.
+        assert!(
+            successes <= trials / 4,
+            "an uninformed attacker should almost never rank the secret first ({successes}/{trials})"
+        );
+    }
+}

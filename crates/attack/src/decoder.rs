@@ -1,0 +1,145 @@
+//! The image decoder `~M_c,h^{-1}` that maps intermediate features back to
+//! input images.
+
+use ensembler_nn::models::ResNetConfig;
+use ensembler_nn::{Conv2d, ConvTranspose2d, Layer, Mode, Relu, Sequential, Sigmoid};
+use ensembler_tensor::{Rng, Tensor};
+
+/// Convolutional decoder inverting a client head.
+///
+/// The architecture mirrors the head it inverts: if the head downsamples with
+/// a stem max-pool, the decoder starts with a stride-2 transposed convolution
+/// to restore the resolution; otherwise a plain convolution suffices. A final
+/// sigmoid keeps reconstructions inside the `[0, 1]` image range.
+#[derive(Debug)]
+pub struct Decoder {
+    net: Sequential,
+    input_channels: usize,
+}
+
+impl Decoder {
+    /// Builds an untrained decoder for features shaped like
+    /// `config.head_output_shape()`.
+    pub fn new(config: &ResNetConfig, rng: &mut Rng) -> Self {
+        let feature_channels = config.stem_channels;
+        let hidden = (feature_channels * 2).max(8);
+        let mut net = Sequential::empty();
+        if config.use_stem_pool {
+            net.push(Box::new(ConvTranspose2d::new(
+                feature_channels,
+                hidden,
+                2,
+                2,
+                0,
+                rng,
+            )));
+        } else {
+            net.push(Box::new(Conv2d::new(feature_channels, hidden, 3, 1, 1, rng)));
+        }
+        net.push(Box::new(Relu::new()));
+        net.push(Box::new(Conv2d::new(hidden, hidden, 3, 1, 1, rng)));
+        net.push(Box::new(Relu::new()));
+        net.push(Box::new(Conv2d::new(
+            hidden,
+            config.input_channels,
+            3,
+            1,
+            1,
+            rng,
+        )));
+        net.push(Box::new(Sigmoid::new()));
+        Self {
+            net,
+            input_channels: feature_channels,
+        }
+    }
+
+    /// Number of feature channels the decoder consumes.
+    pub fn input_channels(&self) -> usize {
+        self.input_channels
+    }
+
+    /// Reconstructs images from intermediate features.
+    pub fn forward(&mut self, features: &Tensor, mode: Mode) -> Tensor {
+        self.net.forward(features, mode)
+    }
+
+    /// Backward pass (gradient of the reconstruction loss).
+    pub fn backward(&mut self, grad: &Tensor) -> Tensor {
+        self.net.backward(grad)
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.net.zero_grad();
+    }
+
+    /// Trainable parameters of the decoder.
+    pub fn params_mut(&mut self) -> Vec<&mut ensembler_nn::Param> {
+        self.net.params_mut()
+    }
+
+    /// Number of trainable scalars.
+    pub fn parameter_count(&self) -> usize {
+        self.net.parameter_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decoder_restores_image_resolution_with_stem_pool() {
+        let config = ResNetConfig::cifar10_like();
+        let mut rng = Rng::seed_from(0);
+        let mut decoder = Decoder::new(&config, &mut rng);
+        let shape = config.head_output_shape();
+        let features = Tensor::ones(&[2, shape[0], shape[1], shape[2]]);
+        let images = decoder.forward(&features, Mode::Eval);
+        assert_eq!(
+            images.shape(),
+            &[2, 3, config.image_size, config.image_size]
+        );
+    }
+
+    #[test]
+    fn decoder_preserves_resolution_without_stem_pool() {
+        let config = ResNetConfig::cifar100_like();
+        let mut rng = Rng::seed_from(1);
+        let mut decoder = Decoder::new(&config, &mut rng);
+        let shape = config.head_output_shape();
+        let features = Tensor::ones(&[1, shape[0], shape[1], shape[2]]);
+        let images = decoder.forward(&features, Mode::Eval);
+        assert_eq!(images.shape(), &[1, 3, 16, 16]);
+        assert_eq!(decoder.input_channels(), config.stem_channels);
+    }
+
+    #[test]
+    fn reconstructions_live_in_the_unit_interval() {
+        let config = ResNetConfig::tiny_for_tests();
+        let mut rng = Rng::seed_from(2);
+        let mut decoder = Decoder::new(&config, &mut rng);
+        let shape = config.head_output_shape();
+        let features = Tensor::from_fn(&[2, shape[0], shape[1], shape[2]], |i| {
+            (i as f32 * 0.37).sin() * 3.0
+        });
+        let images = decoder.forward(&features, Mode::Eval);
+        assert!(images.min() >= 0.0 && images.max() <= 1.0);
+    }
+
+    #[test]
+    fn decoder_gradients_flow_to_the_features() {
+        let config = ResNetConfig::tiny_for_tests();
+        let mut rng = Rng::seed_from(3);
+        let mut decoder = Decoder::new(&config, &mut rng);
+        let shape = config.head_output_shape();
+        let features = Tensor::ones(&[1, shape[0], shape[1], shape[2]]);
+        let images = decoder.forward(&features, Mode::Train);
+        let grad = decoder.backward(&Tensor::ones(images.shape()));
+        assert_eq!(grad.shape(), features.shape());
+        assert!(decoder.parameter_count() > 0);
+        decoder.zero_grad();
+        assert!(decoder.params_mut().iter().all(|p| p.grad.norm() == 0.0));
+    }
+}

@@ -1,0 +1,409 @@
+//! Orchestration of the query-free model inversion attack.
+
+use crate::{Decoder, ShadowNetwork};
+use ensembler::{EnsemblerPipeline, SinglePipeline};
+use ensembler_data::Dataset;
+use ensembler_metrics::{psnr_batch, ssim};
+use ensembler_nn::models::ResNetConfig;
+use ensembler_nn::{CrossEntropyLoss, Layer, Mode, MseLoss, Optimizer, Sequential, Sgd};
+use ensembler_tensor::{Rng, Tensor};
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of the model inversion attack.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttackConfig {
+    /// Epochs used to fit the shadow head/tail against the frozen server.
+    pub shadow_epochs: usize,
+    /// Epochs used to fit the decoder that inverts the shadow head.
+    pub decoder_epochs: usize,
+    /// Mini-batch size for both phases.
+    pub batch_size: usize,
+    /// SGD learning rate for both phases.
+    pub learning_rate: f32,
+    /// Seed controlling the attacker's initialisation and batching.
+    pub seed: u64,
+}
+
+impl AttackConfig {
+    /// Attack budget used by the benchmark harness.
+    pub fn paper_like() -> Self {
+        Self {
+            shadow_epochs: 8,
+            decoder_epochs: 10,
+            batch_size: 32,
+            learning_rate: 0.05,
+            seed: 7,
+        }
+    }
+
+    /// A deliberately tiny budget for unit tests.
+    pub fn fast_for_tests() -> Self {
+        Self {
+            shadow_epochs: 2,
+            decoder_epochs: 2,
+            batch_size: 8,
+            learning_rate: 0.05,
+            seed: 7,
+        }
+    }
+}
+
+/// The result of one reconstruction attack.
+#[derive(Debug, Clone)]
+pub struct AttackOutcome {
+    /// Mean structural similarity between private inputs and reconstructions
+    /// (higher means the attack recovered more).
+    pub ssim: f32,
+    /// Mean peak signal-to-noise ratio in dB (higher means the attack
+    /// recovered more).
+    pub psnr: f32,
+    /// The reconstructed images, shaped like the private inputs.
+    pub reconstructions: Tensor,
+}
+
+/// The attacker's view of the server-side weights.
+///
+/// * [`ServerView::Single`] — the surrogate is trained against one specific
+///   server network (the attack of Proposition 1).
+/// * [`ServerView::All`] — the *adaptive* attacker trains against every
+///   server network at once, combining their outputs with the uniform `1/N`
+///   activation it guesses for the unknown selector (Proposition 2).
+#[derive(Debug)]
+pub enum ServerView<'a> {
+    /// Attack a single server body.
+    Single(&'a mut Sequential),
+    /// Attack all server bodies jointly with uniform activation.
+    All(&'a mut [Sequential]),
+}
+
+impl ServerView<'_> {
+    /// Width of the feature vector this view feeds into the shadow tail.
+    pub fn feature_width(&self, per_network: usize) -> usize {
+        match self {
+            ServerView::Single(_) => per_network,
+            ServerView::All(bodies) => per_network * bodies.len(),
+        }
+    }
+
+    /// Forward pass through the frozen server weights.
+    fn forward(&mut self, features: &Tensor, per_network: usize) -> Tensor {
+        match self {
+            ServerView::Single(body) => body.forward(features, Mode::Eval),
+            ServerView::All(bodies) => {
+                let n = bodies.len();
+                let scale = 1.0 / n as f32;
+                let maps: Vec<Tensor> = bodies
+                    .iter_mut()
+                    .map(|b| b.forward(features, Mode::Eval))
+                    .collect();
+                let batch = maps[0].shape()[0];
+                let mut data = Vec::with_capacity(batch * n * per_network);
+                for s in 0..batch {
+                    for map in &maps {
+                        let row = &map.data()[s * per_network..(s + 1) * per_network];
+                        data.extend(row.iter().map(|v| v * scale));
+                    }
+                }
+                Tensor::from_vec(data, &[batch, n * per_network])
+                    .expect("concatenated server features")
+            }
+        }
+    }
+
+    /// Backward pass: maps the gradient at the (concatenated) server output
+    /// back to the transmitted features. Server parameter gradients are
+    /// discarded — the attacker cannot change the victim's weights.
+    fn backward(&mut self, grad: &Tensor, per_network: usize) -> Tensor {
+        match self {
+            ServerView::Single(body) => {
+                let g = body.backward(grad);
+                body.zero_grad();
+                g
+            }
+            ServerView::All(bodies) => {
+                let n = bodies.len();
+                let scale = 1.0 / n as f32;
+                let batch = grad.shape()[0];
+                let mut total: Option<Tensor> = None;
+                for (i, body) in bodies.iter_mut().enumerate() {
+                    let mut per = Tensor::zeros(&[batch, per_network]);
+                    for s in 0..batch {
+                        let src = s * n * per_network + i * per_network;
+                        let dst = s * per_network;
+                        for f in 0..per_network {
+                            per.data_mut()[dst + f] = grad.data()[src + f] * scale;
+                        }
+                    }
+                    let g = body.backward(&per);
+                    body.zero_grad();
+                    total = Some(match total {
+                        Some(mut acc) => {
+                            acc.add_assign(&g);
+                            acc
+                        }
+                        None => g,
+                    });
+                }
+                total.expect("at least one server body")
+            }
+        }
+    }
+}
+
+/// Runs the full three-step attack against an arbitrary server view.
+///
+/// * `public_data` — the attacker's dataset from the training distribution.
+/// * `private_images` — the client inputs the attacker wants to reconstruct.
+/// * `transmitted_features` — what the client actually sent for those inputs
+///   (`M_c,h(x) + noise`, possibly dropout-ed), which is all the attacker
+///   observes about them.
+///
+/// # Panics
+///
+/// Panics if `public_data` is empty (the threat model always grants the
+/// attacker a public dataset).
+pub fn run_attack(
+    server: &mut ServerView<'_>,
+    config: &ResNetConfig,
+    public_data: &Dataset,
+    private_images: &Tensor,
+    transmitted_features: &Tensor,
+    attack: &AttackConfig,
+) -> AttackOutcome {
+    assert!(
+        !public_data.is_empty(),
+        "the attacker's public dataset must not be empty"
+    );
+    let per_network = config.body_output_features();
+    let mut rng = Rng::seed_from(attack.seed);
+    let mut shadow = ShadowNetwork::new(config, server.feature_width(per_network), &mut rng);
+
+    // Step 1: fit the shadow client against the frozen server weights.
+    let ce = CrossEntropyLoss::new();
+    let mut shadow_opt = Sgd::new(attack.learning_rate).with_momentum(0.9);
+    for _ in 0..attack.shadow_epochs {
+        for (images, labels) in public_data.batches(attack.batch_size, &mut rng) {
+            let features = shadow.head_forward(&images, Mode::Train);
+            let server_out = server.forward(&features, per_network);
+            let logits = shadow.tail_forward(&server_out, Mode::Train);
+            let out = ce.compute(&logits, &labels);
+            let grad_server_out = shadow.tail_backward(&out.grad);
+            let grad_features = server.backward(&grad_server_out, per_network);
+            let _ = shadow.head_backward(&grad_features);
+            shadow_opt.step(&mut shadow.params_mut());
+        }
+    }
+
+    // Step 2: fit a decoder that inverts the shadow head.
+    let mse = MseLoss::new();
+    let mut decoder = Decoder::new(config, &mut rng);
+    let mut decoder_opt = Sgd::new(attack.learning_rate).with_momentum(0.9);
+    for _ in 0..attack.decoder_epochs {
+        for (images, _labels) in public_data.batches(attack.batch_size, &mut rng) {
+            let features = shadow.head_forward(&images, Mode::Eval);
+            let reconstruction = decoder.forward(&features, Mode::Train);
+            let out = mse.compute(&reconstruction, &images);
+            let _ = decoder.backward(&out.grad);
+            decoder_opt.step(&mut decoder.params_mut());
+        }
+    }
+
+    // Step 3: invert the features the client actually transmitted.
+    let reconstructions = decoder.forward(transmitted_features, Mode::Eval);
+    let ssim_score = ssim(private_images, &reconstructions, 1.0);
+    let psnr_score = psnr_batch(private_images, &reconstructions, 1.0);
+    AttackOutcome {
+        ssim: ssim_score,
+        psnr: psnr_score,
+        reconstructions,
+    }
+}
+
+/// Attacks a single-network baseline pipeline (None / Single / Shredder /
+/// DR-single defences).
+pub fn attack_single_pipeline(
+    victim: &mut SinglePipeline,
+    public_data: &Dataset,
+    private_images: &Tensor,
+    attack: &AttackConfig,
+) -> AttackOutcome {
+    let config = victim.config().clone();
+    let transmitted = victim.client_features(private_images);
+    let mut view = ServerView::Single(victim.body_mut());
+    run_attack(
+        &mut view,
+        &config,
+        public_data,
+        private_images,
+        &transmitted,
+        attack,
+    )
+}
+
+/// Attacks an Ensembler pipeline once per server network, returning one
+/// outcome per network (Proposition 1's reconstruction strategy). Table I
+/// reports the strongest of these per metric.
+pub fn attack_all_single_nets(
+    victim: &mut EnsemblerPipeline,
+    public_data: &Dataset,
+    private_images: &Tensor,
+    attack: &AttackConfig,
+) -> Vec<AttackOutcome> {
+    let config = victim.config().clone();
+    let transmitted = victim.client_features(private_images);
+    let mut outcomes = Vec::with_capacity(victim.ensemble_size());
+    for i in 0..victim.ensemble_size() {
+        let mut attack_cfg = attack.clone();
+        attack_cfg.seed = attack.seed.wrapping_add(i as u64);
+        let mut view = ServerView::Single(&mut victim.bodies_mut()[i]);
+        outcomes.push(run_attack(
+            &mut view,
+            &config,
+            public_data,
+            private_images,
+            &transmitted,
+            &attack_cfg,
+        ));
+    }
+    outcomes
+}
+
+/// Attacks an Ensembler pipeline with the adaptive strategy that trains the
+/// shadow network against all `N` server networks at once (Proposition 2).
+pub fn attack_adaptive(
+    victim: &mut EnsemblerPipeline,
+    public_data: &Dataset,
+    private_images: &Tensor,
+    attack: &AttackConfig,
+) -> AttackOutcome {
+    let config = victim.config().clone();
+    let transmitted = victim.client_features(private_images);
+    let mut view = ServerView::All(victim.bodies_mut());
+    run_attack(
+        &mut view,
+        &config,
+        public_data,
+        private_images,
+        &transmitted,
+        attack,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ensembler::{DefenseKind, EnsemblerTrainer, TrainConfig};
+    use ensembler_data::SyntheticSpec;
+
+    fn tiny_victim_single() -> (SinglePipeline, ensembler_data::SyntheticDataset) {
+        let data = SyntheticSpec::tiny_for_tests().generate(9);
+        let mut victim = SinglePipeline::new(
+            ResNetConfig::tiny_for_tests(),
+            DefenseKind::NoDefense,
+            5,
+        )
+        .unwrap();
+        victim
+            .train_supervised(&data.train, &TrainConfig::fast_for_tests())
+            .unwrap();
+        (victim, data)
+    }
+
+    #[test]
+    fn attack_on_single_pipeline_produces_valid_metrics() {
+        let (mut victim, data) = tiny_victim_single();
+        let (private_images, _) = data.test.batch(0, 4);
+        let outcome = attack_single_pipeline(
+            &mut victim,
+            &data.train,
+            &private_images,
+            &AttackConfig::fast_for_tests(),
+        );
+        assert_eq!(outcome.reconstructions.shape(), private_images.shape());
+        assert!(outcome.ssim >= -1.0 && outcome.ssim <= 1.0);
+        assert!(outcome.psnr >= 0.0 && outcome.psnr <= 60.0);
+        assert!(outcome.reconstructions.min() >= 0.0);
+        assert!(outcome.reconstructions.max() <= 1.0);
+    }
+
+    #[test]
+    fn attack_strategies_on_ensembler_produce_consistent_shapes() {
+        let data = SyntheticSpec::tiny_for_tests().generate(10);
+        let trainer = EnsemblerTrainer::new(
+            ResNetConfig::tiny_for_tests(),
+            TrainConfig::fast_for_tests(),
+        );
+        let mut pipeline = trainer.train(2, 1, &data.train).unwrap().into_pipeline();
+        let (private_images, _) = data.test.batch(0, 3);
+        let cfg = AttackConfig::fast_for_tests();
+
+        let per_net = attack_all_single_nets(&mut pipeline, &data.train, &private_images, &cfg);
+        assert_eq!(per_net.len(), 2);
+        for outcome in &per_net {
+            assert_eq!(outcome.reconstructions.shape(), private_images.shape());
+        }
+
+        let adaptive = attack_adaptive(&mut pipeline, &data.train, &private_images, &cfg);
+        assert_eq!(adaptive.reconstructions.shape(), private_images.shape());
+    }
+
+    #[test]
+    fn server_view_feature_widths() {
+        let config = ResNetConfig::tiny_for_tests();
+        let mut rng = Rng::seed_from(0);
+        let mut bodies: Vec<Sequential> = (0..3)
+            .map(|_| ensembler_nn::models::build_body(&config, &mut rng))
+            .collect();
+        let per = config.body_output_features();
+        {
+            let single = ServerView::Single(&mut bodies[0]);
+            assert_eq!(single.feature_width(per), per);
+        }
+        let all = ServerView::All(&mut bodies);
+        assert_eq!(all.feature_width(per), 3 * per);
+    }
+
+    #[test]
+    fn all_view_forward_concatenates_with_uniform_scaling() {
+        let config = ResNetConfig::tiny_for_tests();
+        let mut rng = Rng::seed_from(1);
+        let mut bodies: Vec<Sequential> = (0..2)
+            .map(|_| ensembler_nn::models::build_body(&config, &mut rng))
+            .collect();
+        let per = config.body_output_features();
+        let shape = config.head_output_shape();
+        let features = Tensor::ones(&[2, shape[0], shape[1], shape[2]]);
+
+        let single_outputs: Vec<Tensor> = bodies
+            .iter_mut()
+            .map(|b| b.forward(&features, Mode::Eval))
+            .collect();
+        let mut view = ServerView::All(&mut bodies);
+        let combined = view.forward(&features, per);
+        assert_eq!(combined.shape(), &[2, 2 * per]);
+        // First per-network block equals the single output scaled by 1/N.
+        for f in 0..per {
+            let expected = single_outputs[0].at2(0, f) * 0.5;
+            assert!((combined.at2(0, f) - expected).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "public dataset must not be empty")]
+    fn attack_requires_public_data() {
+        let (mut victim, data) = tiny_victim_single();
+        let (private_images, _) = data.test.batch(0, 2);
+        let config = victim.config().clone();
+        let transmitted = victim.client_features(&private_images);
+        let empty = Dataset::new(Tensor::zeros(&[0, 3, 8, 8]), vec![], 3);
+        let mut view = ServerView::Single(victim.body_mut());
+        let _ = run_attack(
+            &mut view,
+            &config,
+            &empty,
+            &private_images,
+            &transmitted,
+            &AttackConfig::fast_for_tests(),
+        );
+    }
+}

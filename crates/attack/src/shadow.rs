@@ -1,0 +1,173 @@
+//! Shadow client networks used by the query-free model inversion attack.
+
+use ensembler_nn::models::ResNetConfig;
+use ensembler_nn::{Conv2d, Flatten, Layer, Linear, MaxPool2d, Mode, Relu, Sequential};
+use ensembler_tensor::{Rng, Tensor};
+
+/// The adversary's surrogate for the client's private layers.
+///
+/// Following the paper's attack setup, the shadow head is a stack of three
+/// convolutions with the same channel width as the real head: the first
+/// simulates the unknown `M_c,h` and the other two give the surrogate enough
+/// capacity to absorb the unknown additive noise. The shadow tail has the
+/// same shape as the real `M_c,t` (a linear classifier over the server
+/// features the attacker can observe).
+#[derive(Debug)]
+pub struct ShadowNetwork {
+    head: Sequential,
+    tail: Sequential,
+    feature_width: usize,
+}
+
+impl ShadowNetwork {
+    /// Builds an untrained shadow network for the given backbone.
+    ///
+    /// `server_feature_width` is the total width of the server features the
+    /// surrogate tail consumes: the per-network feature count when attacking
+    /// a single server net, or `N` times that for the adaptive attack that
+    /// consumes all `N` networks.
+    pub fn new(config: &ResNetConfig, server_feature_width: usize, rng: &mut Rng) -> Self {
+        let channels = config.stem_channels;
+        let mut head = Sequential::empty();
+        head.push(Box::new(Conv2d::new(
+            config.input_channels,
+            channels,
+            3,
+            1,
+            1,
+            rng,
+        )));
+        head.push(Box::new(Relu::new()));
+        head.push(Box::new(Conv2d::new(channels, channels, 3, 1, 1, rng)));
+        head.push(Box::new(Relu::new()));
+        head.push(Box::new(Conv2d::new(channels, channels, 3, 1, 1, rng)));
+        if config.use_stem_pool {
+            head.push(Box::new(MaxPool2d::new(2)));
+        }
+
+        let mut tail = Sequential::empty();
+        tail.push(Box::new(Flatten::new()));
+        tail.push(Box::new(Linear::new(
+            server_feature_width,
+            config.num_classes,
+            rng,
+        )));
+
+        Self {
+            head,
+            tail,
+            feature_width: server_feature_width,
+        }
+    }
+
+    /// Width of the server feature vector the shadow tail expects.
+    pub fn feature_width(&self) -> usize {
+        self.feature_width
+    }
+
+    /// Forward pass of the shadow head: surrogate intermediate features.
+    pub fn head_forward(&mut self, images: &Tensor, mode: Mode) -> Tensor {
+        self.head.forward(images, mode)
+    }
+
+    /// Backward pass through the shadow head.
+    pub fn head_backward(&mut self, grad: &Tensor) -> Tensor {
+        self.head.backward(grad)
+    }
+
+    /// Forward pass of the shadow tail on (concatenated) server features.
+    pub fn tail_forward(&mut self, features: &Tensor, mode: Mode) -> Tensor {
+        self.tail.forward(features, mode)
+    }
+
+    /// Backward pass through the shadow tail.
+    pub fn tail_backward(&mut self, grad: &Tensor) -> Tensor {
+        self.tail.backward(grad)
+    }
+
+    /// Clears accumulated gradients in both shadow parts.
+    pub fn zero_grad(&mut self) {
+        self.head.zero_grad();
+        self.tail.zero_grad();
+    }
+
+    /// All trainable parameters of the surrogate (head and tail).
+    pub fn params_mut(&mut self) -> Vec<&mut ensembler_nn::Param> {
+        let mut params = self.head.params_mut();
+        params.extend(self.tail.params_mut());
+        params
+    }
+
+    /// Number of trainable scalars in the surrogate.
+    pub fn parameter_count(&self) -> usize {
+        self.head.parameter_count() + self.tail.parameter_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shadow_head_matches_real_head_output_shape() {
+        let config = ResNetConfig::cifar10_like();
+        let mut rng = Rng::seed_from(0);
+        let mut shadow = ShadowNetwork::new(&config, config.body_output_features(), &mut rng);
+        let x = Tensor::ones(&[2, 3, config.image_size, config.image_size]);
+        let features = shadow.head_forward(&x, Mode::Eval);
+        let expected = config.head_output_shape();
+        assert_eq!(
+            features.shape(),
+            &[2, expected[0], expected[1], expected[2]],
+            "shadow features must be drop-in replacements for the real ones"
+        );
+    }
+
+    #[test]
+    fn shadow_head_without_stem_pool_keeps_resolution() {
+        let config = ResNetConfig::cifar100_like();
+        let mut rng = Rng::seed_from(1);
+        let mut shadow = ShadowNetwork::new(&config, config.body_output_features(), &mut rng);
+        let x = Tensor::ones(&[1, 3, 16, 16]);
+        let features = shadow.head_forward(&x, Mode::Eval);
+        assert_eq!(features.shape(), &[1, 16, 16, 16]);
+    }
+
+    #[test]
+    fn shadow_tail_produces_class_logits() {
+        let config = ResNetConfig::tiny_for_tests();
+        let mut rng = Rng::seed_from(2);
+        let width = 3 * config.body_output_features();
+        let mut shadow = ShadowNetwork::new(&config, width, &mut rng);
+        assert_eq!(shadow.feature_width(), width);
+        let logits = shadow.tail_forward(&Tensor::ones(&[5, width]), Mode::Eval);
+        assert_eq!(logits.shape(), &[5, config.num_classes]);
+    }
+
+    #[test]
+    fn shadow_is_deeper_than_the_real_head() {
+        // The surrogate has three convolutions where the real head has one,
+        // mirroring the attack setup in the paper.
+        let config = ResNetConfig::tiny_for_tests();
+        let mut rng = Rng::seed_from(3);
+        let shadow = ShadowNetwork::new(&config, config.body_output_features(), &mut rng);
+        let real_head = ensembler_nn::models::build_head(&config, &mut rng);
+        assert!(shadow.parameter_count() > real_head.parameter_count());
+    }
+
+    #[test]
+    fn gradients_flow_through_both_parts() {
+        let config = ResNetConfig::tiny_for_tests();
+        let mut rng = Rng::seed_from(4);
+        let mut shadow = ShadowNetwork::new(&config, config.body_output_features(), &mut rng);
+        let x = Tensor::from_fn(&[2, 3, 8, 8], |i| (i as f32 * 0.01).sin());
+        let feats = shadow.head_forward(&x, Mode::Train);
+        let g = shadow.head_backward(&Tensor::ones(feats.shape()));
+        assert_eq!(g.shape(), x.shape());
+        shadow.zero_grad();
+        assert!(shadow
+            .params_mut()
+            .iter()
+            .all(|p| p.grad.norm() == 0.0));
+    }
+}

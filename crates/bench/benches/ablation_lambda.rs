@@ -1,0 +1,26 @@
+//! Microbenchmark of the stage-3 regularizer: the cost of evaluating the
+//! cosine-similarity penalty (Eq. 3) as the number of reference heads grows.
+//! This is the per-step price of the λ ablation studied by the
+//! `ablation_lambda` binary.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ensembler_nn::cosine_penalty;
+use ensembler_tensor::{Rng, Tensor};
+
+fn bench_cosine_penalty(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cosine_penalty_references");
+    let mut rng = Rng::seed_from(0);
+    let features = Tensor::from_fn(&[16, 1024], |_| rng.uniform(-1.0, 1.0));
+    for &n_refs in &[1usize, 4, 10] {
+        let references: Vec<Tensor> = (0..n_refs)
+            .map(|_| Tensor::from_fn(&[16, 1024], |_| rng.uniform(-1.0, 1.0)))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n_refs), &n_refs, |b, _| {
+            b.iter(|| black_box(cosine_penalty(&features, &references, 1.0)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cosine_penalty);
+criterion_main!(benches);

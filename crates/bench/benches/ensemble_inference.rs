@@ -1,0 +1,48 @@
+//! Benchmarks of the full Ensembler inference pipeline: how the end-to-end
+//! cost scales with the ensemble size N (the empirical counterpart of the
+//! Table III latency model and the Sec. III-D complexity analysis).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ensembler::{EnsemblerPipeline, Selector};
+use ensembler_nn::models::{build_body, build_head, build_tail, ResNetConfig};
+use ensembler_nn::{FixedNoise, Sequential};
+use ensembler_tensor::{Rng, Tensor};
+
+fn make_pipeline(n: usize, p: usize) -> EnsemblerPipeline {
+    let config = ResNetConfig::cifar10_like();
+    let mut rng = Rng::seed_from(7);
+    let head = build_head(&config, &mut rng);
+    let noise = FixedNoise::new(&config.head_output_shape(), 0.1, &mut rng);
+    let bodies: Vec<Sequential> = (0..n).map(|_| build_body(&config, &mut rng)).collect();
+    let selector = Selector::random(n, p, &mut rng).expect("valid selection");
+    let tail = build_tail(&config, p * config.body_output_features(), &mut rng);
+    EnsemblerPipeline::new(config, head, noise, bodies, selector, tail)
+        .expect("consistent pipeline")
+}
+
+fn bench_ensemble_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ensembler_predict");
+    group.sample_size(20);
+    for &n in &[1usize, 2, 4, 8] {
+        let p = (n / 2).max(1);
+        let mut pipeline = make_pipeline(n, p);
+        let images = Tensor::from_fn(&[8, 3, 16, 16], |i| ((i % 255) as f32) / 255.0);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(pipeline.predict(&images).expect("prediction succeeds")));
+        });
+    }
+    group.finish();
+}
+
+fn bench_selector_overhead(c: &mut Criterion) {
+    let selector = Selector::from_indices(10, vec![1, 3, 5, 7]).expect("valid selection");
+    let maps: Vec<Tensor> = (0..10)
+        .map(|i| Tensor::full(&[32, 32], i as f32))
+        .collect();
+    c.bench_function("selector_combine_10nets_batch32", |b| {
+        b.iter(|| black_box(selector.combine(&maps).expect("combination succeeds")));
+    });
+}
+
+criterion_group!(benches, bench_ensemble_scaling, bench_selector_overhead);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Benchmarks of the attacker-side cost: one shadow-training step and one
+//! decoder reconstruction step, the building blocks of the MIA whose
+//! brute-force repetition the paper's security argument (Sec. III-D) counts.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ensembler_attack::{Decoder, ShadowNetwork};
+use ensembler_nn::models::ResNetConfig;
+use ensembler_nn::{Mode, MseLoss};
+use ensembler_tensor::{Rng, Tensor};
+
+fn bench_shadow_head_forward(c: &mut Criterion) {
+    let config = ResNetConfig::cifar10_like();
+    let mut rng = Rng::seed_from(0);
+    let mut shadow = ShadowNetwork::new(&config, config.body_output_features(), &mut rng);
+    let images = Tensor::from_fn(&[8, 3, 16, 16], |_| rng.next_f32());
+    c.bench_function("shadow_head_forward_batch8", |b| {
+        b.iter(|| black_box(shadow.head_forward(&images, Mode::Eval)));
+    });
+}
+
+fn bench_decoder_step(c: &mut Criterion) {
+    let config = ResNetConfig::cifar10_like();
+    let mut rng = Rng::seed_from(1);
+    let mut decoder = Decoder::new(&config, &mut rng);
+    let shape = config.head_output_shape();
+    let features = Tensor::from_fn(&[8, shape[0], shape[1], shape[2]], |_| rng.next_f32());
+    let targets = Tensor::from_fn(&[8, 3, 16, 16], |_| rng.next_f32());
+    let mse = MseLoss::new();
+    c.bench_function("decoder_train_step_batch8", |b| {
+        b.iter(|| {
+            let recon = decoder.forward(&features, Mode::Train);
+            let loss = mse.compute(&recon, &targets);
+            let _ = decoder.backward(&loss.grad);
+            decoder.zero_grad();
+            black_box(loss.loss)
+        });
+    });
+    c.bench_function("decoder_reconstruct_batch8", |b| {
+        b.iter(|| black_box(decoder.forward(&features, Mode::Eval)));
+    });
+}
+
+criterion_group!(benches, bench_shadow_head_forward, bench_decoder_step);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Microbenchmarks of the neural-network layers: forward and backward cost of
+//! the pieces the client and the server execute in the split pipeline.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ensembler_nn::models::{build_body, build_head, ResNetConfig};
+use ensembler_nn::{Conv2d, Layer, Mode};
+use ensembler_tensor::{Rng, Tensor};
+
+fn bench_conv_forward_backward(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(0);
+    let mut conv = Conv2d::new(16, 16, 3, 1, 1, &mut rng);
+    let x = Tensor::from_fn(&[8, 16, 16, 16], |_| rng.uniform(-1.0, 1.0));
+    c.bench_function("conv2d_forward_16ch_16x16", |b| {
+        b.iter(|| black_box(conv.forward(&x, Mode::Eval)));
+    });
+    let y = conv.forward(&x, Mode::Eval);
+    let grad = Tensor::ones(y.shape());
+    c.bench_function("conv2d_backward_16ch_16x16", |b| {
+        b.iter(|| black_box(conv.backward(&grad)));
+    });
+}
+
+fn bench_client_head(c: &mut Criterion) {
+    let config = ResNetConfig::cifar10_like();
+    let mut rng = Rng::seed_from(1);
+    let mut head = build_head(&config, &mut rng);
+    let images = Tensor::from_fn(&[8, 3, 16, 16], |_| rng.next_f32());
+    c.bench_function("client_head_forward_batch8", |b| {
+        b.iter(|| black_box(head.forward(&images, Mode::Eval)));
+    });
+}
+
+fn bench_server_body(c: &mut Criterion) {
+    let config = ResNetConfig::cifar10_like();
+    let mut rng = Rng::seed_from(2);
+    let mut body = build_body(&config, &mut rng);
+    let shape = config.head_output_shape();
+    let features = Tensor::from_fn(&[8, shape[0], shape[1], shape[2]], |_| rng.next_f32());
+    c.bench_function("server_body_forward_batch8", |b| {
+        b.iter(|| black_box(body.forward(&features, Mode::Eval)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_conv_forward_backward,
+    bench_client_head,
+    bench_server_body
+);
+criterion_main!(benches);

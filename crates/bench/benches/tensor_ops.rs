@@ -1,0 +1,47 @@
+//! Microbenchmarks of the tensor kernel operations that dominate training
+//! and inference cost (supports the latency analysis of Table III).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ensembler_tensor::{im2col, Conv2dGeometry, Rng, Tensor};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for &size in &[32usize, 64, 128] {
+        let mut rng = Rng::seed_from(0);
+        let a = Tensor::from_fn(&[size, size], |_| rng.uniform(-1.0, 1.0));
+        let b = Tensor::from_fn(&[size, size], |_| rng.uniform(-1.0, 1.0));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |bench, _| {
+            bench.iter(|| black_box(a.matmul(&b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_im2col(c: &mut Criterion) {
+    let mut group = c.benchmark_group("im2col");
+    for &hw in &[8usize, 16, 32] {
+        let mut rng = Rng::seed_from(1);
+        let x = Tensor::from_fn(&[4, 16, hw, hw], |_| rng.uniform(-1.0, 1.0));
+        let geom = Conv2dGeometry::new(3, 1, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(hw), &hw, |bench, _| {
+            bench.iter(|| black_box(im2col(&x, geom)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_channel_concat(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(2);
+    let maps: Vec<Tensor> = (0..4)
+        .map(|_| Tensor::from_fn(&[8, 16, 8, 8], |_| rng.uniform(-1.0, 1.0)))
+        .collect();
+    c.bench_function("concat_channels_4x16ch", |bench| {
+        bench.iter(|| {
+            let refs: Vec<&Tensor> = maps.iter().collect();
+            black_box(Tensor::concat_channels(&refs))
+        });
+    });
+}
+
+criterion_group!(benches, bench_matmul, bench_im2col, bench_channel_concat);
+criterion_main!(benches);

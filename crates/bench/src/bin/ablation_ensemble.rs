@@ -1,0 +1,55 @@
+//! Ablation: how the ensemble size N and selection size P affect the secret
+//! search space, the latency overhead and the classification accuracy.
+//!
+//! Usage: `cargo run -p ensembler-bench --bin ablation_ensemble --release`
+
+use ensembler::{EnsemblerTrainer, Selector};
+use ensembler_bench::{DatasetCase, ExperimentScale};
+use ensembler_latency::{estimate_ensembler, estimate_standard_ci, DeploymentProfile};
+use ensembler_nn::models::ResNetConfig;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let deployment = DeploymentProfile::paper_testbed();
+    let paper_config = ResNetConfig::paper_resnet18(10, 32, true);
+    let standard = estimate_standard_ci(&paper_config, 128, &deployment);
+
+    println!("== Ablation: ensemble size N and selection size P ==\n");
+    println!(
+        "{:<4} {:<4} {:>16} {:>18} {:>12}",
+        "N", "P", "search space", "latency overhead", "accuracy"
+    );
+
+    let case = DatasetCase::cifar10(scale);
+    let data = case.generate(19);
+    let train_cfg = scale.train_config();
+
+    for (n, p) in [(2usize, 1usize), (4, 2), (4, 3), (10, 4)] {
+        // Secret-selection search space and analytic latency use the paper's
+        // full-width model; accuracy is measured on the scaled-down one (and
+        // only for configurations small enough for the quick scale).
+        let selector = Selector::from_indices(n, (0..p).collect()).expect("valid selection");
+        let latency = estimate_ensembler(&paper_config, 128, n, p, &deployment);
+        let overhead = latency.overhead_vs(&standard) * 100.0;
+
+        let accuracy = if n <= scale.ensemble_size() {
+            let trainer = EnsemblerTrainer::new(case.config.clone(), train_cfg.clone());
+            let trained = trainer
+                .train(n, p, &data.train)
+                .expect("training succeeds");
+            let mut pipeline = trained.into_pipeline();
+            format!("{:.3}", pipeline.evaluate(&data.test))
+        } else {
+            "(skipped)".to_string()
+        };
+
+        println!(
+            "{:<4} {:<4} {:>16} {:>17.1}% {:>12}",
+            n,
+            p,
+            selector.search_space(),
+            overhead,
+            accuracy
+        );
+    }
+}

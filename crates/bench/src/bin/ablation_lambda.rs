@@ -1,0 +1,57 @@
+//! Ablation: sensitivity of Ensembler's defence quality to the cosine
+//! regularization strength λ (Eq. 3).
+//!
+//! For each λ the harness trains an Ensembler on the CIFAR-10 stand-in,
+//! mounts the strongest single-network attack and the adaptive attack, and
+//! reports accuracy and reconstruction quality.
+//!
+//! Usage: `cargo run -p ensembler-bench --bin ablation_lambda --release`
+
+use ensembler::EnsemblerTrainer;
+use ensembler_attack::{attack_adaptive, attack_all_single_nets};
+use ensembler_bench::{DatasetCase, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let case = DatasetCase::cifar10(scale);
+    let data = case.generate(17);
+    let attack_cfg = scale.attack_config();
+    let n = scale.ensemble_size();
+    let (private_images, _) = data
+        .test
+        .batch(0, scale.attack_targets().min(data.test.len()));
+
+    println!("== Ablation: regularization strength lambda ({scale:?} scale) ==\n");
+    println!(
+        "{:<8} {:>10} {:>12} {:>12} {:>14}",
+        "lambda", "accuracy", "best SSIM", "best PSNR", "adaptive SSIM"
+    );
+    for lambda in [0.0f32, 0.1, 1.0, 10.0] {
+        let train_cfg = scale.train_config().with_lambda(lambda);
+        let trainer = EnsemblerTrainer::new(case.config.clone(), train_cfg);
+        let trained = trainer
+            .train(n, case.selected, &data.train)
+            .expect("training succeeds");
+        let mut pipeline = trained.into_pipeline();
+        let acc = pipeline.evaluate(&data.test);
+        let per_net =
+            attack_all_single_nets(&mut pipeline, &data.train, &private_images, &attack_cfg);
+        let best_ssim = per_net
+            .iter()
+            .map(|o| o.ssim)
+            .fold(f32::NEG_INFINITY, f32::max);
+        let best_psnr = per_net
+            .iter()
+            .map(|o| o.psnr)
+            .fold(f32::NEG_INFINITY, f32::max);
+        let adaptive = attack_adaptive(&mut pipeline, &data.train, &private_images, &attack_cfg);
+        println!(
+            "{:<8.1} {:>10.3} {:>12.3} {:>12.2} {:>14.3}",
+            lambda,
+            acc,
+            best_ssim,
+            best_psnr,
+            adaptive.ssim
+        );
+    }
+}

@@ -1,0 +1,23 @@
+//! Regenerates Table I of the Ensembler paper: defence quality of the Single
+//! baseline and Ensembler across the three (synthetic stand-in) datasets.
+//!
+//! Usage: `cargo run -p ensembler-bench --bin table1 --release`
+//! Set `ENSEMBLER_SCALE=full` for the larger configuration.
+
+use ensembler_bench::{format_defense_table, run_defense_quality, DatasetCase, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    println!("== Table I: defence quality across datasets ({scale:?} scale) ==\n");
+    let mut results = Vec::new();
+    for case in DatasetCase::paper_cases(scale) {
+        eprintln!("running {} ...", case.name);
+        let result = run_defense_quality(&case, scale);
+        println!("{}", format_defense_table(&result));
+        results.push(result);
+    }
+    println!(
+        "JSON: {}",
+        serde_json::to_string_pretty(&results).expect("results serialize")
+    );
+}

@@ -1,0 +1,18 @@
+//! Regenerates Table II of the Ensembler paper: every defence mechanism
+//! evaluated on the CIFAR-10 stand-in.
+//!
+//! Usage: `cargo run -p ensembler-bench --bin table2 --release`
+//! Set `ENSEMBLER_SCALE=full` for the larger configuration.
+
+use ensembler_bench::{format_defense_table, run_defense_mechanisms, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    println!("== Table II: defence mechanisms on CIFAR-10 ({scale:?} scale) ==\n");
+    let result = run_defense_mechanisms(scale);
+    println!("{}", format_defense_table(&result));
+    println!(
+        "JSON: {}",
+        serde_json::to_string_pretty(&result).expect("result serializes")
+    );
+}

@@ -1,0 +1,48 @@
+//! Regenerates Table III of the Ensembler paper: time taken to run a batch of
+//! 128 images through the different deployment strategies.
+//!
+//! Usage: `cargo run -p ensembler-bench --bin table3 --release`
+
+use ensembler_latency::{
+    estimate_ensembler, estimate_stamp, estimate_standard_ci, DeploymentProfile, LatencyBreakdown,
+};
+use ensembler_nn::models::ResNetConfig;
+
+fn row(name: &str, t: &LatencyBreakdown) -> String {
+    format!(
+        "{:<14} {:>8.2} {:>8.2} {:>15.2} {:>8.2}",
+        name,
+        t.client_s,
+        t.server_s,
+        t.communication_s,
+        t.total()
+    )
+}
+
+fn main() {
+    // The latency model uses the paper's full-width ResNet-18 and batch size.
+    let config = ResNetConfig::paper_resnet18(10, 32, true);
+    let deployment = DeploymentProfile::paper_testbed();
+    let batch = 128;
+
+    let standard = estimate_standard_ci(&config, batch, &deployment);
+    let ensembler = estimate_ensembler(&config, batch, 10, 4, &deployment);
+    let stamp = estimate_stamp(&config, batch, &deployment);
+
+    println!("== Table III: seconds per 128-image ResNet-18 batch ==\n");
+    println!(
+        "{:<14} {:>8} {:>8} {:>15} {:>8}",
+        "Name", "Client", "Server", "Communication", "Total"
+    );
+    println!("{}", row("Standard CI", &standard));
+    println!("{}", row("Ensembler", &ensembler));
+    println!("{}", row("STAMP", &stamp));
+    println!(
+        "\nEnsembler overhead vs standard CI: {:.1}%",
+        ensembler.overhead_vs(&standard) * 100.0
+    );
+    println!(
+        "STAMP slowdown vs standard CI: {:.1}x",
+        stamp.total() / standard.total()
+    );
+}

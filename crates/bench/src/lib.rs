@@ -1,0 +1,450 @@
+//! Shared experiment harness used by the table-reproduction binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table of the Ensembler paper:
+//!
+//! * `table1` — defence quality of Single vs Ensembler across the three
+//!   datasets (Table I).
+//! * `table2` — all defence mechanisms on the CIFAR-10 stand-in (Table II).
+//! * `table3` — latency of Standard CI vs Ensembler vs STAMP (Table III).
+//! * `ablation_lambda` — sensitivity to the regularization strength λ.
+//! * `ablation_ensemble` — sensitivity to the ensemble size N and selection
+//!   size P.
+//!
+//! All binaries accept the `ENSEMBLER_SCALE` environment variable:
+//! `quick` (default) runs a scaled-down configuration that finishes in a few
+//! minutes on a laptop CPU; `full` runs the larger configuration described in
+//! `DESIGN.md`.
+
+#![warn(missing_docs)]
+
+use ensembler::{DefenseKind, EnsemblerTrainer, SinglePipeline, TrainConfig};
+use ensembler_attack::{
+    attack_adaptive, attack_all_single_nets, attack_single_pipeline, AttackConfig, AttackOutcome,
+};
+use ensembler_data::{SyntheticDataset, SyntheticSpec};
+use ensembler_nn::models::ResNetConfig;
+use ensembler_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// How much compute an experiment run is allowed to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExperimentScale {
+    /// Scaled-down run (small ensembles, few epochs) for CI and smoke runs.
+    Quick,
+    /// The full configuration described in DESIGN.md.
+    Full,
+}
+
+impl ExperimentScale {
+    /// Reads the scale from the `ENSEMBLER_SCALE` environment variable
+    /// (`quick` by default, `full` to enable the larger run).
+    pub fn from_env() -> Self {
+        match std::env::var("ENSEMBLER_SCALE").as_deref() {
+            Ok("full") | Ok("FULL") => ExperimentScale::Full,
+            _ => ExperimentScale::Quick,
+        }
+    }
+
+    /// Ensemble size N used for the defence-quality tables.
+    pub fn ensemble_size(self) -> usize {
+        match self {
+            ExperimentScale::Quick => 4,
+            ExperimentScale::Full => 10,
+        }
+    }
+
+    /// Training hyper-parameters for this scale.
+    pub fn train_config(self) -> TrainConfig {
+        match self {
+            ExperimentScale::Quick => TrainConfig {
+                epochs_stage1: 4,
+                epochs_stage3: 5,
+                batch_size: 16,
+                learning_rate: 0.05,
+                lambda: 1.0,
+                sigma: 0.1,
+                seed: 2024,
+            },
+            ExperimentScale::Full => TrainConfig::paper_like(),
+        }
+    }
+
+    /// Attack hyper-parameters for this scale.
+    pub fn attack_config(self) -> AttackConfig {
+        match self {
+            ExperimentScale::Quick => AttackConfig {
+                shadow_epochs: 4,
+                decoder_epochs: 5,
+                batch_size: 16,
+                learning_rate: 0.05,
+                seed: 7,
+            },
+            ExperimentScale::Full => AttackConfig::paper_like(),
+        }
+    }
+
+    /// Per-class sample counts for the synthetic datasets.
+    pub fn samples_per_class(self) -> (usize, usize) {
+        match self {
+            ExperimentScale::Quick => (16, 6),
+            ExperimentScale::Full => (40, 10),
+        }
+    }
+
+    /// Number of private test images each attack tries to reconstruct.
+    pub fn attack_targets(self) -> usize {
+        match self {
+            ExperimentScale::Quick => 8,
+            ExperimentScale::Full => 32,
+        }
+    }
+}
+
+/// One of the paper's three evaluation datasets together with its backbone
+/// configuration and selection size P.
+#[derive(Debug, Clone)]
+pub struct DatasetCase {
+    /// Dataset name used in the printed tables.
+    pub name: &'static str,
+    /// Synthetic stand-in specification.
+    pub spec: SyntheticSpec,
+    /// Backbone configuration (split location, pooling, classes).
+    pub config: ResNetConfig,
+    /// Number of server networks the selector activates (P).
+    pub selected: usize,
+}
+
+impl DatasetCase {
+    /// The three dataset cases of Table I with the paper's P = {4, 3, 5}
+    /// (clamped to the ensemble size at quick scale).
+    pub fn paper_cases(scale: ExperimentScale) -> Vec<DatasetCase> {
+        let (train_pc, test_pc) = scale.samples_per_class();
+        let clamp = |p: usize| p.min(scale.ensemble_size());
+        vec![
+            DatasetCase {
+                name: "CIFAR-10 (synthetic)",
+                spec: SyntheticSpec::cifar10_like().with_samples(train_pc, test_pc),
+                config: ResNetConfig::cifar10_like(),
+                selected: clamp(4),
+            },
+            DatasetCase {
+                name: "CIFAR-100 (synthetic)",
+                spec: SyntheticSpec::cifar100_like().with_samples(train_pc, test_pc),
+                config: ResNetConfig::cifar100_like(),
+                selected: clamp(3),
+            },
+            DatasetCase {
+                name: "CelebA-HQ (synthetic)",
+                spec: SyntheticSpec::celeba_hq_like().with_samples(train_pc, test_pc),
+                config: ResNetConfig::celeba_like(),
+                selected: clamp(5),
+            },
+        ]
+    }
+
+    /// Only the CIFAR-10 case (used by Table II and the ablations).
+    pub fn cifar10(scale: ExperimentScale) -> DatasetCase {
+        DatasetCase::paper_cases(scale).remove(0)
+    }
+
+    /// Generates the synthetic dataset for this case.
+    pub fn generate(&self, seed: u64) -> SyntheticDataset {
+        self.spec.generate(seed)
+    }
+}
+
+/// One row of a defence-quality table (Tables I and II).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DefenseRow {
+    /// Defence name as printed in the paper.
+    pub name: String,
+    /// Change in accuracy relative to the unprotected model, in percent
+    /// (positive = the defence costs accuracy).
+    pub delta_accuracy_pct: f32,
+    /// Mean SSIM of the attacker's reconstructions (lower = better defence).
+    pub ssim: f32,
+    /// Mean PSNR of the attacker's reconstructions (lower = better defence).
+    pub psnr: f32,
+}
+
+impl DefenseRow {
+    fn new(name: impl Into<String>, delta_accuracy_pct: f32, outcome: &AttackOutcome) -> Self {
+        Self {
+            name: name.into(),
+            delta_accuracy_pct,
+            ssim: outcome.ssim,
+            psnr: outcome.psnr,
+        }
+    }
+}
+
+/// Result of evaluating the Single baseline and Ensembler on one dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DefenseQualityResult {
+    /// Dataset name.
+    pub dataset: String,
+    /// Accuracy of the unprotected reference model.
+    pub baseline_accuracy: f32,
+    /// Table rows in the paper's order.
+    pub rows: Vec<DefenseRow>,
+}
+
+/// Runs the Table-I protocol for one dataset case: trains the unprotected
+/// reference, the Single baseline and Ensembler, attacks each of them and
+/// reports ΔAcc / SSIM / PSNR rows.
+pub fn run_defense_quality(case: &DatasetCase, scale: ExperimentScale) -> DefenseQualityResult {
+    let data = case.generate(11);
+    let train_cfg = scale.train_config();
+    let attack_cfg = scale.attack_config();
+    let n = scale.ensemble_size();
+    let (private_images, _) = data.test.batch(0, scale.attack_targets().min(data.test.len()));
+
+    // Unprotected reference for ΔAcc.
+    let mut reference = SinglePipeline::new(case.config.clone(), DefenseKind::NoDefense, 100)
+        .expect("valid configuration");
+    reference
+        .train_supervised(&data.train, &train_cfg)
+        .expect("training the reference succeeds");
+    let baseline_accuracy = reference.evaluate(&data.test);
+
+    // Single baseline: fixed additive noise.
+    let mut single = SinglePipeline::new(
+        case.config.clone(),
+        DefenseKind::AdditiveNoise {
+            sigma: train_cfg.sigma,
+        },
+        101,
+    )
+    .expect("valid configuration");
+    single
+        .train_supervised(&data.train, &train_cfg)
+        .expect("training the Single baseline succeeds");
+    let single_acc = single.evaluate(&data.test);
+    let single_attack =
+        attack_single_pipeline(&mut single, &data.train, &private_images, &attack_cfg);
+
+    // Ensembler.
+    let trainer = EnsemblerTrainer::new(case.config.clone(), train_cfg.clone());
+    let trained = trainer
+        .train(n, case.selected, &data.train)
+        .expect("three-stage training succeeds");
+    let mut pipeline = trained.into_pipeline();
+    let ensembler_acc = pipeline.evaluate(&data.test);
+
+    let per_net = attack_all_single_nets(&mut pipeline, &data.train, &private_images, &attack_cfg);
+    let best_ssim = per_net
+        .iter()
+        .cloned()
+        .max_by(|a, b| a.ssim.total_cmp(&b.ssim))
+        .expect("at least one network");
+    let best_psnr = per_net
+        .iter()
+        .cloned()
+        .max_by(|a, b| a.psnr.total_cmp(&b.psnr))
+        .expect("at least one network");
+    let adaptive = attack_adaptive(&mut pipeline, &data.train, &private_images, &attack_cfg);
+
+    let delta = |acc: f32| (baseline_accuracy - acc) * 100.0;
+    DefenseQualityResult {
+        dataset: case.name.to_string(),
+        baseline_accuracy,
+        rows: vec![
+            DefenseRow::new("Single", delta(single_acc), &single_attack),
+            DefenseRow::new("Ours - Adaptive", delta(ensembler_acc), &adaptive),
+            DefenseRow::new("Ours - SSIM", delta(ensembler_acc), &best_ssim),
+            DefenseRow::new("Ours - PSNR", delta(ensembler_acc), &best_psnr),
+        ],
+    }
+}
+
+/// Runs the Table-II protocol on the CIFAR-10 stand-in: every baseline
+/// defence plus the three Ensembler attack readings.
+pub fn run_defense_mechanisms(scale: ExperimentScale) -> DefenseQualityResult {
+    let case = DatasetCase::cifar10(scale);
+    let data = case.generate(13);
+    let train_cfg = scale.train_config();
+    let attack_cfg = scale.attack_config();
+    let n = scale.ensemble_size();
+    let (private_images, _) = data.test.batch(0, scale.attack_targets().min(data.test.len()));
+
+    let mut rows = Vec::new();
+
+    // Unprotected reference (also the "None" row).
+    let mut reference = SinglePipeline::new(case.config.clone(), DefenseKind::NoDefense, 200)
+        .expect("valid configuration");
+    reference
+        .train_supervised(&data.train, &train_cfg)
+        .expect("training succeeds");
+    let baseline_accuracy = reference.evaluate(&data.test);
+    let none_attack =
+        attack_single_pipeline(&mut reference, &data.train, &private_images, &attack_cfg);
+    rows.push(DefenseRow::new("None", 0.0, &none_attack));
+
+    let delta = |acc: f32| (baseline_accuracy - acc) * 100.0;
+
+    // Single-network baselines.
+    let single_defenses = [
+        (
+            "Shredder",
+            DefenseKind::Shredder {
+                sigma: train_cfg.sigma,
+                expansion: 1.0,
+            },
+        ),
+        (
+            "Single",
+            DefenseKind::AdditiveNoise {
+                sigma: train_cfg.sigma,
+            },
+        ),
+        ("DR-single", DefenseKind::Dropout { probability: 0.3 }),
+    ];
+    for (i, (name, kind)) in single_defenses.into_iter().enumerate() {
+        let mut victim = SinglePipeline::new(case.config.clone(), kind, 201 + i as u64)
+            .expect("valid configuration");
+        victim
+            .train_supervised(&data.train, &train_cfg)
+            .expect("training succeeds");
+        let acc = victim.evaluate(&data.test);
+        let outcome =
+            attack_single_pipeline(&mut victim, &data.train, &private_images, &attack_cfg);
+        rows.push(DefenseRow::new(name, delta(acc), &outcome));
+    }
+
+    // DR-N: dropout on the jointly trained ensemble (no stage-1 training).
+    let trainer = EnsemblerTrainer::new(case.config.clone(), train_cfg.clone());
+    let mut dr_ensemble = trainer
+        .train_joint(n, case.selected, 0.3, &data.train)
+        .expect("joint training succeeds");
+    let dr_acc = dr_ensemble.evaluate(&data.test);
+    let dr_attacks =
+        attack_all_single_nets(&mut dr_ensemble, &data.train, &private_images, &attack_cfg);
+    let dr_best_ssim = dr_attacks
+        .iter()
+        .cloned()
+        .max_by(|a, b| a.ssim.total_cmp(&b.ssim))
+        .expect("at least one network");
+    let dr_best_psnr = dr_attacks
+        .iter()
+        .cloned()
+        .max_by(|a, b| a.psnr.total_cmp(&b.psnr))
+        .expect("at least one network");
+    rows.push(DefenseRow::new(
+        format!("DR-{n} - SSIM"),
+        delta(dr_acc),
+        &dr_best_ssim,
+    ));
+    rows.push(DefenseRow::new(
+        format!("DR-{n} - PSNR"),
+        delta(dr_acc),
+        &dr_best_psnr,
+    ));
+
+    // Ensembler (full three-stage training).
+    let trained = trainer
+        .train(n, case.selected, &data.train)
+        .expect("three-stage training succeeds");
+    let mut pipeline = trained.into_pipeline();
+    let acc = pipeline.evaluate(&data.test);
+    let per_net = attack_all_single_nets(&mut pipeline, &data.train, &private_images, &attack_cfg);
+    let best_ssim = per_net
+        .iter()
+        .cloned()
+        .max_by(|a, b| a.ssim.total_cmp(&b.ssim))
+        .expect("at least one network");
+    let best_psnr = per_net
+        .iter()
+        .cloned()
+        .max_by(|a, b| a.psnr.total_cmp(&b.psnr))
+        .expect("at least one network");
+    let adaptive = attack_adaptive(&mut pipeline, &data.train, &private_images, &attack_cfg);
+    rows.push(DefenseRow::new("Ours - Adaptive", delta(acc), &adaptive));
+    rows.push(DefenseRow::new("Ours - SSIM", delta(acc), &best_ssim));
+    rows.push(DefenseRow::new("Ours - PSNR", delta(acc), &best_psnr));
+
+    DefenseQualityResult {
+        dataset: case.name.to_string(),
+        baseline_accuracy,
+        rows,
+    }
+}
+
+/// Pretty-prints a defence-quality table in the paper's column order.
+pub fn format_defense_table(result: &DefenseQualityResult) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} (unprotected accuracy {:.1}%)\n",
+        result.dataset,
+        result.baseline_accuracy * 100.0
+    ));
+    out.push_str(&format!(
+        "{:<18} {:>8} {:>8} {:>8}\n",
+        "Name", "dAcc(%)", "SSIM", "PSNR"
+    ));
+    for row in &result.rows {
+        out.push_str(&format!(
+            "{:<18} {:>8.2} {:>8.3} {:>8.2}\n",
+            row.name, row.delta_accuracy_pct, row.ssim, row.psnr
+        ));
+    }
+    out
+}
+
+/// A small helper shared by the examples and ablations: mean image distance
+/// between two tensors, used as a quick sanity metric alongside SSIM/PSNR.
+pub fn mean_absolute_error(a: &Tensor, b: &Tensor) -> f32 {
+    assert_eq!(a.shape(), b.shape(), "shapes must match");
+    a.sub(b).map(f32::abs).mean()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_from_env_defaults_to_quick() {
+        // The variable is not set in the test environment.
+        assert_eq!(ExperimentScale::from_env(), ExperimentScale::Quick);
+        assert_eq!(ExperimentScale::Quick.ensemble_size(), 4);
+        assert_eq!(ExperimentScale::Full.ensemble_size(), 10);
+    }
+
+    #[test]
+    fn paper_cases_cover_the_three_datasets() {
+        let cases = DatasetCase::paper_cases(ExperimentScale::Quick);
+        assert_eq!(cases.len(), 3);
+        assert!(cases[0].name.contains("CIFAR-10"));
+        assert!(cases[1].name.contains("CIFAR-100"));
+        assert!(cases[2].name.contains("CelebA"));
+        for case in &cases {
+            assert!(case.selected <= ExperimentScale::Quick.ensemble_size());
+            assert!(case.config.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn defense_table_formatting_contains_all_rows() {
+        let result = DefenseQualityResult {
+            dataset: "demo".to_string(),
+            baseline_accuracy: 0.5,
+            rows: vec![DefenseRow {
+                name: "Single".to_string(),
+                delta_accuracy_pct: 1.0,
+                ssim: 0.4,
+                psnr: 8.0,
+            }],
+        };
+        let text = format_defense_table(&result);
+        assert!(text.contains("Single"));
+        assert!(text.contains("SSIM"));
+        assert!(text.contains("50.0%"));
+    }
+
+    #[test]
+    fn mean_absolute_error_basics() {
+        let a = Tensor::zeros(&[2, 2]);
+        let b = Tensor::full(&[2, 2], 0.5);
+        assert!((mean_absolute_error(&a, &b) - 0.5).abs() < 1e-6);
+        assert_eq!(mean_absolute_error(&a, &a), 0.0);
+    }
+}

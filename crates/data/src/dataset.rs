@@ -1,0 +1,270 @@
+//! In-memory labelled image dataset with batching and splitting utilities.
+
+use ensembler_tensor::{Rng, Tensor};
+
+/// A labelled image dataset held entirely in memory.
+///
+/// Images are stored as a single `[N, C, H, W]` tensor with values in
+/// `[0, 1]`; labels are class indices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    images: Tensor,
+    labels: Vec<usize>,
+    num_classes: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset from an image tensor and matching labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `images` is not rank-4, the label count differs from the
+    /// batch size, or a label is `>= num_classes`.
+    pub fn new(images: Tensor, labels: Vec<usize>, num_classes: usize) -> Self {
+        assert_eq!(images.rank(), 4, "images must be [N, C, H, W]");
+        assert_eq!(
+            images.shape()[0],
+            labels.len(),
+            "one label per image required"
+        );
+        assert!(
+            labels.iter().all(|&l| l < num_classes),
+            "label out of range"
+        );
+        Self {
+            images,
+            labels,
+            num_classes,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Returns `true` if the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Shape `[C, H, W]` of a single image.
+    pub fn image_shape(&self) -> Vec<usize> {
+        self.images.shape()[1..].to_vec()
+    }
+
+    /// All images as one `[N, C, H, W]` tensor.
+    pub fn images(&self) -> &Tensor {
+        &self.images
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Returns the contiguous batch starting at `start` with up to `size`
+    /// samples (truncated at the end of the dataset).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start >= len()` or `size == 0`.
+    pub fn batch(&self, start: usize, size: usize) -> (Tensor, Vec<usize>) {
+        assert!(start < self.len(), "batch start {start} out of range");
+        assert!(size > 0, "batch size must be positive");
+        let end = (start + size).min(self.len());
+        let items: Vec<Tensor> = (start..end).map(|i| self.images.batch_item(i)).collect();
+        (Tensor::stack_batch(&items), self.labels[start..end].to_vec())
+    }
+
+    /// Returns the samples at the given indices as a batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is empty or any index is out of range.
+    pub fn gather(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
+        assert!(!indices.is_empty(), "gather requires at least one index");
+        let items: Vec<Tensor> = indices
+            .iter()
+            .map(|&i| {
+                assert!(i < self.len(), "index {i} out of range");
+                self.images.batch_item(i)
+            })
+            .collect();
+        let labels = indices.iter().map(|&i| self.labels[i]).collect();
+        (Tensor::stack_batch(&items), labels)
+    }
+
+    /// Returns an iterator over shuffled mini-batches.
+    pub fn batches(&self, batch_size: usize, rng: &mut Rng) -> Batches<'_> {
+        assert!(batch_size > 0, "batch size must be positive");
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        rng.shuffle(&mut order);
+        Batches {
+            dataset: self,
+            order,
+            batch_size,
+            cursor: 0,
+        }
+    }
+
+    /// Splits the dataset into a training and a test portion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `train_fraction` is not strictly between 0 and 1.
+    pub fn split(&self, train_fraction: f32, rng: &mut Rng) -> DatasetSplit {
+        assert!(
+            train_fraction > 0.0 && train_fraction < 1.0,
+            "train fraction must be in (0, 1)"
+        );
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        rng.shuffle(&mut order);
+        let cut = ((self.len() as f32) * train_fraction).round() as usize;
+        let cut = cut.clamp(1, self.len().saturating_sub(1).max(1));
+        let (train_idx, test_idx) = order.split_at(cut);
+        let (train_images, train_labels) = self.gather(train_idx);
+        let (test_images, test_labels) = self.gather(test_idx);
+        DatasetSplit {
+            train: Dataset::new(train_images, train_labels, self.num_classes),
+            test: Dataset::new(test_images, test_labels, self.num_classes),
+        }
+    }
+
+    /// Returns the first `count` samples as a new dataset (useful for fast
+    /// smoke tests and examples).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero or exceeds the dataset size.
+    pub fn take(&self, count: usize) -> Dataset {
+        assert!(count > 0 && count <= self.len(), "invalid take count");
+        let indices: Vec<usize> = (0..count).collect();
+        let (images, labels) = self.gather(&indices);
+        Dataset::new(images, labels, self.num_classes)
+    }
+}
+
+/// A train/test pair produced by [`Dataset::split`] or a synthetic generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetSplit {
+    /// Training portion.
+    pub train: Dataset,
+    /// Held-out test portion.
+    pub test: Dataset,
+}
+
+/// Iterator over shuffled mini-batches of a [`Dataset`].
+#[derive(Debug)]
+pub struct Batches<'a> {
+    dataset: &'a Dataset,
+    order: Vec<usize>,
+    batch_size: usize,
+    cursor: usize,
+}
+
+impl Iterator for Batches<'_> {
+    type Item = (Tensor, Vec<usize>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cursor >= self.order.len() {
+            return None;
+        }
+        let end = (self.cursor + self.batch_size).min(self.order.len());
+        let indices = &self.order[self.cursor..end];
+        self.cursor = end;
+        Some(self.dataset.gather(indices))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_dataset(n: usize, classes: usize) -> Dataset {
+        let images = Tensor::from_fn(&[n, 1, 2, 2], |i| (i % 7) as f32 / 7.0);
+        let labels = (0..n).map(|i| i % classes).collect();
+        Dataset::new(images, labels, classes)
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let ds = toy_dataset(10, 5);
+        assert_eq!(ds.len(), 10);
+        assert!(!ds.is_empty());
+        assert_eq!(ds.num_classes(), 5);
+        assert_eq!(ds.image_shape(), vec![1, 2, 2]);
+        assert_eq!(ds.labels().len(), 10);
+        assert_eq!(ds.images().shape(), &[10, 1, 2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn labels_must_be_within_class_count() {
+        let images = Tensor::zeros(&[2, 1, 2, 2]);
+        let _ = Dataset::new(images, vec![0, 5], 3);
+    }
+
+    #[test]
+    fn contiguous_batches_truncate_at_the_end() {
+        let ds = toy_dataset(10, 2);
+        let (images, labels) = ds.batch(8, 4);
+        assert_eq!(images.shape()[0], 2);
+        assert_eq!(labels, vec![0, 1]);
+    }
+
+    #[test]
+    fn gather_selects_requested_samples() {
+        let ds = toy_dataset(6, 3);
+        let (images, labels) = ds.gather(&[5, 0, 3]);
+        assert_eq!(images.shape()[0], 3);
+        assert_eq!(labels, vec![2, 0, 0]);
+    }
+
+    #[test]
+    fn shuffled_batches_cover_every_sample_exactly_once() {
+        let ds = toy_dataset(23, 4);
+        let mut rng = Rng::seed_from(0);
+        let mut seen = vec![0usize; 4];
+        let mut total = 0;
+        for (images, labels) in ds.batches(5, &mut rng) {
+            assert!(images.shape()[0] <= 5);
+            total += labels.len();
+            for l in labels {
+                seen[l] += 1;
+            }
+        }
+        assert_eq!(total, 23);
+        assert_eq!(seen.iter().sum::<usize>(), 23);
+    }
+
+    #[test]
+    fn split_partitions_the_dataset() {
+        let ds = toy_dataset(20, 2);
+        let mut rng = Rng::seed_from(1);
+        let split = ds.split(0.75, &mut rng);
+        assert_eq!(split.train.len() + split.test.len(), 20);
+        assert_eq!(split.train.len(), 15);
+        assert_eq!(split.train.num_classes(), 2);
+    }
+
+    #[test]
+    fn take_returns_a_prefix() {
+        let ds = toy_dataset(9, 3);
+        let head = ds.take(4);
+        assert_eq!(head.len(), 4);
+        assert_eq!(head.labels(), &ds.labels()[..4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch start")]
+    fn batch_start_out_of_range_panics() {
+        let ds = toy_dataset(3, 3);
+        let _ = ds.batch(3, 1);
+    }
+}

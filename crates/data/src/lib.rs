@@ -1,0 +1,36 @@
+//! Synthetic image-classification datasets standing in for CIFAR-10,
+//! CIFAR-100 and the CelebA-HQ subset used by the Ensembler paper.
+//!
+//! The reproduction cannot ship the original datasets, so this crate
+//! procedurally generates small RGB images whose appearance depends on the
+//! class label: class-specific base colours, geometric shapes and textures
+//! plus per-sample jitter. That is sufficient for the paper's evaluation
+//! because
+//!
+//! 1. the classifier only needs *some* learnable class structure, and
+//! 2. the model inversion attack is scored by SSIM/PSNR between the private
+//!    input and its reconstruction, which is meaningful for any structured
+//!    image distribution.
+//!
+//! See `DESIGN.md` (substitution table) for the full justification.
+//!
+//! # Examples
+//!
+//! ```
+//! use ensembler_data::{SyntheticDataset, SyntheticSpec};
+//!
+//! let data = SyntheticSpec::cifar10_like().generate(42);
+//! assert_eq!(data.train.len(), 400);
+//! assert_eq!(data.train.num_classes(), 10);
+//! let (images, labels) = data.train.batch(0, 8);
+//! assert_eq!(images.shape(), &[8, 3, 16, 16]);
+//! assert_eq!(labels.len(), 8);
+//! ```
+
+#![warn(missing_docs)]
+
+mod dataset;
+mod synthetic;
+
+pub use dataset::{Batches, Dataset, DatasetSplit};
+pub use synthetic::{SyntheticDataset, SyntheticFamily, SyntheticSpec};

@@ -1,0 +1,431 @@
+//! Procedural synthetic image generators standing in for the paper's datasets.
+
+use crate::{Dataset, DatasetSplit};
+use ensembler_tensor::{Rng, Tensor};
+use serde::{Deserialize, Serialize};
+
+/// Which real dataset a synthetic specification is standing in for.
+///
+/// The families differ in how class identity is rendered into the image,
+/// mirroring the qualitative differences between the paper's datasets:
+/// object-like shapes (CIFAR) versus face-like layouts (CelebA-HQ).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SyntheticFamily {
+    /// Class-coloured geometric objects on textured backgrounds (CIFAR-like).
+    Objects,
+    /// Face-like layouts whose attributes vary with the class (CelebA-like).
+    Faces,
+}
+
+/// Specification of a synthetic dataset: image geometry, class count, sample
+/// counts and the rendering family.
+///
+/// # Examples
+///
+/// ```
+/// use ensembler_data::SyntheticSpec;
+///
+/// let spec = SyntheticSpec::cifar10_like();
+/// let data = spec.generate(7);
+/// assert_eq!(data.train.num_classes(), 10);
+/// assert_eq!(data.train.image_shape(), vec![3, 16, 16]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticSpec {
+    /// Human-readable dataset name used in reports.
+    pub name: String,
+    /// Rendering family.
+    pub family: SyntheticFamily,
+    /// Square image extent in pixels.
+    pub image_size: usize,
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Training samples per class.
+    pub train_per_class: usize,
+    /// Test samples per class.
+    pub test_per_class: usize,
+}
+
+impl SyntheticSpec {
+    /// CIFAR-10 stand-in: 10 object classes at 16x16.
+    pub fn cifar10_like() -> Self {
+        Self {
+            name: "cifar10-like".to_string(),
+            family: SyntheticFamily::Objects,
+            image_size: 16,
+            num_classes: 10,
+            train_per_class: 40,
+            test_per_class: 10,
+        }
+    }
+
+    /// CIFAR-100 stand-in: more classes, stem pooling removed downstream.
+    /// Class count is reduced to 20 to keep CPU training tractable while
+    /// preserving the "many classes, fewer samples each" character.
+    pub fn cifar100_like() -> Self {
+        Self {
+            name: "cifar100-like".to_string(),
+            family: SyntheticFamily::Objects,
+            image_size: 16,
+            num_classes: 20,
+            train_per_class: 20,
+            test_per_class: 5,
+        }
+    }
+
+    /// CelebA-HQ stand-in: larger face-like images, few attribute classes.
+    pub fn celeba_hq_like() -> Self {
+        Self {
+            name: "celeba-hq-like".to_string(),
+            family: SyntheticFamily::Faces,
+            image_size: 32,
+            num_classes: 4,
+            train_per_class: 30,
+            test_per_class: 8,
+        }
+    }
+
+    /// A deliberately tiny specification for fast unit tests.
+    pub fn tiny_for_tests() -> Self {
+        Self {
+            name: "tiny".to_string(),
+            family: SyntheticFamily::Objects,
+            image_size: 8,
+            num_classes: 3,
+            train_per_class: 6,
+            test_per_class: 2,
+        }
+    }
+
+    /// Scales the per-class sample counts, used by benchmarks that need more
+    /// or less data than the defaults.
+    pub fn with_samples(mut self, train_per_class: usize, test_per_class: usize) -> Self {
+        self.train_per_class = train_per_class;
+        self.test_per_class = test_per_class;
+        self
+    }
+
+    /// Generates the dataset deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any size field is zero.
+    pub fn generate(&self, seed: u64) -> SyntheticDataset {
+        assert!(
+            self.image_size > 0
+                && self.num_classes > 0
+                && self.train_per_class > 0
+                && self.test_per_class > 0,
+            "all specification fields must be positive"
+        );
+        let mut rng = Rng::seed_from(seed);
+        let train = self.render_split(self.train_per_class, &mut rng);
+        let test = self.render_split(self.test_per_class, &mut rng);
+        SyntheticDataset {
+            spec: self.clone(),
+            train,
+            test,
+        }
+    }
+
+    fn render_split(&self, per_class: usize, rng: &mut Rng) -> Dataset {
+        let n = per_class * self.num_classes;
+        let mut labels = Vec::with_capacity(n);
+        let mut items = Vec::with_capacity(n);
+        for class in 0..self.num_classes {
+            for _ in 0..per_class {
+                labels.push(class);
+                items.push(self.render_image(class, rng));
+            }
+        }
+        // Shuffle jointly so contiguous batches are class-mixed.
+        let mut order: Vec<usize> = (0..n).collect();
+        rng.shuffle(&mut order);
+        let shuffled_items: Vec<Tensor> = order.iter().map(|&i| items[i].clone()).collect();
+        let shuffled_labels: Vec<usize> = order.iter().map(|&i| labels[i]).collect();
+        Dataset::new(
+            Tensor::stack_batch(&shuffled_items),
+            shuffled_labels,
+            self.num_classes,
+        )
+    }
+
+    /// Renders one `[1, 3, S, S]` image of the given class.
+    fn render_image(&self, class: usize, rng: &mut Rng) -> Tensor {
+        match self.family {
+            SyntheticFamily::Objects => self.render_object(class, rng),
+            SyntheticFamily::Faces => self.render_face(class, rng),
+        }
+    }
+
+    fn render_object(&self, class: usize, rng: &mut Rng) -> Tensor {
+        let s = self.image_size;
+        let base = class_colour(class, self.num_classes);
+        // Background colour is a dimmed complementary tone plus texture noise.
+        let background = [
+            0.25 + 0.5 * (1.0 - base[0]),
+            0.25 + 0.5 * (1.0 - base[1]),
+            0.25 + 0.5 * (1.0 - base[2]),
+        ];
+        let shape_kind = class % 3;
+        let cx = s as f32 * rng.uniform(0.35, 0.65);
+        let cy = s as f32 * rng.uniform(0.35, 0.65);
+        let radius = s as f32 * rng.uniform(0.2, 0.32);
+        let stripe_period = 2 + class % 4;
+
+        let mut img = Tensor::zeros(&[1, 3, s, s]);
+        for y in 0..s {
+            for x in 0..s {
+                let inside = match shape_kind {
+                    0 => {
+                        // Filled disc.
+                        let dx = x as f32 - cx;
+                        let dy = y as f32 - cy;
+                        dx * dx + dy * dy <= radius * radius
+                    }
+                    1 => {
+                        // Axis-aligned square.
+                        (x as f32 - cx).abs() <= radius && (y as f32 - cy).abs() <= radius
+                    }
+                    _ => {
+                        // Diagonal stripes clipped to a disc.
+                        let dx = x as f32 - cx;
+                        let dy = y as f32 - cy;
+                        dx * dx + dy * dy <= radius * radius * 1.4
+                            && (x + y) % (2 * stripe_period) < stripe_period
+                    }
+                };
+                for c in 0..3 {
+                    let value = if inside { base[c] } else { background[c] };
+                    let jitter = rng.normal_with(0.0, 0.03);
+                    img.set4(0, c, y, x, (value + jitter).clamp(0.0, 1.0));
+                }
+            }
+        }
+        img
+    }
+
+    fn render_face(&self, class: usize, rng: &mut Rng) -> Tensor {
+        let s = self.image_size;
+        // Attribute classes modulate skin tone, hair band and mouth width.
+        let skin = 0.55 + 0.1 * (class % 2) as f32;
+        let hair = if class / 2 % 2 == 0 { 0.15 } else { 0.45 };
+        let mouth_half_width = s as f32 * (0.12 + 0.06 * (class % 2) as f32);
+
+        let cx = s as f32 * 0.5 + rng.normal_with(0.0, 0.5);
+        let cy = s as f32 * 0.55 + rng.normal_with(0.0, 0.5);
+        let rx = s as f32 * 0.32;
+        let ry = s as f32 * 0.4;
+        let eye_y = cy - ry * 0.3;
+        let eye_dx = rx * 0.45;
+        let mouth_y = cy + ry * 0.4;
+
+        let mut img = Tensor::zeros(&[1, 3, s, s]);
+        for y in 0..s {
+            for x in 0..s {
+                let fx = x as f32;
+                let fy = y as f32;
+                let in_face =
+                    ((fx - cx) / rx).powi(2) + ((fy - cy) / ry).powi(2) <= 1.0;
+                let in_hair = fy < cy - ry * 0.55 && in_face_band(fx, cx, rx);
+                let in_eye = (fy - eye_y).abs() < 1.5
+                    && ((fx - (cx - eye_dx)).abs() < 1.5 || (fx - (cx + eye_dx)).abs() < 1.5);
+                let in_mouth = (fy - mouth_y).abs() < 1.2 && (fx - cx).abs() < mouth_half_width;
+
+                let (r, g, b) = if in_eye {
+                    (0.05, 0.05, 0.1)
+                } else if in_mouth {
+                    (0.6, 0.15, 0.2)
+                } else if in_hair {
+                    (hair, hair * 0.8, hair * 0.6)
+                } else if in_face {
+                    (skin, skin * 0.8, skin * 0.7)
+                } else {
+                    (0.2, 0.25, 0.35)
+                };
+                let jitter = rng.normal_with(0.0, 0.02);
+                img.set4(0, 0, y, x, (r + jitter).clamp(0.0, 1.0));
+                img.set4(0, 1, y, x, (g + jitter).clamp(0.0, 1.0));
+                img.set4(0, 2, y, x, (b + jitter).clamp(0.0, 1.0));
+            }
+        }
+        img
+    }
+}
+
+fn in_face_band(fx: f32, cx: f32, rx: f32) -> bool {
+    (fx - cx).abs() <= rx * 0.9
+}
+
+/// Deterministic, well-separated RGB base colour for a class.
+fn class_colour(class: usize, num_classes: usize) -> [f32; 3] {
+    let hue = class as f32 / num_classes.max(1) as f32;
+    // Simple HSV-to-RGB with full saturation and value 0.9.
+    let h = hue * 6.0;
+    let i = h.floor() as i32 % 6;
+    let f = h - h.floor();
+    let v = 0.9;
+    let p = 0.1;
+    let q = v - (v - p) * f;
+    let t = p + (v - p) * f;
+    match i {
+        0 => [v, t, p],
+        1 => [q, v, p],
+        2 => [p, v, t],
+        3 => [p, q, v],
+        4 => [t, p, v],
+        _ => [v, p, q],
+    }
+}
+
+/// A generated synthetic dataset: the specification it came from plus its
+/// train and test splits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntheticDataset {
+    /// The specification used for generation.
+    pub spec: SyntheticSpec,
+    /// Training split.
+    pub train: Dataset,
+    /// Test split.
+    pub test: Dataset,
+}
+
+impl SyntheticDataset {
+    /// Returns the train/test pair, dropping the specification.
+    pub fn into_split(self) -> DatasetSplit {
+        DatasetSplit {
+            train: self.train,
+            test: self.test,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_generate_expected_sizes() {
+        let cifar = SyntheticSpec::cifar10_like().generate(0);
+        assert_eq!(cifar.train.len(), 400);
+        assert_eq!(cifar.test.len(), 100);
+        assert_eq!(cifar.train.image_shape(), vec![3, 16, 16]);
+
+        let celeba = SyntheticSpec::celeba_hq_like().generate(0);
+        assert_eq!(celeba.train.num_classes(), 4);
+        assert_eq!(celeba.train.image_shape(), vec![3, 32, 32]);
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_the_seed() {
+        let a = SyntheticSpec::tiny_for_tests().generate(99);
+        let b = SyntheticSpec::tiny_for_tests().generate(99);
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.test, b.test);
+        let c = SyntheticSpec::tiny_for_tests().generate(100);
+        assert_ne!(a.train, c.train);
+    }
+
+    #[test]
+    fn pixel_values_stay_in_unit_range() {
+        let data = SyntheticSpec::cifar10_like()
+            .with_samples(2, 1)
+            .generate(3);
+        assert!(data.train.images().min() >= 0.0);
+        assert!(data.train.images().max() <= 1.0);
+    }
+
+    #[test]
+    fn every_class_is_represented_in_both_splits() {
+        let data = SyntheticSpec::tiny_for_tests().generate(5);
+        for split in [&data.train, &data.test] {
+            let mut seen = vec![false; split.num_classes()];
+            for &l in split.labels() {
+                seen[l] = true;
+            }
+            assert!(seen.iter().all(|&s| s), "all classes present");
+        }
+    }
+
+    #[test]
+    fn images_of_different_classes_differ_more_than_within_class() {
+        // The class signal must be strong enough for a small CNN to learn:
+        // check that the mean image of class 0 differs from class 1 more than
+        // two random class-0 images differ from each other.
+        let data = SyntheticSpec::cifar10_like()
+            .with_samples(10, 2)
+            .generate(11);
+        let train = &data.train;
+        let of_class = |c: usize| -> Vec<usize> {
+            train
+                .labels()
+                .iter()
+                .enumerate()
+                .filter(|(_, &l)| l == c)
+                .map(|(i, _)| i)
+                .collect()
+        };
+        let mean_image = |idx: &[usize]| {
+            let (images, _) = train.gather(idx);
+            let mut acc = Tensor::zeros(&[1, 3, 16, 16]);
+            for i in 0..images.shape()[0] {
+                acc.add_assign(&images.batch_item(i));
+            }
+            acc.scale(1.0 / images.shape()[0] as f32)
+        };
+        let c0 = of_class(0);
+        let c1 = of_class(1);
+        let m0 = mean_image(&c0);
+        let m1 = mean_image(&c1);
+        let between = m0.sub(&m1).norm();
+        let (im_a, _) = train.gather(&c0[..1]);
+        let (im_b, _) = train.gather(&c0[1..2]);
+        let within = im_a.sub(&im_b).norm();
+        assert!(
+            between > within * 0.5,
+            "between-class distance {between} should be comparable to within-class {within}"
+        );
+    }
+
+    #[test]
+    fn face_family_renders_distinct_attribute_classes() {
+        let spec = SyntheticSpec::celeba_hq_like().with_samples(2, 1);
+        let data = spec.generate(21);
+        let labels = data.train.labels().to_vec();
+        let first_of = |c: usize| labels.iter().position(|&l| l == c).unwrap();
+        let (a, _) = data.train.gather(&[first_of(0)]);
+        let (b, _) = data.train.gather(&[first_of(3)]);
+        assert!(a.sub(&b).norm() > 1.0, "attribute classes must look different");
+    }
+
+    #[test]
+    fn class_colours_are_distinct() {
+        let colours: Vec<[f32; 3]> = (0..10).map(|c| class_colour(c, 10)).collect();
+        for i in 0..10 {
+            for j in (i + 1)..10 {
+                let d: f32 = colours[i]
+                    .iter()
+                    .zip(&colours[j])
+                    .map(|(a, b)| (a - b).abs())
+                    .sum();
+                assert!(d > 0.1, "classes {i} and {j} share a colour");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_sized_spec_is_rejected() {
+        let mut spec = SyntheticSpec::tiny_for_tests();
+        spec.num_classes = 0;
+        let _ = spec.generate(0);
+    }
+
+    #[test]
+    fn into_split_preserves_data() {
+        let data = SyntheticSpec::tiny_for_tests().generate(1);
+        let train_len = data.train.len();
+        let split = data.into_split();
+        assert_eq!(split.train.len(), train_len);
+    }
+}

@@ -1,0 +1,313 @@
+//! The Ensembler inference pipeline (Fig. 2 of the paper).
+
+use crate::{EnsemblerError, Selector};
+use ensembler_data::Dataset;
+use ensembler_metrics::accuracy;
+use ensembler_nn::models::ResNetConfig;
+use ensembler_nn::{Dropout, FixedNoise, Layer, Mode, Sequential};
+use ensembler_tensor::Tensor;
+use rayon::prelude::*;
+
+/// The full Ensembler collaborative-inference pipeline.
+///
+/// * The **client** holds the head `M_c,h` (one convolution plus optional
+///   stem pool), a fixed Gaussian noise pattern, the private [`Selector`]
+///   and the tail classifier `M_c,t`.
+/// * The **server** holds the `N` body networks `M_s^1..M_s^N`.
+///
+/// During inference the client sends `M_c,h(x) + N(0, σ)` to the server, the
+/// server evaluates all `N` bodies and returns their feature maps, and the
+/// client secretly combines `P` of them before running the tail.
+///
+/// The pipeline exposes the pieces an adversarial server legitimately has
+/// access to under the paper's threat model — the bodies
+/// ([`EnsemblerPipeline::bodies_mut`]) and the architecture
+/// ([`EnsemblerPipeline::config`]) — which is what the `ensembler-attack`
+/// crate uses to mount model inversion attacks.
+#[derive(Debug)]
+pub struct EnsemblerPipeline {
+    config: ResNetConfig,
+    head: Sequential,
+    noise: FixedNoise,
+    dropout: Option<Dropout>,
+    bodies: Vec<Sequential>,
+    selector: Selector,
+    tail: Sequential,
+}
+
+impl EnsemblerPipeline {
+    /// Assembles a pipeline from its parts.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the selector's ensemble size differs from the
+    /// number of bodies, or if there are no bodies at all.
+    pub fn new(
+        config: ResNetConfig,
+        head: Sequential,
+        noise: FixedNoise,
+        bodies: Vec<Sequential>,
+        selector: Selector,
+        tail: Sequential,
+    ) -> Result<Self, EnsemblerError> {
+        if bodies.is_empty() {
+            return Err(EnsemblerError::InvalidConfig(
+                "an Ensembler pipeline needs at least one server body".to_string(),
+            ));
+        }
+        if selector.ensemble_size() != bodies.len() {
+            return Err(EnsemblerError::InvalidSelection {
+                selected: selector.active_count(),
+                available: bodies.len(),
+            });
+        }
+        Ok(Self {
+            config,
+            head,
+            noise,
+            dropout: None,
+            bodies,
+            selector,
+            tail,
+        })
+    }
+
+    /// Adds an inference-time dropout layer on the transmitted features (the
+    /// DR-N baseline defence). The dropout stays active in evaluation mode.
+    pub fn with_feature_dropout(mut self, probability: f32, seed: u64) -> Self {
+        let mut dropout = Dropout::new(probability, seed);
+        dropout.set_active_in_eval(true);
+        self.dropout = Some(dropout);
+        self
+    }
+
+    /// The backbone configuration shared by the client and the server.
+    pub fn config(&self) -> &ResNetConfig {
+        &self.config
+    }
+
+    /// The client's private selector.
+    pub fn selector(&self) -> &Selector {
+        &self.selector
+    }
+
+    /// Number of server networks (N).
+    pub fn ensemble_size(&self) -> usize {
+        self.bodies.len()
+    }
+
+    /// The standard deviation of the client's fixed noise.
+    pub fn noise_sigma(&self) -> f32 {
+        self.noise.sigma()
+    }
+
+    /// Mutable access to the server bodies.
+    ///
+    /// Under the paper's threat model the adversarial server owns these
+    /// weights, so the attack crate is given the same access.
+    pub fn bodies_mut(&mut self) -> &mut [Sequential] {
+        &mut self.bodies
+    }
+
+    /// Immutable access to the server bodies.
+    pub fn bodies(&self) -> &[Sequential] {
+        &self.bodies
+    }
+
+    /// Total number of trainable scalars across client and server parts.
+    pub fn parameter_count(&self) -> usize {
+        self.head.parameter_count()
+            + self.tail.parameter_count()
+            + self.bodies.iter().map(Layer::parameter_count).sum::<usize>()
+    }
+
+    /// Computes the features the client transmits for a batch of images:
+    /// `M_c,h(x) + N(0, σ)` (plus dropout if the DR-N defence is enabled).
+    pub fn client_features(&mut self, images: &Tensor) -> Tensor {
+        let features = self.head.forward(images, Mode::Eval);
+        let noisy = self.noise.forward(&features, Mode::Eval);
+        match &mut self.dropout {
+            Some(dropout) => dropout.forward(&noisy, Mode::Eval),
+            None => noisy,
+        }
+    }
+
+    /// Evaluates every server body on the transmitted features, returning the
+    /// `N` per-network feature maps in index order.
+    ///
+    /// The bodies are independent, so they are evaluated in parallel — the
+    /// property the paper uses to argue the `O(N)` server cost parallelises
+    /// away in multi-GPU or multi-party deployments.
+    pub fn server_outputs(&mut self, transmitted: &Tensor) -> Vec<Tensor> {
+        self.bodies
+            .par_iter_mut()
+            .map(|body| body.forward(transmitted, Mode::Eval))
+            .collect()
+    }
+
+    /// Applies the private selector and the client tail to the server's
+    /// feature maps, producing class logits.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the number of feature maps differs from the
+    /// ensemble size.
+    pub fn classify(&mut self, server_maps: &[Tensor]) -> Result<Tensor, EnsemblerError> {
+        let combined = self.selector.combine(server_maps)?;
+        Ok(self.tail.forward(&combined, Mode::Eval))
+    }
+
+    /// Runs the complete collaborative-inference pipeline on a batch of
+    /// images and returns class logits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates selector shape errors (which indicate an inconsistent
+    /// pipeline).
+    pub fn predict(&mut self, images: &Tensor) -> Result<Tensor, EnsemblerError> {
+        let transmitted = self.client_features(images);
+        let maps = self.server_outputs(&transmitted);
+        self.classify(&maps)
+    }
+
+    /// Top-1 accuracy of the pipeline on a dataset, evaluated in mini-batches.
+    ///
+    /// Returns 0 for an empty dataset.
+    pub fn evaluate(&mut self, dataset: &Dataset) -> f32 {
+        if dataset.is_empty() {
+            return 0.0;
+        }
+        let batch_size = 32usize;
+        let mut correct_weighted = 0.0f32;
+        let mut start = 0usize;
+        while start < dataset.len() {
+            let (images, labels) = dataset.batch(start, batch_size);
+            let logits = self
+                .predict(&images)
+                .expect("pipeline shapes are validated at construction");
+            correct_weighted += accuracy(&logits, &labels) * labels.len() as f32;
+            start += batch_size;
+        }
+        correct_weighted / dataset.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ensembler_data::SyntheticSpec;
+    use ensembler_nn::models::{build_body, build_head, build_tail};
+    use ensembler_tensor::Rng;
+
+    fn tiny_pipeline(n: usize, p: usize, seed: u64) -> EnsemblerPipeline {
+        let config = ResNetConfig::tiny_for_tests();
+        let mut rng = Rng::seed_from(seed);
+        let head = build_head(&config, &mut rng);
+        let noise = FixedNoise::new(&config.head_output_shape(), 0.1, &mut rng);
+        let bodies: Vec<Sequential> = (0..n).map(|_| build_body(&config, &mut rng)).collect();
+        let selector = Selector::random(n, p, &mut rng).unwrap();
+        let tail = build_tail(&config, p * config.body_output_features(), &mut rng);
+        EnsemblerPipeline::new(config, head, noise, bodies, selector, tail).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_ensemble_consistency() {
+        let config = ResNetConfig::tiny_for_tests();
+        let mut rng = Rng::seed_from(0);
+        let head = build_head(&config, &mut rng);
+        let noise = FixedNoise::disabled(&config.head_output_shape());
+        let tail = build_tail(&config, config.body_output_features(), &mut rng);
+        let err = EnsemblerPipeline::new(
+            config.clone(),
+            head,
+            noise,
+            vec![],
+            Selector::all(1),
+            tail,
+        )
+        .unwrap_err();
+        assert!(matches!(err, EnsemblerError::InvalidConfig(_)));
+
+        let mut rng = Rng::seed_from(1);
+        let head = build_head(&config, &mut rng);
+        let noise = FixedNoise::disabled(&config.head_output_shape());
+        let tail = build_tail(&config, config.body_output_features(), &mut rng);
+        let bodies = vec![build_body(&config, &mut rng)];
+        let err = EnsemblerPipeline::new(config, head, noise, bodies, Selector::all(3), tail)
+            .unwrap_err();
+        assert!(matches!(err, EnsemblerError::InvalidSelection { .. }));
+    }
+
+    #[test]
+    fn end_to_end_prediction_shapes() {
+        let mut pipeline = tiny_pipeline(3, 2, 42);
+        let images = Tensor::ones(&[4, 3, 8, 8]);
+        let logits = pipeline.predict(&images).unwrap();
+        assert_eq!(logits.shape(), &[4, pipeline.config().num_classes]);
+        assert!(logits.is_finite());
+    }
+
+    #[test]
+    fn client_features_have_the_documented_shape_and_include_noise() {
+        let mut pipeline = tiny_pipeline(2, 1, 7);
+        let expected = pipeline.config().head_output_shape();
+        let images = Tensor::zeros(&[2, 3, 8, 8]);
+        let features = pipeline.client_features(&images);
+        assert_eq!(
+            features.shape(),
+            &[2, expected[0], expected[1], expected[2]]
+        );
+        // With zero input and biases near zero, the transmitted features are
+        // dominated by the fixed noise pattern, so they are not all equal to
+        // the raw head output of zeros.
+        assert!(features.norm() > 0.0);
+        assert!(pipeline.noise_sigma() > 0.0);
+    }
+
+    #[test]
+    fn server_outputs_are_per_network_and_deterministic() {
+        let mut pipeline = tiny_pipeline(3, 2, 11);
+        let images = Tensor::ones(&[2, 3, 8, 8]);
+        let transmitted = pipeline.client_features(&images);
+        let maps_a = pipeline.server_outputs(&transmitted);
+        let maps_b = pipeline.server_outputs(&transmitted);
+        assert_eq!(maps_a.len(), 3);
+        assert_eq!(maps_a, maps_b, "evaluation must be deterministic");
+        let feat = pipeline.config().body_output_features();
+        for map in &maps_a {
+            assert_eq!(map.shape(), &[2, feat]);
+        }
+        // Independently initialised bodies produce different feature maps.
+        assert_ne!(maps_a[0], maps_a[1]);
+    }
+
+    #[test]
+    fn evaluate_returns_a_probability() {
+        let mut pipeline = tiny_pipeline(2, 1, 3);
+        let data = SyntheticSpec::tiny_for_tests().generate(5);
+        let acc = pipeline.evaluate(&data.test);
+        assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    fn feature_dropout_changes_transmitted_features() {
+        let mut plain = tiny_pipeline(2, 1, 9);
+        let mut defended = tiny_pipeline(2, 1, 9).with_feature_dropout(0.5, 123);
+        let images = Tensor::ones(&[1, 3, 8, 8]);
+        let a = plain.client_features(&images);
+        let b = defended.client_features(&images);
+        assert_eq!(a.shape(), b.shape());
+        assert_ne!(a, b, "dropout must perturb the transmitted features");
+        let zeros = b.data().iter().filter(|v| **v == 0.0).count();
+        assert!(zeros > 0, "some activations must be dropped");
+    }
+
+    #[test]
+    fn parameter_count_grows_with_ensemble_size() {
+        let small = tiny_pipeline(2, 1, 1);
+        let large = tiny_pipeline(4, 1, 1);
+        assert!(large.parameter_count() > small.parameter_count());
+        assert_eq!(small.ensemble_size(), 2);
+        assert_eq!(large.ensemble_size(), 4);
+    }
+}

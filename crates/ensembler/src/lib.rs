@@ -1,0 +1,58 @@
+//! Ensembler: a selective-ensemble defence for collaborative inference
+//! against model inversion attacks.
+//!
+//! This crate is the Rust reproduction of the framework proposed in
+//! *"Ensembler: Protect Collaborative Inference Privacy from Model Inversion
+//! Attack via Selective Ensemble"* (Liu et al., DAC 2025). It builds on the
+//! workspace substrates (`ensembler-tensor`, `ensembler-nn`,
+//! `ensembler-data`, `ensembler-metrics`) and provides:
+//!
+//! * [`split`] — the classic collaborative-inference split: client head
+//!   `M_c,h`, server body `M_s`, client tail `M_c,t`, plus the wire format
+//!   used to ship intermediate features to the server.
+//! * [`selector`] — the client's private [`Selector`] that activates `P` of
+//!   the `N` server networks and concatenates their scaled outputs (Eq. 1).
+//! * [`framework`] — [`EnsemblerPipeline`], the N-network inference pipeline
+//!   of Fig. 2.
+//! * [`trainer`] — the three-stage training procedure (Sec. III-C) including
+//!   the cosine-similarity regularizer of Eq. 3.
+//! * [`defenses`] — the baselines the paper compares against: no protection,
+//!   a single noisy network, Shredder-style learned noise, and the dropout
+//!   defences DR-single / DR-N.
+//!
+//! # Examples
+//!
+//! Train a small Ensembler end to end on synthetic data:
+//!
+//! ```
+//! use ensembler::{EnsemblerTrainer, TrainConfig};
+//! use ensembler_data::SyntheticSpec;
+//! use ensembler_nn::models::ResNetConfig;
+//!
+//! let data = SyntheticSpec::tiny_for_tests().generate(1);
+//! let trainer = EnsemblerTrainer::new(
+//!     ResNetConfig::tiny_for_tests(),
+//!     TrainConfig::fast_for_tests(),
+//! );
+//! let trained = trainer.train(3, 2, &data.train)?;
+//! let mut pipeline = trained.into_pipeline();
+//! let accuracy = pipeline.evaluate(&data.test);
+//! assert!((0.0..=1.0).contains(&accuracy));
+//! # Ok::<(), ensembler::EnsemblerError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod defenses;
+mod error;
+pub mod framework;
+pub mod selector;
+pub mod split;
+pub mod trainer;
+
+pub use defenses::{DefenseKind, SinglePipeline};
+pub use error::EnsemblerError;
+pub use framework::EnsemblerPipeline;
+pub use selector::Selector;
+pub use split::{decode_features, encode_features, SplitFeatures};
+pub use trainer::{EnsemblerTrainer, StageOneNetwork, TrainConfig, TrainReport, TrainedEnsembler};

@@ -1,0 +1,209 @@
+//! The collaborative-inference split and the wire format for intermediate
+//! features.
+//!
+//! In the paper's setting the client computes `M_c,h(x) + N(0, σ)` locally and
+//! ships the resulting feature map to the server. This module provides the
+//! byte-level encoding of that payload (used both by the latency accounting in
+//! Table III and by tests that exercise a realistic client/server boundary)
+//! together with a small wrapper type describing what travels on the wire.
+
+use crate::EnsemblerError;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use ensembler_tensor::Tensor;
+
+/// Magic bytes prefixed to every feature payload so stray buffers are
+/// rejected early.
+const WIRE_MAGIC: u32 = 0x454E_5342; // "ENSB"
+
+/// An intermediate-feature payload as it travels from the client to the
+/// server.
+///
+/// # Examples
+///
+/// ```
+/// use ensembler::SplitFeatures;
+/// use ensembler_tensor::Tensor;
+///
+/// let features = Tensor::ones(&[2, 4, 8, 8]);
+/// let payload = SplitFeatures::new(features.clone());
+/// // 4-byte magic + 4-byte rank + four 4-byte dims + f32 data
+/// assert_eq!(payload.byte_len(), 4 + 4 + 4 * 4 + 4 * features.len());
+/// let decoded = payload.round_trip()?;
+/// assert_eq!(decoded, features);
+/// # Ok::<(), ensembler::EnsemblerError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SplitFeatures {
+    features: Tensor,
+}
+
+impl SplitFeatures {
+    /// Wraps a feature tensor for transmission.
+    pub fn new(features: Tensor) -> Self {
+        Self { features }
+    }
+
+    /// The wrapped feature tensor.
+    pub fn features(&self) -> &Tensor {
+        &self.features
+    }
+
+    /// Consumes the wrapper, returning the tensor.
+    pub fn into_features(self) -> Tensor {
+        self.features
+    }
+
+    /// Number of bytes this payload occupies on the wire.
+    pub fn byte_len(&self) -> usize {
+        // magic + rank + dims + f32 data
+        4 + 4 + 4 * self.features.rank() + 4 * self.features.len()
+    }
+
+    /// Encodes the payload into a byte buffer.
+    pub fn encode(&self) -> Bytes {
+        encode_features(&self.features)
+    }
+
+    /// Encodes and immediately decodes the payload, returning the tensor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`EnsemblerError::WireFormat`] error from decoding,
+    /// which indicates an internal inconsistency.
+    pub fn round_trip(&self) -> Result<Tensor, EnsemblerError> {
+        decode_features(&self.encode())
+    }
+}
+
+/// Serialises a tensor into the client→server wire format: a magic word, the
+/// rank, the dimensions and the raw little-endian `f32` data.
+pub fn encode_features(features: &Tensor) -> Bytes {
+    let mut buf = BytesMut::with_capacity(8 + 4 * features.rank() + 4 * features.len());
+    buf.put_u32(WIRE_MAGIC);
+    buf.put_u32(features.rank() as u32);
+    for &d in features.shape() {
+        buf.put_u32(d as u32);
+    }
+    for &v in features.data() {
+        buf.put_f32_le(v);
+    }
+    buf.freeze()
+}
+
+/// Decodes a payload produced by [`encode_features`].
+///
+/// # Errors
+///
+/// Returns [`EnsemblerError::WireFormat`] if the buffer is truncated, the
+/// magic word is wrong, or the declared shape disagrees with the payload
+/// length.
+pub fn decode_features(mut payload: &[u8]) -> Result<Tensor, EnsemblerError> {
+    if payload.len() < 8 {
+        return Err(EnsemblerError::WireFormat(format!(
+            "payload of {} bytes is too short for a header",
+            payload.len()
+        )));
+    }
+    let magic = payload.get_u32();
+    if magic != WIRE_MAGIC {
+        return Err(EnsemblerError::WireFormat(format!(
+            "bad magic word {magic:#010x}"
+        )));
+    }
+    let rank = payload.get_u32() as usize;
+    if rank > 8 {
+        return Err(EnsemblerError::WireFormat(format!(
+            "implausible tensor rank {rank}"
+        )));
+    }
+    if payload.len() < 4 * rank {
+        return Err(EnsemblerError::WireFormat(
+            "payload truncated inside the shape header".to_string(),
+        ));
+    }
+    let mut shape = Vec::with_capacity(rank);
+    for _ in 0..rank {
+        shape.push(payload.get_u32() as usize);
+    }
+    let expected: usize = shape.iter().product();
+    if payload.len() != 4 * expected {
+        return Err(EnsemblerError::WireFormat(format!(
+            "expected {expected} f32 values, found {} bytes",
+            payload.len()
+        )));
+    }
+    let mut data = Vec::with_capacity(expected);
+    for _ in 0..expected {
+        data.push(payload.get_f32_le());
+    }
+    Tensor::from_vec(data, &shape).map_err(|e| EnsemblerError::WireFormat(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ensembler_tensor::Rng;
+
+    #[test]
+    fn encode_decode_round_trips_exactly() {
+        let mut rng = Rng::seed_from(0);
+        let t = Tensor::from_fn(&[2, 3, 4, 4], |_| rng.normal());
+        let bytes = encode_features(&t);
+        let back = decode_features(&bytes).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn byte_length_matches_encoding() {
+        let t = Tensor::ones(&[1, 16, 8, 8]);
+        let payload = SplitFeatures::new(t);
+        assert_eq!(payload.encode().len(), payload.byte_len());
+    }
+
+    #[test]
+    fn paper_sized_payload_is_about_64kib_per_image() {
+        // CIFAR-10 intermediate features in the paper are [64, 16, 16] f32,
+        // i.e. 64 KiB per image before any compression.
+        let t = Tensor::zeros(&[1, 64, 16, 16]);
+        let payload = SplitFeatures::new(t);
+        let body_bytes = 4 * 64 * 16 * 16;
+        assert!(payload.byte_len() >= body_bytes);
+        assert!(payload.byte_len() < body_bytes + 64);
+    }
+
+    #[test]
+    fn truncated_payloads_are_rejected() {
+        let t = Tensor::ones(&[2, 2]);
+        let bytes = encode_features(&t);
+        assert!(decode_features(&bytes[..bytes.len() - 3]).is_err());
+        assert!(decode_features(&bytes[..5]).is_err());
+        assert!(decode_features(&[]).is_err());
+    }
+
+    #[test]
+    fn wrong_magic_is_rejected() {
+        let t = Tensor::ones(&[2, 2]);
+        let mut bytes = encode_features(&t).to_vec();
+        bytes[0] ^= 0xFF;
+        let err = decode_features(&bytes).unwrap_err();
+        assert!(matches!(err, EnsemblerError::WireFormat(_)));
+    }
+
+    #[test]
+    fn implausible_rank_is_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32(WIRE_MAGIC);
+        buf.put_u32(99);
+        let err = decode_features(&buf).unwrap_err();
+        assert!(err.to_string().contains("rank"));
+    }
+
+    #[test]
+    fn accessors_expose_the_tensor() {
+        let t = Tensor::ones(&[1, 2]);
+        let payload = SplitFeatures::new(t.clone());
+        assert_eq!(payload.features(), &t);
+        assert_eq!(payload.round_trip().unwrap(), t);
+        assert_eq!(payload.into_features(), t);
+    }
+}

@@ -1,0 +1,176 @@
+//! FLOP and byte accounting for the split backbone.
+
+use ensembler_nn::models::ResNetConfig;
+use serde::{Deserialize, Serialize};
+
+/// Cost of a single layer: floating-point operations (multiply-accumulates
+/// counted as two FLOPs) and the size of its output activation in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerCost {
+    /// Floating-point operations for one sample.
+    pub flops: u64,
+    /// Output activation size for one sample, in bytes (f32).
+    pub output_bytes: u64,
+}
+
+impl LayerCost {
+    /// Cost of a `k x k` convolution producing `out_c x out_h x out_w` from
+    /// `in_c` channels.
+    pub fn conv2d(in_c: usize, out_c: usize, kernel: usize, out_h: usize, out_w: usize) -> Self {
+        let macs = (in_c * kernel * kernel * out_c * out_h * out_w) as u64;
+        Self {
+            flops: 2 * macs,
+            output_bytes: (4 * out_c * out_h * out_w) as u64,
+        }
+    }
+
+    /// Cost of a fully-connected layer.
+    pub fn linear(in_features: usize, out_features: usize) -> Self {
+        Self {
+            flops: 2 * (in_features * out_features) as u64,
+            output_bytes: (4 * out_features) as u64,
+        }
+    }
+
+    /// Cost of a batch-norm + activation pass over a feature map (elementwise).
+    pub fn elementwise(channels: usize, h: usize, w: usize) -> Self {
+        Self {
+            flops: (4 * channels * h * w) as u64,
+            output_bytes: (4 * channels * h * w) as u64,
+        }
+    }
+}
+
+/// Per-partition cost of the split backbone for a single sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetworkCost {
+    /// FLOPs executed by the client head (`M_c,h`).
+    pub head_flops: u64,
+    /// FLOPs executed by one server body (`M_s^i`).
+    pub body_flops: u64,
+    /// FLOPs executed by the client tail (`M_c,t`) for a single-network
+    /// feature vector.
+    pub tail_flops: u64,
+    /// Bytes of the intermediate feature map the client uploads.
+    pub upload_bytes: u64,
+    /// Bytes of the feature vector one server network returns.
+    pub return_bytes: u64,
+}
+
+impl NetworkCost {
+    /// Total client FLOPs (head plus tail) for a single network.
+    pub fn client_flops(&self) -> u64 {
+        self.head_flops + self.tail_flops
+    }
+}
+
+/// Computes the per-sample split costs of a backbone configuration.
+///
+/// The accounting walks the same structure `ensembler-nn` builds: a stem
+/// convolution (plus optional pool) on the client, residual stages plus
+/// global pooling on the server, and a linear classifier back on the client.
+pub fn network_cost(config: &ResNetConfig) -> NetworkCost {
+    let head_shape = config.head_output_shape();
+    let (head_c, head_h, head_w) = (head_shape[0], head_shape[1], head_shape[2]);
+
+    // Client head: stem conv at full image resolution (+ pooling is free by
+    // comparison and ignored).
+    let stem = LayerCost::conv2d(
+        config.input_channels,
+        config.stem_channels,
+        3,
+        config.image_size,
+        config.image_size,
+    );
+    let head_flops = stem.flops;
+
+    // Server body: residual stages.
+    let mut body_flops = 0u64;
+    let mut in_c = config.stem_channels;
+    let mut h = head_h;
+    let mut w = head_w;
+    for (stage_idx, &out_c) in config.stage_channels.iter().enumerate() {
+        for block_idx in 0..config.blocks_per_stage {
+            let stride = if stage_idx > 0 && block_idx == 0 { 2 } else { 1 };
+            if stride == 2 {
+                h /= 2;
+                w /= 2;
+            }
+            let conv1 = LayerCost::conv2d(in_c, out_c, 3, h, w);
+            let conv2 = LayerCost::conv2d(out_c, out_c, 3, h, w);
+            let bn_relu = LayerCost::elementwise(out_c, h, w);
+            body_flops += conv1.flops + conv2.flops + 2 * bn_relu.flops;
+            if stride == 2 || in_c != out_c {
+                body_flops += LayerCost::conv2d(in_c, out_c, 1, h, w).flops;
+            }
+            in_c = out_c;
+        }
+    }
+    // Global average pooling.
+    body_flops += (in_c * h * w) as u64;
+
+    // Client tail: linear classifier on one network's features.
+    let tail = LayerCost::linear(config.body_output_features(), config.num_classes);
+
+    NetworkCost {
+        head_flops,
+        body_flops,
+        tail_flops: tail.flops,
+        upload_bytes: (4 * head_c * head_h * head_w) as u64,
+        return_bytes: (4 * config.body_output_features()) as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_cost_matches_hand_computation() {
+        // 3 -> 64 channels, 3x3, 32x32 output: 64*3*9*32*32 MACs.
+        let cost = LayerCost::conv2d(3, 64, 3, 32, 32);
+        assert_eq!(cost.flops, 2 * 64 * 3 * 9 * 32 * 32);
+        assert_eq!(cost.output_bytes, 4 * 64 * 32 * 32);
+    }
+
+    #[test]
+    fn linear_and_elementwise_costs() {
+        assert_eq!(LayerCost::linear(512, 10).flops, 2 * 5120);
+        assert_eq!(LayerCost::elementwise(16, 8, 8).output_bytes, 4 * 16 * 64);
+    }
+
+    #[test]
+    fn paper_resnet18_upload_matches_the_reported_feature_size() {
+        // The paper states the CIFAR-10 intermediate feature map is
+        // [64 x 16 x 16]: 64 KiB of f32 per image.
+        let config = ResNetConfig::paper_resnet18(10, 32, true);
+        let cost = network_cost(&config);
+        assert_eq!(cost.upload_bytes, 4 * 64 * 16 * 16);
+        assert_eq!(cost.return_bytes, 4 * 512);
+    }
+
+    #[test]
+    fn server_dominates_client_compute() {
+        // The whole point of collaborative inference: the server body carries
+        // far more FLOPs than the single client convolution.
+        let config = ResNetConfig::paper_resnet18(10, 32, true);
+        let cost = network_cost(&config);
+        assert!(cost.body_flops > 10 * cost.head_flops);
+        assert!(cost.client_flops() < cost.body_flops);
+    }
+
+    #[test]
+    fn removing_the_stem_pool_increases_upload_and_body_cost() {
+        let pooled = network_cost(&ResNetConfig::paper_resnet18(100, 32, true));
+        let unpooled = network_cost(&ResNetConfig::paper_resnet18(100, 32, false));
+        assert_eq!(unpooled.upload_bytes, 4 * pooled.upload_bytes);
+        assert!(unpooled.body_flops > pooled.body_flops);
+    }
+
+    #[test]
+    fn micro_config_costs_scale_down() {
+        let micro = network_cost(&ResNetConfig::cifar10_like());
+        let paper = network_cost(&ResNetConfig::paper_resnet18(10, 32, true));
+        assert!(micro.body_flops < paper.body_flops / 100);
+    }
+}

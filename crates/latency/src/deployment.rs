@@ -1,0 +1,157 @@
+//! Device and network profiles describing a collaborative-inference testbed.
+
+use serde::{Deserialize, Serialize};
+
+/// Throughput model of one compute device.
+///
+/// `effective_flops` is the *sustained* throughput observed for the small
+/// convolutional workloads of split inference, not the datasheet peak — the
+/// defaults are calibrated so the standard-CI row of Table III comes out
+/// close to the paper's measurement (0.66 s client / 0.98 s server for a
+/// 128-image ResNet-18 batch).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceProfile {
+    /// Human-readable device name.
+    pub name: String,
+    /// Sustained floating-point throughput in FLOP/s.
+    pub effective_flops: f64,
+    /// Fixed overhead per network launch (kernel dispatch, scheduling) per
+    /// batch, in seconds.
+    pub launch_overhead_s: f64,
+    /// How many independent networks the device can execute concurrently
+    /// without slowdown (GPU streams / multi-core slack).
+    pub concurrent_streams: usize,
+}
+
+impl DeviceProfile {
+    /// Raspberry-Pi-class edge client.
+    pub fn raspberry_pi() -> Self {
+        Self {
+            name: "raspberry-pi-4".to_string(),
+            effective_flops: 0.7e9,
+            launch_overhead_s: 0.005,
+            concurrent_streams: 1,
+        }
+    }
+
+    /// A6000-class inference server.
+    pub fn a6000_server() -> Self {
+        Self {
+            name: "a6000-server".to_string(),
+            effective_flops: 36.0e9,
+            launch_overhead_s: 0.005,
+            concurrent_streams: 16,
+        }
+    }
+
+    /// Time to execute `flops` floating-point operations once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile's throughput is not positive.
+    pub fn compute_time_s(&self, flops: f64) -> f64 {
+        assert!(self.effective_flops > 0.0, "throughput must be positive");
+        flops / self.effective_flops
+    }
+}
+
+/// Asymmetric network link between the client and the server.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkProfile {
+    /// Client-to-server bandwidth in bytes per second.
+    pub uplink_bytes_per_s: f64,
+    /// Server-to-client bandwidth in bytes per second.
+    pub downlink_bytes_per_s: f64,
+    /// One-way latency in seconds.
+    pub latency_s: f64,
+}
+
+impl LinkProfile {
+    /// The constrained wired/embedded link of the paper's testbed.
+    pub fn paper_lan() -> Self {
+        Self {
+            uplink_bytes_per_s: 3.8e6,
+            downlink_bytes_per_s: 16.0e6,
+            latency_s: 0.01,
+        }
+    }
+
+    /// Transfer time for an upload followed by a download.
+    pub fn round_trip_s(&self, upload_bytes: f64, download_bytes: f64) -> f64 {
+        upload_bytes / self.uplink_bytes_per_s
+            + download_bytes / self.downlink_bytes_per_s
+            + 2.0 * self.latency_s
+    }
+}
+
+/// A complete deployment: edge device, server device and the link between
+/// them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeploymentProfile {
+    /// The client (edge) device.
+    pub edge: DeviceProfile,
+    /// The server device.
+    pub server: DeviceProfile,
+    /// The network link.
+    pub link: LinkProfile,
+}
+
+impl DeploymentProfile {
+    /// The Raspberry-Pi + A6000 + wired-LAN testbed of the paper.
+    pub fn paper_testbed() -> Self {
+        Self {
+            edge: DeviceProfile::raspberry_pi(),
+            server: DeviceProfile::a6000_server(),
+            link: LinkProfile::paper_lan(),
+        }
+    }
+}
+
+impl Default for DeploymentProfile {
+    fn default() -> Self {
+        Self::paper_testbed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_compute_time_scales_linearly() {
+        let pi = DeviceProfile::raspberry_pi();
+        let t1 = pi.compute_time_s(1e9);
+        let t2 = pi.compute_time_s(2e9);
+        assert!((t2 - 2.0 * t1).abs() < 1e-9);
+        assert!(t1 > 1.0, "a Pi needs more than a second for a GFLOP");
+    }
+
+    #[test]
+    fn server_is_much_faster_than_edge() {
+        let pi = DeviceProfile::raspberry_pi();
+        let gpu = DeviceProfile::a6000_server();
+        assert!(gpu.effective_flops > 20.0 * pi.effective_flops);
+        assert!(gpu.concurrent_streams > pi.concurrent_streams);
+    }
+
+    #[test]
+    fn link_round_trip_includes_both_directions_and_latency() {
+        let link = LinkProfile::paper_lan();
+        let t = link.round_trip_s(3.8e6, 16.0e6);
+        // One second each direction plus two one-way latencies.
+        assert!((t - (1.0 + 1.0 + 0.02)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn default_profile_is_the_paper_testbed() {
+        assert_eq!(DeploymentProfile::default(), DeploymentProfile::paper_testbed());
+    }
+
+    #[test]
+    #[should_panic(expected = "throughput must be positive")]
+    fn zero_throughput_is_rejected() {
+        let mut profile = DeviceProfile::raspberry_pi();
+        profile.effective_flops = 0.0;
+        let _ = profile.compute_time_s(1.0);
+    }
+}

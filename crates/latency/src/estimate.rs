@@ -1,0 +1,249 @@
+//! End-to-end latency estimates for the deployments compared in Table III.
+
+use crate::cost::network_cost;
+use crate::deployment::DeploymentProfile;
+use ensembler_nn::models::ResNetConfig;
+use serde::{Deserialize, Serialize};
+
+/// Slowdown of the STAMP encrypted-inference baseline relative to plain
+/// collaborative inference, calibrated from the totals the paper reports
+/// (309.7 s vs 3.94 s for the same ResNet-18 batch).
+const STAMP_SLOWDOWN: f64 = 309.7 / 3.94;
+
+/// Per-component latency of one inference batch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyBreakdown {
+    /// Time spent computing on the client, in seconds.
+    pub client_s: f64,
+    /// Time spent computing on the server, in seconds.
+    pub server_s: f64,
+    /// Time spent moving data between client and server, in seconds.
+    pub communication_s: f64,
+}
+
+impl LatencyBreakdown {
+    /// Total end-to-end latency.
+    pub fn total(&self) -> f64 {
+        self.client_s + self.server_s + self.communication_s
+    }
+
+    /// Relative overhead of `self` with respect to a baseline breakdown.
+    pub fn overhead_vs(&self, baseline: &LatencyBreakdown) -> f64 {
+        (self.total() - baseline.total()) / baseline.total()
+    }
+}
+
+/// Latency of a standard (single-network) collaborative-inference batch.
+///
+/// # Panics
+///
+/// Panics if `batch` is zero.
+pub fn estimate_standard_ci(
+    config: &ResNetConfig,
+    batch: usize,
+    deployment: &DeploymentProfile,
+) -> LatencyBreakdown {
+    assert!(batch > 0, "batch size must be positive");
+    let cost = network_cost(config);
+    let b = batch as f64;
+
+    let client_flops = (cost.head_flops + cost.tail_flops) as f64 * b;
+    let server_flops = cost.body_flops as f64 * b;
+
+    LatencyBreakdown {
+        client_s: deployment.edge.compute_time_s(client_flops) + deployment.edge.launch_overhead_s,
+        server_s: deployment.server.compute_time_s(server_flops)
+            + deployment.server.launch_overhead_s,
+        communication_s: deployment
+            .link
+            .round_trip_s(cost.upload_bytes as f64 * b, cost.return_bytes as f64 * b),
+    }
+}
+
+/// Latency of an Ensembler batch with `ensemble_size` server networks of
+/// which `selected` are activated by the client, running on `server_count`
+/// identical server machines.
+///
+/// The client uploads its features once per server machine; every server
+/// network returns its (small) feature vector; the client tail consumes the
+/// `selected` concatenated vectors.
+///
+/// # Panics
+///
+/// Panics if `batch`, `ensemble_size`, `selected` or `server_count` is zero,
+/// or if `selected > ensemble_size`.
+pub fn estimate_ensembler(
+    config: &ResNetConfig,
+    batch: usize,
+    ensemble_size: usize,
+    selected: usize,
+    deployment: &DeploymentProfile,
+) -> LatencyBreakdown {
+    estimate_ensembler_multi_server(config, batch, ensemble_size, selected, 1, deployment)
+}
+
+/// [`estimate_ensembler`] generalised to several server machines working in
+/// parallel (the multi-party deployment of Sec. III-D).
+///
+/// # Panics
+///
+/// See [`estimate_ensembler`].
+pub fn estimate_ensembler_multi_server(
+    config: &ResNetConfig,
+    batch: usize,
+    ensemble_size: usize,
+    selected: usize,
+    server_count: usize,
+    deployment: &DeploymentProfile,
+) -> LatencyBreakdown {
+    assert!(batch > 0, "batch size must be positive");
+    assert!(ensemble_size > 0, "ensemble size must be positive");
+    assert!(server_count > 0, "server count must be positive");
+    assert!(
+        selected > 0 && selected <= ensemble_size,
+        "selected must be in 1..=ensemble_size"
+    );
+    let cost = network_cost(config);
+    let b = batch as f64;
+
+    // Client: head once, tail over the `selected` concatenated feature maps.
+    let client_flops = (cost.head_flops + cost.tail_flops * selected as u64) as f64 * b;
+    let client_s =
+        deployment.edge.compute_time_s(client_flops) + deployment.edge.launch_overhead_s;
+
+    // Server: N bodies spread over the machines; each machine runs its share
+    // in rounds of `concurrent_streams` networks.
+    let per_machine = ensemble_size.div_ceil(server_count);
+    let rounds = per_machine.div_ceil(deployment.server.concurrent_streams.max(1)) as f64;
+    let server_s = deployment
+        .server
+        .compute_time_s(cost.body_flops as f64 * b)
+        * rounds
+        + deployment.server.launch_overhead_s * ensemble_size as f64;
+
+    // Communication: the feature map goes to every machine; all N return
+    // vectors come back.
+    let upload = cost.upload_bytes as f64 * b * server_count as f64;
+    let download = cost.return_bytes as f64 * b * ensemble_size as f64;
+    let communication_s = deployment.link.round_trip_s(upload, download);
+
+    LatencyBreakdown {
+        client_s,
+        server_s,
+        communication_s,
+    }
+}
+
+/// Latency of a STAMP-style encrypted-inference baseline on the same
+/// workload.
+///
+/// STAMP is closed hardware-assisted software; the paper only reports its
+/// end-to-end total, so this model scales the plain collaborative-inference
+/// estimate by the slowdown factor derived from those published totals. The
+/// per-component split is therefore indicative only.
+pub fn estimate_stamp(
+    config: &ResNetConfig,
+    batch: usize,
+    deployment: &DeploymentProfile,
+) -> LatencyBreakdown {
+    let standard = estimate_standard_ci(config, batch, deployment);
+    LatencyBreakdown {
+        client_s: standard.client_s * STAMP_SLOWDOWN,
+        server_s: standard.server_s * STAMP_SLOWDOWN,
+        communication_s: standard.communication_s * STAMP_SLOWDOWN,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_setup() -> (ResNetConfig, DeploymentProfile) {
+        (
+            ResNetConfig::paper_resnet18(10, 32, true),
+            DeploymentProfile::paper_testbed(),
+        )
+    }
+
+    #[test]
+    fn standard_ci_matches_the_papers_order_of_magnitude() {
+        let (config, deployment) = paper_setup();
+        let t = estimate_standard_ci(&config, 128, &deployment);
+        // Paper: client 0.66 s, server 0.98 s, communication 2.30 s, total 3.94 s.
+        assert!((0.3..1.2).contains(&t.client_s), "client {}", t.client_s);
+        assert!((0.4..2.0).contains(&t.server_s), "server {}", t.server_s);
+        assert!(
+            (1.5..3.5).contains(&t.communication_s),
+            "comm {}",
+            t.communication_s
+        );
+        assert!((2.5..6.0).contains(&t.total()), "total {}", t.total());
+        // Communication dominates, as the paper observes.
+        assert!(t.communication_s > t.client_s);
+        assert!(t.communication_s > t.server_s);
+    }
+
+    #[test]
+    fn ensembler_overhead_is_small_and_dominated_by_communication() {
+        let (config, deployment) = paper_setup();
+        let standard = estimate_standard_ci(&config, 128, &deployment);
+        let ensembler = estimate_ensembler(&config, 128, 10, 4, &deployment);
+        let overhead = ensembler.overhead_vs(&standard);
+        assert!(
+            (0.0..0.20).contains(&overhead),
+            "overhead should be a few percent, got {overhead}"
+        );
+        let comm_increase = ensembler.communication_s - standard.communication_s;
+        let server_increase = ensembler.server_s - standard.server_s;
+        assert!(
+            comm_increase > server_increase,
+            "communication should contribute the larger share of the overhead"
+        );
+        // Client-side cost is essentially unchanged.
+        assert!((ensembler.client_s - standard.client_s).abs() < 0.05 * standard.client_s);
+    }
+
+    #[test]
+    fn stamp_is_orders_of_magnitude_slower() {
+        let (config, deployment) = paper_setup();
+        let standard = estimate_standard_ci(&config, 128, &deployment);
+        let stamp = estimate_stamp(&config, 128, &deployment);
+        let ratio = stamp.total() / standard.total();
+        assert!(
+            (50.0..120.0).contains(&ratio),
+            "STAMP should be ~80x slower, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn multi_server_deployment_reduces_server_time_not_upload() {
+        let (config, deployment) = paper_setup();
+        let single = estimate_ensembler_multi_server(&config, 128, 32, 4, 1, &deployment);
+        let quad = estimate_ensembler_multi_server(&config, 128, 32, 4, 4, &deployment);
+        assert!(quad.server_s <= single.server_s);
+        assert!(quad.communication_s >= single.communication_s);
+    }
+
+    #[test]
+    fn latency_scales_linearly_with_batch_size() {
+        let (config, deployment) = paper_setup();
+        let b64 = estimate_standard_ci(&config, 64, &deployment);
+        let b128 = estimate_standard_ci(&config, 128, &deployment);
+        let ratio = b128.communication_s / b64.communication_s;
+        assert!((1.8..2.1).contains(&ratio));
+    }
+
+    #[test]
+    fn overhead_vs_is_zero_against_itself() {
+        let (config, deployment) = paper_setup();
+        let t = estimate_standard_ci(&config, 16, &deployment);
+        assert!(t.overhead_vs(&t).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "selected must be in")]
+    fn invalid_selection_is_rejected() {
+        let (config, deployment) = paper_setup();
+        let _ = estimate_ensembler(&config, 1, 4, 5, &deployment);
+    }
+}

@@ -1,0 +1,44 @@
+//! Analytic latency and deployment-cost model for collaborative inference.
+//!
+//! The paper's Table III measures wall-clock time for a 128-image batch on a
+//! physical testbed (Raspberry Pi client, A6000 server, wired LAN) for three
+//! deployments: standard collaborative inference, Ensembler, and the
+//! encryption-based STAMP system. This crate reproduces the *shape* of that
+//! table with an analytic cost model:
+//!
+//! * [`cost`] counts the floating-point work and the bytes that cross the
+//!   network for a given backbone configuration;
+//! * [`deployment`] describes device throughput and link characteristics,
+//!   with a profile calibrated to the paper's testbed;
+//! * [`estimate`] combines the two into per-component latencies for standard
+//!   CI, Ensembler (with a configurable number of parallel server workers)
+//!   and a STAMP-style encrypted baseline.
+//!
+//! # Examples
+//!
+//! ```
+//! use ensembler_latency::{estimate_ensembler, estimate_standard_ci, DeploymentProfile};
+//! use ensembler_nn::models::ResNetConfig;
+//!
+//! let config = ResNetConfig::paper_resnet18(10, 32, true);
+//! let deployment = DeploymentProfile::paper_testbed();
+//! let standard = estimate_standard_ci(&config, 128, &deployment);
+//! let ensembler = estimate_ensembler(&config, 128, 10, 1, &deployment);
+//! assert!(ensembler.total() > standard.total());
+//! // The overhead stays small because the extra work is server-side and the
+//! // extra communication is only the N small return payloads.
+//! assert!(ensembler.total() < standard.total() * 1.5);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod deployment;
+pub mod estimate;
+
+pub use cost::{network_cost, LayerCost, NetworkCost};
+pub use deployment::{DeploymentProfile, DeviceProfile, LinkProfile};
+pub use estimate::{
+    estimate_ensembler, estimate_ensembler_multi_server, estimate_stamp, estimate_standard_ci,
+    LatencyBreakdown,
+};

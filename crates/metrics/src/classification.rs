@@ -1,0 +1,166 @@
+//! Classification metrics: top-1 / top-k accuracy and confusion counts.
+
+use ensembler_tensor::Tensor;
+
+/// Top-1 accuracy of a `[batch, classes]` logit (or probability) matrix
+/// against integer targets, in `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `logits` is not rank-2 or `targets.len()` differs from the batch
+/// size.
+///
+/// # Examples
+///
+/// ```
+/// use ensembler_metrics::accuracy;
+/// use ensembler_tensor::Tensor;
+///
+/// let logits = Tensor::from_vec(vec![2.0, -1.0, 0.0, 3.0], &[2, 2])?;
+/// assert_eq!(accuracy(&logits, &[0, 1]), 1.0);
+/// assert_eq!(accuracy(&logits, &[1, 1]), 0.5);
+/// # Ok::<(), ensembler_tensor::ShapeError>(())
+/// ```
+pub fn accuracy(logits: &Tensor, targets: &[usize]) -> f32 {
+    assert_eq!(logits.rank(), 2, "accuracy expects [batch, classes] logits");
+    assert_eq!(
+        logits.shape()[0],
+        targets.len(),
+        "one target per sample required"
+    );
+    if targets.is_empty() {
+        return 0.0;
+    }
+    let predictions = logits.argmax_rows();
+    let correct = predictions
+        .iter()
+        .zip(targets)
+        .filter(|(p, t)| p == t)
+        .count();
+    correct as f32 / targets.len() as f32
+}
+
+/// Top-k accuracy: the fraction of samples whose true class is among the `k`
+/// highest-scoring classes.
+///
+/// # Panics
+///
+/// Panics if `k` is zero, larger than the class count, or the shapes are
+/// inconsistent.
+pub fn top_k_accuracy(logits: &Tensor, targets: &[usize], k: usize) -> f32 {
+    assert_eq!(logits.rank(), 2, "top_k_accuracy expects [batch, classes]");
+    let (batch, classes) = (logits.shape()[0], logits.shape()[1]);
+    assert_eq!(batch, targets.len(), "one target per sample required");
+    assert!(k > 0 && k <= classes, "k must be in 1..=classes");
+    if targets.is_empty() {
+        return 0.0;
+    }
+    let mut correct = 0usize;
+    for (n, &t) in targets.iter().enumerate() {
+        let row = &logits.data()[n * classes..(n + 1) * classes];
+        let target_score = row[t];
+        // The target is in the top k iff fewer than k classes strictly beat it.
+        let better = row.iter().filter(|&&v| v > target_score).count();
+        if better < k {
+            correct += 1;
+        }
+    }
+    correct as f32 / batch as f32
+}
+
+/// Per-class (correct, total) counts, useful for inspecting which synthetic
+/// classes a defended model sacrifices.
+///
+/// # Panics
+///
+/// Panics if the shapes are inconsistent or a target index is out of range.
+pub fn confusion_counts(logits: &Tensor, targets: &[usize], num_classes: usize) -> Vec<(usize, usize)> {
+    assert_eq!(logits.rank(), 2, "confusion_counts expects [batch, classes]");
+    assert_eq!(logits.shape()[0], targets.len(), "one target per sample");
+    assert!(
+        targets.iter().all(|&t| t < num_classes),
+        "target class out of range"
+    );
+    let predictions = logits.argmax_rows();
+    let mut counts = vec![(0usize, 0usize); num_classes];
+    for (p, &t) in predictions.iter().zip(targets) {
+        counts[t].1 += 1;
+        if *p == t {
+            counts[t].0 += 1;
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_hot_logits(labels: &[usize], classes: usize) -> Tensor {
+        let mut t = Tensor::zeros(&[labels.len(), classes]);
+        for (n, &l) in labels.iter().enumerate() {
+            t.data_mut()[n * classes + l] = 5.0;
+        }
+        t
+    }
+
+    #[test]
+    fn perfect_predictions_score_one() {
+        let logits = one_hot_logits(&[0, 1, 2, 3], 4);
+        assert_eq!(accuracy(&logits, &[0, 1, 2, 3]), 1.0);
+        assert_eq!(top_k_accuracy(&logits, &[0, 1, 2, 3], 1), 1.0);
+    }
+
+    #[test]
+    fn chance_level_predictions() {
+        let logits = one_hot_logits(&[0, 0, 0, 0], 4);
+        assert_eq!(accuracy(&logits, &[0, 1, 2, 3]), 0.25);
+    }
+
+    #[test]
+    fn top_k_is_monotone_in_k() {
+        let logits = Tensor::from_vec(
+            vec![
+                0.1, 0.5, 0.4, //
+                0.3, 0.4, 0.3, //
+            ],
+            &[2, 3],
+        )
+        .unwrap();
+        let targets = [2usize, 0];
+        let a1 = top_k_accuracy(&logits, &targets, 1);
+        let a2 = top_k_accuracy(&logits, &targets, 2);
+        let a3 = top_k_accuracy(&logits, &targets, 3);
+        assert!(a1 <= a2 && a2 <= a3);
+        assert_eq!(a3, 1.0);
+    }
+
+    #[test]
+    fn empty_batch_has_zero_accuracy() {
+        let logits = Tensor::zeros(&[0, 5]);
+        assert_eq!(accuracy(&logits, &[]), 0.0);
+    }
+
+    #[test]
+    fn confusion_counts_track_per_class_totals() {
+        let logits = one_hot_logits(&[0, 1, 1, 2], 3);
+        let counts = confusion_counts(&logits, &[0, 1, 2, 2], 3);
+        assert_eq!(counts[0], (1, 1));
+        assert_eq!(counts[1], (1, 1));
+        assert_eq!(counts[2], (1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "one target per sample")]
+    fn mismatched_target_count_panics() {
+        let logits = Tensor::zeros(&[2, 3]);
+        let _ = accuracy(&logits, &[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be in")]
+    fn invalid_k_panics() {
+        let logits = Tensor::zeros(&[1, 3]);
+        let _ = top_k_accuracy(&logits, &[0], 4);
+    }
+}

@@ -1,0 +1,27 @@
+//! Image-quality and classification metrics used by the Ensembler evaluation.
+//!
+//! The paper reports three quantities for every defence: the change in
+//! classification accuracy (ΔAcc), and the structural similarity (SSIM) and
+//! peak signal-to-noise ratio (PSNR) between the client's private input and
+//! the image the adversarial server reconstructs. Lower SSIM / PSNR means the
+//! reconstruction is worse, i.e. the defence is better.
+//!
+//! # Examples
+//!
+//! ```
+//! use ensembler_metrics::{psnr, ssim};
+//! use ensembler_tensor::Tensor;
+//!
+//! let original = Tensor::ones(&[1, 3, 8, 8]);
+//! let identical = original.clone();
+//! assert!(ssim(&original, &identical, 1.0) > 0.99);
+//! assert!(psnr(&original, &identical, 1.0) >= 60.0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod classification;
+mod image;
+
+pub use classification::{accuracy, confusion_counts, top_k_accuracy};
+pub use image::{psnr, psnr_batch, ssim, ssim_batch, SsimConfig};

@@ -1,0 +1,68 @@
+//! Property-based tests for the image-quality and classification metrics.
+
+use ensembler_metrics::{accuracy, psnr, ssim, top_k_accuracy};
+use ensembler_tensor::{Rng, Tensor};
+use proptest::prelude::*;
+
+fn random_image(seed: u64, b: usize, hw: usize) -> Tensor {
+    let mut rng = Rng::seed_from(seed);
+    Tensor::from_fn(&[b, 3, hw, hw], |_| rng.next_f32())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ssim_is_symmetric_and_bounded(seed in any::<u64>(), hw in 8usize..17) {
+        let a = random_image(seed, 1, hw);
+        let b = random_image(seed.wrapping_add(1), 1, hw);
+        let ab = ssim(&a, &b, 1.0);
+        let ba = ssim(&b, &a, 1.0);
+        prop_assert!((ab - ba).abs() < 1e-5);
+        prop_assert!((-1.0..=1.0).contains(&ab));
+        prop_assert!(ssim(&a, &a, 1.0) > 0.999);
+    }
+
+    #[test]
+    fn psnr_decreases_as_noise_grows(seed in any::<u64>(), hw in 8usize..17) {
+        let a = random_image(seed, 1, hw);
+        let small = a.add_scalar(0.02);
+        let large = a.add_scalar(0.3);
+        let p_small = psnr(&a, &small, 1.0);
+        let p_large = psnr(&a, &large, 1.0);
+        prop_assert!(p_small > p_large);
+        prop_assert!(p_small <= 60.0);
+        prop_assert_eq!(psnr(&a, &a, 1.0), 60.0);
+    }
+
+    #[test]
+    fn accuracy_counts_exact_matches(seed in any::<u64>(), batch in 1usize..20, classes in 2usize..8) {
+        let mut rng = Rng::seed_from(seed);
+        let targets: Vec<usize> = (0..batch).map(|_| rng.below(classes)).collect();
+        // Logits that exactly encode the targets.
+        let mut logits = Tensor::zeros(&[batch, classes]);
+        for (n, &t) in targets.iter().enumerate() {
+            logits.data_mut()[n * classes + t] = 1.0;
+        }
+        prop_assert_eq!(accuracy(&logits, &targets), 1.0);
+        prop_assert_eq!(top_k_accuracy(&logits, &targets, classes), 1.0);
+        // Shifting every prediction by one class breaks all of them
+        // (for classes >= 2 with one-hot logits).
+        let shifted: Vec<usize> = targets.iter().map(|t| (t + 1) % classes).collect();
+        prop_assert_eq!(accuracy(&logits, &shifted), 0.0);
+    }
+
+    #[test]
+    fn top_k_accuracy_is_monotone_in_k(seed in any::<u64>(), batch in 1usize..10, classes in 2usize..6) {
+        let mut rng = Rng::seed_from(seed);
+        let logits = Tensor::from_fn(&[batch, classes], |_| rng.uniform(-1.0, 1.0));
+        let targets: Vec<usize> = (0..batch).map(|_| rng.below(classes)).collect();
+        let mut previous = 0.0f32;
+        for k in 1..=classes {
+            let acc = top_k_accuracy(&logits, &targets, k);
+            prop_assert!(acc >= previous - 1e-6);
+            previous = acc;
+        }
+        prop_assert_eq!(previous, 1.0);
+    }
+}

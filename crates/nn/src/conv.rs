@@ -1,0 +1,463 @@
+//! 2-D convolution and transposed convolution layers (GEMM / im2col based).
+
+use crate::{Layer, Mode, Param};
+use ensembler_tensor::{col2im, im2col, Conv2dGeometry, Init, Rng, Tensor};
+
+/// Converts a `[B, C, H, W]` tensor into the `[B*H*W, C]` matrix whose rows
+/// follow the same `(n, y, x)` ordering as `im2col` output rows.
+fn nchw_to_rows(t: &Tensor) -> Tensor {
+    let [b, c, h, w] = [t.shape()[0], t.shape()[1], t.shape()[2], t.shape()[3]];
+    let plane = h * w;
+    let mut out = vec![0.0f32; b * plane * c];
+    for n in 0..b {
+        for ch in 0..c {
+            for p in 0..plane {
+                out[(n * plane + p) * c + ch] = t.data()[n * c * plane + ch * plane + p];
+            }
+        }
+    }
+    Tensor::from_vec(out, &[b * plane, c]).expect("row matrix length matches")
+}
+
+/// Inverse of [`nchw_to_rows`].
+fn rows_to_nchw(rows: &Tensor, b: usize, c: usize, h: usize, w: usize) -> Tensor {
+    assert_eq!(rows.shape(), &[b * h * w, c], "row matrix shape mismatch");
+    let plane = h * w;
+    let mut out = vec![0.0f32; b * c * plane];
+    for n in 0..b {
+        for p in 0..plane {
+            for ch in 0..c {
+                out[n * c * plane + ch * plane + p] = rows.data()[(n * plane + p) * c + ch];
+            }
+        }
+    }
+    Tensor::from_vec(out, &[b, c, h, w]).expect("NCHW length matches")
+}
+
+/// 2-D convolution with square kernels, implemented as an `im2col` GEMM.
+///
+/// Weight layout is `[out_channels, in_channels * kernel * kernel]`; bias is
+/// `[out_channels]`.
+///
+/// # Examples
+///
+/// ```
+/// use ensembler_nn::{Conv2d, Layer, Mode};
+/// use ensembler_tensor::{Rng, Tensor};
+///
+/// let mut rng = Rng::seed_from(0);
+/// let mut conv = Conv2d::new(3, 8, 3, 1, 1, &mut rng);
+/// let y = conv.forward(&Tensor::ones(&[2, 3, 16, 16]), Mode::Eval);
+/// assert_eq!(y.shape(), &[2, 8, 16, 16]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    weight: Param,
+    bias: Param,
+    in_channels: usize,
+    out_channels: usize,
+    geometry: Conv2dGeometry,
+    cached_cols: Option<Tensor>,
+    cached_input_shape: Option<Vec<usize>>,
+}
+
+impl Conv2d {
+    /// Creates a convolution with Kaiming-normal weights and zero bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a channel count, the kernel size or the stride is zero.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        rng: &mut Rng,
+    ) -> Self {
+        assert!(in_channels > 0 && out_channels > 0, "channel counts must be positive");
+        let geometry = Conv2dGeometry::new(kernel, stride, padding);
+        let fan_in = in_channels * kernel * kernel;
+        let weight = Init::KaimingNormal { fan_in }.tensor(&[out_channels, fan_in], rng);
+        Self {
+            weight: Param::new(weight),
+            bias: Param::new(Tensor::zeros(&[out_channels])),
+            in_channels,
+            out_channels,
+            geometry,
+            cached_cols: None,
+            cached_input_shape: None,
+        }
+    }
+
+    /// Returns the convolution geometry (kernel, stride, padding).
+    pub fn geometry(&self) -> Conv2dGeometry {
+        self.geometry
+    }
+
+    /// Number of input channels.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Number of output channels.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Immutable view of the weight parameter.
+    pub fn weight(&self) -> &Param {
+        &self.weight
+    }
+
+    /// Mutable view of the weight parameter (used by weight-copy utilities).
+    pub fn weight_mut(&mut self) -> &mut Param {
+        &mut self.weight
+    }
+
+    /// Output shape for a given NCHW input shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_shape` is not rank-4 or the channel count differs.
+    pub fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        assert_eq!(input_shape.len(), 4, "expected NCHW shape");
+        assert_eq!(input_shape[1], self.in_channels, "channel mismatch");
+        vec![
+            input_shape[0],
+            self.out_channels,
+            self.geometry.output_extent(input_shape[2]),
+            self.geometry.output_extent(input_shape[3]),
+        ]
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        assert_eq!(input.rank(), 4, "Conv2d expects NCHW input");
+        assert_eq!(
+            input.shape()[1],
+            self.in_channels,
+            "Conv2d expected {} input channels, got {}",
+            self.in_channels,
+            input.shape()[1]
+        );
+        let out_shape = self.output_shape(input.shape());
+        let cols = im2col(input, self.geometry);
+        // [B*OH*OW, Cin*K*K] x [Cout, Cin*K*K]^T -> [B*OH*OW, Cout]
+        let out_rows = cols.matmul_nt(&self.weight.value);
+        self.cached_cols = Some(cols);
+        self.cached_input_shape = Some(input.shape().to_vec());
+        let out = rows_to_nchw(&out_rows, out_shape[0], out_shape[1], out_shape[2], out_shape[3]);
+        out.add_channel_bias(&self.bias.value)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let cols = self
+            .cached_cols
+            .as_ref()
+            .expect("backward called before forward on Conv2d");
+        let input_shape = self
+            .cached_input_shape
+            .as_ref()
+            .expect("input shape cached by forward");
+        let grad_rows = nchw_to_rows(grad_output);
+        // dW = dY_rows^T * cols
+        let grad_w = grad_rows.matmul_tn(cols);
+        self.weight.grad.add_assign(&grad_w);
+        self.bias.grad.add_assign(&grad_output.sum_per_channel());
+        // dCols = dY_rows * W ; dX = col2im(dCols)
+        let grad_cols = grad_rows.matmul(&self.weight.value);
+        col2im(
+            &grad_cols,
+            input_shape[0],
+            input_shape[1],
+            input_shape[2],
+            input_shape[3],
+            self.geometry,
+        )
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+}
+
+/// 2-D transposed convolution (a.k.a. deconvolution), the building block of
+/// the model-inversion decoder.
+///
+/// The layer shares its connectivity pattern with a forward [`Conv2d`] of the
+/// same geometry: `ConvTranspose2d` maps a `[B, Cin, h, w]` feature map back
+/// to the `[B, Cout, H, W]` spatial extent that a forward convolution with
+/// this geometry would have consumed to produce `h x w`.
+///
+/// Weight layout is `[in_channels, out_channels * kernel * kernel]`.
+#[derive(Debug, Clone)]
+pub struct ConvTranspose2d {
+    weight: Param,
+    bias: Param,
+    in_channels: usize,
+    out_channels: usize,
+    geometry: Conv2dGeometry,
+    cached_input_rows: Option<Tensor>,
+    cached_input_shape: Option<Vec<usize>>,
+}
+
+impl ConvTranspose2d {
+    /// Creates a transposed convolution with Kaiming-normal weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a channel count, the kernel size or the stride is zero.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        rng: &mut Rng,
+    ) -> Self {
+        assert!(in_channels > 0 && out_channels > 0, "channel counts must be positive");
+        let geometry = Conv2dGeometry::new(kernel, stride, padding);
+        let fan_in = in_channels;
+        let weight = Init::KaimingNormal { fan_in }
+            .tensor(&[in_channels, out_channels * kernel * kernel], rng);
+        Self {
+            weight: Param::new(weight),
+            bias: Param::new(Tensor::zeros(&[out_channels])),
+            in_channels,
+            out_channels,
+            geometry,
+            cached_input_rows: None,
+            cached_input_shape: None,
+        }
+    }
+
+    /// Returns the shared geometry.
+    pub fn geometry(&self) -> Conv2dGeometry {
+        self.geometry
+    }
+
+    /// Output shape for a given NCHW input shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_shape` is not rank-4 or the channel count differs.
+    pub fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        assert_eq!(input_shape.len(), 4, "expected NCHW shape");
+        assert_eq!(input_shape[1], self.in_channels, "channel mismatch");
+        vec![
+            input_shape[0],
+            self.out_channels,
+            self.geometry.transposed_output_extent(input_shape[2]),
+            self.geometry.transposed_output_extent(input_shape[3]),
+        ]
+    }
+}
+
+impl Layer for ConvTranspose2d {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        assert_eq!(input.rank(), 4, "ConvTranspose2d expects NCHW input");
+        assert_eq!(
+            input.shape()[1],
+            self.in_channels,
+            "ConvTranspose2d expected {} input channels, got {}",
+            self.in_channels,
+            input.shape()[1]
+        );
+        let out_shape = self.output_shape(input.shape());
+        let input_rows = nchw_to_rows(input); // [B*h*w, Cin]
+        // cols = X_rows * W : [B*h*w, Cout*K*K]
+        let cols = input_rows.matmul(&self.weight.value);
+        self.cached_input_rows = Some(input_rows);
+        self.cached_input_shape = Some(input.shape().to_vec());
+        let out = col2im(
+            &cols,
+            out_shape[0],
+            out_shape[1],
+            out_shape[2],
+            out_shape[3],
+            self.geometry,
+        );
+        out.add_channel_bias(&self.bias.value)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input_rows = self
+            .cached_input_rows
+            .as_ref()
+            .expect("backward called before forward on ConvTranspose2d");
+        let input_shape = self
+            .cached_input_shape
+            .as_ref()
+            .expect("input shape cached by forward");
+        // grad wrt cols is im2col(grad_output) because forward used col2im.
+        let grad_cols = im2col(grad_output, self.geometry); // [B*h*w, Cout*K*K]
+        // dW = X_rows^T * grad_cols
+        let grad_w = input_rows.matmul_tn(&grad_cols);
+        self.weight.grad.add_assign(&grad_w);
+        self.bias.grad.add_assign(&grad_output.sum_per_channel());
+        // dX_rows = grad_cols * W^T
+        let grad_rows = grad_cols.matmul_nt(&self.weight.value);
+        rows_to_nchw(
+            &grad_rows,
+            input_shape[0],
+            input_shape[1],
+            input_shape[2],
+            input_shape[3],
+        )
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn name(&self) -> &'static str {
+        "conv_transpose2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::{check_layer_input_grad, check_layer_param_grads};
+
+    #[test]
+    fn row_conversion_round_trips() {
+        let t = Tensor::from_fn(&[2, 3, 4, 5], |i| i as f32);
+        let rows = nchw_to_rows(&t);
+        assert_eq!(rows.shape(), &[2 * 4 * 5, 3]);
+        assert_eq!(rows_to_nchw(&rows, 2, 3, 4, 5), t);
+    }
+
+    #[test]
+    fn conv_forward_known_values() {
+        // Single 2x2 input, one input channel, one output channel, 2x2 kernel
+        // of ones, no padding: output is the sum of the input patch.
+        let mut rng = Rng::seed_from(0);
+        let mut conv = Conv2d::new(1, 1, 2, 1, 0, &mut rng);
+        conv.params_mut()[0].value.fill(1.0);
+        conv.params_mut()[1].value.fill(0.5);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
+        let y = conv.forward(&x, Mode::Eval);
+        assert_eq!(y.shape(), &[1, 1, 1, 1]);
+        assert_eq!(y.item(), 10.5);
+    }
+
+    #[test]
+    fn conv_same_padding_preserves_spatial_size() {
+        let mut rng = Rng::seed_from(1);
+        let mut conv = Conv2d::new(3, 8, 3, 1, 1, &mut rng);
+        let y = conv.forward(&Tensor::ones(&[2, 3, 7, 7]), Mode::Eval);
+        assert_eq!(y.shape(), &[2, 8, 7, 7]);
+        assert_eq!(conv.output_shape(&[2, 3, 7, 7]), vec![2, 8, 7, 7]);
+        assert_eq!(conv.in_channels(), 3);
+        assert_eq!(conv.out_channels(), 8);
+    }
+
+    #[test]
+    fn strided_conv_downsamples() {
+        let mut rng = Rng::seed_from(2);
+        let mut conv = Conv2d::new(2, 4, 3, 2, 1, &mut rng);
+        let y = conv.forward(&Tensor::ones(&[1, 2, 8, 8]), Mode::Eval);
+        assert_eq!(y.shape(), &[1, 4, 4, 4]);
+    }
+
+    #[test]
+    fn conv_gradients_match_finite_differences() {
+        let mut rng = Rng::seed_from(3);
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, &mut rng);
+        check_layer_input_grad(&mut conv, &[1, 2, 5, 5], 0.0, 3e-2);
+        check_layer_param_grads(&mut conv, &[1, 2, 5, 5], 3e-2, 24);
+    }
+
+    #[test]
+    fn strided_conv_gradients_match_finite_differences() {
+        let mut rng = Rng::seed_from(4);
+        let mut conv = Conv2d::new(2, 2, 3, 2, 1, &mut rng);
+        check_layer_input_grad(&mut conv, &[1, 2, 6, 6], 0.0, 3e-2);
+        check_layer_param_grads(&mut conv, &[1, 2, 6, 6], 3e-2, 24);
+    }
+
+    #[test]
+    fn transposed_conv_inverts_spatial_downsampling() {
+        let mut rng = Rng::seed_from(5);
+        let mut deconv = ConvTranspose2d::new(4, 2, 2, 2, 0, &mut rng);
+        let y = deconv.forward(&Tensor::ones(&[1, 4, 4, 4]), Mode::Eval);
+        assert_eq!(y.shape(), &[1, 2, 8, 8]);
+        assert_eq!(deconv.output_shape(&[1, 4, 4, 4]), vec![1, 2, 8, 8]);
+    }
+
+    #[test]
+    fn transposed_conv_gradients_match_finite_differences() {
+        let mut rng = Rng::seed_from(6);
+        let mut deconv = ConvTranspose2d::new(2, 2, 3, 1, 1, &mut rng);
+        check_layer_input_grad(&mut deconv, &[1, 2, 4, 4], 0.0, 3e-2);
+        check_layer_param_grads(&mut deconv, &[1, 2, 4, 4], 3e-2, 24);
+    }
+
+    #[test]
+    fn strided_transposed_conv_gradients_match_finite_differences() {
+        let mut rng = Rng::seed_from(7);
+        let mut deconv = ConvTranspose2d::new(3, 2, 2, 2, 0, &mut rng);
+        check_layer_input_grad(&mut deconv, &[1, 3, 3, 3], 0.0, 3e-2);
+        check_layer_param_grads(&mut deconv, &[1, 3, 3, 3], 3e-2, 24);
+    }
+
+    #[test]
+    fn conv_transpose_is_adjoint_of_conv_with_shared_weights() {
+        // With the same geometry and tied weights, <conv(x), y> == <x, convT(y)>.
+        let mut rng = Rng::seed_from(8);
+        let geometry_kernel = 3;
+        let mut conv = Conv2d::new(2, 3, geometry_kernel, 1, 1, &mut rng);
+        let mut deconv = ConvTranspose2d::new(3, 2, geometry_kernel, 1, 1, &mut rng);
+        // Tie weights: conv weight is [Cout, Cin*K*K]; deconv weight is
+        // [Cin_deconv=Cout, Cout_deconv*K*K=Cin*K*K]. They share the layout.
+        deconv.params_mut()[0]
+            .value
+            .data_mut()
+            .copy_from_slice(conv.params()[0].value.data());
+        // Remove biases so the identity is exact.
+        conv.params_mut()[1].value.fill_zero();
+        deconv.params_mut()[1].value.fill_zero();
+
+        let x = Tensor::from_fn(&[1, 2, 5, 5], |i| ((i % 11) as f32) * 0.3 - 1.0);
+        let y = Tensor::from_fn(&[1, 3, 5, 5], |i| ((i % 7) as f32) * 0.2 - 0.5);
+        let lhs = conv.forward(&x, Mode::Eval).dot(&y);
+        let rhs = x.dot(&deconv.forward(&y, Mode::Eval));
+        assert!(
+            (lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()),
+            "adjoint mismatch: {lhs} vs {rhs}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 2 input channels")]
+    fn conv_rejects_wrong_channel_count() {
+        let mut rng = Rng::seed_from(9);
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, &mut rng);
+        let _ = conv.forward(&Tensor::ones(&[1, 3, 5, 5]), Mode::Eval);
+    }
+
+    #[test]
+    fn parameter_counts() {
+        let mut rng = Rng::seed_from(10);
+        let conv = Conv2d::new(3, 8, 3, 1, 1, &mut rng);
+        assert_eq!(conv.parameter_count(), 8 * 3 * 9 + 8);
+        let deconv = ConvTranspose2d::new(8, 3, 3, 1, 1, &mut rng);
+        assert_eq!(deconv.parameter_count(), 8 * 3 * 9 + 3);
+        assert_eq!(conv.geometry(), deconv.geometry());
+    }
+}

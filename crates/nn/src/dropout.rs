@@ -1,0 +1,160 @@
+//! Inverted dropout layer, used by the DR-single / DR-N baseline defences.
+
+use crate::{Layer, Mode};
+use ensembler_tensor::{Rng, Tensor};
+
+/// Inverted dropout: during training each element is zeroed with probability
+/// `p` and survivors are scaled by `1 / (1 - p)`; during evaluation the layer
+/// is the identity.
+///
+/// The He et al. dropout defence ("DR") reuses this layer at inference time by
+/// running it in [`Mode::Train`], so the layer exposes
+/// [`Dropout::set_active_in_eval`] for that use case.
+///
+/// # Examples
+///
+/// ```
+/// use ensembler_nn::{Dropout, Layer, Mode};
+/// use ensembler_tensor::Tensor;
+///
+/// let mut drop = Dropout::new(0.5, 7);
+/// let x = Tensor::ones(&[1, 100]);
+/// let y = drop.forward(&x, Mode::Eval);
+/// assert_eq!(y.data(), x.data()); // identity in eval mode
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dropout {
+    p: f32,
+    rng: Rng,
+    active_in_eval: bool,
+    mask: Option<Tensor>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p` and a private RNG
+    /// seeded by `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1)`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1)");
+        Self {
+            p,
+            rng: Rng::seed_from(seed),
+            active_in_eval: false,
+            mask: None,
+        }
+    }
+
+    /// Returns the drop probability.
+    pub fn probability(&self) -> f32 {
+        self.p
+    }
+
+    /// Makes the layer drop activations even in [`Mode::Eval`].
+    ///
+    /// This is how the dropout *defence* (as opposed to dropout
+    /// regularization) is deployed: the client keeps the stochastic masking
+    /// active at inference time to perturb the features the server sees.
+    pub fn set_active_in_eval(&mut self, active: bool) {
+        self.active_in_eval = active;
+    }
+
+    fn is_active(&self, mode: Mode) -> bool {
+        mode.is_train() || self.active_in_eval
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        if !self.is_active(mode) || self.p == 0.0 {
+            self.mask = Some(Tensor::ones(input.shape()));
+            return input.clone();
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mask = Tensor::from_fn(input.shape(), |_| {
+            if self.rng.next_f32() < self.p {
+                0.0
+            } else {
+                scale
+            }
+        });
+        let out = input.mul(&mask);
+        self.mask = Some(mask);
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let mask = self
+            .mask
+            .as_ref()
+            .expect("backward called before forward on Dropout");
+        grad_output.mul(mask)
+    }
+
+    fn name(&self) -> &'static str {
+        "dropout"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity_by_default() {
+        let mut drop = Dropout::new(0.8, 1);
+        let x = Tensor::from_fn(&[2, 10], |i| i as f32);
+        assert_eq!(drop.forward(&x, Mode::Eval), x);
+        assert_eq!(drop.probability(), 0.8);
+    }
+
+    #[test]
+    fn train_mode_zeroes_roughly_p_fraction_and_rescales() {
+        let mut drop = Dropout::new(0.5, 2);
+        let x = Tensor::ones(&[1, 10_000]);
+        let y = drop.forward(&x, Mode::Train);
+        let zeros = y.data().iter().filter(|v| **v == 0.0).count();
+        assert!((zeros as f32 / 10_000.0 - 0.5).abs() < 0.05);
+        // Inverted dropout keeps the expected activation scale.
+        assert!((y.mean() - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn backward_uses_the_same_mask_as_forward() {
+        let mut drop = Dropout::new(0.5, 3);
+        let x = Tensor::ones(&[1, 64]);
+        let y = drop.forward(&x, Mode::Train);
+        let g = drop.backward(&Tensor::ones(&[1, 64]));
+        // Positions zeroed in the output receive zero gradient; survivors get
+        // the same 1/(1-p) scaling.
+        for (yv, gv) in y.data().iter().zip(g.data()) {
+            assert_eq!(yv, gv);
+        }
+    }
+
+    #[test]
+    fn active_in_eval_enables_the_defence_behaviour() {
+        let mut drop = Dropout::new(0.5, 4);
+        drop.set_active_in_eval(true);
+        let x = Tensor::ones(&[1, 1000]);
+        let y = drop.forward(&x, Mode::Eval);
+        let zeros = y.data().iter().filter(|v| **v == 0.0).count();
+        assert!(zeros > 300, "dropout should stay active in eval mode");
+    }
+
+    #[test]
+    fn zero_probability_is_identity_even_in_train() {
+        let mut drop = Dropout::new(0.0, 5);
+        let x = Tensor::from_fn(&[2, 4], |i| i as f32);
+        assert_eq!(drop.forward(&x, Mode::Train), x);
+    }
+
+    #[test]
+    #[should_panic(expected = "drop probability")]
+    fn invalid_probability_rejected() {
+        let _ = Dropout::new(1.0, 6);
+    }
+}

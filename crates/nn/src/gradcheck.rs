@@ -1,0 +1,158 @@
+//! Finite-difference gradient checking used by the layer unit tests.
+//!
+//! Every manually derived backward pass in this crate is validated by
+//! comparing its analytic gradients with central finite differences of the
+//! forward pass. The helpers here are public so downstream crates (the
+//! Ensembler trainer, the attack decoder) can reuse them in their own tests.
+
+use crate::{Layer, Mode};
+use ensembler_tensor::{Rng, Tensor};
+
+/// Relative error between an analytic and a numeric derivative, guarded
+/// against division by very small magnitudes.
+fn relative_error(analytic: f32, numeric: f32) -> f32 {
+    let denom = analytic.abs().max(numeric.abs()).max(1e-3);
+    (analytic - numeric).abs() / denom
+}
+
+/// Checks the input gradient of `layer` against central finite differences.
+///
+/// The scalar objective is `sum(forward(x) * w)` for a fixed random weighting
+/// `w`, so `grad_output = w`. Inputs are drawn uniformly from `[-1, 1]` and
+/// shifted by `input_shift`, which lets callers keep piecewise-linear layers
+/// (ReLU) away from their kinks.
+///
+/// # Panics
+///
+/// Panics if any element's relative error exceeds `tolerance`.
+pub fn check_layer_input_grad(
+    layer: &mut dyn Layer,
+    input_shape: &[usize],
+    input_shift: f32,
+    tolerance: f32,
+) {
+    let mut rng = Rng::seed_from(0x5EED);
+    let x = Tensor::from_fn(input_shape, |_| rng.uniform(-1.0, 1.0) + input_shift);
+    let y = layer.forward(&x, Mode::Eval);
+    let w = Tensor::from_fn(y.shape(), |_| rng.uniform(-1.0, 1.0));
+    let analytic = layer.backward(&w);
+
+    let eps = 1e-2f32;
+    for idx in 0..x.len() {
+        let mut plus = x.clone();
+        plus.data_mut()[idx] += eps;
+        let mut minus = x.clone();
+        minus.data_mut()[idx] -= eps;
+        let f_plus = layer.forward(&plus, Mode::Eval).dot(&w);
+        let f_minus = layer.forward(&minus, Mode::Eval).dot(&w);
+        let numeric = (f_plus - f_minus) / (2.0 * eps);
+        let err = relative_error(analytic.data()[idx], numeric);
+        assert!(
+            err <= tolerance,
+            "input gradient mismatch at {idx}: analytic {} vs numeric {} (rel err {err})",
+            analytic.data()[idx],
+            numeric
+        );
+    }
+    // Restore the cache for the original input so callers can keep using the layer.
+    let _ = layer.forward(&x, Mode::Eval);
+}
+
+/// Checks the parameter gradients of `layer` against central finite
+/// differences, using the same weighted-sum objective as
+/// [`check_layer_input_grad`].
+///
+/// To keep the check affordable for large layers, at most `max_checks`
+/// randomly chosen scalar parameters per parameter tensor are verified.
+///
+/// # Panics
+///
+/// Panics if any checked element's relative error exceeds `tolerance`.
+pub fn check_layer_param_grads(
+    layer: &mut dyn Layer,
+    input_shape: &[usize],
+    tolerance: f32,
+    max_checks: usize,
+) {
+    let mut rng = Rng::seed_from(0xBEEF);
+    let x = Tensor::from_fn(input_shape, |_| rng.uniform(-1.0, 1.0));
+    let y = layer.forward(&x, Mode::Eval);
+    let w = Tensor::from_fn(y.shape(), |_| rng.uniform(-1.0, 1.0));
+    layer.zero_grad();
+    let _ = layer.backward(&w);
+
+    let analytic: Vec<Tensor> = layer.params().iter().map(|p| p.grad.clone()).collect();
+    let eps = 1e-2f32;
+
+    for (pi, grad) in analytic.iter().enumerate() {
+        let count = grad.len().min(max_checks);
+        let indices = rng.choose_indices(grad.len(), count);
+        for idx in indices {
+            let original = layer.params()[pi].value.data()[idx];
+
+            layer.params_mut()[pi].value.data_mut()[idx] = original + eps;
+            let f_plus = layer.forward(&x, Mode::Eval).dot(&w);
+            layer.params_mut()[pi].value.data_mut()[idx] = original - eps;
+            let f_minus = layer.forward(&x, Mode::Eval).dot(&w);
+            layer.params_mut()[pi].value.data_mut()[idx] = original;
+
+            let numeric = (f_plus - f_minus) / (2.0 * eps);
+            let err = relative_error(grad.data()[idx], numeric);
+            assert!(
+                err <= tolerance,
+                "param {pi} gradient mismatch at {idx}: analytic {} vs numeric {} (rel err {err})",
+                grad.data()[idx],
+                numeric
+            );
+        }
+    }
+    let _ = layer.forward(&x, Mode::Eval);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Linear, Relu};
+
+    #[test]
+    fn relative_error_handles_small_values() {
+        assert!(relative_error(0.0, 0.0) == 0.0);
+        assert!(relative_error(1.0, 1.0) == 0.0);
+        assert!(relative_error(1.0, 2.0) > 0.4);
+    }
+
+    #[test]
+    fn linear_layer_passes_both_checks() {
+        let mut rng = Rng::seed_from(3);
+        let mut layer = Linear::new(6, 4, &mut rng);
+        check_layer_input_grad(&mut layer, &[3, 6], 0.0, 2e-2);
+        check_layer_param_grads(&mut layer, &[3, 6], 2e-2, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "input gradient mismatch")]
+    fn a_wrong_backward_is_detected() {
+        /// A deliberately broken layer whose backward returns a scaled gradient.
+        #[derive(Debug)]
+        struct Broken;
+        impl Layer for Broken {
+            fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+                input.scale(2.0)
+            }
+            fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+                grad_output.scale(3.0) // should be 2.0
+            }
+            fn name(&self) -> &'static str {
+                "broken"
+            }
+        }
+        check_layer_input_grad(&mut Broken, &[2, 3], 0.0, 1e-2);
+    }
+
+    #[test]
+    fn relu_away_from_kink_passes() {
+        // Tolerance accounts for f32 finite-difference noise on the tiny
+        // gradient magnitudes produced by the random weighting.
+        check_layer_input_grad(&mut Relu::new(), &[2, 4], 2.0, 5e-2);
+    }
+}

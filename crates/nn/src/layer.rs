@@ -1,0 +1,168 @@
+//! The [`Layer`] trait, training mode flag and trainable [`Param`] container.
+
+use ensembler_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Whether a forward pass should behave as training or evaluation.
+///
+/// Layers such as [`crate::Dropout`] and [`crate::BatchNorm2d`] change
+/// behaviour between the two modes; all other layers ignore it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Mode {
+    /// Training: dropout active, batch statistics used and updated.
+    Train,
+    /// Inference: deterministic behaviour, running statistics used.
+    Eval,
+}
+
+impl Mode {
+    /// Returns `true` for [`Mode::Train`].
+    pub fn is_train(self) -> bool {
+        matches!(self, Mode::Train)
+    }
+}
+
+/// A trainable parameter: a value tensor plus its accumulated gradient.
+///
+/// # Examples
+///
+/// ```
+/// use ensembler_nn::Param;
+/// use ensembler_tensor::Tensor;
+///
+/// let mut p = Param::new(Tensor::ones(&[2, 2]));
+/// assert_eq!(p.grad.sum(), 0.0);
+/// p.grad.fill(1.0);
+/// p.zero_grad();
+/// assert_eq!(p.grad.sum(), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Param {
+    /// Current parameter value.
+    pub value: Tensor,
+    /// Gradient accumulated by the most recent backward pass(es).
+    pub grad: Tensor,
+}
+
+impl Param {
+    /// Wraps a value tensor with a zeroed gradient of the same shape.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape());
+        Self { value, grad }
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill_zero();
+    }
+
+    /// Number of scalar elements in the parameter.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Returns `true` if the parameter holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+}
+
+/// A differentiable computation stage with explicit forward and backward
+/// passes.
+///
+/// Layers own whatever activations they need to cache between `forward` and
+/// `backward`; callers must therefore invoke `backward` with the gradient of
+/// the *most recent* forward call. Parameter gradients are **accumulated**
+/// into [`Param::grad`]; call [`Layer::zero_grad`] (or an optimizer that does
+/// it) between steps.
+pub trait Layer: std::fmt::Debug + Send {
+    /// Computes the layer output for `input`.
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor;
+
+    /// Propagates `grad_output` (gradient of the loss with respect to this
+    /// layer's output) back to the input, accumulating parameter gradients.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if called before `forward` or with a
+    /// gradient whose shape does not match the cached forward output.
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor;
+
+    /// Immutable access to the trainable parameters (empty by default).
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    /// Mutable access to the trainable parameters (empty by default).
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    /// Clears the accumulated gradients of every parameter.
+    fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// Short human-readable layer name used in summaries.
+    fn name(&self) -> &'static str;
+
+    /// Total number of trainable scalars in the layer.
+    fn parameter_count(&self) -> usize {
+        self.params().iter().map(|p| p.len()).sum()
+    }
+}
+
+/// Boxed layers can be used wherever a layer is expected, which is what
+/// [`crate::Sequential`] relies on.
+impl Layer for Box<dyn Layer> {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        self.as_mut().forward(input, mode)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        self.as_mut().backward(grad_output)
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        self.as_ref().params()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.as_mut().params_mut()
+    }
+
+    fn name(&self) -> &'static str {
+        self.as_ref().name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_flags() {
+        assert!(Mode::Train.is_train());
+        assert!(!Mode::Eval.is_train());
+    }
+
+    #[test]
+    fn param_construction_and_zeroing() {
+        let mut p = Param::new(Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap());
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        assert_eq!(p.grad.shape(), &[2]);
+        p.grad.fill(3.0);
+        p.zero_grad();
+        assert_eq!(p.grad.data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn boxed_layer_delegates() {
+        let boxed: Box<dyn Layer> = Box::new(crate::Relu::new());
+        assert_eq!(boxed.name(), "relu");
+        assert_eq!(boxed.parameter_count(), 0);
+    }
+}

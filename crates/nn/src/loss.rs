@@ -1,0 +1,391 @@
+//! Loss functions: cross-entropy, mean-squared error and the cosine-similarity
+//! regularizer of the Ensembler stage-3 objective.
+
+use ensembler_tensor::Tensor;
+
+/// The value of a loss together with the gradient with respect to the
+/// predictions, ready to be fed into a backward pass.
+#[derive(Debug, Clone)]
+pub struct LossValue {
+    /// Mean loss over the batch.
+    pub loss: f32,
+    /// Gradient of the mean loss with respect to the predictions.
+    pub grad: Tensor,
+}
+
+/// Row-wise softmax of a `[batch, classes]` logit matrix.
+///
+/// # Panics
+///
+/// Panics if `logits` is not rank-2.
+///
+/// # Examples
+///
+/// ```
+/// use ensembler_nn::softmax;
+/// use ensembler_tensor::Tensor;
+///
+/// let logits = Tensor::from_vec(vec![1.0, 1.0, 1.0, 1.0], &[2, 2])?;
+/// let p = softmax(&logits);
+/// assert!((p.at2(0, 0) - 0.5).abs() < 1e-6);
+/// # Ok::<(), ensembler_tensor::ShapeError>(())
+/// ```
+pub fn softmax(logits: &Tensor) -> Tensor {
+    assert_eq!(logits.rank(), 2, "softmax expects [batch, classes] logits");
+    let (rows, cols) = (logits.shape()[0], logits.shape()[1]);
+    let mut out = Tensor::zeros(&[rows, cols]);
+    for r in 0..rows {
+        let row = &logits.data()[r * cols..(r + 1) * cols];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = row.iter().map(|&x| (x - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        for c in 0..cols {
+            out.data_mut()[r * cols + c] = exps[c] / sum;
+        }
+    }
+    out
+}
+
+/// Softmax cross-entropy loss for classification.
+///
+/// # Examples
+///
+/// ```
+/// use ensembler_nn::CrossEntropyLoss;
+/// use ensembler_tensor::Tensor;
+///
+/// let logits = Tensor::from_vec(vec![5.0, -5.0, -5.0, 5.0], &[2, 2])?;
+/// let out = CrossEntropyLoss::new().compute(&logits, &[0, 1]);
+/// assert!(out.loss < 0.01);
+/// # Ok::<(), ensembler_tensor::ShapeError>(())
+/// ```
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CrossEntropyLoss;
+
+impl CrossEntropyLoss {
+    /// Creates a cross-entropy loss.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Computes the mean cross-entropy and its gradient with respect to the
+    /// logits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logits` is not `[batch, classes]`, `targets.len() != batch`
+    /// or any target index is out of range.
+    pub fn compute(&self, logits: &Tensor, targets: &[usize]) -> LossValue {
+        assert_eq!(logits.rank(), 2, "logits must be [batch, classes]");
+        let (batch, classes) = (logits.shape()[0], logits.shape()[1]);
+        assert_eq!(targets.len(), batch, "one target per sample required");
+        assert!(
+            targets.iter().all(|&t| t < classes),
+            "target class out of range"
+        );
+        let probs = softmax(logits);
+        let mut loss = 0.0f32;
+        let mut grad = probs.clone();
+        for (n, &t) in targets.iter().enumerate() {
+            let p = probs.at2(n, t).max(1e-12);
+            loss -= p.ln();
+            grad.data_mut()[n * classes + t] -= 1.0;
+        }
+        let scale = 1.0 / batch as f32;
+        LossValue {
+            loss: loss * scale,
+            grad: grad.scale(scale),
+        }
+    }
+}
+
+/// Mean-squared-error loss, used to train the model-inversion decoder.
+///
+/// # Examples
+///
+/// ```
+/// use ensembler_nn::MseLoss;
+/// use ensembler_tensor::Tensor;
+///
+/// let pred = Tensor::from_vec(vec![1.0, 2.0], &[1, 2])?;
+/// let target = Tensor::from_vec(vec![0.0, 2.0], &[1, 2])?;
+/// let out = MseLoss::new().compute(&pred, &target);
+/// assert!((out.loss - 0.5).abs() < 1e-6);
+/// # Ok::<(), ensembler_tensor::ShapeError>(())
+/// ```
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MseLoss;
+
+impl MseLoss {
+    /// Creates a mean-squared-error loss.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Computes the mean squared error and its gradient with respect to
+    /// `prediction`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn compute(&self, prediction: &Tensor, target: &Tensor) -> LossValue {
+        assert_eq!(
+            prediction.shape(),
+            target.shape(),
+            "prediction and target shapes must match"
+        );
+        let n = prediction.len().max(1) as f32;
+        let diff = prediction.sub(target);
+        let loss = diff.data().iter().map(|d| d * d).sum::<f32>() / n;
+        LossValue {
+            loss,
+            grad: diff.scale(2.0 / n),
+        }
+    }
+}
+
+/// Result of the cosine-similarity penalty used by stage-3 training (Eq. 3).
+#[derive(Debug, Clone)]
+pub struct CosinePenalty {
+    /// Mean (over the batch) of the maximal cosine similarity against the
+    /// reference feature maps.
+    pub penalty: f32,
+    /// Gradient of the penalty with respect to the current features.
+    pub grad: Tensor,
+}
+
+/// Computes `lambda * mean_batch( max_i CS(features, references[i]) )` and its
+/// gradient with respect to `features`.
+///
+/// `features` are the current client-head activations `M_c,h(x)`; each entry
+/// of `references` holds the activations produced by one of the stage-1 heads
+/// `M^i_c,h(x)` on the same batch. Only the reference achieving the per-sample
+/// maximum contributes gradient for that sample, mirroring the `max` in Eq. 3
+/// of the paper.
+///
+/// # Panics
+///
+/// Panics if `references` is empty or any reference shape differs from
+/// `features`.
+///
+/// # Examples
+///
+/// ```
+/// use ensembler_nn::cosine_penalty;
+/// use ensembler_tensor::Tensor;
+///
+/// let f = Tensor::from_vec(vec![1.0, 0.0], &[1, 2])?;
+/// let r = Tensor::from_vec(vec![1.0, 0.0], &[1, 2])?;
+/// let out = cosine_penalty(&f, &[r], 1.0);
+/// assert!((out.penalty - 1.0).abs() < 1e-6);
+/// # Ok::<(), ensembler_tensor::ShapeError>(())
+/// ```
+pub fn cosine_penalty(features: &Tensor, references: &[Tensor], lambda: f32) -> CosinePenalty {
+    assert!(!references.is_empty(), "at least one reference is required");
+    for r in references {
+        assert_eq!(
+            r.shape(),
+            features.shape(),
+            "reference shape must match features"
+        );
+    }
+    let batch = features.shape()[0];
+    let feat_len = if batch == 0 { 0 } else { features.len() / batch };
+
+    let mut grad = Tensor::zeros(features.shape());
+    let mut penalty = 0.0f32;
+
+    for n in 0..batch {
+        let a = &features.data()[n * feat_len..(n + 1) * feat_len];
+        // Find the reference with the highest cosine similarity for sample n.
+        let mut best = f32::NEG_INFINITY;
+        let mut best_ref: Option<&Tensor> = None;
+        for r in references {
+            let b = &r.data()[n * feat_len..(n + 1) * feat_len];
+            let cs = cosine(a, b);
+            if cs > best {
+                best = cs;
+                best_ref = Some(r);
+            }
+        }
+        penalty += best;
+        let r = best_ref.expect("references is non-empty");
+        let b = &r.data()[n * feat_len..(n + 1) * feat_len];
+
+        // d/da [ a.b / (|a||b|) ] = b/(|a||b|) - (a.b) a / (|a|^3 |b|)
+        let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+        let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+        let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if na > 1e-12 && nb > 1e-12 {
+            let inv = 1.0 / (na * nb);
+            let coeff = dot / (na * na * na * nb);
+            let g = &mut grad.data_mut()[n * feat_len..(n + 1) * feat_len];
+            for i in 0..feat_len {
+                g[i] = lambda * (b[i] * inv - coeff * a[i]) / batch as f32;
+            }
+        }
+    }
+    CosinePenalty {
+        penalty: lambda * penalty / batch.max(1) as f32,
+        grad,
+    }
+}
+
+fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if na > 1e-12 && nb > 1e-12 {
+        dot / (na * nb)
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ensembler_tensor::Rng;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut rng = Rng::seed_from(0);
+        let logits = Tensor::from_fn(&[5, 7], |_| rng.uniform(-4.0, 4.0));
+        let p = softmax(&logits);
+        for r in 0..5 {
+            let sum: f32 = (0..7).map(|c| p.at2(r, c)).sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+            for c in 0..7 {
+                assert!(p.at2(r, c) >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]).unwrap();
+        let b = a.add_scalar(100.0);
+        let pa = softmax(&a);
+        let pb = softmax(&b);
+        for (x, y) in pa.data().iter().zip(pb.data()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_of_uniform_prediction_is_log_k() {
+        let logits = Tensor::zeros(&[4, 10]);
+        let out = CrossEntropyLoss::new().compute(&logits, &[0, 3, 5, 9]);
+        assert!((out.loss - (10.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_differences() {
+        let mut rng = Rng::seed_from(1);
+        let logits = Tensor::from_fn(&[3, 4], |_| rng.uniform(-2.0, 2.0));
+        let targets = [1usize, 0, 3];
+        let loss = CrossEntropyLoss::new();
+        let out = loss.compute(&logits, &targets);
+        let eps = 1e-3;
+        for idx in 0..logits.len() {
+            let mut plus = logits.clone();
+            plus.data_mut()[idx] += eps;
+            let mut minus = logits.clone();
+            minus.data_mut()[idx] -= eps;
+            let numeric =
+                (loss.compute(&plus, &targets).loss - loss.compute(&minus, &targets).loss)
+                    / (2.0 * eps);
+            assert!(
+                (numeric - out.grad.data()[idx]).abs() < 1e-3,
+                "index {idx}: numeric {numeric} vs analytic {}",
+                out.grad.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn cross_entropy_gradient_rows_sum_to_zero() {
+        let mut rng = Rng::seed_from(2);
+        let logits = Tensor::from_fn(&[2, 5], |_| rng.uniform(-1.0, 1.0));
+        let out = CrossEntropyLoss::new().compute(&logits, &[4, 2]);
+        for r in 0..2 {
+            let s: f32 = (0..5).map(|c| out.grad.at2(r, c)).sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "target class out of range")]
+    fn cross_entropy_rejects_bad_targets() {
+        let logits = Tensor::zeros(&[1, 3]);
+        let _ = CrossEntropyLoss::new().compute(&logits, &[3]);
+    }
+
+    #[test]
+    fn mse_loss_and_gradient() {
+        let pred = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let target = Tensor::from_vec(vec![1.0, 0.0, 3.0, 0.0], &[2, 2]).unwrap();
+        let out = MseLoss::new().compute(&pred, &target);
+        assert!((out.loss - (4.0 + 16.0) / 4.0).abs() < 1e-6);
+        assert_eq!(out.grad.data(), &[0.0, 1.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn cosine_penalty_is_one_for_identical_features() {
+        let f = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0], &[2, 2]).unwrap();
+        let out = cosine_penalty(&f, &[f.clone()], 2.0);
+        assert!((out.penalty - 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cosine_penalty_picks_the_maximal_reference() {
+        let f = Tensor::from_vec(vec![1.0, 0.0], &[1, 2]).unwrap();
+        let aligned = Tensor::from_vec(vec![2.0, 0.0], &[1, 2]).unwrap();
+        let orthogonal = Tensor::from_vec(vec![0.0, 5.0], &[1, 2]).unwrap();
+        let out = cosine_penalty(&f, &[orthogonal, aligned], 1.0);
+        assert!((out.penalty - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cosine_penalty_gradient_matches_finite_differences() {
+        let mut rng = Rng::seed_from(3);
+        let f = Tensor::from_fn(&[2, 6], |_| rng.uniform(-1.0, 1.0));
+        let refs = vec![
+            Tensor::from_fn(&[2, 6], |_| rng.uniform(-1.0, 1.0)),
+            Tensor::from_fn(&[2, 6], |_| rng.uniform(-1.0, 1.0)),
+        ];
+        let lambda = 0.7;
+        let out = cosine_penalty(&f, &refs, lambda);
+        let eps = 1e-3;
+        for idx in 0..f.len() {
+            let mut plus = f.clone();
+            plus.data_mut()[idx] += eps;
+            let mut minus = f.clone();
+            minus.data_mut()[idx] -= eps;
+            let numeric = (cosine_penalty(&plus, &refs, lambda).penalty
+                - cosine_penalty(&minus, &refs, lambda).penalty)
+                / (2.0 * eps);
+            assert!(
+                (numeric - out.grad.data()[idx]).abs() < 2e-3,
+                "index {idx}: numeric {numeric} vs analytic {}",
+                out.grad.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn cosine_penalty_of_zero_vector_is_zero_without_nan() {
+        let f = Tensor::zeros(&[1, 4]);
+        let r = Tensor::ones(&[1, 4]);
+        let out = cosine_penalty(&f, &[r], 1.0);
+        assert_eq!(out.penalty, 0.0);
+        assert!(out.grad.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one reference")]
+    fn cosine_penalty_requires_references() {
+        let f = Tensor::ones(&[1, 4]);
+        let _ = cosine_penalty(&f, &[], 1.0);
+    }
+}

@@ -1,0 +1,342 @@
+//! The MicroResNet model family: the reproduction's stand-in for ResNet-18.
+//!
+//! The Ensembler paper splits ResNet-18 at `h = 1, t = 1`: the client keeps the
+//! first convolutional layer (plus, for CIFAR-10, the stem max-pool) and the
+//! final fully-connected layer; everything in between runs on the server. This
+//! module builds those three pieces separately so the `ensembler` crate can
+//! assemble split-inference pipelines out of them.
+//!
+//! `MicroResNet` keeps the structure of the paper's backbone — a stem
+//! convolution, a stack of residual stages, global average pooling and a
+//! linear classifier — but scales channel counts and depths down so that the
+//! whole three-stage Ensembler training pipeline runs on a CPU in seconds.
+//! The full-width ResNet-18 configuration remains constructible via
+//! [`ResNetConfig::paper_resnet18`] for users with more compute.
+
+use crate::{Conv2d, Flatten, GlobalAvgPool, Linear, MaxPool2d, Relu, ResidualBlock, Sequential};
+use ensembler_tensor::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a MicroResNet backbone and its h=1 / t=1 split.
+///
+/// # Examples
+///
+/// ```
+/// use ensembler_nn::models::ResNetConfig;
+///
+/// let cfg = ResNetConfig::cifar10_like();
+/// assert_eq!(cfg.num_classes, 10);
+/// assert_eq!(cfg.head_output_shape(), vec![16, 8, 8]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResNetConfig {
+    /// Number of image channels (3 for RGB).
+    pub input_channels: usize,
+    /// Square input image extent in pixels.
+    pub image_size: usize,
+    /// Channels produced by the stem convolution (the client head).
+    pub stem_channels: usize,
+    /// Output channels of each residual stage; the first block of every stage
+    /// after the first downsamples by 2.
+    pub stage_channels: Vec<usize>,
+    /// Residual blocks per stage.
+    pub blocks_per_stage: usize,
+    /// Number of output classes.
+    pub num_classes: usize,
+    /// Whether the client head applies a 2x2 max-pool after the stem
+    /// convolution (the paper keeps it for CIFAR-10 and removes it for
+    /// CIFAR-100).
+    pub use_stem_pool: bool,
+}
+
+impl ResNetConfig {
+    /// Scaled-down configuration playing the role of ResNet-18 on CIFAR-10.
+    pub fn cifar10_like() -> Self {
+        Self {
+            input_channels: 3,
+            image_size: 16,
+            stem_channels: 16,
+            stage_channels: vec![16, 32],
+            blocks_per_stage: 1,
+            num_classes: 10,
+            use_stem_pool: true,
+        }
+    }
+
+    /// Scaled-down configuration playing the role of ResNet-18 on CIFAR-100
+    /// (stem pool removed, more classes).
+    pub fn cifar100_like() -> Self {
+        Self {
+            input_channels: 3,
+            image_size: 16,
+            stem_channels: 16,
+            stage_channels: vec![16, 32],
+            blocks_per_stage: 1,
+            num_classes: 20,
+            use_stem_pool: false,
+        }
+    }
+
+    /// Scaled-down configuration playing the role of ResNet-18 on the
+    /// CelebA-HQ attribute-classification subset (larger images, few classes).
+    pub fn celeba_like() -> Self {
+        Self {
+            input_channels: 3,
+            image_size: 32,
+            stem_channels: 16,
+            stage_channels: vec![16, 32],
+            blocks_per_stage: 1,
+            num_classes: 4,
+            use_stem_pool: true,
+        }
+    }
+
+    /// The full-width ResNet-18 shape used by the paper (64/128/256/512
+    /// channels, two blocks per stage). Provided for completeness and for the
+    /// latency model; far too slow to train inside the test suite.
+    pub fn paper_resnet18(num_classes: usize, image_size: usize, use_stem_pool: bool) -> Self {
+        Self {
+            input_channels: 3,
+            image_size,
+            stem_channels: 64,
+            stage_channels: vec![64, 128, 256, 512],
+            blocks_per_stage: 2,
+            num_classes,
+            use_stem_pool,
+        }
+    }
+
+    /// A deliberately tiny configuration for fast unit tests.
+    pub fn tiny_for_tests() -> Self {
+        Self {
+            input_channels: 3,
+            image_size: 8,
+            stem_channels: 4,
+            stage_channels: vec![4],
+            blocks_per_stage: 1,
+            num_classes: 3,
+            use_stem_pool: false,
+        }
+    }
+
+    /// Shape `[C, H, W]` of the intermediate features the client sends to the
+    /// server (the output of the head).
+    pub fn head_output_shape(&self) -> Vec<usize> {
+        let spatial = if self.use_stem_pool {
+            self.image_size / 2
+        } else {
+            self.image_size
+        };
+        vec![self.stem_channels, spatial, spatial]
+    }
+
+    /// Number of features produced by the server body (after global average
+    /// pooling), i.e. the width of the classifier input for a single network.
+    pub fn body_output_features(&self) -> usize {
+        *self
+            .stage_channels
+            .last()
+            .expect("at least one residual stage is required")
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message if the configuration cannot be built
+    /// (no stages, zero sizes, or a stem pool that does not divide the image).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.input_channels == 0
+            || self.image_size == 0
+            || self.stem_channels == 0
+            || self.num_classes == 0
+            || self.blocks_per_stage == 0
+        {
+            return Err("all size fields must be positive".to_string());
+        }
+        if self.stage_channels.is_empty() {
+            return Err("at least one residual stage is required".to_string());
+        }
+        if self.use_stem_pool && self.image_size % 2 != 0 {
+            return Err("stem pooling requires an even image size".to_string());
+        }
+        let spatial_after_head = self.head_output_shape()[1];
+        let downsamples = self.stage_channels.len().saturating_sub(1) as u32;
+        if spatial_after_head % (1usize << downsamples) != 0 {
+            return Err(format!(
+                "spatial extent {spatial_after_head} not divisible by the {downsamples} stage downsamples"
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Builds the client head `M_c,h`: the stem convolution (plus optional
+/// max-pool), exactly the layers the paper leaves on the edge device.
+pub fn build_head(config: &ResNetConfig, rng: &mut Rng) -> Sequential {
+    let mut head = Sequential::empty();
+    head.push(Box::new(Conv2d::new(
+        config.input_channels,
+        config.stem_channels,
+        3,
+        1,
+        1,
+        rng,
+    )));
+    head.push(Box::new(Relu::new()));
+    if config.use_stem_pool {
+        head.push(Box::new(MaxPool2d::new(2)));
+    }
+    head
+}
+
+/// Builds one server body `M_s^i`: the residual stages followed by global
+/// average pooling and flattening into `[batch, features]`.
+pub fn build_body(config: &ResNetConfig, rng: &mut Rng) -> Sequential {
+    let mut body = Sequential::empty();
+    let mut in_channels = config.stem_channels;
+    for (stage_idx, &out_channels) in config.stage_channels.iter().enumerate() {
+        for block_idx in 0..config.blocks_per_stage {
+            let stride = if stage_idx > 0 && block_idx == 0 { 2 } else { 1 };
+            body.push(Box::new(ResidualBlock::new(
+                in_channels,
+                out_channels,
+                stride,
+                rng,
+            )));
+            in_channels = out_channels;
+        }
+    }
+    body.push(Box::new(GlobalAvgPool::new()));
+    body
+}
+
+/// Builds the client tail `M_c,t`: a single fully-connected classifier taking
+/// `in_features` inputs (which is `P * body_output_features()` when the
+/// Ensembler selector concatenates `P` server feature maps).
+pub fn build_tail(config: &ResNetConfig, in_features: usize, rng: &mut Rng) -> Sequential {
+    let mut tail = Sequential::empty();
+    tail.push(Box::new(Flatten::new()));
+    tail.push(Box::new(Linear::new(in_features, config.num_classes, rng)));
+    tail
+}
+
+/// Builds the complete single-network pipeline (head, body, tail fused), used
+/// by baselines and by tests that don't need the split.
+pub fn build_full_network(config: &ResNetConfig, rng: &mut Rng) -> Sequential {
+    let mut net = Sequential::empty();
+    net.push(Box::new(build_head(config, rng)));
+    net.push(Box::new(build_body(config, rng)));
+    net.push(Box::new(build_tail(config, config.body_output_features(), rng)));
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Layer, Mode};
+    use ensembler_tensor::Tensor;
+
+    #[test]
+    fn presets_validate() {
+        for cfg in [
+            ResNetConfig::cifar10_like(),
+            ResNetConfig::cifar100_like(),
+            ResNetConfig::celeba_like(),
+            ResNetConfig::paper_resnet18(10, 32, true),
+            ResNetConfig::tiny_for_tests(),
+        ] {
+            assert!(cfg.validate().is_ok(), "{cfg:?} should validate");
+        }
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        let mut cfg = ResNetConfig::cifar10_like();
+        cfg.stage_channels.clear();
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = ResNetConfig::cifar10_like();
+        cfg.image_size = 15;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = ResNetConfig::cifar10_like();
+        cfg.num_classes = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn head_output_shape_matches_forward_pass() {
+        let cfg = ResNetConfig::cifar10_like();
+        let mut rng = Rng::seed_from(0);
+        let mut head = build_head(&cfg, &mut rng);
+        let x = Tensor::ones(&[2, 3, cfg.image_size, cfg.image_size]);
+        let y = head.forward(&x, Mode::Eval);
+        let expected = cfg.head_output_shape();
+        assert_eq!(y.shape(), &[2, expected[0], expected[1], expected[2]]);
+    }
+
+    #[test]
+    fn cifar100_head_keeps_full_resolution() {
+        let cfg = ResNetConfig::cifar100_like();
+        assert_eq!(cfg.head_output_shape(), vec![16, 16, 16]);
+    }
+
+    #[test]
+    fn body_produces_flat_features() {
+        let cfg = ResNetConfig::tiny_for_tests();
+        let mut rng = Rng::seed_from(1);
+        let mut body = build_body(&cfg, &mut rng);
+        let head_shape = cfg.head_output_shape();
+        let x = Tensor::ones(&[2, head_shape[0], head_shape[1], head_shape[2]]);
+        let y = body.forward(&x, Mode::Eval);
+        assert_eq!(y.shape(), &[2, cfg.body_output_features()]);
+    }
+
+    #[test]
+    fn tail_maps_features_to_class_logits() {
+        let cfg = ResNetConfig::tiny_for_tests();
+        let mut rng = Rng::seed_from(2);
+        let mut tail = build_tail(&cfg, 3 * cfg.body_output_features(), &mut rng);
+        let x = Tensor::ones(&[5, 3 * cfg.body_output_features()]);
+        let y = tail.forward(&x, Mode::Eval);
+        assert_eq!(y.shape(), &[5, cfg.num_classes]);
+    }
+
+    #[test]
+    fn full_network_end_to_end_shapes_and_backward() {
+        let cfg = ResNetConfig::tiny_for_tests();
+        let mut rng = Rng::seed_from(3);
+        let mut net = build_full_network(&cfg, &mut rng);
+        let x = Tensor::from_fn(&[2, 3, 8, 8], |i| (i as f32 * 0.01).sin());
+        let y = net.forward(&x, Mode::Train);
+        assert_eq!(y.shape(), &[2, cfg.num_classes]);
+        let g = net.backward(&Tensor::ones(y.shape()));
+        assert_eq!(g.shape(), x.shape());
+        assert!(g.is_finite());
+    }
+
+    #[test]
+    fn paper_configuration_has_resnet18_structure() {
+        let cfg = ResNetConfig::paper_resnet18(10, 32, true);
+        assert_eq!(cfg.stage_channels, vec![64, 128, 256, 512]);
+        assert_eq!(cfg.blocks_per_stage, 2);
+        assert_eq!(cfg.body_output_features(), 512);
+        assert_eq!(cfg.head_output_shape(), vec![64, 16, 16]);
+    }
+
+    #[test]
+    fn two_builds_with_the_same_seed_are_identical() {
+        let cfg = ResNetConfig::tiny_for_tests();
+        let mut rng_a = Rng::seed_from(7);
+        let mut rng_b = Rng::seed_from(7);
+        let a = build_full_network(&cfg, &mut rng_a);
+        let b = build_full_network(&cfg, &mut rng_b);
+        let pa = a.params();
+        let pb = b.params();
+        assert_eq!(pa.len(), pb.len());
+        for (x, y) in pa.iter().zip(pb.iter()) {
+            assert_eq!(x.value, y.value);
+        }
+    }
+}

@@ -1,0 +1,330 @@
+//! Batch normalization over NCHW feature maps.
+
+use crate::{Layer, Mode, Param};
+use ensembler_tensor::Tensor;
+
+/// Batch normalization for convolutional feature maps (`[B, C, H, W]`).
+///
+/// In [`Mode::Train`] the layer normalizes with the statistics of the current
+/// batch and updates exponential running statistics; in [`Mode::Eval`] the
+/// running statistics are used. The learnable per-channel scale (`gamma`) and
+/// shift (`beta`) follow the usual convention.
+///
+/// # Examples
+///
+/// ```
+/// use ensembler_nn::{BatchNorm2d, Layer, Mode};
+/// use ensembler_tensor::Tensor;
+///
+/// let mut bn = BatchNorm2d::new(4);
+/// let x = Tensor::ones(&[2, 4, 3, 3]);
+/// let y = bn.forward(&x, Mode::Train);
+/// assert_eq!(y.shape(), &[2, 4, 3, 3]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchNorm2d {
+    gamma: Param,
+    beta: Param,
+    running_mean: Tensor,
+    running_var: Tensor,
+    momentum: f32,
+    eps: f32,
+    channels: usize,
+    cache: Option<BnCache>,
+}
+
+#[derive(Debug, Clone)]
+struct BnCache {
+    x_hat: Tensor,
+    inv_std: Vec<f32>,
+    input_shape: Vec<usize>,
+    /// Whether the forward pass used batch statistics (training) or the
+    /// frozen running statistics (evaluation). The backward formula differs:
+    /// in evaluation mode the normalization statistics are constants.
+    used_batch_stats: bool,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer for `channels` feature channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` is zero.
+    pub fn new(channels: usize) -> Self {
+        assert!(channels > 0, "channel count must be positive");
+        Self {
+            gamma: Param::new(Tensor::ones(&[channels])),
+            beta: Param::new(Tensor::zeros(&[channels])),
+            running_mean: Tensor::zeros(&[channels]),
+            running_var: Tensor::ones(&[channels]),
+            momentum: 0.1,
+            eps: 1e-5,
+            channels,
+            cache: None,
+        }
+    }
+
+    /// Number of normalized channels.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Returns the running mean tracked across training batches.
+    pub fn running_mean(&self) -> &Tensor {
+        &self.running_mean
+    }
+
+    /// Returns the running variance tracked across training batches.
+    pub fn running_var(&self) -> &Tensor {
+        &self.running_var
+    }
+
+    fn per_channel_stats(&self, input: &Tensor) -> (Vec<f32>, Vec<f32>) {
+        let [b, c, h, w] = [
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        ];
+        let plane = h * w;
+        let count = (b * plane) as f32;
+        let mut means = vec![0.0f32; c];
+        let mut vars = vec![0.0f32; c];
+        for ch in 0..c {
+            let mut sum = 0.0f32;
+            for n in 0..b {
+                let base = n * c * plane + ch * plane;
+                sum += input.data()[base..base + plane].iter().sum::<f32>();
+            }
+            means[ch] = sum / count;
+        }
+        for ch in 0..c {
+            let mut sq = 0.0f32;
+            for n in 0..b {
+                let base = n * c * plane + ch * plane;
+                for &v in &input.data()[base..base + plane] {
+                    let d = v - means[ch];
+                    sq += d * d;
+                }
+            }
+            vars[ch] = sq / count;
+        }
+        (means, vars)
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        assert_eq!(input.rank(), 4, "BatchNorm2d expects NCHW input");
+        assert_eq!(
+            input.shape()[1],
+            self.channels,
+            "BatchNorm2d expected {} channels, got {}",
+            self.channels,
+            input.shape()[1]
+        );
+        let [b, c, h, w] = [
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        ];
+        let plane = h * w;
+
+        let (means, vars) = if mode.is_train() {
+            let (m, v) = self.per_channel_stats(input);
+            for ch in 0..c {
+                self.running_mean.data_mut()[ch] =
+                    (1.0 - self.momentum) * self.running_mean.data()[ch] + self.momentum * m[ch];
+                self.running_var.data_mut()[ch] =
+                    (1.0 - self.momentum) * self.running_var.data()[ch] + self.momentum * v[ch];
+            }
+            (m, v)
+        } else {
+            (
+                self.running_mean.data().to_vec(),
+                self.running_var.data().to_vec(),
+            )
+        };
+
+        let inv_std: Vec<f32> = vars.iter().map(|v| 1.0 / (v + self.eps).sqrt()).collect();
+        let mut x_hat = Tensor::zeros(input.shape());
+        let mut out = Tensor::zeros(input.shape());
+        for n in 0..b {
+            for ch in 0..c {
+                let base = n * c * plane + ch * plane;
+                let g = self.gamma.value.data()[ch];
+                let beta = self.beta.value.data()[ch];
+                for p in 0..plane {
+                    let xh = (input.data()[base + p] - means[ch]) * inv_std[ch];
+                    x_hat.data_mut()[base + p] = xh;
+                    out.data_mut()[base + p] = g * xh + beta;
+                }
+            }
+        }
+        self.cache = Some(BnCache {
+            x_hat,
+            inv_std,
+            input_shape: input.shape().to_vec(),
+            used_batch_stats: mode.is_train(),
+        });
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("backward called before forward on BatchNorm2d");
+        assert_eq!(
+            grad_output.shape(),
+            &cache.input_shape[..],
+            "grad_output shape mismatch in BatchNorm2d"
+        );
+        let [b, c, h, w] = [
+            cache.input_shape[0],
+            cache.input_shape[1],
+            cache.input_shape[2],
+            cache.input_shape[3],
+        ];
+        let plane = h * w;
+        let count = (b * plane) as f32;
+
+        let mut grad_input = Tensor::zeros(grad_output.shape());
+        for ch in 0..c {
+            // Per-channel reductions of dY and dY*x_hat.
+            let mut sum_dy = 0.0f32;
+            let mut sum_dy_xhat = 0.0f32;
+            for n in 0..b {
+                let base = n * c * plane + ch * plane;
+                for p in 0..plane {
+                    let dy = grad_output.data()[base + p];
+                    sum_dy += dy;
+                    sum_dy_xhat += dy * cache.x_hat.data()[base + p];
+                }
+            }
+            self.gamma.grad.data_mut()[ch] += sum_dy_xhat;
+            self.beta.grad.data_mut()[ch] += sum_dy;
+
+            let g = self.gamma.value.data()[ch];
+            let inv_std = cache.inv_std[ch];
+            for n in 0..b {
+                let base = n * c * plane + ch * plane;
+                for p in 0..plane {
+                    let dy = grad_output.data()[base + p];
+                    let xh = cache.x_hat.data()[base + p];
+                    grad_input.data_mut()[base + p] = if cache.used_batch_stats {
+                        // Standard batch-norm backward (training statistics
+                        // depend on the input).
+                        g * inv_std * (dy - sum_dy / count - xh * sum_dy_xhat / count)
+                    } else {
+                        // Evaluation mode: the running statistics are constants.
+                        g * inv_std * dy
+                    };
+                }
+            }
+        }
+        grad_input
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.gamma, &self.beta]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+
+    fn name(&self) -> &'static str {
+        "batch_norm2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer_input_grad;
+    use ensembler_tensor::Rng;
+
+    #[test]
+    fn train_mode_normalizes_batch_statistics() {
+        let mut bn = BatchNorm2d::new(2);
+        let mut rng = Rng::seed_from(0);
+        let x = Tensor::from_fn(&[4, 2, 3, 3], |_| rng.normal_with(5.0, 2.0));
+        let y = bn.forward(&x, Mode::Train);
+        // Per-channel mean ~ 0 and variance ~ 1 after normalization.
+        let stats = y.sum_per_channel();
+        for ch in 0..2 {
+            assert!(stats.data()[ch].abs() / (4.0 * 9.0) < 1e-4);
+        }
+        let var: f32 = y.data().iter().map(|v| v * v).sum::<f32>() / y.len() as f32;
+        assert!((var - 1.0).abs() < 0.05, "variance {var}");
+        assert_eq!(bn.channels(), 2);
+    }
+
+    #[test]
+    fn running_statistics_move_toward_batch_statistics() {
+        let mut bn = BatchNorm2d::new(1);
+        let x = Tensor::full(&[2, 1, 2, 2], 10.0);
+        for _ in 0..200 {
+            let _ = bn.forward(&x, Mode::Train);
+        }
+        assert!((bn.running_mean().data()[0] - 10.0).abs() < 0.2);
+        assert!(bn.running_var().data()[0] < 0.2);
+        // Eval mode now maps the constant input close to zero.
+        let y = bn.forward(&x, Mode::Eval);
+        assert!(y.data().iter().all(|v| v.abs() < 0.5));
+    }
+
+    #[test]
+    fn eval_mode_is_deterministic() {
+        let mut bn = BatchNorm2d::new(3);
+        let x = Tensor::from_fn(&[1, 3, 2, 2], |i| i as f32);
+        let a = bn.forward(&x, Mode::Eval);
+        let b = bn.forward(&x, Mode::Eval);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gamma_beta_affect_output() {
+        let mut bn = BatchNorm2d::new(1);
+        bn.params_mut()[0].value.fill(2.0); // gamma
+        bn.params_mut()[1].value.fill(1.0); // beta
+        let mut rng = Rng::seed_from(1);
+        let x = Tensor::from_fn(&[2, 1, 2, 2], |_| rng.normal());
+        let y = bn.forward(&x, Mode::Train);
+        let mean = y.mean();
+        assert!((mean - 1.0).abs() < 1e-4, "beta should shift mean to 1, got {mean}");
+    }
+
+    #[test]
+    fn train_gradients_match_finite_differences() {
+        // Gradient check in Eval mode (running stats constant) for the affine
+        // part, and a coarse Train-mode check for the full normalization.
+        let mut bn = BatchNorm2d::new(2);
+        check_layer_input_grad(&mut bn, &[2, 2, 3, 3], 0.0, 3e-2);
+    }
+
+    #[test]
+    fn train_mode_input_gradient_sums_to_zero_per_channel() {
+        // Because the output is invariant to adding a constant per channel in
+        // train mode, the input gradient must sum to ~0 per channel.
+        let mut bn = BatchNorm2d::new(2);
+        let mut rng = Rng::seed_from(2);
+        let x = Tensor::from_fn(&[3, 2, 4, 4], |_| rng.normal());
+        let _ = bn.forward(&x, Mode::Train);
+        let g = Tensor::from_fn(&[3, 2, 4, 4], |_| rng.normal());
+        let gi = bn.backward(&g);
+        let sums = gi.sum_per_channel();
+        for v in sums.data() {
+            assert!(v.abs() < 1e-3, "per-channel gradient sum {v} should vanish");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 2 channels")]
+    fn channel_mismatch_panics() {
+        let mut bn = BatchNorm2d::new(2);
+        let _ = bn.forward(&Tensor::ones(&[1, 3, 2, 2]), Mode::Train);
+    }
+}

@@ -1,0 +1,305 @@
+//! First-order optimizers operating on [`Param`] collections.
+
+use crate::Param;
+use ensembler_tensor::Tensor;
+
+/// A first-order optimizer that updates a fixed, ordered collection of
+/// parameters from their accumulated gradients.
+///
+/// Implementations keep per-parameter state (momentum buffers, Adam moments)
+/// indexed by position, so the same parameter ordering must be passed to
+/// every [`Optimizer::step`] call. Gathering parameters from the same model
+/// via [`crate::Layer::params_mut`] guarantees this.
+pub trait Optimizer {
+    /// Applies one update step using the gradients currently stored in the
+    /// parameters and then clears those gradients.
+    fn step(&mut self, params: &mut [&mut Param]);
+
+    /// The current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Replaces the learning rate (used by schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Stochastic gradient descent with classical momentum and optional weight
+/// decay.
+///
+/// # Examples
+///
+/// ```
+/// use ensembler_nn::{Optimizer, Param, Sgd};
+/// use ensembler_tensor::Tensor;
+///
+/// let mut p = Param::new(Tensor::ones(&[2]));
+/// p.grad.fill(1.0);
+/// let mut opt = Sgd::new(0.1).with_momentum(0.0);
+/// opt.step(&mut [&mut p]);
+/// assert_eq!(p.value.data(), &[0.9, 0.9]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer with momentum 0.9 and no weight decay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Self {
+            lr,
+            momentum: 0.9,
+            weight_decay: 0.0,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Sets the momentum coefficient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `momentum` is not in `[0, 1)`.
+    pub fn with_momentum(mut self, momentum: f32) -> Self {
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+        self.momentum = momentum;
+        self
+    }
+
+    /// Sets the L2 weight-decay coefficient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight_decay` is negative.
+    pub fn with_weight_decay(mut self, weight_decay: f32) -> Self {
+        assert!(weight_decay >= 0.0, "weight decay must be non-negative");
+        self.weight_decay = weight_decay;
+        self
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        if self.velocity.len() != params.len() {
+            self.velocity = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
+        }
+        for (i, p) in params.iter_mut().enumerate() {
+            let mut grad = p.grad.clone();
+            if self.weight_decay > 0.0 {
+                grad.axpy(self.weight_decay, &p.value);
+            }
+            let v = &mut self.velocity[i];
+            assert_eq!(
+                v.shape(),
+                p.value.shape(),
+                "parameter {i} changed shape between optimizer steps"
+            );
+            v.scale_assign(self.momentum);
+            v.add_assign(&grad);
+            p.value.axpy(-self.lr, v);
+            p.zero_grad();
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        assert!(lr > 0.0, "learning rate must be positive");
+        self.lr = lr;
+    }
+}
+
+/// Adam optimizer (Kingma & Ba) with bias-corrected moment estimates.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    step_count: u64,
+    first_moment: Vec<Tensor>,
+    second_moment: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the conventional defaults
+    /// (`beta1 = 0.9`, `beta2 = 0.999`, `eps = 1e-8`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            step_count: 0,
+            first_moment: Vec::new(),
+            second_moment: Vec::new(),
+        }
+    }
+
+    /// Sets the L2 weight-decay coefficient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight_decay` is negative.
+    pub fn with_weight_decay(mut self, weight_decay: f32) -> Self {
+        assert!(weight_decay >= 0.0, "weight decay must be non-negative");
+        self.weight_decay = weight_decay;
+        self
+    }
+
+    /// Number of optimizer steps taken so far.
+    pub fn steps_taken(&self) -> u64 {
+        self.step_count
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        if self.first_moment.len() != params.len() {
+            self.first_moment = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
+            self.second_moment = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
+            self.step_count = 0;
+        }
+        self.step_count += 1;
+        let t = self.step_count as f32;
+        let bias1 = 1.0 - self.beta1.powf(t);
+        let bias2 = 1.0 - self.beta2.powf(t);
+
+        for (i, p) in params.iter_mut().enumerate() {
+            let mut grad = p.grad.clone();
+            if self.weight_decay > 0.0 {
+                grad.axpy(self.weight_decay, &p.value);
+            }
+            let m = &mut self.first_moment[i];
+            let v = &mut self.second_moment[i];
+            assert_eq!(
+                m.shape(),
+                p.value.shape(),
+                "parameter {i} changed shape between optimizer steps"
+            );
+            for j in 0..grad.len() {
+                let g = grad.data()[j];
+                let mj = self.beta1 * m.data()[j] + (1.0 - self.beta1) * g;
+                let vj = self.beta2 * v.data()[j] + (1.0 - self.beta2) * g * g;
+                m.data_mut()[j] = mj;
+                v.data_mut()[j] = vj;
+                let m_hat = mj / bias1;
+                let v_hat = vj / bias2;
+                p.value.data_mut()[j] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+            p.zero_grad();
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        assert!(lr > 0.0, "learning rate must be positive");
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_grad(p: &Param) -> Tensor {
+        // Gradient of f(x) = 0.5 * ||x - 3||^2 is (x - 3).
+        p.value.add_scalar(-3.0)
+    }
+
+    #[test]
+    fn sgd_without_momentum_is_plain_descent() {
+        let mut p = Param::new(Tensor::from_vec(vec![2.0, -1.0], &[2]).unwrap());
+        p.grad = Tensor::from_vec(vec![0.5, -0.5], &[2]).unwrap();
+        let mut opt = Sgd::new(0.2).with_momentum(0.0);
+        opt.step(&mut [&mut p]);
+        assert_eq!(p.value.data(), &[1.9, -0.9]);
+        assert_eq!(p.grad.data(), &[0.0, 0.0], "step clears gradients");
+    }
+
+    #[test]
+    fn sgd_converges_on_a_quadratic() {
+        let mut p = Param::new(Tensor::zeros(&[4]));
+        let mut opt = Sgd::new(0.1).with_momentum(0.9);
+        for _ in 0..200 {
+            p.grad = quadratic_grad(&p);
+            opt.step(&mut [&mut p]);
+        }
+        for v in p.value.data() {
+            assert!((v - 3.0).abs() < 1e-3, "converged value {v}");
+        }
+    }
+
+    #[test]
+    fn adam_converges_on_a_quadratic() {
+        let mut p = Param::new(Tensor::zeros(&[4]));
+        let mut opt = Adam::new(0.05);
+        for _ in 0..500 {
+            p.grad = quadratic_grad(&p);
+            opt.step(&mut [&mut p]);
+        }
+        for v in p.value.data() {
+            assert!((v - 3.0).abs() < 1e-2, "converged value {v}");
+        }
+        assert_eq!(opt.steps_taken(), 500);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_parameters_without_gradient() {
+        let mut p = Param::new(Tensor::ones(&[3]));
+        let mut opt = Sgd::new(0.1).with_momentum(0.0).with_weight_decay(0.5);
+        opt.step(&mut [&mut p]);
+        for v in p.value.data() {
+            assert!((v - 0.95).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn learning_rate_can_be_scheduled() {
+        let mut opt = Sgd::new(0.1);
+        assert!((opt.learning_rate() - 0.1).abs() < f32::EPSILON);
+        opt.set_learning_rate(0.01);
+        assert!((opt.learning_rate() - 0.01).abs() < f32::EPSILON);
+        let mut adam = Adam::new(1e-3);
+        adam.set_learning_rate(1e-4);
+        assert!((adam.learning_rate() - 1e-4).abs() < f32::EPSILON);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate must be positive")]
+    fn zero_learning_rate_rejected() {
+        let _ = Sgd::new(0.0);
+    }
+
+    #[test]
+    fn adam_handles_two_parameter_groups() {
+        let mut a = Param::new(Tensor::zeros(&[2]));
+        let mut b = Param::new(Tensor::zeros(&[5]));
+        let mut opt = Adam::new(0.1);
+        for _ in 0..100 {
+            a.grad = a.value.add_scalar(-1.0);
+            b.grad = b.value.add_scalar(2.0);
+            opt.step(&mut [&mut a, &mut b]);
+        }
+        assert!(a.value.data().iter().all(|v| (v - 1.0).abs() < 0.05));
+        assert!(b.value.data().iter().all(|v| (v + 2.0).abs() < 0.05));
+    }
+}

@@ -1,0 +1,282 @@
+//! Spatial pooling layers.
+
+use crate::{Layer, Mode};
+use ensembler_tensor::Tensor;
+
+/// Max pooling with a square window and matching stride (no padding).
+///
+/// # Examples
+///
+/// ```
+/// use ensembler_nn::{Layer, MaxPool2d, Mode};
+/// use ensembler_tensor::Tensor;
+///
+/// let mut pool = MaxPool2d::new(2);
+/// let y = pool.forward(&Tensor::ones(&[1, 3, 8, 8]), Mode::Eval);
+/// assert_eq!(y.shape(), &[1, 3, 4, 4]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MaxPool2d {
+    window: usize,
+    cached_argmax: Option<Vec<usize>>,
+    cached_input_shape: Option<Vec<usize>>,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pool layer with the given window size (stride = window).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "pooling window must be positive");
+        Self {
+            window,
+            cached_argmax: None,
+            cached_input_shape: None,
+        }
+    }
+
+    /// Returns the pooling window size.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        assert_eq!(input.rank(), 4, "MaxPool2d expects NCHW input");
+        let [b, c, h, w] = [
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        ];
+        let k = self.window;
+        assert!(
+            h % k == 0 && w % k == 0,
+            "MaxPool2d window {k} must divide spatial dims ({h}x{w})"
+        );
+        let (oh, ow) = (h / k, w / k);
+        let mut out = Tensor::zeros(&[b, c, oh, ow]);
+        let mut argmax = vec![0usize; b * c * oh * ow];
+        let plane = h * w;
+        for n in 0..b {
+            for ch in 0..c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0usize;
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                let iy = oy * k + ky;
+                                let ix = ox * k + kx;
+                                let idx = n * c * plane + ch * plane + iy * w + ix;
+                                let v = input.data()[idx];
+                                if v > best {
+                                    best = v;
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        let out_idx = ((n * c + ch) * oh + oy) * ow + ox;
+                        out.data_mut()[out_idx] = best;
+                        argmax[out_idx] = best_idx;
+                    }
+                }
+            }
+        }
+        self.cached_argmax = Some(argmax);
+        self.cached_input_shape = Some(input.shape().to_vec());
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let argmax = self
+            .cached_argmax
+            .as_ref()
+            .expect("backward called before forward on MaxPool2d");
+        let shape = self
+            .cached_input_shape
+            .as_ref()
+            .expect("input shape cached by forward");
+        assert_eq!(grad_output.len(), argmax.len(), "grad_output size mismatch");
+        let mut grad_input = Tensor::zeros(shape);
+        for (out_idx, &src_idx) in argmax.iter().enumerate() {
+            grad_input.data_mut()[src_idx] += grad_output.data()[out_idx];
+        }
+        grad_input
+    }
+
+    fn name(&self) -> &'static str {
+        "max_pool2d"
+    }
+}
+
+/// Global average pooling: collapses each feature map to its mean, producing
+/// `[B, C]` features for the classifier tail.
+#[derive(Debug, Default, Clone)]
+pub struct GlobalAvgPool {
+    cached_input_shape: Option<Vec<usize>>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global average pooling layer.
+    pub fn new() -> Self {
+        Self {
+            cached_input_shape: None,
+        }
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        assert_eq!(input.rank(), 4, "GlobalAvgPool expects NCHW input");
+        let [b, c, h, w] = [
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        ];
+        let plane = (h * w) as f32;
+        self.cached_input_shape = Some(input.shape().to_vec());
+        let sums = input.sum_per_channel_per_sample();
+        Tensor::from_vec(
+            sums.data().iter().map(|s| s / plane).collect(),
+            &[b, c],
+        )
+        .expect("pooled output has B*C elements")
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let shape = self
+            .cached_input_shape
+            .as_ref()
+            .expect("backward called before forward on GlobalAvgPool");
+        let [b, c, h, w] = [shape[0], shape[1], shape[2], shape[3]];
+        assert_eq!(grad_output.shape(), &[b, c], "grad_output must be [B, C]");
+        let plane = h * w;
+        let scale = 1.0 / plane as f32;
+        let mut grad_input = Tensor::zeros(shape);
+        for n in 0..b {
+            for ch in 0..c {
+                let g = grad_output.data()[n * c + ch] * scale;
+                let base = n * c * plane + ch * plane;
+                for v in &mut grad_input.data_mut()[base..base + plane] {
+                    *v = g;
+                }
+            }
+        }
+        grad_input
+    }
+
+    fn name(&self) -> &'static str {
+        "global_avg_pool"
+    }
+}
+
+/// Extension used by [`GlobalAvgPool`]: per-sample per-channel sums.
+trait PerSampleChannelSum {
+    fn sum_per_channel_per_sample(&self) -> Tensor;
+}
+
+impl PerSampleChannelSum for Tensor {
+    fn sum_per_channel_per_sample(&self) -> Tensor {
+        let [b, c, h, w] = [self.shape()[0], self.shape()[1], self.shape()[2], self.shape()[3]];
+        let plane = h * w;
+        let mut out = vec![0.0f32; b * c];
+        for n in 0..b {
+            for ch in 0..c {
+                let base = n * c * plane + ch * plane;
+                out[n * c + ch] = self.data()[base..base + plane].iter().sum();
+            }
+        }
+        Tensor::from_vec(out, &[b, c]).expect("length equals B*C")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer_input_grad;
+
+    #[test]
+    fn max_pool_selects_maxima() {
+        let mut pool = MaxPool2d::new(2);
+        let x = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 5.0, 6.0, //
+                3.0, 4.0, 7.0, 8.0, //
+                -1.0, -2.0, 0.0, 0.5, //
+                -3.0, -4.0, 0.25, 0.75,
+            ],
+            &[1, 1, 4, 4],
+        )
+        .unwrap();
+        let y = pool.forward(&x, Mode::Eval);
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[4.0, 8.0, -1.0, 0.75]);
+        assert_eq!(pool.window(), 2);
+    }
+
+    #[test]
+    fn max_pool_backward_routes_gradient_to_argmax() {
+        let mut pool = MaxPool2d::new(2);
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0],
+            &[1, 1, 2, 2],
+        )
+        .unwrap();
+        let _ = pool.forward(&x, Mode::Eval);
+        let g = pool.backward(&Tensor::from_vec(vec![5.0], &[1, 1, 1, 1]).unwrap());
+        assert_eq!(g.data(), &[0.0, 0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide spatial dims")]
+    fn max_pool_requires_divisible_extent() {
+        let mut pool = MaxPool2d::new(2);
+        let _ = pool.forward(&Tensor::ones(&[1, 1, 3, 3]), Mode::Eval);
+    }
+
+    #[test]
+    fn global_avg_pool_means_and_shape() {
+        let mut pool = GlobalAvgPool::new();
+        let x = Tensor::from_fn(&[2, 3, 2, 2], |i| i as f32);
+        let y = pool.forward(&x, Mode::Eval);
+        assert_eq!(y.shape(), &[2, 3]);
+        assert_eq!(y.at2(0, 0), 1.5); // mean of 0,1,2,3
+        assert_eq!(y.at2(1, 2), 21.5); // mean of 20..=23
+    }
+
+    #[test]
+    fn global_avg_pool_gradient_matches_finite_differences() {
+        check_layer_input_grad(&mut GlobalAvgPool::new(), &[2, 3, 3, 3], 0.0, 1e-2);
+    }
+
+    #[test]
+    fn max_pool_gradient_matches_finite_differences_away_from_ties() {
+        // Build an input whose window maxima are separated by much more than
+        // the finite-difference step, so perturbations never flip the argmax.
+        let mut pool = MaxPool2d::new(2);
+        let x = Tensor::from_fn(&[1, 2, 4, 4], |i| i as f32 * 0.5);
+        let w = Tensor::from_fn(&[1, 2, 2, 2], |i| 0.3 + 0.1 * i as f32);
+        let _ = pool.forward(&x, Mode::Eval);
+        let analytic = pool.backward(&w);
+        let eps = 1e-2f32;
+        for idx in 0..x.len() {
+            let mut plus = x.clone();
+            plus.data_mut()[idx] += eps;
+            let mut minus = x.clone();
+            minus.data_mut()[idx] -= eps;
+            let f_plus = pool.forward(&plus, Mode::Eval).dot(&w);
+            let f_minus = pool.forward(&minus, Mode::Eval).dot(&w);
+            let numeric = (f_plus - f_minus) / (2.0 * eps);
+            assert!(
+                (numeric - analytic.data()[idx]).abs() < 1e-3,
+                "index {idx}: numeric {numeric} vs analytic {}",
+                analytic.data()[idx]
+            );
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Property-based tests for the NN layer library.
+
+use ensembler_nn::{
+    cosine_penalty, softmax, CrossEntropyLoss, Dropout, Layer, Linear, Mode, MseLoss, Relu,
+    Sequential, Sgd, Optimizer,
+};
+use ensembler_tensor::{Rng, Tensor};
+use proptest::prelude::*;
+
+fn random_logits() -> impl Strategy<Value = (Tensor, Vec<usize>)> {
+    (1usize..5, 2usize..6, any::<u64>()).prop_map(|(batch, classes, seed)| {
+        let mut rng = Rng::seed_from(seed);
+        let logits = Tensor::from_fn(&[batch, classes], |_| rng.uniform(-3.0, 3.0));
+        let targets = (0..batch).map(|_| rng.below(classes)).collect();
+        (logits, targets)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn softmax_outputs_are_probabilities((logits, _targets) in random_logits()) {
+        let p = softmax(&logits);
+        let classes = logits.shape()[1];
+        for r in 0..logits.shape()[0] {
+            let sum: f32 = (0..classes).map(|c| p.at2(r, c)).sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            for c in 0..classes {
+                prop_assert!(p.at2(r, c) >= 0.0 && p.at2(r, c) <= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn cross_entropy_is_nonnegative_and_gradient_rows_sum_to_zero(
+        (logits, targets) in random_logits()
+    ) {
+        let out = CrossEntropyLoss::new().compute(&logits, &targets);
+        prop_assert!(out.loss >= 0.0);
+        let classes = logits.shape()[1];
+        for r in 0..logits.shape()[0] {
+            let s: f32 = (0..classes).map(|c| out.grad.at2(r, c)).sum();
+            prop_assert!(s.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn lowering_the_true_logit_never_decreases_the_loss(
+        (logits, targets) in random_logits(),
+        delta in 0.1f32..2.0
+    ) {
+        let ce = CrossEntropyLoss::new();
+        let before = ce.compute(&logits, &targets).loss;
+        let mut worse = logits.clone();
+        let classes = logits.shape()[1];
+        for (n, &t) in targets.iter().enumerate() {
+            worse.data_mut()[n * classes + t] -= delta;
+        }
+        let after = ce.compute(&worse, &targets).loss;
+        prop_assert!(after >= before - 1e-5);
+    }
+
+    #[test]
+    fn mse_is_zero_iff_equal(seed in any::<u64>()) {
+        let mut rng = Rng::seed_from(seed);
+        let a = Tensor::from_fn(&[3, 4], |_| rng.uniform(-1.0, 1.0));
+        let same = MseLoss::new().compute(&a, &a);
+        prop_assert!(same.loss.abs() < 1e-9);
+        let b = a.add_scalar(0.5);
+        prop_assert!(MseLoss::new().compute(&a, &b).loss > 0.2);
+    }
+
+    #[test]
+    fn cosine_penalty_is_bounded_by_lambda(seed in any::<u64>(), lambda in 0.0f32..5.0) {
+        let mut rng = Rng::seed_from(seed);
+        let f = Tensor::from_fn(&[2, 8], |_| rng.uniform(-1.0, 1.0));
+        let refs = vec![
+            Tensor::from_fn(&[2, 8], |_| rng.uniform(-1.0, 1.0)),
+            Tensor::from_fn(&[2, 8], |_| rng.uniform(-1.0, 1.0)),
+        ];
+        let out = cosine_penalty(&f, &refs, lambda);
+        prop_assert!(out.penalty <= lambda + 1e-4);
+        prop_assert!(out.penalty >= -lambda - 1e-4);
+        prop_assert!(out.grad.is_finite());
+    }
+
+    #[test]
+    fn sequential_backward_shape_matches_input(seed in any::<u64>()) {
+        let mut rng = Rng::seed_from(seed);
+        let mut net = Sequential::new(vec![
+            Box::new(Linear::new(6, 5, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(Linear::new(5, 4, &mut rng)),
+        ]);
+        let x = Tensor::from_fn(&[3, 6], |_| rng.uniform(-1.0, 1.0));
+        let y = net.forward(&x, Mode::Train);
+        prop_assert_eq!(y.shape(), &[3, 4]);
+        let g = net.backward(&Tensor::ones(&[3, 4]));
+        prop_assert_eq!(g.shape(), x.shape());
+        prop_assert!(g.is_finite());
+    }
+
+    #[test]
+    fn dropout_preserves_expected_value(seed in any::<u64>(), p in 0.0f32..0.9) {
+        let mut drop = Dropout::new(p, seed);
+        let x = Tensor::ones(&[1, 4096]);
+        let y = drop.forward(&x, Mode::Train);
+        // Inverted dropout keeps E[y] = x; allow generous sampling slack.
+        prop_assert!((y.mean() - 1.0).abs() < 0.15);
+    }
+
+    #[test]
+    fn sgd_step_moves_against_the_gradient(seed in any::<u64>(), lr in 0.001f32..0.5) {
+        let mut rng = Rng::seed_from(seed);
+        let mut fc = Linear::new(4, 3, &mut rng);
+        let x = Tensor::from_fn(&[2, 4], |_| rng.uniform(-1.0, 1.0));
+        let targets = vec![0usize, 2];
+        let ce = CrossEntropyLoss::new();
+
+        let logits = fc.forward(&x, Mode::Train);
+        let before = ce.compute(&logits, &targets);
+        fc.zero_grad();
+        fc.backward(&before.grad);
+        let mut opt = Sgd::new(lr).with_momentum(0.0);
+        opt.step(&mut fc.params_mut());
+
+        let logits_after = fc.forward(&x, Mode::Train);
+        let after = ce.compute(&logits_after, &targets);
+        // A single small gradient step on a smooth convex-in-logits loss must
+        // not increase it (up to numerical noise).
+        prop_assert!(after.loss <= before.loss + 1e-4);
+    }
+
+    #[test]
+    fn training_a_small_mlp_reduces_loss(seed in any::<u64>()) {
+        let mut rng = Rng::seed_from(seed);
+        let mut net = Sequential::new(vec![
+            Box::new(Linear::new(2, 16, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(Linear::new(16, 2, &mut rng)),
+        ]);
+        // Two-class separable blobs.
+        let n = 32;
+        let mut data = Vec::with_capacity(n * 2);
+        let mut targets = Vec::with_capacity(n);
+        for i in 0..n {
+            let class = i % 2;
+            let centre = if class == 0 { -1.0 } else { 1.0 };
+            data.push(centre + rng.normal_with(0.0, 0.2));
+            data.push(centre + rng.normal_with(0.0, 0.2));
+            targets.push(class);
+        }
+        let x = Tensor::from_vec(data, &[n, 2]).unwrap();
+        let ce = CrossEntropyLoss::new();
+        let mut opt = Sgd::new(0.1).with_momentum(0.9);
+
+        let first = ce.compute(&net.forward(&x, Mode::Train), &targets).loss;
+        let mut last = first;
+        for _ in 0..30 {
+            let logits = net.forward(&x, Mode::Train);
+            let out = ce.compute(&logits, &targets);
+            net.zero_grad();
+            net.backward(&out.grad);
+            opt.step(&mut net.params_mut());
+            last = out.loss;
+        }
+        prop_assert!(last < first, "loss should decrease: {first} -> {last}");
+    }
+}

@@ -1,0 +1,259 @@
+//! `im2col`/`col2im` lowering used to express 2-D (de)convolutions as GEMMs.
+
+use crate::Tensor;
+
+/// Geometry of a 2-D convolution: kernel size, stride and zero padding.
+///
+/// The same geometry object describes both the forward convolution and the
+/// transposed convolution that shares its connectivity pattern, which keeps
+/// the decoder used by the model inversion attack symmetric to the encoder it
+/// inverts.
+///
+/// # Examples
+///
+/// ```
+/// use ensembler_tensor::Conv2dGeometry;
+///
+/// let g = Conv2dGeometry::new(3, 1, 1);
+/// assert_eq!(g.output_extent(16), 16); // "same" convolution
+/// let s = Conv2dGeometry::new(3, 2, 1);
+/// assert_eq!(s.output_extent(16), 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Conv2dGeometry {
+    /// Square kernel extent.
+    pub kernel: usize,
+    /// Stride along both spatial axes.
+    pub stride: usize,
+    /// Zero padding added on every border.
+    pub padding: usize,
+}
+
+impl Conv2dGeometry {
+    /// Creates a geometry description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` or `stride` is zero.
+    pub fn new(kernel: usize, stride: usize, padding: usize) -> Self {
+        assert!(kernel > 0, "kernel size must be positive");
+        assert!(stride > 0, "stride must be positive");
+        Self {
+            kernel,
+            stride,
+            padding,
+        }
+    }
+
+    /// Output spatial extent for an input extent under this geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the padded input is smaller than the kernel.
+    pub fn output_extent(&self, input: usize) -> usize {
+        let padded = input + 2 * self.padding;
+        assert!(
+            padded >= self.kernel,
+            "padded input {padded} smaller than kernel {}",
+            self.kernel
+        );
+        (padded - self.kernel) / self.stride + 1
+    }
+
+    /// Input spatial extent reconstructed by the matching transposed
+    /// convolution from an output extent.
+    pub fn transposed_output_extent(&self, input: usize) -> usize {
+        (input - 1) * self.stride + self.kernel - 2 * self.padding
+    }
+}
+
+/// Unfolds an NCHW tensor into the column matrix used by GEMM-based
+/// convolution.
+///
+/// The result has shape `[batch * out_h * out_w, channels * kernel * kernel]`:
+/// each row is the flattened receptive field of one output position.
+///
+/// # Panics
+///
+/// Panics if `input` is not rank-4.
+pub fn im2col(input: &Tensor, geom: Conv2dGeometry) -> Tensor {
+    assert_eq!(input.rank(), 4, "im2col requires an NCHW tensor");
+    let [b, c, h, w] = [
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    ];
+    let out_h = geom.output_extent(h);
+    let out_w = geom.output_extent(w);
+    let k = geom.kernel;
+    let cols = c * k * k;
+    let rows = b * out_h * out_w;
+    let mut out = vec![0.0f32; rows * cols];
+
+    let plane = h * w;
+    for n in 0..b {
+        for oy in 0..out_h {
+            for ox in 0..out_w {
+                let row_idx = (n * out_h + oy) * out_w + ox;
+                let row = &mut out[row_idx * cols..(row_idx + 1) * cols];
+                for ch in 0..c {
+                    for ky in 0..k {
+                        let iy = (oy * geom.stride + ky) as isize - geom.padding as isize;
+                        for kx in 0..k {
+                            let ix = (ox * geom.stride + kx) as isize - geom.padding as isize;
+                            let col_idx = (ch * k + ky) * k + kx;
+                            if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
+                                row[col_idx] = input.data()
+                                    [n * c * plane + ch * plane + iy as usize * w + ix as usize];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[rows, cols]).expect("im2col buffer sized to rows*cols")
+}
+
+/// Folds a column matrix back into an NCHW tensor, accumulating overlapping
+/// contributions. This is the adjoint of [`im2col`] and is used for the
+/// backward pass of convolution and the forward pass of transposed
+/// convolution.
+///
+/// # Panics
+///
+/// Panics if `cols` does not have shape
+/// `[batch * out_h * out_w, channels * kernel * kernel]` for the given
+/// geometry and output shape.
+pub fn col2im(
+    cols: &Tensor,
+    batch: usize,
+    channels: usize,
+    height: usize,
+    width: usize,
+    geom: Conv2dGeometry,
+) -> Tensor {
+    let out_h = geom.output_extent(height);
+    let out_w = geom.output_extent(width);
+    let k = geom.kernel;
+    let expected_rows = batch * out_h * out_w;
+    let expected_cols = channels * k * k;
+    assert_eq!(
+        cols.shape(),
+        &[expected_rows, expected_cols],
+        "col2im input shape mismatch"
+    );
+
+    let mut out = Tensor::zeros(&[batch, channels, height, width]);
+    let plane = height * width;
+    for n in 0..batch {
+        for oy in 0..out_h {
+            for ox in 0..out_w {
+                let row_idx = (n * out_h + oy) * out_w + ox;
+                let row = &cols.data()[row_idx * expected_cols..(row_idx + 1) * expected_cols];
+                for ch in 0..channels {
+                    for ky in 0..k {
+                        let iy = (oy * geom.stride + ky) as isize - geom.padding as isize;
+                        for kx in 0..k {
+                            let ix = (ox * geom.stride + kx) as isize - geom.padding as isize;
+                            if iy >= 0 && (iy as usize) < height && ix >= 0 && (ix as usize) < width
+                            {
+                                let col_idx = (ch * k + ky) * k + kx;
+                                out.data_mut()[n * channels * plane
+                                    + ch * plane
+                                    + iy as usize * width
+                                    + ix as usize] += row[col_idx];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_extents() {
+        let same = Conv2dGeometry::new(3, 1, 1);
+        assert_eq!(same.output_extent(8), 8);
+        assert_eq!(same.transposed_output_extent(8), 8);
+        let down = Conv2dGeometry::new(2, 2, 0);
+        assert_eq!(down.output_extent(8), 4);
+        assert_eq!(down.transposed_output_extent(4), 8);
+        let valid = Conv2dGeometry::new(3, 1, 0);
+        assert_eq!(valid.output_extent(8), 6);
+        assert_eq!(valid.transposed_output_extent(6), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel size must be positive")]
+    fn zero_kernel_rejected() {
+        let _ = Conv2dGeometry::new(0, 1, 0);
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // A 1x1 kernel with stride 1 and no padding is a pure reshape.
+        let input = Tensor::from_fn(&[1, 2, 2, 2], |i| i as f32);
+        let cols = im2col(&input, Conv2dGeometry::new(1, 1, 0));
+        assert_eq!(cols.shape(), &[4, 2]);
+        // Row layout is (pixel, channel).
+        assert_eq!(cols.at2(0, 0), input.at4(0, 0, 0, 0));
+        assert_eq!(cols.at2(0, 1), input.at4(0, 1, 0, 0));
+        assert_eq!(cols.at2(3, 0), input.at4(0, 0, 1, 1));
+    }
+
+    #[test]
+    fn im2col_extracts_padded_receptive_fields() {
+        let input = Tensor::from_fn(&[1, 1, 3, 3], |i| (i + 1) as f32);
+        let cols = im2col(&input, Conv2dGeometry::new(3, 1, 1));
+        assert_eq!(cols.shape(), &[9, 9]);
+        // Top-left output position: the padded corner, so only the lower-right
+        // 2x2 block of the kernel window overlaps the image.
+        let first_row = &cols.data()[0..9];
+        assert_eq!(
+            first_row,
+            &[0.0, 0.0, 0.0, 0.0, 1.0, 2.0, 0.0, 4.0, 5.0]
+        );
+        // Centre output position sees the whole image.
+        let centre = &cols.data()[4 * 9..5 * 9];
+        assert_eq!(
+            centre,
+            &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0]
+        );
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for any x, y: the defining property
+        // of an adjoint pair, and exactly what the conv backward pass relies on.
+        let geom = Conv2dGeometry::new(3, 2, 1);
+        let x = Tensor::from_fn(&[2, 3, 5, 5], |i| ((i * 37 % 17) as f32) - 8.0);
+        let cols_shape_rows = 2 * geom.output_extent(5) * geom.output_extent(5);
+        let cols_shape_cols = 3 * 3 * 3;
+        let y = Tensor::from_fn(&[cols_shape_rows, cols_shape_cols], |i| {
+            ((i * 13 % 29) as f32) * 0.25 - 3.0
+        });
+        let lhs = im2col(&x, geom).dot(&y);
+        let rhs = x.dot(&col2im(&y, 2, 3, 5, 5, geom));
+        assert!((lhs - rhs).abs() < 1e-2, "adjoint mismatch: {lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn col2im_accumulates_overlaps() {
+        // With a 2x2 kernel, stride 1, no padding on a 3x3 image, the centre
+        // pixel is covered by all four receptive fields.
+        let geom = Conv2dGeometry::new(2, 1, 0);
+        let ones = Tensor::ones(&[4, 4]); // 4 output positions x (1*2*2) cols
+        let img = col2im(&ones, 1, 1, 3, 3, geom);
+        assert_eq!(img.at4(0, 0, 1, 1), 4.0);
+        assert_eq!(img.at4(0, 0, 0, 0), 1.0);
+        assert_eq!(img.at4(0, 0, 0, 1), 2.0);
+    }
+}

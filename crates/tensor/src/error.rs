@@ -1,0 +1,60 @@
+//! Error type for fallible tensor constructors and reshapes.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a tensor operation is requested with incompatible
+/// shapes or element counts.
+///
+/// # Examples
+///
+/// ```
+/// use ensembler_tensor::Tensor;
+///
+/// let err = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[2, 2]).unwrap_err();
+/// assert!(err.to_string().contains("expected 4 elements"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    message: String,
+}
+
+impl ShapeError {
+    /// Creates a new shape error carrying a human-readable description.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+
+    /// Returns the human-readable description of the mismatch.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl Error for ShapeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_message() {
+        let e = ShapeError::new("expected 4 elements, got 3");
+        assert_eq!(e.to_string(), "expected 4 elements, got 3");
+        assert_eq!(e.message(), "expected 4 elements, got 3");
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ShapeError>();
+    }
+}

@@ -1,0 +1,40 @@
+//! Dense NCHW `f32` tensor kernel for the Ensembler reproduction.
+//!
+//! This crate is the numerical substrate that replaces PyTorch in the original
+//! paper. It provides a single dense, row-major [`Tensor`] type together with
+//! the operations needed by the neural-network layers in `ensembler-nn`:
+//! element-wise arithmetic, matrix multiplication, reductions, and the
+//! `im2col`/`col2im` transformations used to express convolutions as GEMMs.
+//!
+//! The design goal is predictability rather than raw speed: every operation is
+//! implemented with straightforward loops over contiguous buffers so the
+//! gradient checks in `ensembler-nn` validate against an easily auditable
+//! reference.
+//!
+//! # Examples
+//!
+//! ```
+//! use ensembler_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+//! let b = Tensor::ones(&[2, 2]);
+//! let c = a.matmul(&b);
+//! assert_eq!(c.shape(), &[2, 2]);
+//! assert_eq!(c.data(), &[3.0, 3.0, 7.0, 7.0]);
+//! # Ok::<(), ensembler_tensor::ShapeError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod conv;
+mod error;
+mod init;
+mod ops;
+mod shape;
+mod tensor;
+
+pub use conv::{col2im, im2col, Conv2dGeometry};
+pub use error::ShapeError;
+pub use init::{Init, Rng};
+pub use shape::{broadcast_compatible, stride_for, Shape};
+pub use tensor::Tensor;

@@ -1,0 +1,158 @@
+//! Shape bookkeeping helpers shared by the tensor operations.
+
+use serde::{Deserialize, Serialize};
+
+/// A tensor shape: the extent of every axis in row-major order.
+///
+/// The Ensembler stack uses at most four axes (`[batch, channels, height,
+/// width]`), but [`Shape`] itself is rank-agnostic so fully-connected layers
+/// can use two-axis shapes without special cases.
+///
+/// # Examples
+///
+/// ```
+/// use ensembler_tensor::Shape;
+///
+/// let s = Shape::new(&[2, 3, 4, 4]);
+/// assert_eq!(s.len(), 96);
+/// assert_eq!(s.rank(), 4);
+/// assert_eq!(s.dims(), &[2, 3, 4, 4]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from the given dimensions.
+    pub fn new(dims: &[usize]) -> Self {
+        Self {
+            dims: dims.to_vec(),
+        }
+    }
+
+    /// Returns the dimensions as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Returns the number of axes.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Returns the total number of elements described by this shape.
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Returns `true` if the shape describes zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns the row-major strides for this shape.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ensembler_tensor::Shape;
+    /// assert_eq!(Shape::new(&[2, 3, 4]).strides(), vec![12, 4, 1]);
+    /// ```
+    pub fn strides(&self) -> Vec<usize> {
+        stride_for(&self.dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape { dims }
+    }
+}
+
+/// Computes row-major strides for a dimension list.
+///
+/// # Examples
+///
+/// ```
+/// use ensembler_tensor::stride_for;
+/// assert_eq!(stride_for(&[4, 2, 3]), vec![6, 3, 1]);
+/// assert_eq!(stride_for(&[]), Vec::<usize>::new());
+/// ```
+pub fn stride_for(dims: &[usize]) -> Vec<usize> {
+    let mut strides = vec![1usize; dims.len()];
+    for i in (0..dims.len().saturating_sub(1)).rev() {
+        strides[i] = strides[i + 1] * dims[i + 1];
+    }
+    strides
+}
+
+/// Returns `true` if two shapes are element-wise compatible (identical dims).
+///
+/// The tensor kernel intentionally does not implement NumPy-style implicit
+/// broadcasting; the only "broadcast" the NN layers need (per-channel bias) is
+/// provided as an explicit operation on [`crate::Tensor`].
+///
+/// # Examples
+///
+/// ```
+/// use ensembler_tensor::broadcast_compatible;
+/// assert!(broadcast_compatible(&[2, 3], &[2, 3]));
+/// assert!(!broadcast_compatible(&[2, 3], &[3, 2]));
+/// ```
+pub fn broadcast_compatible(a: &[usize], b: &[usize]) -> bool {
+    a == b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_basics() {
+        let s = Shape::new(&[2, 3, 4, 5]);
+        assert_eq!(s.rank(), 4);
+        assert_eq!(s.len(), 120);
+        assert!(!s.is_empty());
+        assert_eq!(s.strides(), vec![60, 20, 5, 1]);
+    }
+
+    #[test]
+    fn zero_sized_shape_is_empty() {
+        let s = Shape::new(&[2, 0, 4]);
+        assert_eq!(s.len(), 0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::new(&[]);
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.strides(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn conversions() {
+        let a: Shape = vec![1, 2].into();
+        let b: Shape = (&[1usize, 2][..]).into();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn strides_for_single_axis() {
+        assert_eq!(stride_for(&[7]), vec![1]);
+    }
+
+    #[test]
+    fn compatibility_requires_equality() {
+        assert!(broadcast_compatible(&[4], &[4]));
+        assert!(!broadcast_compatible(&[4], &[4, 1]));
+    }
+}

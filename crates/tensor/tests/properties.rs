@@ -1,0 +1,147 @@
+//! Property-based tests for the tensor kernel.
+
+use ensembler_tensor::{col2im, im2col, Conv2dGeometry, Rng, Tensor};
+use proptest::prelude::*;
+
+/// Strategy producing a small random tensor with a random 2-D shape.
+fn small_matrix() -> impl Strategy<Value = Tensor> {
+    (1usize..6, 1usize..6, any::<u64>()).prop_map(|(r, c, seed)| {
+        let mut rng = Rng::seed_from(seed);
+        Tensor::from_fn(&[r, c], |_| rng.uniform(-2.0, 2.0))
+    })
+}
+
+/// Strategy producing a small random NCHW tensor.
+fn small_nchw() -> impl Strategy<Value = Tensor> {
+    (1usize..3, 1usize..4, 3usize..7, 3usize..7, any::<u64>()).prop_map(|(b, c, h, w, seed)| {
+        let mut rng = Rng::seed_from(seed);
+        Tensor::from_fn(&[b, c, h, w], |_| rng.uniform(-1.0, 1.0))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn addition_commutes(a in small_matrix()) {
+        let b = a.map(|x| x * 0.5 - 1.0);
+        let ab = a.add(&b);
+        let ba = b.add(&a);
+        prop_assert_eq!(ab.data(), ba.data());
+    }
+
+    #[test]
+    fn subtraction_is_inverse_of_addition(a in small_matrix()) {
+        let b = a.map(|x| (x * 3.0).sin());
+        let back = a.add(&b).sub(&b);
+        for (x, y) in back.data().iter().zip(a.data()) {
+            prop_assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn scaling_distributes_over_addition(a in small_matrix(), k in -3.0f32..3.0) {
+        let b = a.map(|x| x + 1.0);
+        let lhs = a.add(&b).scale(k);
+        let rhs = a.scale(k).add(&b.scale(k));
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn transpose_is_involutive(a in small_matrix()) {
+        prop_assert_eq!(a.transpose2().transpose2(), a);
+    }
+
+    #[test]
+    fn matmul_agrees_with_naive_definition(a in small_matrix(), seed in any::<u64>()) {
+        let k = a.shape()[1];
+        let n = 1 + (seed % 4) as usize;
+        let mut rng = Rng::seed_from(seed);
+        let b = Tensor::from_fn(&[k, n], |_| rng.uniform(-1.0, 1.0));
+        let c = a.matmul(&b);
+        for i in 0..a.shape()[0] {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc += a.at2(i, p) * b.at2(p, j);
+                }
+                prop_assert!((c.at2(i, j) - acc).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn reshape_preserves_sum(a in small_matrix()) {
+        let flat = a.reshape(&[a.len()]).unwrap();
+        prop_assert!((flat.sum() - a.sum()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn sum_axis_decompositions_agree(a in small_matrix()) {
+        let total = a.sum();
+        prop_assert!((a.sum_axis0().sum() - total).abs() < 1e-4);
+        prop_assert!((a.sum_axis1().sum() - total).abs() < 1e-4);
+    }
+
+    #[test]
+    fn cosine_similarity_is_bounded(a in small_matrix()) {
+        let b = a.map(|x| x.cos());
+        let cs = a.cosine_similarity_per_sample(&b);
+        for v in cs.data() {
+            prop_assert!(*v >= -1.0 - 1e-5 && *v <= 1.0 + 1e-5);
+        }
+        let self_cs = a.cosine_similarity_per_sample(&a);
+        for (row, v) in self_cs.data().iter().enumerate() {
+            // Rows that are exactly zero report similarity 0 by convention.
+            let row_norm: f32 = (0..a.shape()[1]).map(|c| a.at2(row, c).powi(2)).sum();
+            if row_norm > 1e-10 {
+                prop_assert!((v - 1.0).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn concat_then_split_round_trips(x in small_nchw()) {
+        let y = x.map(|v| v + 10.0);
+        let cat = Tensor::concat_channels(&[&x, &y]);
+        let parts = cat.split_channels(2);
+        prop_assert_eq!(&parts[0], &x);
+        prop_assert_eq!(&parts[1], &y);
+    }
+
+    #[test]
+    fn batch_stack_round_trips(x in small_nchw()) {
+        let items: Vec<Tensor> = (0..x.shape()[0]).map(|n| x.batch_item(n)).collect();
+        prop_assert_eq!(Tensor::stack_batch(&items), x);
+    }
+
+    #[test]
+    fn im2col_col2im_adjointness(x in small_nchw(), seed in any::<u64>()) {
+        let geom = Conv2dGeometry::new(3, 1, 1);
+        let cols = im2col(&x, geom);
+        let mut rng = Rng::seed_from(seed);
+        let y = Tensor::from_fn(cols.shape(), |_| rng.uniform(-1.0, 1.0));
+        let lhs = cols.dot(&y);
+        let rhs = x.dot(&col2im(
+            &y,
+            x.shape()[0],
+            x.shape()[1],
+            x.shape()[2],
+            x.shape()[3],
+            geom,
+        ));
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn conv_geometry_round_trip(h in 4usize..16, k in 1usize..4, p in 0usize..2) {
+        // For stride 1 the transposed geometry exactly inverts the forward one.
+        let geom = Conv2dGeometry::new(k, 1, p);
+        if h + 2 * p >= k {
+            let out = geom.output_extent(h);
+            prop_assert_eq!(geom.transposed_output_extent(out), h);
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Deployment planning with the analytic latency model: reproduce the shape
+//! of Table III and explore how multi-server deployments absorb the O(N)
+//! server cost, as discussed in Sec. III-D of the paper.
+//!
+//! Run with: `cargo run --example latency_planning --release`
+
+use ensembler_suite::latency::{
+    estimate_ensembler, estimate_ensembler_multi_server, estimate_stamp, estimate_standard_ci,
+    DeploymentProfile,
+};
+use ensembler_suite::nn::models::ResNetConfig;
+
+fn main() {
+    let config = ResNetConfig::paper_resnet18(10, 32, true);
+    let deployment = DeploymentProfile::paper_testbed();
+    let batch = 128;
+
+    let standard = estimate_standard_ci(&config, batch, &deployment);
+    let ensembler = estimate_ensembler(&config, batch, 10, 4, &deployment);
+    let stamp = estimate_stamp(&config, batch, &deployment);
+
+    println!("seconds per {batch}-image ResNet-18 batch (paper testbed profile)\n");
+    println!("{:<22} {:>8} {:>8} {:>8} {:>8}", "strategy", "client", "server", "comm", "total");
+    for (name, t) in [
+        ("standard CI", &standard),
+        ("Ensembler (N=10,P=4)", &ensembler),
+        ("STAMP (encrypted)", &stamp),
+    ] {
+        println!(
+            "{:<22} {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
+            name,
+            t.client_s,
+            t.server_s,
+            t.communication_s,
+            t.total()
+        );
+    }
+    println!(
+        "\nEnsembler overhead over standard CI: {:.1}%",
+        ensembler.overhead_vs(&standard) * 100.0
+    );
+
+    println!("\nscaling the ensemble across server machines (N=32, P=4):");
+    for servers in [1usize, 2, 4, 8] {
+        let t = estimate_ensembler_multi_server(&config, batch, 32, 4, servers, &deployment);
+        println!(
+            "  {servers} server(s): server {:.2} s, communication {:.2} s, total {:.2} s",
+            t.server_s,
+            t.communication_s,
+            t.total()
+        );
+    }
+}

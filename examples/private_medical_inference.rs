@@ -1,0 +1,69 @@
+//! Domain scenario from the paper's motivation: an edge device holds
+//! sensitive face/medical imagery and offloads the heavy layers to an
+//! untrusted cloud. This example walks through the complete client/server
+//! interaction at the byte level — head inference, noise, wire encoding,
+//! server ensemble evaluation, selector, tail — on the CelebA-HQ stand-in.
+//!
+//! Run with: `cargo run --example private_medical_inference --release`
+
+use ensembler_suite::core::{encode_features, EnsemblerTrainer, SplitFeatures, TrainConfig};
+use ensembler_suite::data::SyntheticSpec;
+use ensembler_suite::metrics::accuracy;
+use ensembler_suite::nn::models::ResNetConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Face-attribute classification stands in for any sensitive-image task.
+    let data = SyntheticSpec::celeba_hq_like().with_samples(10, 4).generate(33);
+    let config = ResNetConfig::celeba_like();
+    let trainer = EnsemblerTrainer::new(
+        config,
+        TrainConfig {
+            epochs_stage1: 2,
+            epochs_stage3: 3,
+            batch_size: 8,
+            learning_rate: 0.05,
+            lambda: 1.0,
+            sigma: 0.1,
+            seed: 99,
+        },
+    );
+    let mut pipeline = trainer.train(4, 2, &data.train)?.into_pipeline();
+
+    // One batch of private patient/user images arrives on the edge device.
+    let (images, labels) = data.test.batch(0, 4);
+
+    // Step 1 (client): run the head and add the fixed noise.
+    let transmitted = pipeline.client_features(&images);
+    let payload = SplitFeatures::new(transmitted.clone());
+    println!(
+        "client uploads {} bytes of intermediate features for {} images",
+        payload.byte_len(),
+        images.shape()[0]
+    );
+    // The wire encoding round-trips exactly (what the server receives).
+    let received = payload.round_trip()?;
+    assert_eq!(received, transmitted);
+    let _raw = encode_features(&transmitted); // bytes as they appear on the network
+
+    // Step 2 (server): evaluate every ensemble member on the received features.
+    let server_maps = pipeline.server_outputs(&received);
+    println!(
+        "server returns {} feature vectors of {} values each",
+        server_maps.len(),
+        server_maps[0].shape()[1]
+    );
+
+    // Step 3 (client): secret selection + tail classification.
+    let logits = pipeline.classify(&server_maps)?;
+    println!(
+        "prediction accuracy on this private batch: {:.0}%",
+        accuracy(&logits, &labels) * 100.0
+    );
+    println!(
+        "the server never learns which {} of the {} networks were used ({} possibilities)",
+        pipeline.selector().active_count(),
+        pipeline.ensemble_size(),
+        pipeline.selector().search_space()
+    );
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! Quickstart: train an Ensembler end to end on a small synthetic dataset and
+//! inspect what each training stage produced (the walk-through of Fig. 2).
+//!
+//! Run with: `cargo run --example quickstart --release`
+
+use ensembler_suite::core::{EnsemblerTrainer, TrainConfig};
+use ensembler_suite::data::SyntheticSpec;
+use ensembler_suite::nn::models::ResNetConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A scaled-down CIFAR-10 stand-in (see DESIGN.md for the substitution).
+    let data = SyntheticSpec::cifar10_like().with_samples(16, 6).generate(7);
+    println!(
+        "dataset: {} train / {} test images, {} classes",
+        data.train.len(),
+        data.test.len(),
+        data.train.num_classes()
+    );
+
+    // N = 4 server networks, the client secretly activates P = 2 of them.
+    let ensemble_size = 4;
+    let selected = 2;
+    let trainer = EnsemblerTrainer::new(
+        ResNetConfig::cifar10_like(),
+        TrainConfig {
+            epochs_stage1: 3,
+            epochs_stage3: 4,
+            batch_size: 16,
+            learning_rate: 0.05,
+            lambda: 1.0,
+            sigma: 0.1,
+            seed: 2024,
+        },
+    );
+    println!("training {ensemble_size} stage-1 networks and the stage-3 client ...");
+    let trained = trainer.train(ensemble_size, selected, &data.train)?;
+
+    let report = trained.report().clone();
+    for (i, losses) in report.stage1_losses.iter().enumerate() {
+        println!(
+            "stage 1, network {i}: loss {:.3} -> {:.3}",
+            losses.first().copied().unwrap_or(f32::NAN),
+            losses.last().copied().unwrap_or(f32::NAN)
+        );
+    }
+    println!(
+        "stage 3: cross-entropy {:.3} -> {:.3}, cosine penalty {:.3} -> {:.3}",
+        report.stage3_losses.first().copied().unwrap_or(f32::NAN),
+        report.stage3_losses.last().copied().unwrap_or(f32::NAN),
+        report.stage3_penalties.first().copied().unwrap_or(f32::NAN),
+        report.stage3_penalties.last().copied().unwrap_or(f32::NAN),
+    );
+
+    let mut pipeline = trained.into_pipeline();
+    println!(
+        "secret selector activates {:?} out of {} server networks ({} possible selections)",
+        pipeline.selector().active_indices(),
+        pipeline.ensemble_size(),
+        pipeline.selector().search_space()
+    );
+    println!(
+        "train accuracy {:.1}%, test accuracy {:.1}%",
+        report.train_accuracy * 100.0,
+        pipeline.evaluate(&data.test) * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,32 @@
+//! Umbrella crate for the Ensembler reproduction workspace.
+//!
+//! This crate re-exports the individual workspace crates under short module
+//! names so that the examples in `examples/` and the integration tests in
+//! `tests/` can refer to the whole stack through a single dependency.
+//!
+//! The actual implementation lives in the member crates:
+//!
+//! * [`tensor`] — dense NCHW tensor kernel.
+//! * [`nn`] — neural-network layers, losses and optimizers with manual backprop.
+//! * [`data`] — synthetic datasets standing in for CIFAR-10/100 and CelebA-HQ.
+//! * [`metrics`] — SSIM, PSNR and accuracy metrics.
+//! * [`ensembler`] — the paper's contribution: split inference + selective ensemble.
+//! * [`attack`] — query-free model inversion attacks used as the adversary.
+//! * [`latency`] — analytic deployment latency model (Table III).
+//!
+//! # Examples
+//!
+//! ```
+//! use ensembler_suite::tensor::Tensor;
+//!
+//! let t = Tensor::zeros(&[1, 3, 4, 4]);
+//! assert_eq!(t.len(), 48);
+//! ```
+
+pub use ensembler as core;
+pub use ensembler_attack as attack;
+pub use ensembler_data as data;
+pub use ensembler_latency as latency;
+pub use ensembler_metrics as metrics;
+pub use ensembler_nn as nn;
+pub use ensembler_tensor as tensor;

@@ -1,0 +1,75 @@
+//! Integration tests for the latency model (Table III shape) and the baseline
+//! defence implementations used by Table II.
+
+use ensembler_suite::core::{DefenseKind, SinglePipeline, TrainConfig};
+use ensembler_suite::data::SyntheticSpec;
+use ensembler_suite::latency::{
+    estimate_ensembler, estimate_stamp, estimate_standard_ci, DeploymentProfile,
+};
+use ensembler_suite::nn::models::ResNetConfig;
+
+#[test]
+fn table3_shape_holds_for_the_paper_configuration() {
+    let config = ResNetConfig::paper_resnet18(10, 32, true);
+    let deployment = DeploymentProfile::paper_testbed();
+    let standard = estimate_standard_ci(&config, 128, &deployment);
+    let ensembler = estimate_ensembler(&config, 128, 10, 4, &deployment);
+    let stamp = estimate_stamp(&config, 128, &deployment);
+
+    // Who wins and by roughly what factor (the paper's qualitative claims):
+    // Ensembler adds only a few percent; STAMP is two orders of magnitude
+    // slower; communication dominates both CI deployments.
+    assert!(ensembler.total() > standard.total());
+    assert!(ensembler.overhead_vs(&standard) < 0.2);
+    assert!(stamp.total() / standard.total() > 30.0);
+    assert!(standard.communication_s > standard.client_s + standard.server_s * 0.5);
+}
+
+#[test]
+fn every_baseline_defense_trains_and_evaluates() {
+    let data = SyntheticSpec::tiny_for_tests().generate(6);
+    let config = ResNetConfig::tiny_for_tests();
+    let train_cfg = TrainConfig {
+        epochs_stage1: 2,
+        epochs_stage3: 2,
+        batch_size: 8,
+        learning_rate: 0.05,
+        lambda: 0.5,
+        sigma: 0.1,
+        seed: 6,
+    };
+    let defenses = [
+        DefenseKind::NoDefense,
+        DefenseKind::AdditiveNoise { sigma: 0.1 },
+        DefenseKind::Shredder {
+            sigma: 0.1,
+            expansion: 1.0,
+        },
+        DefenseKind::Dropout { probability: 0.3 },
+    ];
+    for (i, kind) in defenses.into_iter().enumerate() {
+        let mut pipeline =
+            SinglePipeline::new(config.clone(), kind, 50 + i as u64).expect("valid configuration");
+        let losses = pipeline
+            .train_supervised(&data.train, &train_cfg)
+            .expect("training succeeds");
+        assert_eq!(losses.len(), train_cfg.epochs_stage1);
+        let acc = pipeline.evaluate(&data.test);
+        assert!((0.0..=1.0).contains(&acc), "{kind:?} accuracy {acc}");
+    }
+}
+
+#[test]
+fn latency_model_is_monotone_in_ensemble_size() {
+    let config = ResNetConfig::paper_resnet18(10, 32, true);
+    let deployment = DeploymentProfile::paper_testbed();
+    let mut previous = 0.0f64;
+    for n in [1usize, 2, 4, 8, 16, 32] {
+        let t = estimate_ensembler(&config, 128, n, 1, &deployment);
+        assert!(
+            t.total() >= previous,
+            "latency must not decrease when the ensemble grows (N = {n})"
+        );
+        previous = t.total();
+    }
+}
