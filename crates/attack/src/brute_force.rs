@@ -9,11 +9,10 @@
 //! would take.
 
 use ensembler::Selector;
-use serde::{Deserialize, Serialize};
 
 /// One candidate selection considered by the brute-force attacker together
 /// with the score its reconstruction achieved.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CandidateScore {
     /// The candidate subset of server networks, sorted ascending.
     pub indices: Vec<usize>,
@@ -23,7 +22,7 @@ pub struct CandidateScore {
 }
 
 /// Summary of a brute-force selector search.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BruteForceReport {
     /// Number of candidate subsets that were enumerated.
     pub candidates_evaluated: usize,
@@ -51,10 +50,19 @@ impl BruteForceReport {
 /// pointless.
 pub fn enumerate_selections(n: usize, p: usize) -> Vec<Vec<usize>> {
     assert!(p > 0 && p <= n, "selection size must be in 1..=n");
-    assert!(n <= 25, "enumerating subsets of more than 25 networks is intractable by design");
+    assert!(
+        n <= 25,
+        "enumerating subsets of more than 25 networks is intractable by design"
+    );
     let mut out = Vec::new();
     let mut current = Vec::with_capacity(p);
-    fn recurse(start: usize, n: usize, p: usize, current: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+    fn recurse(
+        start: usize,
+        n: usize,
+        p: usize,
+        current: &mut Vec<usize>,
+        out: &mut Vec<Vec<usize>>,
+    ) {
         if current.len() == p {
             out.push(current.clone());
             return;
@@ -140,9 +148,7 @@ mod tests {
     #[test]
     fn brute_force_ranks_candidates_by_score() {
         // A contrived scorer that prefers subsets with small indices.
-        let report = brute_force_selector(4, 2, None, |idx| {
-            -(idx.iter().sum::<usize>() as f32)
-        });
+        let report = brute_force_selector(4, 2, None, |idx| -(idx.iter().sum::<usize>() as f32));
         assert_eq!(report.candidates_evaluated, 6);
         assert_eq!(report.ranking[0].indices, vec![0, 1]);
         assert_eq!(report.true_selection_rank, None);

@@ -34,7 +34,14 @@ impl Decoder {
                 rng,
             )));
         } else {
-            net.push(Box::new(Conv2d::new(feature_channels, hidden, 3, 1, 1, rng)));
+            net.push(Box::new(Conv2d::new(
+                feature_channels,
+                hidden,
+                3,
+                1,
+                1,
+                rng,
+            )));
         }
         net.push(Box::new(Relu::new()));
         net.push(Box::new(Conv2d::new(hidden, hidden, 3, 1, 1, rng)));
@@ -59,9 +66,10 @@ impl Decoder {
         self.input_channels
     }
 
-    /// Reconstructs images from intermediate features.
+    /// Reconstructs images from intermediate features, caching activations
+    /// so [`Decoder::backward`] can follow.
     pub fn forward(&mut self, features: &Tensor, mode: Mode) -> Tensor {
-        self.net.forward(features, mode)
+        self.net.forward_cached(features, mode)
     }
 
     /// Backward pass (gradient of the reconstruction loss).

@@ -19,6 +19,11 @@
 //!    the decoder to the intermediate features the client actually
 //!    transmitted and measure SSIM / PSNR against the private inputs.
 //!
+//! Attacks take their victim as `&dyn Defense` — any pipeline behind the
+//! unified inference trait can be attacked without per-pipeline dispatch,
+//! and mounting an attack never mutates the victim (the attacker clones the
+//! server weights it owns under the threat model).
+//!
 //! # Examples
 //!
 //! ```
@@ -36,11 +41,11 @@
 //! victim.train_supervised(&data.train, &TrainConfig::fast_for_tests())?;
 //! let (private_images, _) = data.test.batch(0, 4);
 //! let outcome = attack_single_pipeline(
-//!     &mut victim,
+//!     &victim,
 //!     &data.train,
 //!     &private_images,
 //!     &AttackConfig::fast_for_tests(),
-//! );
+//! )?;
 //! assert!(outcome.ssim <= 1.0 && outcome.psnr <= 60.0);
 //! # Ok::<(), ensembler::EnsemblerError>(())
 //! ```

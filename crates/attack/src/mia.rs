@@ -1,16 +1,15 @@
 //! Orchestration of the query-free model inversion attack.
 
 use crate::{Decoder, ShadowNetwork};
-use ensembler::{EnsemblerPipeline, SinglePipeline};
+use ensembler::{Defense, EnsemblerError};
 use ensembler_data::Dataset;
 use ensembler_metrics::{psnr_batch, ssim};
 use ensembler_nn::models::ResNetConfig;
 use ensembler_nn::{CrossEntropyLoss, Layer, Mode, MseLoss, Optimizer, Sequential, Sgd};
 use ensembler_tensor::{Rng, Tensor};
-use serde::{Deserialize, Serialize};
 
 /// Hyper-parameters of the model inversion attack.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AttackConfig {
     /// Epochs used to fit the shadow head/tail against the frozen server.
     pub shadow_epochs: usize,
@@ -61,22 +60,42 @@ pub struct AttackOutcome {
     pub reconstructions: Tensor,
 }
 
-/// The attacker's view of the server-side weights.
+/// The attacker's working copy of the server-side weights.
+///
+/// Under the paper's threat model the adversarial server *owns* the body
+/// networks, so the view **clones** them out of the victim
+/// ([`Defense::server_bodies`]) into mutable copies it can backpropagate
+/// through. The victim pipeline itself stays immutable — attacks take
+/// `&dyn Defense` like every other consumer of the inference API.
 ///
 /// * [`ServerView::Single`] — the surrogate is trained against one specific
 ///   server network (the attack of Proposition 1).
 /// * [`ServerView::All`] — the *adaptive* attacker trains against every
 ///   server network at once, combining their outputs with the uniform `1/N`
 ///   activation it guesses for the unknown selector (Proposition 2).
-#[derive(Debug)]
-pub enum ServerView<'a> {
+#[derive(Debug, Clone)]
+pub enum ServerView {
     /// Attack a single server body.
-    Single(&'a mut Sequential),
+    Single(Sequential),
     /// Attack all server bodies jointly with uniform activation.
-    All(&'a mut [Sequential]),
+    All(Vec<Sequential>),
 }
 
-impl ServerView<'_> {
+impl ServerView {
+    /// Clones server body `index` out of the victim.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn single(victim: &dyn Defense, index: usize) -> Self {
+        ServerView::Single(victim.server_bodies()[index].clone())
+    }
+
+    /// Clones every server body out of the victim.
+    pub fn all(victim: &dyn Defense) -> Self {
+        ServerView::All(victim.server_bodies().to_vec())
+    }
+
     /// Width of the feature vector this view feeds into the shadow tail.
     pub fn feature_width(&self, per_network: usize) -> usize {
         match self {
@@ -85,16 +104,17 @@ impl ServerView<'_> {
         }
     }
 
-    /// Forward pass through the frozen server weights.
+    /// Forward pass through the frozen server weights, caching activations
+    /// for the subsequent backward pass.
     fn forward(&mut self, features: &Tensor, per_network: usize) -> Tensor {
         match self {
-            ServerView::Single(body) => body.forward(features, Mode::Eval),
+            ServerView::Single(body) => body.forward_cached(features, Mode::Eval),
             ServerView::All(bodies) => {
                 let n = bodies.len();
                 let scale = 1.0 / n as f32;
                 let maps: Vec<Tensor> = bodies
                     .iter_mut()
-                    .map(|b| b.forward(features, Mode::Eval))
+                    .map(|b| b.forward_cached(features, Mode::Eval))
                     .collect();
                 let batch = maps[0].shape()[0];
                 let mut data = Vec::with_capacity(batch * n * per_network);
@@ -163,7 +183,7 @@ impl ServerView<'_> {
 /// Panics if `public_data` is empty (the threat model always grants the
 /// attacker a public dataset).
 pub fn run_attack(
-    server: &mut ServerView<'_>,
+    server: &mut ServerView,
     config: &ResNetConfig,
     public_data: &Dataset,
     private_images: &Tensor,
@@ -219,90 +239,96 @@ pub fn run_attack(
     }
 }
 
-/// Attacks a single-network baseline pipeline (None / Single / Shredder /
-/// DR-single defences).
+/// Attacks a pipeline through the strongest single-network view: server
+/// network 0. For the single-network baselines (None / Single / Shredder /
+/// DR-single defences) this is the paper's baseline attack.
+///
+/// # Errors
+///
+/// Propagates failures of the victim's [`Defense::client_features`].
 pub fn attack_single_pipeline(
-    victim: &mut SinglePipeline,
+    victim: &dyn Defense,
     public_data: &Dataset,
     private_images: &Tensor,
     attack: &AttackConfig,
-) -> AttackOutcome {
-    let config = victim.config().clone();
-    let transmitted = victim.client_features(private_images);
-    let mut view = ServerView::Single(victim.body_mut());
-    run_attack(
+) -> Result<AttackOutcome, EnsemblerError> {
+    let transmitted = victim.client_features(private_images)?;
+    let mut view = ServerView::single(victim, 0);
+    Ok(run_attack(
         &mut view,
-        &config,
+        victim.config(),
         public_data,
         private_images,
         &transmitted,
         attack,
-    )
+    ))
 }
 
 /// Attacks an Ensembler pipeline once per server network, returning one
 /// outcome per network (Proposition 1's reconstruction strategy). Table I
 /// reports the strongest of these per metric.
+///
+/// # Errors
+///
+/// Propagates failures of the victim's [`Defense::client_features`].
 pub fn attack_all_single_nets(
-    victim: &mut EnsemblerPipeline,
+    victim: &dyn Defense,
     public_data: &Dataset,
     private_images: &Tensor,
     attack: &AttackConfig,
-) -> Vec<AttackOutcome> {
-    let config = victim.config().clone();
-    let transmitted = victim.client_features(private_images);
+) -> Result<Vec<AttackOutcome>, EnsemblerError> {
+    let transmitted = victim.client_features(private_images)?;
     let mut outcomes = Vec::with_capacity(victim.ensemble_size());
     for i in 0..victim.ensemble_size() {
         let mut attack_cfg = attack.clone();
         attack_cfg.seed = attack.seed.wrapping_add(i as u64);
-        let mut view = ServerView::Single(&mut victim.bodies_mut()[i]);
+        let mut view = ServerView::single(victim, i);
         outcomes.push(run_attack(
             &mut view,
-            &config,
+            victim.config(),
             public_data,
             private_images,
             &transmitted,
             &attack_cfg,
         ));
     }
-    outcomes
+    Ok(outcomes)
 }
 
 /// Attacks an Ensembler pipeline with the adaptive strategy that trains the
 /// shadow network against all `N` server networks at once (Proposition 2).
+///
+/// # Errors
+///
+/// Propagates failures of the victim's [`Defense::client_features`].
 pub fn attack_adaptive(
-    victim: &mut EnsemblerPipeline,
+    victim: &dyn Defense,
     public_data: &Dataset,
     private_images: &Tensor,
     attack: &AttackConfig,
-) -> AttackOutcome {
-    let config = victim.config().clone();
-    let transmitted = victim.client_features(private_images);
-    let mut view = ServerView::All(victim.bodies_mut());
-    run_attack(
+) -> Result<AttackOutcome, EnsemblerError> {
+    let transmitted = victim.client_features(private_images)?;
+    let mut view = ServerView::all(victim);
+    Ok(run_attack(
         &mut view,
-        &config,
+        victim.config(),
         public_data,
         private_images,
         &transmitted,
         attack,
-    )
+    ))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ensembler::{DefenseKind, EnsemblerTrainer, TrainConfig};
+    use ensembler::{DefenseKind, EnsemblerTrainer, SinglePipeline, TrainConfig};
     use ensembler_data::SyntheticSpec;
 
     fn tiny_victim_single() -> (SinglePipeline, ensembler_data::SyntheticDataset) {
         let data = SyntheticSpec::tiny_for_tests().generate(9);
-        let mut victim = SinglePipeline::new(
-            ResNetConfig::tiny_for_tests(),
-            DefenseKind::NoDefense,
-            5,
-        )
-        .unwrap();
+        let mut victim =
+            SinglePipeline::new(ResNetConfig::tiny_for_tests(), DefenseKind::NoDefense, 5).unwrap();
         victim
             .train_supervised(&data.train, &TrainConfig::fast_for_tests())
             .unwrap();
@@ -311,14 +337,15 @@ mod tests {
 
     #[test]
     fn attack_on_single_pipeline_produces_valid_metrics() {
-        let (mut victim, data) = tiny_victim_single();
+        let (victim, data) = tiny_victim_single();
         let (private_images, _) = data.test.batch(0, 4);
         let outcome = attack_single_pipeline(
-            &mut victim,
+            &victim,
             &data.train,
             &private_images,
             &AttackConfig::fast_for_tests(),
-        );
+        )
+        .unwrap();
         assert_eq!(outcome.reconstructions.shape(), private_images.shape());
         assert!(outcome.ssim >= -1.0 && outcome.ssim <= 1.0);
         assert!(outcome.psnr >= 0.0 && outcome.psnr <= 60.0);
@@ -333,33 +360,49 @@ mod tests {
             ResNetConfig::tiny_for_tests(),
             TrainConfig::fast_for_tests(),
         );
-        let mut pipeline = trainer.train(2, 1, &data.train).unwrap().into_pipeline();
+        let pipeline = trainer.train(2, 1, &data.train).unwrap().into_pipeline();
         let (private_images, _) = data.test.batch(0, 3);
         let cfg = AttackConfig::fast_for_tests();
 
-        let per_net = attack_all_single_nets(&mut pipeline, &data.train, &private_images, &cfg);
+        let per_net =
+            attack_all_single_nets(&pipeline, &data.train, &private_images, &cfg).unwrap();
         assert_eq!(per_net.len(), 2);
         for outcome in &per_net {
             assert_eq!(outcome.reconstructions.shape(), private_images.shape());
         }
 
-        let adaptive = attack_adaptive(&mut pipeline, &data.train, &private_images, &cfg);
+        let adaptive = attack_adaptive(&pipeline, &data.train, &private_images, &cfg).unwrap();
         assert_eq!(adaptive.reconstructions.shape(), private_images.shape());
+    }
+
+    #[test]
+    fn attacks_leave_the_victim_untouched() {
+        // The redesigned API takes &dyn Defense: mounting an attack must not
+        // perturb the victim's behaviour in any way.
+        let (victim, data) = tiny_victim_single();
+        let (private_images, _) = data.test.batch(0, 2);
+        let before = victim.predict(&private_images).unwrap();
+        let _ = attack_single_pipeline(
+            &victim,
+            &data.train,
+            &private_images,
+            &AttackConfig::fast_for_tests(),
+        )
+        .unwrap();
+        assert_eq!(victim.predict(&private_images).unwrap(), before);
     }
 
     #[test]
     fn server_view_feature_widths() {
         let config = ResNetConfig::tiny_for_tests();
         let mut rng = Rng::seed_from(0);
-        let mut bodies: Vec<Sequential> = (0..3)
+        let bodies: Vec<Sequential> = (0..3)
             .map(|_| ensembler_nn::models::build_body(&config, &mut rng))
             .collect();
         let per = config.body_output_features();
-        {
-            let single = ServerView::Single(&mut bodies[0]);
-            assert_eq!(single.feature_width(per), per);
-        }
-        let all = ServerView::All(&mut bodies);
+        let single = ServerView::Single(bodies[0].clone());
+        assert_eq!(single.feature_width(per), per);
+        let all = ServerView::All(bodies);
         assert_eq!(all.feature_width(per), 3 * per);
     }
 
@@ -367,7 +410,7 @@ mod tests {
     fn all_view_forward_concatenates_with_uniform_scaling() {
         let config = ResNetConfig::tiny_for_tests();
         let mut rng = Rng::seed_from(1);
-        let mut bodies: Vec<Sequential> = (0..2)
+        let bodies: Vec<Sequential> = (0..2)
             .map(|_| ensembler_nn::models::build_body(&config, &mut rng))
             .collect();
         let per = config.body_output_features();
@@ -375,10 +418,10 @@ mod tests {
         let features = Tensor::ones(&[2, shape[0], shape[1], shape[2]]);
 
         let single_outputs: Vec<Tensor> = bodies
-            .iter_mut()
+            .iter()
             .map(|b| b.forward(&features, Mode::Eval))
             .collect();
-        let mut view = ServerView::All(&mut bodies);
+        let mut view = ServerView::All(bodies);
         let combined = view.forward(&features, per);
         assert_eq!(combined.shape(), &[2, 2 * per]);
         // First per-network block equals the single output scaled by 1/N.
@@ -391,15 +434,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "public dataset must not be empty")]
     fn attack_requires_public_data() {
-        let (mut victim, data) = tiny_victim_single();
+        let (victim, data) = tiny_victim_single();
         let (private_images, _) = data.test.batch(0, 2);
-        let config = victim.config().clone();
-        let transmitted = victim.client_features(&private_images);
+        let transmitted = victim.client_features(&private_images).unwrap();
         let empty = Dataset::new(Tensor::zeros(&[0, 3, 8, 8]), vec![], 3);
-        let mut view = ServerView::Single(victim.body_mut());
+        let mut view = ServerView::single(&victim, 0);
         let _ = run_attack(
             &mut view,
-            &config,
+            victim.config(),
             &empty,
             &private_images,
             &transmitted,

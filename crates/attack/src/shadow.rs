@@ -66,8 +66,9 @@ impl ShadowNetwork {
     }
 
     /// Forward pass of the shadow head: surrogate intermediate features.
+    /// Caches activations so [`ShadowNetwork::head_backward`] can follow.
     pub fn head_forward(&mut self, images: &Tensor, mode: Mode) -> Tensor {
-        self.head.forward(images, mode)
+        self.head.forward_cached(images, mode)
     }
 
     /// Backward pass through the shadow head.
@@ -76,8 +77,9 @@ impl ShadowNetwork {
     }
 
     /// Forward pass of the shadow tail on (concatenated) server features.
+    /// Caches activations so [`ShadowNetwork::tail_backward`] can follow.
     pub fn tail_forward(&mut self, features: &Tensor, mode: Mode) -> Tensor {
-        self.tail.forward(features, mode)
+        self.tail.forward_cached(features, mode)
     }
 
     /// Backward pass through the shadow tail.
@@ -165,9 +167,6 @@ mod tests {
         let g = shadow.head_backward(&Tensor::ones(feats.shape()));
         assert_eq!(g.shape(), x.shape());
         shadow.zero_grad();
-        assert!(shadow
-            .params_mut()
-            .iter()
-            .all(|p| p.grad.norm() == 0.0));
+        assert!(shadow.params_mut().iter().all(|p| p.grad.norm() == 0.0));
     }
 }

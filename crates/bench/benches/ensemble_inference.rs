@@ -3,7 +3,7 @@
 //! Table III latency model and the Sec. III-D complexity analysis).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use ensembler::{EnsemblerPipeline, Selector};
+use ensembler::{Defense, EnsemblerPipeline, Selector};
 use ensembler_nn::models::{build_body, build_head, build_tail, ResNetConfig};
 use ensembler_nn::{FixedNoise, Sequential};
 use ensembler_tensor::{Rng, Tensor};
@@ -25,7 +25,7 @@ fn bench_ensemble_scaling(c: &mut Criterion) {
     group.sample_size(20);
     for &n in &[1usize, 2, 4, 8] {
         let p = (n / 2).max(1);
-        let mut pipeline = make_pipeline(n, p);
+        let pipeline = make_pipeline(n, p);
         let images = Tensor::from_fn(&[8, 3, 16, 16], |i| ((i % 255) as f32) / 255.0);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| black_box(pipeline.predict(&images).expect("prediction succeeds")));
@@ -36,9 +36,7 @@ fn bench_ensemble_scaling(c: &mut Criterion) {
 
 fn bench_selector_overhead(c: &mut Criterion) {
     let selector = Selector::from_indices(10, vec![1, 3, 5, 7]).expect("valid selection");
-    let maps: Vec<Tensor> = (0..10)
-        .map(|i| Tensor::full(&[32, 32], i as f32))
-        .collect();
+    let maps: Vec<Tensor> = (0..10).map(|i| Tensor::full(&[32, 32], i as f32)).collect();
     c.bench_function("selector_combine_10nets_batch32", |b| {
         b.iter(|| black_box(selector.combine(&maps).expect("combination succeeds")));
     });

@@ -13,7 +13,7 @@ fn bench_conv_forward_backward(c: &mut Criterion) {
     c.bench_function("conv2d_forward_16ch_16x16", |b| {
         b.iter(|| black_box(conv.forward(&x, Mode::Eval)));
     });
-    let y = conv.forward(&x, Mode::Eval);
+    let y = conv.forward_cached(&x, Mode::Eval);
     let grad = Tensor::ones(y.shape());
     c.bench_function("conv2d_backward_16ch_16x16", |b| {
         b.iter(|| black_box(conv.backward(&grad)));
@@ -23,7 +23,7 @@ fn bench_conv_forward_backward(c: &mut Criterion) {
 fn bench_client_head(c: &mut Criterion) {
     let config = ResNetConfig::cifar10_like();
     let mut rng = Rng::seed_from(1);
-    let mut head = build_head(&config, &mut rng);
+    let head = build_head(&config, &mut rng);
     let images = Tensor::from_fn(&[8, 3, 16, 16], |_| rng.next_f32());
     c.bench_function("client_head_forward_batch8", |b| {
         b.iter(|| black_box(head.forward(&images, Mode::Eval)));
@@ -33,7 +33,7 @@ fn bench_client_head(c: &mut Criterion) {
 fn bench_server_body(c: &mut Criterion) {
     let config = ResNetConfig::cifar10_like();
     let mut rng = Rng::seed_from(2);
-    let mut body = build_body(&config, &mut rng);
+    let body = build_body(&config, &mut rng);
     let shape = config.head_output_shape();
     let features = Tensor::from_fn(&[8, shape[0], shape[1], shape[2]], |_| rng.next_f32());
     c.bench_function("server_body_forward_batch8", |b| {

@@ -3,7 +3,7 @@
 //!
 //! Usage: `cargo run -p ensembler-bench --bin ablation_ensemble --release`
 
-use ensembler::{EnsemblerTrainer, Selector};
+use ensembler::{Defense, EnsemblerTrainer, EvalConfig, Selector};
 use ensembler_bench::{DatasetCase, ExperimentScale};
 use ensembler_latency::{estimate_ensembler, estimate_standard_ci, DeploymentProfile};
 use ensembler_nn::models::ResNetConfig;
@@ -34,11 +34,12 @@ fn main() {
 
         let accuracy = if n <= scale.ensemble_size() {
             let trainer = EnsemblerTrainer::new(case.config.clone(), train_cfg.clone());
-            let trained = trainer
-                .train(n, p, &data.train)
-                .expect("training succeeds");
-            let mut pipeline = trained.into_pipeline();
-            format!("{:.3}", pipeline.evaluate(&data.test))
+            let trained = trainer.train(n, p, &data.train).expect("training succeeds");
+            let pipeline = trained.into_pipeline();
+            let acc = pipeline
+                .evaluate(&data.test, &EvalConfig::default())
+                .expect("evaluation succeeds");
+            format!("{acc:.3}")
         } else {
             "(skipped)".to_string()
         };

@@ -7,7 +7,7 @@
 //!
 //! Usage: `cargo run -p ensembler-bench --bin ablation_lambda --release`
 
-use ensembler::EnsemblerTrainer;
+use ensembler::{Defense, EnsemblerTrainer, EvalConfig};
 use ensembler_attack::{attack_adaptive, attack_all_single_nets};
 use ensembler_bench::{DatasetCase, ExperimentScale};
 
@@ -32,10 +32,12 @@ fn main() {
         let trained = trainer
             .train(n, case.selected, &data.train)
             .expect("training succeeds");
-        let mut pipeline = trained.into_pipeline();
-        let acc = pipeline.evaluate(&data.test);
-        let per_net =
-            attack_all_single_nets(&mut pipeline, &data.train, &private_images, &attack_cfg);
+        let pipeline = trained.into_pipeline();
+        let acc = pipeline
+            .evaluate(&data.test, &EvalConfig::default())
+            .expect("evaluation succeeds");
+        let per_net = attack_all_single_nets(&pipeline, &data.train, &private_images, &attack_cfg)
+            .expect("attack succeeds");
         let best_ssim = per_net
             .iter()
             .map(|o| o.ssim)
@@ -44,14 +46,11 @@ fn main() {
             .iter()
             .map(|o| o.psnr)
             .fold(f32::NEG_INFINITY, f32::max);
-        let adaptive = attack_adaptive(&mut pipeline, &data.train, &private_images, &attack_cfg);
+        let adaptive = attack_adaptive(&pipeline, &data.train, &private_images, &attack_cfg)
+            .expect("attack succeeds");
         println!(
             "{:<8.1} {:>10.3} {:>12.3} {:>12.2} {:>14.3}",
-            lambda,
-            acc,
-            best_ssim,
-            best_psnr,
-            adaptive.ssim
+            lambda, acc, best_ssim, best_psnr, adaptive.ssim
         );
     }
 }

@@ -5,19 +5,19 @@
 //! Set `ENSEMBLER_SCALE=full` for the larger configuration.
 
 use ensembler_bench::{format_defense_table, run_defense_quality, DatasetCase, ExperimentScale};
+use ensembler_tensor::JsonValue;
 
-fn main() {
+fn main() -> Result<(), ensembler::EnsemblerError> {
     let scale = ExperimentScale::from_env();
     println!("== Table I: defence quality across datasets ({scale:?} scale) ==\n");
     let mut results = Vec::new();
     for case in DatasetCase::paper_cases(scale) {
         eprintln!("running {} ...", case.name);
-        let result = run_defense_quality(&case, scale);
+        let result = run_defense_quality(&case, scale)?;
         println!("{}", format_defense_table(&result));
         results.push(result);
     }
-    println!(
-        "JSON: {}",
-        serde_json::to_string_pretty(&results).expect("results serialize")
-    );
+    let json = JsonValue::Array(results.iter().map(|r| r.to_json()).collect());
+    println!("JSON: {}", json.render_pretty());
+    Ok(())
 }

@@ -6,13 +6,11 @@
 
 use ensembler_bench::{format_defense_table, run_defense_mechanisms, ExperimentScale};
 
-fn main() {
+fn main() -> Result<(), ensembler::EnsemblerError> {
     let scale = ExperimentScale::from_env();
     println!("== Table II: defence mechanisms on CIFAR-10 ({scale:?} scale) ==\n");
-    let result = run_defense_mechanisms(scale);
+    let result = run_defense_mechanisms(scale)?;
     println!("{}", format_defense_table(&result));
-    println!(
-        "JSON: {}",
-        serde_json::to_string_pretty(&result).expect("result serializes")
-    );
+    println!("JSON: {}", result.to_json().render_pretty());
+    Ok(())
 }

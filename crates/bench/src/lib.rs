@@ -17,17 +17,18 @@
 
 #![warn(missing_docs)]
 
-use ensembler::{DefenseKind, EnsemblerTrainer, SinglePipeline, TrainConfig};
+use ensembler::{
+    Defense, DefenseKind, EnsemblerError, EnsemblerTrainer, EvalConfig, SinglePipeline, TrainConfig,
+};
 use ensembler_attack::{
     attack_adaptive, attack_all_single_nets, attack_single_pipeline, AttackConfig, AttackOutcome,
 };
 use ensembler_data::{SyntheticDataset, SyntheticSpec};
 use ensembler_nn::models::ResNetConfig;
-use ensembler_tensor::Tensor;
-use serde::{Deserialize, Serialize};
+use ensembler_tensor::{JsonValue, Tensor};
 
 /// How much compute an experiment run is allowed to use.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExperimentScale {
     /// Scaled-down run (small ensembles, few epochs) for CI and smoke runs.
     Quick,
@@ -154,7 +155,7 @@ impl DatasetCase {
 }
 
 /// One row of a defence-quality table (Tables I and II).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DefenseRow {
     /// Defence name as printed in the paper.
     pub name: String,
@@ -176,10 +177,23 @@ impl DefenseRow {
             psnr: outcome.psnr,
         }
     }
+
+    /// JSON representation of the row.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("name".to_string(), JsonValue::String(self.name.clone())),
+            (
+                "delta_accuracy_pct".to_string(),
+                JsonValue::Number(self.delta_accuracy_pct as f64),
+            ),
+            ("ssim".to_string(), JsonValue::Number(self.ssim as f64)),
+            ("psnr".to_string(), JsonValue::Number(self.psnr as f64)),
+        ])
+    }
 }
 
 /// Result of evaluating the Single baseline and Ensembler on one dataset.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DefenseQualityResult {
     /// Dataset name.
     pub dataset: String,
@@ -189,23 +203,50 @@ pub struct DefenseQualityResult {
     pub rows: Vec<DefenseRow>,
 }
 
+impl DefenseQualityResult {
+    /// JSON representation of the whole table.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            (
+                "dataset".to_string(),
+                JsonValue::String(self.dataset.clone()),
+            ),
+            (
+                "baseline_accuracy".to_string(),
+                JsonValue::Number(self.baseline_accuracy as f64),
+            ),
+            (
+                "rows".to_string(),
+                JsonValue::Array(self.rows.iter().map(DefenseRow::to_json).collect()),
+            ),
+        ])
+    }
+}
+
 /// Runs the Table-I protocol for one dataset case: trains the unprotected
 /// reference, the Single baseline and Ensembler, attacks each of them and
 /// reports ΔAcc / SSIM / PSNR rows.
-pub fn run_defense_quality(case: &DatasetCase, scale: ExperimentScale) -> DefenseQualityResult {
+///
+/// # Errors
+///
+/// Propagates training, evaluation and attack failures.
+pub fn run_defense_quality(
+    case: &DatasetCase,
+    scale: ExperimentScale,
+) -> Result<DefenseQualityResult, EnsemblerError> {
     let data = case.generate(11);
     let train_cfg = scale.train_config();
     let attack_cfg = scale.attack_config();
+    let eval_cfg = EvalConfig::default();
     let n = scale.ensemble_size();
-    let (private_images, _) = data.test.batch(0, scale.attack_targets().min(data.test.len()));
+    let (private_images, _) = data
+        .test
+        .batch(0, scale.attack_targets().min(data.test.len()));
 
     // Unprotected reference for ΔAcc.
-    let mut reference = SinglePipeline::new(case.config.clone(), DefenseKind::NoDefense, 100)
-        .expect("valid configuration");
-    reference
-        .train_supervised(&data.train, &train_cfg)
-        .expect("training the reference succeeds");
-    let baseline_accuracy = reference.evaluate(&data.test);
+    let mut reference = SinglePipeline::new(case.config.clone(), DefenseKind::NoDefense, 100)?;
+    reference.train_supervised(&data.train, &train_cfg)?;
+    let baseline_accuracy = reference.evaluate(&data.test, &eval_cfg)?;
 
     // Single baseline: fixed additive noise.
     let mut single = SinglePipeline::new(
@@ -214,24 +255,18 @@ pub fn run_defense_quality(case: &DatasetCase, scale: ExperimentScale) -> Defens
             sigma: train_cfg.sigma,
         },
         101,
-    )
-    .expect("valid configuration");
-    single
-        .train_supervised(&data.train, &train_cfg)
-        .expect("training the Single baseline succeeds");
-    let single_acc = single.evaluate(&data.test);
-    let single_attack =
-        attack_single_pipeline(&mut single, &data.train, &private_images, &attack_cfg);
+    )?;
+    single.train_supervised(&data.train, &train_cfg)?;
+    let single_acc = single.evaluate(&data.test, &eval_cfg)?;
+    let single_attack = attack_single_pipeline(&single, &data.train, &private_images, &attack_cfg)?;
 
     // Ensembler.
     let trainer = EnsemblerTrainer::new(case.config.clone(), train_cfg.clone());
-    let trained = trainer
-        .train(n, case.selected, &data.train)
-        .expect("three-stage training succeeds");
-    let mut pipeline = trained.into_pipeline();
-    let ensembler_acc = pipeline.evaluate(&data.test);
+    let trained = trainer.train(n, case.selected, &data.train)?;
+    let pipeline = trained.into_pipeline();
+    let ensembler_acc = pipeline.evaluate(&data.test, &eval_cfg)?;
 
-    let per_net = attack_all_single_nets(&mut pipeline, &data.train, &private_images, &attack_cfg);
+    let per_net = attack_all_single_nets(&pipeline, &data.train, &private_images, &attack_cfg)?;
     let best_ssim = per_net
         .iter()
         .cloned()
@@ -242,10 +277,10 @@ pub fn run_defense_quality(case: &DatasetCase, scale: ExperimentScale) -> Defens
         .cloned()
         .max_by(|a, b| a.psnr.total_cmp(&b.psnr))
         .expect("at least one network");
-    let adaptive = attack_adaptive(&mut pipeline, &data.train, &private_images, &attack_cfg);
+    let adaptive = attack_adaptive(&pipeline, &data.train, &private_images, &attack_cfg)?;
 
     let delta = |acc: f32| (baseline_accuracy - acc) * 100.0;
-    DefenseQualityResult {
+    Ok(DefenseQualityResult {
         dataset: case.name.to_string(),
         baseline_accuracy,
         rows: vec![
@@ -254,30 +289,39 @@ pub fn run_defense_quality(case: &DatasetCase, scale: ExperimentScale) -> Defens
             DefenseRow::new("Ours - SSIM", delta(ensembler_acc), &best_ssim),
             DefenseRow::new("Ours - PSNR", delta(ensembler_acc), &best_psnr),
         ],
-    }
+    })
 }
 
 /// Runs the Table-II protocol on the CIFAR-10 stand-in: every baseline
 /// defence plus the three Ensembler attack readings.
-pub fn run_defense_mechanisms(scale: ExperimentScale) -> DefenseQualityResult {
+///
+/// Every victim is driven through `&dyn Defense` — the harness contains no
+/// per-pipeline dispatch.
+///
+/// # Errors
+///
+/// Propagates training, evaluation and attack failures.
+pub fn run_defense_mechanisms(
+    scale: ExperimentScale,
+) -> Result<DefenseQualityResult, EnsemblerError> {
     let case = DatasetCase::cifar10(scale);
     let data = case.generate(13);
     let train_cfg = scale.train_config();
     let attack_cfg = scale.attack_config();
+    let eval_cfg = EvalConfig::default();
     let n = scale.ensemble_size();
-    let (private_images, _) = data.test.batch(0, scale.attack_targets().min(data.test.len()));
+    let (private_images, _) = data
+        .test
+        .batch(0, scale.attack_targets().min(data.test.len()));
 
     let mut rows = Vec::new();
 
     // Unprotected reference (also the "None" row).
-    let mut reference = SinglePipeline::new(case.config.clone(), DefenseKind::NoDefense, 200)
-        .expect("valid configuration");
-    reference
-        .train_supervised(&data.train, &train_cfg)
-        .expect("training succeeds");
-    let baseline_accuracy = reference.evaluate(&data.test);
+    let mut reference = SinglePipeline::new(case.config.clone(), DefenseKind::NoDefense, 200)?;
+    reference.train_supervised(&data.train, &train_cfg)?;
+    let baseline_accuracy = reference.evaluate(&data.test, &eval_cfg)?;
     let none_attack =
-        attack_single_pipeline(&mut reference, &data.train, &private_images, &attack_cfg);
+        attack_single_pipeline(&reference, &data.train, &private_images, &attack_cfg)?;
     rows.push(DefenseRow::new("None", 0.0, &none_attack));
 
     let delta = |acc: f32| (baseline_accuracy - acc) * 100.0;
@@ -300,25 +344,19 @@ pub fn run_defense_mechanisms(scale: ExperimentScale) -> DefenseQualityResult {
         ("DR-single", DefenseKind::Dropout { probability: 0.3 }),
     ];
     for (i, (name, kind)) in single_defenses.into_iter().enumerate() {
-        let mut victim = SinglePipeline::new(case.config.clone(), kind, 201 + i as u64)
-            .expect("valid configuration");
-        victim
-            .train_supervised(&data.train, &train_cfg)
-            .expect("training succeeds");
-        let acc = victim.evaluate(&data.test);
-        let outcome =
-            attack_single_pipeline(&mut victim, &data.train, &private_images, &attack_cfg);
+        let mut victim = SinglePipeline::new(case.config.clone(), kind, 201 + i as u64)?;
+        victim.train_supervised(&data.train, &train_cfg)?;
+        let acc = victim.evaluate(&data.test, &eval_cfg)?;
+        let outcome = attack_single_pipeline(&victim, &data.train, &private_images, &attack_cfg)?;
         rows.push(DefenseRow::new(name, delta(acc), &outcome));
     }
 
     // DR-N: dropout on the jointly trained ensemble (no stage-1 training).
     let trainer = EnsemblerTrainer::new(case.config.clone(), train_cfg.clone());
-    let mut dr_ensemble = trainer
-        .train_joint(n, case.selected, 0.3, &data.train)
-        .expect("joint training succeeds");
-    let dr_acc = dr_ensemble.evaluate(&data.test);
+    let dr_ensemble = trainer.train_joint(n, case.selected, 0.3, &data.train)?;
+    let dr_acc = dr_ensemble.evaluate(&data.test, &eval_cfg)?;
     let dr_attacks =
-        attack_all_single_nets(&mut dr_ensemble, &data.train, &private_images, &attack_cfg);
+        attack_all_single_nets(&dr_ensemble, &data.train, &private_images, &attack_cfg)?;
     let dr_best_ssim = dr_attacks
         .iter()
         .cloned()
@@ -341,12 +379,10 @@ pub fn run_defense_mechanisms(scale: ExperimentScale) -> DefenseQualityResult {
     ));
 
     // Ensembler (full three-stage training).
-    let trained = trainer
-        .train(n, case.selected, &data.train)
-        .expect("three-stage training succeeds");
-    let mut pipeline = trained.into_pipeline();
-    let acc = pipeline.evaluate(&data.test);
-    let per_net = attack_all_single_nets(&mut pipeline, &data.train, &private_images, &attack_cfg);
+    let trained = trainer.train(n, case.selected, &data.train)?;
+    let pipeline = trained.into_pipeline();
+    let acc = pipeline.evaluate(&data.test, &eval_cfg)?;
+    let per_net = attack_all_single_nets(&pipeline, &data.train, &private_images, &attack_cfg)?;
     let best_ssim = per_net
         .iter()
         .cloned()
@@ -357,16 +393,16 @@ pub fn run_defense_mechanisms(scale: ExperimentScale) -> DefenseQualityResult {
         .cloned()
         .max_by(|a, b| a.psnr.total_cmp(&b.psnr))
         .expect("at least one network");
-    let adaptive = attack_adaptive(&mut pipeline, &data.train, &private_images, &attack_cfg);
+    let adaptive = attack_adaptive(&pipeline, &data.train, &private_images, &attack_cfg)?;
     rows.push(DefenseRow::new("Ours - Adaptive", delta(acc), &adaptive));
     rows.push(DefenseRow::new("Ours - SSIM", delta(acc), &best_ssim));
     rows.push(DefenseRow::new("Ours - PSNR", delta(acc), &best_psnr));
 
-    DefenseQualityResult {
+    Ok(DefenseQualityResult {
         dataset: case.name.to_string(),
         baseline_accuracy,
         rows,
-    }
+    })
 }
 
 /// Pretty-prints a defence-quality table in the paper's column order.

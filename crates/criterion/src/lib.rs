@@ -1,0 +1,181 @@
+//! Minimal offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment for this workspace has no network access, so the
+//! real `criterion` crate cannot be fetched. This crate implements the small
+//! API subset the `ensembler-bench` benchmarks use — `Criterion`,
+//! `BenchmarkGroup`, `Bencher::iter`, `black_box`, `BenchmarkId` and the
+//! `criterion_group!` / `criterion_main!` macros — with a simple
+//! mean-of-timed-iterations measurement. Swap the path dependency for the
+//! registry crate to get real statistics; no bench source changes needed.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for one case of a parameterised benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Builds an id from the parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Drives the timed iterations of a single benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Self {
+            samples,
+            mean_ns: 0.0,
+        }
+    }
+
+    /// Runs `f` repeatedly and records the mean wall-clock time per call.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warm-up: one untimed call.
+        black_box(f());
+        let mut total = Duration::ZERO;
+        let mut iters = 0usize;
+        let budget = Duration::from_millis(200);
+        while iters < self.samples || total < budget {
+            let start = Instant::now();
+            black_box(f());
+            total += start.elapsed();
+            iters += 1;
+            if iters >= self.samples * 64 {
+                break;
+            }
+        }
+        self.mean_ns = total.as_nanos() as f64 / iters.max(1) as f64;
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+fn report(name: &str, bencher: &Bencher) {
+    let ns = bencher.mean_ns;
+    if ns >= 1e9 {
+        println!("{name:<48} {:>10.3} s", ns / 1e9);
+    } else if ns >= 1e6 {
+        println!("{name:<48} {:>10.3} ms", ns / 1e6);
+    } else if ns >= 1e3 {
+        println!("{name:<48} {:>10.3} us", ns / 1e3);
+    } else {
+        println!("{name:<48} {ns:>10.1} ns");
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut f = f;
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        report(name, &bencher);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples for this group.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = Some(samples);
+        self
+    }
+
+    /// Runs one parameterised benchmark case.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut f = f;
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let mut bencher = Bencher::new(samples);
+        f(&mut bencher, input);
+        report(&format!("{}/{}", self.name, id), &bencher);
+        self
+    }
+
+    /// Finishes the group (kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Collects benchmark functions into a runnable group, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates a `main` that runs the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

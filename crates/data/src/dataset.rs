@@ -79,7 +79,10 @@ impl Dataset {
         assert!(size > 0, "batch size must be positive");
         let end = (start + size).min(self.len());
         let items: Vec<Tensor> = (start..end).map(|i| self.images.batch_item(i)).collect();
-        (Tensor::stack_batch(&items), self.labels[start..end].to_vec())
+        (
+            Tensor::stack_batch(&items),
+            self.labels[start..end].to_vec(),
+        )
     }
 
     /// Returns the samples at the given indices as a batch.
@@ -230,7 +233,7 @@ mod tests {
     fn shuffled_batches_cover_every_sample_exactly_once() {
         let ds = toy_dataset(23, 4);
         let mut rng = Rng::seed_from(0);
-        let mut seen = vec![0usize; 4];
+        let mut seen = [0usize; 4];
         let mut total = 0;
         for (images, labels) in ds.batches(5, &mut rng) {
             assert!(images.shape()[0] <= 5);

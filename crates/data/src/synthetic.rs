@@ -2,14 +2,13 @@
 
 use crate::{Dataset, DatasetSplit};
 use ensembler_tensor::{Rng, Tensor};
-use serde::{Deserialize, Serialize};
 
 /// Which real dataset a synthetic specification is standing in for.
 ///
 /// The families differ in how class identity is rendered into the image,
 /// mirroring the qualitative differences between the paper's datasets:
 /// object-like shapes (CIFAR) versus face-like layouts (CelebA-HQ).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SyntheticFamily {
     /// Class-coloured geometric objects on textured backgrounds (CIFAR-like).
     Objects,
@@ -30,7 +29,7 @@ pub enum SyntheticFamily {
 /// assert_eq!(data.train.num_classes(), 10);
 /// assert_eq!(data.train.image_shape(), vec![3, 16, 16]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SyntheticSpec {
     /// Human-readable dataset name used in reports.
     pub name: String,
@@ -209,7 +208,11 @@ impl SyntheticSpec {
         let s = self.image_size;
         // Attribute classes modulate skin tone, hair band and mouth width.
         let skin = 0.55 + 0.1 * (class % 2) as f32;
-        let hair = if class / 2 % 2 == 0 { 0.15 } else { 0.45 };
+        let hair = if (class / 2).is_multiple_of(2) {
+            0.15
+        } else {
+            0.45
+        };
         let mouth_half_width = s as f32 * (0.12 + 0.06 * (class % 2) as f32);
 
         let cx = s as f32 * 0.5 + rng.normal_with(0.0, 0.5);
@@ -225,8 +228,7 @@ impl SyntheticSpec {
             for x in 0..s {
                 let fx = x as f32;
                 let fy = y as f32;
-                let in_face =
-                    ((fx - cx) / rx).powi(2) + ((fy - cy) / ry).powi(2) <= 1.0;
+                let in_face = ((fx - cx) / rx).powi(2) + ((fy - cy) / ry).powi(2) <= 1.0;
                 let in_hair = fy < cy - ry * 0.55 && in_face_band(fx, cx, rx);
                 let in_eye = (fy - eye_y).abs() < 1.5
                     && ((fx - (cx - eye_dx)).abs() < 1.5 || (fx - (cx + eye_dx)).abs() < 1.5);
@@ -328,9 +330,7 @@ mod tests {
 
     #[test]
     fn pixel_values_stay_in_unit_range() {
-        let data = SyntheticSpec::cifar10_like()
-            .with_samples(2, 1)
-            .generate(3);
+        let data = SyntheticSpec::cifar10_like().with_samples(2, 1).generate(3);
         assert!(data.train.images().min() >= 0.0);
         assert!(data.train.images().max() <= 1.0);
     }
@@ -395,7 +395,10 @@ mod tests {
         let first_of = |c: usize| labels.iter().position(|&l| l == c).unwrap();
         let (a, _) = data.train.gather(&[first_of(0)]);
         let (b, _) = data.train.gather(&[first_of(3)]);
-        assert!(a.sub(&b).norm() > 1.0, "attribute classes must look different");
+        assert!(
+            a.sub(&b).norm() > 1.0,
+            "attribute classes must look different"
+        );
     }
 
     #[test]

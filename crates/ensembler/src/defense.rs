@@ -1,0 +1,175 @@
+//! The unified [`Defense`] trait: one immutable inference API for every
+//! split-inference pipeline in the workspace.
+//!
+//! Before this trait existed, `EnsemblerPipeline` and `SinglePipeline`
+//! exposed divergent, `&mut self` inference methods, so the attack crate,
+//! the benchmark harness and the examples each hand-rolled their own
+//! dispatch. `Defense` fixes both problems at once:
+//!
+//! * every method takes `&self` and returns `Result`, so a pipeline can be
+//!   shared behind an `Arc` and serve concurrent batches (see
+//!   [`crate::engine::InferenceEngine`]);
+//! * the client/server split is part of the contract
+//!   ([`Defense::client_features`] → [`Defense::server_outputs`] →
+//!   [`Defense::classify`]), so generic code — attacks, benchmarks, latency
+//!   estimation — works against `&dyn Defense` without knowing which defence
+//!   it is probing.
+
+use crate::EnsemblerError;
+use ensembler_data::Dataset;
+use ensembler_metrics::accuracy;
+use ensembler_nn::models::ResNetConfig;
+use ensembler_nn::Sequential;
+use ensembler_tensor::Tensor;
+
+/// Evaluation parameters shared by every [`Defense::evaluate`]
+/// implementation.
+///
+/// # Examples
+///
+/// ```
+/// use ensembler::EvalConfig;
+///
+/// assert_eq!(EvalConfig::default().batch_size, 32);
+/// assert_eq!(EvalConfig::with_batch_size(8).batch_size, 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvalConfig {
+    /// Mini-batch size used when sweeping a dataset.
+    pub batch_size: usize,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        Self { batch_size: 32 }
+    }
+}
+
+impl EvalConfig {
+    /// Creates a configuration with the given mini-batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    pub fn with_batch_size(batch_size: usize) -> Self {
+        assert!(batch_size > 0, "evaluation batch size must be positive");
+        Self { batch_size }
+    }
+}
+
+/// A split-inference pipeline with some protection on the transmitted
+/// features.
+///
+/// The trait is object safe: `&dyn Defense` is the currency the attack
+/// crate, the benchmark harness and the latency model trade in. All methods
+/// take `&self` — implementations must not mutate state during inference, so
+/// an `Arc<dyn Defense>` can serve concurrent requests with results
+/// bit-identical to sequential execution.
+pub trait Defense: Send + Sync + std::fmt::Debug {
+    /// The backbone configuration shared by the client and the server.
+    fn config(&self) -> &ResNetConfig;
+
+    /// Short human-readable name matching the paper's table rows.
+    fn label(&self) -> &str;
+
+    /// The server-side networks.
+    ///
+    /// Under the paper's threat model the adversarial server owns these
+    /// weights, so attacks clone them from here into their own mutable
+    /// copies.
+    fn server_bodies(&self) -> &[Sequential];
+
+    /// Number of server networks (`N`; 1 for the single-network baselines).
+    fn ensemble_size(&self) -> usize {
+        self.server_bodies().len()
+    }
+
+    /// Number of server networks the client secretly consumes (`P`; 1 for
+    /// the single-network baselines). The latency model uses this.
+    fn selected_count(&self) -> usize;
+
+    /// Computes the (protected) features the client transmits for a batch of
+    /// `[B, C, H, W]` images.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the input is inconsistent with the pipeline.
+    fn client_features(&self, images: &Tensor) -> Result<Tensor, EnsemblerError>;
+
+    /// Evaluates every server body on the transmitted features, returning
+    /// the per-network feature maps in index order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the features do not match the server input
+    /// shape.
+    fn server_outputs(&self, transmitted: &Tensor) -> Result<Vec<Tensor>, EnsemblerError>;
+
+    /// Applies the client-side post-processing (secret selection and tail
+    /// classifier) to the server's feature maps, producing class logits.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the number or shape of the maps is wrong.
+    fn classify(&self, server_maps: &[Tensor]) -> Result<Tensor, EnsemblerError>;
+
+    /// Runs the complete collaborative-inference pipeline on a batch of
+    /// images and returns class logits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from any of the three stages.
+    fn predict(&self, images: &Tensor) -> Result<Tensor, EnsemblerError> {
+        let transmitted = self.client_features(images)?;
+        let maps = self.server_outputs(&transmitted)?;
+        self.classify(&maps)
+    }
+
+    /// Top-1 accuracy of the pipeline on a dataset, evaluated in mini-batches
+    /// of `eval.batch_size`. Returns 0 for an empty dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `eval.batch_size` is zero or prediction fails.
+    fn evaluate(&self, dataset: &Dataset, eval: &EvalConfig) -> Result<f32, EnsemblerError> {
+        if eval.batch_size == 0 {
+            return Err(EnsemblerError::InvalidConfig(
+                "evaluation batch size must be positive".to_string(),
+            ));
+        }
+        if dataset.is_empty() {
+            return Ok(0.0);
+        }
+        let mut correct_weighted = 0.0f32;
+        let mut start = 0usize;
+        while start < dataset.len() {
+            let (images, labels) = dataset.batch(start, eval.batch_size);
+            let logits = self.predict(&images)?;
+            correct_weighted += accuracy(&logits, &labels) * labels.len() as f32;
+            start += eval.batch_size;
+        }
+        Ok(correct_weighted / dataset.len() as f32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_config_default_batch_size_is_32() {
+        assert_eq!(EvalConfig::default().batch_size, 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn zero_batch_size_is_rejected() {
+        let _ = EvalConfig::with_batch_size(0);
+    }
+
+    #[test]
+    fn the_trait_is_object_safe() {
+        // Compile-time check: &dyn Defense must be a valid type.
+        fn _takes_dyn(_d: &dyn Defense) {}
+    }
+}

@@ -14,10 +14,10 @@
 //! The DR-N (dropout on an ensemble without stage-1 training) baseline is the
 //! ensembled analogue and lives in [`crate::trainer::EnsemblerTrainer::train_joint`].
 
+use crate::defense::Defense;
 use crate::trainer::TrainConfig;
 use crate::EnsemblerError;
 use ensembler_data::Dataset;
-use ensembler_metrics::accuracy;
 use ensembler_nn::models::{build_body, build_head, build_tail, ResNetConfig};
 use ensembler_nn::{
     CrossEntropyLoss, Dropout, FixedNoise, Identity, Layer, LearnedNoise, Mode, Optimizer, Param,
@@ -73,12 +73,21 @@ enum DefenseLayer {
 }
 
 impl DefenseLayer {
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+    fn forward(&self, input: &Tensor, mode: Mode) -> Tensor {
         match self {
             DefenseLayer::Identity(l) => l.forward(input, mode),
             DefenseLayer::Fixed(l) => l.forward(input, mode),
             DefenseLayer::Learned(l) => l.forward(input, mode),
             DefenseLayer::Dropout(l) => l.forward(input, mode),
+        }
+    }
+
+    fn forward_cached(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        match self {
+            DefenseLayer::Identity(l) => l.forward_cached(input, mode),
+            DefenseLayer::Fixed(l) => l.forward_cached(input, mode),
+            DefenseLayer::Learned(l) => l.forward_cached(input, mode),
+            DefenseLayer::Dropout(l) => l.forward_cached(input, mode),
         }
     }
 
@@ -102,10 +111,15 @@ impl DefenseLayer {
 /// A single split network (client head + defence + server body + client tail)
 /// protected by one of the baseline defences.
 ///
+/// Like [`crate::EnsemblerPipeline`], all inference goes through the
+/// [`Defense`] trait with `&self`, so baselines and Ensembler are completely
+/// interchangeable for attacks, benchmarks and serving. The single body is
+/// modelled as an ensemble of size 1.
+///
 /// # Examples
 ///
 /// ```
-/// use ensembler::{DefenseKind, SinglePipeline, TrainConfig};
+/// use ensembler::{Defense, DefenseKind, SinglePipeline, TrainConfig};
 /// use ensembler_data::SyntheticSpec;
 /// use ensembler_nn::models::ResNetConfig;
 ///
@@ -117,6 +131,7 @@ impl DefenseLayer {
 /// )?;
 /// let losses = pipeline.train_supervised(&data.train, &TrainConfig::fast_for_tests())?;
 /// assert!(!losses.is_empty());
+/// assert_eq!(pipeline.label(), "Single");
 /// # Ok::<(), ensembler::EnsemblerError>(())
 /// ```
 #[derive(Debug)]
@@ -125,7 +140,7 @@ pub struct SinglePipeline {
     kind: DefenseKind,
     head: Sequential,
     defense: DefenseLayer,
-    body: Sequential,
+    body: [Sequential; 1],
     tail: Sequential,
 }
 
@@ -137,9 +152,7 @@ impl SinglePipeline {
     /// Returns an error if the backbone configuration fails validation or the
     /// defence parameters are out of range.
     pub fn new(config: ResNetConfig, kind: DefenseKind, seed: u64) -> Result<Self, EnsemblerError> {
-        config
-            .validate()
-            .map_err(EnsemblerError::InvalidConfig)?;
+        config.validate().map_err(EnsemblerError::InvalidConfig)?;
         let mut rng = Rng::seed_from(seed);
         let head = build_head(&config, &mut rng);
         let body = build_body(&config, &mut rng);
@@ -179,14 +192,9 @@ impl SinglePipeline {
             kind,
             head,
             defense,
-            body,
+            body: [body],
             tail,
         })
-    }
-
-    /// The backbone configuration.
-    pub fn config(&self) -> &ResNetConfig {
-        &self.config
     }
 
     /// The defence applied to the transmitted features.
@@ -194,52 +202,18 @@ impl SinglePipeline {
         self.kind
     }
 
-    /// Mutable access to the server body, which the adversary owns under the
-    /// threat model.
+    /// Mutable access to the server body (training only; inference uses the
+    /// immutable [`Defense`] methods).
     pub fn body_mut(&mut self) -> &mut Sequential {
-        &mut self.body
-    }
-
-    /// Immutable access to the server body.
-    pub fn body(&self) -> &Sequential {
-        &self.body
+        &mut self.body[0]
     }
 
     /// Splits the trained pipeline into its parts
     /// `(head, body, tail)`, dropping the defence layer. Used by the
     /// Ensembler trainer to harvest stage-1 networks.
     pub fn into_parts(self) -> (Sequential, Sequential, Sequential) {
-        (self.head, self.body, self.tail)
-    }
-
-    /// Computes the features the client transmits (head output plus defence).
-    pub fn client_features(&mut self, images: &Tensor) -> Tensor {
-        let features = self.head.forward(images, Mode::Eval);
-        self.defense.forward(&features, Mode::Eval)
-    }
-
-    /// Runs the full pipeline, returning class logits.
-    pub fn predict(&mut self, images: &Tensor) -> Tensor {
-        let transmitted = self.client_features(images);
-        let features = self.body.forward(&transmitted, Mode::Eval);
-        self.tail.forward(&features, Mode::Eval)
-    }
-
-    /// Top-1 accuracy on a dataset (0 for an empty dataset).
-    pub fn evaluate(&mut self, dataset: &Dataset) -> f32 {
-        if dataset.is_empty() {
-            return 0.0;
-        }
-        let batch_size = 32usize;
-        let mut weighted = 0.0f32;
-        let mut start = 0usize;
-        while start < dataset.len() {
-            let (images, labels) = dataset.batch(start, batch_size);
-            let logits = self.predict(&images);
-            weighted += accuracy(&logits, &labels) * labels.len() as f32;
-            start += batch_size;
-        }
-        weighted / dataset.len() as f32
+        let [body] = self.body;
+        (self.head, body, self.tail)
     }
 
     /// Trains the whole pipeline with cross-entropy, returning the mean loss
@@ -269,14 +243,14 @@ impl SinglePipeline {
             let mut epoch_loss = 0.0f32;
             let mut batches = 0usize;
             for (images, labels) in data.batches(train.batch_size, &mut rng) {
-                let head_out = self.head.forward(&images, Mode::Train);
-                let protected = self.defense.forward(&head_out, Mode::Train);
-                let body_out = self.body.forward(&protected, Mode::Train);
-                let logits = self.tail.forward(&body_out, Mode::Train);
+                let head_out = self.head.forward_cached(&images, Mode::Train);
+                let protected = self.defense.forward_cached(&head_out, Mode::Train);
+                let body_out = self.body[0].forward_cached(&protected, Mode::Train);
+                let logits = self.tail.forward_cached(&body_out, Mode::Train);
                 let out = loss_fn.compute(&logits, &labels);
 
                 let grad_body_out = self.tail.backward(&out.grad);
-                let grad_protected = self.body.backward(&grad_body_out);
+                let grad_protected = self.body[0].backward(&grad_body_out);
                 let grad_head_out = self.defense.backward(&grad_protected);
                 let _ = self.head.backward(&grad_head_out);
 
@@ -285,7 +259,7 @@ impl SinglePipeline {
                 }
 
                 let mut params = self.head.params_mut();
-                params.extend(self.body.params_mut());
+                params.extend(self.body[0].params_mut());
                 params.extend(self.tail.params_mut());
                 params.extend(self.defense.params_mut());
                 optimizer.step(&mut params);
@@ -299,9 +273,48 @@ impl SinglePipeline {
     }
 }
 
+impl Defense for SinglePipeline {
+    fn config(&self) -> &ResNetConfig {
+        &self.config
+    }
+
+    fn label(&self) -> &str {
+        self.kind.label()
+    }
+
+    fn server_bodies(&self) -> &[Sequential] {
+        &self.body
+    }
+
+    fn selected_count(&self) -> usize {
+        1
+    }
+
+    /// Computes the features the client transmits (head output plus defence).
+    fn client_features(&self, images: &Tensor) -> Result<Tensor, EnsemblerError> {
+        let features = self.head.forward(images, Mode::Eval);
+        Ok(self.defense.forward(&features, Mode::Eval))
+    }
+
+    fn server_outputs(&self, transmitted: &Tensor) -> Result<Vec<Tensor>, EnsemblerError> {
+        Ok(vec![self.body[0].forward(transmitted, Mode::Eval)])
+    }
+
+    fn classify(&self, server_maps: &[Tensor]) -> Result<Tensor, EnsemblerError> {
+        if server_maps.len() != 1 {
+            return Err(EnsemblerError::ShapeMismatch(format!(
+                "a single-network pipeline expects 1 feature map, got {}",
+                server_maps.len()
+            )));
+        }
+        Ok(self.tail.forward(&server_maps[0], Mode::Eval))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::defense::EvalConfig;
     use ensembler_data::SyntheticSpec;
 
     fn tiny_data() -> ensembler_data::SyntheticDataset {
@@ -339,9 +352,7 @@ mod tests {
             0
         )
         .is_err());
-        assert!(
-            SinglePipeline::new(cfg(), DefenseKind::Dropout { probability: 1.0 }, 0).is_err()
-        );
+        assert!(SinglePipeline::new(cfg(), DefenseKind::Dropout { probability: 1.0 }, 0).is_err());
         assert!(SinglePipeline::new(cfg(), DefenseKind::NoDefense, 0).is_ok());
     }
 
@@ -390,17 +401,17 @@ mod tests {
 
     #[test]
     fn noise_defense_perturbs_transmitted_features() {
-        let mut plain =
+        let plain =
             SinglePipeline::new(ResNetConfig::tiny_for_tests(), DefenseKind::NoDefense, 3).unwrap();
-        let mut noisy = SinglePipeline::new(
+        let noisy = SinglePipeline::new(
             ResNetConfig::tiny_for_tests(),
             DefenseKind::AdditiveNoise { sigma: 0.3 },
             3,
         )
         .unwrap();
         let images = Tensor::ones(&[1, 3, 8, 8]);
-        let a = plain.client_features(&images);
-        let b = noisy.client_features(&images);
+        let a = plain.client_features(&images).unwrap();
+        let b = noisy.client_features(&images).unwrap();
         assert_eq!(a.shape(), b.shape());
         let diff = a.sub(&b).norm();
         assert!(diff > 0.1, "noise must change the features (diff {diff})");
@@ -437,14 +448,14 @@ mod tests {
 
     #[test]
     fn dropout_defense_stays_active_at_inference() {
-        let mut pipeline = SinglePipeline::new(
+        let pipeline = SinglePipeline::new(
             ResNetConfig::tiny_for_tests(),
             DefenseKind::Dropout { probability: 0.5 },
             5,
         )
         .unwrap();
         let images = Tensor::ones(&[1, 3, 8, 8]);
-        let features = pipeline.client_features(&images);
+        let features = pipeline.client_features(&images).unwrap();
         let zeros = features.data().iter().filter(|v| **v == 0.0).count();
         assert!(
             zeros as f32 >= 0.2 * features.len() as f32,
@@ -455,13 +466,21 @@ mod tests {
     #[test]
     fn predict_and_evaluate_have_consistent_shapes() {
         let data = tiny_data();
-        let mut pipeline =
+        let pipeline =
             SinglePipeline::new(ResNetConfig::tiny_for_tests(), DefenseKind::NoDefense, 6).unwrap();
         let (images, _) = data.test.batch(0, 4);
-        let logits = pipeline.predict(&images);
+        let logits = pipeline.predict(&images).unwrap();
         assert_eq!(logits.shape(), &[4, 3]);
-        let acc = pipeline.evaluate(&data.test);
+        let acc = pipeline
+            .evaluate(&data.test, &EvalConfig::default())
+            .unwrap();
         assert!((0.0..=1.0).contains(&acc));
+        // The split API agrees with the fused one.
+        let transmitted = pipeline.client_features(&images).unwrap();
+        let maps = pipeline.server_outputs(&transmitted).unwrap();
+        assert_eq!(maps.len(), 1);
+        assert_eq!(pipeline.classify(&maps).unwrap(), logits);
+        assert!(pipeline.classify(&[]).is_err());
     }
 
     #[test]

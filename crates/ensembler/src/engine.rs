@@ -1,0 +1,444 @@
+//! A concurrent inference engine over any [`Defense`]: request coalescing,
+//! mini-batching and parallel server fan-out from a shared pipeline.
+//!
+//! This module is the end-to-end demonstration of the paper's deployment
+//! argument (Sec. III-D): the `O(N)` server cost of Ensembler "parallelises
+//! away" because the `N` bodies are independent. The redesigned [`Defense`]
+//! trait makes that concrete — inference takes `&self`, so one pipeline
+//! behind an `Arc` can serve many clients at once:
+//!
+//! * callers submit single `[C, H, W]` images from any thread via
+//!   [`InferenceEngine::predict_one`];
+//! * worker threads coalesce queued requests into mini-batches of up to
+//!   `max_batch` images (waiting at most `batch_window` for stragglers);
+//! * each batch runs one [`Defense::predict`], inside which the `N` server
+//!   bodies fan out over the machine's cores
+//!   ([`ensembler_tensor::par_map`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use ensembler::{DefenseKind, EngineConfig, InferenceEngine, SinglePipeline};
+//! use ensembler_nn::models::ResNetConfig;
+//! use ensembler_tensor::Tensor;
+//! use std::sync::Arc;
+//!
+//! let pipeline = Arc::new(SinglePipeline::new(
+//!     ResNetConfig::tiny_for_tests(),
+//!     DefenseKind::NoDefense,
+//!     1,
+//! )?);
+//! let engine = InferenceEngine::new(pipeline, EngineConfig::default())?;
+//! let logits = engine.predict_one(Tensor::ones(&[3, 8, 8]))?;
+//! assert_eq!(logits.shape(), &[3]); // tiny_for_tests has 3 classes
+//! # Ok::<(), ensembler::EnsemblerError>(())
+//! ```
+
+use crate::defense::Defense;
+use crate::EnsemblerError;
+use ensembler_tensor::Tensor;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tuning knobs of an [`InferenceEngine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Maximum number of single-image requests coalesced into one batch.
+    pub max_batch: usize,
+    /// How long a worker waits for additional requests before running a
+    /// partially filled batch.
+    pub batch_window: Duration,
+    /// Number of worker threads executing batches concurrently.
+    pub workers: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 8,
+            batch_window: Duration::from_millis(2),
+            workers: 1,
+        }
+    }
+}
+
+/// Counters describing what an engine has done so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// Single-image requests answered.
+    pub requests_served: u64,
+    /// Mini-batches executed.
+    pub batches_executed: u64,
+    /// Largest batch that was coalesced.
+    pub max_batch_observed: u64,
+}
+
+impl EngineStats {
+    /// Mean number of requests per executed batch.
+    pub fn mean_batch_occupancy(&self) -> f64 {
+        if self.batches_executed == 0 {
+            0.0
+        } else {
+            self.requests_served as f64 / self.batches_executed as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct StatsCells {
+    requests: AtomicU64,
+    batches: AtomicU64,
+    max_batch: AtomicU64,
+}
+
+struct Request {
+    image: Tensor,
+    respond: Sender<Result<Tensor, EnsemblerError>>,
+}
+
+/// A thread-safe serving frontend over a shared [`Defense`].
+///
+/// Dropping the engine shuts it down: the queue is closed and every worker
+/// is joined.
+#[derive(Debug)]
+pub struct InferenceEngine<D: Defense + ?Sized + 'static> {
+    defense: Arc<D>,
+    sender: Option<Sender<Request>>,
+    workers: Vec<JoinHandle<()>>,
+    stats: Arc<StatsCells>,
+}
+
+impl<D: Defense + ?Sized + 'static> InferenceEngine<D> {
+    /// Starts an engine serving `defense` with the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnsemblerError::InvalidConfig`] if `max_batch` or `workers`
+    /// is zero.
+    pub fn new(defense: Arc<D>, config: EngineConfig) -> Result<Self, EnsemblerError> {
+        if config.max_batch == 0 || config.workers == 0 {
+            return Err(EnsemblerError::InvalidConfig(
+                "engine max_batch and workers must be positive".to_string(),
+            ));
+        }
+        let (sender, receiver) = channel::<Request>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let stats = Arc::new(StatsCells::default());
+        let workers = (0..config.workers)
+            .map(|_| {
+                let defense = Arc::clone(&defense);
+                let receiver = Arc::clone(&receiver);
+                let stats = Arc::clone(&stats);
+                std::thread::spawn(move || worker_loop(&*defense, &receiver, &stats, config))
+            })
+            .collect();
+        Ok(Self {
+            defense,
+            sender: Some(sender),
+            workers,
+            stats,
+        })
+    }
+
+    /// The defence this engine serves.
+    pub fn defense(&self) -> &D {
+        &self.defense
+    }
+
+    /// Classifies one image (`[C, H, W]`, or `[1, C, H, W]` as produced by
+    /// [`Tensor::batch_item`]), blocking until a worker has served it as
+    /// part of a coalesced mini-batch. Returns the `[num_classes]` logit
+    /// vector.
+    ///
+    /// Safe to call from many threads at once; that is the intended use.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the image shape is wrong, prediction fails, or
+    /// the engine is shutting down.
+    pub fn predict_one(&self, image: Tensor) -> Result<Tensor, EnsemblerError> {
+        let image = match image.rank() {
+            3 => {
+                let mut unsqueezed = vec![1];
+                unsqueezed.extend_from_slice(image.shape());
+                image
+                    .reshape(&unsqueezed)
+                    .expect("adding a batch axis preserves the element count")
+            }
+            4 if image.shape()[0] == 1 => image,
+            _ => {
+                return Err(EnsemblerError::ShapeMismatch(format!(
+                    "predict_one expects one [C, H, W] or [1, C, H, W] image, got {:?}",
+                    image.shape()
+                )))
+            }
+        };
+        let sender = self
+            .sender
+            .as_ref()
+            .expect("sender lives until the engine is dropped");
+        let (respond, receive) = channel();
+        sender
+            .send(Request { image, respond })
+            .map_err(|_| EnsemblerError::Engine("request queue is closed".to_string()))?;
+        receive
+            .recv()
+            .map_err(|_| EnsemblerError::Engine("worker dropped the request".to_string()))?
+    }
+
+    /// Classifies a pre-assembled `[B, C, H, W]` batch directly on the
+    /// calling thread, bypassing the queue.
+    ///
+    /// # Errors
+    ///
+    /// Propagates prediction errors.
+    pub fn predict_batch(&self, images: &Tensor) -> Result<Tensor, EnsemblerError> {
+        self.defense.predict(images)
+    }
+
+    /// A snapshot of the engine's serving counters.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            requests_served: self.stats.requests.load(Ordering::Relaxed),
+            batches_executed: self.stats.batches.load(Ordering::Relaxed),
+            max_batch_observed: self.stats.max_batch.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl<D: Defense + ?Sized + 'static> Drop for InferenceEngine<D> {
+    fn drop(&mut self) {
+        // Closing the channel makes every worker's recv fail, ending its loop.
+        drop(self.sender.take());
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop<D: Defense + ?Sized>(
+    defense: &D,
+    receiver: &Mutex<Receiver<Request>>,
+    stats: &StatsCells,
+    config: EngineConfig,
+) {
+    loop {
+        // Collect a batch while holding the queue lock: block for the first
+        // request, then drain stragglers until `batch_window` has elapsed
+        // since that first arrival (a fixed deadline, so slow trickles cannot
+        // keep extending the wait — and the lock — indefinitely).
+        let batch = {
+            let queue = receiver.lock().expect("queue mutex is never poisoned");
+            let first = match queue.recv() {
+                Ok(request) => request,
+                Err(_) => return, // engine dropped
+            };
+            let deadline = std::time::Instant::now() + config.batch_window;
+            let mut batch = vec![first];
+            while batch.len() < config.max_batch {
+                let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+                if remaining.is_zero() {
+                    break;
+                }
+                match queue.recv_timeout(remaining) {
+                    Ok(request) => batch.push(request),
+                    Err(RecvTimeoutError::Timeout) => break,
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+            batch
+        };
+
+        // A panicking pipeline (e.g. a shape assert deep in a layer) must not
+        // kill the worker: callers would hang forever on an undrained queue.
+        // Catch the panic and answer every queued request with an error.
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_batch(defense, &batch)))
+                .unwrap_or_else(|payload| {
+                    let message = payload
+                        .downcast_ref::<String>()
+                        .map(String::as_str)
+                        .or_else(|| payload.downcast_ref::<&str>().copied())
+                        .unwrap_or("prediction panicked");
+                    Err(EnsemblerError::Engine(format!(
+                        "prediction panicked: {message}"
+                    )))
+                });
+        stats.batches.fetch_add(1, Ordering::Relaxed);
+        stats
+            .requests
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        stats
+            .max_batch
+            .fetch_max(batch.len() as u64, Ordering::Relaxed);
+
+        match result {
+            Ok(rows) => {
+                for (request, row) in batch.into_iter().zip(rows) {
+                    let _ = request.respond.send(Ok(row));
+                }
+            }
+            Err(error) => {
+                for request in batch {
+                    let _ = request.respond.send(Err(error.clone()));
+                }
+            }
+        }
+    }
+}
+
+/// Stacks the queued images, runs one shared prediction and splits the
+/// logits back into per-request rows.
+fn run_batch<D: Defense + ?Sized>(
+    defense: &D,
+    batch: &[Request],
+) -> Result<Vec<Tensor>, EnsemblerError> {
+    let images: Vec<Tensor> = batch.iter().map(|r| r.image.clone()).collect();
+    let first_shape = images[0].shape().to_vec();
+    for image in &images[1..] {
+        if image.shape() != first_shape {
+            return Err(EnsemblerError::ShapeMismatch(format!(
+                "cannot batch images of shapes {:?} and {:?}",
+                first_shape,
+                image.shape()
+            )));
+        }
+    }
+    let stacked = Tensor::stack_batch(&images);
+    let logits = defense.predict(&stacked)?;
+    let classes = logits.shape()[1];
+    Ok((0..batch.len())
+        .map(|row| {
+            let data = logits.data()[row * classes..(row + 1) * classes].to_vec();
+            Tensor::from_vec(data, &[classes]).expect("row length matches")
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::defenses::{DefenseKind, SinglePipeline};
+    use ensembler_nn::models::ResNetConfig;
+
+    fn tiny_engine(workers: usize, max_batch: usize) -> InferenceEngine<SinglePipeline> {
+        let pipeline = Arc::new(
+            SinglePipeline::new(ResNetConfig::tiny_for_tests(), DefenseKind::NoDefense, 3).unwrap(),
+        );
+        InferenceEngine::new(
+            pipeline,
+            EngineConfig {
+                max_batch,
+                batch_window: Duration::from_millis(10),
+                workers,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn configuration_is_validated() {
+        let pipeline = Arc::new(
+            SinglePipeline::new(ResNetConfig::tiny_for_tests(), DefenseKind::NoDefense, 3).unwrap(),
+        );
+        assert!(InferenceEngine::new(
+            Arc::clone(&pipeline),
+            EngineConfig {
+                max_batch: 0,
+                ..EngineConfig::default()
+            }
+        )
+        .is_err());
+        assert!(InferenceEngine::new(
+            pipeline,
+            EngineConfig {
+                workers: 0,
+                ..EngineConfig::default()
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn single_requests_match_direct_batched_prediction() {
+        let engine = tiny_engine(1, 4);
+        let image_a = Tensor::from_fn(&[3, 8, 8], |i| (i as f32 * 0.01).sin());
+        let image_b = Tensor::from_fn(&[3, 8, 8], |i| (i as f32 * 0.02).cos());
+
+        let row_a = engine.predict_one(image_a.clone()).unwrap();
+        let row_b = engine.predict_one(image_b.clone()).unwrap();
+
+        let stacked = Tensor::stack_batch(&[
+            image_a.reshape(&[1, 3, 8, 8]).unwrap(),
+            image_b.reshape(&[1, 3, 8, 8]).unwrap(),
+        ]);
+        let direct = engine.predict_batch(&stacked).unwrap();
+        let classes = direct.shape()[1];
+        assert_eq!(row_a.data(), &direct.data()[..classes]);
+        assert_eq!(row_b.data(), &direct.data()[classes..]);
+    }
+
+    #[test]
+    fn rejects_non_image_requests() {
+        let engine = tiny_engine(1, 2);
+        let err = engine.predict_one(Tensor::ones(&[2, 3, 8, 8])).unwrap_err();
+        assert!(matches!(err, EnsemblerError::ShapeMismatch(_)));
+    }
+
+    #[test]
+    fn concurrent_clients_get_the_same_answers_as_sequential_ones() {
+        let engine = Arc::new(tiny_engine(2, 4));
+        let images: Vec<Tensor> = (0..12)
+            .map(|k| Tensor::from_fn(&[3, 8, 8], |i| ((i + 31 * k) as f32 * 0.013).sin()))
+            .collect();
+        let sequential: Vec<Tensor> = images
+            .iter()
+            .map(|img| engine.predict_one(img.clone()).unwrap())
+            .collect();
+
+        let concurrent: Vec<Tensor> = std::thread::scope(|scope| {
+            let handles: Vec<_> = images
+                .iter()
+                .map(|img| {
+                    let engine = Arc::clone(&engine);
+                    scope.spawn(move || engine.predict_one(img.clone()).unwrap())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        assert_eq!(concurrent, sequential);
+        let stats = engine.stats();
+        assert_eq!(stats.requests_served, 24);
+        assert!(stats.batches_executed >= 1);
+        assert!(stats.batches_executed <= stats.requests_served);
+        assert!(stats.mean_batch_occupancy() >= 1.0);
+        assert!(stats.max_batch_observed >= 1);
+    }
+
+    #[test]
+    fn engine_shuts_down_cleanly_on_drop() {
+        let engine = tiny_engine(2, 2);
+        let _ = engine.predict_one(Tensor::ones(&[3, 8, 8])).unwrap();
+        drop(engine); // must not hang or panic
+    }
+
+    #[test]
+    fn a_panicking_prediction_does_not_kill_the_worker() {
+        // [4, 8, 8] passes the rank check but trips the Conv2d channel assert
+        // deep inside the pipeline. The single worker must survive the panic
+        // and keep serving; without the catch, the next request would hang
+        // forever on a dead queue.
+        let engine = tiny_engine(1, 2);
+        let err = engine.predict_one(Tensor::ones(&[4, 8, 8])).unwrap_err();
+        assert!(
+            matches!(err, EnsemblerError::Engine(_)),
+            "panic should surface as an engine error, got {err:?}"
+        );
+        let logits = engine.predict_one(Tensor::ones(&[3, 8, 8])).unwrap();
+        assert_eq!(logits.len(), 3, "worker must still be alive");
+    }
+}

@@ -30,6 +30,9 @@ pub enum EnsemblerError {
     WireFormat(String),
     /// The operation requires a dataset with at least one sample.
     EmptyDataset,
+    /// The inference engine could not serve a request (for example because it
+    /// is shutting down).
+    Engine(String),
 }
 
 impl fmt::Display for EnsemblerError {
@@ -46,6 +49,7 @@ impl fmt::Display for EnsemblerError {
             EnsemblerError::ShapeMismatch(msg) => write!(f, "shape mismatch: {msg}"),
             EnsemblerError::WireFormat(msg) => write!(f, "malformed wire payload: {msg}"),
             EnsemblerError::EmptyDataset => write!(f, "operation requires a non-empty dataset"),
+            EnsemblerError::Engine(msg) => write!(f, "inference engine failure: {msg}"),
         }
     }
 }
@@ -79,6 +83,10 @@ mod tests {
                 "malformed wire payload: short",
             ),
             (EnsemblerError::EmptyDataset, "non-empty dataset"),
+            (
+                EnsemblerError::Engine("shutdown".into()),
+                "inference engine failure: shutdown",
+            ),
         ];
         for (err, needle) in cases {
             assert!(err.to_string().contains(needle), "{err}");

@@ -1,12 +1,10 @@
 //! The Ensembler inference pipeline (Fig. 2 of the paper).
 
+use crate::defense::Defense;
 use crate::{EnsemblerError, Selector};
-use ensembler_data::Dataset;
-use ensembler_metrics::accuracy;
 use ensembler_nn::models::ResNetConfig;
 use ensembler_nn::{Dropout, FixedNoise, Layer, Mode, Sequential};
-use ensembler_tensor::Tensor;
-use rayon::prelude::*;
+use ensembler_tensor::{par_map, Tensor};
 
 /// The full Ensembler collaborative-inference pipeline.
 ///
@@ -19,11 +17,17 @@ use rayon::prelude::*;
 /// server evaluates all `N` bodies and returns their feature maps, and the
 /// client secretly combines `P` of them before running the tail.
 ///
+/// All inference goes through the [`Defense`] trait and takes `&self`: a
+/// pipeline can be wrapped in an `Arc`, shared across threads and serve
+/// concurrent batches (see [`crate::engine::InferenceEngine`]) — the API
+/// realisation of the paper's argument that the `O(N)` server cost
+/// parallelises away.
+///
 /// The pipeline exposes the pieces an adversarial server legitimately has
 /// access to under the paper's threat model — the bodies
-/// ([`EnsemblerPipeline::bodies_mut`]) and the architecture
-/// ([`EnsemblerPipeline::config`]) — which is what the `ensembler-attack`
-/// crate uses to mount model inversion attacks.
+/// ([`Defense::server_bodies`]) and the architecture ([`Defense::config`]) —
+/// which is what the `ensembler-attack` crate uses to mount model inversion
+/// attacks.
 #[derive(Debug)]
 pub struct EnsemblerPipeline {
     config: ResNetConfig,
@@ -81,19 +85,9 @@ impl EnsemblerPipeline {
         self
     }
 
-    /// The backbone configuration shared by the client and the server.
-    pub fn config(&self) -> &ResNetConfig {
-        &self.config
-    }
-
     /// The client's private selector.
     pub fn selector(&self) -> &Selector {
         &self.selector
-    }
-
-    /// Number of server networks (N).
-    pub fn ensemble_size(&self) -> usize {
-        self.bodies.len()
     }
 
     /// The standard deviation of the client's fixed noise.
@@ -101,103 +95,80 @@ impl EnsemblerPipeline {
         self.noise.sigma()
     }
 
-    /// Mutable access to the server bodies.
-    ///
-    /// Under the paper's threat model the adversarial server owns these
-    /// weights, so the attack crate is given the same access.
+    /// Mutable access to the server bodies (training and weight surgery; all
+    /// inference goes through the immutable [`Defense`] methods).
     pub fn bodies_mut(&mut self) -> &mut [Sequential] {
         &mut self.bodies
-    }
-
-    /// Immutable access to the server bodies.
-    pub fn bodies(&self) -> &[Sequential] {
-        &self.bodies
     }
 
     /// Total number of trainable scalars across client and server parts.
     pub fn parameter_count(&self) -> usize {
         self.head.parameter_count()
             + self.tail.parameter_count()
-            + self.bodies.iter().map(Layer::parameter_count).sum::<usize>()
+            + self
+                .bodies
+                .iter()
+                .map(Layer::parameter_count)
+                .sum::<usize>()
+    }
+}
+
+impl Defense for EnsemblerPipeline {
+    fn config(&self) -> &ResNetConfig {
+        &self.config
+    }
+
+    fn label(&self) -> &str {
+        "Ensembler"
+    }
+
+    fn server_bodies(&self) -> &[Sequential] {
+        &self.bodies
+    }
+
+    fn selected_count(&self) -> usize {
+        self.selector.active_count()
     }
 
     /// Computes the features the client transmits for a batch of images:
     /// `M_c,h(x) + N(0, σ)` (plus dropout if the DR-N defence is enabled).
-    pub fn client_features(&mut self, images: &Tensor) -> Tensor {
+    fn client_features(&self, images: &Tensor) -> Result<Tensor, EnsemblerError> {
         let features = self.head.forward(images, Mode::Eval);
         let noisy = self.noise.forward(&features, Mode::Eval);
-        match &mut self.dropout {
+        Ok(match &self.dropout {
             Some(dropout) => dropout.forward(&noisy, Mode::Eval),
             None => noisy,
-        }
+        })
     }
 
     /// Evaluates every server body on the transmitted features, returning the
     /// `N` per-network feature maps in index order.
     ///
-    /// The bodies are independent, so they are evaluated in parallel — the
-    /// property the paper uses to argue the `O(N)` server cost parallelises
-    /// away in multi-GPU or multi-party deployments.
-    pub fn server_outputs(&mut self, transmitted: &Tensor) -> Vec<Tensor> {
-        self.bodies
-            .par_iter_mut()
-            .map(|body| body.forward(transmitted, Mode::Eval))
-            .collect()
+    /// The bodies are independent, so they are evaluated in parallel from a
+    /// shared `&self` — the property the paper uses to argue the `O(N)`
+    /// server cost parallelises away in multi-GPU or multi-party deployments.
+    fn server_outputs(&self, transmitted: &Tensor) -> Result<Vec<Tensor>, EnsemblerError> {
+        Ok(par_map(&self.bodies, |body| {
+            body.forward(transmitted, Mode::Eval)
+        }))
     }
 
     /// Applies the private selector and the client tail to the server's
     /// feature maps, producing class logits.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error if the number of feature maps differs from the
-    /// ensemble size.
-    pub fn classify(&mut self, server_maps: &[Tensor]) -> Result<Tensor, EnsemblerError> {
+    fn classify(&self, server_maps: &[Tensor]) -> Result<Tensor, EnsemblerError> {
         let combined = self.selector.combine(server_maps)?;
         Ok(self.tail.forward(&combined, Mode::Eval))
-    }
-
-    /// Runs the complete collaborative-inference pipeline on a batch of
-    /// images and returns class logits.
-    ///
-    /// # Errors
-    ///
-    /// Propagates selector shape errors (which indicate an inconsistent
-    /// pipeline).
-    pub fn predict(&mut self, images: &Tensor) -> Result<Tensor, EnsemblerError> {
-        let transmitted = self.client_features(images);
-        let maps = self.server_outputs(&transmitted);
-        self.classify(&maps)
-    }
-
-    /// Top-1 accuracy of the pipeline on a dataset, evaluated in mini-batches.
-    ///
-    /// Returns 0 for an empty dataset.
-    pub fn evaluate(&mut self, dataset: &Dataset) -> f32 {
-        if dataset.is_empty() {
-            return 0.0;
-        }
-        let batch_size = 32usize;
-        let mut correct_weighted = 0.0f32;
-        let mut start = 0usize;
-        while start < dataset.len() {
-            let (images, labels) = dataset.batch(start, batch_size);
-            let logits = self
-                .predict(&images)
-                .expect("pipeline shapes are validated at construction");
-            correct_weighted += accuracy(&logits, &labels) * labels.len() as f32;
-            start += batch_size;
-        }
-        correct_weighted / dataset.len() as f32
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::defense::EvalConfig;
     use ensembler_data::SyntheticSpec;
     use ensembler_nn::models::{build_body, build_head, build_tail};
     use ensembler_tensor::Rng;
+    use std::sync::Arc;
 
     fn tiny_pipeline(n: usize, p: usize, seed: u64) -> EnsemblerPipeline {
         let config = ResNetConfig::tiny_for_tests();
@@ -217,15 +188,9 @@ mod tests {
         let head = build_head(&config, &mut rng);
         let noise = FixedNoise::disabled(&config.head_output_shape());
         let tail = build_tail(&config, config.body_output_features(), &mut rng);
-        let err = EnsemblerPipeline::new(
-            config.clone(),
-            head,
-            noise,
-            vec![],
-            Selector::all(1),
-            tail,
-        )
-        .unwrap_err();
+        let err =
+            EnsemblerPipeline::new(config.clone(), head, noise, vec![], Selector::all(1), tail)
+                .unwrap_err();
         assert!(matches!(err, EnsemblerError::InvalidConfig(_)));
 
         let mut rng = Rng::seed_from(1);
@@ -240,19 +205,21 @@ mod tests {
 
     #[test]
     fn end_to_end_prediction_shapes() {
-        let mut pipeline = tiny_pipeline(3, 2, 42);
+        let pipeline = tiny_pipeline(3, 2, 42);
         let images = Tensor::ones(&[4, 3, 8, 8]);
         let logits = pipeline.predict(&images).unwrap();
         assert_eq!(logits.shape(), &[4, pipeline.config().num_classes]);
         assert!(logits.is_finite());
+        assert_eq!(pipeline.label(), "Ensembler");
+        assert_eq!(pipeline.selected_count(), 2);
     }
 
     #[test]
     fn client_features_have_the_documented_shape_and_include_noise() {
-        let mut pipeline = tiny_pipeline(2, 1, 7);
+        let pipeline = tiny_pipeline(2, 1, 7);
         let expected = pipeline.config().head_output_shape();
         let images = Tensor::zeros(&[2, 3, 8, 8]);
-        let features = pipeline.client_features(&images);
+        let features = pipeline.client_features(&images).unwrap();
         assert_eq!(
             features.shape(),
             &[2, expected[0], expected[1], expected[2]]
@@ -266,11 +233,11 @@ mod tests {
 
     #[test]
     fn server_outputs_are_per_network_and_deterministic() {
-        let mut pipeline = tiny_pipeline(3, 2, 11);
+        let pipeline = tiny_pipeline(3, 2, 11);
         let images = Tensor::ones(&[2, 3, 8, 8]);
-        let transmitted = pipeline.client_features(&images);
-        let maps_a = pipeline.server_outputs(&transmitted);
-        let maps_b = pipeline.server_outputs(&transmitted);
+        let transmitted = pipeline.client_features(&images).unwrap();
+        let maps_a = pipeline.server_outputs(&transmitted).unwrap();
+        let maps_b = pipeline.server_outputs(&transmitted).unwrap();
         assert_eq!(maps_a.len(), 3);
         assert_eq!(maps_a, maps_b, "evaluation must be deterministic");
         let feat = pipeline.config().body_output_features();
@@ -283,19 +250,26 @@ mod tests {
 
     #[test]
     fn evaluate_returns_a_probability() {
-        let mut pipeline = tiny_pipeline(2, 1, 3);
+        let pipeline = tiny_pipeline(2, 1, 3);
         let data = SyntheticSpec::tiny_for_tests().generate(5);
-        let acc = pipeline.evaluate(&data.test);
+        let acc = pipeline
+            .evaluate(&data.test, &EvalConfig::default())
+            .unwrap();
         assert!((0.0..=1.0).contains(&acc));
+        // A custom batch size sweeps the same dataset to the same accuracy.
+        let acc_small = pipeline
+            .evaluate(&data.test, &EvalConfig::with_batch_size(2))
+            .unwrap();
+        assert!((acc - acc_small).abs() < 1e-6);
     }
 
     #[test]
     fn feature_dropout_changes_transmitted_features() {
-        let mut plain = tiny_pipeline(2, 1, 9);
-        let mut defended = tiny_pipeline(2, 1, 9).with_feature_dropout(0.5, 123);
+        let plain = tiny_pipeline(2, 1, 9);
+        let defended = tiny_pipeline(2, 1, 9).with_feature_dropout(0.5, 123);
         let images = Tensor::ones(&[1, 3, 8, 8]);
-        let a = plain.client_features(&images);
-        let b = defended.client_features(&images);
+        let a = plain.client_features(&images).unwrap();
+        let b = defended.client_features(&images).unwrap();
         assert_eq!(a.shape(), b.shape());
         assert_ne!(a, b, "dropout must perturb the transmitted features");
         let zeros = b.data().iter().filter(|v| **v == 0.0).count();
@@ -309,5 +283,31 @@ mod tests {
         assert!(large.parameter_count() > small.parameter_count());
         assert_eq!(small.ensemble_size(), 2);
         assert_eq!(large.ensemble_size(), 4);
+    }
+
+    #[test]
+    fn concurrent_predictions_match_sequential_ones() {
+        // The acceptance test of the immutable-forward redesign: two threads
+        // share one pipeline through an Arc and must see exactly the results
+        // sequential execution produces.
+        let pipeline = Arc::new(tiny_pipeline(3, 2, 21).with_feature_dropout(0.3, 77));
+        let images_a = Tensor::from_fn(&[2, 3, 8, 8], |i| (i as f32 * 0.013).sin());
+        let images_b = Tensor::from_fn(&[3, 3, 8, 8], |i| (i as f32 * 0.007).cos());
+
+        let sequential_a = pipeline.predict(&images_a).unwrap();
+        let sequential_b = pipeline.predict(&images_b).unwrap();
+
+        let (concurrent_a, concurrent_b) = std::thread::scope(|scope| {
+            let p_a = Arc::clone(&pipeline);
+            let p_b = Arc::clone(&pipeline);
+            let ia = &images_a;
+            let ib = &images_b;
+            let ha = scope.spawn(move || p_a.predict(ia).unwrap());
+            let hb = scope.spawn(move || p_b.predict(ib).unwrap());
+            (ha.join().unwrap(), hb.join().unwrap())
+        });
+
+        assert_eq!(concurrent_a, sequential_a);
+        assert_eq!(concurrent_b, sequential_b);
     }
 }

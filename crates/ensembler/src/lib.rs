@@ -7,50 +7,72 @@
 //! workspace substrates (`ensembler-tensor`, `ensembler-nn`,
 //! `ensembler-data`, `ensembler-metrics`) and provides:
 //!
-//! * [`split`] — the classic collaborative-inference split: client head
-//!   `M_c,h`, server body `M_s`, client tail `M_c,t`, plus the wire format
-//!   used to ship intermediate features to the server.
+//! * [`defense`] — the unified [`Defense`] trait: one object-safe,
+//!   immutable (`&self`), `Result`-returning inference API
+//!   (`client_features` → `server_outputs` → `classify`, plus `predict` and
+//!   `evaluate`) implemented by every pipeline in the workspace. Attacks,
+//!   benchmarks and the latency model all program against `&dyn Defense`.
+//! * [`framework`] — [`EnsemblerPipeline`], the N-network inference pipeline
+//!   of Fig. 2, with the server bodies fanned out in parallel from `&self`.
+//! * [`defenses`] — the baselines the paper compares against (no protection,
+//!   a single noisy network, Shredder-style learned noise and the dropout
+//!   defence), all behind the same trait as size-1 ensembles.
+//! * [`engine`] — [`InferenceEngine`], a concurrent serving frontend that
+//!   coalesces single-image requests into mini-batches over a shared
+//!   `Arc<dyn Defense>` — the end-to-end demonstration that Ensembler's
+//!   `O(N)` server cost parallelises away.
 //! * [`selector`] — the client's private [`Selector`] that activates `P` of
 //!   the `N` server networks and concatenates their scaled outputs (Eq. 1).
-//! * [`framework`] — [`EnsemblerPipeline`], the N-network inference pipeline
-//!   of Fig. 2.
+//! * [`split`] — the byte-level wire format for the transmitted features.
 //! * [`trainer`] — the three-stage training procedure (Sec. III-C) including
 //!   the cosine-similarity regularizer of Eq. 3.
-//! * [`defenses`] — the baselines the paper compares against: no protection,
-//!   a single noisy network, Shredder-style learned noise, and the dropout
-//!   defences DR-single / DR-N.
 //!
 //! # Examples
 //!
-//! Train a small Ensembler end to end on synthetic data:
+//! Train a small Ensembler, evaluate it through the [`Defense`] trait and
+//! serve concurrent requests with the [`engine`]:
 //!
 //! ```
-//! use ensembler::{EnsemblerTrainer, TrainConfig};
+//! use ensembler::{
+//!     Defense, EngineConfig, EnsemblerTrainer, EvalConfig, InferenceEngine, TrainConfig,
+//! };
 //! use ensembler_data::SyntheticSpec;
 //! use ensembler_nn::models::ResNetConfig;
+//! use std::sync::Arc;
 //!
 //! let data = SyntheticSpec::tiny_for_tests().generate(1);
 //! let trainer = EnsemblerTrainer::new(
 //!     ResNetConfig::tiny_for_tests(),
 //!     TrainConfig::fast_for_tests(),
 //! );
-//! let trained = trainer.train(3, 2, &data.train)?;
-//! let mut pipeline = trained.into_pipeline();
-//! let accuracy = pipeline.evaluate(&data.test);
+//! let pipeline = trainer.train(3, 2, &data.train)?.into_pipeline();
+//!
+//! // Inference is immutable: the pipeline evaluates from `&self` ...
+//! let accuracy = pipeline.evaluate(&data.test, &EvalConfig::default())?;
 //! assert!((0.0..=1.0).contains(&accuracy));
+//!
+//! // ... so it can be shared behind an Arc and served concurrently.
+//! let engine = InferenceEngine::new(Arc::new(pipeline), EngineConfig::default())?;
+//! let (image, _) = data.test.batch(0, 1);
+//! let logits = engine.predict_one(image.batch_item(0))?;
+//! assert_eq!(logits.len(), 3);
 //! # Ok::<(), ensembler::EnsemblerError>(())
 //! ```
 
 #![warn(missing_docs)]
 
+pub mod defense;
 pub mod defenses;
+pub mod engine;
 mod error;
 pub mod framework;
 pub mod selector;
 pub mod split;
 pub mod trainer;
 
+pub use defense::{Defense, EvalConfig};
 pub use defenses::{DefenseKind, SinglePipeline};
+pub use engine::{EngineConfig, EngineStats, InferenceEngine};
 pub use error::EnsemblerError;
 pub use framework::EnsemblerPipeline;
 pub use selector::Selector;

@@ -1,8 +1,8 @@
 //! The client's private selector (Eq. 1 of the paper).
 
 use crate::EnsemblerError;
+use ensembler_tensor::json::{JsonError, JsonValue};
 use ensembler_tensor::{Rng, Tensor};
-use serde::{Deserialize, Serialize};
 
 /// The secret activation the client applies to the `N` feature maps returned
 /// by the server.
@@ -31,7 +31,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(combined.at2(0, 3), 1.5);  // map 3 scaled by 1/2
 /// # Ok::<(), ensembler::EnsemblerError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Selector {
     ensemble_size: usize,
     active: Vec<usize>,
@@ -45,7 +45,10 @@ impl Selector {
     ///
     /// Returns [`EnsemblerError::InvalidSelection`] if `active` is empty,
     /// contains duplicates, or references an index `>= ensemble_size`.
-    pub fn from_indices(ensemble_size: usize, mut active: Vec<usize>) -> Result<Self, EnsemblerError> {
+    pub fn from_indices(
+        ensemble_size: usize,
+        mut active: Vec<usize>,
+    ) -> Result<Self, EnsemblerError> {
         active.sort_unstable();
         let mut deduped = active.clone();
         deduped.dedup();
@@ -186,16 +189,14 @@ impl Selector {
         }
         let batch = grad_combined.shape()[0];
         let scale = self.scale();
-        let mut grads =
-            vec![Tensor::zeros(&[batch, features_per_map]); self.ensemble_size];
+        let mut grads = vec![Tensor::zeros(&[batch, features_per_map]); self.ensemble_size];
         for n in 0..batch {
             for (slot, &idx) in self.active.iter().enumerate() {
                 let src_base = n * features_per_map * self.active.len() + slot * features_per_map;
                 let dst_base = n * features_per_map;
                 let grad = &mut grads[idx];
                 for f in 0..features_per_map {
-                    grad.data_mut()[dst_base + f] =
-                        grad_combined.data()[src_base + f] * scale;
+                    grad.data_mut()[dst_base + f] = grad_combined.data()[src_base + f] * scale;
                 }
             }
         }
@@ -207,6 +208,32 @@ impl Selector {
     /// cost at `O(2^N)` over all subset sizes).
     pub fn search_space(&self) -> u128 {
         binomial(self.ensemble_size as u128, self.active.len() as u128)
+    }
+
+    /// Serialises the selector (the client's secret key material) to JSON.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            (
+                "ensemble_size".to_string(),
+                JsonValue::Number(self.ensemble_size as f64),
+            ),
+            (
+                "active".to_string(),
+                JsonValue::from_usize_slice(&self.active),
+            ),
+        ])
+    }
+
+    /// Reconstructs a selector from the representation produced by
+    /// [`Selector::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] on missing fields or an invalid selection.
+    pub fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        let ensemble_size = value.require("ensemble_size")?.as_usize()?;
+        let active = value.require("active")?.as_usize_vec()?;
+        Selector::from_indices(ensemble_size, active).map_err(|e| JsonError::new(e.to_string()))
     }
 }
 
@@ -319,14 +346,16 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip_preserves_the_secret() {
+    fn json_round_trip_preserves_the_secret() {
         let sel = Selector::from_indices(10, vec![2, 5, 7]).unwrap();
-        let json = serde_json_string(&sel);
-        let back: Selector = serde_json::from_str(&json).unwrap();
+        let json = sel.to_json().render();
+        let back = Selector::from_json(&JsonValue::parse(&json).unwrap()).unwrap();
         assert_eq!(back, sel);
     }
 
-    fn serde_json_string(sel: &Selector) -> String {
-        serde_json::to_string(sel).unwrap()
+    #[test]
+    fn json_decoding_validates_the_selection() {
+        let bad = JsonValue::parse(r#"{"ensemble_size": 2, "active": [5]}"#).unwrap();
+        assert!(Selector::from_json(&bad).is_err());
     }
 }

@@ -8,7 +8,6 @@
 //! together with a small wrapper type describing what travels on the wire.
 
 use crate::EnsemblerError;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use ensembler_tensor::Tensor;
 
 /// Magic bytes prefixed to every feature payload so stray buffers are
@@ -60,7 +59,7 @@ impl SplitFeatures {
     }
 
     /// Encodes the payload into a byte buffer.
-    pub fn encode(&self) -> Bytes {
+    pub fn encode(&self) -> Vec<u8> {
         encode_features(&self.features)
     }
 
@@ -77,17 +76,17 @@ impl SplitFeatures {
 
 /// Serialises a tensor into the client→server wire format: a magic word, the
 /// rank, the dimensions and the raw little-endian `f32` data.
-pub fn encode_features(features: &Tensor) -> Bytes {
-    let mut buf = BytesMut::with_capacity(8 + 4 * features.rank() + 4 * features.len());
-    buf.put_u32(WIRE_MAGIC);
-    buf.put_u32(features.rank() as u32);
+pub fn encode_features(features: &Tensor) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(8 + 4 * features.rank() + 4 * features.len());
+    buf.extend_from_slice(&WIRE_MAGIC.to_be_bytes());
+    buf.extend_from_slice(&(features.rank() as u32).to_be_bytes());
     for &d in features.shape() {
-        buf.put_u32(d as u32);
+        buf.extend_from_slice(&(d as u32).to_be_bytes());
     }
     for &v in features.data() {
-        buf.put_f32_le(v);
+        buf.extend_from_slice(&v.to_le_bytes());
     }
-    buf.freeze()
+    buf
 }
 
 /// Decodes a payload produced by [`encode_features`].
@@ -97,45 +96,52 @@ pub fn encode_features(features: &Tensor) -> Bytes {
 /// Returns [`EnsemblerError::WireFormat`] if the buffer is truncated, the
 /// magic word is wrong, or the declared shape disagrees with the payload
 /// length.
-pub fn decode_features(mut payload: &[u8]) -> Result<Tensor, EnsemblerError> {
+pub fn decode_features(payload: &[u8]) -> Result<Tensor, EnsemblerError> {
+    let mut cursor = payload;
+    let mut take_u32 = |what: &str| -> Result<u32, EnsemblerError> {
+        if cursor.len() < 4 {
+            return Err(EnsemblerError::WireFormat(format!(
+                "payload truncated inside the {what}"
+            )));
+        }
+        let (head, rest) = cursor.split_at(4);
+        cursor = rest;
+        Ok(u32::from_be_bytes(head.try_into().expect("4 bytes")))
+    };
+
     if payload.len() < 8 {
         return Err(EnsemblerError::WireFormat(format!(
             "payload of {} bytes is too short for a header",
             payload.len()
         )));
     }
-    let magic = payload.get_u32();
+    let magic = take_u32("header")?;
     if magic != WIRE_MAGIC {
         return Err(EnsemblerError::WireFormat(format!(
             "bad magic word {magic:#010x}"
         )));
     }
-    let rank = payload.get_u32() as usize;
+    let rank = take_u32("header")? as usize;
     if rank > 8 {
         return Err(EnsemblerError::WireFormat(format!(
             "implausible tensor rank {rank}"
         )));
     }
-    if payload.len() < 4 * rank {
-        return Err(EnsemblerError::WireFormat(
-            "payload truncated inside the shape header".to_string(),
-        ));
-    }
     let mut shape = Vec::with_capacity(rank);
     for _ in 0..rank {
-        shape.push(payload.get_u32() as usize);
+        shape.push(take_u32("shape header")? as usize);
     }
     let expected: usize = shape.iter().product();
-    if payload.len() != 4 * expected {
+    if cursor.len() != 4 * expected {
         return Err(EnsemblerError::WireFormat(format!(
             "expected {expected} f32 values, found {} bytes",
-            payload.len()
+            cursor.len()
         )));
     }
-    let mut data = Vec::with_capacity(expected);
-    for _ in 0..expected {
-        data.push(payload.get_f32_le());
-    }
+    let data = cursor
+        .chunks_exact(4)
+        .map(|chunk| f32::from_le_bytes(chunk.try_into().expect("4 bytes")))
+        .collect();
     Tensor::from_vec(data, &shape).map_err(|e| EnsemblerError::WireFormat(e.to_string()))
 }
 
@@ -183,7 +189,7 @@ mod tests {
     #[test]
     fn wrong_magic_is_rejected() {
         let t = Tensor::ones(&[2, 2]);
-        let mut bytes = encode_features(&t).to_vec();
+        let mut bytes = encode_features(&t);
         bytes[0] ^= 0xFF;
         let err = decode_features(&bytes).unwrap_err();
         assert!(matches!(err, EnsemblerError::WireFormat(_)));
@@ -191,9 +197,9 @@ mod tests {
 
     #[test]
     fn implausible_rank_is_rejected() {
-        let mut buf = BytesMut::new();
-        buf.put_u32(WIRE_MAGIC);
-        buf.put_u32(99);
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&WIRE_MAGIC.to_be_bytes());
+        buf.extend_from_slice(&99u32.to_be_bytes());
         let err = decode_features(&buf).unwrap_err();
         assert!(err.to_string().contains("rank"));
     }

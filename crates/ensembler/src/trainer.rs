@@ -9,6 +9,7 @@
 //!   cosine-similarity regularizer that keeps the new head quasi-orthogonal
 //!   to every stage-1 head.
 
+use crate::defense::{Defense, EvalConfig};
 use crate::defenses::{DefenseKind, SinglePipeline};
 use crate::framework::EnsemblerPipeline;
 use crate::selector::Selector;
@@ -19,7 +20,6 @@ use ensembler_nn::{
     cosine_penalty, CrossEntropyLoss, FixedNoise, Layer, Mode, Optimizer, Sequential, Sgd,
 };
 use ensembler_tensor::{Rng, Tensor};
-use serde::{Deserialize, Serialize};
 
 /// Hyper-parameters of the three-stage training procedure.
 ///
@@ -32,7 +32,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(cfg.lambda > 0.0);
 /// assert!(cfg.epochs_stage1 >= 1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrainConfig {
     /// Epochs used to train each stage-1 network (and the single-network
     /// baselines).
@@ -124,13 +124,13 @@ impl StageOneNetwork {
 
     /// Evaluates the stage-1 client head on a batch of images, returning its
     /// intermediate features (no noise applied).
-    pub fn reference_features(&mut self, images: &Tensor) -> Tensor {
+    pub fn reference_features(&self, images: &Tensor) -> Tensor {
         self.head.forward(images, Mode::Eval)
     }
 }
 
 /// Losses and accuracy recorded while training an Ensembler.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct TrainReport {
     /// Per-network, per-epoch mean cross-entropy of stage 1.
     pub stage1_losses: Vec<Vec<f32>>,
@@ -156,7 +156,7 @@ impl TrainedEnsembler {
         &self.pipeline
     }
 
-    /// Mutable access to the pipeline (forward passes need `&mut`).
+    /// Mutable access to the pipeline (weight surgery; inference is `&self`).
     pub fn pipeline_mut(&mut self) -> &mut EnsemblerPipeline {
         &mut self.pipeline
     }
@@ -167,8 +167,8 @@ impl TrainedEnsembler {
     }
 
     /// The retained stage-1 client heads.
-    pub fn stage_one_mut(&mut self) -> &mut [StageOneNetwork] {
-        &mut self.stage_one
+    pub fn stage_one(&self) -> &[StageOneNetwork] {
+        &self.stage_one
     }
 
     /// Losses recorded during training.
@@ -278,17 +278,17 @@ impl EnsemblerTrainer {
             let mut batches = 0usize;
             for (images, labels) in data.batches(self.train.batch_size, &mut rng) {
                 let batch = images.shape()[0];
-                let head_out = head.forward(&images, Mode::Train);
-                let noisy = noise.forward(&head_out, Mode::Train);
+                let head_out = head.forward_cached(&images, Mode::Train);
+                let noisy = noise.forward_cached(&head_out, Mode::Train);
 
                 // Only the selected bodies are evaluated; the rest contribute
                 // zero maps (the selector ignores them anyway).
                 let mut maps = vec![Tensor::zeros(&[batch, features_per_map]); ensemble_size];
                 for &idx in selector.active_indices() {
-                    maps[idx] = bodies[idx].forward(&noisy, Mode::Eval);
+                    maps[idx] = bodies[idx].forward_cached(&noisy, Mode::Eval);
                 }
                 let combined = selector.combine(&maps)?;
-                let logits = tail.forward(&combined, Mode::Train);
+                let logits = tail.forward_cached(&combined, Mode::Train);
                 let ce = loss_fn.compute(&logits, &labels);
 
                 // Backward: tail -> selector -> frozen bodies -> noise -> head.
@@ -304,14 +304,11 @@ impl EnsemblerTrainer {
 
                 // Cosine regularizer against every stage-1 head (Eq. 3).
                 let references: Vec<Tensor> = stage_one
-                    .iter_mut()
+                    .iter()
                     .map(|net| net.reference_features(&images).flatten_batch())
                     .collect();
-                let penalty = cosine_penalty(
-                    &head_out.flatten_batch(),
-                    &references,
-                    self.train.lambda,
-                );
+                let penalty =
+                    cosine_penalty(&head_out.flatten_batch(), &references, self.train.lambda);
                 let penalty_grad = penalty
                     .grad
                     .reshape(head_out.shape())
@@ -336,15 +333,9 @@ impl EnsemblerTrainer {
                 .push(epoch_penalty / batches.max(1) as f32);
         }
 
-        let mut pipeline = EnsemblerPipeline::new(
-            self.config.clone(),
-            head,
-            noise,
-            bodies,
-            selector,
-            tail,
-        )?;
-        report.train_accuracy = pipeline.evaluate(data);
+        let pipeline =
+            EnsemblerPipeline::new(self.config.clone(), head, noise, bodies, selector, tail)?;
+        report.train_accuracy = pipeline.evaluate(data, &EvalConfig::default())?;
 
         Ok(TrainedEnsembler {
             pipeline,
@@ -389,11 +380,8 @@ impl EnsemblerTrainer {
 
         let mut rng = Rng::seed_from(self.train.seed.wrapping_add(0xD8));
         let mut head = build_head(&self.config, &mut rng);
-        let mut noise = FixedNoise::new(
-            &self.config.head_output_shape(),
-            self.train.sigma,
-            &mut rng,
-        );
+        let mut noise =
+            FixedNoise::new(&self.config.head_output_shape(), self.train.sigma, &mut rng);
         let mut bodies: Vec<Sequential> = (0..ensemble_size)
             .map(|_| ensembler_nn::models::build_body(&self.config, &mut rng))
             .collect();
@@ -411,15 +399,15 @@ impl EnsemblerTrainer {
         for _ in 0..self.train.epochs_stage3 {
             for (images, labels) in data.batches(self.train.batch_size, &mut rng) {
                 let batch = images.shape()[0];
-                let head_out = head.forward(&images, Mode::Train);
-                let noisy = noise.forward(&head_out, Mode::Train);
+                let head_out = head.forward_cached(&images, Mode::Train);
+                let noisy = noise.forward_cached(&head_out, Mode::Train);
 
                 let mut maps = vec![Tensor::zeros(&[batch, features_per_map]); ensemble_size];
                 for &idx in selector.active_indices() {
-                    maps[idx] = bodies[idx].forward(&noisy, Mode::Train);
+                    maps[idx] = bodies[idx].forward_cached(&noisy, Mode::Train);
                 }
                 let combined = selector.combine(&maps)?;
-                let logits = tail.forward(&combined, Mode::Train);
+                let logits = tail.forward_cached(&combined, Mode::Train);
                 let ce = loss_fn.compute(&logits, &labels);
 
                 let grad_combined = tail.backward(&ce.grad);
@@ -443,15 +431,10 @@ impl EnsemblerTrainer {
             }
         }
 
-        Ok(EnsemblerPipeline::new(
-            self.config.clone(),
-            head,
-            noise,
-            bodies,
-            selector,
-            tail,
-        )?
-        .with_feature_dropout(dropout, self.train.seed ^ 0xD0))
+        Ok(
+            EnsemblerPipeline::new(self.config.clone(), head, noise, bodies, selector, tail)?
+                .with_feature_dropout(dropout, self.train.seed ^ 0xD0),
+        )
     }
 }
 
@@ -489,17 +472,22 @@ mod tests {
 
         let report = trained.report().clone();
         assert_eq!(report.stage1_losses.len(), 3);
-        assert_eq!(report.stage3_losses.len(), trainer.train_config().epochs_stage3);
+        assert_eq!(
+            report.stage3_losses.len(),
+            trainer.train_config().epochs_stage3
+        );
         assert_eq!(
             report.stage3_penalties.len(),
             trainer.train_config().epochs_stage3
         );
         assert!((0.0..=1.0).contains(&report.train_accuracy));
 
-        let mut pipeline = trained.into_pipeline();
+        let pipeline = trained.into_pipeline();
         assert_eq!(pipeline.ensemble_size(), 3);
         assert_eq!(pipeline.selector().active_count(), 2);
-        let acc = pipeline.evaluate(&data.test);
+        let acc = pipeline
+            .evaluate(&data.test, &EvalConfig::default())
+            .unwrap();
         assert!((0.0..=1.0).contains(&acc));
     }
 
@@ -545,14 +533,15 @@ mod tests {
         // of any stage-1 head, so a shadow reconstruction built from a single
         // server net inverts the "wrong" head.
         let (trainer, data) = tiny_setup();
-        let mut trained = trainer.train(2, 1, &data.train).unwrap();
+        let trained = trainer.train(2, 1, &data.train).unwrap();
         let (images, _) = data.train.batch(0, 6);
 
-        let final_features = {
-            let pipeline = trained.pipeline_mut();
-            pipeline.client_features(&images).flatten_batch()
-        };
-        for net in trained.stage_one_mut() {
+        let final_features = trained
+            .pipeline()
+            .client_features(&images)
+            .unwrap()
+            .flatten_batch();
+        for net in trained.stage_one() {
             let reference = net.reference_features(&images).flatten_batch();
             let cs = final_features
                 .cosine_similarity_per_sample(&reference)
@@ -568,12 +557,14 @@ mod tests {
     #[test]
     fn joint_training_builds_the_dr_ensemble_baseline() {
         let (trainer, data) = tiny_setup();
-        let mut pipeline = trainer.train_joint(2, 1, 0.3, &data.train).unwrap();
-        let acc = pipeline.evaluate(&data.test);
+        let pipeline = trainer.train_joint(2, 1, 0.3, &data.train).unwrap();
+        let acc = pipeline
+            .evaluate(&data.test, &EvalConfig::default())
+            .unwrap();
         assert!((0.0..=1.0).contains(&acc));
         // Dropout must be active on the transmitted features.
         let (images, _) = data.train.batch(0, 2);
-        let features = pipeline.client_features(&images);
+        let features = pipeline.client_features(&images).unwrap();
         let zeros = features.data().iter().filter(|v| **v == 0.0).count();
         assert!(zeros > 0);
     }

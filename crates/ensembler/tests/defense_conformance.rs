@@ -1,0 +1,172 @@
+//! Trait-conformance suite: every pipeline behind the [`Defense`] trait —
+//! each `DefenseKind` baseline variant plus the full `EnsemblerPipeline` —
+//! must satisfy the same contract:
+//!
+//! * prediction produces `[batch, num_classes]` finite logits;
+//! * inference is deterministic and **immutable** (repeated calls agree);
+//! * the split API (`client_features` → `server_outputs` → `classify`)
+//!   composes to exactly `predict`;
+//! * `evaluate` returns an accuracy in `[0, 1]` for any batch size;
+//! * two threads calling `predict` on one shared pipeline concurrently get
+//!   results bit-identical to sequential execution.
+
+use ensembler::{Defense, DefenseKind, EnsemblerTrainer, EvalConfig, SinglePipeline, TrainConfig};
+use ensembler_data::{Dataset, SyntheticSpec};
+use ensembler_nn::models::ResNetConfig;
+use ensembler_tensor::Tensor;
+use std::sync::Arc;
+
+/// Every defence in the workspace, constructed untrained (conformance does
+/// not depend on training) and boxed behind the trait.
+fn all_defenses() -> Vec<Box<dyn Defense>> {
+    let config = ResNetConfig::tiny_for_tests;
+    let kinds = [
+        DefenseKind::NoDefense,
+        DefenseKind::AdditiveNoise { sigma: 0.1 },
+        DefenseKind::Shredder {
+            sigma: 0.1,
+            expansion: 1.0,
+        },
+        DefenseKind::Dropout { probability: 0.3 },
+    ];
+    let mut defenses: Vec<Box<dyn Defense>> = kinds
+        .into_iter()
+        .enumerate()
+        .map(|(i, kind)| {
+            Box::new(SinglePipeline::new(config(), kind, 40 + i as u64).unwrap())
+                as Box<dyn Defense>
+        })
+        .collect();
+
+    let trainer = EnsemblerTrainer::new(config(), TrainConfig::fast_for_tests());
+    let data = SyntheticSpec::tiny_for_tests().generate(8);
+    defenses.push(Box::new(
+        trainer.train(3, 2, &data.train).unwrap().into_pipeline(),
+    ));
+    defenses
+}
+
+fn images(batch: usize) -> Tensor {
+    Tensor::from_fn(&[batch, 3, 8, 8], |i| {
+        ((i % 97) as f32 * 0.217).sin() * 0.5 + 0.5
+    })
+}
+
+fn tiny_dataset() -> Dataset {
+    let data = SyntheticSpec::tiny_for_tests().generate(12);
+    data.test
+}
+
+#[test]
+fn every_defense_predicts_the_documented_shape() {
+    for defense in all_defenses() {
+        let logits = defense.predict(&images(4)).unwrap();
+        assert_eq!(
+            logits.shape(),
+            &[4, defense.config().num_classes],
+            "{} logits shape",
+            defense.label()
+        );
+        assert!(logits.is_finite(), "{} logits finite", defense.label());
+    }
+}
+
+#[test]
+fn every_defense_is_deterministic_across_calls() {
+    for defense in all_defenses() {
+        let batch = images(3);
+        let first = defense.predict(&batch).unwrap();
+        let second = defense.predict(&batch).unwrap();
+        assert_eq!(
+            first,
+            second,
+            "{}: inference must be immutable and repeatable",
+            defense.label()
+        );
+    }
+}
+
+#[test]
+fn the_split_api_composes_to_predict() {
+    for defense in all_defenses() {
+        let batch = images(2);
+        let fused = defense.predict(&batch).unwrap();
+        let transmitted = defense.client_features(&batch).unwrap();
+        let maps = defense.server_outputs(&transmitted).unwrap();
+        assert_eq!(maps.len(), defense.ensemble_size(), "{}", defense.label());
+        let split = defense.classify(&maps).unwrap();
+        assert_eq!(
+            fused,
+            split,
+            "{}: client/server split must not change results",
+            defense.label()
+        );
+    }
+}
+
+#[test]
+fn every_defense_evaluates_to_a_probability_for_any_batch_size() {
+    let data = tiny_dataset();
+    for defense in all_defenses() {
+        let default_acc = defense.evaluate(&data, &EvalConfig::default()).unwrap();
+        assert!(
+            (0.0..=1.0).contains(&default_acc),
+            "{} accuracy {default_acc}",
+            defense.label()
+        );
+        // The batch size is a sweep parameter, not a semantic one.
+        for batch_size in [1usize, 3, 64] {
+            let acc = defense
+                .evaluate(&data, &EvalConfig::with_batch_size(batch_size))
+                .unwrap();
+            assert!(
+                (acc - default_acc).abs() < 1e-6,
+                "{}: accuracy must not depend on the evaluation batch size \
+                 ({acc} at {batch_size} vs {default_acc} at default)",
+                defense.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn selected_count_never_exceeds_the_ensemble() {
+    for defense in all_defenses() {
+        assert!(defense.ensemble_size() >= 1, "{}", defense.label());
+        assert!(
+            (1..=defense.ensemble_size()).contains(&defense.selected_count()),
+            "{}: P must be in 1..=N",
+            defense.label()
+        );
+        assert_eq!(
+            defense.server_bodies().len(),
+            defense.ensemble_size(),
+            "{}",
+            defense.label()
+        );
+    }
+}
+
+#[test]
+fn concurrent_predict_from_two_threads_matches_sequential_execution() {
+    for defense in all_defenses() {
+        let label = defense.label().to_string();
+        let shared: Arc<dyn Defense> = Arc::from(defense);
+        let batch_a = images(2);
+        let batch_b = images(5);
+        let sequential_a = shared.predict(&batch_a).unwrap();
+        let sequential_b = shared.predict(&batch_b).unwrap();
+
+        let (concurrent_a, concurrent_b) = std::thread::scope(|scope| {
+            let defense_a = Arc::clone(&shared);
+            let defense_b = Arc::clone(&shared);
+            let (ba, bb) = (&batch_a, &batch_b);
+            let ha = scope.spawn(move || defense_a.predict(ba).unwrap());
+            let hb = scope.spawn(move || defense_b.predict(bb).unwrap());
+            (ha.join().unwrap(), hb.join().unwrap())
+        });
+
+        assert_eq!(concurrent_a, sequential_a, "{label}: thread A diverged");
+        assert_eq!(concurrent_b, sequential_b, "{label}: thread B diverged");
+    }
+}

@@ -1,11 +1,10 @@
 //! FLOP and byte accounting for the split backbone.
 
 use ensembler_nn::models::ResNetConfig;
-use serde::{Deserialize, Serialize};
 
 /// Cost of a single layer: floating-point operations (multiply-accumulates
 /// counted as two FLOPs) and the size of its output activation in bytes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LayerCost {
     /// Floating-point operations for one sample.
     pub flops: u64,
@@ -42,7 +41,7 @@ impl LayerCost {
 }
 
 /// Per-partition cost of the split backbone for a single sample.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NetworkCost {
     /// FLOPs executed by the client head (`M_c,h`).
     pub head_flops: u64,
@@ -91,7 +90,11 @@ pub fn network_cost(config: &ResNetConfig) -> NetworkCost {
     let mut w = head_w;
     for (stage_idx, &out_c) in config.stage_channels.iter().enumerate() {
         for block_idx in 0..config.blocks_per_stage {
-            let stride = if stage_idx > 0 && block_idx == 0 { 2 } else { 1 };
+            let stride = if stage_idx > 0 && block_idx == 0 {
+                2
+            } else {
+                1
+            };
             if stride == 2 {
                 h /= 2;
                 w /= 2;

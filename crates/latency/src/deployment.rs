@@ -1,7 +1,5 @@
 //! Device and network profiles describing a collaborative-inference testbed.
 
-use serde::{Deserialize, Serialize};
-
 /// Throughput model of one compute device.
 ///
 /// `effective_flops` is the *sustained* throughput observed for the small
@@ -9,7 +7,7 @@ use serde::{Deserialize, Serialize};
 /// defaults are calibrated so the standard-CI row of Table III comes out
 /// close to the paper's measurement (0.66 s client / 0.98 s server for a
 /// 128-image ResNet-18 batch).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeviceProfile {
     /// Human-readable device name.
     pub name: String,
@@ -56,7 +54,7 @@ impl DeviceProfile {
 }
 
 /// Asymmetric network link between the client and the server.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LinkProfile {
     /// Client-to-server bandwidth in bytes per second.
     pub uplink_bytes_per_s: f64,
@@ -86,7 +84,7 @@ impl LinkProfile {
 
 /// A complete deployment: edge device, server device and the link between
 /// them.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeploymentProfile {
     /// The client (edge) device.
     pub edge: DeviceProfile,
@@ -144,7 +142,10 @@ mod tests {
 
     #[test]
     fn default_profile_is_the_paper_testbed() {
-        assert_eq!(DeploymentProfile::default(), DeploymentProfile::paper_testbed());
+        assert_eq!(
+            DeploymentProfile::default(),
+            DeploymentProfile::paper_testbed()
+        );
     }
 
     #[test]

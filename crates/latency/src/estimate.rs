@@ -2,8 +2,8 @@
 
 use crate::cost::network_cost;
 use crate::deployment::DeploymentProfile;
+use ensembler::Defense;
 use ensembler_nn::models::ResNetConfig;
-use serde::{Deserialize, Serialize};
 
 /// Slowdown of the STAMP encrypted-inference baseline relative to plain
 /// collaborative inference, calibrated from the totals the paper reports
@@ -11,7 +11,7 @@ use serde::{Deserialize, Serialize};
 const STAMP_SLOWDOWN: f64 = 309.7 / 3.94;
 
 /// Per-component latency of one inference batch.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LatencyBreakdown {
     /// Time spent computing on the client, in seconds.
     pub client_s: f64,
@@ -108,17 +108,13 @@ pub fn estimate_ensembler_multi_server(
 
     // Client: head once, tail over the `selected` concatenated feature maps.
     let client_flops = (cost.head_flops + cost.tail_flops * selected as u64) as f64 * b;
-    let client_s =
-        deployment.edge.compute_time_s(client_flops) + deployment.edge.launch_overhead_s;
+    let client_s = deployment.edge.compute_time_s(client_flops) + deployment.edge.launch_overhead_s;
 
     // Server: N bodies spread over the machines; each machine runs its share
     // in rounds of `concurrent_streams` networks.
     let per_machine = ensemble_size.div_ceil(server_count);
     let rounds = per_machine.div_ceil(deployment.server.concurrent_streams.max(1)) as f64;
-    let server_s = deployment
-        .server
-        .compute_time_s(cost.body_flops as f64 * b)
-        * rounds
+    let server_s = deployment.server.compute_time_s(cost.body_flops as f64 * b) * rounds
         + deployment.server.launch_overhead_s * ensemble_size as f64;
 
     // Communication: the feature map goes to every machine; all N return
@@ -132,6 +128,33 @@ pub fn estimate_ensembler_multi_server(
         server_s,
         communication_s,
     }
+}
+
+/// Latency estimate for a live [`Defense`] pipeline: reads the backbone
+/// configuration, the ensemble size `N` and the activated count `P` straight
+/// from the pipeline instead of asking the caller to repeat them.
+///
+/// A [`crate::estimate_standard_ci`]-shaped single-network pipeline and an
+/// Ensembler pipeline therefore share one estimation entry point — the same
+/// unification the inference API received.
+///
+/// # Panics
+///
+/// Panics if `batch` or `server_count` is zero.
+pub fn estimate_defense(
+    defense: &dyn Defense,
+    batch: usize,
+    server_count: usize,
+    deployment: &DeploymentProfile,
+) -> LatencyBreakdown {
+    estimate_ensembler_multi_server(
+        defense.config(),
+        batch,
+        defense.ensemble_size(),
+        defense.selected_count(),
+        server_count,
+        deployment,
+    )
 }
 
 /// Latency of a STAMP-style encrypted-inference baseline on the same
@@ -245,5 +268,21 @@ mod tests {
     fn invalid_selection_is_rejected() {
         let (config, deployment) = paper_setup();
         let _ = estimate_ensembler(&config, 1, 4, 5, &deployment);
+    }
+
+    #[test]
+    fn estimate_defense_reads_the_pipeline_shape() {
+        use ensembler::{DefenseKind, SinglePipeline};
+
+        let deployment = DeploymentProfile::paper_testbed();
+        let pipeline = SinglePipeline::new(
+            ensembler_nn::models::ResNetConfig::tiny_for_tests(),
+            DefenseKind::NoDefense,
+            1,
+        )
+        .unwrap();
+        let from_defense = estimate_defense(&pipeline, 16, 1, &deployment);
+        let explicit = estimate_ensembler(pipeline.config(), 16, 1, 1, &deployment);
+        assert_eq!(from_defense, explicit);
     }
 }

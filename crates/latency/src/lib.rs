@@ -39,6 +39,6 @@ pub mod estimate;
 pub use cost::{network_cost, LayerCost, NetworkCost};
 pub use deployment::{DeploymentProfile, DeviceProfile, LinkProfile};
 pub use estimate::{
-    estimate_ensembler, estimate_ensembler_multi_server, estimate_stamp, estimate_standard_ci,
-    LatencyBreakdown,
+    estimate_defense, estimate_ensembler, estimate_ensembler_multi_server, estimate_stamp,
+    estimate_standard_ci, LatencyBreakdown,
 };

@@ -74,8 +74,16 @@ pub fn top_k_accuracy(logits: &Tensor, targets: &[usize], k: usize) -> f32 {
 /// # Panics
 ///
 /// Panics if the shapes are inconsistent or a target index is out of range.
-pub fn confusion_counts(logits: &Tensor, targets: &[usize], num_classes: usize) -> Vec<(usize, usize)> {
-    assert_eq!(logits.rank(), 2, "confusion_counts expects [batch, classes]");
+pub fn confusion_counts(
+    logits: &Tensor,
+    targets: &[usize],
+    num_classes: usize,
+) -> Vec<(usize, usize)> {
+    assert_eq!(
+        logits.rank(),
+        2,
+        "confusion_counts expects [batch, classes]"
+    );
     assert_eq!(logits.shape()[0], targets.len(), "one target per sample");
     assert!(
         targets.iter().all(|&t| t < num_classes),

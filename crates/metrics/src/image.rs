@@ -83,7 +83,13 @@ pub fn psnr_batch(original: &Tensor, reconstruction: &Tensor, max_value: f32) ->
     let batch = original.shape()[0];
     assert!(batch > 0, "batch must be non-empty");
     (0..batch)
-        .map(|n| psnr(&original.batch_item(n), &reconstruction.batch_item(n), max_value))
+        .map(|n| {
+            psnr(
+                &original.batch_item(n),
+                &reconstruction.batch_item(n),
+                max_value,
+            )
+        })
         .sum::<f32>()
         / batch as f32
 }

@@ -11,7 +11,7 @@ use ensembler_tensor::Tensor;
 /// use ensembler_nn::{Layer, Mode, Relu};
 /// use ensembler_tensor::Tensor;
 ///
-/// let mut relu = Relu::new();
+/// let relu = Relu::new();
 /// let x = Tensor::from_vec(vec![-1.0, 2.0], &[1, 2])?;
 /// assert_eq!(relu.forward(&x, Mode::Eval).data(), &[0.0, 2.0]);
 /// # Ok::<(), ensembler_tensor::ShapeError>(())
@@ -26,11 +26,19 @@ impl Relu {
     pub fn new() -> Self {
         Self { mask: None }
     }
+
+    fn mask_of(input: &Tensor) -> Tensor {
+        input.map(|x| if x > 0.0 { 1.0 } else { 0.0 })
+    }
 }
 
 impl Layer for Relu {
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
-        let mask = input.map(|x| if x > 0.0 { 1.0 } else { 0.0 });
+    fn forward(&self, input: &Tensor, _mode: Mode) -> Tensor {
+        input.mul(&Self::mask_of(input))
+    }
+
+    fn forward_cached(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        let mask = Self::mask_of(input);
         let out = input.mul(&mask);
         self.mask = Some(mask);
         out
@@ -42,6 +50,10 @@ impl Layer for Relu {
             .as_ref()
             .expect("backward called before forward on Relu");
         grad_output.mul(mask)
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 
     fn name(&self) -> &'static str {
@@ -74,6 +86,11 @@ impl LeakyRelu {
     pub fn alpha(&self) -> f32 {
         self.alpha
     }
+
+    fn mask_of(&self, input: &Tensor) -> Tensor {
+        let alpha = self.alpha;
+        input.map(|x| if x > 0.0 { 1.0 } else { alpha })
+    }
 }
 
 impl Default for LeakyRelu {
@@ -83,9 +100,12 @@ impl Default for LeakyRelu {
 }
 
 impl Layer for LeakyRelu {
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
-        let alpha = self.alpha;
-        let mask = input.map(|x| if x > 0.0 { 1.0 } else { alpha });
+    fn forward(&self, input: &Tensor, _mode: Mode) -> Tensor {
+        input.mul(&self.mask_of(input))
+    }
+
+    fn forward_cached(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        let mask = self.mask_of(input);
         let out = input.mul(&mask);
         self.mask = Some(mask);
         out
@@ -97,6 +117,10 @@ impl Layer for LeakyRelu {
             .as_ref()
             .expect("backward called before forward on LeakyRelu");
         grad_output.mul(mask)
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 
     fn name(&self) -> &'static str {
@@ -121,8 +145,12 @@ impl Sigmoid {
 }
 
 impl Layer for Sigmoid {
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
-        let out = input.map(|x| 1.0 / (1.0 + (-x).exp()));
+    fn forward(&self, input: &Tensor, _mode: Mode) -> Tensor {
+        input.map(|x| 1.0 / (1.0 + (-x).exp()))
+    }
+
+    fn forward_cached(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let out = self.forward(input, mode);
         self.output = Some(out.clone());
         out
     }
@@ -133,6 +161,10 @@ impl Layer for Sigmoid {
             .as_ref()
             .expect("backward called before forward on Sigmoid");
         grad_output.zip_map(y, |g, y| g * y * (1.0 - y))
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 
     fn name(&self) -> &'static str {
@@ -154,8 +186,12 @@ impl Tanh {
 }
 
 impl Layer for Tanh {
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
-        let out = input.map(f32::tanh);
+    fn forward(&self, input: &Tensor, _mode: Mode) -> Tensor {
+        input.map(f32::tanh)
+    }
+
+    fn forward_cached(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let out = self.forward(input, mode);
         self.output = Some(out.clone());
         out
     }
@@ -166,6 +202,10 @@ impl Layer for Tanh {
             .as_ref()
             .expect("backward called before forward on Tanh");
         grad_output.zip_map(y, |g, y| g * (1.0 - y * y))
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 
     fn name(&self) -> &'static str {
@@ -182,8 +222,10 @@ mod tests {
     fn relu_forward_and_backward() {
         let mut relu = Relu::new();
         let x = Tensor::from_vec(vec![-2.0, -0.5, 0.0, 1.5], &[1, 4]).unwrap();
-        let y = relu.forward(&x, Mode::Train);
+        let y = relu.forward_cached(&x, Mode::Train);
         assert_eq!(y.data(), &[0.0, 0.0, 0.0, 1.5]);
+        // The pure forward computes the same output without caching.
+        assert_eq!(relu.forward(&x, Mode::Train), y);
         let g = relu.backward(&Tensor::ones(&[1, 4]));
         assert_eq!(g.data(), &[0.0, 0.0, 0.0, 1.0]);
     }
@@ -192,7 +234,7 @@ mod tests {
     fn leaky_relu_keeps_small_negative_gradient() {
         let mut layer = LeakyRelu::new(0.1);
         let x = Tensor::from_vec(vec![-1.0, 2.0], &[1, 2]).unwrap();
-        let y = layer.forward(&x, Mode::Train);
+        let y = layer.forward_cached(&x, Mode::Train);
         assert!((y.data()[0] + 0.1).abs() < 1e-6);
         let g = layer.backward(&Tensor::ones(&[1, 2]));
         assert!((g.data()[0] - 0.1).abs() < 1e-6);
@@ -203,7 +245,7 @@ mod tests {
     fn sigmoid_range_and_gradient() {
         let mut layer = Sigmoid::new();
         let x = Tensor::from_vec(vec![-10.0, 0.0, 10.0], &[1, 3]).unwrap();
-        let y = layer.forward(&x, Mode::Eval);
+        let y = layer.forward_cached(&x, Mode::Eval);
         assert!(y.data()[0] < 0.01);
         assert!((y.data()[1] - 0.5).abs() < 1e-6);
         assert!(y.data()[2] > 0.99);
@@ -216,7 +258,7 @@ mod tests {
 
     #[test]
     fn tanh_is_odd_and_bounded() {
-        let mut layer = Tanh::new();
+        let layer = Tanh::new();
         let x = Tensor::from_vec(vec![-3.0, 0.0, 3.0], &[1, 3]).unwrap();
         let y = layer.forward(&x, Mode::Eval);
         assert!((y.data()[0] + y.data()[2]).abs() < 1e-6);

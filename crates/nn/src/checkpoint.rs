@@ -4,12 +4,12 @@
 //! are trained once and then reused (frozen) by stage 3 and by every attack
 //! experiment, and a deployment wants to ship trained weights from the
 //! training machine to the client and the server. The checkpoint format is a
-//! plain ordered list of tensors (serde-serialisable), matched positionally
+//! plain ordered list of tensors (JSON-serialisable), matched positionally
 //! against [`Layer::params`] — the same convention optimizers use.
 
 use crate::Layer;
+use ensembler_tensor::json::{JsonError, JsonValue};
 use ensembler_tensor::{ShapeError, Tensor};
-use serde::{Deserialize, Serialize};
 
 /// A serialisable snapshot of a layer's (or whole network's) parameters.
 ///
@@ -20,14 +20,14 @@ use serde::{Deserialize, Serialize};
 /// use ensembler_tensor::Rng;
 ///
 /// let mut rng = Rng::seed_from(0);
-/// let mut a = Linear::new(4, 2, &mut rng);
+/// let a = Linear::new(4, 2, &mut rng);
 /// let mut b = Linear::new(4, 2, &mut rng);
 /// let snapshot = Checkpoint::capture(&a);
 /// snapshot.restore(&mut b)?;
 /// assert_eq!(a.weight().value, b.weight().value);
 /// # Ok::<(), ensembler_nn::RestoreCheckpointError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Checkpoint {
     tensors: Vec<Tensor>,
 }
@@ -75,6 +75,31 @@ impl Checkpoint {
     /// Total number of scalar values stored.
     pub fn scalar_count(&self) -> usize {
         self.tensors.iter().map(Tensor::len).sum()
+    }
+
+    /// Converts the snapshot into its JSON representation
+    /// (`{"tensors": [...]}`).
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![(
+            "tensors".to_string(),
+            JsonValue::Array(self.tensors.iter().map(Tensor::to_json).collect()),
+        )])
+    }
+
+    /// Reconstructs a snapshot from the representation produced by
+    /// [`Checkpoint::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] on missing fields or malformed tensors.
+    pub fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        let tensors = value
+            .require("tensors")?
+            .as_array()?
+            .iter()
+            .map(Tensor::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { tensors })
     }
 
     /// Writes the snapshot's values into `layer`, matching parameters by
@@ -136,8 +161,9 @@ mod tests {
         snapshot.restore(&mut target).unwrap();
 
         let shape = config.head_output_shape();
-        let x = Tensor::from_fn(&[2, shape[0], shape[1], shape[2]], |i| (i as f32 * 0.01).sin());
-        let mut source = source;
+        let x = Tensor::from_fn(&[2, shape[0], shape[1], shape[2]], |i| {
+            (i as f32 * 0.01).sin()
+        });
         let ya = source.forward(&x, Mode::Eval);
         let yb = target.forward(&x, Mode::Eval);
         assert_eq!(ya, yb, "restored network must compute identical outputs");
@@ -172,12 +198,13 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip_preserves_weights() {
+    fn json_round_trip_preserves_weights() {
         let mut rng = Rng::seed_from(3);
         let layer = Linear::new(3, 3, &mut rng);
         let snapshot = Checkpoint::capture(&layer);
-        let json = serde_json::to_string(&snapshot).unwrap();
-        let back: Checkpoint = serde_json::from_str(&json).unwrap();
+        let json = snapshot.to_json().render();
+        let back =
+            Checkpoint::from_json(&ensembler_tensor::JsonValue::parse(&json).unwrap()).unwrap();
         assert_eq!(back, snapshot);
     }
 }

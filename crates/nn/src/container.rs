@@ -17,12 +17,20 @@ impl Identity {
 }
 
 impl Layer for Identity {
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+    fn forward(&self, input: &Tensor, _mode: Mode) -> Tensor {
+        input.clone()
+    }
+
+    fn forward_cached(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
         input.clone()
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         grad_output.clone()
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 
     fn name(&self) -> &'static str {
@@ -44,7 +52,11 @@ impl Flatten {
 }
 
 impl Layer for Flatten {
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+    fn forward(&self, input: &Tensor, _mode: Mode) -> Tensor {
+        input.flatten_batch()
+    }
+
+    fn forward_cached(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
         self.cached_shape = Some(input.shape().to_vec());
         input.flatten_batch()
     }
@@ -57,6 +69,10 @@ impl Layer for Flatten {
         grad_output
             .reshape(shape)
             .expect("gradient has the same number of elements as the input")
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 
     fn name(&self) -> &'static str {
@@ -75,7 +91,7 @@ impl Layer for Flatten {
 /// use ensembler_tensor::{Rng, Tensor};
 ///
 /// let mut rng = Rng::seed_from(0);
-/// let mut mlp = Sequential::new(vec![
+/// let mlp = Sequential::new(vec![
 ///     Box::new(Linear::new(8, 16, &mut rng)),
 ///     Box::new(Relu::new()),
 ///     Box::new(Linear::new(16, 2, &mut rng)),
@@ -84,7 +100,7 @@ impl Layer for Flatten {
 /// let y = mlp.forward(&Tensor::ones(&[1, 8]), Mode::Eval);
 /// assert_eq!(y.shape(), &[1, 2]);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Sequential {
     layers: Vec<Box<dyn Layer>>,
 }
@@ -127,10 +143,18 @@ impl Sequential {
 }
 
 impl Layer for Sequential {
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+    fn forward(&self, input: &Tensor, mode: Mode) -> Tensor {
+        let mut x = input.clone();
+        for layer in &self.layers {
+            x = layer.forward(&x, mode);
+        }
+        x
+    }
+
+    fn forward_cached(&mut self, input: &Tensor, mode: Mode) -> Tensor {
         let mut x = input.clone();
         for layer in &mut self.layers {
-            x = layer.forward(&x, mode);
+            x = layer.forward_cached(&x, mode);
         }
         x
     }
@@ -143,12 +167,19 @@ impl Layer for Sequential {
         g
     }
 
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn params(&self) -> Vec<&Param> {
         self.layers.iter().flat_map(|l| l.params()).collect()
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
-        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
     }
 
     fn name(&self) -> &'static str {
@@ -161,7 +192,7 @@ impl Layer for Sequential {
 /// When `stride > 1` or the channel count changes, the shortcut is a strided
 /// 1x1 convolution followed by batch norm, matching the ResNet "option B"
 /// projection shortcut.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ResidualBlock {
     conv1: Conv2d,
     bn1: BatchNorm2d,
@@ -210,17 +241,36 @@ impl ResidualBlock {
 }
 
 impl Layer for ResidualBlock {
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+    fn forward(&self, input: &Tensor, mode: Mode) -> Tensor {
         let main = self.conv1.forward(input, mode);
         let main = self.bn1.forward(&main, mode);
         let main = self.relu1.forward(&main, mode);
         let main = self.conv2.forward(&main, mode);
         let main = self.bn2.forward(&main, mode);
 
-        let skip = match &mut self.shortcut {
+        let skip = match &self.shortcut {
             Some((conv, bn)) => {
                 let s = conv.forward(input, mode);
                 bn.forward(&s, mode)
+            }
+            None => input.clone(),
+        };
+        let pre = main.add(&skip);
+        let mask = pre.map(|x| if x > 0.0 { 1.0 } else { 0.0 });
+        pre.mul(&mask)
+    }
+
+    fn forward_cached(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let main = self.conv1.forward_cached(input, mode);
+        let main = self.bn1.forward_cached(&main, mode);
+        let main = self.relu1.forward_cached(&main, mode);
+        let main = self.conv2.forward_cached(&main, mode);
+        let main = self.bn2.forward_cached(&main, mode);
+
+        let skip = match &mut self.shortcut {
+            Some((conv, bn)) => {
+                let s = conv.forward_cached(input, mode);
+                bn.forward_cached(&s, mode)
             }
             None => input.clone(),
         };
@@ -254,6 +304,10 @@ impl Layer for ResidualBlock {
             None => grad_pre,
         };
         grad_main_input.add(&grad_skip_input)
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 
     fn params(&self) -> Vec<&Param> {
@@ -301,8 +355,9 @@ mod tests {
         assert_eq!(id.backward(&x), x);
 
         let mut flat = Flatten::new();
-        let y = flat.forward(&x, Mode::Train);
+        let y = flat.forward_cached(&x, Mode::Train);
         assert_eq!(y.shape(), &[2, 12]);
+        assert_eq!(flat.forward(&x, Mode::Train), y);
         let g = flat.backward(&y);
         assert_eq!(g.shape(), x.shape());
     }
@@ -319,10 +374,39 @@ mod tests {
         assert!(!net.is_empty());
         assert_eq!(net.params().len(), 4);
         let x = Tensor::ones(&[2, 4]);
-        let y = net.forward(&x, Mode::Train);
+        let y = net.forward_cached(&x, Mode::Train);
         assert_eq!(y.shape(), &[2, 3]);
         let g = net.backward(&Tensor::ones(&[2, 3]));
         assert_eq!(g.shape(), &[2, 4]);
+    }
+
+    #[test]
+    fn cloned_sequential_computes_identical_outputs() {
+        let mut rng = Rng::seed_from(6);
+        let net = Sequential::new(vec![
+            Box::new(Linear::new(4, 8, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(Linear::new(8, 3, &mut rng)),
+        ]);
+        let copy = net.clone();
+        let x = Tensor::from_fn(&[2, 4], |i| (i as f32 * 0.3).cos());
+        assert_eq!(net.forward(&x, Mode::Eval), copy.forward(&x, Mode::Eval));
+        assert_eq!(copy.parameter_count(), net.parameter_count());
+    }
+
+    #[test]
+    fn pure_forward_leaves_no_backward_state() {
+        let mut rng = Rng::seed_from(8);
+        let mut net = Sequential::new(vec![Box::new(Linear::new(3, 2, &mut rng))]);
+        let x = Tensor::ones(&[1, 3]);
+        let _ = net.forward(&x, Mode::Eval);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            net.backward(&Tensor::ones(&[1, 2]))
+        }));
+        assert!(
+            result.is_err(),
+            "backward must fail after a pure forward: nothing was cached"
+        );
     }
 
     #[test]
@@ -349,12 +433,12 @@ mod tests {
     #[test]
     fn residual_block_shapes() {
         let mut rng = Rng::seed_from(2);
-        let mut plain = ResidualBlock::new(4, 4, 1, &mut rng);
+        let plain = ResidualBlock::new(4, 4, 1, &mut rng);
         assert!(!plain.has_projection());
         let y = plain.forward(&Tensor::ones(&[1, 4, 8, 8]), Mode::Train);
         assert_eq!(y.shape(), &[1, 4, 8, 8]);
 
-        let mut down = ResidualBlock::new(4, 8, 2, &mut rng);
+        let down = ResidualBlock::new(4, 8, 2, &mut rng);
         assert!(down.has_projection());
         let y = down.forward(&Tensor::ones(&[1, 4, 8, 8]), Mode::Train);
         assert_eq!(y.shape(), &[1, 8, 4, 4]);
@@ -365,7 +449,7 @@ mod tests {
         let mut rng = Rng::seed_from(3);
         let mut block = ResidualBlock::new(3, 6, 2, &mut rng);
         let x = Tensor::from_fn(&[2, 3, 6, 6], |i| (i as f32 * 0.01).sin());
-        let y = block.forward(&x, Mode::Train);
+        let y = block.forward_cached(&x, Mode::Train);
         let g = block.backward(&Tensor::ones(y.shape()));
         assert_eq!(g.shape(), x.shape());
         assert!(g.is_finite());
@@ -376,7 +460,7 @@ mod tests {
     #[test]
     fn residual_block_output_is_nonnegative() {
         let mut rng = Rng::seed_from(4);
-        let mut block = ResidualBlock::new(2, 2, 1, &mut rng);
+        let block = ResidualBlock::new(2, 2, 1, &mut rng);
         let x = Tensor::from_fn(&[1, 2, 4, 4], |i| (i as f32 * 0.1).cos());
         let y = block.forward(&x, Mode::Eval);
         assert!(y.min() >= 0.0, "final ReLU keeps activations non-negative");
@@ -387,6 +471,9 @@ mod tests {
         let mut rng = Rng::seed_from(5);
         let block = ResidualBlock::new(4, 4, 1, &mut rng);
         // conv1: 4*4*9 + 4, bn1: 8, conv2: 4*4*9 + 4, bn2: 8 => 320
-        assert_eq!(block.parameter_count(), 4 * 4 * 9 + 4 + 8 + 4 * 4 * 9 + 4 + 8);
+        assert_eq!(
+            block.parameter_count(),
+            4 * 4 * 9 + 4 + 8 + 4 * 4 * 9 + 4 + 8
+        );
     }
 }

@@ -46,7 +46,7 @@ fn rows_to_nchw(rows: &Tensor, b: usize, c: usize, h: usize, w: usize) -> Tensor
 /// use ensembler_tensor::{Rng, Tensor};
 ///
 /// let mut rng = Rng::seed_from(0);
-/// let mut conv = Conv2d::new(3, 8, 3, 1, 1, &mut rng);
+/// let conv = Conv2d::new(3, 8, 3, 1, 1, &mut rng);
 /// let y = conv.forward(&Tensor::ones(&[2, 3, 16, 16]), Mode::Eval);
 /// assert_eq!(y.shape(), &[2, 8, 16, 16]);
 /// ```
@@ -75,7 +75,10 @@ impl Conv2d {
         padding: usize,
         rng: &mut Rng,
     ) -> Self {
-        assert!(in_channels > 0 && out_channels > 0, "channel counts must be positive");
+        assert!(
+            in_channels > 0 && out_channels > 0,
+            "channel counts must be positive"
+        );
         let geometry = Conv2dGeometry::new(kernel, stride, padding);
         let fan_in = in_channels * kernel * kernel;
         let weight = Init::KaimingNormal { fan_in }.tensor(&[out_channels, fan_in], rng);
@@ -130,10 +133,10 @@ impl Conv2d {
             self.geometry.output_extent(input_shape[3]),
         ]
     }
-}
 
-impl Layer for Conv2d {
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+    /// Shared forward computation: returns the output and the `im2col`
+    /// matrix (which the cached path stores for backward).
+    fn run(&self, input: &Tensor) -> (Tensor, Tensor) {
         assert_eq!(input.rank(), 4, "Conv2d expects NCHW input");
         assert_eq!(
             input.shape()[1],
@@ -146,10 +149,27 @@ impl Layer for Conv2d {
         let cols = im2col(input, self.geometry);
         // [B*OH*OW, Cin*K*K] x [Cout, Cin*K*K]^T -> [B*OH*OW, Cout]
         let out_rows = cols.matmul_nt(&self.weight.value);
+        let out = rows_to_nchw(
+            &out_rows,
+            out_shape[0],
+            out_shape[1],
+            out_shape[2],
+            out_shape[3],
+        );
+        (out.add_channel_bias(&self.bias.value), cols)
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&self, input: &Tensor, _mode: Mode) -> Tensor {
+        self.run(input).0
+    }
+
+    fn forward_cached(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        let (out, cols) = self.run(input);
         self.cached_cols = Some(cols);
         self.cached_input_shape = Some(input.shape().to_vec());
-        let out = rows_to_nchw(&out_rows, out_shape[0], out_shape[1], out_shape[2], out_shape[3]);
-        out.add_channel_bias(&self.bias.value)
+        out
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
@@ -176,6 +196,10 @@ impl Layer for Conv2d {
             input_shape[3],
             self.geometry,
         )
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 
     fn params(&self) -> Vec<&Param> {
@@ -225,7 +249,10 @@ impl ConvTranspose2d {
         padding: usize,
         rng: &mut Rng,
     ) -> Self {
-        assert!(in_channels > 0 && out_channels > 0, "channel counts must be positive");
+        assert!(
+            in_channels > 0 && out_channels > 0,
+            "channel counts must be positive"
+        );
         let geometry = Conv2dGeometry::new(kernel, stride, padding);
         let fan_in = in_channels;
         let weight = Init::KaimingNormal { fan_in }
@@ -261,10 +288,10 @@ impl ConvTranspose2d {
             self.geometry.transposed_output_extent(input_shape[3]),
         ]
     }
-}
 
-impl Layer for ConvTranspose2d {
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+    /// Shared forward computation: returns the output and the input-row
+    /// matrix (which the cached path stores for backward).
+    fn run(&self, input: &Tensor) -> (Tensor, Tensor) {
         assert_eq!(input.rank(), 4, "ConvTranspose2d expects NCHW input");
         assert_eq!(
             input.shape()[1],
@@ -275,10 +302,8 @@ impl Layer for ConvTranspose2d {
         );
         let out_shape = self.output_shape(input.shape());
         let input_rows = nchw_to_rows(input); // [B*h*w, Cin]
-        // cols = X_rows * W : [B*h*w, Cout*K*K]
+                                              // cols = X_rows * W : [B*h*w, Cout*K*K]
         let cols = input_rows.matmul(&self.weight.value);
-        self.cached_input_rows = Some(input_rows);
-        self.cached_input_shape = Some(input.shape().to_vec());
         let out = col2im(
             &cols,
             out_shape[0],
@@ -287,7 +312,20 @@ impl Layer for ConvTranspose2d {
             out_shape[3],
             self.geometry,
         );
-        out.add_channel_bias(&self.bias.value)
+        (out.add_channel_bias(&self.bias.value), input_rows)
+    }
+}
+
+impl Layer for ConvTranspose2d {
+    fn forward(&self, input: &Tensor, _mode: Mode) -> Tensor {
+        self.run(input).0
+    }
+
+    fn forward_cached(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        let (out, input_rows) = self.run(input);
+        self.cached_input_rows = Some(input_rows);
+        self.cached_input_shape = Some(input.shape().to_vec());
+        out
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
@@ -301,7 +339,7 @@ impl Layer for ConvTranspose2d {
             .expect("input shape cached by forward");
         // grad wrt cols is im2col(grad_output) because forward used col2im.
         let grad_cols = im2col(grad_output, self.geometry); // [B*h*w, Cout*K*K]
-        // dW = X_rows^T * grad_cols
+                                                            // dW = X_rows^T * grad_cols
         let grad_w = input_rows.matmul_tn(&grad_cols);
         self.weight.grad.add_assign(&grad_w);
         self.bias.grad.add_assign(&grad_output.sum_per_channel());
@@ -314,6 +352,10 @@ impl Layer for ConvTranspose2d {
             input_shape[2],
             input_shape[3],
         )
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 
     fn params(&self) -> Vec<&Param> {
@@ -359,7 +401,7 @@ mod tests {
     #[test]
     fn conv_same_padding_preserves_spatial_size() {
         let mut rng = Rng::seed_from(1);
-        let mut conv = Conv2d::new(3, 8, 3, 1, 1, &mut rng);
+        let conv = Conv2d::new(3, 8, 3, 1, 1, &mut rng);
         let y = conv.forward(&Tensor::ones(&[2, 3, 7, 7]), Mode::Eval);
         assert_eq!(y.shape(), &[2, 8, 7, 7]);
         assert_eq!(conv.output_shape(&[2, 3, 7, 7]), vec![2, 8, 7, 7]);
@@ -370,7 +412,7 @@ mod tests {
     #[test]
     fn strided_conv_downsamples() {
         let mut rng = Rng::seed_from(2);
-        let mut conv = Conv2d::new(2, 4, 3, 2, 1, &mut rng);
+        let conv = Conv2d::new(2, 4, 3, 2, 1, &mut rng);
         let y = conv.forward(&Tensor::ones(&[1, 2, 8, 8]), Mode::Eval);
         assert_eq!(y.shape(), &[1, 4, 4, 4]);
     }
@@ -394,7 +436,7 @@ mod tests {
     #[test]
     fn transposed_conv_inverts_spatial_downsampling() {
         let mut rng = Rng::seed_from(5);
-        let mut deconv = ConvTranspose2d::new(4, 2, 2, 2, 0, &mut rng);
+        let deconv = ConvTranspose2d::new(4, 2, 2, 2, 0, &mut rng);
         let y = deconv.forward(&Tensor::ones(&[1, 4, 4, 4]), Mode::Eval);
         assert_eq!(y.shape(), &[1, 2, 8, 8]);
         assert_eq!(deconv.output_shape(&[1, 4, 4, 4]), vec![1, 2, 8, 8]);
@@ -447,7 +489,7 @@ mod tests {
     #[should_panic(expected = "expected 2 input channels")]
     fn conv_rejects_wrong_channel_count() {
         let mut rng = Rng::seed_from(9);
-        let mut conv = Conv2d::new(2, 3, 3, 1, 1, &mut rng);
+        let conv = Conv2d::new(2, 3, 3, 1, 1, &mut rng);
         let _ = conv.forward(&Tensor::ones(&[1, 3, 5, 5]), Mode::Eval);
     }
 

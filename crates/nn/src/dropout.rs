@@ -3,13 +3,22 @@
 use crate::{Layer, Mode};
 use ensembler_tensor::{Rng, Tensor};
 
-/// Inverted dropout: during training each element is zeroed with probability
-/// `p` and survivors are scaled by `1 / (1 - p)`; during evaluation the layer
-/// is the identity.
+/// Inverted dropout: when active, each element is zeroed with probability `p`
+/// and survivors are scaled by `1 / (1 - p)`; during evaluation the layer is
+/// the identity.
 ///
 /// The He et al. dropout defence ("DR") reuses this layer at inference time by
-/// running it in [`Mode::Train`], so the layer exposes
+/// keeping the masking active in [`Mode::Eval`], so the layer exposes
 /// [`Dropout::set_active_in_eval`] for that use case.
+///
+/// The mask is derived deterministically from the layer's seed and a hash of
+/// each **individual sample** (axis 0 is the batch axis), not from mutable
+/// RNG state. That is what lets [`Layer::forward`] take `&self`: a pipeline
+/// with an active dropout defence can be shared across threads, concurrent
+/// inference produces bit-identical results to sequential inference, and a
+/// sample's mask does not depend on which other samples happen to share its
+/// mini-batch — serving a request alone or coalesced into a larger batch
+/// (see `ensembler::engine`) yields the same output.
 ///
 /// # Examples
 ///
@@ -17,7 +26,7 @@ use ensembler_tensor::{Rng, Tensor};
 /// use ensembler_nn::{Dropout, Layer, Mode};
 /// use ensembler_tensor::Tensor;
 ///
-/// let mut drop = Dropout::new(0.5, 7);
+/// let drop = Dropout::new(0.5, 7);
 /// let x = Tensor::ones(&[1, 100]);
 /// let y = drop.forward(&x, Mode::Eval);
 /// assert_eq!(y.data(), x.data()); // identity in eval mode
@@ -25,23 +34,46 @@ use ensembler_tensor::{Rng, Tensor};
 #[derive(Debug, Clone)]
 pub struct Dropout {
     p: f32,
-    rng: Rng,
+    seed: u64,
     active_in_eval: bool,
     mask: Option<Tensor>,
 }
 
+/// FNV-1a over one sample's per-sample shape and bit patterns: a cheap,
+/// deterministic fingerprint that seeds that sample's mask stream. The batch
+/// dimension is deliberately excluded so the fingerprint is identical
+/// whether the sample travels alone or inside a larger batch.
+fn sample_fingerprint(per_sample_shape: &[usize], sample: &[f32]) -> u64 {
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    let mut eat = |value: u64| {
+        for byte in value.to_le_bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    for &dim in per_sample_shape {
+        eat(dim as u64);
+    }
+    for &v in sample {
+        eat(v.to_bits() as u64);
+    }
+    hash
+}
+
 impl Dropout {
-    /// Creates a dropout layer with drop probability `p` and a private RNG
-    /// seeded by `seed`.
+    /// Creates a dropout layer with drop probability `p` and a private seed.
     ///
     /// # Panics
     ///
     /// Panics if `p` is not in `[0, 1)`.
     pub fn new(p: f32, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "drop probability must be in [0, 1)"
+        );
         Self {
             p,
-            rng: Rng::seed_from(seed),
+            seed,
             active_in_eval: false,
             mask: None,
         }
@@ -64,23 +96,41 @@ impl Dropout {
     fn is_active(&self, mode: Mode) -> bool {
         mode.is_train() || self.active_in_eval
     }
+
+    /// The deterministic mask this layer applies to `input`, derived one
+    /// batch sample at a time.
+    fn mask_for(&self, input: &Tensor) -> Tensor {
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let batch = input.shape().first().copied().unwrap_or(1).max(1);
+        let per_sample = input.len() / batch;
+        let per_sample_shape = &input.shape()[1..];
+        let mut mask = Tensor::zeros(input.shape());
+        for (n, chunk) in mask.data_mut().chunks_mut(per_sample).enumerate() {
+            let sample = &input.data()[n * per_sample..(n + 1) * per_sample];
+            let mut rng = Rng::seed_from(self.seed ^ sample_fingerprint(per_sample_shape, sample));
+            for slot in chunk {
+                *slot = if rng.next_f32() < self.p { 0.0 } else { scale };
+            }
+        }
+        mask
+    }
 }
 
 impl Layer for Dropout {
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+    fn forward(&self, input: &Tensor, mode: Mode) -> Tensor {
+        if !self.is_active(mode) || self.p == 0.0 {
+            return input.clone();
+        }
+        input.mul(&self.mask_for(input))
+    }
+
+    fn forward_cached(&mut self, input: &Tensor, mode: Mode) -> Tensor {
         if !self.is_active(mode) || self.p == 0.0 {
             self.mask = Some(Tensor::ones(input.shape()));
             return input.clone();
         }
-        let keep = 1.0 - self.p;
-        let scale = 1.0 / keep;
-        let mask = Tensor::from_fn(input.shape(), |_| {
-            if self.rng.next_f32() < self.p {
-                0.0
-            } else {
-                scale
-            }
-        });
+        let mask = self.mask_for(input);
         let out = input.mul(&mask);
         self.mask = Some(mask);
         out
@@ -94,6 +144,10 @@ impl Layer for Dropout {
         grad_output.mul(mask)
     }
 
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "dropout"
     }
@@ -105,7 +159,7 @@ mod tests {
 
     #[test]
     fn eval_mode_is_identity_by_default() {
-        let mut drop = Dropout::new(0.8, 1);
+        let drop = Dropout::new(0.8, 1);
         let x = Tensor::from_fn(&[2, 10], |i| i as f32);
         assert_eq!(drop.forward(&x, Mode::Eval), x);
         assert_eq!(drop.probability(), 0.8);
@@ -113,7 +167,7 @@ mod tests {
 
     #[test]
     fn train_mode_zeroes_roughly_p_fraction_and_rescales() {
-        let mut drop = Dropout::new(0.5, 2);
+        let drop = Dropout::new(0.5, 2);
         let x = Tensor::ones(&[1, 10_000]);
         let y = drop.forward(&x, Mode::Train);
         let zeros = y.data().iter().filter(|v| **v == 0.0).count();
@@ -126,13 +180,71 @@ mod tests {
     fn backward_uses_the_same_mask_as_forward() {
         let mut drop = Dropout::new(0.5, 3);
         let x = Tensor::ones(&[1, 64]);
-        let y = drop.forward(&x, Mode::Train);
+        let y = drop.forward_cached(&x, Mode::Train);
         let g = drop.backward(&Tensor::ones(&[1, 64]));
         // Positions zeroed in the output receive zero gradient; survivors get
         // the same 1/(1-p) scaling.
         for (yv, gv) in y.data().iter().zip(g.data()) {
             assert_eq!(yv, gv);
         }
+    }
+
+    #[test]
+    fn pure_and_cached_forward_agree() {
+        let mut drop = Dropout::new(0.4, 9);
+        let x = Tensor::from_fn(&[2, 128], |i| (i as f32 * 0.1).sin());
+        let pure = drop.forward(&x, Mode::Train);
+        let cached = drop.forward_cached(&x, Mode::Train);
+        assert_eq!(pure, cached, "both paths must use the derived mask");
+    }
+
+    #[test]
+    fn masks_differ_across_inputs_and_seeds() {
+        let a = Dropout::new(0.5, 10);
+        let b = Dropout::new(0.5, 11);
+        let x = Tensor::ones(&[1, 256]);
+        let y = Tensor::full(&[1, 256], 2.0);
+        // Different seeds mask the same input differently.
+        assert_ne!(a.forward(&x, Mode::Train), b.forward(&x, Mode::Train));
+        // The same layer masks different inputs differently.
+        let on_x = a.forward(&x, Mode::Train);
+        let on_y = a.forward(&y, Mode::Train);
+        let zeros_x: Vec<usize> = on_x
+            .data()
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| **v == 0.0)
+            .map(|(i, _)| i)
+            .collect();
+        let zeros_y: Vec<usize> = on_y
+            .data()
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| **v == 0.0)
+            .map(|(i, _)| i)
+            .collect();
+        assert_ne!(zeros_x, zeros_y);
+    }
+
+    #[test]
+    fn a_samples_mask_is_independent_of_its_batch_mates() {
+        // The property batched serving relies on: classifying an image alone
+        // must equal classifying it inside any coalesced mini-batch.
+        let drop = Dropout::new(0.5, 21);
+        let sample = Tensor::from_fn(&[1, 64], |i| (i as f32 * 0.11).sin());
+        let other = Tensor::from_fn(&[1, 64], |i| (i as f32 * 0.29).cos());
+        let alone = drop.forward(&sample, Mode::Train);
+
+        let mut stacked_data = sample.data().to_vec();
+        stacked_data.extend_from_slice(other.data());
+        let stacked = Tensor::from_vec(stacked_data, &[2, 64]).unwrap();
+        let batched = drop.forward(&stacked, Mode::Train);
+
+        assert_eq!(
+            alone.data(),
+            &batched.data()[..64],
+            "batch composition must not change a sample's mask"
+        );
     }
 
     #[test]
@@ -147,7 +259,7 @@ mod tests {
 
     #[test]
     fn zero_probability_is_identity_even_in_train() {
-        let mut drop = Dropout::new(0.0, 5);
+        let drop = Dropout::new(0.0, 5);
         let x = Tensor::from_fn(&[2, 4], |i| i as f32);
         assert_eq!(drop.forward(&x, Mode::Train), x);
     }

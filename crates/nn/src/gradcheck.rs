@@ -33,7 +33,7 @@ pub fn check_layer_input_grad(
 ) {
     let mut rng = Rng::seed_from(0x5EED);
     let x = Tensor::from_fn(input_shape, |_| rng.uniform(-1.0, 1.0) + input_shift);
-    let y = layer.forward(&x, Mode::Eval);
+    let y = layer.forward_cached(&x, Mode::Eval);
     let w = Tensor::from_fn(y.shape(), |_| rng.uniform(-1.0, 1.0));
     let analytic = layer.backward(&w);
 
@@ -43,6 +43,8 @@ pub fn check_layer_input_grad(
         plus.data_mut()[idx] += eps;
         let mut minus = x.clone();
         minus.data_mut()[idx] -= eps;
+        // The numeric probes use the pure forward, which leaves the cached
+        // activations of the analytic pass untouched.
         let f_plus = layer.forward(&plus, Mode::Eval).dot(&w);
         let f_minus = layer.forward(&minus, Mode::Eval).dot(&w);
         let numeric = (f_plus - f_minus) / (2.0 * eps);
@@ -54,8 +56,6 @@ pub fn check_layer_input_grad(
             numeric
         );
     }
-    // Restore the cache for the original input so callers can keep using the layer.
-    let _ = layer.forward(&x, Mode::Eval);
 }
 
 /// Checks the parameter gradients of `layer` against central finite
@@ -76,7 +76,7 @@ pub fn check_layer_param_grads(
 ) {
     let mut rng = Rng::seed_from(0xBEEF);
     let x = Tensor::from_fn(input_shape, |_| rng.uniform(-1.0, 1.0));
-    let y = layer.forward(&x, Mode::Eval);
+    let y = layer.forward_cached(&x, Mode::Eval);
     let w = Tensor::from_fn(y.shape(), |_| rng.uniform(-1.0, 1.0));
     layer.zero_grad();
     let _ = layer.backward(&w);
@@ -106,7 +106,6 @@ pub fn check_layer_param_grads(
             );
         }
     }
-    let _ = layer.forward(&x, Mode::Eval);
 }
 
 #[cfg(test)]
@@ -133,14 +132,20 @@ mod tests {
     #[should_panic(expected = "input gradient mismatch")]
     fn a_wrong_backward_is_detected() {
         /// A deliberately broken layer whose backward returns a scaled gradient.
-        #[derive(Debug)]
+        #[derive(Debug, Clone)]
         struct Broken;
         impl Layer for Broken {
-            fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+            fn forward(&self, input: &Tensor, _mode: Mode) -> Tensor {
+                input.scale(2.0)
+            }
+            fn forward_cached(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
                 input.scale(2.0)
             }
             fn backward(&mut self, grad_output: &Tensor) -> Tensor {
                 grad_output.scale(3.0) // should be 2.0
+            }
+            fn clone_layer(&self) -> Box<dyn Layer> {
+                Box::new(self.clone())
             }
             fn name(&self) -> &'static str {
                 "broken"

@@ -1,13 +1,12 @@
 //! The [`Layer`] trait, training mode flag and trainable [`Param`] container.
 
 use ensembler_tensor::Tensor;
-use serde::{Deserialize, Serialize};
 
 /// Whether a forward pass should behave as training or evaluation.
 ///
 /// Layers such as [`crate::Dropout`] and [`crate::BatchNorm2d`] change
 /// behaviour between the two modes; all other layers ignore it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Mode {
     /// Training: dropout active, batch statistics used and updated.
     Train,
@@ -36,7 +35,7 @@ impl Mode {
 /// p.zero_grad();
 /// assert_eq!(p.grad.sum(), 0.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Param {
     /// Current parameter value.
     pub value: Tensor,
@@ -70,23 +69,44 @@ impl Param {
 /// A differentiable computation stage with explicit forward and backward
 /// passes.
 ///
-/// Layers own whatever activations they need to cache between `forward` and
-/// `backward`; callers must therefore invoke `backward` with the gradient of
-/// the *most recent* forward call. Parameter gradients are **accumulated**
-/// into [`Param::grad`]; call [`Layer::zero_grad`] (or an optimizer that does
-/// it) between steps.
-pub trait Layer: std::fmt::Debug + Send {
-    /// Computes the layer output for `input`.
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor;
+/// The trait distinguishes two forward entry points:
+///
+/// * [`Layer::forward`] is **pure**: it takes `&self`, never mutates layer
+///   state and is safe to call from many threads at once. This is the path
+///   every inference API in the workspace uses — it is what lets a whole
+///   pipeline be shared behind an `Arc` and serve concurrent batches.
+/// * [`Layer::forward_cached`] takes `&mut self` and additionally stores
+///   whatever activations the subsequent [`Layer::backward`] call needs.
+///   Training loops use this path; callers must invoke `backward` with the
+///   gradient of the *most recent* cached forward call.
+///
+/// Both entry points compute identical outputs for identical inputs.
+/// Parameter gradients are **accumulated** into [`Param::grad`]; call
+/// [`Layer::zero_grad`] (or an optimizer that does it) between steps.
+pub trait Layer: std::fmt::Debug + Send + Sync {
+    /// Computes the layer output for `input` without touching layer state.
+    fn forward(&self, input: &Tensor, mode: Mode) -> Tensor;
+
+    /// Computes the layer output for `input`, caching the activations that
+    /// [`Layer::backward`] needs.
+    fn forward_cached(&mut self, input: &Tensor, mode: Mode) -> Tensor;
 
     /// Propagates `grad_output` (gradient of the loss with respect to this
     /// layer's output) back to the input, accumulating parameter gradients.
     ///
     /// # Panics
     ///
-    /// Implementations may panic if called before `forward` or with a
+    /// Implementations may panic if called before `forward_cached` or with a
     /// gradient whose shape does not match the cached forward output.
     fn backward(&mut self, grad_output: &Tensor) -> Tensor;
+
+    /// Clones the layer behind a fresh box.
+    ///
+    /// This is what lets [`crate::Sequential`] (a vector of boxed layers) be
+    /// `Clone`, which the attack crate relies on: under the paper's threat
+    /// model the adversarial server *owns* the body weights, so it clones
+    /// them out of a shared pipeline into its own mutable copies.
+    fn clone_layer(&self) -> Box<dyn Layer>;
 
     /// Immutable access to the trainable parameters (empty by default).
     fn params(&self) -> Vec<&Param> {
@@ -117,12 +137,20 @@ pub trait Layer: std::fmt::Debug + Send {
 /// Boxed layers can be used wherever a layer is expected, which is what
 /// [`crate::Sequential`] relies on.
 impl Layer for Box<dyn Layer> {
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
-        self.as_mut().forward(input, mode)
+    fn forward(&self, input: &Tensor, mode: Mode) -> Tensor {
+        self.as_ref().forward(input, mode)
+    }
+
+    fn forward_cached(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        self.as_mut().forward_cached(input, mode)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         self.as_mut().backward(grad_output)
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        self.as_ref().clone_layer()
     }
 
     fn params(&self) -> Vec<&Param> {
@@ -135,6 +163,12 @@ impl Layer for Box<dyn Layer> {
 
     fn name(&self) -> &'static str {
         self.as_ref().name()
+    }
+}
+
+impl Clone for Box<dyn Layer> {
+    fn clone(&self) -> Self {
+        self.as_ref().clone_layer()
     }
 }
 

@@ -16,7 +16,7 @@ use ensembler_tensor::{Init, Rng, Tensor};
 /// use ensembler_tensor::{Rng, Tensor};
 ///
 /// let mut rng = Rng::seed_from(1);
-/// let mut fc = Linear::new(3, 2, &mut rng);
+/// let fc = Linear::new(3, 2, &mut rng);
 /// let y = fc.forward(&Tensor::ones(&[4, 3]), Mode::Eval);
 /// assert_eq!(y.shape(), &[4, 2]);
 /// ```
@@ -88,10 +88,8 @@ impl Linear {
     pub fn bias(&self) -> &Param {
         &self.bias
     }
-}
 
-impl Layer for Linear {
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+    fn affine(&self, input: &Tensor) -> Tensor {
         assert_eq!(input.rank(), 2, "Linear expects [batch, features] input");
         assert_eq!(
             input.shape()[1],
@@ -100,7 +98,6 @@ impl Layer for Linear {
             self.in_features,
             input.shape()[1]
         );
-        self.cached_input = Some(input.clone());
         // y = x W^T + b
         let mut out = input.matmul_nt(&self.weight.value);
         let batch = input.shape()[0];
@@ -109,6 +106,18 @@ impl Layer for Linear {
                 out.data_mut()[n * self.out_features + j] += self.bias.value.data()[j];
             }
         }
+        out
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&self, input: &Tensor, _mode: Mode) -> Tensor {
+        self.affine(input)
+    }
+
+    fn forward_cached(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        let out = self.affine(input);
+        self.cached_input = Some(input.clone());
         out
     }
 
@@ -127,6 +136,10 @@ impl Layer for Linear {
         self.weight.grad.add_assign(&grad_w);
         self.bias.grad.add_assign(&grad_output.sum_axis0());
         grad_output.matmul(&self.weight.value)
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 
     fn params(&self) -> Vec<&Param> {
@@ -151,7 +164,7 @@ mod tests {
     fn forward_matches_manual_affine() {
         let weight = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
         let bias = Tensor::from_vec(vec![0.5, -0.5], &[2]).unwrap();
-        let mut fc = Linear::from_parts(weight, bias);
+        let fc = Linear::from_parts(weight, bias);
         let x = Tensor::from_vec(vec![1.0, 1.0, 1.0, 0.0, 1.0, 0.0], &[2, 3]).unwrap();
         let y = fc.forward(&x, Mode::Eval);
         assert_eq!(y.data(), &[6.5, 14.5, 2.5, 4.5]);
@@ -182,10 +195,10 @@ mod tests {
         let mut fc = Linear::new(2, 2, &mut rng);
         let x = Tensor::ones(&[1, 2]);
         let g = Tensor::ones(&[1, 2]);
-        fc.forward(&x, Mode::Train);
+        fc.forward_cached(&x, Mode::Train);
         fc.backward(&g);
         let first = fc.weight().grad.clone();
-        fc.forward(&x, Mode::Train);
+        fc.forward_cached(&x, Mode::Train);
         fc.backward(&g);
         let doubled = fc.weight().grad.clone();
         assert_eq!(doubled.data(), first.scale(2.0).data());
@@ -197,7 +210,7 @@ mod tests {
     #[should_panic(expected = "expected 3 input features")]
     fn wrong_input_width_panics() {
         let mut rng = Rng::seed_from(0);
-        let mut fc = Linear::new(3, 2, &mut rng);
+        let fc = Linear::new(3, 2, &mut rng);
         let _ = fc.forward(&Tensor::ones(&[1, 4]), Mode::Eval);
     }
 

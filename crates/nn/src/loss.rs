@@ -39,8 +39,8 @@ pub fn softmax(logits: &Tensor) -> Tensor {
         let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let exps: Vec<f32> = row.iter().map(|&x| (x - max).exp()).collect();
         let sum: f32 = exps.iter().sum();
-        for c in 0..cols {
-            out.data_mut()[r * cols + c] = exps[c] / sum;
+        for (c, &e) in exps.iter().enumerate() {
+            out.data_mut()[r * cols + c] = e / sum;
         }
     }
     out
@@ -190,7 +190,7 @@ pub fn cosine_penalty(features: &Tensor, references: &[Tensor], lambda: f32) -> 
         );
     }
     let batch = features.shape()[0];
-    let feat_len = if batch == 0 { 0 } else { features.len() / batch };
+    let feat_len = features.len().checked_div(batch).unwrap_or(0);
 
     let mut grad = Tensor::zeros(features.shape());
     let mut penalty = 0.0f32;
@@ -292,9 +292,9 @@ mod tests {
             plus.data_mut()[idx] += eps;
             let mut minus = logits.clone();
             minus.data_mut()[idx] -= eps;
-            let numeric =
-                (loss.compute(&plus, &targets).loss - loss.compute(&minus, &targets).loss)
-                    / (2.0 * eps);
+            let numeric = (loss.compute(&plus, &targets).loss
+                - loss.compute(&minus, &targets).loss)
+                / (2.0 * eps);
             assert!(
                 (numeric - out.grad.data()[idx]).abs() < 1e-3,
                 "index {idx}: numeric {numeric} vs analytic {}",
@@ -333,7 +333,7 @@ mod tests {
     #[test]
     fn cosine_penalty_is_one_for_identical_features() {
         let f = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0], &[2, 2]).unwrap();
-        let out = cosine_penalty(&f, &[f.clone()], 2.0);
+        let out = cosine_penalty(&f, std::slice::from_ref(&f), 2.0);
         assert!((out.penalty - 2.0).abs() < 1e-5);
     }
 

@@ -15,7 +15,6 @@
 
 use crate::{Conv2d, Flatten, GlobalAvgPool, Linear, MaxPool2d, Relu, ResidualBlock, Sequential};
 use ensembler_tensor::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of a MicroResNet backbone and its h=1 / t=1 split.
 ///
@@ -28,7 +27,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(cfg.num_classes, 10);
 /// assert_eq!(cfg.head_output_shape(), vec![16, 8, 8]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ResNetConfig {
     /// Number of image channels (3 for RGB).
     pub input_channels: usize,
@@ -157,12 +156,12 @@ impl ResNetConfig {
         if self.stage_channels.is_empty() {
             return Err("at least one residual stage is required".to_string());
         }
-        if self.use_stem_pool && self.image_size % 2 != 0 {
+        if self.use_stem_pool && !self.image_size.is_multiple_of(2) {
             return Err("stem pooling requires an even image size".to_string());
         }
         let spatial_after_head = self.head_output_shape()[1];
         let downsamples = self.stage_channels.len().saturating_sub(1) as u32;
-        if spatial_after_head % (1usize << downsamples) != 0 {
+        if !spatial_after_head.is_multiple_of(1usize << downsamples) {
             return Err(format!(
                 "spatial extent {spatial_after_head} not divisible by the {downsamples} stage downsamples"
             ));
@@ -197,7 +196,11 @@ pub fn build_body(config: &ResNetConfig, rng: &mut Rng) -> Sequential {
     let mut in_channels = config.stem_channels;
     for (stage_idx, &out_channels) in config.stage_channels.iter().enumerate() {
         for block_idx in 0..config.blocks_per_stage {
-            let stride = if stage_idx > 0 && block_idx == 0 { 2 } else { 1 };
+            let stride = if stage_idx > 0 && block_idx == 0 {
+                2
+            } else {
+                1
+            };
             body.push(Box::new(ResidualBlock::new(
                 in_channels,
                 out_channels,
@@ -227,7 +230,11 @@ pub fn build_full_network(config: &ResNetConfig, rng: &mut Rng) -> Sequential {
     let mut net = Sequential::empty();
     net.push(Box::new(build_head(config, rng)));
     net.push(Box::new(build_body(config, rng)));
-    net.push(Box::new(build_tail(config, config.body_output_features(), rng)));
+    net.push(Box::new(build_tail(
+        config,
+        config.body_output_features(),
+        rng,
+    )));
     net
 }
 
@@ -269,7 +276,7 @@ mod tests {
     fn head_output_shape_matches_forward_pass() {
         let cfg = ResNetConfig::cifar10_like();
         let mut rng = Rng::seed_from(0);
-        let mut head = build_head(&cfg, &mut rng);
+        let head = build_head(&cfg, &mut rng);
         let x = Tensor::ones(&[2, 3, cfg.image_size, cfg.image_size]);
         let y = head.forward(&x, Mode::Eval);
         let expected = cfg.head_output_shape();
@@ -286,7 +293,7 @@ mod tests {
     fn body_produces_flat_features() {
         let cfg = ResNetConfig::tiny_for_tests();
         let mut rng = Rng::seed_from(1);
-        let mut body = build_body(&cfg, &mut rng);
+        let body = build_body(&cfg, &mut rng);
         let head_shape = cfg.head_output_shape();
         let x = Tensor::ones(&[2, head_shape[0], head_shape[1], head_shape[2]]);
         let y = body.forward(&x, Mode::Eval);
@@ -297,7 +304,7 @@ mod tests {
     fn tail_maps_features_to_class_logits() {
         let cfg = ResNetConfig::tiny_for_tests();
         let mut rng = Rng::seed_from(2);
-        let mut tail = build_tail(&cfg, 3 * cfg.body_output_features(), &mut rng);
+        let tail = build_tail(&cfg, 3 * cfg.body_output_features(), &mut rng);
         let x = Tensor::ones(&[5, 3 * cfg.body_output_features()]);
         let y = tail.forward(&x, Mode::Eval);
         assert_eq!(y.shape(), &[5, cfg.num_classes]);
@@ -309,7 +316,7 @@ mod tests {
         let mut rng = Rng::seed_from(3);
         let mut net = build_full_network(&cfg, &mut rng);
         let x = Tensor::from_fn(&[2, 3, 8, 8], |i| (i as f32 * 0.01).sin());
-        let y = net.forward(&x, Mode::Train);
+        let y = net.forward_cached(&x, Mode::Train);
         assert_eq!(y.shape(), &[2, cfg.num_classes]);
         let g = net.backward(&Tensor::ones(y.shape()));
         assert_eq!(g.shape(), x.shape());

@@ -20,7 +20,7 @@ use ensembler_tensor::{Rng, Tensor};
 /// use ensembler_tensor::{Rng, Tensor};
 ///
 /// let mut rng = Rng::seed_from(9);
-/// let mut noise = FixedNoise::new(&[4, 8, 8], 0.1, &mut rng);
+/// let noise = FixedNoise::new(&[4, 8, 8], 0.1, &mut rng);
 /// let x = Tensor::zeros(&[2, 4, 8, 8]);
 /// let y = noise.forward(&x, Mode::Eval);
 /// // Both samples receive the same pattern.
@@ -40,7 +40,10 @@ impl FixedNoise {
     ///
     /// Panics if `sigma` is negative.
     pub fn new(shape: &[usize], sigma: f32, rng: &mut Rng) -> Self {
-        assert!(sigma >= 0.0, "noise standard deviation must be non-negative");
+        assert!(
+            sigma >= 0.0,
+            "noise standard deviation must be non-negative"
+        );
         let pattern = Tensor::from_fn(shape, |_| rng.normal_with(0.0, sigma));
         Self { pattern, sigma }
     }
@@ -73,7 +76,7 @@ impl FixedNoise {
     fn add_pattern(&self, input: &Tensor) -> Tensor {
         let per_sample = self.pattern.len();
         assert!(
-            !input.is_empty() && input.len() % per_sample == 0,
+            !input.is_empty() && input.len().is_multiple_of(per_sample),
             "input length {} is not a multiple of the noise pattern length {per_sample}",
             input.len()
         );
@@ -88,13 +91,22 @@ impl FixedNoise {
 }
 
 impl Layer for FixedNoise {
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+    fn forward(&self, input: &Tensor, _mode: Mode) -> Tensor {
+        self.add_pattern(input)
+    }
+
+    fn forward_cached(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        // Backward needs no cache: the pattern is an additive constant.
         self.add_pattern(input)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         // Additive constant: gradient passes through unchanged.
         grad_output.clone()
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 
     fn name(&self) -> &'static str {
@@ -125,7 +137,10 @@ impl LearnedNoise {
     ///
     /// Panics if `sigma` is negative.
     pub fn new(shape: &[usize], sigma: f32, expansion_weight: f32, rng: &mut Rng) -> Self {
-        assert!(sigma >= 0.0, "noise standard deviation must be non-negative");
+        assert!(
+            sigma >= 0.0,
+            "noise standard deviation must be non-negative"
+        );
         let init = Tensor::from_fn(shape, |_| rng.normal_with(0.0, sigma));
         Self {
             noise: Param::new(init),
@@ -155,10 +170,10 @@ impl LearnedNoise {
 }
 
 impl Layer for LearnedNoise {
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+    fn forward(&self, input: &Tensor, _mode: Mode) -> Tensor {
         let per_sample = self.noise.value.len();
         assert!(
-            !input.is_empty() && input.len() % per_sample == 0,
+            !input.is_empty() && input.len().is_multiple_of(per_sample),
             "input length {} is not a multiple of the noise length {per_sample}",
             input.len()
         );
@@ -171,6 +186,11 @@ impl Layer for LearnedNoise {
         out
     }
 
+    fn forward_cached(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        // Backward needs no cache: the mask gradient is dY summed per sample.
+        self.forward(input, mode)
+    }
+
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         // d(out)/d(noise) = 1 for every sample in the batch: accumulate the
         // per-sample gradients into the shared mask.
@@ -181,6 +201,10 @@ impl Layer for LearnedNoise {
             }
         }
         grad_output.clone()
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 
     fn params(&self) -> Vec<&Param> {
@@ -203,7 +227,7 @@ mod tests {
     #[test]
     fn fixed_noise_is_deterministic_and_broadcasts() {
         let mut rng = Rng::seed_from(0);
-        let mut noise = FixedNoise::new(&[2, 3, 3], 0.5, &mut rng);
+        let noise = FixedNoise::new(&[2, 3, 3], 0.5, &mut rng);
         let x = Tensor::zeros(&[4, 2, 3, 3]);
         let y1 = noise.forward(&x, Mode::Train);
         let y2 = noise.forward(&x, Mode::Eval);
@@ -226,7 +250,7 @@ mod tests {
 
     #[test]
     fn disabled_noise_is_identity() {
-        let mut noise = FixedNoise::disabled(&[3, 4, 4]);
+        let noise = FixedNoise::disabled(&[3, 4, 4]);
         let x = Tensor::from_fn(&[2, 3, 4, 4], |i| i as f32);
         assert_eq!(noise.forward(&x, Mode::Train), x);
         assert_eq!(noise.sigma(), 0.0);
@@ -249,10 +273,7 @@ mod tests {
         let mut rng_b = Rng::seed_from(20);
         let a = FixedNoise::new(&[1, 2048], 0.1, &mut rng_a);
         let b = FixedNoise::new(&[1, 2048], 0.1, &mut rng_b);
-        let cs = a
-            .pattern()
-            .cosine_similarity_per_sample(b.pattern())
-            .item();
+        let cs = a.pattern().cosine_similarity_per_sample(b.pattern()).item();
         assert!(cs.abs() < 0.1, "expected quasi-orthogonality, got {cs}");
     }
 
@@ -276,7 +297,12 @@ mod tests {
         noise.apply_expansion_grad();
         // Gradient must point opposite to the noise value (so that a gradient
         // descent step increases the magnitude).
-        for (n, g) in noise.noise().data().iter().zip(noise.params()[0].grad.data()) {
+        for (n, g) in noise
+            .noise()
+            .data()
+            .iter()
+            .zip(noise.params()[0].grad.data())
+        {
             assert!(n * g <= 0.0);
         }
         assert!((noise.expansion_weight() - 0.5).abs() < f32::EPSILON);
@@ -286,7 +312,7 @@ mod tests {
     #[should_panic(expected = "not a multiple of the noise pattern length")]
     fn mismatched_feature_shape_panics() {
         let mut rng = Rng::seed_from(5);
-        let mut noise = FixedNoise::new(&[5], 0.1, &mut rng);
+        let noise = FixedNoise::new(&[5], 0.1, &mut rng);
         let _ = noise.forward(&Tensor::zeros(&[2, 4]), Mode::Train);
     }
 }

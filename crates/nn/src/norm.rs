@@ -6,9 +6,13 @@ use ensembler_tensor::Tensor;
 /// Batch normalization for convolutional feature maps (`[B, C, H, W]`).
 ///
 /// In [`Mode::Train`] the layer normalizes with the statistics of the current
-/// batch and updates exponential running statistics; in [`Mode::Eval`] the
-/// running statistics are used. The learnable per-channel scale (`gamma`) and
-/// shift (`beta`) follow the usual convention.
+/// batch; in [`Mode::Eval`] the running statistics are used. The learnable
+/// per-channel scale (`gamma`) and shift (`beta`) follow the usual
+/// convention.
+///
+/// Only [`Layer::forward_cached`] (the training path) updates the exponential
+/// running statistics — the pure [`Layer::forward`] never mutates the layer,
+/// which is what makes shared-pipeline inference thread-safe.
 ///
 /// # Examples
 ///
@@ -18,7 +22,7 @@ use ensembler_tensor::Tensor;
 ///
 /// let mut bn = BatchNorm2d::new(4);
 /// let x = Tensor::ones(&[2, 4, 3, 3]);
-/// let y = bn.forward(&x, Mode::Train);
+/// let y = bn.forward_cached(&x, Mode::Train);
 /// assert_eq!(y.shape(), &[2, 4, 3, 3]);
 /// ```
 #[derive(Debug, Clone)]
@@ -90,13 +94,13 @@ impl BatchNorm2d {
         let count = (b * plane) as f32;
         let mut means = vec![0.0f32; c];
         let mut vars = vec![0.0f32; c];
-        for ch in 0..c {
+        for (ch, mean) in means.iter_mut().enumerate() {
             let mut sum = 0.0f32;
             for n in 0..b {
                 let base = n * c * plane + ch * plane;
                 sum += input.data()[base..base + plane].iter().sum::<f32>();
             }
-            means[ch] = sum / count;
+            *mean = sum / count;
         }
         for ch in 0..c {
             let mut sq = 0.0f32;
@@ -111,10 +115,28 @@ impl BatchNorm2d {
         }
         (means, vars)
     }
-}
 
-impl Layer for BatchNorm2d {
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+    /// Per-channel statistics to normalize with under `mode`.
+    fn stats_for(&self, input: &Tensor, mode: Mode) -> (Vec<f32>, Vec<f32>) {
+        if mode.is_train() {
+            self.per_channel_stats(input)
+        } else {
+            (
+                self.running_mean.data().to_vec(),
+                self.running_var.data().to_vec(),
+            )
+        }
+    }
+
+    /// Shared normalization with the given statistics: returns the output
+    /// together with the cache a backward pass would need.
+    fn normalize(
+        &self,
+        input: &Tensor,
+        means: &[f32],
+        vars: &[f32],
+        used_batch_stats: bool,
+    ) -> (Tensor, BnCache) {
         assert_eq!(input.rank(), 4, "BatchNorm2d expects NCHW input");
         assert_eq!(
             input.shape()[1],
@@ -131,22 +153,6 @@ impl Layer for BatchNorm2d {
         ];
         let plane = h * w;
 
-        let (means, vars) = if mode.is_train() {
-            let (m, v) = self.per_channel_stats(input);
-            for ch in 0..c {
-                self.running_mean.data_mut()[ch] =
-                    (1.0 - self.momentum) * self.running_mean.data()[ch] + self.momentum * m[ch];
-                self.running_var.data_mut()[ch] =
-                    (1.0 - self.momentum) * self.running_var.data()[ch] + self.momentum * v[ch];
-            }
-            (m, v)
-        } else {
-            (
-                self.running_mean.data().to_vec(),
-                self.running_var.data().to_vec(),
-            )
-        };
-
         let inv_std: Vec<f32> = vars.iter().map(|v| 1.0 / (v + self.eps).sqrt()).collect();
         let mut x_hat = Tensor::zeros(input.shape());
         let mut out = Tensor::zeros(input.shape());
@@ -162,12 +168,35 @@ impl Layer for BatchNorm2d {
                 }
             }
         }
-        self.cache = Some(BnCache {
+        let cache = BnCache {
             x_hat,
             inv_std,
             input_shape: input.shape().to_vec(),
-            used_batch_stats: mode.is_train(),
-        });
+            used_batch_stats,
+        };
+        (out, cache)
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn forward(&self, input: &Tensor, mode: Mode) -> Tensor {
+        let (means, vars) = self.stats_for(input, mode);
+        self.normalize(input, &means, &vars, mode.is_train()).0
+    }
+
+    fn forward_cached(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let (means, vars) = self.stats_for(input, mode);
+        if mode.is_train() {
+            for ch in 0..self.channels {
+                self.running_mean.data_mut()[ch] = (1.0 - self.momentum)
+                    * self.running_mean.data()[ch]
+                    + self.momentum * means[ch];
+                self.running_var.data_mut()[ch] =
+                    (1.0 - self.momentum) * self.running_var.data()[ch] + self.momentum * vars[ch];
+            }
+        }
+        let (out, cache) = self.normalize(input, &means, &vars, mode.is_train());
+        self.cache = Some(cache);
         out
     }
 
@@ -227,6 +256,10 @@ impl Layer for BatchNorm2d {
         grad_input
     }
 
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn params(&self) -> Vec<&Param> {
         vec![&self.gamma, &self.beta]
     }
@@ -248,7 +281,7 @@ mod tests {
 
     #[test]
     fn train_mode_normalizes_batch_statistics() {
-        let mut bn = BatchNorm2d::new(2);
+        let bn = BatchNorm2d::new(2);
         let mut rng = Rng::seed_from(0);
         let x = Tensor::from_fn(&[4, 2, 3, 3], |_| rng.normal_with(5.0, 2.0));
         let y = bn.forward(&x, Mode::Train);
@@ -267,7 +300,7 @@ mod tests {
         let mut bn = BatchNorm2d::new(1);
         let x = Tensor::full(&[2, 1, 2, 2], 10.0);
         for _ in 0..200 {
-            let _ = bn.forward(&x, Mode::Train);
+            let _ = bn.forward_cached(&x, Mode::Train);
         }
         assert!((bn.running_mean().data()[0] - 10.0).abs() < 0.2);
         assert!(bn.running_var().data()[0] < 0.2);
@@ -278,11 +311,23 @@ mod tests {
 
     #[test]
     fn eval_mode_is_deterministic() {
-        let mut bn = BatchNorm2d::new(3);
+        let bn = BatchNorm2d::new(3);
         let x = Tensor::from_fn(&[1, 3, 2, 2], |i| i as f32);
         let a = bn.forward(&x, Mode::Eval);
         let b = bn.forward(&x, Mode::Eval);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pure_forward_never_touches_running_statistics() {
+        let bn = BatchNorm2d::new(2);
+        let mut rng = Rng::seed_from(9);
+        let x = Tensor::from_fn(&[4, 2, 3, 3], |_| rng.normal_with(3.0, 1.5));
+        let before = (bn.running_mean().clone(), bn.running_var().clone());
+        let _ = bn.forward(&x, Mode::Train);
+        let _ = bn.forward(&x, Mode::Eval);
+        assert_eq!(bn.running_mean(), &before.0);
+        assert_eq!(bn.running_var(), &before.1);
     }
 
     #[test]
@@ -292,9 +337,12 @@ mod tests {
         bn.params_mut()[1].value.fill(1.0); // beta
         let mut rng = Rng::seed_from(1);
         let x = Tensor::from_fn(&[2, 1, 2, 2], |_| rng.normal());
-        let y = bn.forward(&x, Mode::Train);
+        let y = bn.forward_cached(&x, Mode::Train);
         let mean = y.mean();
-        assert!((mean - 1.0).abs() < 1e-4, "beta should shift mean to 1, got {mean}");
+        assert!(
+            (mean - 1.0).abs() < 1e-4,
+            "beta should shift mean to 1, got {mean}"
+        );
     }
 
     #[test]
@@ -312,7 +360,7 @@ mod tests {
         let mut bn = BatchNorm2d::new(2);
         let mut rng = Rng::seed_from(2);
         let x = Tensor::from_fn(&[3, 2, 4, 4], |_| rng.normal());
-        let _ = bn.forward(&x, Mode::Train);
+        let _ = bn.forward_cached(&x, Mode::Train);
         let g = Tensor::from_fn(&[3, 2, 4, 4], |_| rng.normal());
         let gi = bn.backward(&g);
         let sums = gi.sum_per_channel();
@@ -324,7 +372,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "expected 2 channels")]
     fn channel_mismatch_panics() {
-        let mut bn = BatchNorm2d::new(2);
+        let bn = BatchNorm2d::new(2);
         let _ = bn.forward(&Tensor::ones(&[1, 3, 2, 2]), Mode::Train);
     }
 }

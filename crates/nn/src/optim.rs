@@ -87,7 +87,10 @@ impl Sgd {
 impl Optimizer for Sgd {
     fn step(&mut self, params: &mut [&mut Param]) {
         if self.velocity.len() != params.len() {
-            self.velocity = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
+            self.velocity = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.shape()))
+                .collect();
         }
         for (i, p) in params.iter_mut().enumerate() {
             let mut grad = p.grad.clone();
@@ -171,8 +174,14 @@ impl Adam {
 impl Optimizer for Adam {
     fn step(&mut self, params: &mut [&mut Param]) {
         if self.first_moment.len() != params.len() {
-            self.first_moment = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
-            self.second_moment = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
+            self.first_moment = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.shape()))
+                .collect();
+            self.second_moment = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.shape()))
+                .collect();
             self.step_count = 0;
         }
         self.step_count += 1;

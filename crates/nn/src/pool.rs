@@ -11,7 +11,7 @@ use ensembler_tensor::Tensor;
 /// use ensembler_nn::{Layer, MaxPool2d, Mode};
 /// use ensembler_tensor::Tensor;
 ///
-/// let mut pool = MaxPool2d::new(2);
+/// let pool = MaxPool2d::new(2);
 /// let y = pool.forward(&Tensor::ones(&[1, 3, 8, 8]), Mode::Eval);
 /// assert_eq!(y.shape(), &[1, 3, 4, 4]);
 /// ```
@@ -41,10 +41,10 @@ impl MaxPool2d {
     pub fn window(&self) -> usize {
         self.window
     }
-}
 
-impl Layer for MaxPool2d {
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+    /// Shared forward computation: returns the output and the argmax map
+    /// (which the cached path stores for backward).
+    fn run(&self, input: &Tensor) -> (Tensor, Vec<usize>) {
         assert_eq!(input.rank(), 4, "MaxPool2d expects NCHW input");
         let [b, c, h, w] = [
             input.shape()[0],
@@ -86,6 +86,17 @@ impl Layer for MaxPool2d {
                 }
             }
         }
+        (out, argmax)
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&self, input: &Tensor, _mode: Mode) -> Tensor {
+        self.run(input).0
+    }
+
+    fn forward_cached(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        let (out, argmax) = self.run(input);
         self.cached_argmax = Some(argmax);
         self.cached_input_shape = Some(input.shape().to_vec());
         out
@@ -106,6 +117,10 @@ impl Layer for MaxPool2d {
             grad_input.data_mut()[src_idx] += grad_output.data()[out_idx];
         }
         grad_input
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 
     fn name(&self) -> &'static str {
@@ -130,7 +145,7 @@ impl GlobalAvgPool {
 }
 
 impl Layer for GlobalAvgPool {
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+    fn forward(&self, input: &Tensor, _mode: Mode) -> Tensor {
         assert_eq!(input.rank(), 4, "GlobalAvgPool expects NCHW input");
         let [b, c, h, w] = [
             input.shape()[0],
@@ -139,13 +154,14 @@ impl Layer for GlobalAvgPool {
             input.shape()[3],
         ];
         let plane = (h * w) as f32;
-        self.cached_input_shape = Some(input.shape().to_vec());
         let sums = input.sum_per_channel_per_sample();
-        Tensor::from_vec(
-            sums.data().iter().map(|s| s / plane).collect(),
-            &[b, c],
-        )
-        .expect("pooled output has B*C elements")
+        Tensor::from_vec(sums.data().iter().map(|s| s / plane).collect(), &[b, c])
+            .expect("pooled output has B*C elements")
+    }
+
+    fn forward_cached(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        self.cached_input_shape = Some(input.shape().to_vec());
+        self.forward(input, mode)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
@@ -170,6 +186,10 @@ impl Layer for GlobalAvgPool {
         grad_input
     }
 
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "global_avg_pool"
     }
@@ -182,7 +202,12 @@ trait PerSampleChannelSum {
 
 impl PerSampleChannelSum for Tensor {
     fn sum_per_channel_per_sample(&self) -> Tensor {
-        let [b, c, h, w] = [self.shape()[0], self.shape()[1], self.shape()[2], self.shape()[3]];
+        let [b, c, h, w] = [
+            self.shape()[0],
+            self.shape()[1],
+            self.shape()[2],
+            self.shape()[3],
+        ];
         let plane = h * w;
         let mut out = vec![0.0f32; b * c];
         for n in 0..b {
@@ -202,7 +227,7 @@ mod tests {
 
     #[test]
     fn max_pool_selects_maxima() {
-        let mut pool = MaxPool2d::new(2);
+        let pool = MaxPool2d::new(2);
         let x = Tensor::from_vec(
             vec![
                 1.0, 2.0, 5.0, 6.0, //
@@ -222,12 +247,8 @@ mod tests {
     #[test]
     fn max_pool_backward_routes_gradient_to_argmax() {
         let mut pool = MaxPool2d::new(2);
-        let x = Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 4.0],
-            &[1, 1, 2, 2],
-        )
-        .unwrap();
-        let _ = pool.forward(&x, Mode::Eval);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
+        let _ = pool.forward_cached(&x, Mode::Eval);
         let g = pool.backward(&Tensor::from_vec(vec![5.0], &[1, 1, 1, 1]).unwrap());
         assert_eq!(g.data(), &[0.0, 0.0, 0.0, 5.0]);
     }
@@ -235,13 +256,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "must divide spatial dims")]
     fn max_pool_requires_divisible_extent() {
-        let mut pool = MaxPool2d::new(2);
+        let pool = MaxPool2d::new(2);
         let _ = pool.forward(&Tensor::ones(&[1, 1, 3, 3]), Mode::Eval);
     }
 
     #[test]
     fn global_avg_pool_means_and_shape() {
-        let mut pool = GlobalAvgPool::new();
+        let pool = GlobalAvgPool::new();
         let x = Tensor::from_fn(&[2, 3, 2, 2], |i| i as f32);
         let y = pool.forward(&x, Mode::Eval);
         assert_eq!(y.shape(), &[2, 3]);
@@ -261,7 +282,7 @@ mod tests {
         let mut pool = MaxPool2d::new(2);
         let x = Tensor::from_fn(&[1, 2, 4, 4], |i| i as f32 * 0.5);
         let w = Tensor::from_fn(&[1, 2, 2, 2], |i| 0.3 + 0.1 * i as f32);
-        let _ = pool.forward(&x, Mode::Eval);
+        let _ = pool.forward_cached(&x, Mode::Eval);
         let analytic = pool.backward(&w);
         let eps = 1e-2f32;
         for idx in 0..x.len() {

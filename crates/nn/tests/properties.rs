@@ -1,8 +1,8 @@
 //! Property-based tests for the NN layer library.
 
 use ensembler_nn::{
-    cosine_penalty, softmax, CrossEntropyLoss, Dropout, Layer, Linear, Mode, MseLoss, Relu,
-    Sequential, Sgd, Optimizer,
+    cosine_penalty, softmax, CrossEntropyLoss, Dropout, Layer, Linear, Mode, MseLoss, Optimizer,
+    Relu, Sequential, Sgd,
 };
 use ensembler_tensor::{Rng, Tensor};
 use proptest::prelude::*;
@@ -94,7 +94,7 @@ proptest! {
             Box::new(Linear::new(5, 4, &mut rng)),
         ]);
         let x = Tensor::from_fn(&[3, 6], |_| rng.uniform(-1.0, 1.0));
-        let y = net.forward(&x, Mode::Train);
+        let y = net.forward_cached(&x, Mode::Train);
         prop_assert_eq!(y.shape(), &[3, 4]);
         let g = net.backward(&Tensor::ones(&[3, 4]));
         prop_assert_eq!(g.shape(), x.shape());
@@ -103,7 +103,7 @@ proptest! {
 
     #[test]
     fn dropout_preserves_expected_value(seed in any::<u64>(), p in 0.0f32..0.9) {
-        let mut drop = Dropout::new(p, seed);
+        let drop = Dropout::new(p, seed);
         let x = Tensor::ones(&[1, 4096]);
         let y = drop.forward(&x, Mode::Train);
         // Inverted dropout keeps E[y] = x; allow generous sampling slack.
@@ -118,7 +118,7 @@ proptest! {
         let targets = vec![0usize, 2];
         let ce = CrossEntropyLoss::new();
 
-        let logits = fc.forward(&x, Mode::Train);
+        let logits = fc.forward_cached(&x, Mode::Train);
         let before = ce.compute(&logits, &targets);
         fc.zero_grad();
         fc.backward(&before.grad);
@@ -158,7 +158,7 @@ proptest! {
         let first = ce.compute(&net.forward(&x, Mode::Train), &targets).loss;
         let mut last = first;
         for _ in 0..30 {
-            let logits = net.forward(&x, Mode::Train);
+            let logits = net.forward_cached(&x, Mode::Train);
             let out = ce.compute(&logits, &targets);
             net.zero_grad();
             net.backward(&out.grad);

@@ -217,16 +217,10 @@ mod tests {
         // Top-left output position: the padded corner, so only the lower-right
         // 2x2 block of the kernel window overlaps the image.
         let first_row = &cols.data()[0..9];
-        assert_eq!(
-            first_row,
-            &[0.0, 0.0, 0.0, 0.0, 1.0, 2.0, 0.0, 4.0, 5.0]
-        );
+        assert_eq!(first_row, &[0.0, 0.0, 0.0, 0.0, 1.0, 2.0, 0.0, 4.0, 5.0]);
         // Centre output position sees the whole image.
         let centre = &cols.data()[4 * 9..5 * 9];
-        assert_eq!(
-            centre,
-            &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0]
-        );
+        assert_eq!(centre, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0]);
     }
 
     #[test]

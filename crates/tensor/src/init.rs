@@ -1,14 +1,12 @@
 //! Deterministic random number generation and weight-initialization schemes.
 
-use rand::rngs::StdRng;
-use rand::{Rng as _, SeedableRng};
-
 /// Deterministic random number generator used across the whole workspace.
 ///
 /// All experiments in the reproduction are seeded so that training runs,
-/// synthetic datasets and attacks are exactly repeatable. `Rng` is a thin
-/// wrapper around a seeded [`StdRng`] exposing just the sampling primitives
-/// the stack needs.
+/// synthetic datasets and attacks are exactly repeatable. `Rng` is a small
+/// self-contained SplitMix64 generator (no external dependency) exposing just
+/// the sampling primitives the stack needs. Its state is a single `u64`, so
+/// cloning and forking are cheap and the type is trivially `Send + Sync`.
 ///
 /// # Examples
 ///
@@ -19,22 +17,38 @@ use rand::{Rng as _, SeedableRng};
 /// let mut b = Rng::seed_from(42);
 /// assert_eq!(a.next_f32(), b.next_f32());
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Rng {
-    inner: StdRng,
+    state: u64,
 }
+
+const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
 
 impl Rng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
-        Self {
-            inner: StdRng::seed_from_u64(seed),
-        }
+        let mut rng = Self {
+            state: seed ^ GOLDEN_GAMMA,
+        };
+        // Discard one output so trivially related seeds (0, 1, 2, ...) do not
+        // produce trivially related first samples.
+        let _ = rng.next_u64();
+        rng
+    }
+
+    /// Returns the next raw 64-bit output of the SplitMix64 stream.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GOLDEN_GAMMA);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
     }
 
     /// Returns a uniform sample in `[0, 1)`.
     pub fn next_f32(&mut self) -> f32 {
-        self.inner.gen::<f32>()
+        // 24 high-quality bits -> the full f32 mantissa range in [0, 1).
+        (self.next_u64() >> 40) as f32 / (1u32 << 24) as f32
     }
 
     /// Returns a uniform sample in `[low, high)`.
@@ -67,7 +81,9 @@ impl Rng {
     /// Panics if `bound == 0`.
     pub fn below(&mut self, bound: usize) -> usize {
         assert!(bound > 0, "bound must be positive");
-        self.inner.gen_range(0..bound)
+        // Lemire's widening-multiply reduction: unbiased enough for every use
+        // in this workspace and branch-free.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as usize
     }
 
     /// Shuffles a slice in place (Fisher-Yates).
@@ -98,8 +114,7 @@ impl Rng {
     /// Forks a child generator whose stream is independent of the parent's
     /// subsequent output.
     pub fn fork(&mut self) -> Rng {
-        let seed = (self.next_f32().to_bits() as u64) << 32 | self.next_f32().to_bits() as u64;
-        Rng::seed_from(seed)
+        Rng::seed_from(self.next_u64())
     }
 }
 

@@ -29,12 +29,16 @@
 mod conv;
 mod error;
 mod init;
+pub mod json;
 mod ops;
+pub mod parallel;
 mod shape;
 mod tensor;
 
 pub use conv::{col2im, im2col, Conv2dGeometry};
 pub use error::ShapeError;
 pub use init::{Init, Rng};
+pub use json::{JsonError, JsonValue};
+pub use parallel::par_map;
 pub use shape::{broadcast_compatible, stride_for, Shape};
 pub use tensor::Tensor;

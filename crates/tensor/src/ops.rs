@@ -149,8 +149,8 @@ impl Tensor {
         assert_eq!(self.rank(), 2, "sum_axis1 requires a rank-2 tensor");
         let (rows, cols) = (self.shape()[0], self.shape()[1]);
         let mut out = vec![0.0f32; rows];
-        for r in 0..rows {
-            out[r] = self.data()[r * cols..(r + 1) * cols].iter().sum();
+        for (r, slot) in out.iter_mut().enumerate() {
+            *slot = self.data()[r * cols..(r + 1) * cols].iter().sum();
         }
         Tensor::from_vec(out, &[rows]).expect("length equals rows")
     }
@@ -194,7 +194,12 @@ impl Tensor {
     /// Panics if the tensor is not rank-4 or `n` is out of bounds.
     pub fn batch_item(&self, n: usize) -> Tensor {
         assert_eq!(self.rank(), 4, "batch_item requires a rank-4 tensor");
-        let [b, c, h, w] = [self.shape()[0], self.shape()[1], self.shape()[2], self.shape()[3]];
+        let [b, c, h, w] = [
+            self.shape()[0],
+            self.shape()[1],
+            self.shape()[2],
+            self.shape()[3],
+        ];
         assert!(n < b, "batch index {n} out of bounds for batch size {b}");
         let stride = c * h * w;
         let slice = self.data()[n * stride..(n + 1) * stride].to_vec();
@@ -232,7 +237,10 @@ impl Tensor {
     ///
     /// Panics if `parts` is empty or batch/spatial dimensions differ.
     pub fn concat_channels(parts: &[&Tensor]) -> Tensor {
-        assert!(!parts.is_empty(), "concat_channels requires at least one part");
+        assert!(
+            !parts.is_empty(),
+            "concat_channels requires at least one part"
+        );
         let b = parts[0].shape()[0];
         let h = parts[0].shape()[2];
         let w = parts[0].shape()[3];
@@ -272,8 +280,16 @@ impl Tensor {
     /// divisible by `groups`.
     pub fn split_channels(&self, groups: usize) -> Vec<Tensor> {
         assert_eq!(self.rank(), 4, "split_channels requires a rank-4 tensor");
-        let [b, c, h, w] = [self.shape()[0], self.shape()[1], self.shape()[2], self.shape()[3]];
-        assert!(groups > 0 && c % groups == 0, "channels {c} not divisible by {groups}");
+        let [b, c, h, w] = [
+            self.shape()[0],
+            self.shape()[1],
+            self.shape()[2],
+            self.shape()[3],
+        ];
+        assert!(
+            groups > 0 && c % groups == 0,
+            "channels {c} not divisible by {groups}"
+        );
         let gc = c / groups;
         let plane = h * w;
         (0..groups)
@@ -298,7 +314,12 @@ impl Tensor {
     /// channel count.
     pub fn add_channel_bias(&self, bias: &Tensor) -> Tensor {
         assert_eq!(self.rank(), 4, "add_channel_bias requires a rank-4 tensor");
-        let [b, c, h, w] = [self.shape()[0], self.shape()[1], self.shape()[2], self.shape()[3]];
+        let [b, c, h, w] = [
+            self.shape()[0],
+            self.shape()[1],
+            self.shape()[2],
+            self.shape()[3],
+        ];
         assert_eq!(bias.len(), c, "bias length must equal channel count");
         let mut out = self.clone();
         let plane = h * w;
@@ -323,13 +344,18 @@ impl Tensor {
     /// Panics if the tensor is not rank-4.
     pub fn sum_per_channel(&self) -> Tensor {
         assert_eq!(self.rank(), 4, "sum_per_channel requires a rank-4 tensor");
-        let [b, c, h, w] = [self.shape()[0], self.shape()[1], self.shape()[2], self.shape()[3]];
+        let [b, c, h, w] = [
+            self.shape()[0],
+            self.shape()[1],
+            self.shape()[2],
+            self.shape()[3],
+        ];
         let plane = h * w;
         let mut out = vec![0.0f32; c];
         for n in 0..b {
-            for ch in 0..c {
+            for (ch, slot) in out.iter_mut().enumerate() {
                 let base = n * c * plane + ch * plane;
-                out[ch] += self.data()[base..base + plane].iter().sum::<f32>();
+                *slot += self.data()[base..base + plane].iter().sum::<f32>();
             }
         }
         Tensor::from_vec(out, &[c]).expect("length equals channel count")
@@ -348,15 +374,15 @@ impl Tensor {
         assert_eq!(self.shape(), other.shape(), "shapes must match");
         assert!(self.rank() >= 1, "cosine similarity requires rank >= 1");
         let batch = self.shape()[0];
-        let features = if batch == 0 { 0 } else { self.len() / batch };
+        let features = self.len().checked_div(batch).unwrap_or(0);
         let mut out = vec![0.0f32; batch];
-        for n in 0..batch {
+        for (n, slot) in out.iter_mut().enumerate() {
             let a = &self.data()[n * features..(n + 1) * features];
             let b = &other.data()[n * features..(n + 1) * features];
             let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
             let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
             let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
-            out[n] = if na > 1e-12 && nb > 1e-12 {
+            *slot = if na > 1e-12 && nb > 1e-12 {
                 dot / (na * nb)
             } else {
                 0.0

@@ -1,0 +1,117 @@
+//! Scoped-thread data parallelism used by the inference engine and the
+//! ensemble fan-out.
+//!
+//! The workspace cannot depend on `rayon` (the build environment has no
+//! network access), so this module provides the one primitive the stack
+//! needs: [`par_map`], an order-preserving parallel map over a slice built on
+//! `std::thread::scope`. Work items are claimed from an atomic counter, so
+//! uneven item costs balance across however many cores the host offers.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Maps `f` over `items` in parallel, preserving input order in the output.
+///
+/// Threads are only spawned when there is more than one item and the host
+/// reports more than one core; otherwise the map runs inline. Panics raised
+/// by `f` are propagated to the caller.
+///
+/// # Examples
+///
+/// ```
+/// use ensembler_tensor::parallel::par_map;
+///
+/// let squares = par_map(&[1, 2, 3, 4], |x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if n <= 1 || workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        if index >= n {
+                            break;
+                        }
+                        local.push((index, f(&items[index])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(results) => {
+                    for (index, value) in results {
+                        slots[index] = Some(value);
+                    }
+                }
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every index was claimed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<usize> = (0..257).collect();
+        let doubled = par_map(&items, |x| x * 2);
+        assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handles_empty_and_single_inputs() {
+        assert_eq!(par_map(&[] as &[usize], |x| *x), Vec::<usize>::new());
+        assert_eq!(par_map(&[7usize], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn runs_on_all_items_exactly_once() {
+        use std::sync::atomic::AtomicUsize;
+        let calls = AtomicUsize::new(0);
+        let out = par_map(&[1, 2, 3, 4, 5, 6, 7, 8], |x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            *x
+        });
+        assert_eq!(out.len(), 8);
+        assert_eq!(calls.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn propagates_panics() {
+        let _ = par_map(&[1, 2, 3, 4], |x| {
+            if *x == 3 {
+                panic!("boom");
+            }
+            *x
+        });
+    }
+}

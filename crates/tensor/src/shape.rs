@@ -1,7 +1,5 @@
 //! Shape bookkeeping helpers shared by the tensor operations.
 
-use serde::{Deserialize, Serialize};
-
 /// A tensor shape: the extent of every axis in row-major order.
 ///
 /// The Ensembler stack uses at most four axes (`[batch, channels, height,
@@ -18,7 +16,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(s.rank(), 4);
 /// assert_eq!(s.dims(), &[2, 3, 4, 4]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Shape {
     dims: Vec<usize>,
 }

@@ -1,7 +1,7 @@
 //! The dense row-major tensor type.
 
-use crate::{ShapeError, stride_for};
-use serde::{Deserialize, Serialize};
+use crate::json::{JsonError, JsonValue};
+use crate::{stride_for, ShapeError};
 
 /// A dense, row-major `f32` tensor.
 ///
@@ -21,7 +21,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(y.sum(), 42.0);
 /// # Ok::<(), ensembler_tensor::ShapeError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Tensor {
     shape: Vec<usize>,
     data: Vec<f32>,
@@ -93,6 +93,35 @@ impl Tensor {
     }
 
     // ------------------------------------------------------------------
+    // Serialisation
+    // ------------------------------------------------------------------
+
+    /// Converts the tensor into its JSON representation
+    /// (`{"shape": [...], "data": [...]}`).
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            (
+                "shape".to_string(),
+                JsonValue::from_usize_slice(&self.shape),
+            ),
+            ("data".to_string(), JsonValue::from_f32_slice(&self.data)),
+        ])
+    }
+
+    /// Reconstructs a tensor from the representation produced by
+    /// [`Tensor::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] if fields are missing, mistyped, or the data
+    /// length does not match the shape.
+    pub fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        let shape = value.require("shape")?.as_usize_vec()?;
+        let data = value.require("data")?.as_f32_vec()?;
+        Tensor::from_vec(data, &shape).map_err(|e| JsonError::new(e.to_string()))
+    }
+
+    // ------------------------------------------------------------------
     // Accessors
     // ------------------------------------------------------------------
 
@@ -154,7 +183,10 @@ impl Tensor {
     pub fn at2(&self, row: usize, col: usize) -> f32 {
         assert_eq!(self.rank(), 2, "at2 requires a rank-2 tensor");
         let (r, c) = (self.shape[0], self.shape[1]);
-        assert!(row < r && col < c, "index ({row},{col}) out of bounds ({r},{c})");
+        assert!(
+            row < r && col < c,
+            "index ({row},{col}) out of bounds ({r},{c})"
+        );
         self.data[row * c + col]
     }
 
@@ -232,7 +264,7 @@ impl Tensor {
     pub fn flatten_batch(&self) -> Self {
         assert!(self.rank() >= 1, "flatten_batch requires rank >= 1");
         let batch = self.shape[0];
-        let features = if batch == 0 { 0 } else { self.len() / batch };
+        let features = self.len().checked_div(batch).unwrap_or(0);
         Self {
             shape: vec![batch, features],
             data: self.data.clone(),
@@ -564,10 +596,18 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let t = Tensor::from_fn(&[2, 2], |i| i as f32);
-        let json = serde_json::to_string(&t).unwrap();
-        let back: Tensor = serde_json::from_str(&json).unwrap();
+        let json = t.to_json().render();
+        let back = Tensor::from_json(&JsonValue::parse(&json).unwrap()).unwrap();
         assert_eq!(back, t);
+    }
+
+    #[test]
+    fn json_rejects_inconsistent_payloads() {
+        let bad = JsonValue::parse(r#"{"shape": [3], "data": [1, 2]}"#).unwrap();
+        assert!(Tensor::from_json(&bad).is_err());
+        let missing = JsonValue::parse(r#"{"shape": [1]}"#).unwrap();
+        assert!(Tensor::from_json(&missing).is_err());
     }
 }

@@ -6,12 +6,16 @@
 //! Run with: `cargo run --example attack_and_defend --release`
 
 use ensembler_suite::attack::{attack_adaptive, attack_single_pipeline, AttackConfig};
-use ensembler_suite::core::{DefenseKind, EnsemblerTrainer, SinglePipeline, TrainConfig};
+use ensembler_suite::core::{
+    Defense, DefenseKind, EnsemblerTrainer, EvalConfig, SinglePipeline, TrainConfig,
+};
 use ensembler_suite::data::SyntheticSpec;
 use ensembler_suite::nn::models::ResNetConfig;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let data = SyntheticSpec::cifar10_like().with_samples(16, 6).generate(21);
+    let data = SyntheticSpec::cifar10_like()
+        .with_samples(16, 6)
+        .generate(21);
     let config = ResNetConfig::cifar10_like();
     let train_cfg = TrainConfig {
         epochs_stage1: 3,
@@ -33,31 +37,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // only ever sees their intermediate features.
     let (private_images, _) = data.test.batch(0, 6);
 
-    // (a) Unprotected split network.
+    // (a) Unprotected split network. Both victims are driven through the
+    // same `&dyn Defense` interface from here on.
     let mut unprotected = SinglePipeline::new(config.clone(), DefenseKind::NoDefense, 1)?;
     unprotected.train_supervised(&data.train, &train_cfg)?;
-    let unprotected_acc = unprotected.evaluate(&data.test);
+    let unprotected_acc = unprotected.evaluate(&data.test, &EvalConfig::default())?;
     let unprotected_attack =
-        attack_single_pipeline(&mut unprotected, &data.train, &private_images, &attack_cfg);
+        attack_single_pipeline(&unprotected, &data.train, &private_images, &attack_cfg)?;
 
     // (b) Ensembler with N = 4, P = 2.
     let trainer = EnsemblerTrainer::new(config, train_cfg);
-    let mut protected = trainer.train(4, 2, &data.train)?.into_pipeline();
-    let protected_acc = protected.evaluate(&data.test);
-    let protected_attack =
-        attack_adaptive(&mut protected, &data.train, &private_images, &attack_cfg);
+    let protected = trainer.train(4, 2, &data.train)?.into_pipeline();
+    let protected_acc = protected.evaluate(&data.test, &EvalConfig::default())?;
+    let protected_attack = attack_adaptive(&protected, &data.train, &private_images, &attack_cfg)?;
 
-    println!("{:<22} {:>10} {:>8} {:>8}", "pipeline", "accuracy", "SSIM", "PSNR");
     println!(
-        "{:<22} {:>9.1}% {:>8.3} {:>8.2}",
-        "unprotected split", unprotected_acc * 100.0, unprotected_attack.ssim, unprotected_attack.psnr
+        "{:<22} {:>10} {:>8} {:>8}",
+        "pipeline", "accuracy", "SSIM", "PSNR"
     );
     println!(
         "{:<22} {:>9.1}% {:>8.3} {:>8.2}",
-        "Ensembler (adaptive MIA)", protected_acc * 100.0, protected_attack.ssim, protected_attack.psnr
+        "unprotected split",
+        unprotected_acc * 100.0,
+        unprotected_attack.ssim,
+        unprotected_attack.psnr
     );
     println!(
-        "\nlower SSIM/PSNR means the attacker reconstructed less of the private input"
+        "{:<22} {:>9.1}% {:>8.3} {:>8.2}",
+        "Ensembler (adaptive MIA)",
+        protected_acc * 100.0,
+        protected_attack.ssim,
+        protected_attack.psnr
     );
+    println!("\nlower SSIM/PSNR means the attacker reconstructed less of the private input");
     Ok(())
 }

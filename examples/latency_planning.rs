@@ -4,9 +4,10 @@
 //!
 //! Run with: `cargo run --example latency_planning --release`
 
+use ensembler_suite::core::{DefenseKind, SinglePipeline};
 use ensembler_suite::latency::{
-    estimate_ensembler, estimate_ensembler_multi_server, estimate_stamp, estimate_standard_ci,
-    DeploymentProfile,
+    estimate_defense, estimate_ensembler, estimate_ensembler_multi_server, estimate_stamp,
+    estimate_standard_ci, DeploymentProfile,
 };
 use ensembler_suite::nn::models::ResNetConfig;
 
@@ -20,7 +21,10 @@ fn main() {
     let stamp = estimate_stamp(&config, batch, &deployment);
 
     println!("seconds per {batch}-image ResNet-18 batch (paper testbed profile)\n");
-    println!("{:<22} {:>8} {:>8} {:>8} {:>8}", "strategy", "client", "server", "comm", "total");
+    println!(
+        "{:<22} {:>8} {:>8} {:>8} {:>8}",
+        "strategy", "client", "server", "comm", "total"
+    );
     for (name, t) in [
         ("standard CI", &standard),
         ("Ensembler (N=10,P=4)", &ensembler),
@@ -50,4 +54,14 @@ fn main() {
             t.total()
         );
     }
+
+    // A live pipeline can be estimated directly through the Defense trait:
+    // the model reads N, P and the backbone from the object itself.
+    let live = SinglePipeline::new(ResNetConfig::cifar10_like(), DefenseKind::NoDefense, 0)
+        .expect("valid configuration");
+    let t = estimate_defense(&live, batch, 1, &deployment);
+    println!(
+        "\nlive single-network pipeline (via &dyn Defense): total {:.3} s per {batch}-image batch",
+        t.total()
+    );
 }

@@ -6,14 +6,20 @@
 //!
 //! Run with: `cargo run --example private_medical_inference --release`
 
-use ensembler_suite::core::{encode_features, EnsemblerTrainer, SplitFeatures, TrainConfig};
+use ensembler_suite::core::{
+    encode_features, Defense, EngineConfig, EnsemblerTrainer, InferenceEngine, SplitFeatures,
+    TrainConfig,
+};
 use ensembler_suite::data::SyntheticSpec;
 use ensembler_suite::metrics::accuracy;
 use ensembler_suite::nn::models::ResNetConfig;
+use std::sync::Arc;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Face-attribute classification stands in for any sensitive-image task.
-    let data = SyntheticSpec::celeba_hq_like().with_samples(10, 4).generate(33);
+    let data = SyntheticSpec::celeba_hq_like()
+        .with_samples(10, 4)
+        .generate(33);
     let config = ResNetConfig::celeba_like();
     let trainer = EnsemblerTrainer::new(
         config,
@@ -27,13 +33,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             seed: 99,
         },
     );
-    let mut pipeline = trainer.train(4, 2, &data.train)?.into_pipeline();
+    let pipeline = trainer.train(4, 2, &data.train)?.into_pipeline();
 
     // One batch of private patient/user images arrives on the edge device.
     let (images, labels) = data.test.batch(0, 4);
 
     // Step 1 (client): run the head and add the fixed noise.
-    let transmitted = pipeline.client_features(&images);
+    let transmitted = pipeline.client_features(&images)?;
     let payload = SplitFeatures::new(transmitted.clone());
     println!(
         "client uploads {} bytes of intermediate features for {} images",
@@ -45,8 +51,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(received, transmitted);
     let _raw = encode_features(&transmitted); // bytes as they appear on the network
 
-    // Step 2 (server): evaluate every ensemble member on the received features.
-    let server_maps = pipeline.server_outputs(&received);
+    // Step 2 (server): evaluate every ensemble member on the received
+    // features — in parallel, from a shared `&self`.
+    let server_maps = pipeline.server_outputs(&received)?;
     println!(
         "server returns {} feature vectors of {} values each",
         server_maps.len(),
@@ -65,5 +72,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         pipeline.ensemble_size(),
         pipeline.selector().search_space()
     );
+
+    // Production shape: wrap the pipeline in the inference engine and let
+    // several edge devices submit single images concurrently. The engine
+    // coalesces them into mini-batches; results are identical to the
+    // sequential path because inference is immutable.
+    let engine = Arc::new(InferenceEngine::new(
+        Arc::new(pipeline),
+        EngineConfig::default(),
+    )?);
+    let served: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..images.shape()[0])
+            .map(|i| {
+                let engine = Arc::clone(&engine);
+                let image = images.batch_item(i);
+                scope.spawn(move || engine.predict_one(image).expect("engine serves the image"))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let stats = engine.stats();
+    println!(
+        "engine served {} concurrent requests in {} coalesced batch(es)",
+        stats.requests_served, stats.batches_executed
+    );
+    assert_eq!(served.len(), images.shape()[0]);
     Ok(())
 }

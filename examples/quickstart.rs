@@ -3,13 +3,15 @@
 //!
 //! Run with: `cargo run --example quickstart --release`
 
-use ensembler_suite::core::{EnsemblerTrainer, TrainConfig};
+use ensembler_suite::core::{Defense, EnsemblerTrainer, EvalConfig, TrainConfig};
 use ensembler_suite::data::SyntheticSpec;
 use ensembler_suite::nn::models::ResNetConfig;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A scaled-down CIFAR-10 stand-in (see DESIGN.md for the substitution).
-    let data = SyntheticSpec::cifar10_like().with_samples(16, 6).generate(7);
+    let data = SyntheticSpec::cifar10_like()
+        .with_samples(16, 6)
+        .generate(7);
     println!(
         "dataset: {} train / {} test images, {} classes",
         data.train.len(),
@@ -51,7 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.stage3_penalties.last().copied().unwrap_or(f32::NAN),
     );
 
-    let mut pipeline = trained.into_pipeline();
+    let pipeline = trained.into_pipeline();
     println!(
         "secret selector activates {:?} out of {} server networks ({} possible selections)",
         pipeline.selector().active_indices(),
@@ -61,7 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "train accuracy {:.1}%, test accuracy {:.1}%",
         report.train_accuracy * 100.0,
-        pipeline.evaluate(&data.test) * 100.0
+        pipeline.evaluate(&data.test, &EvalConfig::default())? * 100.0
     );
     Ok(())
 }

@@ -6,13 +6,18 @@
 //!
 //! The actual implementation lives in the member crates:
 //!
-//! * [`tensor`] — dense NCHW tensor kernel.
-//! * [`nn`] — neural-network layers, losses and optimizers with manual backprop.
+//! * [`tensor`] — dense NCHW tensor kernel, deterministic RNG, JSON, `par_map`.
+//! * [`nn`] — layers with a pure `forward(&self)` / caching
+//!   `forward_cached(&mut self)` split and manual backprop.
 //! * [`data`] — synthetic datasets standing in for CIFAR-10/100 and CelebA-HQ.
 //! * [`metrics`] — SSIM, PSNR and accuracy metrics.
-//! * [`ensembler`] — the paper's contribution: split inference + selective ensemble.
-//! * [`attack`] — query-free model inversion attacks used as the adversary.
-//! * [`latency`] — analytic deployment latency model (Table III).
+//! * [`ensembler`] — the paper's contribution behind the unified `Defense`
+//!   trait (immutable `&self` inference) plus the concurrent
+//!   `InferenceEngine`.
+//! * [`attack`] — query-free model inversion attacks; victims are any
+//!   `&dyn Defense`.
+//! * [`latency`] — analytic deployment latency model (Table III), including
+//!   `estimate_defense` for live pipelines.
 //!
 //! # Examples
 //!

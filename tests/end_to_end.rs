@@ -4,7 +4,7 @@
 
 use ensembler_suite::attack::{attack_adaptive, attack_single_pipeline, AttackConfig};
 use ensembler_suite::core::{
-    DefenseKind, EnsemblerTrainer, SinglePipeline, SplitFeatures, TrainConfig,
+    Defense, DefenseKind, EnsemblerTrainer, SinglePipeline, SplitFeatures, TrainConfig,
 };
 use ensembler_suite::data::SyntheticSpec;
 use ensembler_suite::metrics::{accuracy, psnr, ssim};
@@ -57,7 +57,7 @@ fn three_stage_training_learns_something_on_synthetic_data() {
 fn split_inference_over_the_wire_matches_local_inference() {
     let data = SyntheticSpec::tiny_for_tests().generate(2);
     let trainer = EnsemblerTrainer::new(ResNetConfig::tiny_for_tests(), tiny_train_config());
-    let mut pipeline = trainer
+    let pipeline = trainer
         .train(2, 1, &data.train)
         .expect("training succeeds")
         .into_pipeline();
@@ -68,10 +68,10 @@ fn split_inference_over_the_wire_matches_local_inference() {
     let local_logits = pipeline.predict(&images).expect("prediction succeeds");
 
     // The same computation, but shipping the features through the wire format.
-    let transmitted = pipeline.client_features(&images);
+    let transmitted = pipeline.client_features(&images).expect("client features");
     let payload = SplitFeatures::new(transmitted);
     let received = payload.round_trip().expect("wire round trip succeeds");
-    let maps = pipeline.server_outputs(&received);
+    let maps = pipeline.server_outputs(&received).expect("server outputs");
     let remote_logits = pipeline.classify(&maps).expect("classification succeeds");
 
     for (a, b) in local_logits.data().iter().zip(remote_logits.data()) {
@@ -101,16 +101,17 @@ fn ensembler_defends_at_least_as_well_as_an_unprotected_split() {
         .train_supervised(&data.train, &train_cfg)
         .expect("training succeeds");
     let unprotected_outcome =
-        attack_single_pipeline(&mut unprotected, &data.train, &private_images, &attack_cfg);
+        attack_single_pipeline(&unprotected, &data.train, &private_images, &attack_cfg)
+            .expect("attack succeeds");
 
     // Ensembler victim, attacked adaptively.
     let trainer = EnsemblerTrainer::new(config, train_cfg);
-    let mut protected = trainer
+    let protected = trainer
         .train(3, 2, &data.train)
         .expect("training succeeds")
         .into_pipeline();
-    let protected_outcome =
-        attack_adaptive(&mut protected, &data.train, &private_images, &attack_cfg);
+    let protected_outcome = attack_adaptive(&protected, &data.train, &private_images, &attack_cfg)
+        .expect("attack succeeds");
 
     // At this tiny scale both attacks are noisy, so allow a small margin, but
     // Ensembler must not be meaningfully easier to invert than no defence.
@@ -145,21 +146,25 @@ fn the_secret_selector_is_not_observable_from_server_interactions() {
     let config = ResNetConfig::tiny_for_tests();
     let trainer = EnsemblerTrainer::new(config, tiny_train_config());
 
-    let mut with_p1 = trainer
+    let with_p1 = trainer
         .train(3, 1, &data.train)
         .expect("training succeeds")
         .into_pipeline();
-    let mut with_p2 = trainer
+    let with_p2 = trainer
         .train(3, 2, &data.train)
         .expect("training succeeds")
         .into_pipeline();
 
     let (images, _) = data.test.batch(0, 2);
     // Both clients request all N outputs from the server regardless of P.
-    let features_p1 = with_p1.client_features(&images);
-    let maps_p1 = with_p1.server_outputs(&features_p1);
-    let features_p2 = with_p2.client_features(&images);
-    let maps_p2 = with_p2.server_outputs(&features_p2);
+    let features_p1 = with_p1.client_features(&images).expect("client features");
+    let maps_p1 = with_p1
+        .server_outputs(&features_p1)
+        .expect("server outputs");
+    let features_p2 = with_p2.client_features(&images).expect("client features");
+    let maps_p2 = with_p2
+        .server_outputs(&features_p2)
+        .expect("server outputs");
     assert_eq!(maps_p1.len(), 3);
     assert_eq!(maps_p2.len(), 3);
     // The number of possible secret selections the server must brute-force.

@@ -1,7 +1,7 @@
 //! Integration tests for the latency model (Table III shape) and the baseline
 //! defence implementations used by Table II.
 
-use ensembler_suite::core::{DefenseKind, SinglePipeline, TrainConfig};
+use ensembler_suite::core::{Defense, DefenseKind, EvalConfig, SinglePipeline, TrainConfig};
 use ensembler_suite::data::SyntheticSpec;
 use ensembler_suite::latency::{
     estimate_ensembler, estimate_stamp, estimate_standard_ci, DeploymentProfile,
@@ -54,7 +54,9 @@ fn every_baseline_defense_trains_and_evaluates() {
             .train_supervised(&data.train, &train_cfg)
             .expect("training succeeds");
         assert_eq!(losses.len(), train_cfg.epochs_stage1);
-        let acc = pipeline.evaluate(&data.test);
+        let acc = pipeline
+            .evaluate(&data.test, &EvalConfig::default())
+            .expect("evaluation succeeds");
         assert!((0.0..=1.0).contains(&acc), "{kind:?} accuracy {acc}");
     }
 }
