@@ -50,8 +50,6 @@
 //! # Ok::<(), ensembler::EnsemblerError>(())
 //! ```
 
-#![warn(missing_docs)]
-
 mod brute_force;
 mod decoder;
 mod mia;

@@ -1,0 +1,231 @@
+//! Machine-readable performance baseline: GEMM kernels, layer forwards and
+//! end-to-end `Defense::predict`, written as a `BENCH_PERF.json` report.
+//!
+//! Each GEMM shape is timed twice — once with the pre-PR serial scalar loops
+//! (reproduced here verbatim as the `naive` reference) and once with the
+//! blocked, parallel kernel the stack now uses — so a single run both
+//! establishes the baseline and measures the speedup against it. Layer and
+//! end-to-end timings cover the paths that inherit the kernel: conv/linear
+//! forwards and the Ensembler pipeline's `predict`.
+//!
+//! Usage: `cargo run -p ensembler-bench --bin perf_report --release [-- out.json]`
+//! Set `ENSEMBLER_SCALE=full` for more shapes and longer measurement budgets.
+//! See `docs/PERFORMANCE.md` for how to read and compare the JSON output.
+
+use std::time::{Duration, Instant};
+
+use ensembler::{Defense, EnsemblerPipeline, Selector};
+use ensembler_bench::ExperimentScale;
+use ensembler_nn::models::{build_body, build_head, build_tail, ResNetConfig};
+use ensembler_nn::{Conv2d, FixedNoise, Layer, Linear, Mode};
+use ensembler_tensor::{JsonValue, Rng, Tensor};
+
+/// The pre-PR `matmul` loop (serial, scalar, with the zero-skip), kept as the
+/// fixed reference every future report compares against.
+fn naive_matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for p in 0..k {
+            let a_ip = a[i * k + p];
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for j in 0..n {
+                out_row[j] += a_ip * b_row[j];
+            }
+        }
+    }
+    out
+}
+
+/// Runs `f` repeatedly until the budget is spent (at least 3 runs) and
+/// returns the fastest wall-clock time in milliseconds.
+fn time_ms<R>(budget: Duration, mut f: impl FnMut() -> R) -> f64 {
+    std::hint::black_box(f()); // warm-up, untimed
+    let mut best = f64::INFINITY;
+    let mut spent = Duration::ZERO;
+    let mut runs = 0usize;
+    while runs < 3 || (spent < budget && runs < 64) {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let elapsed = start.elapsed();
+        spent += elapsed;
+        best = best.min(elapsed.as_secs_f64() * 1e3);
+        runs += 1;
+    }
+    best
+}
+
+fn obj(fields: Vec<(&str, JsonValue)>) -> JsonValue {
+    JsonValue::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn num(v: f64) -> JsonValue {
+    // Keep the report diff-friendly: microsecond precision is plenty.
+    JsonValue::Number((v * 1e3).round() / 1e3)
+}
+
+/// Times one `[m,k] x [k,n]` product with both kernels.
+fn gemm_case(op: &str, m: usize, k: usize, n: usize, budget: Duration) -> JsonValue {
+    let mut rng = Rng::seed_from((m * 31 + k * 7 + n) as u64);
+    let a = Tensor::from_fn(&[m, k], |_| rng.uniform(-1.0, 1.0));
+    let b = Tensor::from_fn(&[k, n], |_| rng.uniform(-1.0, 1.0));
+
+    let naive_ms = time_ms(budget, || naive_matmul(a.data(), b.data(), m, k, n));
+    let blocked_ms = match op {
+        "nn" => time_ms(budget, || a.matmul(&b)),
+        "tn" => {
+            let a_t = a.transpose2(); // [k,m] so a_t^T . b == a . b
+            time_ms(budget, || a_t.matmul_tn(&b))
+        }
+        "nt" => {
+            let b_t = b.transpose2(); // [n,k] so a . b_t^T == a . b
+            time_ms(budget, || a.matmul_nt(&b_t))
+        }
+        other => unreachable!("unknown gemm op {other}"),
+    };
+    let flops = 2.0 * (m * k * n) as f64;
+    println!(
+        "  gemm_{op} {m}x{k}x{n}: naive {naive_ms:8.3} ms | blocked {blocked_ms:8.3} ms | {:5.2}x | {:6.2} GFLOP/s",
+        naive_ms / blocked_ms,
+        flops / (blocked_ms * 1e-3) / 1e9,
+    );
+    obj(vec![
+        ("op", JsonValue::String(op.to_string())),
+        ("m", JsonValue::Number(m as f64)),
+        ("k", JsonValue::Number(k as f64)),
+        ("n", JsonValue::Number(n as f64)),
+        ("naive_ms", num(naive_ms)),
+        ("blocked_ms", num(blocked_ms)),
+        ("speedup", num(naive_ms / blocked_ms)),
+        ("blocked_gflops", num(flops / (blocked_ms * 1e-3) / 1e9)),
+    ])
+}
+
+/// Times the layer forwards that sit directly on the GEMM/im2col path.
+fn layer_cases(budget: Duration) -> Vec<JsonValue> {
+    let mut rng = Rng::seed_from(42);
+    let mut out = Vec::new();
+
+    let conv = Conv2d::new(16, 32, 3, 1, 1, &mut rng);
+    let conv_in = Tensor::from_fn(&[8, 16, 16, 16], |_| rng.uniform(-1.0, 1.0));
+    let conv_ms = time_ms(budget, || conv.forward(&conv_in, Mode::Eval));
+    println!("  conv2d 16->32 3x3 on [8,16,16,16]: {conv_ms:8.3} ms");
+    out.push(obj(vec![
+        ("layer", JsonValue::String("conv2d_16_32_k3".to_string())),
+        ("input", JsonValue::String("[8,16,16,16] NCHW".to_string())),
+        ("forward_ms", num(conv_ms)),
+    ]));
+
+    let linear = Linear::new(512, 256, &mut rng);
+    let lin_in = Tensor::from_fn(&[64, 512], |_| rng.uniform(-1.0, 1.0));
+    let lin_ms = time_ms(budget, || linear.forward(&lin_in, Mode::Eval));
+    println!("  linear 512->256 on [64,512]:       {lin_ms:8.3} ms");
+    out.push(obj(vec![
+        ("layer", JsonValue::String("linear_512_256".to_string())),
+        ("input", JsonValue::String("[64,512]".to_string())),
+        ("forward_ms", num(lin_ms)),
+    ]));
+
+    out
+}
+
+/// Builds an untrained Ensembler pipeline (weights are irrelevant for
+/// timing) and times `Defense::predict` on one mini-batch.
+fn end_to_end_case(ensemble_size: usize, budget: Duration) -> JsonValue {
+    let config = ResNetConfig::cifar10_like();
+    let mut rng = Rng::seed_from(7);
+    let head = build_head(&config, &mut rng);
+    let noise = FixedNoise::new(&config.head_output_shape(), 0.1, &mut rng);
+    let bodies = (0..ensemble_size)
+        .map(|_| build_body(&config, &mut rng))
+        .collect();
+    let p = (ensemble_size / 2).max(1);
+    let selector = Selector::random(ensemble_size, p, &mut rng).expect("valid selection");
+    let tail = build_tail(&config, p * config.body_output_features(), &mut rng);
+    let pipeline = EnsemblerPipeline::new(config.clone(), head, noise, bodies, selector, tail)
+        .expect("consistent pipeline");
+
+    let batch = 32usize;
+    let images = Tensor::from_fn(
+        &[
+            batch,
+            config.input_channels,
+            config.image_size,
+            config.image_size,
+        ],
+        |_| rng.uniform(-1.0, 1.0),
+    );
+    let ms = time_ms(budget, || pipeline.predict(&images).expect("predict"));
+    println!(
+        "  predict N={ensemble_size} P={p} batch={batch}:        {ms:8.3} ms  ({:7.1} images/s)",
+        batch as f64 / (ms * 1e-3)
+    );
+    obj(vec![
+        ("ensemble_size", JsonValue::Number(ensemble_size as f64)),
+        ("selected", JsonValue::Number(p as f64)),
+        ("batch", JsonValue::Number(batch as f64)),
+        ("predict_ms", num(ms)),
+        ("images_per_s", num(batch as f64 / (ms * 1e-3))),
+    ])
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_PERF.json".to_string());
+    let scale = ExperimentScale::from_env();
+    let budget = match scale {
+        ExperimentScale::Quick => Duration::from_millis(300),
+        ExperimentScale::Full => Duration::from_millis(1500),
+    };
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let epoch_s = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+
+    println!("perf_report ({scale:?}, {cores} cores) -> {out_path}");
+
+    println!("GEMM (naive = pre-blocked-kernel serial loops):");
+    let mut gemm = Vec::new();
+    for size in [64usize, 128, 256, 512] {
+        gemm.push(gemm_case("nn", size, size, size, budget));
+    }
+    gemm.push(gemm_case("tn", 256, 256, 256, budget));
+    gemm.push(gemm_case("nt", 256, 256, 256, budget));
+    // Skinny shapes from the serving path: batch x features x classes.
+    gemm.push(gemm_case("nn", 32, 512, 10, budget));
+    if scale == ExperimentScale::Full {
+        gemm.push(gemm_case("nn", 768, 768, 768, budget));
+    }
+
+    println!("Layer forwards:");
+    let layers = layer_cases(budget);
+
+    println!("End-to-end inference:");
+    let e2e = end_to_end_case(4, budget);
+
+    let report = obj(vec![
+        ("report", JsonValue::String("perf_report".to_string())),
+        ("version", JsonValue::Number(1.0)),
+        ("unix_time_s", JsonValue::Number(epoch_s as f64)),
+        ("cores", JsonValue::Number(cores as f64)),
+        ("scale", JsonValue::String(format!("{scale:?}"))),
+        ("gemm", JsonValue::Array(gemm)),
+        ("layers", JsonValue::Array(layers)),
+        ("end_to_end", e2e),
+    ]);
+
+    std::fs::write(&out_path, report.render_pretty()).expect("write perf report");
+    println!("wrote {out_path}");
+}

@@ -15,8 +15,6 @@
 //! minutes on a laptop CPU; `full` runs the larger configuration described in
 //! `DESIGN.md`.
 
-#![warn(missing_docs)]
-
 use ensembler::{
     Defense, DefenseKind, EnsemblerError, EnsemblerTrainer, EvalConfig, SinglePipeline, TrainConfig,
 };

@@ -8,8 +8,6 @@
 //! mean-of-timed-iterations measurement. Swap the path dependency for the
 //! registry crate to get real statistics; no bench source changes needed.
 
-#![warn(missing_docs)]
-
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 

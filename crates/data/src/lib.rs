@@ -27,8 +27,6 @@
 //! assert_eq!(labels.len(), 8);
 //! ```
 
-#![warn(missing_docs)]
-
 mod dataset;
 mod synthetic;
 

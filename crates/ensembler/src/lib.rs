@@ -59,8 +59,6 @@
 //! # Ok::<(), ensembler::EnsemblerError>(())
 //! ```
 
-#![warn(missing_docs)]
-
 pub mod defense;
 pub mod defenses;
 pub mod engine;

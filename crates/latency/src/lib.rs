@@ -30,8 +30,6 @@
 //! assert!(ensembler.total() < standard.total() * 1.5);
 //! ```
 
-#![warn(missing_docs)]
-
 pub mod cost;
 pub mod deployment;
 pub mod estimate;

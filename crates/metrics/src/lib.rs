@@ -18,8 +18,6 @@
 //! assert!(psnr(&original, &identical, 1.0) >= 60.0);
 //! ```
 
-#![warn(missing_docs)]
-
 mod classification;
 mod image;
 

@@ -37,8 +37,6 @@
 //! assert_eq!(y.shape(), &[3, 2]);
 //! ```
 
-#![warn(missing_docs)]
-
 mod activation;
 mod checkpoint;
 mod container;

@@ -11,8 +11,6 @@
 //! name) instead of being shrunk on failure; swap the path dependency for the
 //! registry crate to get real shrinking without source changes.
 
-#![warn(missing_docs)]
-
 /// Deterministic SplitMix64 generator driving the strategies.
 #[derive(Debug, Clone)]
 pub struct TestRng {

@@ -1,6 +1,17 @@
 //! `im2col`/`col2im` lowering used to express 2-D (de)convolutions as GEMMs.
+//!
+//! Both transforms touch every batch item independently — item `n` only
+//! reads/writes rows `n*out_h*out_w..` of the column matrix and plane
+//! `n*C*H*W..` of the image — so large lowerings fan the batch out across
+//! cores with [`crate::parallel::par_map`], mirroring the row-band split of
+//! the GEMM kernel that consumes their output.
 
+use crate::parallel::par_map;
 use crate::Tensor;
+
+/// Below this many f32 elements per transform the batch loop stays serial:
+/// thread spawn costs more than the copy for the trainer's tiny lowerings.
+const PAR_ELEMENT_THRESHOLD: usize = 1 << 15;
 
 /// Geometry of a 2-D convolution: kernel size, stride and zero padding.
 ///
@@ -89,14 +100,15 @@ pub fn im2col(input: &Tensor, geom: Conv2dGeometry) -> Tensor {
     let k = geom.kernel;
     let cols = c * k * k;
     let rows = b * out_h * out_w;
-    let mut out = vec![0.0f32; rows * cols];
-
+    let item_rows = out_h * out_w;
     let plane = h * w;
-    for n in 0..b {
+
+    // One batch item -> its `item_rows x cols` block of the column matrix.
+    let lower_item = |n: usize, block: &mut [f32]| {
         for oy in 0..out_h {
             for ox in 0..out_w {
-                let row_idx = (n * out_h + oy) * out_w + ox;
-                let row = &mut out[row_idx * cols..(row_idx + 1) * cols];
+                let row_idx = oy * out_w + ox;
+                let row = &mut block[row_idx * cols..(row_idx + 1) * cols];
                 for ch in 0..c {
                     for ky in 0..k {
                         let iy = (oy * geom.stride + ky) as isize - geom.padding as isize;
@@ -111,6 +123,24 @@ pub fn im2col(input: &Tensor, geom: Conv2dGeometry) -> Tensor {
                     }
                 }
             }
+        }
+    };
+
+    let mut out = vec![0.0f32; rows * cols];
+    if b > 1 && rows * cols >= PAR_ELEMENT_THRESHOLD {
+        let indices: Vec<usize> = (0..b).collect();
+        let blocks = par_map(&indices, |&n| {
+            let mut block = vec![0.0f32; item_rows * cols];
+            lower_item(n, &mut block);
+            block
+        });
+        for (chunk, block) in out.chunks_mut(item_rows * cols).zip(blocks) {
+            chunk.copy_from_slice(&block);
+        }
+    } else {
+        // Serial: each item writes its disjoint block of `out` in place.
+        for (n, chunk) in out.chunks_mut(item_rows * cols).enumerate() {
+            lower_item(n, chunk);
         }
     }
     Tensor::from_vec(out, &[rows, cols]).expect("im2col buffer sized to rows*cols")
@@ -145,9 +175,11 @@ pub fn col2im(
         "col2im input shape mismatch"
     );
 
-    let mut out = Tensor::zeros(&[batch, channels, height, width]);
     let plane = height * width;
-    for n in 0..batch {
+    let item_elems = channels * plane;
+
+    // One batch item -> its accumulated `[C, H, W]` image plane.
+    let fold_item = |n: usize, image: &mut [f32]| {
         for oy in 0..out_h {
             for ox in 0..out_w {
                 let row_idx = (n * out_h + oy) * out_w + ox;
@@ -160,18 +192,35 @@ pub fn col2im(
                             if iy >= 0 && (iy as usize) < height && ix >= 0 && (ix as usize) < width
                             {
                                 let col_idx = (ch * k + ky) * k + kx;
-                                out.data_mut()[n * channels * plane
-                                    + ch * plane
-                                    + iy as usize * width
-                                    + ix as usize] += row[col_idx];
+                                image[ch * plane + iy as usize * width + ix as usize] +=
+                                    row[col_idx];
                             }
                         }
                     }
                 }
             }
         }
+    };
+
+    let mut data = vec![0.0f32; batch * item_elems];
+    if batch > 1 && batch * item_elems >= PAR_ELEMENT_THRESHOLD {
+        let indices: Vec<usize> = (0..batch).collect();
+        let images = par_map(&indices, |&n| {
+            let mut image = vec![0.0f32; item_elems];
+            fold_item(n, &mut image);
+            image
+        });
+        for (chunk, image) in data.chunks_mut(item_elems).zip(images) {
+            chunk.copy_from_slice(&image);
+        }
+    } else {
+        // Serial: each item accumulates into its disjoint plane in place.
+        for (n, chunk) in data.chunks_mut(item_elems).enumerate() {
+            fold_item(n, chunk);
+        }
     }
-    out
+    Tensor::from_vec(data, &[batch, channels, height, width])
+        .expect("col2im buffer sized to batch*C*H*W")
 }
 
 #[cfg(test)]

@@ -1,0 +1,701 @@
+//! Blocked, parallel GEMM micro-kernels backing the rank-2 matrix products.
+//!
+//! All three product layouts used by the stack — `A·B`, `Aᵀ·B` and `A·Bᵀ` —
+//! funnel into one cache-blocked kernel:
+//!
+//! * **Packing.** The right-hand operand is repacked once into column panels
+//!   of [`NR`] contiguous columns; the left-hand operand is repacked per row
+//!   band into row panels of [`MR`] contiguous rows. Packing makes the inner
+//!   loop read both operands sequentially regardless of the original layout
+//!   (including the transposed variants) and pads ragged edges with zeros so
+//!   the micro-kernel never branches.
+//! * **Register tiling.** The micro-kernel accumulates a small output tile
+//!   in registers across a [`KC`]-deep slice of the shared dimension,
+//!   amortising every load of `A` over the tile width and every load of `B`
+//!   over the tile height. The tile geometry is picked per host at runtime:
+//!   a 6×16 AVX2+FMA kernel on x86-64 machines that report both features, a
+//!   portable auto-vectorising [`MR`]`×`[`NR`] kernel everywhere else.
+//! * **Cache blocking.** The shared dimension is walked in [`KC`]-sized
+//!   blocks so the active `A` and `B` panels stay resident in L1/L2 while an
+//!   output tile is produced.
+//! * **Row-band parallelism.** Bands of [`MC`] output rows are independent,
+//!   so large products fan the bands out across cores with
+//!   [`crate::parallel::par_map`]. Products below [`PAR_THRESHOLD`]
+//!   multiply-accumulates stay on the calling thread: the trainer's many tiny
+//!   multiplies must not pay thread-spawn overhead.
+//!
+//! Unlike the scalar loops this kernel replaced, no term is ever skipped:
+//! `0 × NaN` and `0 × ∞` contributions propagate into the output as IEEE 754
+//! dictates, so non-finite values cannot be silently laundered by a GEMM.
+//!
+//! # Examples
+//!
+//! ```
+//! use ensembler_tensor::gemm::gemm_nn;
+//!
+//! // [2,2] x [2,2]
+//! let c = gemm_nn(&[1.0, 2.0, 3.0, 4.0], &[5.0, 6.0, 7.0, 8.0], 2, 2, 2);
+//! assert_eq!(c, vec![19.0, 22.0, 43.0, 50.0]);
+//! ```
+
+use crate::parallel::par_map;
+
+/// Rows of the register tile held by the portable micro-kernel. On x86-64
+/// hosts with AVX2+FMA a wider 6×16 tile is selected at runtime instead (see
+/// the module docs); the packing layout adapts to whichever kernel runs.
+pub const MR: usize = 4;
+/// Columns of the register tile held by the portable micro-kernel.
+pub const NR: usize = 8;
+/// Depth of the shared-dimension cache block.
+pub const KC: usize = 256;
+/// Output rows per parallel band (one unit of work for a worker thread).
+pub const MC: usize = 128;
+
+/// One register-tile update: accumulate `tile_rows x cols` over `kc` packed
+/// steps into `c` (leading dimension `ldc`). The A panel holds `kc` slivers
+/// of `mr` row values; the B panel holds `kc` slivers of `nr` column values.
+type MicroKernelFn = fn(
+    apanel: &[f32],
+    bpanel: &[f32],
+    kc: usize,
+    c: &mut [f32],
+    ldc: usize,
+    tile_rows: usize,
+    cols: usize,
+);
+
+/// The micro-kernel picked for this host, with its register-tile geometry.
+#[derive(Clone, Copy)]
+struct KernelConfig {
+    mr: usize,
+    nr: usize,
+    micro: MicroKernelFn,
+}
+
+/// Picks the widest micro-kernel the host supports. Feature detection is
+/// cached by the standard library, so this is cheap to call per GEMM.
+fn kernel_config() -> KernelConfig {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        {
+            return KernelConfig {
+                mr: avx2::MR,
+                nr: avx2::NR,
+                micro: avx2::microkernel,
+            };
+        }
+    }
+    KernelConfig {
+        mr: MR,
+        nr: NR,
+        micro: portable_microkernel,
+    }
+}
+
+/// Below this many right-operand elements (`k·n`) the kernel skips packing
+/// entirely and runs a plain register-friendly triple loop.
+///
+/// Deliberately independent of `m`: row `i` of a product must be bit-exact
+/// whether it is computed alone or inside a larger batch, because the
+/// inference engine coalesces single-image requests into mini-batches and
+/// guarantees coalescing never changes an answer. A threshold involving `m`
+/// would route the same row through differently-rounded code paths (the
+/// blocked kernel contracts multiply-adds with FMA where available)
+/// depending on how many other requests happened to share the batch.
+pub const SMALL_THRESHOLD: usize = 32 * 32;
+
+/// At or above this many multiply-accumulates (`m·k·n`) the kernel splits row
+/// bands across cores; below it the blocked kernel runs on the calling
+/// thread.
+pub const PAR_THRESHOLD: usize = 1 << 20;
+
+/// Execution strategy for the blocked GEMM kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// Choose serial or parallel from the problem size (the default):
+    /// products with at least [`PAR_THRESHOLD`] multiply-accumulates use all
+    /// cores, smaller ones stay on the calling thread.
+    #[default]
+    Auto,
+    /// Always run on the calling thread.
+    Serial,
+    /// Always split row bands across worker threads, regardless of size.
+    Parallel,
+}
+
+/// Which operands the kernel reads transposed.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// `a` is `[m,k]`, `b` is `[k,n]`.
+    Nn,
+    /// `a` is `[k,m]` (used as `aᵀ`), `b` is `[k,n]`.
+    Tn,
+    /// `a` is `[m,k]`, `b` is `[n,k]` (used as `bᵀ`).
+    Nt,
+}
+
+impl Op {
+    /// Element `(i, p)` of the logical `[m,k]` left operand.
+    #[inline(always)]
+    fn a_at(self, a: &[f32], i: usize, p: usize, m: usize, k: usize) -> f32 {
+        match self {
+            Op::Nn | Op::Nt => a[i * k + p],
+            Op::Tn => a[p * m + i],
+        }
+    }
+
+    /// Element `(p, j)` of the logical `[k,n]` right operand (reference
+    /// implementation only; the kernel reads B through its packed panels).
+    #[cfg(test)]
+    fn b_at(self, b: &[f32], p: usize, j: usize, k: usize, n: usize) -> f32 {
+        match self {
+            Op::Nn | Op::Tn => b[p * n + j],
+            Op::Nt => b[j * k + p],
+        }
+    }
+}
+
+/// `C = A·B` for row-major `a: [m,k]` and `b: [k,n]`, returning row-major
+/// `[m,n]`.
+///
+/// Serial below [`PAR_THRESHOLD`] multiply-accumulates, parallel above; use
+/// [`gemm_nn_with`] to force either path.
+///
+/// # Panics
+///
+/// Panics if `a.len() != m*k` or `b.len() != k*n`.
+///
+/// # Examples
+///
+/// ```
+/// use ensembler_tensor::gemm::gemm_nn;
+///
+/// // [1,3] x [3,2] — a row vector against a matrix.
+/// let c = gemm_nn(&[1.0, 2.0, 3.0], &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0], 1, 3, 2);
+/// assert_eq!(c, vec![14.0, 32.0]);
+/// ```
+pub fn gemm_nn(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    gemm_nn_with(a, b, m, k, n, Parallelism::Auto)
+}
+
+/// [`gemm_nn`] with an explicit serial/parallel choice.
+///
+/// # Panics
+///
+/// Panics if `a.len() != m*k` or `b.len() != k*n`.
+pub fn gemm_nn_with(
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    par: Parallelism,
+) -> Vec<f32> {
+    assert_eq!(a.len(), m * k, "gemm_nn lhs length must be m*k");
+    assert_eq!(b.len(), k * n, "gemm_nn rhs length must be k*n");
+    gemm_impl(a, b, m, k, n, Op::Nn, par)
+}
+
+/// `C = Aᵀ·B` for row-major `a: [k,m]` and `b: [k,n]`, returning row-major
+/// `[m,n]` without materialising the transpose.
+///
+/// # Panics
+///
+/// Panics if `a.len() != k*m` or `b.len() != k*n`.
+///
+/// # Examples
+///
+/// ```
+/// use ensembler_tensor::gemm::{gemm_nn, gemm_tn};
+///
+/// // aᵀ·b computed directly matches the explicit [m,k] x [k,n] product.
+/// let a_t = [1.0, 3.0, 2.0, 4.0]; // [k=2, m=2] storing aᵀ
+/// let a = [1.0, 2.0, 3.0, 4.0]; // [m=2, k=2]
+/// let b = [5.0, 6.0, 7.0, 8.0]; // [k=2, n=2]
+/// assert_eq!(gemm_tn(&a_t, &b, 2, 2, 2), gemm_nn(&a, &b, 2, 2, 2));
+/// ```
+pub fn gemm_tn(a: &[f32], b: &[f32], k: usize, m: usize, n: usize) -> Vec<f32> {
+    gemm_tn_with(a, b, k, m, n, Parallelism::Auto)
+}
+
+/// [`gemm_tn`] with an explicit serial/parallel choice.
+///
+/// # Panics
+///
+/// Panics if `a.len() != k*m` or `b.len() != k*n`.
+pub fn gemm_tn_with(
+    a: &[f32],
+    b: &[f32],
+    k: usize,
+    m: usize,
+    n: usize,
+    par: Parallelism,
+) -> Vec<f32> {
+    assert_eq!(a.len(), k * m, "gemm_tn lhs length must be k*m");
+    assert_eq!(b.len(), k * n, "gemm_tn rhs length must be k*n");
+    gemm_impl(a, b, m, k, n, Op::Tn, par)
+}
+
+/// `C = A·Bᵀ` for row-major `a: [m,k]` and `b: [n,k]`, returning row-major
+/// `[m,n]` without materialising the transpose.
+///
+/// # Panics
+///
+/// Panics if `a.len() != m*k` or `b.len() != n*k`.
+///
+/// # Examples
+///
+/// ```
+/// use ensembler_tensor::gemm::gemm_nt;
+///
+/// // Each output element is a dot product of one row of a and one row of b.
+/// let a = [1.0, 2.0, 3.0, 4.0]; // [m=2, k=2]
+/// let b = [1.0, 0.0, 0.0, 1.0]; // [n=2, k=2]: the identity, so c == a
+/// assert_eq!(gemm_nt(&a, &b, 2, 2, 2), a.to_vec());
+/// ```
+pub fn gemm_nt(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    gemm_nt_with(a, b, m, k, n, Parallelism::Auto)
+}
+
+/// [`gemm_nt`] with an explicit serial/parallel choice.
+///
+/// # Panics
+///
+/// Panics if `a.len() != m*k` or `b.len() != n*k`.
+pub fn gemm_nt_with(
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    par: Parallelism,
+) -> Vec<f32> {
+    assert_eq!(a.len(), m * k, "gemm_nt lhs length must be m*k");
+    assert_eq!(b.len(), n * k, "gemm_nt rhs length must be n*k");
+    gemm_impl(a, b, m, k, n, Op::Nt, par)
+}
+
+fn gemm_impl(
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    op: Op,
+    par: Parallelism,
+) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    if m == 0 || n == 0 || k == 0 {
+        return out;
+    }
+    if k * n < SMALL_THRESHOLD {
+        gemm_small(a, b, m, k, n, op, &mut out);
+        return out;
+    }
+    let cfg = kernel_config();
+
+    // Pack the whole of B once: ceil(n/nr) panels, each k rows of nr
+    // contiguous column values (zero-padded on the ragged edge). Every row
+    // band reads the same packed copy, so the pack cost is paid once.
+    let bp = pack_b(b, k, n, op, cfg.nr);
+
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let want_parallel = match par {
+        Parallelism::Serial => false,
+        Parallelism::Parallel => true,
+        Parallelism::Auto => workers > 1 && m > cfg.mr && m * k * n >= PAR_THRESHOLD,
+    };
+
+    // Band sizing: MC rows normally, but a big product with few rows (the
+    // engine's coalesced mini-batches rarely exceed MC) still deserves all
+    // cores, so shrink bands to spread m across the workers. Bands stay
+    // mr-aligned so every band but the last packs only full row panels, and
+    // the split never changes results: each row's arithmetic is independent
+    // of which band computes it.
+    let band_rows = if want_parallel && m <= MC {
+        let per_worker = m.div_ceil(workers.max(2));
+        per_worker.div_ceil(cfg.mr) * cfg.mr
+    } else {
+        MC
+    };
+    let bands: Vec<(usize, usize)> = (0..m)
+        .step_by(band_rows)
+        .map(|row0| (row0, band_rows.min(m - row0)))
+        .collect();
+
+    if want_parallel && bands.len() > 1 {
+        // Each band materialises its rows separately, then they are stitched.
+        let compute = |&(row0, rows): &(usize, usize)| -> Vec<f32> {
+            let mut band = vec![0.0f32; rows * n];
+            gemm_band(a, &bp, row0, rows, m, k, n, op, cfg, &mut band);
+            band
+        };
+        for ((row0, rows), band) in bands.iter().zip(par_map(&bands, compute)) {
+            out[row0 * n..(row0 + rows) * n].copy_from_slice(&band);
+        }
+    } else {
+        // Serial: compute straight into the output, no temporaries.
+        for &(row0, rows) in &bands {
+            gemm_band(
+                a,
+                &bp,
+                row0,
+                rows,
+                m,
+                k,
+                n,
+                op,
+                cfg,
+                &mut out[row0 * n..(row0 + rows) * n],
+            );
+        }
+    }
+    out
+}
+
+/// Plain triple loop for products too small to amortise packing. Never skips
+/// a term, so non-finite values propagate exactly like the blocked path.
+fn gemm_small(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, op: Op, out: &mut [f32]) {
+    for i in 0..m {
+        let out_row = &mut out[i * n..(i + 1) * n];
+        match op {
+            // Contiguous rhs rows: iterate (p, j) so the inner loop streams.
+            Op::Nn | Op::Tn => {
+                for p in 0..k {
+                    let a_ip = op.a_at(a, i, p, m, k);
+                    let b_row = &b[p * n..(p + 1) * n];
+                    for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                        *o += a_ip * bv;
+                    }
+                }
+            }
+            // Contiguous rhs columns: each output element is a dot product.
+            Op::Nt => {
+                let a_row = &a[i * k..(i + 1) * k];
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    let b_row = &b[j * k..(j + 1) * k];
+                    let mut acc = 0.0f32;
+                    for (&av, &bv) in a_row.iter().zip(b_row) {
+                        acc += av * bv;
+                    }
+                    *o = acc;
+                }
+            }
+        }
+    }
+}
+
+/// Packs the logical `[k,n]` right operand into `nr`-column panels.
+///
+/// Panel `jp` occupies `bp[jp*k*nr..(jp+1)*k*nr]`; within a panel, row `p`
+/// holds columns `jp*nr..jp*nr+nr` contiguously, zero-padded past `n`.
+fn pack_b(b: &[f32], k: usize, n: usize, op: Op, nr: usize) -> Vec<f32> {
+    let panels = n.div_ceil(nr);
+    let mut bp = vec![0.0f32; panels * k * nr];
+    for jp in 0..panels {
+        let j0 = jp * nr;
+        let cols = nr.min(n - j0);
+        let panel = &mut bp[jp * k * nr..(jp + 1) * k * nr];
+        match op {
+            // Row-major source: copy nr-wide slivers of each row.
+            Op::Nn | Op::Tn => {
+                for p in 0..k {
+                    let src = &b[p * n + j0..p * n + j0 + cols];
+                    panel[p * nr..p * nr + cols].copy_from_slice(src);
+                }
+            }
+            // Transposed source: column j of the logical B is row j of b.
+            Op::Nt => {
+                for (c, col) in (j0..j0 + cols).enumerate() {
+                    let src = &b[col * k..(col + 1) * k];
+                    for (p, &v) in src.iter().enumerate() {
+                        panel[p * nr + c] = v;
+                    }
+                }
+            }
+        }
+    }
+    bp
+}
+
+/// Computes `rows` output rows starting at `row0` into `band` (`rows x n`),
+/// blocking the shared dimension by KC and packing A row panels on the fly.
+#[allow(clippy::too_many_arguments)]
+fn gemm_band(
+    a: &[f32],
+    bp: &[f32],
+    row0: usize,
+    rows: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+    op: Op,
+    cfg: KernelConfig,
+    band: &mut [f32],
+) {
+    let (mr, nr) = (cfg.mr, cfg.nr);
+    let row_panels = rows.div_ceil(mr);
+    let col_panels = n.div_ceil(nr);
+    let mut apack = vec![0.0f32; row_panels * KC * mr];
+
+    let mut pc = 0;
+    while pc < k {
+        let kc = KC.min(k - pc);
+        // Pack this band's A block: row panel `ir` holds rows
+        // row0+ir*mr..+mr for shared indices pc..pc+kc, zero-padded past the
+        // band edge.
+        for ir in 0..row_panels {
+            let panel = &mut apack[ir * kc * mr..(ir + 1) * kc * mr];
+            for p in 0..kc {
+                for r in 0..mr {
+                    let i = row0 + ir * mr + r;
+                    panel[p * mr + r] = if i < row0 + rows {
+                        op.a_at(a, i, pc + p, m, k)
+                    } else {
+                        0.0
+                    };
+                }
+            }
+        }
+        for jp in 0..col_panels {
+            let bpanel = &bp[jp * k * nr + pc * nr..jp * k * nr + (pc + kc) * nr];
+            let j0 = jp * nr;
+            let cols = nr.min(n - j0);
+            for ir in 0..row_panels {
+                let apanel = &apack[ir * kc * mr..(ir + 1) * kc * mr];
+                let r0 = ir * mr;
+                let tile_rows = mr.min(rows - r0);
+                (cfg.micro)(
+                    apanel,
+                    bpanel,
+                    kc,
+                    &mut band[r0 * n + j0..],
+                    n,
+                    tile_rows,
+                    cols,
+                );
+            }
+        }
+        pc += kc;
+    }
+}
+
+/// Accumulates an [`MR`]`x`[`NR`] register tile over `kc` shared-dimension
+/// steps and adds the `tile_rows x cols` valid region into `c` (leading dim
+/// `ldc`). Pure safe Rust; the fixed-size slivers below auto-vectorise on
+/// any target.
+fn portable_microkernel(
+    apanel: &[f32],
+    bpanel: &[f32],
+    kc: usize,
+    c: &mut [f32],
+    ldc: usize,
+    tile_rows: usize,
+    cols: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for p in 0..kc {
+        let av: &[f32; MR] = apanel[p * MR..p * MR + MR].try_into().expect("MR sliver");
+        let bv: &[f32; NR] = bpanel[p * NR..p * NR + NR].try_into().expect("NR sliver");
+        for r in 0..MR {
+            let ar = av[r];
+            for (slot, &bval) in acc[r].iter_mut().zip(bv) {
+                *slot += ar * bval;
+            }
+        }
+    }
+    for r in 0..tile_rows {
+        let crow = &mut c[r * ldc..r * ldc + cols];
+        for (o, &v) in crow.iter_mut().zip(&acc[r][..cols]) {
+            *o += v;
+        }
+    }
+}
+
+/// AVX2+FMA micro-kernel: a 6×16 register tile (12 `ymm` accumulators, two
+/// per row) fed by broadcast A values, selected at runtime on x86-64 hosts
+/// that report both features.
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use std::arch::x86_64::{
+        _mm256_add_ps, _mm256_fmadd_ps, _mm256_loadu_ps, _mm256_set1_ps, _mm256_setzero_ps,
+        _mm256_storeu_ps,
+    };
+
+    /// Register-tile rows of the AVX2 kernel.
+    pub(super) const MR: usize = 6;
+    /// Register-tile columns of the AVX2 kernel (two 8-lane `ymm` vectors).
+    pub(super) const NR: usize = 16;
+
+    /// Safe entry point matching [`super::MicroKernelFn`].
+    ///
+    /// Only reachable through [`super::kernel_config`], which verifies AVX2
+    /// and FMA availability before handing out this function pointer, so the
+    /// `target_feature` call below is sound.
+    pub(super) fn microkernel(
+        apanel: &[f32],
+        bpanel: &[f32],
+        kc: usize,
+        c: &mut [f32],
+        ldc: usize,
+        tile_rows: usize,
+        cols: usize,
+    ) {
+        debug_assert!(apanel.len() >= kc * MR && bpanel.len() >= kc * NR);
+        unsafe { microkernel_impl(apanel, bpanel, kc, c, ldc, tile_rows, cols) }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn microkernel_impl(
+        apanel: &[f32],
+        bpanel: &[f32],
+        kc: usize,
+        c: &mut [f32],
+        ldc: usize,
+        tile_rows: usize,
+        cols: usize,
+    ) {
+        let mut acc = [[_mm256_setzero_ps(); 2]; MR];
+        let ap = apanel.as_ptr();
+        let bpp = bpanel.as_ptr();
+        for p in 0..kc {
+            let b0 = _mm256_loadu_ps(bpp.add(p * NR));
+            let b1 = _mm256_loadu_ps(bpp.add(p * NR + 8));
+            for (r, row_acc) in acc.iter_mut().enumerate() {
+                let ar = _mm256_set1_ps(*ap.add(p * MR + r));
+                row_acc[0] = _mm256_fmadd_ps(ar, b0, row_acc[0]);
+                row_acc[1] = _mm256_fmadd_ps(ar, b1, row_acc[1]);
+            }
+        }
+        if tile_rows == MR && cols == NR {
+            // Full tile: vector read-modify-write straight into C.
+            for (r, row_acc) in acc.iter().enumerate() {
+                let crow = c.as_mut_ptr().add(r * ldc);
+                _mm256_storeu_ps(crow, _mm256_add_ps(_mm256_loadu_ps(crow), row_acc[0]));
+                _mm256_storeu_ps(
+                    crow.add(8),
+                    _mm256_add_ps(_mm256_loadu_ps(crow.add(8)), row_acc[1]),
+                );
+            }
+        } else {
+            // Ragged edge: spill the tile and add the valid region scalar-wise.
+            let mut spill = [0.0f32; MR * NR];
+            for (r, row_acc) in acc.iter().enumerate() {
+                _mm256_storeu_ps(spill.as_mut_ptr().add(r * NR), row_acc[0]);
+                _mm256_storeu_ps(spill.as_mut_ptr().add(r * NR + 8), row_acc[1]);
+            }
+            for r in 0..tile_rows {
+                let crow = &mut c[r * ldc..r * ldc + cols];
+                for (o, &v) in crow.iter_mut().zip(&spill[r * NR..r * NR + cols]) {
+                    *o += v;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Textbook reference product, deliberately unblocked and skip-free.
+    fn reference(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, op: Op) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc += op.a_at(a, i, p, m, k) * op.b_at(b, p, j, k, n);
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        out
+    }
+
+    fn pseudo(len: usize, seed: u64) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                ((state >> 40) as f32 / (1u64 << 24) as f32) * 4.0 - 2.0
+            })
+            .collect()
+    }
+
+    fn assert_close(lhs: &[f32], rhs: &[f32], tol: f32) {
+        assert_eq!(lhs.len(), rhs.len());
+        for (i, (x, y)) in lhs.iter().zip(rhs).enumerate() {
+            assert!(
+                (x - y).abs() <= tol * (1.0 + y.abs()),
+                "mismatch at {i}: {x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_matches_reference_above_small_threshold() {
+        // 41*43 > SMALL_THRESHOLD, with ragged MR/NR edges.
+        let (m, k, n) = (40, 41, 43);
+        let a = pseudo(m * k, 1);
+        let b = pseudo(k * n, 2);
+        let got = gemm_nn_with(&a, &b, m, k, n, Parallelism::Serial);
+        assert_close(&got, &reference(&a, &b, m, k, n, Op::Nn), 1e-4);
+    }
+
+    #[test]
+    fn parallel_path_matches_serial_path() {
+        let (m, k, n) = (70, 33, 37); // k*n above SMALL_THRESHOLD: blocked path
+        let a = pseudo(m * k, 3);
+        let b = pseudo(k * n, 4);
+        let serial = gemm_nn_with(&a, &b, m, k, n, Parallelism::Serial);
+        let parallel = gemm_nn_with(&a, &b, m, k, n, Parallelism::Parallel);
+        assert_eq!(serial, parallel, "band split must not change results");
+    }
+
+    #[test]
+    fn kc_blocking_accumulates_across_blocks() {
+        // k > KC forces at least two KC blocks accumulating into one tile.
+        let (m, k, n) = (5, KC + 7, 9);
+        let a = pseudo(m * k, 5);
+        let b = pseudo(k * n, 6);
+        let got = gemm_nn_with(&a, &b, m, k, n, Parallelism::Serial);
+        assert_close(&got, &reference(&a, &b, m, k, n, Op::Nn), 1e-3);
+    }
+
+    #[test]
+    fn transposed_variants_match_reference() {
+        let (m, k, n) = (37, 33, 41); // k*n above SMALL_THRESHOLD: blocked path
+        let at = pseudo(k * m, 7);
+        let b = pseudo(k * n, 8);
+        let got = gemm_tn_with(&at, &b, k, m, n, Parallelism::Parallel);
+        assert_close(&got, &reference(&at, &b, m, k, n, Op::Tn), 1e-4);
+
+        let a = pseudo(m * k, 9);
+        let bt = pseudo(n * k, 10);
+        let got = gemm_nt_with(&a, &bt, m, k, n, Parallelism::Parallel);
+        assert_close(&got, &reference(&a, &bt, m, k, n, Op::Nt), 1e-4);
+    }
+
+    #[test]
+    fn zero_times_nan_propagates() {
+        // Regression for the old `if a_ip == 0.0 { continue; }` shortcut:
+        // a zero lhs row must still pick up NaN/inf from the rhs.
+        let a = vec![0.0f32; 4]; // [2,2] of zeros
+        let b = vec![f32::NAN, f32::INFINITY, f32::INFINITY, f32::NAN];
+        for v in gemm_nn(&a, &b, 2, 2, 2) {
+            assert!(v.is_nan(), "0 x NaN / 0 x inf must yield NaN, got {v}");
+        }
+    }
+
+    #[test]
+    fn empty_dimensions_yield_zero_filled_output() {
+        assert_eq!(gemm_nn(&[], &[], 0, 0, 0), Vec::<f32>::new());
+        assert_eq!(gemm_nn(&[], &[], 2, 0, 3), vec![0.0; 6]);
+    }
+}

@@ -6,10 +6,13 @@
 //! element-wise arithmetic, matrix multiplication, reductions, and the
 //! `im2col`/`col2im` transformations used to express convolutions as GEMMs.
 //!
-//! The design goal is predictability rather than raw speed: every operation is
-//! implemented with straightforward loops over contiguous buffers so the
-//! gradient checks in `ensembler-nn` validate against an easily auditable
-//! reference.
+//! Most operations are implemented as straightforward loops over contiguous
+//! buffers so the gradient checks in `ensembler-nn` validate against an
+//! easily auditable reference. The exception is the hot path: the rank-2
+//! matrix products are backed by the blocked, parallel kernel in [`gemm`],
+//! and `im2col`/`col2im` parallelise over the batch dimension (see
+//! `docs/PERFORMANCE.md` at the repository root for the design and measured
+//! numbers).
 //!
 //! # Examples
 //!
@@ -24,10 +27,9 @@
 //! # Ok::<(), ensembler_tensor::ShapeError>(())
 //! ```
 
-#![warn(missing_docs)]
-
 mod conv;
 mod error;
+pub mod gemm;
 mod init;
 pub mod json;
 mod ops;

@@ -1,5 +1,6 @@
 //! Linear-algebra, axis-reduction and NCHW-structure operations on [`Tensor`].
 
+use crate::gemm;
 use crate::Tensor;
 
 impl Tensor {
@@ -8,6 +9,10 @@ impl Tensor {
     // ------------------------------------------------------------------
 
     /// Matrix product of two rank-2 tensors: `[m, k] x [k, n] -> [m, n]`.
+    ///
+    /// Backed by the blocked, parallel kernel in [`crate::gemm`]: large
+    /// products are cache-tiled and split across cores, small ones run a
+    /// plain serial loop.
     ///
     /// # Panics
     ///
@@ -18,26 +23,7 @@ impl Tensor {
         let (m, k) = (self.shape()[0], self.shape()[1]);
         let (k2, n) = (other.shape()[0], other.shape()[1]);
         assert_eq!(k, k2, "matmul inner dimensions differ: {k} vs {k2}");
-
-        let a = self.data();
-        let b = other.data();
-        let mut out = vec![0.0f32; m * n];
-        // Loop order (i, p, j) keeps the innermost accesses contiguous in both
-        // the output row and the rhs row, which is the cache-friendly layout
-        // for row-major buffers.
-        for i in 0..m {
-            for p in 0..k {
-                let a_ip = a[i * k + p];
-                if a_ip == 0.0 {
-                    continue;
-                }
-                let b_row = &b[p * n..(p + 1) * n];
-                let out_row = &mut out[i * n..(i + 1) * n];
-                for j in 0..n {
-                    out_row[j] += a_ip * b_row[j];
-                }
-            }
-        }
+        let out = gemm::gemm_nn(self.data(), other.data(), m, k, n);
         Tensor::from_vec(out, &[m, n]).expect("matmul output length is m*n")
     }
 
@@ -61,6 +47,10 @@ impl Tensor {
     /// Computes `self^T * other` without materialising the transpose:
     /// `[k, m]^T x [k, n] -> [m, n]`.
     ///
+    /// Backed by the blocked, parallel kernel in [`crate::gemm`]; the
+    /// transpose is folded into the kernel's packing step, so no extra copy
+    /// of the operand is made.
+    ///
     /// # Panics
     ///
     /// Panics if either operand is not rank-2 or the leading dimensions differ.
@@ -70,27 +60,15 @@ impl Tensor {
         let (k, m) = (self.shape()[0], self.shape()[1]);
         let (k2, n) = (other.shape()[0], other.shape()[1]);
         assert_eq!(k, k2, "matmul_tn leading dimensions differ: {k} vs {k2}");
-        let a = self.data();
-        let b = other.data();
-        let mut out = vec![0.0f32; m * n];
-        for p in 0..k {
-            let a_row = &a[p * m..(p + 1) * m];
-            let b_row = &b[p * n..(p + 1) * n];
-            for i in 0..m {
-                let a_pi = a_row[i];
-                if a_pi == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out[i * n..(i + 1) * n];
-                for j in 0..n {
-                    out_row[j] += a_pi * b_row[j];
-                }
-            }
-        }
+        let out = gemm::gemm_tn(self.data(), other.data(), k, m, n);
         Tensor::from_vec(out, &[m, n]).expect("matmul_tn output length is m*n")
     }
 
     /// Computes `self * other^T`: `[m, k] x [n, k]^T -> [m, n]`.
+    ///
+    /// Backed by the blocked, parallel kernel in [`crate::gemm`]; the
+    /// transpose is folded into the kernel's packing step, so no extra copy
+    /// of the operand is made.
     ///
     /// # Panics
     ///
@@ -101,20 +79,7 @@ impl Tensor {
         let (m, k) = (self.shape()[0], self.shape()[1]);
         let (n, k2) = (other.shape()[0], other.shape()[1]);
         assert_eq!(k, k2, "matmul_nt trailing dimensions differ: {k} vs {k2}");
-        let a = self.data();
-        let b = other.data();
-        let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let a_row = &a[i * k..(i + 1) * k];
-            for j in 0..n {
-                let b_row = &b[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for p in 0..k {
-                    acc += a_row[p] * b_row[p];
-                }
-                out[i * n + j] = acc;
-            }
-        }
+        let out = gemm::gemm_nt(self.data(), other.data(), m, k, n);
         Tensor::from_vec(out, &[m, n]).expect("matmul_nt output length is m*n")
     }
 
@@ -428,6 +393,24 @@ mod tests {
         let explicit2 = c.matmul(&d.transpose2());
         for (x, y) in via_nt.data().iter().zip(explicit2.data()) {
             assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn matmul_propagates_non_finite_rhs_through_zero_lhs() {
+        // Regression: the old kernels skipped zero lhs entries, silently
+        // laundering 0 x NaN and 0 x inf into 0.0 instead of NaN.
+        let zeros = Tensor::zeros(&[2, 2]);
+        let bad = Tensor::from_vec(vec![f32::NAN, f32::INFINITY, 1.0, 2.0], &[2, 2]).unwrap();
+        for v in zeros.matmul(&bad).data() {
+            assert!(v.is_nan(), "matmul swallowed a non-finite rhs: {v}");
+        }
+        for v in zeros.matmul_tn(&bad).data() {
+            assert!(v.is_nan(), "matmul_tn swallowed a non-finite rhs: {v}");
+        }
+        let bad_nt = Tensor::from_vec(vec![f32::NAN, 1.0, f32::INFINITY, 2.0], &[2, 2]).unwrap();
+        for v in zeros.matmul_nt(&bad_nt).data() {
+            assert!(v.is_nan(), "matmul_nt swallowed a non-finite rhs: {v}");
         }
     }
 

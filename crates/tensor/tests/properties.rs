@@ -1,7 +1,75 @@
 //! Property-based tests for the tensor kernel.
 
+use ensembler_tensor::gemm::{
+    gemm_nn_with, gemm_nt_with, gemm_tn_with, Parallelism, MR, NR, SMALL_THRESHOLD,
+};
 use ensembler_tensor::{col2im, im2col, Conv2dGeometry, Rng, Tensor};
 use proptest::prelude::*;
+
+/// Textbook O(m·k·n) product used as the oracle for the blocked kernels.
+fn naive_gemm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += a[i * k + p] * b[p * n + j];
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    out
+}
+
+fn transpose(x: &[f32], rows: usize, cols: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; rows * cols];
+    for r in 0..rows {
+        for c in 0..cols {
+            out[c * rows + r] = x[r * cols + c];
+        }
+    }
+    out
+}
+
+fn fill(len: usize, rng: &mut Rng) -> Vec<f32> {
+    (0..len).map(|_| rng.uniform(-2.0, 2.0)).collect()
+}
+
+fn assert_all_close(got: &[f32], want: &[f32], tol: f32) {
+    assert_eq!(got.len(), want.len());
+    for (i, (x, y)) in got.iter().zip(want).enumerate() {
+        prop_assert!(
+            (x - y).abs() <= tol * (1.0 + y.abs()),
+            "gemm mismatch at {i}: {x} vs {y}"
+        );
+    }
+}
+
+/// Shapes that straddle the interesting boundaries: unit dimensions,
+/// non-multiples of the MR/NR register tile, and sizes on both sides of the
+/// packing threshold.
+fn gemm_shape() -> impl Strategy<Value = (usize, usize, usize)> {
+    (0usize..8, any::<u64>()).prop_map(|(pick, seed)| {
+        let mut rng = Rng::seed_from(seed);
+        let odd = |lo: usize, hi: usize, rng: &mut Rng| lo + rng.below(hi - lo);
+        match pick {
+            0 => (1, odd(1, 40, &mut rng), odd(1, 40, &mut rng)), // m = 1
+            1 => (odd(1, 40, &mut rng), 1, odd(1, 40, &mut rng)), // k = 1
+            2 => (odd(1, 40, &mut rng), odd(1, 40, &mut rng), 1), // n = 1
+            // Ragged tile edges with k*n past SMALL_THRESHOLD so the packed
+            // kernel (not the small-product loop) handles them.
+            3 => (MR + 1, odd(94, 128, &mut rng), NR + 3),
+            // Past SMALL_THRESHOLD with non-multiple-of-block extents.
+            4 => (37, 41, 43),
+            5 => (MR * 9 + 2, 65, NR * 5 + 5),
+            _ => (
+                odd(1, 48, &mut rng),
+                odd(1, 48, &mut rng),
+                odd(1, 48, &mut rng),
+            ),
+        }
+    })
+}
 
 /// Strategy producing a small random tensor with a random 2-D shape.
 fn small_matrix() -> impl Strategy<Value = Tensor> {
@@ -133,6 +201,77 @@ proptest! {
             geom,
         ));
         prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn blocked_gemm_matches_naive_on_random_shapes((m, k, n) in gemm_shape(), seed in any::<u64>()) {
+        let mut rng = Rng::seed_from(seed);
+        let a = fill(m * k, &mut rng);
+        let b = fill(k * n, &mut rng);
+        let want = naive_gemm(&a, &b, m, k, n);
+        // Serial and parallel paths must both match the oracle, whatever side
+        // of the size thresholds the shape falls on.
+        assert_all_close(&gemm_nn_with(&a, &b, m, k, n, Parallelism::Serial), &want, 1e-4);
+        assert_all_close(&gemm_nn_with(&a, &b, m, k, n, Parallelism::Parallel), &want, 1e-4);
+    }
+
+    #[test]
+    fn transposed_gemm_variants_match_naive((m, k, n) in gemm_shape(), seed in any::<u64>()) {
+        let mut rng = Rng::seed_from(seed);
+        let a = fill(m * k, &mut rng);
+        let b = fill(k * n, &mut rng);
+        let want = naive_gemm(&a, &b, m, k, n);
+        // Aᵀ stored as [k,m] and Bᵀ stored as [n,k] must hit the same result
+        // through the transpose-aware packing, on both execution paths.
+        let a_t = transpose(&a, m, k);
+        let b_t = transpose(&b, k, n);
+        for par in [Parallelism::Serial, Parallelism::Parallel] {
+            assert_all_close(&gemm_tn_with(&a_t, &b, k, m, n, par), &want, 1e-4);
+            assert_all_close(&gemm_nt_with(&a, &b_t, m, k, n, par), &want, 1e-4);
+        }
+    }
+
+    #[test]
+    fn gemm_threshold_boundary_is_seamless(seed in any::<u64>()) {
+        // Shape pairs bracketing SMALL_THRESHOLD (which is on k*n only): the
+        // packed kernel and the small-path loop must both agree with the
+        // naive oracle on either side of the switch.
+        let mut rng = Rng::seed_from(seed);
+        for n in [31usize, 33] {
+            let (m, k) = (32usize, 32usize);
+            assert!((k * n < SMALL_THRESHOLD) == (n == 31));
+            let a = fill(m * k, &mut rng);
+            let b = fill(k * n, &mut rng);
+            let want = naive_gemm(&a, &b, m, k, n);
+            assert_all_close(&gemm_nn_with(&a, &b, m, k, n, Parallelism::Serial), &want, 1e-4);
+        }
+    }
+
+    #[test]
+    fn gemm_rows_are_batch_invariant((m, k, n) in gemm_shape(), seed in any::<u64>()) {
+        // The engine coalesces single-row requests into mini-batches, so row
+        // i of a product must be bit-exact whether computed alone or inside a
+        // larger batch (kernel path choice must not depend on m).
+        let mut rng = Rng::seed_from(seed);
+        let a = fill(m * k, &mut rng);
+        let b = fill(k * n, &mut rng);
+        let whole = gemm_nn_with(&a, &b, m, k, n, Parallelism::Serial);
+        let row0 = gemm_nn_with(&a[..k], &b, 1, k, n, Parallelism::Serial);
+        prop_assert_eq!(&whole[..n], &row0[..]);
+    }
+
+    #[test]
+    fn parallel_im2col_matches_row_extraction(x in small_nchw(), seed in any::<u64>()) {
+        // im2col over the whole batch must equal stitching per-item lowerings,
+        // which is exactly the invariant the batch-parallel split relies on.
+        let _ = seed;
+        let geom = Conv2dGeometry::new(3, 1, 1);
+        let whole = im2col(&x, geom);
+        let mut stitched = Vec::new();
+        for n in 0..x.shape()[0] {
+            stitched.extend_from_slice(im2col(&x.batch_item(n), geom).data());
+        }
+        prop_assert_eq!(whole.data(), &stitched[..]);
     }
 
     #[test]
