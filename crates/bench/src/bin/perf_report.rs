@@ -1,5 +1,6 @@
-//! Machine-readable performance baseline: GEMM kernels, layer forwards and
-//! end-to-end `Defense::predict`, written as a `BENCH_PERF.json` report.
+//! Machine-readable performance baseline: GEMM kernels, layer forwards,
+//! end-to-end `Defense::predict` and loopback-TCP serving, written as a
+//! `BENCH_PERF.json` report.
 //!
 //! Each GEMM shape is timed twice — once with the pre-PR serial scalar loops
 //! (reproduced here verbatim as the `naive` reference) and once with the
@@ -12,12 +13,15 @@
 //! Set `ENSEMBLER_SCALE=full` for more shapes and longer measurement budgets.
 //! See `docs/PERFORMANCE.md` for how to read and compare the JSON output.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ensembler::{Defense, EnsemblerPipeline, Selector};
 use ensembler_bench::ExperimentScale;
+use ensembler_latency::network_cost;
 use ensembler_nn::models::{build_body, build_head, build_tail, ResNetConfig};
 use ensembler_nn::{Conv2d, FixedNoise, Layer, Linear, Mode};
+use ensembler_serve::{demo_pipeline, DefenseServer, RemoteDefense, ServerConfig, WIRE_OVERHEAD};
 use ensembler_tensor::{JsonValue, Rng, Tensor};
 
 /// The pre-PR `matmul` loop (serial, scalar, with the zero-skip), kept as the
@@ -177,6 +181,68 @@ fn end_to_end_case(ensemble_size: usize, budget: Duration) -> JsonValue {
     ])
 }
 
+/// Serves the demo Ensembler on a loopback socket and times batched
+/// `predict` with the `server_outputs` stage remote vs fully in-process,
+/// alongside the wire bytes each request moves.
+fn serving_case(ensemble_size: usize, selected: usize, budget: Duration) -> JsonValue {
+    let pipeline: Arc<dyn Defense> =
+        Arc::new(demo_pipeline(ensemble_size, selected, 7).expect("valid demo pipeline"));
+    let server = DefenseServer::bind(
+        Arc::clone(&pipeline),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .expect("bind loopback server");
+    let remote =
+        RemoteDefense::connect(Arc::clone(&pipeline), server.local_addr()).expect("connect");
+
+    let config = pipeline.config().clone();
+    let batch = 32usize;
+    let mut rng = Rng::seed_from(11);
+    let images = Tensor::from_fn(
+        &[
+            batch,
+            config.input_channels,
+            config.image_size,
+            config.image_size,
+        ],
+        |_| rng.uniform(-1.0, 1.0),
+    );
+
+    let in_process_ms = time_ms(budget, || pipeline.predict(&images).expect("predict"));
+    let loopback_ms = time_ms(budget, || remote.predict(&images).expect("remote predict"));
+
+    let cost = network_cost(&config);
+    let upload_bytes = cost.upload_frame_bytes(batch as u64, &WIRE_OVERHEAD);
+    let return_bytes = cost.return_frame_bytes(batch as u64, ensemble_size as u64, &WIRE_OVERHEAD);
+    println!(
+        "  predict N={ensemble_size} batch={batch}: in-process {in_process_ms:8.3} ms ({:7.1} img/s) | loopback TCP {loopback_ms:8.3} ms ({:7.1} img/s) | +{:5.3} ms wire ({} B up, {} B down)",
+        batch as f64 / (in_process_ms * 1e-3),
+        batch as f64 / (loopback_ms * 1e-3),
+        loopback_ms - in_process_ms,
+        upload_bytes,
+        return_bytes,
+    );
+    obj(vec![
+        ("ensemble_size", JsonValue::Number(ensemble_size as f64)),
+        ("selected", JsonValue::Number(selected as f64)),
+        ("batch", JsonValue::Number(batch as f64)),
+        ("in_process_ms", num(in_process_ms)),
+        ("loopback_tcp_ms", num(loopback_ms)),
+        (
+            "in_process_images_per_s",
+            num(batch as f64 / (in_process_ms * 1e-3)),
+        ),
+        (
+            "loopback_images_per_s",
+            num(batch as f64 / (loopback_ms * 1e-3)),
+        ),
+        ("wire_overhead_ms", num(loopback_ms - in_process_ms)),
+        ("upload_frame_bytes", JsonValue::Number(upload_bytes as f64)),
+        ("return_frame_bytes", JsonValue::Number(return_bytes as f64)),
+    ])
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
@@ -215,15 +281,19 @@ fn main() {
     println!("End-to-end inference:");
     let e2e = end_to_end_case(4, budget);
 
+    println!("Loopback-TCP serving (crates/serve) vs in-process:");
+    let serving = serving_case(4, 2, budget);
+
     let report = obj(vec![
         ("report", JsonValue::String("perf_report".to_string())),
-        ("version", JsonValue::Number(1.0)),
+        ("version", JsonValue::Number(2.0)),
         ("unix_time_s", JsonValue::Number(epoch_s as f64)),
         ("cores", JsonValue::Number(cores as f64)),
         ("scale", JsonValue::String(format!("{scale:?}"))),
         ("gemm", JsonValue::Array(gemm)),
         ("layers", JsonValue::Array(layers)),
         ("end_to_end", e2e),
+        ("serving", serving),
     ]);
 
     std::fs::write(&out_path, report.render_pretty()).expect("write perf report");

@@ -65,6 +65,35 @@ impl EvalConfig {
 /// take `&self` — implementations must not mutate state during inference, so
 /// an `Arc<dyn Defense>` can serve concurrent requests with results
 /// bit-identical to sequential execution.
+///
+/// # Examples
+///
+/// Running the three pipeline stages by hand through `&dyn Defense` produces
+/// exactly what the composed [`Defense::predict`] does — the contract the
+/// networked split in `crates/serve` relies on when it moves the
+/// [`Defense::server_outputs`] stage to another machine:
+///
+/// ```
+/// use ensembler::{Defense, DefenseKind, SinglePipeline};
+/// use ensembler_nn::models::ResNetConfig;
+/// use ensembler_tensor::Tensor;
+///
+/// let pipeline = SinglePipeline::new(
+///     ResNetConfig::tiny_for_tests(),
+///     DefenseKind::AdditiveNoise { sigma: 0.1 },
+///     42,
+/// )?;
+/// let defense: &dyn Defense = &pipeline;
+///
+/// let images = Tensor::ones(&[2, 3, 8, 8]);
+/// let transmitted = defense.client_features(&images)?;
+/// let maps = defense.server_outputs(&transmitted)?;
+/// assert_eq!(maps.len(), defense.ensemble_size());
+/// let staged = defense.classify(&maps)?;
+///
+/// assert_eq!(staged, defense.predict(&images)?);
+/// # Ok::<(), ensembler::EnsemblerError>(())
+/// ```
 pub trait Defense: Send + Sync + std::fmt::Debug {
     /// The backbone configuration shared by the client and the server.
     fn config(&self) -> &ResNetConfig;

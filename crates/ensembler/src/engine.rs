@@ -8,12 +8,15 @@
 //! behind an `Arc` can serve many clients at once:
 //!
 //! * callers submit single `[C, H, W]` images from any thread via
-//!   [`InferenceEngine::predict_one`];
+//!   [`InferenceEngine::predict_one`], or single transmitted feature maps via
+//!   [`InferenceEngine::server_outputs_one`] (the unit the networked
+//!   `DefenseServer` in `crates/serve` forwards for remote clients);
 //! * worker threads coalesce queued requests into mini-batches of up to
-//!   `max_batch` images (waiting at most `batch_window` for stragglers);
-//! * each batch runs one [`Defense::predict`], inside which the `N` server
-//!   bodies fan out over the machine's cores
-//!   ([`ensembler_tensor::par_map`]).
+//!   `max_batch` items (waiting at most `batch_window` for stragglers),
+//!   partitioned by kind;
+//! * each batch runs one [`Defense::predict`] (or one
+//!   [`Defense::server_outputs`]), inside which the `N` server bodies fan out
+//!   over the machine's cores ([`ensembler_tensor::par_map`]).
 //!
 //! # Examples
 //!
@@ -94,19 +97,58 @@ struct StatsCells {
     max_batch: AtomicU64,
 }
 
-struct Request {
-    image: Tensor,
-    respond: Sender<Result<Tensor, EnsemblerError>>,
+/// One queued unit of work. The engine coalesces both kinds through the same
+/// queue; a worker partitions each drained batch by kind before executing it.
+enum Work {
+    /// A single image awaiting class logits ([`InferenceEngine::predict_one`]).
+    Predict {
+        image: Tensor,
+        respond: Sender<Result<Tensor, EnsemblerError>>,
+    },
+    /// A single transmitted feature map awaiting the `N` per-network maps
+    /// ([`InferenceEngine::server_outputs_one`]) — the unit the networked
+    /// `DefenseServer` submits on behalf of remote clients.
+    ServerOutputs {
+        features: Tensor,
+        respond: Sender<Result<Vec<Tensor>, EnsemblerError>>,
+    },
 }
 
 /// A thread-safe serving frontend over a shared [`Defense`].
 ///
 /// Dropping the engine shuts it down: the queue is closed and every worker
 /// is joined.
+///
+/// # Examples
+///
+/// ```
+/// use ensembler::{Defense, DefenseKind, EngineConfig, InferenceEngine, SinglePipeline};
+/// use ensembler_nn::models::ResNetConfig;
+/// use ensembler_tensor::Tensor;
+/// use std::sync::Arc;
+///
+/// let pipeline = Arc::new(SinglePipeline::new(
+///     ResNetConfig::tiny_for_tests(),
+///     DefenseKind::NoDefense,
+///     7,
+/// )?);
+/// let engine = InferenceEngine::new(pipeline, EngineConfig::default())?;
+///
+/// // Full predictions coalesce through the queue ...
+/// let logits = engine.predict_one(Tensor::ones(&[3, 8, 8]))?;
+/// assert_eq!(logits.shape(), &[3]);
+///
+/// // ... and so do bare server_outputs requests (the networked path): one
+/// // transmitted feature map in, N per-network feature maps out.
+/// let features = engine.defense().client_features(&Tensor::ones(&[1, 3, 8, 8]))?;
+/// let maps = engine.server_outputs_one(features)?;
+/// assert_eq!(maps.len(), engine.defense().ensemble_size());
+/// # Ok::<(), ensembler::EnsemblerError>(())
+/// ```
 #[derive(Debug)]
 pub struct InferenceEngine<D: Defense + ?Sized + 'static> {
     defense: Arc<D>,
-    sender: Option<Sender<Request>>,
+    sender: Option<Sender<Work>>,
     workers: Vec<JoinHandle<()>>,
     stats: Arc<StatsCells>,
 }
@@ -124,7 +166,7 @@ impl<D: Defense + ?Sized + 'static> InferenceEngine<D> {
                 "engine max_batch and workers must be positive".to_string(),
             ));
         }
-        let (sender, receiver) = channel::<Request>();
+        let (sender, receiver) = channel::<Work>();
         let receiver = Arc::new(Mutex::new(receiver));
         let stats = Arc::new(StatsCells::default());
         let workers = (0..config.workers)
@@ -160,33 +202,47 @@ impl<D: Defense + ?Sized + 'static> InferenceEngine<D> {
     /// Returns an error if the image shape is wrong, prediction fails, or
     /// the engine is shutting down.
     pub fn predict_one(&self, image: Tensor) -> Result<Tensor, EnsemblerError> {
-        let image = match image.rank() {
-            3 => {
-                let mut unsqueezed = vec![1];
-                unsqueezed.extend_from_slice(image.shape());
-                image
-                    .reshape(&unsqueezed)
-                    .expect("adding a batch axis preserves the element count")
-            }
-            4 if image.shape()[0] == 1 => image,
-            _ => {
-                return Err(EnsemblerError::ShapeMismatch(format!(
-                    "predict_one expects one [C, H, W] or [1, C, H, W] image, got {:?}",
-                    image.shape()
-                )))
-            }
-        };
-        let sender = self
-            .sender
-            .as_ref()
-            .expect("sender lives until the engine is dropped");
+        let image = ensure_single_item("predict_one", "image", image)?;
         let (respond, receive) = channel();
-        sender
-            .send(Request { image, respond })
-            .map_err(|_| EnsemblerError::Engine("request queue is closed".to_string()))?;
+        self.submit(Work::Predict { image, respond })?;
         receive
             .recv()
             .map_err(|_| EnsemblerError::Engine("worker dropped the request".to_string()))?
+    }
+
+    /// Evaluates all `N` server bodies on one transmitted feature map
+    /// (`[C, H, W]` or `[1, C, H, W]`), blocking until a worker has served it
+    /// as part of a coalesced mini-batch. Returns the `N` per-network feature
+    /// maps in index order, each with a leading batch axis of 1.
+    ///
+    /// This is the unit of work the networked `DefenseServer` submits for
+    /// remote single-image requests, so feature maps arriving on different
+    /// TCP connections coalesce into shared mini-batches exactly like local
+    /// [`InferenceEngine::predict_one`] calls do. The result is bit-identical
+    /// to an isolated [`Defense::server_outputs`] call on the same map: the
+    /// tensor kernels guarantee batch-size-independent results (see
+    /// `docs/PERFORMANCE.md`), which is what makes coalescing transparent.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the feature shape is wrong, the evaluation fails,
+    /// or the engine is shutting down.
+    pub fn server_outputs_one(&self, features: Tensor) -> Result<Vec<Tensor>, EnsemblerError> {
+        let features = ensure_single_item("server_outputs_one", "feature map", features)?;
+        let (respond, receive) = channel();
+        self.submit(Work::ServerOutputs { features, respond })?;
+        receive
+            .recv()
+            .map_err(|_| EnsemblerError::Engine("worker dropped the request".to_string()))?
+    }
+
+    /// Enqueues one unit of work for the worker pool.
+    fn submit(&self, work: Work) -> Result<(), EnsemblerError> {
+        self.sender
+            .as_ref()
+            .expect("sender lives until the engine is dropped")
+            .send(work)
+            .map_err(|_| EnsemblerError::Engine("request queue is closed".to_string()))
     }
 
     /// Classifies a pre-assembled `[B, C, H, W]` batch directly on the
@@ -219,9 +275,28 @@ impl<D: Defense + ?Sized + 'static> Drop for InferenceEngine<D> {
     }
 }
 
+/// Adds a leading batch axis of 1 to a rank-3 tensor, accepts an explicit
+/// `[1, ...]` rank-4 tensor, and rejects anything else.
+fn ensure_single_item(method: &str, what: &str, item: Tensor) -> Result<Tensor, EnsemblerError> {
+    match item.rank() {
+        3 => {
+            let mut unsqueezed = vec![1];
+            unsqueezed.extend_from_slice(item.shape());
+            Ok(item
+                .reshape(&unsqueezed)
+                .expect("adding a batch axis preserves the element count"))
+        }
+        4 if item.shape()[0] == 1 => Ok(item),
+        _ => Err(EnsemblerError::ShapeMismatch(format!(
+            "{method} expects one [C, H, W] or [1, C, H, W] {what}, got {:?}",
+            item.shape()
+        ))),
+    }
+}
+
 fn worker_loop<D: Defense + ?Sized>(
     defense: &D,
-    receiver: &Mutex<Receiver<Request>>,
+    receiver: &Mutex<Receiver<Work>>,
     stats: &StatsCells,
     config: EngineConfig,
 ) {
@@ -252,68 +327,139 @@ fn worker_loop<D: Defense + ?Sized>(
             batch
         };
 
-        // A panicking pipeline (e.g. a shape assert deep in a layer) must not
-        // kill the worker: callers would hang forever on an undrained queue.
-        // Catch the panic and answer every queued request with an error.
-        let result =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_batch(defense, &batch)))
-                .unwrap_or_else(|payload| {
-                    let message = payload
-                        .downcast_ref::<String>()
-                        .map(String::as_str)
-                        .or_else(|| payload.downcast_ref::<&str>().copied())
-                        .unwrap_or("prediction panicked");
-                    Err(EnsemblerError::Engine(format!(
-                        "prediction panicked: {message}"
-                    )))
-                });
-        stats.batches.fetch_add(1, Ordering::Relaxed);
-        stats
-            .requests
-            .fetch_add(batch.len() as u64, Ordering::Relaxed);
-        stats
-            .max_batch
-            .fetch_max(batch.len() as u64, Ordering::Relaxed);
-
-        match result {
-            Ok(rows) => {
-                for (request, row) in batch.into_iter().zip(rows) {
-                    let _ = request.respond.send(Ok(row));
-                }
+        // The queue mixes both work kinds; each kind batches among itself.
+        let mut predicts = Vec::new();
+        let mut outputs = Vec::new();
+        for work in batch {
+            match work {
+                Work::Predict { image, respond } => predicts.push((image, respond)),
+                Work::ServerOutputs { features, respond } => outputs.push((features, respond)),
             }
-            Err(error) => {
-                for request in batch {
-                    let _ = request.respond.send(Err(error.clone()));
-                }
+        }
+        if !predicts.is_empty() {
+            execute_group(defense, stats, predicts, run_predict_batch);
+        }
+        if !outputs.is_empty() {
+            execute_group(defense, stats, outputs, run_server_outputs_batch);
+        }
+    }
+}
+
+/// Runs one same-kind group as a single coalesced batch and answers every
+/// requester.
+///
+/// A panicking pipeline (e.g. a shape assert deep in a layer) must not kill
+/// the worker: callers would hang forever on an undrained queue. The panic is
+/// caught and every request in the group is answered with an error.
+fn execute_group<D: Defense + ?Sized, R: Clone>(
+    defense: &D,
+    stats: &StatsCells,
+    group: Vec<(Tensor, Sender<Result<R, EnsemblerError>>)>,
+    run: fn(&D, &[Tensor]) -> Result<Vec<R>, EnsemblerError>,
+) {
+    let inputs: Vec<Tensor> = group.iter().map(|(input, _)| input.clone()).collect();
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(defense, &inputs)))
+        .unwrap_or_else(|payload| {
+            Err(EnsemblerError::Engine(format!(
+                "prediction panicked: {}",
+                panic_message(payload.as_ref())
+            )))
+        });
+    stats.batches.fetch_add(1, Ordering::Relaxed);
+    stats
+        .requests
+        .fetch_add(group.len() as u64, Ordering::Relaxed);
+    stats
+        .max_batch
+        .fetch_max(group.len() as u64, Ordering::Relaxed);
+
+    match result {
+        Ok(rows) => {
+            for ((_, respond), row) in group.into_iter().zip(rows) {
+                let _ = respond.send(Ok(row));
+            }
+        }
+        Err(error) => {
+            for (_, respond) in group {
+                let _ = respond.send(Err(error.clone()));
             }
         }
     }
 }
 
-/// Stacks the queued images, runs one shared prediction and splits the
-/// logits back into per-request rows.
-fn run_batch<D: Defense + ?Sized>(
-    defense: &D,
-    batch: &[Request],
-) -> Result<Vec<Tensor>, EnsemblerError> {
-    let images: Vec<Tensor> = batch.iter().map(|r| r.image.clone()).collect();
-    let first_shape = images[0].shape().to_vec();
-    for image in &images[1..] {
-        if image.shape() != first_shape {
+/// Best-effort human-readable message from a caught panic payload, for
+/// converting `std::panic::catch_unwind` results into error values.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<String>()
+        .map(String::as_str)
+        .or_else(|| payload.downcast_ref::<&str>().copied())
+        .unwrap_or("panic payload was not a string")
+}
+
+/// Checks that every queued item has the same shape before stacking.
+fn ensure_uniform_shapes(inputs: &[Tensor]) -> Result<(), EnsemblerError> {
+    let first_shape = inputs[0].shape();
+    for input in &inputs[1..] {
+        if input.shape() != first_shape {
             return Err(EnsemblerError::ShapeMismatch(format!(
-                "cannot batch images of shapes {:?} and {:?}",
+                "cannot batch items of shapes {:?} and {:?}",
                 first_shape,
-                image.shape()
+                input.shape()
             )));
         }
     }
-    let stacked = Tensor::stack_batch(&images);
+    Ok(())
+}
+
+/// Stacks the queued images, runs one shared prediction and splits the
+/// logits back into per-request rows.
+fn run_predict_batch<D: Defense + ?Sized>(
+    defense: &D,
+    images: &[Tensor],
+) -> Result<Vec<Tensor>, EnsemblerError> {
+    ensure_uniform_shapes(images)?;
+    let stacked = Tensor::stack_batch(images);
     let logits = defense.predict(&stacked)?;
     let classes = logits.shape()[1];
-    Ok((0..batch.len())
+    Ok((0..images.len())
         .map(|row| {
             let data = logits.data()[row * classes..(row + 1) * classes].to_vec();
             Tensor::from_vec(data, &[classes]).expect("row length matches")
+        })
+        .collect())
+}
+
+/// Stacks the queued feature maps, runs one shared [`Defense::server_outputs`]
+/// and splits each of the `N` returned maps back into per-request rows (each
+/// keeping a leading batch axis of 1).
+fn run_server_outputs_batch<D: Defense + ?Sized>(
+    defense: &D,
+    features: &[Tensor],
+) -> Result<Vec<Vec<Tensor>>, EnsemblerError> {
+    ensure_uniform_shapes(features)?;
+    let stacked = Tensor::stack_batch(features);
+    let maps = defense.server_outputs(&stacked)?;
+    let rows = features.len();
+    for map in &maps {
+        if map.shape().first() != Some(&rows) {
+            return Err(EnsemblerError::ShapeMismatch(format!(
+                "server body returned shape {:?} for a batch of {rows} feature maps",
+                map.shape()
+            )));
+        }
+    }
+    Ok((0..rows)
+        .map(|row| {
+            maps.iter()
+                .map(|map| {
+                    let row_len = map.len() / rows;
+                    let mut shape = map.shape().to_vec();
+                    shape[0] = 1;
+                    let data = map.data()[row * row_len..(row + 1) * row_len].to_vec();
+                    Tensor::from_vec(data, &shape).expect("row slice matches shape")
+                })
+                .collect()
         })
         .collect())
 }
@@ -417,6 +563,69 @@ mod tests {
         assert!(stats.batches_executed <= stats.requests_served);
         assert!(stats.mean_batch_occupancy() >= 1.0);
         assert!(stats.max_batch_observed >= 1);
+    }
+
+    #[test]
+    fn server_outputs_one_matches_direct_evaluation() {
+        let engine = tiny_engine(1, 4);
+        let image = Tensor::from_fn(&[1, 3, 8, 8], |i| (i as f32 * 0.017).sin());
+        let features = engine.defense().client_features(&image).unwrap();
+        let coalesced = engine.server_outputs_one(features.clone()).unwrap();
+        let direct = engine.defense().server_outputs(&features).unwrap();
+        assert_eq!(coalesced, direct);
+    }
+
+    #[test]
+    fn mixed_work_kinds_coalesce_without_cross_talk() {
+        let engine = Arc::new(tiny_engine(2, 8));
+        let images: Vec<Tensor> = (0..6)
+            .map(|k| Tensor::from_fn(&[3, 8, 8], |i| ((i + 17 * k) as f32 * 0.011).cos()))
+            .collect();
+        let expected_logits: Vec<Tensor> = images
+            .iter()
+            .map(|img| engine.predict_one(img.clone()).unwrap())
+            .collect();
+        let expected_maps: Vec<Vec<Tensor>> = images
+            .iter()
+            .map(|img| {
+                let batched = img.reshape(&[1, 3, 8, 8]).unwrap();
+                let features = engine.defense().client_features(&batched).unwrap();
+                engine.defense().server_outputs(&features).unwrap()
+            })
+            .collect();
+
+        std::thread::scope(|scope| {
+            let mut logit_handles = Vec::new();
+            let mut map_handles = Vec::new();
+            for img in &images {
+                let predict_engine = Arc::clone(&engine);
+                logit_handles
+                    .push(scope.spawn(move || predict_engine.predict_one(img.clone()).unwrap()));
+                let outputs_engine = Arc::clone(&engine);
+                map_handles.push(scope.spawn(move || {
+                    let batched = img.reshape(&[1, 3, 8, 8]).unwrap();
+                    let features = outputs_engine.defense().client_features(&batched).unwrap();
+                    outputs_engine.server_outputs_one(features).unwrap()
+                }));
+            }
+            let logits: Vec<Tensor> = logit_handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect();
+            let maps: Vec<Vec<Tensor>> =
+                map_handles.into_iter().map(|h| h.join().unwrap()).collect();
+            assert_eq!(logits, expected_logits);
+            assert_eq!(maps, expected_maps);
+        });
+    }
+
+    #[test]
+    fn server_outputs_one_rejects_batched_input() {
+        let engine = tiny_engine(1, 2);
+        let err = engine
+            .server_outputs_one(Tensor::ones(&[2, 3, 4, 4]))
+            .unwrap_err();
+        assert!(matches!(err, EnsemblerError::ShapeMismatch(_)));
     }
 
     #[test]

@@ -33,6 +33,9 @@ pub enum EnsemblerError {
     /// The inference engine could not serve a request (for example because it
     /// is shutting down).
     Engine(String),
+    /// A networked stage failed: the connection to a remote defense server
+    /// broke, the peer sent a malformed frame, or it reported an error.
+    Transport(String),
 }
 
 impl fmt::Display for EnsemblerError {
@@ -50,6 +53,7 @@ impl fmt::Display for EnsemblerError {
             EnsemblerError::WireFormat(msg) => write!(f, "malformed wire payload: {msg}"),
             EnsemblerError::EmptyDataset => write!(f, "operation requires a non-empty dataset"),
             EnsemblerError::Engine(msg) => write!(f, "inference engine failure: {msg}"),
+            EnsemblerError::Transport(msg) => write!(f, "transport failure: {msg}"),
         }
     }
 }
@@ -86,6 +90,10 @@ mod tests {
             (
                 EnsemblerError::Engine("shutdown".into()),
                 "inference engine failure: shutdown",
+            ),
+            (
+                EnsemblerError::Transport("connection reset".into()),
+                "transport failure: connection reset",
             ),
         ];
         for (err, needle) in cases {

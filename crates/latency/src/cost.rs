@@ -40,6 +40,34 @@ impl LayerCost {
     }
 }
 
+/// Framing overhead of a length-framed tensor wire protocol, in bytes.
+///
+/// The analytic model historically counted only raw `f32` payload bytes
+/// (`upload_bytes`, `return_bytes`). With the networked serving path in
+/// `crates/serve` those terms became measurable, and real frames carry
+/// protocol overhead on top: a frame header and checksum trailer, a
+/// per-tensor header (magic + rank + dimensions) and, for tensor lists, a
+/// count word plus per-tensor length prefixes.
+///
+/// `ensembler-serve` exports its actual layout as a `WireOverhead` constant
+/// and a test over there asserts that [`NetworkCost::upload_frame_bytes`] /
+/// [`NetworkCost::return_frame_bytes`] computed from this model equal the
+/// byte length of genuinely encoded frames, so the analytic model cannot
+/// silently drift from the implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireOverhead {
+    /// Fixed bytes per frame: header plus checksum trailer.
+    pub frame_bytes: u64,
+    /// Fixed bytes per encoded tensor: magic word plus rank word.
+    pub tensor_base_bytes: u64,
+    /// Bytes per shape dimension of an encoded tensor.
+    pub per_dim_bytes: u64,
+    /// Bytes for the count word preceding a list of tensors.
+    pub list_header_bytes: u64,
+    /// Bytes for the length prefix in front of each tensor in a list.
+    pub per_tensor_prefix_bytes: u64,
+}
+
 /// Per-partition cost of the split backbone for a single sample.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NetworkCost {
@@ -60,6 +88,41 @@ impl NetworkCost {
     /// Total client FLOPs (head plus tail) for a single network.
     pub fn client_flops(&self) -> u64 {
         self.head_flops + self.tail_flops
+    }
+
+    /// Exact byte length of the request frame a client sends to upload the
+    /// transmitted features for a batch of `batch` images.
+    ///
+    /// The upload is one rank-4 `[B, C, H, W]` tensor, so the frame is the
+    /// fixed frame overhead plus one tensor header with four dimension words
+    /// plus `batch` copies of the per-sample payload (`upload_bytes`).
+    pub fn upload_frame_bytes(&self, batch: u64, overhead: &WireOverhead) -> u64 {
+        overhead.frame_bytes
+            + overhead.tensor_base_bytes
+            + 4 * overhead.per_dim_bytes
+            + self.upload_bytes * batch
+    }
+
+    /// Exact byte length of the response frame a server sends back with the
+    /// `ensemble_size` per-network feature maps for a batch of `batch` images.
+    ///
+    /// The response is a list of `ensemble_size` rank-2 `[B, F]` tensors:
+    /// fixed frame overhead, a list count word, and per tensor a length
+    /// prefix, a tensor header with two dimension words and `batch` copies of
+    /// the per-sample payload (`return_bytes`).
+    pub fn return_frame_bytes(
+        &self,
+        batch: u64,
+        ensemble_size: u64,
+        overhead: &WireOverhead,
+    ) -> u64 {
+        overhead.frame_bytes
+            + overhead.list_header_bytes
+            + ensemble_size
+                * (overhead.per_tensor_prefix_bytes
+                    + overhead.tensor_base_bytes
+                    + 2 * overhead.per_dim_bytes
+                    + self.return_bytes * batch)
     }
 }
 
@@ -168,6 +231,26 @@ mod tests {
         let unpooled = network_cost(&ResNetConfig::paper_resnet18(100, 32, false));
         assert_eq!(unpooled.upload_bytes, 4 * pooled.upload_bytes);
         assert!(unpooled.body_flops > pooled.body_flops);
+    }
+
+    #[test]
+    fn frame_byte_model_adds_overhead_on_top_of_payload() {
+        let cost = network_cost(&ResNetConfig::paper_resnet18(10, 32, true));
+        let overhead = WireOverhead {
+            frame_bytes: 16,
+            tensor_base_bytes: 8,
+            per_dim_bytes: 4,
+            list_header_bytes: 4,
+            per_tensor_prefix_bytes: 4,
+        };
+        assert_eq!(
+            cost.upload_frame_bytes(2, &overhead),
+            16 + 8 + 4 * 4 + 2 * cost.upload_bytes
+        );
+        assert_eq!(
+            cost.return_frame_bytes(2, 3, &overhead),
+            16 + 4 + 3 * (4 + 8 + 2 * 4 + 2 * cost.return_bytes)
+        );
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub mod cost;
 pub mod deployment;
 pub mod estimate;
 
-pub use cost::{network_cost, LayerCost, NetworkCost};
+pub use cost::{network_cost, LayerCost, NetworkCost, WireOverhead};
 pub use deployment::{DeploymentProfile, DeviceProfile, LinkProfile};
 pub use estimate::{
     estimate_defense, estimate_ensembler, estimate_ensembler_multi_server, estimate_stamp,

@@ -1,0 +1,81 @@
+//! Stand-alone edge client: connects to a running `serve_defense` process,
+//! runs split inference with the `server_outputs` stage on the remote side,
+//! and cross-checks the result against a fully local prediction.
+//!
+//! Usage: `cargo run -p ensembler-serve --bin remote_client --release \
+//!     [-- ADDR [N] [P] [SEED] [BATCH]]`
+//! Defaults: `127.0.0.1:7878 4 2 17 8` — the `N P SEED` triple must match
+//! the server's so both processes hold bit-identical weights.
+
+use ensembler::Defense;
+use ensembler_serve::{demo_pipeline, RemoteDefense};
+use ensembler_tensor::{Rng, Tensor};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn parse_arg<T: std::str::FromStr>(position: usize, default: T) -> T {
+    std::env::args()
+        .nth(position)
+        .and_then(|raw| raw.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let addr = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let n: usize = parse_arg(2, 4);
+    let p: usize = parse_arg(3, 2);
+    let seed: u64 = parse_arg(4, 17);
+    let batch: usize = parse_arg(5, 8);
+
+    let local: Arc<dyn Defense> = Arc::new(demo_pipeline(n, p, seed)?);
+    let remote = RemoteDefense::connect(Arc::clone(&local), addr.as_str())?;
+    println!(
+        "connected to {} at {addr} (protocol v{})",
+        remote.peer_label(),
+        remote.negotiated_version()
+    );
+
+    let config = local.config().clone();
+    let mut rng = Rng::seed_from(seed ^ 0x5EED);
+    let images = Tensor::from_fn(
+        &[
+            batch,
+            config.input_channels,
+            config.image_size,
+            config.image_size,
+        ],
+        |_| rng.uniform(-1.0, 1.0),
+    );
+
+    let start = Instant::now();
+    let remote_logits = remote.predict(&images)?;
+    let remote_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let start = Instant::now();
+    let local_logits = local.predict(&images)?;
+    let local_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let max_diff = remote_logits
+        .data()
+        .iter()
+        .zip(local_logits.data())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+
+    println!("batch of {batch}: remote {remote_ms:.2} ms, in-process {local_ms:.2} ms");
+    println!(
+        "max |remote - local| over {} logits: {max_diff} ({})",
+        remote_logits.len(),
+        if max_diff == 0.0 {
+            "bit-identical"
+        } else {
+            "MISMATCH — do N/P/SEED match the server?"
+        }
+    );
+    if max_diff != 0.0 {
+        std::process::exit(1);
+    }
+    Ok(())
+}

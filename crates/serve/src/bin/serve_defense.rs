@@ -1,0 +1,71 @@
+//! Stand-alone defense server: the untrusted-cloud process of the paper's
+//! deployment.
+//!
+//! Builds the deterministic demo Ensembler (so a `remote_client` given the
+//! same `N P SEED` holds a bit-identical replica) and serves its
+//! `server_outputs` stage over TCP until killed.
+//!
+//! Usage: `cargo run -p ensembler-serve --bin serve_defense --release \
+//!     [-- ADDR [N] [P] [SEED]]`
+//! Defaults: `127.0.0.1:7878 4 2 17`.
+
+use ensembler::Defense;
+use ensembler_serve::{demo_pipeline, DefenseServer, ServerConfig};
+use std::sync::Arc;
+
+fn parse_arg<T: std::str::FromStr>(position: usize, default: T) -> T {
+    std::env::args()
+        .nth(position)
+        .and_then(|raw| raw.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let addr = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let n: usize = parse_arg(2, 4);
+    let p: usize = parse_arg(3, 2);
+    let seed: u64 = parse_arg(4, 17);
+
+    let pipeline: Arc<dyn Defense> = Arc::new(demo_pipeline(n, p, seed)?);
+    let server = DefenseServer::bind(
+        Arc::clone(&pipeline),
+        addr.as_str(),
+        ServerConfig::default(),
+    )?;
+    println!(
+        "serving {} (N={} P={} seed={}) on {}",
+        pipeline.label(),
+        n,
+        p,
+        seed,
+        server.local_addr()
+    );
+    println!("stop with Ctrl-C; connect with:");
+    println!(
+        "  cargo run -p ensembler-serve --bin remote_client --release -- {} {} {} {}",
+        server.local_addr(),
+        n,
+        p,
+        seed
+    );
+
+    let mut last = server.stats();
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(5));
+        let stats = server.stats();
+        if stats != last {
+            let engine = server.engine_stats();
+            println!(
+                "{} connections, {} requests served, {} errors sent | engine: {} batches, mean occupancy {:.2}",
+                stats.connections_accepted,
+                stats.requests_served,
+                stats.errors_sent,
+                engine.batches_executed,
+                engine.mean_batch_occupancy()
+            );
+            last = stats;
+        }
+    }
+}

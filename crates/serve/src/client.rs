@@ -1,0 +1,179 @@
+//! [`RemoteDefense`]: the trusted-edge half of the paper's deployment — a
+//! [`Defense`] whose `server_outputs` stage travels over TCP to a
+//! [`crate::DefenseServer`] instead of running in-process.
+
+use crate::error::ServeError;
+use crate::protocol::{
+    read_message, write_message, Hello, HelloAck, Message, DEFAULT_MAX_PAYLOAD_BYTES,
+    PROTOCOL_VERSION,
+};
+use ensembler::{Defense, EnsemblerError};
+use ensembler_nn::models::ResNetConfig;
+use ensembler_nn::Sequential;
+use ensembler_tensor::Tensor;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::Mutex;
+
+/// A [`Defense`] implementation that keeps the client-side stages
+/// ([`Defense::client_features`], [`Defense::classify`]) on a local replica
+/// and ships the transmitted features to a remote [`crate::DefenseServer`]
+/// for the [`Defense::server_outputs`] stage — the actual deployment
+/// boundary of the paper's threat model.
+///
+/// The local replica provides the head, the secret selector and the tail
+/// (and, for attack experiments, [`Defense::server_bodies`] — under the
+/// threat model the adversary *is* the server and owns those weights
+/// anyway). At connect time the handshake cross-checks the replica's label,
+/// `N` and `P` against what the server reports, so a client pointed at the
+/// wrong deployment fails fast instead of silently misclassifying.
+///
+/// Because every existing consumer — attacks, benchmarks, the latency model,
+/// the engine — programs against `&dyn Defense`, swapping an in-process
+/// pipeline for a `RemoteDefense` requires no change anywhere else.
+///
+/// # Examples
+///
+/// See [`crate::DefenseServer`] for a complete loopback round trip.
+#[derive(Debug)]
+pub struct RemoteDefense {
+    local: std::sync::Arc<dyn Defense>,
+    stream: Mutex<TcpStream>,
+    peer: HelloAck,
+    max_payload_bytes: u32,
+}
+
+impl RemoteDefense {
+    /// Connects to a [`crate::DefenseServer`] at `addr`, performs the version
+    /// handshake and validates that the server's pipeline matches the local
+    /// replica.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the connection or handshake fails, the server
+    /// speaks no shared protocol version, or the server-reported pipeline
+    /// (label, `N`, `P`) disagrees with the local replica.
+    pub fn connect(
+        local: std::sync::Arc<dyn Defense>,
+        addr: impl ToSocketAddrs,
+    ) -> Result<Self, ServeError> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        write_message(
+            &mut stream,
+            &Message::Hello(Hello {
+                max_version: PROTOCOL_VERSION,
+            }),
+        )?;
+        let peer = match read_message(&mut stream, DEFAULT_MAX_PAYLOAD_BYTES)? {
+            Message::HelloAck(ack) => ack,
+            Message::Error(wire) => return Err(ServeError::Remote(wire)),
+            other => {
+                return Err(ServeError::Protocol(format!(
+                    "expected HelloAck, got {:?}",
+                    other.message_type()
+                )))
+            }
+        };
+        if peer.version == 0 || peer.version > PROTOCOL_VERSION {
+            return Err(ServeError::UnsupportedVersion {
+                offered: peer.version,
+                supported: PROTOCOL_VERSION,
+            });
+        }
+        if peer.label != local.label()
+            || peer.ensemble_size as usize != local.ensemble_size()
+            || peer.selected_count as usize != local.selected_count()
+        {
+            return Err(ServeError::Protocol(format!(
+                "server pipeline ({} N={} P={}) does not match the local replica ({} N={} P={})",
+                peer.label,
+                peer.ensemble_size,
+                peer.selected_count,
+                local.label(),
+                local.ensemble_size(),
+                local.selected_count()
+            )));
+        }
+        Ok(Self {
+            local,
+            stream: Mutex::new(stream),
+            peer,
+            max_payload_bytes: DEFAULT_MAX_PAYLOAD_BYTES,
+        })
+    }
+
+    /// The protocol version negotiated with the server.
+    pub fn negotiated_version(&self) -> u16 {
+        self.peer.version
+    }
+
+    /// The pipeline description the server reported at handshake time.
+    pub fn peer_label(&self) -> &str {
+        &self.peer.label
+    }
+
+    /// One request/response exchange on the shared connection.
+    fn exchange(&self, transmitted: &Tensor) -> Result<Vec<Tensor>, ServeError> {
+        let mut stream = self
+            .stream
+            .lock()
+            .map_err(|_| ServeError::Protocol("connection mutex poisoned".to_string()))?;
+        write_message(
+            &mut *stream,
+            &Message::ServerOutputsRequest {
+                transmitted: transmitted.clone(),
+            },
+        )?;
+        match read_message(&mut *stream, self.max_payload_bytes)? {
+            Message::ServerOutputsResponse { maps } => Ok(maps),
+            Message::Error(wire) => Err(ServeError::Remote(wire)),
+            other => Err(ServeError::Protocol(format!(
+                "expected ServerOutputsResponse, got {:?}",
+                other.message_type()
+            ))),
+        }
+    }
+}
+
+impl Defense for RemoteDefense {
+    fn config(&self) -> &ResNetConfig {
+        self.local.config()
+    }
+
+    fn label(&self) -> &str {
+        self.local.label()
+    }
+
+    /// The local replica's bodies. Under the threat model the adversary owns
+    /// the server weights, so attack experiments read them from here exactly
+    /// as they would from an in-process pipeline.
+    fn server_bodies(&self) -> &[Sequential] {
+        self.local.server_bodies()
+    }
+
+    fn selected_count(&self) -> usize {
+        self.local.selected_count()
+    }
+
+    fn client_features(&self, images: &Tensor) -> Result<Tensor, EnsemblerError> {
+        self.local.client_features(images)
+    }
+
+    /// Ships the transmitted features to the remote server and returns the
+    /// `N` per-network feature maps it sends back.
+    fn server_outputs(&self, transmitted: &Tensor) -> Result<Vec<Tensor>, EnsemblerError> {
+        let maps = self.exchange(transmitted)?;
+        if maps.len() != self.local.ensemble_size() {
+            return Err(EnsemblerError::Transport(format!(
+                "server returned {} maps for an ensemble of {}",
+                maps.len(),
+                self.local.ensemble_size()
+            )));
+        }
+        Ok(maps)
+    }
+
+    fn classify(&self, server_maps: &[Tensor]) -> Result<Tensor, EnsemblerError> {
+        self.local.classify(server_maps)
+    }
+}

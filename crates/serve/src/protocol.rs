@@ -1,0 +1,702 @@
+//! The versioned, length-framed binary protocol spoken between
+//! [`RemoteDefense`](crate::RemoteDefense) and
+//! [`DefenseServer`](crate::DefenseServer).
+//!
+//! Every message travels in one frame:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     frame magic 0x454E5357 ("ENSW"), big-endian
+//! 4       2     protocol version (currently 1), big-endian
+//! 6       1     message type
+//! 7       1     flags (must be zero in version 1)
+//! 8       4     payload length in bytes, big-endian
+//! 12      n     payload (layout depends on the message type)
+//! 12+n    4     CRC-32 (IEEE) over header + payload, big-endian
+//! ```
+//!
+//! Tensors inside payloads reuse the workspace wire format
+//! ([`ensembler::split::encode_features`]): a tensor magic word, the rank,
+//! the dimensions (all big-endian `u32`) and the raw little-endian `f32`
+//! data. The data section is contiguous and 4-byte aligned within the
+//! payload, so a receiver that keeps the frame buffer alive can reinterpret
+//! it in place instead of copying. The byte-exact layout, including worked
+//! example frames, is specified in `docs/WIRE_PROTOCOL.md`; the
+//! `wire_examples` test encodes the documented frames and fails if document
+//! and implementation drift apart.
+//!
+//! # Examples
+//!
+//! ```
+//! use ensembler_serve::protocol::{decode_message, encode_message, Hello, Message};
+//!
+//! let frame = encode_message(&Message::Hello(Hello { max_version: 1 }));
+//! assert_eq!(&frame[..4], &0x454E5357u32.to_be_bytes());
+//! match decode_message(&frame)? {
+//!     Message::Hello(hello) => assert_eq!(hello.max_version, 1),
+//!     other => panic!("unexpected message {other:?}"),
+//! }
+//! # Ok::<(), ensembler_serve::ServeError>(())
+//! ```
+
+use crate::error::ServeError;
+use ensembler::split::{decode_features, encode_features};
+use ensembler_latency::WireOverhead;
+use ensembler_tensor::Tensor;
+
+/// Magic word opening every frame ("ENSW", for ENSembler Wire).
+pub const FRAME_MAGIC: u32 = 0x454E_5357;
+
+/// The protocol version this build speaks (and the only one so far).
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Fixed frame header size: magic + version + type + flags + payload length.
+pub const FRAME_HEADER_BYTES: usize = 12;
+
+/// Fixed frame trailer size: the CRC-32 checksum.
+pub const FRAME_TRAILER_BYTES: usize = 4;
+
+/// Default cap on the payload length a peer will accept (64 MiB), protecting
+/// the receiver from allocating on behalf of a corrupt or hostile length
+/// field.
+pub const DEFAULT_MAX_PAYLOAD_BYTES: u32 = 64 * 1024 * 1024;
+
+/// The framing overhead of this protocol in the vocabulary of the analytic
+/// latency model.
+///
+/// `crates/latency` computes expected frame sizes from this constant
+/// ([`ensembler_latency::NetworkCost::upload_frame_bytes`]); the
+/// `wire_cost_drift` test asserts those predictions equal the length of
+/// frames actually produced by [`encode_message`].
+pub const WIRE_OVERHEAD: WireOverhead = WireOverhead {
+    frame_bytes: (FRAME_HEADER_BYTES + FRAME_TRAILER_BYTES) as u64,
+    // Tensor magic word + rank word (see `ensembler::split::encode_features`).
+    tensor_base_bytes: 8,
+    per_dim_bytes: 4,
+    list_header_bytes: 4,
+    per_tensor_prefix_bytes: 4,
+};
+
+/// Message type discriminants as they appear in byte 6 of the frame header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum MessageType {
+    /// Client → server: opens a connection and offers a protocol version.
+    Hello = 0x01,
+    /// Server → client: accepts the connection and pins the version.
+    HelloAck = 0x02,
+    /// Client → server: a batch of transmitted feature maps to evaluate.
+    ServerOutputsRequest = 0x03,
+    /// Server → client: the `N` per-network feature maps.
+    ServerOutputsResponse = 0x04,
+    /// Either direction: a terminal or per-request error report.
+    Error = 0x7F,
+}
+
+impl MessageType {
+    fn from_byte(byte: u8) -> Result<Self, ServeError> {
+        Ok(match byte {
+            0x01 => MessageType::Hello,
+            0x02 => MessageType::HelloAck,
+            0x03 => MessageType::ServerOutputsRequest,
+            0x04 => MessageType::ServerOutputsResponse,
+            0x7F => MessageType::Error,
+            other => {
+                return Err(ServeError::Frame(format!(
+                    "unknown message type {other:#04x}"
+                )))
+            }
+        })
+    }
+}
+
+/// Error codes carried by [`Message::Error`] frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u16)]
+pub enum ErrorCode {
+    /// The peers share no protocol version.
+    UnsupportedVersion = 1,
+    /// A frame could not be parsed (bad magic, bad length, trailing bytes…).
+    MalformedFrame = 2,
+    /// The frame parsed but its CRC-32 did not match.
+    ChecksumMismatch = 3,
+    /// The message type was valid but not legal in the current state.
+    UnexpectedMessage = 4,
+    /// The defense pipeline rejected the request (shape mismatch etc.).
+    Inference = 5,
+    /// Any other server-side failure.
+    Internal = 6,
+}
+
+impl ErrorCode {
+    /// Parses a wire error code, mapping unknown codes to
+    /// [`ErrorCode::Internal`] so newer peers stay readable.
+    pub fn from_u16(code: u16) -> Self {
+        match code {
+            1 => ErrorCode::UnsupportedVersion,
+            2 => ErrorCode::MalformedFrame,
+            3 => ErrorCode::ChecksumMismatch,
+            4 => ErrorCode::UnexpectedMessage,
+            5 => ErrorCode::Inference,
+            _ => ErrorCode::Internal,
+        }
+    }
+}
+
+/// Payload of a [`Message::Hello`]: the highest protocol version the client
+/// can speak. The server answers with the version both sides will use
+/// (the minimum of the two maxima) or an
+/// [`ErrorCode::UnsupportedVersion`] error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hello {
+    /// Highest protocol version the sender supports.
+    pub max_version: u16,
+}
+
+/// Payload of a [`Message::HelloAck`]: the negotiated version plus enough
+/// about the served pipeline for the client to check its local replica
+/// against.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HelloAck {
+    /// The protocol version both sides will speak from now on.
+    pub version: u16,
+    /// [`ensembler::Defense::label`] of the served pipeline.
+    pub label: String,
+    /// Ensemble size `N` of the served pipeline.
+    pub ensemble_size: u32,
+    /// Selected count `P` of the served pipeline.
+    pub selected_count: u32,
+}
+
+/// Payload of a [`Message::Error`]: a machine-readable code and a
+/// human-readable description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// What went wrong, coarsely.
+    pub code: ErrorCode,
+    /// Details for the human reading the logs.
+    pub message: String,
+}
+
+/// One protocol message, ready to be framed by [`encode_message`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Connection opening offer.
+    Hello(Hello),
+    /// Connection acceptance.
+    HelloAck(HelloAck),
+    /// A `[B, C, H, W]` batch of transmitted feature maps to evaluate on all
+    /// `N` server bodies.
+    ServerOutputsRequest {
+        /// The client-protected features, as produced by
+        /// [`ensembler::Defense::client_features`].
+        transmitted: Tensor,
+    },
+    /// The `N` per-network feature maps, in index order.
+    ServerOutputsResponse {
+        /// One `[B, F]` feature map per server body.
+        maps: Vec<Tensor>,
+    },
+    /// An error report.
+    Error(WireError),
+}
+
+impl Message {
+    /// The header discriminant for this message.
+    pub fn message_type(&self) -> MessageType {
+        match self {
+            Message::Hello(_) => MessageType::Hello,
+            Message::HelloAck(_) => MessageType::HelloAck,
+            Message::ServerOutputsRequest { .. } => MessageType::ServerOutputsRequest,
+            Message::ServerOutputsResponse { .. } => MessageType::ServerOutputsResponse,
+            Message::Error(_) => MessageType::Error,
+        }
+    }
+}
+
+/// CRC-32 (IEEE 802.3, the zlib polynomial) over `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const fn make_table() -> [u32; 256] {
+        let mut table = [0u32; 256];
+        let mut n = 0usize;
+        while n < 256 {
+            let mut c = n as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            table[n] = c;
+            n += 1;
+        }
+        table
+    }
+    const TABLE: [u32; 256] = make_table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in bytes {
+        crc = TABLE[((crc ^ byte as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+fn put_u32(buf: &mut Vec<u8>, value: u32) {
+    buf.extend_from_slice(&value.to_be_bytes());
+}
+
+fn put_string(buf: &mut Vec<u8>, value: &str) {
+    put_u32(buf, value.len() as u32);
+    buf.extend_from_slice(value.as_bytes());
+}
+
+fn put_tensor_list(buf: &mut Vec<u8>, tensors: &[Tensor]) {
+    put_u32(buf, tensors.len() as u32);
+    for tensor in tensors {
+        let blob = encode_features(tensor);
+        put_u32(buf, blob.len() as u32);
+        buf.extend_from_slice(&blob);
+    }
+}
+
+/// A strict little parser over a payload slice: every read is
+/// bounds-checked, and [`Cursor::finish`] rejects trailing bytes so no
+/// malformed payload can decode by accident.
+struct Cursor<'a> {
+    rest: &'a [u8],
+}
+
+impl<'a> Cursor<'a> {
+    fn new(rest: &'a [u8]) -> Self {
+        Self { rest }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], ServeError> {
+        if self.rest.len() < n {
+            return Err(ServeError::Frame(format!(
+                "payload truncated inside the {what}: need {n} bytes, have {}",
+                self.rest.len()
+            )));
+        }
+        let (head, rest) = self.rest.split_at(n);
+        self.rest = rest;
+        Ok(head)
+    }
+
+    fn take_u16(&mut self, what: &str) -> Result<u16, ServeError> {
+        Ok(u16::from_be_bytes(
+            self.take(2, what)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    fn take_u32(&mut self, what: &str) -> Result<u32, ServeError> {
+        Ok(u32::from_be_bytes(
+            self.take(4, what)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn take_string(&mut self, what: &str) -> Result<String, ServeError> {
+        let len = self.take_u32(what)? as usize;
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| ServeError::Frame(format!("{what} is not valid UTF-8")))
+    }
+
+    fn take_tensor_list(&mut self, what: &str) -> Result<Vec<Tensor>, ServeError> {
+        let count = self.take_u32(what)? as usize;
+        // Each tensor costs at least a length prefix + tensor header, so an
+        // absurd count cannot force an absurd allocation.
+        if count > self.rest.len() / 12 {
+            return Err(ServeError::Frame(format!(
+                "{what} declares {count} tensors but only {} payload bytes remain",
+                self.rest.len()
+            )));
+        }
+        let mut tensors = Vec::with_capacity(count);
+        for index in 0..count {
+            let len = self.take_u32(what)? as usize;
+            let blob = self.take(len, what)?;
+            let tensor = decode_features(blob).map_err(|e| {
+                ServeError::Frame(format!("{what} tensor {index} is malformed: {e}"))
+            })?;
+            tensors.push(tensor);
+        }
+        Ok(tensors)
+    }
+
+    fn finish(self, what: &str) -> Result<(), ServeError> {
+        if self.rest.is_empty() {
+            Ok(())
+        } else {
+            Err(ServeError::Frame(format!(
+                "{} trailing bytes after the {what}",
+                self.rest.len()
+            )))
+        }
+    }
+}
+
+/// Encodes one message into a complete frame (header, payload, checksum).
+pub fn encode_message(message: &Message) -> Vec<u8> {
+    let mut payload = Vec::new();
+    match message {
+        Message::Hello(hello) => {
+            payload.extend_from_slice(&hello.max_version.to_be_bytes());
+        }
+        Message::HelloAck(ack) => {
+            payload.extend_from_slice(&ack.version.to_be_bytes());
+            put_string(&mut payload, &ack.label);
+            put_u32(&mut payload, ack.ensemble_size);
+            put_u32(&mut payload, ack.selected_count);
+        }
+        Message::ServerOutputsRequest { transmitted } => {
+            payload.extend_from_slice(&encode_features(transmitted));
+        }
+        Message::ServerOutputsResponse { maps } => {
+            put_tensor_list(&mut payload, maps);
+        }
+        Message::Error(error) => {
+            payload.extend_from_slice(&(error.code as u16).to_be_bytes());
+            put_string(&mut payload, &error.message);
+        }
+    }
+
+    let mut frame = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len() + FRAME_TRAILER_BYTES);
+    frame.extend_from_slice(&FRAME_MAGIC.to_be_bytes());
+    frame.extend_from_slice(&PROTOCOL_VERSION.to_be_bytes());
+    frame.push(message.message_type() as u8);
+    frame.push(0); // flags
+    frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    frame.extend_from_slice(&payload);
+    let checksum = crc32(&frame);
+    frame.extend_from_slice(&checksum.to_be_bytes());
+    frame
+}
+
+/// Decodes one complete frame produced by [`encode_message`].
+///
+/// # Errors
+///
+/// Returns [`ServeError::Frame`] for any structural problem (bad magic,
+/// unknown type, non-zero flags, truncation, trailing bytes, malformed
+/// tensors), [`ServeError::UnsupportedVersion`] for a version this build
+/// cannot parse, and [`ServeError::Checksum`] when the CRC-32 disagrees.
+pub fn decode_message(frame: &[u8]) -> Result<Message, ServeError> {
+    if frame.len() < FRAME_HEADER_BYTES + FRAME_TRAILER_BYTES {
+        return Err(ServeError::Frame(format!(
+            "frame of {} bytes is shorter than header + checksum",
+            frame.len()
+        )));
+    }
+    let magic = u32::from_be_bytes(frame[0..4].try_into().expect("4 bytes"));
+    if magic != FRAME_MAGIC {
+        return Err(ServeError::Frame(format!(
+            "bad frame magic {magic:#010x}, expected {FRAME_MAGIC:#010x}"
+        )));
+    }
+    let version = u16::from_be_bytes(frame[4..6].try_into().expect("2 bytes"));
+    if version == 0 || version > PROTOCOL_VERSION {
+        return Err(ServeError::UnsupportedVersion {
+            offered: version,
+            supported: PROTOCOL_VERSION,
+        });
+    }
+    let message_type = MessageType::from_byte(frame[6])?;
+    if frame[7] != 0 {
+        return Err(ServeError::Frame(format!(
+            "non-zero flags {:#04x} in a version-1 frame",
+            frame[7]
+        )));
+    }
+    let payload_len = u32::from_be_bytes(frame[8..12].try_into().expect("4 bytes")) as usize;
+    if frame.len() != FRAME_HEADER_BYTES + payload_len + FRAME_TRAILER_BYTES {
+        return Err(ServeError::Frame(format!(
+            "frame of {} bytes disagrees with declared payload length {payload_len}",
+            frame.len()
+        )));
+    }
+    let checksum_offset = FRAME_HEADER_BYTES + payload_len;
+    let expected = crc32(&frame[..checksum_offset]);
+    let found = u32::from_be_bytes(
+        frame[checksum_offset..checksum_offset + 4]
+            .try_into()
+            .expect("4 bytes"),
+    );
+    if expected != found {
+        return Err(ServeError::Checksum { expected, found });
+    }
+
+    let mut cursor = Cursor::new(&frame[FRAME_HEADER_BYTES..checksum_offset]);
+    let message = match message_type {
+        MessageType::Hello => {
+            let max_version = cursor.take_u16("Hello payload")?;
+            cursor.finish("Hello payload")?;
+            Message::Hello(Hello { max_version })
+        }
+        MessageType::HelloAck => {
+            let version = cursor.take_u16("HelloAck payload")?;
+            let label = cursor.take_string("HelloAck label")?;
+            let ensemble_size = cursor.take_u32("HelloAck payload")?;
+            let selected_count = cursor.take_u32("HelloAck payload")?;
+            cursor.finish("HelloAck payload")?;
+            Message::HelloAck(HelloAck {
+                version,
+                label,
+                ensemble_size,
+                selected_count,
+            })
+        }
+        MessageType::ServerOutputsRequest => {
+            let blob = cursor.rest;
+            let transmitted = decode_features(blob)
+                .map_err(|e| ServeError::Frame(format!("request tensor is malformed: {e}")))?;
+            Message::ServerOutputsRequest { transmitted }
+        }
+        MessageType::ServerOutputsResponse => {
+            let maps = cursor.take_tensor_list("response payload")?;
+            cursor.finish("response payload")?;
+            Message::ServerOutputsResponse { maps }
+        }
+        MessageType::Error => {
+            let code = ErrorCode::from_u16(cursor.take_u16("Error payload")?);
+            let message = cursor.take_string("Error message")?;
+            cursor.finish("Error payload")?;
+            Message::Error(WireError { code, message })
+        }
+    };
+    Ok(message)
+}
+
+/// Writes one framed message to `writer` and flushes it.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_message(
+    writer: &mut impl std::io::Write,
+    message: &Message,
+) -> Result<(), ServeError> {
+    writer.write_all(&encode_message(message))?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// Reads exactly one framed message from `reader`, refusing payloads longer
+/// than `max_payload_bytes` before allocating for them.
+///
+/// # Errors
+///
+/// Propagates I/O errors (including clean EOF as
+/// [`std::io::ErrorKind::UnexpectedEof`]) and every [`decode_message`]
+/// error.
+pub fn read_message(
+    reader: &mut impl std::io::Read,
+    max_payload_bytes: u32,
+) -> Result<Message, ServeError> {
+    let mut header = [0u8; FRAME_HEADER_BYTES];
+    reader.read_exact(&mut header)?;
+    let payload_len = u32::from_be_bytes(header[8..12].try_into().expect("4 bytes"));
+    if payload_len > max_payload_bytes {
+        return Err(ServeError::Frame(format!(
+            "declared payload of {payload_len} bytes exceeds the {max_payload_bytes}-byte limit"
+        )));
+    }
+    let mut frame = vec![0u8; FRAME_HEADER_BYTES + payload_len as usize + FRAME_TRAILER_BYTES];
+    frame[..FRAME_HEADER_BYTES].copy_from_slice(&header);
+    reader.read_exact(&mut frame[FRAME_HEADER_BYTES..])?;
+    decode_message(&frame)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(message: Message) -> Message {
+        decode_message(&encode_message(&message)).expect("round trip")
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The canonical IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn every_message_kind_round_trips() {
+        let messages = vec![
+            Message::Hello(Hello { max_version: 7 }),
+            Message::HelloAck(HelloAck {
+                version: 1,
+                label: "Ensembler".to_string(),
+                ensemble_size: 10,
+                selected_count: 4,
+            }),
+            Message::ServerOutputsRequest {
+                transmitted: Tensor::from_fn(&[2, 3, 4, 4], |i| (i as f32 * 0.1).sin()),
+            },
+            Message::ServerOutputsResponse {
+                maps: (0..3)
+                    .map(|k| Tensor::from_fn(&[2, 5], |i| (i + k) as f32))
+                    .collect(),
+            },
+            Message::Error(WireError {
+                code: ErrorCode::Inference,
+                message: "shape mismatch".to_string(),
+            }),
+        ];
+        for message in messages {
+            assert_eq!(round_trip(message.clone()), message);
+        }
+    }
+
+    #[test]
+    fn empty_response_round_trips() {
+        let message = Message::ServerOutputsResponse { maps: Vec::new() };
+        assert_eq!(round_trip(message.clone()), message);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut frame = encode_message(&Message::Hello(Hello { max_version: 1 }));
+        frame[0] ^= 0xFF;
+        assert!(matches!(decode_message(&frame), Err(ServeError::Frame(_))));
+    }
+
+    #[test]
+    fn future_version_is_rejected_as_unsupported() {
+        let mut frame = encode_message(&Message::Hello(Hello { max_version: 1 }));
+        frame[4..6].copy_from_slice(&99u16.to_be_bytes());
+        // Re-stamp the checksum so the version check is what fires.
+        let crc_offset = frame.len() - FRAME_TRAILER_BYTES;
+        let crc = crc32(&frame[..crc_offset]);
+        frame[crc_offset..].copy_from_slice(&crc.to_be_bytes());
+        assert!(matches!(
+            decode_message(&frame),
+            Err(ServeError::UnsupportedVersion {
+                offered: 99,
+                supported: PROTOCOL_VERSION
+            })
+        ));
+    }
+
+    #[test]
+    fn corrupted_payload_fails_the_checksum() {
+        let mut frame = encode_message(&Message::ServerOutputsRequest {
+            transmitted: Tensor::ones(&[1, 2, 2, 2]),
+        });
+        let byte = FRAME_HEADER_BYTES + 10;
+        frame[byte] ^= 0x01;
+        assert!(matches!(
+            decode_message(&frame),
+            Err(ServeError::Checksum { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_message_type_is_rejected() {
+        let mut frame = encode_message(&Message::Hello(Hello { max_version: 1 }));
+        frame[6] = 0x42;
+        let crc_offset = frame.len() - FRAME_TRAILER_BYTES;
+        let crc = crc32(&frame[..crc_offset]);
+        frame[crc_offset..].copy_from_slice(&crc.to_be_bytes());
+        let err = decode_message(&frame).unwrap_err();
+        assert!(err.to_string().contains("unknown message type"));
+    }
+
+    #[test]
+    fn nonzero_flags_are_rejected() {
+        let mut frame = encode_message(&Message::Hello(Hello { max_version: 1 }));
+        frame[7] = 0x80;
+        let crc_offset = frame.len() - FRAME_TRAILER_BYTES;
+        let crc = crc32(&frame[..crc_offset]);
+        frame[crc_offset..].copy_from_slice(&crc.to_be_bytes());
+        assert!(matches!(decode_message(&frame), Err(ServeError::Frame(_))));
+    }
+
+    #[test]
+    fn truncated_and_oversized_frames_are_rejected() {
+        let frame = encode_message(&Message::Hello(Hello { max_version: 1 }));
+        assert!(decode_message(&frame[..frame.len() - 1]).is_err());
+        assert!(decode_message(&frame[..4]).is_err());
+        assert!(decode_message(&[]).is_err());
+        let mut padded = frame.clone();
+        padded.push(0);
+        assert!(decode_message(&padded).is_err());
+    }
+
+    #[test]
+    fn trailing_payload_bytes_are_rejected() {
+        // Hand-build a Hello frame whose payload is one byte too long.
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&FRAME_MAGIC.to_be_bytes());
+        frame.extend_from_slice(&PROTOCOL_VERSION.to_be_bytes());
+        frame.push(MessageType::Hello as u8);
+        frame.push(0);
+        frame.extend_from_slice(&3u32.to_be_bytes());
+        frame.extend_from_slice(&[0, 1, 0xAA]);
+        let crc = crc32(&frame);
+        frame.extend_from_slice(&crc.to_be_bytes());
+        let err = decode_message(&frame).unwrap_err();
+        assert!(err.to_string().contains("trailing bytes"), "{err}");
+    }
+
+    #[test]
+    fn absurd_tensor_count_is_rejected_before_allocating() {
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&FRAME_MAGIC.to_be_bytes());
+        frame.extend_from_slice(&PROTOCOL_VERSION.to_be_bytes());
+        frame.push(MessageType::ServerOutputsResponse as u8);
+        frame.push(0);
+        frame.extend_from_slice(&4u32.to_be_bytes());
+        frame.extend_from_slice(&u32::MAX.to_be_bytes()); // tensor count
+        let crc = crc32(&frame);
+        frame.extend_from_slice(&crc.to_be_bytes());
+        let err = decode_message(&frame).unwrap_err();
+        assert!(err.to_string().contains("tensors"), "{err}");
+    }
+
+    #[test]
+    fn read_message_enforces_the_payload_cap() {
+        let frame = encode_message(&Message::ServerOutputsRequest {
+            transmitted: Tensor::ones(&[1, 4, 8, 8]),
+        });
+        let mut reader = frame.as_slice();
+        let err = read_message(&mut reader, 16).unwrap_err();
+        assert!(err.to_string().contains("limit"), "{err}");
+        let mut reader = frame.as_slice();
+        assert!(read_message(&mut reader, DEFAULT_MAX_PAYLOAD_BYTES).is_ok());
+    }
+
+    #[test]
+    fn unknown_error_codes_degrade_to_internal() {
+        assert_eq!(ErrorCode::from_u16(999), ErrorCode::Internal);
+        assert_eq!(ErrorCode::from_u16(5), ErrorCode::Inference);
+    }
+
+    #[test]
+    fn wire_overhead_constant_matches_the_encoder() {
+        // Upload: one rank-4 tensor.
+        let transmitted = Tensor::ones(&[2, 3, 4, 4]);
+        let frame = encode_message(&Message::ServerOutputsRequest {
+            transmitted: transmitted.clone(),
+        });
+        let expected = WIRE_OVERHEAD.frame_bytes
+            + WIRE_OVERHEAD.tensor_base_bytes
+            + 4 * WIRE_OVERHEAD.per_dim_bytes
+            + 4 * transmitted.len() as u64;
+        assert_eq!(frame.len() as u64, expected);
+
+        // Return: a list of rank-2 tensors.
+        let maps: Vec<Tensor> = (0..3).map(|_| Tensor::ones(&[2, 5])).collect();
+        let frame = encode_message(&Message::ServerOutputsResponse { maps: maps.clone() });
+        let per_tensor = WIRE_OVERHEAD.per_tensor_prefix_bytes
+            + WIRE_OVERHEAD.tensor_base_bytes
+            + 2 * WIRE_OVERHEAD.per_dim_bytes
+            + 4 * maps[0].len() as u64;
+        let expected = WIRE_OVERHEAD.frame_bytes + WIRE_OVERHEAD.list_header_bytes + 3 * per_tensor;
+        assert_eq!(frame.len() as u64, expected);
+    }
+}

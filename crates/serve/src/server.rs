@@ -1,0 +1,353 @@
+//! The multi-threaded TCP [`DefenseServer`]: the untrusted-cloud half of the
+//! paper's deployment, serving [`ensembler::Defense::server_outputs`] over
+//! sockets.
+//!
+//! Each accepted connection gets a reader thread that speaks the framed
+//! protocol of [`crate::protocol`]. Single-image requests are fed through the
+//! shared [`InferenceEngine`] queue, so feature maps arriving on *different*
+//! connections coalesce into joint mini-batches exactly like local callers
+//! do; pre-batched requests run directly on the reader thread (they are
+//! already a batch, and inside [`ensembler::Defense::server_outputs`] the `N`
+//! bodies still fan out over the cores).
+
+use crate::error::ServeError;
+use crate::protocol::{
+    read_message, write_message, ErrorCode, Hello, HelloAck, Message, WireError,
+    DEFAULT_MAX_PAYLOAD_BYTES, PROTOCOL_VERSION,
+};
+use ensembler::{Defense, EngineConfig, InferenceEngine};
+use ensembler_tensor::Tensor;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Tuning knobs of a [`DefenseServer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Configuration of the shared [`InferenceEngine`] behind the sockets.
+    pub engine: EngineConfig,
+    /// Largest request payload a connection will accept, in bytes.
+    pub max_payload_bytes: u32,
+    /// How long a reader thread waits for the next frame before closing the
+    /// connection (`None` = wait forever). The default (2 minutes) bounds
+    /// how long an idle, trickling or half-open peer can pin an OS thread;
+    /// a timed-out client simply reconnects.
+    pub read_timeout: Option<std::time::Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            engine: EngineConfig::default(),
+            max_payload_bytes: DEFAULT_MAX_PAYLOAD_BYTES,
+            read_timeout: Some(std::time::Duration::from_secs(120)),
+        }
+    }
+}
+
+/// Counters describing what a server has done so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// TCP connections accepted (including ones that failed the handshake).
+    pub connections_accepted: u64,
+    /// `ServerOutputsRequest` frames answered with a response.
+    pub requests_served: u64,
+    /// Error frames sent to clients.
+    pub errors_sent: u64,
+}
+
+#[derive(Debug, Default)]
+struct ServerStatsCells {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    errors: AtomicU64,
+}
+
+/// A TCP frontend serving any [`Defense`]'s `server_outputs` stage.
+///
+/// Binding spawns an accept loop plus one reader thread per connection;
+/// dropping the server stops accepting new connections and joins the accept
+/// loop (established connections end when their clients disconnect or after
+/// [`ServerConfig::read_timeout`] of idleness).
+///
+/// # Examples
+///
+/// ```
+/// use ensembler::{DefenseKind, SinglePipeline};
+/// use ensembler_nn::models::ResNetConfig;
+/// use ensembler_serve::{DefenseServer, RemoteDefense, ServerConfig};
+/// use ensembler_tensor::Tensor;
+/// use std::sync::Arc;
+///
+/// let pipeline: Arc<dyn ensembler::Defense> = Arc::new(SinglePipeline::new(
+///     ResNetConfig::tiny_for_tests(),
+///     DefenseKind::NoDefense,
+///     5,
+/// )?);
+/// let server = DefenseServer::bind(
+///     Arc::clone(&pipeline),
+///     "127.0.0.1:0",
+///     ServerConfig::default(),
+/// )?;
+///
+/// // A remote client with the same client-side replica predicts through the
+/// // socket and gets bit-identical logits.
+/// let remote = RemoteDefense::connect(Arc::clone(&pipeline), server.local_addr())?;
+/// let images = Tensor::ones(&[2, 3, 8, 8]);
+/// use ensembler::Defense;
+/// assert_eq!(remote.predict(&images)?, pipeline.predict(&images)?);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct DefenseServer {
+    local_addr: SocketAddr,
+    running: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+    stats: Arc<ServerStatsCells>,
+    engine: Arc<InferenceEngine<dyn Defense>>,
+}
+
+impl DefenseServer {
+    /// Binds a listener on `addr` (use port 0 for an ephemeral port) and
+    /// starts serving `defense`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the bind fails or the engine configuration is
+    /// invalid.
+    pub fn bind(
+        defense: Arc<dyn Defense>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> Result<Self, ServeError> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let engine = Arc::new(InferenceEngine::new(defense, config.engine)?);
+        let running = Arc::new(AtomicBool::new(true));
+        let stats = Arc::new(ServerStatsCells::default());
+
+        let accept_running = Arc::clone(&running);
+        let accept_engine = Arc::clone(&engine);
+        let accept_stats = Arc::clone(&stats);
+        let accept_handle = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if !accept_running.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                accept_stats.connections.fetch_add(1, Ordering::Relaxed);
+                let engine = Arc::clone(&accept_engine);
+                let stats = Arc::clone(&accept_stats);
+                std::thread::spawn(move || {
+                    // Connection failures only affect that client; the error
+                    // has already been reported over the wire where possible.
+                    let _ = serve_connection(stream, &engine, &stats, config);
+                });
+            }
+        });
+
+        Ok(Self {
+            local_addr,
+            running,
+            accept_handle: Some(accept_handle),
+            stats,
+            engine,
+        })
+    }
+
+    /// The address the server is listening on (with the ephemeral port
+    /// resolved).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The defense this server exposes.
+    pub fn defense(&self) -> &dyn Defense {
+        self.engine.defense()
+    }
+
+    /// A snapshot of the serving counters.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            connections_accepted: self.stats.connections.load(Ordering::Relaxed),
+            requests_served: self.stats.requests.load(Ordering::Relaxed),
+            errors_sent: self.stats.errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Coalescing statistics of the engine behind the sockets.
+    pub fn engine_stats(&self) -> ensembler::EngineStats {
+        self.engine.stats()
+    }
+}
+
+impl Drop for DefenseServer {
+    fn drop(&mut self) {
+        self.running.store(false, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection to ourselves.
+        // A wildcard bind address (0.0.0.0 / ::) is not connectable on every
+        // platform, so aim at the matching loopback instead.
+        let mut unblock = self.local_addr;
+        if unblock.ip().is_unspecified() {
+            unblock.set_ip(match unblock.ip() {
+                std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect(unblock);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Sends an error frame, counting it; I/O failures while reporting are
+/// swallowed (the connection is going away regardless).
+fn send_error(stream: &mut TcpStream, stats: &ServerStatsCells, code: ErrorCode, message: String) {
+    stats.errors.fetch_add(1, Ordering::Relaxed);
+    let _ = write_message(stream, &Message::Error(WireError { code, message }));
+}
+
+/// Maps a receive failure to the error frame the client should see.
+fn receive_failure_report(error: &ServeError) -> Option<(ErrorCode, String)> {
+    match error {
+        // Disconnects (including clean EOF between frames) are not errors.
+        ServeError::Io(_) => None,
+        ServeError::Checksum { .. } => Some((ErrorCode::ChecksumMismatch, error.to_string())),
+        ServeError::UnsupportedVersion { .. } => {
+            Some((ErrorCode::UnsupportedVersion, error.to_string()))
+        }
+        _ => Some((ErrorCode::MalformedFrame, error.to_string())),
+    }
+}
+
+/// Drives one connection: handshake, then a request/response loop.
+fn serve_connection(
+    mut stream: TcpStream,
+    engine: &InferenceEngine<dyn Defense>,
+    stats: &ServerStatsCells,
+    config: ServerConfig,
+) -> Result<(), ServeError> {
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(config.read_timeout).ok();
+
+    // Handshake: the first frame must be a Hello offering a version range we
+    // overlap with; everything else is answered with an error and a hangup.
+    match read_message(&mut stream, config.max_payload_bytes) {
+        Ok(Message::Hello(Hello { max_version })) => {
+            if max_version < 1 {
+                send_error(
+                    &mut stream,
+                    stats,
+                    ErrorCode::UnsupportedVersion,
+                    format!("client speaks up to v{max_version}, server requires at least v1"),
+                );
+                return Ok(());
+            }
+            let defense = engine.defense();
+            let ack = HelloAck {
+                version: PROTOCOL_VERSION.min(max_version),
+                label: defense.label().to_string(),
+                ensemble_size: defense.ensemble_size() as u32,
+                selected_count: defense.selected_count() as u32,
+            };
+            write_message(&mut stream, &Message::HelloAck(ack))?;
+        }
+        Ok(other) => {
+            send_error(
+                &mut stream,
+                stats,
+                ErrorCode::UnexpectedMessage,
+                format!("expected Hello, got {:?}", other.message_type()),
+            );
+            return Ok(());
+        }
+        Err(error) => {
+            if let Some((code, message)) = receive_failure_report(&error) {
+                send_error(&mut stream, stats, code, message);
+            }
+            return Err(error);
+        }
+    }
+
+    loop {
+        match read_message(&mut stream, config.max_payload_bytes) {
+            Ok(Message::ServerOutputsRequest { transmitted }) => {
+                match run_request(engine, transmitted) {
+                    Ok(maps) => {
+                        // Count before writing: a client that has its answer
+                        // must already see itself in the stats.
+                        stats.requests.fetch_add(1, Ordering::Relaxed);
+                        write_message(&mut stream, &Message::ServerOutputsResponse { maps })?;
+                    }
+                    // Inference errors are per-request: report and keep the
+                    // connection alive for the next request.
+                    Err(error) => {
+                        send_error(&mut stream, stats, ErrorCode::Inference, error.to_string())
+                    }
+                }
+            }
+            Ok(Message::Error(_)) => return Ok(()), // client gave up; hang up
+            Ok(other) => {
+                send_error(
+                    &mut stream,
+                    stats,
+                    ErrorCode::UnexpectedMessage,
+                    format!(
+                        "expected ServerOutputsRequest, got {:?}",
+                        other.message_type()
+                    ),
+                );
+                return Ok(());
+            }
+            Err(error) => {
+                let report = receive_failure_report(&error);
+                return match report {
+                    Some((code, message)) => {
+                        send_error(&mut stream, stats, code, message);
+                        Err(error)
+                    }
+                    None => Ok(()), // client disconnected
+                };
+            }
+        }
+    }
+}
+
+/// Evaluates one request batch, routing single images through the shared
+/// coalescing queue and pre-assembled batches straight to the pipeline.
+///
+/// The feature shape is validated against the served backbone *before* the
+/// request can reach the coalescing queue: an untrusted peer's malformed
+/// request must fail alone, never poison a mini-batch it shares with honest
+/// requests from other connections.
+fn run_request(
+    engine: &InferenceEngine<dyn Defense>,
+    transmitted: Tensor,
+) -> Result<Vec<Tensor>, ensembler::EnsemblerError> {
+    let expected = engine.defense().config().head_output_shape();
+    let shape = transmitted.shape();
+    if shape.len() != 4 || shape[0] == 0 || shape[1..] != expected[..] {
+        return Err(ensembler::EnsemblerError::ShapeMismatch(format!(
+            "request features {shape:?} do not match the served head output [B, {}, {}, {}]",
+            expected[0], expected[1], expected[2]
+        )));
+    }
+    if shape[0] == 1 {
+        // The engine catches pipeline panics itself.
+        engine.server_outputs_one(transmitted)
+    } else {
+        // Direct path: a panic (e.g. a shape assert deep in a layer) must
+        // become a per-request error, not a dead reader thread.
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.defense().server_outputs(&transmitted)
+        }))
+        .unwrap_or_else(|payload| {
+            Err(ensembler::EnsemblerError::Engine(format!(
+                "server_outputs panicked: {}",
+                ensembler::engine::panic_message(payload.as_ref())
+            )))
+        })
+    }
+}

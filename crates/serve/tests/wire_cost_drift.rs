@@ -1,0 +1,90 @@
+//! Anti-drift tests tying the analytic latency model to the real protocol:
+//! the byte counts `ensembler-latency` predicts for upload/return frames
+//! must equal the length of frames actually produced by the encoder, for
+//! every backbone the workspace ships. If either side changes without the
+//! other, these tests fail.
+
+use ensembler::Defense;
+use ensembler_latency::network_cost;
+use ensembler_nn::models::ResNetConfig;
+use ensembler_serve::demo_pipeline;
+use ensembler_serve::protocol::{encode_message, Message, WIRE_OVERHEAD};
+use ensembler_tensor::Tensor;
+
+fn configs() -> Vec<(&'static str, ResNetConfig)> {
+    vec![
+        ("tiny_for_tests", ResNetConfig::tiny_for_tests()),
+        ("cifar10_like", ResNetConfig::cifar10_like()),
+        ("cifar100_like", ResNetConfig::cifar100_like()),
+        ("paper_resnet18", ResNetConfig::paper_resnet18(10, 32, true)),
+    ]
+}
+
+#[test]
+fn upload_frame_bytes_match_the_encoder_for_every_backbone() {
+    for (name, config) in configs() {
+        let cost = network_cost(&config);
+        let head = config.head_output_shape();
+        for batch in [1usize, 8] {
+            let transmitted = Tensor::zeros(&[batch, head[0], head[1], head[2]]);
+            let frame = encode_message(&Message::ServerOutputsRequest { transmitted });
+            assert_eq!(
+                frame.len() as u64,
+                cost.upload_frame_bytes(batch as u64, &WIRE_OVERHEAD),
+                "upload frame size drifted from the analytic model for {name} batch {batch}"
+            );
+        }
+    }
+}
+
+#[test]
+fn return_frame_bytes_match_the_encoder_for_every_backbone() {
+    for (name, config) in configs() {
+        let cost = network_cost(&config);
+        let features = config.body_output_features();
+        for batch in [1usize, 8] {
+            for ensemble_size in [1usize, 4] {
+                let maps: Vec<Tensor> = (0..ensemble_size)
+                    .map(|_| Tensor::zeros(&[batch, features]))
+                    .collect();
+                let frame = encode_message(&Message::ServerOutputsResponse { maps });
+                assert_eq!(
+                    frame.len() as u64,
+                    cost.return_frame_bytes(batch as u64, ensemble_size as u64, &WIRE_OVERHEAD),
+                    "return frame size drifted from the analytic model for {name} \
+                     batch {batch} N {ensemble_size}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn a_live_pipelines_frames_match_the_model_end_to_end() {
+    // Not just synthetic zero tensors: run a real pipeline's client and
+    // server stages and check the frames they would put on the wire.
+    let pipeline = demo_pipeline(3, 2, 77).unwrap();
+    let cost = network_cost(pipeline.config());
+    let batch = 2usize;
+    let images = Tensor::ones(&[batch, 3, 16, 16]);
+
+    let transmitted = pipeline.client_features(&images).unwrap();
+    let request = encode_message(&Message::ServerOutputsRequest {
+        transmitted: transmitted.clone(),
+    });
+    assert_eq!(
+        request.len() as u64,
+        cost.upload_frame_bytes(batch as u64, &WIRE_OVERHEAD)
+    );
+
+    let maps = pipeline.server_outputs(&transmitted).unwrap();
+    let response = encode_message(&Message::ServerOutputsResponse { maps });
+    assert_eq!(
+        response.len() as u64,
+        cost.return_frame_bytes(
+            batch as u64,
+            pipeline.ensemble_size() as u64,
+            &WIRE_OVERHEAD
+        )
+    );
+}

@@ -1,0 +1,157 @@
+//! Keeps `docs/WIRE_PROTOCOL.md` byte-exact: every `<!-- wire-example: … -->`
+//! block in the document is decoded from its hex listing and compared against
+//! the frame the real encoder produces for the same message, and every
+//! example this test knows about must appear in the document. Editing either
+//! side without the other fails this test.
+
+use ensembler_serve::protocol::{encode_message, ErrorCode, Hello, HelloAck, Message, WireError};
+use ensembler_tensor::Tensor;
+use std::collections::BTreeMap;
+
+/// The example messages the document walks through, by marker name.
+fn documented_examples() -> BTreeMap<&'static str, Message> {
+    let mut examples = BTreeMap::new();
+    examples.insert("hello", Message::Hello(Hello { max_version: 1 }));
+    examples.insert(
+        "hello-ack",
+        Message::HelloAck(HelloAck {
+            version: 1,
+            label: "Ensembler".to_string(),
+            ensemble_size: 3,
+            selected_count: 2,
+        }),
+    );
+    examples.insert(
+        "server-outputs-request",
+        Message::ServerOutputsRequest {
+            transmitted: Tensor::from_vec(vec![0.0, 0.5, -1.0, 2.0], &[1, 1, 2, 2]).unwrap(),
+        },
+    );
+    examples.insert(
+        "server-outputs-response",
+        Message::ServerOutputsResponse {
+            maps: vec![
+                Tensor::from_vec(vec![1.0, -0.5], &[1, 2]).unwrap(),
+                Tensor::from_vec(vec![0.25, 4.0], &[1, 2]).unwrap(),
+            ],
+        },
+    );
+    examples.insert(
+        "error-unsupported-version",
+        Message::Error(WireError {
+            code: ErrorCode::UnsupportedVersion,
+            message: "server speaks up to v1".to_string(),
+        }),
+    );
+    examples
+}
+
+/// Extracts `<!-- wire-example: name -->` hex listings from the document.
+///
+/// The convention: the marker comment is followed (within a few lines) by a
+/// fenced code block whose lines contain hex byte pairs, optionally followed
+/// by a `|`-separated commentary column.
+fn parse_doc_examples(doc: &str) -> BTreeMap<String, Vec<u8>> {
+    let mut examples = BTreeMap::new();
+    let mut lines = doc.lines().peekable();
+    while let Some(line) = lines.next() {
+        let trimmed = line.trim();
+        let Some(rest) = trimmed.strip_prefix("<!-- wire-example:") else {
+            continue;
+        };
+        let name = rest
+            .strip_suffix("-->")
+            .map(|n| n.trim().to_string())
+            .unwrap_or_else(|| panic!("unterminated wire-example marker: {trimmed}"));
+
+        // Find the opening fence.
+        let mut in_block = false;
+        let mut bytes = Vec::new();
+        for line in lines.by_ref() {
+            let trimmed = line.trim();
+            if trimmed.starts_with("```") {
+                if in_block {
+                    break;
+                }
+                in_block = true;
+                continue;
+            }
+            if !in_block {
+                assert!(
+                    trimmed.is_empty(),
+                    "wire-example {name}: expected a fenced code block, found {trimmed:?}"
+                );
+                continue;
+            }
+            let data = trimmed.split('|').next().unwrap_or("");
+            for token in data.split_whitespace() {
+                let byte = u8::from_str_radix(token, 16)
+                    .unwrap_or_else(|_| panic!("wire-example {name}: {token:?} is not a hex byte"));
+                bytes.push(byte);
+            }
+        }
+        assert!(
+            in_block,
+            "wire-example {name}: no fenced code block follows the marker"
+        );
+        examples.insert(name, bytes);
+    }
+    examples
+}
+
+/// Renders a frame the way the document lists bytes, for error messages.
+fn hex_dump(bytes: &[u8]) -> String {
+    bytes
+        .chunks(16)
+        .map(|chunk| {
+            chunk
+                .iter()
+                .map(|b| format!("{b:02x}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn protocol_doc() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/WIRE_PROTOCOL.md");
+    std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("docs/WIRE_PROTOCOL.md must exist next to the workspace: {e}"))
+}
+
+#[test]
+fn documented_frames_match_the_encoder_exactly() {
+    let expected = documented_examples();
+    let found = parse_doc_examples(&protocol_doc());
+
+    for (name, message) in &expected {
+        let frame = encode_message(message);
+        match found.get(*name) {
+            Some(documented) => assert_eq!(
+                documented,
+                &frame,
+                "docs/WIRE_PROTOCOL.md example `{name}` drifted from the encoder.\n\
+                 The encoder produces:\n{}\n",
+                hex_dump(&frame)
+            ),
+            None => panic!(
+                "docs/WIRE_PROTOCOL.md is missing `<!-- wire-example: {name} -->`.\n\
+                 The encoder produces:\n{}\n",
+                hex_dump(&frame)
+            ),
+        }
+    }
+}
+
+#[test]
+fn the_document_has_no_unknown_examples() {
+    let expected = documented_examples();
+    for name in parse_doc_examples(&protocol_doc()).keys() {
+        assert!(
+            expected.contains_key(name.as_str()),
+            "docs/WIRE_PROTOCOL.md documents `{name}`, which this test does not check — \
+             add it to documented_examples() so it cannot drift"
+        );
+    }
+}

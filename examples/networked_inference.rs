@@ -1,0 +1,87 @@
+//! The paper's deployment, for real: a `DefenseServer` (the untrusted cloud)
+//! and a `RemoteDefense` client (the trusted edge) talking the framed wire
+//! protocol over a loopback TCP socket — then the same client code served
+//! through the coalescing `InferenceEngine`, unchanged, because
+//! `RemoteDefense` is just another `Defense`.
+//!
+//! Run with: `cargo run --example networked_inference --release`
+
+use ensembler_suite::core::{Defense, EngineConfig, InferenceEngine};
+use ensembler_suite::latency::{network_cost, LinkProfile};
+use ensembler_suite::serve::{
+    demo_pipeline, DefenseServer, RemoteDefense, ServerConfig, WIRE_OVERHEAD,
+};
+use ensembler_suite::tensor::{Rng, Tensor};
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Both sides hold the same deterministic weights — the role a shared
+    // checkpoint plays in a real deployment.
+    let (n, p, seed) = (4, 2, 17);
+    let pipeline: Arc<dyn Defense> = Arc::new(demo_pipeline(n, p, seed)?);
+
+    // The untrusted cloud: serves all N bodies over TCP.
+    let server = DefenseServer::bind(
+        Arc::clone(&pipeline),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )?;
+    println!(
+        "cloud: serving {} (N={n}, P={p}) on {}",
+        pipeline.label(),
+        server.local_addr()
+    );
+
+    // The trusted edge: head + noise + secret selector + tail stay local,
+    // server_outputs travels the socket.
+    let remote = RemoteDefense::connect(Arc::clone(&pipeline), server.local_addr())?;
+    println!(
+        "edge:  connected, negotiated protocol v{}",
+        remote.negotiated_version()
+    );
+
+    let mut rng = Rng::seed_from(99);
+    let images = Tensor::from_fn(&[8, 3, 16, 16], |_| rng.uniform(-1.0, 1.0));
+    let remote_logits = remote.predict(&images)?;
+    let local_logits = pipeline.predict(&images)?;
+    assert_eq!(remote_logits, local_logits);
+    println!("edge:  batch of 8 predicted over the wire, bit-identical to in-process");
+
+    // What those requests cost on the wire, from the validated cost model.
+    let cost = network_cost(pipeline.config());
+    let upload = cost.upload_frame_bytes(8, &WIRE_OVERHEAD);
+    let ret = cost.return_frame_bytes(8, n as u64, &WIRE_OVERHEAD);
+    let link = LinkProfile::paper_lan();
+    println!(
+        "wire:  {upload} B up + {ret} B down per batch -> {:.1} ms on the paper's LAN",
+        link.round_trip_s(upload as f64, ret as f64) * 1e3
+    );
+    // RemoteDefense is a Defense, so the coalescing engine serves it as-is:
+    // many concurrent edge callers, one shared remote connection.
+    let engine = Arc::new(InferenceEngine::new(
+        Arc::new(RemoteDefense::connect(
+            Arc::clone(&pipeline),
+            server.local_addr(),
+        )?),
+        EngineConfig::default(),
+    )?);
+    let answers: Vec<Tensor> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|k| {
+                let engine = Arc::clone(&engine);
+                scope.spawn(move || {
+                    let image =
+                        Tensor::from_fn(&[3, 16, 16], |i| ((i + 7 * k) as f32 * 0.01).sin());
+                    engine.predict_one(image).expect("remote predict")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    println!(
+        "edge:  {} concurrent callers served through engine + wire; server saw {} requests",
+        answers.len(),
+        server.stats().requests_served
+    );
+    Ok(())
+}

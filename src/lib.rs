@@ -17,7 +17,11 @@
 //! * [`attack`] — query-free model inversion attacks; victims are any
 //!   `&dyn Defense`.
 //! * [`latency`] — analytic deployment latency model (Table III), including
-//!   `estimate_defense` for live pipelines.
+//!   `estimate_defense` for live pipelines and the wire-size terms validated
+//!   against the real protocol.
+//! * [`serve`] — the networked split: framed wire protocol, TCP
+//!   `DefenseServer` and the `RemoteDefense` client (see
+//!   `docs/ARCHITECTURE.md` and `docs/WIRE_PROTOCOL.md`).
 //!
 //! # Examples
 //!
@@ -34,4 +38,5 @@ pub use ensembler_data as data;
 pub use ensembler_latency as latency;
 pub use ensembler_metrics as metrics;
 pub use ensembler_nn as nn;
+pub use ensembler_serve as serve;
 pub use ensembler_tensor as tensor;

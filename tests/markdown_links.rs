@@ -1,0 +1,102 @@
+//! A self-contained markdown link checker over `README.md` and `docs/`:
+//! every relative link target must exist on disk (the build environment has
+//! no network, so external URLs are only sanity-checked for scheme). CI runs
+//! this as its link-check step.
+
+use std::path::{Path, PathBuf};
+
+/// Collects `README.md` plus every `.md` file directly under `docs/`.
+fn markdown_files() -> Vec<PathBuf> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut files = vec![root.join("README.md")];
+    let docs = root.join("docs");
+    let entries = std::fs::read_dir(&docs).expect("docs/ directory exists");
+    for entry in entries {
+        let path = entry.expect("readable docs/ entry").path();
+        if path.extension().is_some_and(|ext| ext == "md") {
+            files.push(path);
+        }
+    }
+    files.sort();
+    assert!(
+        files.len() >= 4,
+        "expected README + at least ARCHITECTURE, PERFORMANCE and WIRE_PROTOCOL under docs/, found {files:?}"
+    );
+    files
+}
+
+/// Extracts inline `[text](target)` links, skipping fenced code blocks.
+fn extract_links(markdown: &str) -> Vec<String> {
+    let mut links = Vec::new();
+    let mut in_fence = false;
+    for line in markdown.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            // Find "](", then read to the matching ")".
+            if bytes[i] == b']' && i + 1 < bytes.len() && bytes[i + 1] == b'(' {
+                if let Some(close) = line[i + 2..].find(')') {
+                    links.push(line[i + 2..i + 2 + close].trim().to_string());
+                    i += 2 + close;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+    }
+    links
+}
+
+#[test]
+fn every_relative_markdown_link_resolves() {
+    let mut broken = Vec::new();
+    let mut checked = 0usize;
+    for file in markdown_files() {
+        let text = std::fs::read_to_string(&file)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", file.display()));
+        let dir = file.parent().expect("markdown file has a parent");
+        for link in extract_links(&text) {
+            // External URLs and pure intra-document anchors are out of scope
+            // for an offline checker.
+            if link.starts_with("http://")
+                || link.starts_with("https://")
+                || link.starts_with("mailto:")
+                || link.starts_with('#')
+            {
+                continue;
+            }
+            let target = link.split('#').next().unwrap_or("");
+            if target.is_empty() {
+                continue;
+            }
+            checked += 1;
+            if !dir.join(target).exists() {
+                broken.push(format!("{}: ({link})", file.display()));
+            }
+        }
+    }
+    assert!(
+        checked >= 5,
+        "link extraction found suspiciously few relative links ({checked}); parser regression?"
+    );
+    assert!(
+        broken.is_empty(),
+        "broken relative markdown links:\n{}",
+        broken.join("\n")
+    );
+}
+
+#[test]
+fn link_extraction_handles_the_basics() {
+    let sample = "see [a](docs/A.md) and [b](https://x.invalid/y) \
+                  and [c](B.md#frag)\n```\n[not](a-link.md)\n```\n";
+    let links = extract_links(sample);
+    assert_eq!(links, vec!["docs/A.md", "https://x.invalid/y", "B.md#frag"]);
+}
