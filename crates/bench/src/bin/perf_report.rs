@@ -16,12 +16,18 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use ensembler::{Defense, EnsemblerPipeline, Selector};
+use ensembler::{
+    Defense, EnsemblerPipeline, EnsemblerTrainer, EvalConfig, QuantizedDefense, Selector,
+    TrainConfig,
+};
 use ensembler_bench::ExperimentScale;
+use ensembler_data::SyntheticSpec;
 use ensembler_latency::network_cost;
 use ensembler_nn::models::{build_body, build_head, build_tail, ResNetConfig};
 use ensembler_nn::{Conv2d, FixedNoise, Layer, Linear, Mode};
 use ensembler_serve::{demo_pipeline, DefenseServer, RemoteDefense, ServerConfig, WIRE_OVERHEAD};
+use ensembler_tensor::gemm::{gemm_nn_with, Parallelism};
+use ensembler_tensor::quant::qgemm_nn_with;
 use ensembler_tensor::{JsonValue, Rng, Tensor};
 
 /// The pre-PR `matmul` loop (serial, scalar, with the zero-skip), kept as the
@@ -243,6 +249,111 @@ fn serving_case(ensemble_size: usize, selected: usize, budget: Duration) -> Json
     ])
 }
 
+/// Times one `[m,k] x [k,n]` product with the blocked f32 kernel and the
+/// packed int8 kernel (`qgemm_nn`): GFLOP/s vs integer GOP/s on identical
+/// shapes.
+fn qgemm_case(m: usize, k: usize, n: usize, budget: Duration) -> JsonValue {
+    let mut rng = Rng::seed_from((m * 13 + k * 5 + n) as u64);
+    let a = Tensor::from_fn(&[m, k], |_| rng.uniform(-1.0, 1.0));
+    let b = Tensor::from_fn(&[k, n], |_| rng.uniform(-1.0, 1.0));
+    let aq: Vec<i8> = (0..m * k).map(|_| rng.below(255) as i8).collect();
+    let bq: Vec<i8> = (0..k * n).map(|_| rng.below(255) as i8).collect();
+
+    let f32_ms = time_ms(budget, || {
+        gemm_nn_with(a.data(), b.data(), m, k, n, Parallelism::Serial)
+    });
+    let int8_ms = time_ms(budget, || {
+        qgemm_nn_with(&aq, &bq, m, k, n, Parallelism::Serial)
+    });
+    let ops = 2.0 * (m * k * n) as f64;
+    println!(
+        "  qgemm {m}x{k}x{n}: f32 {:6.2} GFLOP/s | int8 {:6.2} GOP/s | {:4.2}x",
+        ops / (f32_ms * 1e-3) / 1e9,
+        ops / (int8_ms * 1e-3) / 1e9,
+        f32_ms / int8_ms,
+    );
+    obj(vec![
+        ("m", JsonValue::Number(m as f64)),
+        ("k", JsonValue::Number(k as f64)),
+        ("n", JsonValue::Number(n as f64)),
+        ("f32_ms", num(f32_ms)),
+        ("int8_ms", num(int8_ms)),
+        ("f32_gflops", num(ops / (f32_ms * 1e-3) / 1e9)),
+        ("int8_gops", num(ops / (int8_ms * 1e-3) / 1e9)),
+        ("speedup", num(f32_ms / int8_ms)),
+    ])
+}
+
+/// Times `Defense::predict` at both precisions on the demo Ensembler and
+/// measures the int8 accuracy delta on a trained pipeline — the acceptance
+/// numbers of the quantized backend.
+fn quantized_case(ensemble_size: usize, selected: usize, budget: Duration) -> JsonValue {
+    let pipeline: Arc<dyn Defense> =
+        Arc::new(demo_pipeline(ensemble_size, selected, 7).expect("valid demo pipeline"));
+    let int8 = QuantizedDefense::quantize(Arc::clone(&pipeline));
+    let config = pipeline.config().clone();
+    let batch = 32usize;
+    let mut rng = Rng::seed_from(23);
+    let images = Tensor::from_fn(
+        &[
+            batch,
+            config.input_channels,
+            config.image_size,
+            config.image_size,
+        ],
+        |_| rng.uniform(-1.0, 1.0),
+    );
+    let f32_ms = time_ms(budget, || pipeline.predict(&images).expect("predict"));
+    let int8_ms = time_ms(budget, || int8.predict(&images).expect("int8 predict"));
+
+    // Accuracy delta on a trained pipeline over a dataset where one point is
+    // two samples (the conformance suite enforces the one-point budget).
+    let data = SyntheticSpec::tiny_for_tests()
+        .with_samples(48, 200)
+        .generate(31);
+    let trainer = EnsemblerTrainer::new(
+        ResNetConfig::tiny_for_tests(),
+        TrainConfig::fast_for_tests(),
+    );
+    let trained: Arc<dyn Defense> = Arc::new(
+        trainer
+            .train(3, 2, &data.train)
+            .expect("training succeeds")
+            .into_pipeline(),
+    );
+    let trained_int8 = QuantizedDefense::quantize(Arc::clone(&trained));
+    let eval = EvalConfig::default();
+    let f32_acc = trained.evaluate(&data.test, &eval).expect("f32 eval");
+    let int8_acc = trained_int8.evaluate(&data.test, &eval).expect("int8 eval");
+
+    println!(
+        "  predict N={ensemble_size} P={selected} batch={batch}: f32 {f32_ms:8.3} ms ({:7.1} img/s) | int8 {int8_ms:8.3} ms ({:7.1} img/s) | {:4.2}x",
+        batch as f64 / (f32_ms * 1e-3),
+        batch as f64 / (int8_ms * 1e-3),
+        f32_ms / int8_ms,
+    );
+    println!(
+        "  accuracy (trained tiny ensembler, {} samples): f32 {:.4} | int8 {:.4} | delta {:+.4}",
+        data.test.len(),
+        f32_acc,
+        int8_acc,
+        int8_acc - f32_acc,
+    );
+    obj(vec![
+        ("ensemble_size", JsonValue::Number(ensemble_size as f64)),
+        ("selected", JsonValue::Number(selected as f64)),
+        ("batch", JsonValue::Number(batch as f64)),
+        ("f32_predict_ms", num(f32_ms)),
+        ("int8_predict_ms", num(int8_ms)),
+        ("f32_images_per_s", num(batch as f64 / (f32_ms * 1e-3))),
+        ("int8_images_per_s", num(batch as f64 / (int8_ms * 1e-3))),
+        ("int8_speedup", num(f32_ms / int8_ms)),
+        ("f32_accuracy", num(f32_acc as f64)),
+        ("int8_accuracy", num(int8_acc as f64)),
+        ("accuracy_delta", num((int8_acc - f32_acc) as f64)),
+    ])
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
@@ -284,9 +395,23 @@ fn main() {
     println!("Loopback-TCP serving (crates/serve) vs in-process:");
     let serving = serving_case(4, 2, budget);
 
+    println!("Int8 quantized backend (qgemm + QuantizedDefense):");
+    let mut qgemm = Vec::new();
+    for size in [256usize, 512] {
+        qgemm.push(qgemm_case(size, size, size, budget));
+    }
+    // The skinny im2col shapes of the quantized serving path.
+    qgemm.push(qgemm_case(2048, 144, 16, budget));
+    qgemm.push(qgemm_case(512, 288, 32, budget));
+    let quantized_predict = quantized_case(4, 2, budget);
+    let quantized = obj(vec![
+        ("qgemm", JsonValue::Array(qgemm)),
+        ("predict", quantized_predict),
+    ]);
+
     let report = obj(vec![
         ("report", JsonValue::String("perf_report".to_string())),
-        ("version", JsonValue::Number(2.0)),
+        ("version", JsonValue::Number(3.0)),
         ("unix_time_s", JsonValue::Number(epoch_s as f64)),
         ("cores", JsonValue::Number(cores as f64)),
         ("scale", JsonValue::String(format!("{scale:?}"))),
@@ -294,6 +419,7 @@ fn main() {
         ("layers", JsonValue::Array(layers)),
         ("end_to_end", e2e),
         ("serving", serving),
+        ("quantized", quantized),
     ]);
 
     std::fs::write(&out_path, report.render_pretty()).expect("write perf report");

@@ -20,7 +20,25 @@ use ensembler_data::Dataset;
 use ensembler_metrics::accuracy;
 use ensembler_nn::models::ResNetConfig;
 use ensembler_nn::Sequential;
-use ensembler_tensor::Tensor;
+use ensembler_tensor::{QTensorBatch, Tensor};
+
+/// The numeric mode a pipeline (or an evaluation sweep) runs in.
+///
+/// `F32` is the reference path. `Int8` quantizes the tensors that cross the
+/// client/server split (and, for a pipeline built through
+/// [`crate::QuantizedDefense::quantize`], runs the server bodies with
+/// `i8×i8→i32` kernels). Quantization scales are always **per sample**, so a
+/// sample's int8 result never depends on what else shares its mini-batch —
+/// the engine's coalescing guarantee holds within each precision mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Precision {
+    /// Full-precision `f32` inference (the default).
+    #[default]
+    F32,
+    /// Symmetric int8 inference: quantized split tensors, quantized server
+    /// bodies where the pipeline provides them.
+    Int8,
+}
 
 /// Evaluation parameters shared by every [`Defense::evaluate`]
 /// implementation.
@@ -28,20 +46,30 @@ use ensembler_tensor::Tensor;
 /// # Examples
 ///
 /// ```
-/// use ensembler::EvalConfig;
+/// use ensembler::{EvalConfig, Precision};
 ///
 /// assert_eq!(EvalConfig::default().batch_size, 32);
+/// assert_eq!(EvalConfig::default().precision, Precision::F32);
 /// assert_eq!(EvalConfig::with_batch_size(8).batch_size, 8);
+/// let int8 = EvalConfig::default().with_precision(Precision::Int8);
+/// assert_eq!(int8.precision, Precision::Int8);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EvalConfig {
     /// Mini-batch size used when sweeping a dataset.
     pub batch_size: usize,
+    /// Numeric mode of the sweep. With [`Precision::Int8`] the split tensors
+    /// are routed through [`Defense::server_outputs_quantized`], so the sweep
+    /// measures exactly what a quantized wire deployment would serve.
+    pub precision: Precision,
 }
 
 impl Default for EvalConfig {
     fn default() -> Self {
-        Self { batch_size: 32 }
+        Self {
+            batch_size: 32,
+            precision: Precision::F32,
+        }
     }
 }
 
@@ -53,7 +81,16 @@ impl EvalConfig {
     /// Panics if `batch_size` is zero.
     pub fn with_batch_size(batch_size: usize) -> Self {
         assert!(batch_size > 0, "evaluation batch size must be positive");
-        Self { batch_size }
+        Self {
+            batch_size,
+            precision: Precision::F32,
+        }
+    }
+
+    /// Returns the configuration with the precision replaced.
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
     }
 }
 
@@ -134,6 +171,37 @@ pub trait Defense: Send + Sync + std::fmt::Debug {
     /// shape.
     fn server_outputs(&self, transmitted: &Tensor) -> Result<Vec<Tensor>, EnsemblerError>;
 
+    /// The numeric mode this pipeline's [`Defense::server_outputs`] stage
+    /// runs in. `F32` by default; [`crate::QuantizedDefense`] reports `Int8`,
+    /// which is what tells the networked client to use quantized wire frames.
+    fn precision(&self) -> Precision {
+        Precision::F32
+    }
+
+    /// [`Defense::server_outputs`] over quantized wire tensors: one
+    /// per-sample-scaled int8 batch in, `N` per-network int8 batches out.
+    ///
+    /// This is the stage the v2 wire protocol transports. The default
+    /// implementation defines the reference semantics for any `f32` pipeline
+    /// — dequantize, run the `f32` bodies, re-quantize per sample —
+    /// so every defense can serve quantized clients.
+    /// [`crate::QuantizedDefense`] overrides it to run its int8 kernels
+    /// directly; its `server_outputs` is defined *through* this method, which
+    /// is what makes remote int8 predictions bit-identical to in-process
+    /// ones.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the features do not match the server input
+    /// shape.
+    fn server_outputs_quantized(
+        &self,
+        transmitted: &QTensorBatch,
+    ) -> Result<Vec<QTensorBatch>, EnsemblerError> {
+        let maps = self.server_outputs(&transmitted.dequantize())?;
+        Ok(maps.iter().map(QTensorBatch::quantize_batch).collect())
+    }
+
     /// Applies the client-side post-processing (secret selection and tail
     /// classifier) to the server's feature maps, producing class logits.
     ///
@@ -152,6 +220,30 @@ pub trait Defense: Send + Sync + std::fmt::Debug {
         let transmitted = self.client_features(images)?;
         let maps = self.server_outputs(&transmitted)?;
         self.classify(&maps)
+    }
+
+    /// [`Defense::predict`] at an explicit numeric mode.
+    ///
+    /// With [`Precision::Int8`] the split tensors are quantized per sample
+    /// and the server stage runs through
+    /// [`Defense::server_outputs_quantized`] — byte-for-byte the path a
+    /// quantized remote deployment executes, so in-process and networked
+    /// int8 predictions agree bit-exactly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from any of the three stages.
+    fn predict_at(&self, images: &Tensor, precision: Precision) -> Result<Tensor, EnsemblerError> {
+        match precision {
+            Precision::F32 => self.predict(images),
+            Precision::Int8 => {
+                let transmitted = self.client_features(images)?;
+                let qf = QTensorBatch::quantize_batch(&transmitted);
+                let qmaps = self.server_outputs_quantized(&qf)?;
+                let maps: Vec<Tensor> = qmaps.iter().map(QTensorBatch::dequantize).collect();
+                self.classify(&maps)
+            }
+        }
     }
 
     /// Top-1 accuracy of the pipeline on a dataset, evaluated in mini-batches
@@ -173,7 +265,7 @@ pub trait Defense: Send + Sync + std::fmt::Debug {
         let mut start = 0usize;
         while start < dataset.len() {
             let (images, labels) = dataset.batch(start, eval.batch_size);
-            let logits = self.predict(&images)?;
+            let logits = self.predict_at(&images, eval.precision)?;
             correct_weighted += accuracy(&logits, &labels) * labels.len() as f32;
             start += eval.batch_size;
         }

@@ -39,7 +39,7 @@
 
 use crate::defense::Defense;
 use crate::EnsemblerError;
-use ensembler_tensor::Tensor;
+use ensembler_tensor::{QTensorBatch, Tensor};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
@@ -111,6 +111,15 @@ enum Work {
     ServerOutputs {
         features: Tensor,
         respond: Sender<Result<Vec<Tensor>, EnsemblerError>>,
+    },
+    /// A single **quantized** feature map awaiting the `N` quantized
+    /// per-network maps ([`InferenceEngine::server_outputs_quantized_one`])
+    /// — the unit the networked server submits for protocol-v2 clients.
+    /// Scales are per sample, so stacking and splitting quantized batches is
+    /// exact and coalescing stays invisible in int8 mode too.
+    ServerOutputsQ {
+        features: QTensorBatch,
+        respond: Sender<Result<Vec<QTensorBatch>, EnsemblerError>>,
     },
 }
 
@@ -236,6 +245,39 @@ impl<D: Defense + ?Sized + 'static> InferenceEngine<D> {
             .map_err(|_| EnsemblerError::Engine("worker dropped the request".to_string()))?
     }
 
+    /// Evaluates all `N` server bodies on one quantized transmitted feature
+    /// map (`[1, C, H, W]` with its per-sample scale), blocking until a
+    /// worker has served it as part of a coalesced mini-batch. Returns the
+    /// `N` quantized per-network maps in index order.
+    ///
+    /// This is the int8 sibling of [`InferenceEngine::server_outputs_one`]
+    /// and the unit the networked `DefenseServer` submits for protocol-v2
+    /// clients. Because quantization scales are per sample, stacking
+    /// requests into a batch and slicing the results back apart moves bytes
+    /// verbatim — the answer is bit-identical to an isolated
+    /// [`Defense::server_outputs_quantized`] call on the same map.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the feature batch is not a single rank-4 sample,
+    /// the evaluation fails, or the engine is shutting down.
+    pub fn server_outputs_quantized_one(
+        &self,
+        features: QTensorBatch,
+    ) -> Result<Vec<QTensorBatch>, EnsemblerError> {
+        if features.shape().len() != 4 || features.batch() != 1 {
+            return Err(EnsemblerError::ShapeMismatch(format!(
+                "server_outputs_quantized_one expects one [1, C, H, W] feature map, got {:?}",
+                features.shape()
+            )));
+        }
+        let (respond, receive) = channel();
+        self.submit(Work::ServerOutputsQ { features, respond })?;
+        receive
+            .recv()
+            .map_err(|_| EnsemblerError::Engine("worker dropped the request".to_string()))?
+    }
+
     /// Enqueues one unit of work for the worker pool.
     fn submit(&self, work: Work) -> Result<(), EnsemblerError> {
         self.sender
@@ -327,13 +369,15 @@ fn worker_loop<D: Defense + ?Sized>(
             batch
         };
 
-        // The queue mixes both work kinds; each kind batches among itself.
+        // The queue mixes all work kinds; each kind batches among itself.
         let mut predicts = Vec::new();
         let mut outputs = Vec::new();
+        let mut outputs_q = Vec::new();
         for work in batch {
             match work {
                 Work::Predict { image, respond } => predicts.push((image, respond)),
                 Work::ServerOutputs { features, respond } => outputs.push((features, respond)),
+                Work::ServerOutputsQ { features, respond } => outputs_q.push((features, respond)),
             }
         }
         if !predicts.is_empty() {
@@ -341,6 +385,9 @@ fn worker_loop<D: Defense + ?Sized>(
         }
         if !outputs.is_empty() {
             execute_group(defense, stats, outputs, run_server_outputs_batch);
+        }
+        if !outputs_q.is_empty() {
+            execute_group(defense, stats, outputs_q, run_server_outputs_q_batch);
         }
     }
 }
@@ -351,13 +398,13 @@ fn worker_loop<D: Defense + ?Sized>(
 /// A panicking pipeline (e.g. a shape assert deep in a layer) must not kill
 /// the worker: callers would hang forever on an undrained queue. The panic is
 /// caught and every request in the group is answered with an error.
-fn execute_group<D: Defense + ?Sized, R: Clone>(
+fn execute_group<D: Defense + ?Sized, I: Clone, R: Clone>(
     defense: &D,
     stats: &StatsCells,
-    group: Vec<(Tensor, Sender<Result<R, EnsemblerError>>)>,
-    run: fn(&D, &[Tensor]) -> Result<Vec<R>, EnsemblerError>,
+    group: Vec<(I, Sender<Result<R, EnsemblerError>>)>,
+    run: fn(&D, &[I]) -> Result<Vec<R>, EnsemblerError>,
 ) {
-    let inputs: Vec<Tensor> = group.iter().map(|(input, _)| input.clone()).collect();
+    let inputs: Vec<I> = group.iter().map(|(input, _)| input.clone()).collect();
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(defense, &inputs)))
         .unwrap_or_else(|payload| {
             Err(EnsemblerError::Engine(format!(
@@ -461,6 +508,40 @@ fn run_server_outputs_batch<D: Defense + ?Sized>(
                 })
                 .collect()
         })
+        .collect())
+}
+
+/// Stacks the queued quantized feature maps (bytes and scales verbatim),
+/// runs one shared [`Defense::server_outputs_quantized`] and slices each of
+/// the `N` returned quantized maps back into per-request single-sample
+/// batches. Every step is exact, so coalescing cannot change an answer.
+fn run_server_outputs_q_batch<D: Defense + ?Sized>(
+    defense: &D,
+    features: &[QTensorBatch],
+) -> Result<Vec<Vec<QTensorBatch>>, EnsemblerError> {
+    let first_shape = features[0].shape();
+    for item in &features[1..] {
+        if item.shape() != first_shape {
+            return Err(EnsemblerError::ShapeMismatch(format!(
+                "cannot batch quantized items of shapes {:?} and {:?}",
+                first_shape,
+                item.shape()
+            )));
+        }
+    }
+    let stacked = QTensorBatch::stack(features);
+    let maps = defense.server_outputs_quantized(&stacked)?;
+    let rows = features.len();
+    for map in &maps {
+        if map.batch() != rows {
+            return Err(EnsemblerError::ShapeMismatch(format!(
+                "server body returned shape {:?} for a batch of {rows} quantized feature maps",
+                map.shape()
+            )));
+        }
+    }
+    Ok((0..rows)
+        .map(|row| maps.iter().map(|map| map.sample(row)).collect())
         .collect())
 }
 
@@ -617,6 +698,61 @@ mod tests {
             assert_eq!(logits, expected_logits);
             assert_eq!(maps, expected_maps);
         });
+    }
+
+    #[test]
+    fn quantized_server_outputs_coalesce_bit_exactly() {
+        use crate::quant::QuantizedDefense;
+
+        let pipeline = Arc::new(
+            SinglePipeline::new(ResNetConfig::tiny_for_tests(), DefenseKind::NoDefense, 9).unwrap(),
+        );
+        let int8: Arc<dyn Defense> = Arc::new(QuantizedDefense::quantize(pipeline));
+        let engine = Arc::new(
+            InferenceEngine::new(
+                Arc::clone(&int8),
+                EngineConfig {
+                    max_batch: 4,
+                    batch_window: Duration::from_millis(10),
+                    workers: 2,
+                },
+            )
+            .unwrap(),
+        );
+
+        let qfeatures: Vec<QTensorBatch> = (0..6)
+            .map(|k| {
+                let image = Tensor::from_fn(&[1, 3, 8, 8], |i| ((i + 13 * k) as f32 * 0.02).sin());
+                let features = int8.client_features(&image).unwrap();
+                QTensorBatch::quantize_batch(&features)
+            })
+            .collect();
+        let expected: Vec<Vec<QTensorBatch>> = qfeatures
+            .iter()
+            .map(|qf| int8.server_outputs_quantized(qf).unwrap())
+            .collect();
+
+        let answers: Vec<Vec<QTensorBatch>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = qfeatures
+                .iter()
+                .map(|qf| {
+                    let engine = Arc::clone(&engine);
+                    scope.spawn(move || engine.server_outputs_quantized_one(qf.clone()).unwrap())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        // Coalesced quantized answers are byte-identical to isolated calls.
+        assert_eq!(answers, expected);
+    }
+
+    #[test]
+    fn quantized_server_outputs_one_rejects_batched_input() {
+        let engine = tiny_engine(1, 2);
+        let qf = QTensorBatch::quantize_batch(&Tensor::ones(&[2, 3, 4, 4]));
+        let err = engine.server_outputs_quantized_one(qf).unwrap_err();
+        assert!(matches!(err, EnsemblerError::ShapeMismatch(_)));
     }
 
     #[test]

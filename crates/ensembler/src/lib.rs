@@ -23,7 +23,11 @@
 //!   `O(N)` server cost parallelises away.
 //! * [`selector`] — the client's private [`Selector`] that activates `P` of
 //!   the `N` server networks and concatenates their scaled outputs (Eq. 1).
-//! * [`split`] — the byte-level wire format for the transmitted features.
+//! * [`quant`] — [`QuantizedDefense`], the int8 serving wrapper: quantized
+//!   server bodies plus per-sample-scaled wire tensors, selectable per sweep
+//!   via [`EvalConfig`]'s [`Precision`].
+//! * [`split`] — the byte-level wire format for the transmitted features
+//!   (`f32` and quantized variants).
 //! * [`trainer`] — the three-stage training procedure (Sec. III-C) including
 //!   the cosine-similarity regularizer of Eq. 3.
 //!
@@ -64,15 +68,19 @@ pub mod defenses;
 pub mod engine;
 mod error;
 pub mod framework;
+pub mod quant;
 pub mod selector;
 pub mod split;
 pub mod trainer;
 
-pub use defense::{Defense, EvalConfig};
+pub use defense::{Defense, EvalConfig, Precision};
 pub use defenses::{DefenseKind, SinglePipeline};
 pub use engine::{EngineConfig, EngineStats, InferenceEngine};
 pub use error::EnsemblerError;
 pub use framework::EnsemblerPipeline;
+pub use quant::QuantizedDefense;
 pub use selector::Selector;
-pub use split::{decode_features, encode_features, SplitFeatures};
+pub use split::{
+    decode_features, decode_qfeatures, encode_features, encode_qfeatures, SplitFeatures,
+};
 pub use trainer::{EnsemblerTrainer, StageOneNetwork, TrainConfig, TrainReport, TrainedEnsembler};

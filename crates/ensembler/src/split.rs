@@ -8,11 +8,14 @@
 //! together with a small wrapper type describing what travels on the wire.
 
 use crate::EnsemblerError;
-use ensembler_tensor::Tensor;
+use ensembler_tensor::{QTensorBatch, Tensor};
 
 /// Magic bytes prefixed to every feature payload so stray buffers are
 /// rejected early.
 const WIRE_MAGIC: u32 = 0x454E_5342; // "ENSB"
+
+/// Magic bytes prefixed to every quantized feature payload ("ENSQ").
+const QWIRE_MAGIC: u32 = 0x454E_5351;
 
 /// An intermediate-feature payload as it travels from the client to the
 /// server.
@@ -145,6 +148,98 @@ pub fn decode_features(payload: &[u8]) -> Result<Tensor, EnsemblerError> {
     Tensor::from_vec(data, &shape).map_err(|e| EnsemblerError::WireFormat(e.to_string()))
 }
 
+/// Serialises a quantized feature batch into the v2 wire format: a magic
+/// word, the rank, the dimensions (big-endian `u32`), one little-endian
+/// `f32` scale per axis-0 sample, then the raw `i8` data — one byte per
+/// element instead of the four [`encode_features`] spends, which is what
+/// roughly quarters the v2 response frames.
+pub fn encode_qfeatures(features: &QTensorBatch) -> Vec<u8> {
+    let rank = features.shape().len();
+    let mut buf = Vec::with_capacity(8 + 4 * rank + 4 * features.scales().len() + features.len());
+    buf.extend_from_slice(&QWIRE_MAGIC.to_be_bytes());
+    buf.extend_from_slice(&(rank as u32).to_be_bytes());
+    for &d in features.shape() {
+        buf.extend_from_slice(&(d as u32).to_be_bytes());
+    }
+    for &s in features.scales() {
+        buf.extend_from_slice(&s.to_le_bytes());
+    }
+    buf.extend_from_slice(bytemuck_i8(features.data()));
+    buf
+}
+
+/// Views an `i8` slice as bytes (two's complement, no copy).
+fn bytemuck_i8(data: &[i8]) -> &[u8] {
+    // i8 and u8 share size and alignment; the cast is always valid.
+    unsafe { std::slice::from_raw_parts(data.as_ptr() as *const u8, data.len()) }
+}
+
+/// Decodes a payload produced by [`encode_qfeatures`].
+///
+/// # Errors
+///
+/// Returns [`EnsemblerError::WireFormat`] if the buffer is truncated, the
+/// magic word is wrong, the rank is implausible or zero, a scale is not
+/// finite and positive, or the declared shape disagrees with the payload
+/// length.
+pub fn decode_qfeatures(payload: &[u8]) -> Result<QTensorBatch, EnsemblerError> {
+    let mut cursor = payload;
+    let mut take = |n: usize, what: &str| -> Result<&[u8], EnsemblerError> {
+        if cursor.len() < n {
+            return Err(EnsemblerError::WireFormat(format!(
+                "quantized payload truncated inside the {what}"
+            )));
+        }
+        let (head, rest) = cursor.split_at(n);
+        cursor = rest;
+        Ok(head)
+    };
+
+    let magic = u32::from_be_bytes(take(4, "header")?.try_into().expect("4 bytes"));
+    if magic != QWIRE_MAGIC {
+        return Err(EnsemblerError::WireFormat(format!(
+            "bad quantized magic word {magic:#010x}"
+        )));
+    }
+    let rank = u32::from_be_bytes(take(4, "header")?.try_into().expect("4 bytes")) as usize;
+    if rank == 0 || rank > 8 {
+        return Err(EnsemblerError::WireFormat(format!(
+            "implausible quantized tensor rank {rank}"
+        )));
+    }
+    let mut shape = Vec::with_capacity(rank);
+    for _ in 0..rank {
+        shape.push(
+            u32::from_be_bytes(take(4, "shape header")?.try_into().expect("4 bytes")) as usize,
+        );
+    }
+    let batch = shape[0];
+    // Each sample costs a 4-byte scale, so an absurd batch extent in a tiny
+    // frame must be rejected before it can drive the allocation below.
+    let remaining = payload.len().saturating_sub(8 + 4 * rank);
+    if batch > remaining / 4 {
+        return Err(EnsemblerError::WireFormat(format!(
+            "quantized payload declares {batch} samples but only {remaining} bytes remain"
+        )));
+    }
+    let mut scales = Vec::with_capacity(batch);
+    for _ in 0..batch {
+        scales.push(f32::from_le_bytes(
+            take(4, "scale field")?.try_into().expect("4 bytes"),
+        ));
+    }
+    let expected: usize = shape.iter().product();
+    if cursor.len() != expected {
+        return Err(EnsemblerError::WireFormat(format!(
+            "expected {expected} i8 values, found {} bytes",
+            cursor.len()
+        )));
+    }
+    let data = cursor.iter().map(|&b| b as i8).collect();
+    QTensorBatch::from_parts(data, &shape, scales)
+        .map_err(|e| EnsemblerError::WireFormat(e.to_string()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,6 +297,60 @@ mod tests {
         buf.extend_from_slice(&99u32.to_be_bytes());
         let err = decode_features(&buf).unwrap_err();
         assert!(err.to_string().contains("rank"));
+    }
+
+    #[test]
+    fn quantized_encode_decode_round_trips_exactly() {
+        let mut rng = Rng::seed_from(3);
+        let t = Tensor::from_fn(&[3, 2, 4, 4], |_| rng.normal());
+        let q = QTensorBatch::quantize_batch(&t);
+        let back = decode_qfeatures(&encode_qfeatures(&q)).unwrap();
+        assert_eq!(back, q);
+    }
+
+    #[test]
+    fn quantized_payload_is_roughly_a_quarter_of_f32() {
+        let t = Tensor::from_fn(&[1, 16, 8, 8], |i| (i as f32 * 0.01).sin());
+        let f32_len = encode_features(&t).len();
+        let q_len = encode_qfeatures(&QTensorBatch::quantize_batch(&t)).len();
+        assert!(
+            (q_len as f64) < 0.3 * f32_len as f64,
+            "{q_len} vs {f32_len}"
+        );
+    }
+
+    #[test]
+    fn quantized_decode_rejects_malformed_payloads() {
+        let q = QTensorBatch::quantize_batch(&Tensor::ones(&[2, 3]));
+        let bytes = encode_qfeatures(&q);
+        // Truncated inside the data, the scales and the header.
+        assert!(decode_qfeatures(&bytes[..bytes.len() - 1]).is_err());
+        assert!(decode_qfeatures(&bytes[..10]).is_err());
+        assert!(decode_qfeatures(&bytes[..3]).is_err());
+        assert!(decode_qfeatures(&[]).is_err());
+        // Wrong magic.
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        assert!(decode_qfeatures(&bad).is_err());
+        // Garbage scale: NaN is rejected by from_parts.
+        let mut bad = bytes.clone();
+        let scale_off = 4 + 4 + 2 * 4; // magic + rank + dims
+        bad[scale_off..scale_off + 4].copy_from_slice(&f32::NAN.to_le_bytes());
+        let err = decode_qfeatures(&bad).unwrap_err();
+        assert!(err.to_string().contains("finite"), "{err}");
+        // Zero rank and absurd rank.
+        let mut bad = bytes.clone();
+        bad[4..8].copy_from_slice(&0u32.to_be_bytes());
+        assert!(decode_qfeatures(&bad).is_err());
+        let mut bad = bytes.clone();
+        bad[4..8].copy_from_slice(&99u32.to_be_bytes());
+        assert!(decode_qfeatures(&bad).is_err());
+        // An absurd batch extent in a tiny payload must be rejected before
+        // the scales vector is allocated, not abort on an OOM allocation.
+        let mut bad = bytes;
+        bad[8..12].copy_from_slice(&u32::MAX.to_be_bytes()); // dim 0
+        let err = decode_qfeatures(&bad).unwrap_err();
+        assert!(err.to_string().contains("samples"), "{err}");
     }
 
     #[test]

@@ -10,8 +10,12 @@
 //! * two threads calling `predict` on one shared pipeline concurrently get
 //!   results bit-identical to sequential execution.
 
-use ensembler::{Defense, DefenseKind, EnsemblerTrainer, EvalConfig, SinglePipeline, TrainConfig};
+use ensembler::{
+    Defense, DefenseKind, EnsemblerTrainer, EvalConfig, Precision, QuantizedDefense,
+    SinglePipeline, TrainConfig,
+};
 use ensembler_data::{Dataset, SyntheticSpec};
+use ensembler_metrics::accuracy;
 use ensembler_nn::models::ResNetConfig;
 use ensembler_tensor::Tensor;
 use std::sync::Arc;
@@ -43,6 +47,16 @@ fn all_defenses() -> Vec<Box<dyn Defense>> {
     defenses.push(Box::new(
         trainer.train(3, 2, &data.train).unwrap().into_pipeline(),
     ));
+
+    // Int8 variants must satisfy every conformance clause too: the same
+    // trait, the same determinism, the same split-composition contract.
+    defenses.push(Box::new(QuantizedDefense::quantize(Arc::new(
+        SinglePipeline::new(config(), DefenseKind::AdditiveNoise { sigma: 0.1 }, 61).unwrap(),
+    ))));
+    let trainer = EnsemblerTrainer::new(config(), TrainConfig::fast_for_tests());
+    defenses.push(Box::new(QuantizedDefense::quantize(Arc::new(
+        trainer.train(3, 2, &data.train).unwrap().into_pipeline(),
+    ))));
     defenses
 }
 
@@ -145,6 +159,107 @@ fn selected_count_never_exceeds_the_ensemble() {
             defense.label()
         );
     }
+}
+
+/// Trains one Ensembler pipeline and returns it next to its int8 twin plus
+/// an evaluation set large enough that one percentage point is two samples.
+fn trained_pair() -> (Arc<dyn Defense>, QuantizedDefense, Dataset) {
+    let data = SyntheticSpec::tiny_for_tests()
+        .with_samples(48, 200)
+        .generate(31);
+    let trainer = EnsemblerTrainer::new(
+        ResNetConfig::tiny_for_tests(),
+        TrainConfig::fast_for_tests(),
+    );
+    let pipeline: Arc<dyn Defense> =
+        Arc::new(trainer.train(3, 2, &data.train).unwrap().into_pipeline());
+    let int8 = QuantizedDefense::quantize(Arc::clone(&pipeline));
+    (pipeline, int8, data.test)
+}
+
+#[test]
+fn int8_accuracy_stays_within_one_point_of_f32() {
+    let (pipeline, int8, test) = trained_pair();
+    let eval = EvalConfig::default();
+    let f32_acc = pipeline.evaluate(&test, &eval).unwrap();
+    let int8_acc = int8.evaluate(&test, &eval).unwrap();
+    // Surfaced in the CI job log (run with --nocapture).
+    println!(
+        "accuracy-delta: f32 {:.4} int8 {:.4} delta {:+.4} ({} samples)",
+        f32_acc,
+        int8_acc,
+        int8_acc - f32_acc,
+        test.len()
+    );
+    assert!(
+        (f32_acc - int8_acc).abs() <= 0.01 + 1e-6,
+        "int8 accuracy {int8_acc} drifted more than 1 point from f32 {f32_acc}"
+    );
+}
+
+#[test]
+fn int8_predictions_are_deterministic_across_runs_and_batch_sizes() {
+    let (_pipeline, int8, test) = trained_pair();
+    let eval = EvalConfig::default();
+    let first = int8.evaluate(&test, &eval).unwrap();
+    let second = int8.evaluate(&test, &eval).unwrap();
+    assert_eq!(first, second, "int8 evaluation must be repeatable");
+    for batch_size in [1usize, 7, 64] {
+        let acc = int8
+            .evaluate(&test, &EvalConfig::with_batch_size(batch_size))
+            .unwrap();
+        assert!(
+            (acc - first).abs() < 1e-6,
+            "int8 accuracy must not depend on the evaluation batch size \
+             ({acc} at {batch_size} vs {first} at default)"
+        );
+    }
+    // Logit-level: a sample predicted alone equals the same sample inside a
+    // batch, bit for bit — the coalescing guarantee in int8.
+    let (images, _) = test.batch(0, 5);
+    let together = int8.predict(&images).unwrap();
+    let alone = int8.predict(&images.batch_item(3)).unwrap();
+    let classes = together.shape()[1];
+    assert_eq!(alone.data(), &together.data()[3 * classes..4 * classes]);
+}
+
+#[test]
+fn evaluate_int8_precision_mode_matches_the_quantized_wrapper() {
+    // EvalConfig::precision routes any defense through the quantized split
+    // stage; on the wrapper itself both modes are the same arithmetic.
+    let (pipeline, int8, test) = trained_pair();
+    let int8_mode = EvalConfig::default().with_precision(Precision::Int8);
+    assert_eq!(
+        int8.evaluate(&test, &EvalConfig::default()).unwrap(),
+        int8.evaluate(&test, &int8_mode).unwrap(),
+    );
+    // On the f32 pipeline, Int8 mode quantizes only the split tensors; it
+    // must still stay within a point of the f32 sweep on this dataset.
+    let f32_acc = pipeline.evaluate(&test, &EvalConfig::default()).unwrap();
+    let wire_acc = pipeline.evaluate(&test, &int8_mode).unwrap();
+    assert!(
+        (f32_acc - wire_acc).abs() <= 0.01 + 1e-6,
+        "wire-only quantization drifted: {wire_acc} vs {f32_acc}"
+    );
+}
+
+#[test]
+fn int8_and_f32_label_the_same_demo_images() {
+    let (pipeline, int8, test) = trained_pair();
+    let (images, labels) = test.batch(0, 32);
+    let f32_logits = pipeline.predict(&images).unwrap();
+    let int8_logits = int8.predict(&images).unwrap();
+    // Accuracy against the true labels agrees exactly on this batch…
+    assert_eq!(
+        accuracy(&f32_logits, &labels),
+        accuracy(&int8_logits, &labels)
+    );
+    // …because the argmax labels themselves agree.
+    assert_eq!(
+        f32_logits.argmax_rows(),
+        int8_logits.argmax_rows(),
+        "f32 and int8 must put the same labels on the batch"
+    );
 }
 
 #[test]

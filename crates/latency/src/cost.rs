@@ -66,6 +66,9 @@ pub struct WireOverhead {
     pub list_header_bytes: u64,
     /// Bytes for the length prefix in front of each tensor in a list.
     pub per_tensor_prefix_bytes: u64,
+    /// Bytes for each per-sample quantization scale carried by a protocol-v2
+    /// quantized tensor (one `f32` per batch item).
+    pub per_scale_bytes: u64,
 }
 
 /// Per-partition cost of the split backbone for a single sample.
@@ -123,6 +126,40 @@ impl NetworkCost {
                     + overhead.tensor_base_bytes
                     + 2 * overhead.per_dim_bytes
                     + self.return_bytes * batch)
+    }
+
+    /// Exact byte length of the protocol-v2 **quantized** request frame for a
+    /// batch of `batch` images.
+    ///
+    /// A quantized tensor spends one byte per element instead of four
+    /// (`upload_bytes` counts `f32` payload, so the int8 payload is a
+    /// quarter of it) plus one scale word per batch sample.
+    pub fn upload_frame_bytes_q(&self, batch: u64, overhead: &WireOverhead) -> u64 {
+        overhead.frame_bytes
+            + overhead.tensor_base_bytes
+            + 4 * overhead.per_dim_bytes
+            + batch * overhead.per_scale_bytes
+            + self.upload_bytes / 4 * batch
+    }
+
+    /// Exact byte length of the protocol-v2 **quantized** response frame with
+    /// the `ensemble_size` per-network maps for a batch of `batch` images —
+    /// roughly a quarter of [`NetworkCost::return_frame_bytes`], which is the
+    /// point of the quantized encoding.
+    pub fn return_frame_bytes_q(
+        &self,
+        batch: u64,
+        ensemble_size: u64,
+        overhead: &WireOverhead,
+    ) -> u64 {
+        overhead.frame_bytes
+            + overhead.list_header_bytes
+            + ensemble_size
+                * (overhead.per_tensor_prefix_bytes
+                    + overhead.tensor_base_bytes
+                    + 2 * overhead.per_dim_bytes
+                    + batch * overhead.per_scale_bytes
+                    + self.return_bytes / 4 * batch)
     }
 }
 
@@ -242,6 +279,7 @@ mod tests {
             per_dim_bytes: 4,
             list_header_bytes: 4,
             per_tensor_prefix_bytes: 4,
+            per_scale_bytes: 4,
         };
         assert_eq!(
             cost.upload_frame_bytes(2, &overhead),
@@ -251,6 +289,31 @@ mod tests {
             cost.return_frame_bytes(2, 3, &overhead),
             16 + 4 + 3 * (4 + 8 + 2 * 4 + 2 * cost.return_bytes)
         );
+    }
+
+    #[test]
+    fn quantized_frame_model_spends_one_byte_per_element_plus_scales() {
+        let cost = network_cost(&ResNetConfig::paper_resnet18(10, 32, true));
+        let overhead = WireOverhead {
+            frame_bytes: 16,
+            tensor_base_bytes: 8,
+            per_dim_bytes: 4,
+            list_header_bytes: 4,
+            per_tensor_prefix_bytes: 4,
+            per_scale_bytes: 4,
+        };
+        assert_eq!(
+            cost.upload_frame_bytes_q(2, &overhead),
+            16 + 8 + 4 * 4 + 2 * 4 + 2 * (cost.upload_bytes / 4)
+        );
+        assert_eq!(
+            cost.return_frame_bytes_q(2, 3, &overhead),
+            16 + 4 + 3 * (4 + 8 + 2 * 4 + 2 * 4 + 2 * (cost.return_bytes / 4))
+        );
+        // The quantized response is roughly a quarter of the f32 one.
+        let f32_bytes = cost.return_frame_bytes(8, 4, &overhead) as f64;
+        let q_bytes = cost.return_frame_bytes_q(8, 4, &overhead) as f64;
+        assert!(q_bytes < 0.3 * f32_bytes, "{q_bytes} vs {f32_bytes}");
     }
 
     #[test]

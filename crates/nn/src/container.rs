@@ -185,6 +185,10 @@ impl Layer for Sequential {
     fn name(&self) -> &'static str {
         "sequential"
     }
+
+    fn quantize_layer(&self) -> crate::quant::QLayer {
+        crate::quant::QLayer::Sequential(crate::quant::QSequential::from_sequential(self))
+    }
 }
 
 /// A basic pre-activation-free residual block: `relu(bn(conv(x)) -> bn(conv) + shortcut(x))`.
@@ -338,6 +342,16 @@ impl Layer for ResidualBlock {
 
     fn name(&self) -> &'static str {
         "residual_block"
+    }
+
+    fn quantize_layer(&self) -> crate::quant::QLayer {
+        crate::quant::QLayer::Residual(Box::new(crate::quant::QResidualBlock::from_parts(
+            &self.conv1,
+            &self.bn1,
+            &self.conv2,
+            &self.bn2,
+            self.shortcut.as_ref().map(|(conv, bn)| (conv, bn)),
+        )))
     }
 }
 

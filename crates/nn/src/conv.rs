@@ -118,6 +118,11 @@ impl Conv2d {
         &mut self.weight
     }
 
+    /// Immutable view of the bias parameter.
+    pub fn bias(&self) -> &Param {
+        &self.bias
+    }
+
     /// Output shape for a given NCHW input shape.
     ///
     /// # Panics
@@ -212,6 +217,10 @@ impl Layer for Conv2d {
 
     fn name(&self) -> &'static str {
         "conv2d"
+    }
+
+    fn quantize_layer(&self) -> crate::quant::QLayer {
+        crate::quant::QLayer::Conv(crate::quant::QConv2d::from_conv(self))
     }
 }
 

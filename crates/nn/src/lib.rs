@@ -18,7 +18,10 @@
 //! * [`Sequential`] and [`ResidualBlock`] containers
 //! * [`CrossEntropyLoss`], [`MseLoss`], [`cosine_penalty`]
 //! * [`Sgd`] and [`Adam`] optimizers
-//! * [`models`] — the `MicroResNet` family used as the stand-in for ResNet-18.
+//! * [`models`] — the `MicroResNet` family used as the stand-in for ResNet-18
+//! * [`quant`] — int8 inference counterparts of the GEMM-backed layers
+//!   ([`QLinear`], [`QConv2d`], [`QSequential`]), built via
+//!   [`Layer::quantize_layer`].
 //!
 //! # Examples
 //!
@@ -51,6 +54,7 @@ mod noise;
 mod norm;
 mod optim;
 mod pool;
+pub mod quant;
 
 pub use activation::{LeakyRelu, Relu, Sigmoid, Tanh};
 pub use checkpoint::{Checkpoint, RestoreCheckpointError};
@@ -64,3 +68,4 @@ pub use noise::{FixedNoise, LearnedNoise};
 pub use norm::BatchNorm2d;
 pub use optim::{Adam, Optimizer, Sgd};
 pub use pool::{GlobalAvgPool, MaxPool2d};
+pub use quant::{QConv2d, QLayer, QLinear, QSequential};

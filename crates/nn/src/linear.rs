@@ -153,6 +153,10 @@ impl Layer for Linear {
     fn name(&self) -> &'static str {
         "linear"
     }
+
+    fn quantize_layer(&self) -> crate::quant::QLayer {
+        crate::quant::QLayer::Linear(crate::quant::QLinear::from_linear(self))
+    }
 }
 
 #[cfg(test)]

@@ -7,10 +7,10 @@ use crate::protocol::{
     read_message, write_message, Hello, HelloAck, Message, DEFAULT_MAX_PAYLOAD_BYTES,
     PROTOCOL_VERSION,
 };
-use ensembler::{Defense, EnsemblerError};
+use ensembler::{Defense, EnsemblerError, Precision};
 use ensembler_nn::models::ResNetConfig;
 use ensembler_nn::Sequential;
-use ensembler_tensor::Tensor;
+use ensembler_tensor::{QTensorBatch, Tensor};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::Mutex;
 
@@ -56,14 +56,36 @@ impl RemoteDefense {
         local: std::sync::Arc<dyn Defense>,
         addr: impl ToSocketAddrs,
     ) -> Result<Self, ServeError> {
+        Self::connect_with_max_version(local, addr, PROTOCOL_VERSION)
+    }
+
+    /// [`RemoteDefense::connect`] with an explicit cap on the protocol
+    /// version offered in the handshake.
+    ///
+    /// Capping at 1 reproduces a legacy client: the connection negotiates
+    /// down and every exchange travels in `f32` frames, which is also the
+    /// compatibility path an int8 replica takes against a v1 server (the
+    /// quantize→dequantize round trips are part of the int8 pipeline's own
+    /// semantics, so even the f32-framed exchange stays bit-exact).
+    ///
+    /// # Errors
+    ///
+    /// As for [`RemoteDefense::connect`], plus an error for a zero or
+    /// unsupported `max_version`.
+    pub fn connect_with_max_version(
+        local: std::sync::Arc<dyn Defense>,
+        addr: impl ToSocketAddrs,
+        max_version: u16,
+    ) -> Result<Self, ServeError> {
+        if max_version == 0 || max_version > PROTOCOL_VERSION {
+            return Err(ServeError::UnsupportedVersion {
+                offered: max_version,
+                supported: PROTOCOL_VERSION,
+            });
+        }
         let mut stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
-        write_message(
-            &mut stream,
-            &Message::Hello(Hello {
-                max_version: PROTOCOL_VERSION,
-            }),
-        )?;
+        write_message(&mut stream, &Message::Hello(Hello { max_version }))?;
         let peer = match read_message(&mut stream, DEFAULT_MAX_PAYLOAD_BYTES)? {
             Message::HelloAck(ack) => ack,
             Message::Error(wire) => return Err(ServeError::Remote(wire)),
@@ -74,10 +96,10 @@ impl RemoteDefense {
                 )))
             }
         };
-        if peer.version == 0 || peer.version > PROTOCOL_VERSION {
+        if peer.version == 0 || peer.version > max_version {
             return Err(ServeError::UnsupportedVersion {
                 offered: peer.version,
-                supported: PROTOCOL_VERSION,
+                supported: max_version,
             });
         }
         if peer.label != local.label()
@@ -112,7 +134,14 @@ impl RemoteDefense {
         &self.peer.label
     }
 
-    /// One request/response exchange on the shared connection.
+    /// Whether this connection ships the `server_outputs` stage in quantized
+    /// (protocol-v2) frames: the replica must be an int8 pipeline and the
+    /// server must have negotiated version 2.
+    pub fn uses_quantized_frames(&self) -> bool {
+        self.peer.version >= 2 && self.local.precision() == Precision::Int8
+    }
+
+    /// One `f32` request/response exchange on the shared connection.
     fn exchange(&self, transmitted: &Tensor) -> Result<Vec<Tensor>, ServeError> {
         let mut stream = self
             .stream
@@ -132,6 +161,41 @@ impl RemoteDefense {
                 other.message_type()
             ))),
         }
+    }
+
+    /// One quantized (protocol-v2) request/response exchange.
+    fn exchange_quantized(
+        &self,
+        transmitted: &QTensorBatch,
+    ) -> Result<Vec<QTensorBatch>, ServeError> {
+        let mut stream = self
+            .stream
+            .lock()
+            .map_err(|_| ServeError::Protocol("connection mutex poisoned".to_string()))?;
+        write_message(
+            &mut *stream,
+            &Message::ServerOutputsRequestQ {
+                transmitted: transmitted.clone(),
+            },
+        )?;
+        match read_message(&mut *stream, self.max_payload_bytes)? {
+            Message::ServerOutputsResponseQ { maps } => Ok(maps),
+            Message::Error(wire) => Err(ServeError::Remote(wire)),
+            other => Err(ServeError::Protocol(format!(
+                "expected ServerOutputsResponseQ, got {:?}",
+                other.message_type()
+            ))),
+        }
+    }
+
+    fn check_map_count(&self, got: usize) -> Result<(), EnsemblerError> {
+        if got != self.local.ensemble_size() {
+            return Err(EnsemblerError::Transport(format!(
+                "server returned {got} maps for an ensemble of {}",
+                self.local.ensemble_size()
+            )));
+        }
+        Ok(())
     }
 }
 
@@ -159,18 +223,47 @@ impl Defense for RemoteDefense {
         self.local.client_features(images)
     }
 
+    fn precision(&self) -> ensembler::Precision {
+        self.local.precision()
+    }
+
     /// Ships the transmitted features to the remote server and returns the
     /// `N` per-network feature maps it sends back.
+    ///
+    /// For an int8 replica on a v2 connection the exchange travels in
+    /// quantized frames: the features are quantized per sample exactly as
+    /// the in-process [`ensembler::QuantizedDefense`] would quantize them,
+    /// and the server evaluates the received bytes directly — so the remote
+    /// prediction is bit-identical to the in-process int8 one while the
+    /// response frame shrinks to roughly a quarter of its `f32` size.
     fn server_outputs(&self, transmitted: &Tensor) -> Result<Vec<Tensor>, EnsemblerError> {
-        let maps = self.exchange(transmitted)?;
-        if maps.len() != self.local.ensemble_size() {
-            return Err(EnsemblerError::Transport(format!(
-                "server returned {} maps for an ensemble of {}",
-                maps.len(),
-                self.local.ensemble_size()
-            )));
+        if self.uses_quantized_frames() {
+            let qf = QTensorBatch::quantize_batch(transmitted);
+            let qmaps = self.exchange_quantized(&qf)?;
+            self.check_map_count(qmaps.len())?;
+            return Ok(qmaps.iter().map(QTensorBatch::dequantize).collect());
         }
+        let maps = self.exchange(transmitted)?;
+        self.check_map_count(maps.len())?;
         Ok(maps)
+    }
+
+    /// The quantized stage itself, shipped directly when the connection
+    /// speaks v2 (used by engines that coalesce quantized work behind a
+    /// remote); on a v1 connection it falls back to `f32` frames around the
+    /// wire and re-quantizes the results.
+    fn server_outputs_quantized(
+        &self,
+        transmitted: &QTensorBatch,
+    ) -> Result<Vec<QTensorBatch>, EnsemblerError> {
+        if self.peer.version >= 2 {
+            let qmaps = self.exchange_quantized(transmitted)?;
+            self.check_map_count(qmaps.len())?;
+            return Ok(qmaps);
+        }
+        let maps = self.exchange(&transmitted.dequantize())?;
+        self.check_map_count(maps.len())?;
+        Ok(maps.iter().map(QTensorBatch::quantize_batch).collect())
     }
 
     fn classify(&self, server_maps: &[Tensor]) -> Result<Tensor, EnsemblerError> {

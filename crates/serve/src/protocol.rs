@@ -7,23 +7,31 @@
 //! ```text
 //! offset  size  field
 //! 0       4     frame magic 0x454E5357 ("ENSW"), big-endian
-//! 4       2     protocol version (currently 1), big-endian
+//! 4       2     protocol version of the frame, big-endian (see below)
 //! 6       1     message type
-//! 7       1     flags (must be zero in version 1)
+//! 7       1     flags (must be zero)
 //! 8       4     payload length in bytes, big-endian
 //! 12      n     payload (layout depends on the message type)
 //! 12+n    4     CRC-32 (IEEE) over header + payload, big-endian
 //! ```
 //!
-//! Tensors inside payloads reuse the workspace wire format
-//! ([`ensembler::split::encode_features`]): a tensor magic word, the rank,
-//! the dimensions (all big-endian `u32`) and the raw little-endian `f32`
-//! data. The data section is contiguous and 4-byte aligned within the
-//! payload, so a receiver that keeps the frame buffer alive can reinterpret
-//! it in place instead of copying. The byte-exact layout, including worked
-//! example frames, is specified in `docs/WIRE_PROTOCOL.md`; the
-//! `wire_examples` test encodes the documented frames and fails if document
-//! and implementation drift apart.
+//! Every frame is stamped with the **minimum** protocol version that defines
+//! its message type ([`frame_version`]): the handshake and all `f32` traffic
+//! travel in version-1 frames byte-identical to what a version-1 build
+//! produces, while the quantized message types added in version 2 travel in
+//! version-2 frames — which is exactly what makes a v1 peer reject them
+//! cleanly and lets mixed-version deployments negotiate down to `f32`.
+//!
+//! Tensors inside payloads reuse the workspace wire formats
+//! ([`ensembler::split::encode_features`] for `f32`,
+//! [`ensembler::split::encode_qfeatures`] for quantized tensors): a tensor
+//! magic word, the rank, the dimensions (all big-endian `u32`) and the raw
+//! little-endian data (`f32`, or per-sample `f32` scales followed by `i8`
+//! values). The data section is contiguous within the payload, so a receiver
+//! that keeps the frame buffer alive can reinterpret it in place instead of
+//! copying. The byte-exact layout, including worked example frames, is
+//! specified in `docs/WIRE_PROTOCOL.md`; the `wire_examples` test encodes the
+//! documented frames and fails if document and implementation drift apart.
 //!
 //! # Examples
 //!
@@ -40,15 +48,32 @@
 //! ```
 
 use crate::error::ServeError;
-use ensembler::split::{decode_features, encode_features};
+use ensembler::split::{decode_features, decode_qfeatures, encode_features, encode_qfeatures};
 use ensembler_latency::WireOverhead;
-use ensembler_tensor::Tensor;
+use ensembler_tensor::{QTensorBatch, Tensor};
 
 /// Magic word opening every frame ("ENSW", for ENSembler Wire).
 pub const FRAME_MAGIC: u32 = 0x454E_5357;
 
-/// The protocol version this build speaks (and the only one so far).
-pub const PROTOCOL_VERSION: u16 = 1;
+/// The highest protocol version this build speaks. Version 2 adds the
+/// quantized message types [`MessageType::ServerOutputsRequestQ`] and
+/// [`MessageType::ServerOutputsResponseQ`]; every version-1 frame is
+/// unchanged.
+pub const PROTOCOL_VERSION: u16 = 2;
+
+/// Returns the version stamped into a frame carrying `message_type`: the
+/// **minimum** protocol version that defines the type.
+///
+/// Stamping the minimum (rather than the negotiated maximum) keeps every
+/// legacy frame byte-identical to what a version-1 build produces — a v1
+/// peer can parse everything a v2 peer sends it during negotiation, and
+/// naturally rejects the quantized types it cannot understand.
+pub fn frame_version(message_type: MessageType) -> u16 {
+    match message_type {
+        MessageType::ServerOutputsRequestQ | MessageType::ServerOutputsResponseQ => 2,
+        _ => 1,
+    }
+}
 
 /// Fixed frame header size: magic + version + type + flags + payload length.
 pub const FRAME_HEADER_BYTES: usize = 12;
@@ -70,11 +95,14 @@ pub const DEFAULT_MAX_PAYLOAD_BYTES: u32 = 64 * 1024 * 1024;
 /// frames actually produced by [`encode_message`].
 pub const WIRE_OVERHEAD: WireOverhead = WireOverhead {
     frame_bytes: (FRAME_HEADER_BYTES + FRAME_TRAILER_BYTES) as u64,
-    // Tensor magic word + rank word (see `ensembler::split::encode_features`).
+    // Tensor magic word + rank word (see `ensembler::split::encode_features`;
+    // the quantized encoding spends the same header).
     tensor_base_bytes: 8,
     per_dim_bytes: 4,
     list_header_bytes: 4,
     per_tensor_prefix_bytes: 4,
+    // One little-endian f32 scale per batch sample in a quantized tensor.
+    per_scale_bytes: 4,
 };
 
 /// Message type discriminants as they appear in byte 6 of the frame header.
@@ -89,6 +117,11 @@ pub enum MessageType {
     ServerOutputsRequest = 0x03,
     /// Server → client: the `N` per-network feature maps.
     ServerOutputsResponse = 0x04,
+    /// Client → server (v2): a quantized batch of transmitted feature maps
+    /// (`i8` payload plus per-sample scales).
+    ServerOutputsRequestQ = 0x05,
+    /// Server → client (v2): the `N` quantized per-network feature maps.
+    ServerOutputsResponseQ = 0x06,
     /// Either direction: a terminal or per-request error report.
     Error = 0x7F,
 }
@@ -100,6 +133,8 @@ impl MessageType {
             0x02 => MessageType::HelloAck,
             0x03 => MessageType::ServerOutputsRequest,
             0x04 => MessageType::ServerOutputsResponse,
+            0x05 => MessageType::ServerOutputsRequestQ,
+            0x06 => MessageType::ServerOutputsResponseQ,
             0x7F => MessageType::Error,
             other => {
                 return Err(ServeError::Frame(format!(
@@ -197,6 +232,19 @@ pub enum Message {
         /// One `[B, F]` feature map per server body.
         maps: Vec<Tensor>,
     },
+    /// A quantized `[B, C, H, W]` batch of transmitted feature maps
+    /// (protocol v2): `i8` payload plus one scale per sample, roughly a
+    /// quarter of the equivalent [`Message::ServerOutputsRequest`] bytes.
+    ServerOutputsRequestQ {
+        /// The quantized client-protected features.
+        transmitted: QTensorBatch,
+    },
+    /// The `N` quantized per-network feature maps, in index order
+    /// (protocol v2).
+    ServerOutputsResponseQ {
+        /// One quantized `[B, F]` feature map per server body.
+        maps: Vec<QTensorBatch>,
+    },
     /// An error report.
     Error(WireError),
 }
@@ -209,6 +257,8 @@ impl Message {
             Message::HelloAck(_) => MessageType::HelloAck,
             Message::ServerOutputsRequest { .. } => MessageType::ServerOutputsRequest,
             Message::ServerOutputsResponse { .. } => MessageType::ServerOutputsResponse,
+            Message::ServerOutputsRequestQ { .. } => MessageType::ServerOutputsRequestQ,
+            Message::ServerOutputsResponseQ { .. } => MessageType::ServerOutputsResponseQ,
             Message::Error(_) => MessageType::Error,
         }
     }
@@ -261,6 +311,15 @@ fn put_tensor_list(buf: &mut Vec<u8>, tensors: &[Tensor]) {
     }
 }
 
+fn put_qtensor_list(buf: &mut Vec<u8>, tensors: &[QTensorBatch]) {
+    put_u32(buf, tensors.len() as u32);
+    for tensor in tensors {
+        let blob = encode_qfeatures(tensor);
+        put_u32(buf, blob.len() as u32);
+        buf.extend_from_slice(&blob);
+    }
+}
+
 /// A strict little parser over a payload slice: every read is
 /// bounds-checked, and [`Cursor::finish`] rejects trailing bytes so no
 /// malformed payload can decode by accident.
@@ -302,6 +361,27 @@ impl<'a> Cursor<'a> {
         let bytes = self.take(len, what)?;
         String::from_utf8(bytes.to_vec())
             .map_err(|_| ServeError::Frame(format!("{what} is not valid UTF-8")))
+    }
+
+    fn take_qtensor_list(&mut self, what: &str) -> Result<Vec<QTensorBatch>, ServeError> {
+        let count = self.take_u32(what)? as usize;
+        // Each quantized tensor costs at least a length prefix + header.
+        if count > self.rest.len() / 12 {
+            return Err(ServeError::Frame(format!(
+                "{what} declares {count} quantized tensors but only {} payload bytes remain",
+                self.rest.len()
+            )));
+        }
+        let mut tensors = Vec::with_capacity(count);
+        for index in 0..count {
+            let len = self.take_u32(what)? as usize;
+            let blob = self.take(len, what)?;
+            let tensor = decode_qfeatures(blob).map_err(|e| {
+                ServeError::Frame(format!("{what} quantized tensor {index} is malformed: {e}"))
+            })?;
+            tensors.push(tensor);
+        }
+        Ok(tensors)
     }
 
     fn take_tensor_list(&mut self, what: &str) -> Result<Vec<Tensor>, ServeError> {
@@ -357,6 +437,12 @@ pub fn encode_message(message: &Message) -> Vec<u8> {
         Message::ServerOutputsResponse { maps } => {
             put_tensor_list(&mut payload, maps);
         }
+        Message::ServerOutputsRequestQ { transmitted } => {
+            payload.extend_from_slice(&encode_qfeatures(transmitted));
+        }
+        Message::ServerOutputsResponseQ { maps } => {
+            put_qtensor_list(&mut payload, maps);
+        }
         Message::Error(error) => {
             payload.extend_from_slice(&(error.code as u16).to_be_bytes());
             put_string(&mut payload, &error.message);
@@ -365,7 +451,7 @@ pub fn encode_message(message: &Message) -> Vec<u8> {
 
     let mut frame = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len() + FRAME_TRAILER_BYTES);
     frame.extend_from_slice(&FRAME_MAGIC.to_be_bytes());
-    frame.extend_from_slice(&PROTOCOL_VERSION.to_be_bytes());
+    frame.extend_from_slice(&frame_version(message.message_type()).to_be_bytes());
     frame.push(message.message_type() as u8);
     frame.push(0); // flags
     frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
@@ -404,9 +490,16 @@ pub fn decode_message(frame: &[u8]) -> Result<Message, ServeError> {
         });
     }
     let message_type = MessageType::from_byte(frame[6])?;
+    if frame_version(message_type) > version {
+        return Err(ServeError::Frame(format!(
+            "message type {:#04x} requires protocol version {}, frame is stamped {version}",
+            frame[6],
+            frame_version(message_type)
+        )));
+    }
     if frame[7] != 0 {
         return Err(ServeError::Frame(format!(
-            "non-zero flags {:#04x} in a version-1 frame",
+            "non-zero flags {:#04x} in a version-{version} frame",
             frame[7]
         )));
     }
@@ -458,6 +551,18 @@ pub fn decode_message(frame: &[u8]) -> Result<Message, ServeError> {
             let maps = cursor.take_tensor_list("response payload")?;
             cursor.finish("response payload")?;
             Message::ServerOutputsResponse { maps }
+        }
+        MessageType::ServerOutputsRequestQ => {
+            let blob = cursor.rest;
+            let transmitted = decode_qfeatures(blob).map_err(|e| {
+                ServeError::Frame(format!("quantized request tensor is malformed: {e}"))
+            })?;
+            Message::ServerOutputsRequestQ { transmitted }
+        }
+        MessageType::ServerOutputsResponseQ => {
+            let maps = cursor.take_qtensor_list("quantized response payload")?;
+            cursor.finish("quantized response payload")?;
+            Message::ServerOutputsResponseQ { maps }
         }
         MessageType::Error => {
             let code = ErrorCode::from_u16(cursor.take_u16("Error payload")?);
@@ -556,6 +661,94 @@ mod tests {
     fn empty_response_round_trips() {
         let message = Message::ServerOutputsResponse { maps: Vec::new() };
         assert_eq!(round_trip(message.clone()), message);
+    }
+
+    #[test]
+    fn quantized_messages_round_trip_in_version_2_frames() {
+        let transmitted = QTensorBatch::quantize_batch(&Tensor::from_fn(&[2, 3, 4, 4], |i| {
+            (i as f32 * 0.1).sin()
+        }));
+        let request = Message::ServerOutputsRequestQ {
+            transmitted: transmitted.clone(),
+        };
+        let frame = encode_message(&request);
+        assert_eq!(&frame[4..6], &2u16.to_be_bytes(), "v2 frame stamp");
+        assert_eq!(round_trip(request.clone()), request);
+
+        let maps: Vec<QTensorBatch> = (0..3)
+            .map(|k| QTensorBatch::quantize_batch(&Tensor::from_fn(&[2, 5], |i| (i + k) as f32)))
+            .collect();
+        let response = Message::ServerOutputsResponseQ { maps };
+        assert_eq!(round_trip(response.clone()), response);
+    }
+
+    #[test]
+    fn legacy_messages_stay_in_version_1_frames() {
+        // Byte-level compatibility: everything a v1 build understands is
+        // still stamped v1, so a v1 peer can parse it.
+        for message in [
+            Message::Hello(Hello { max_version: 2 }),
+            Message::HelloAck(HelloAck {
+                version: 1,
+                label: "Ensembler".to_string(),
+                ensemble_size: 2,
+                selected_count: 1,
+            }),
+            Message::ServerOutputsRequest {
+                transmitted: Tensor::ones(&[1, 1, 2, 2]),
+            },
+            Message::Error(WireError {
+                code: ErrorCode::Internal,
+                message: "x".to_string(),
+            }),
+        ] {
+            let frame = encode_message(&message);
+            assert_eq!(&frame[4..6], &1u16.to_be_bytes(), "{message:?}");
+        }
+    }
+
+    #[test]
+    fn quantized_types_are_rejected_in_version_1_frames() {
+        let q = QTensorBatch::quantize_batch(&Tensor::ones(&[1, 1, 2, 2]));
+        let mut frame = encode_message(&Message::ServerOutputsRequestQ { transmitted: q });
+        frame[4..6].copy_from_slice(&1u16.to_be_bytes());
+        let crc_offset = frame.len() - FRAME_TRAILER_BYTES;
+        let crc = crc32(&frame[..crc_offset]);
+        frame[crc_offset..].copy_from_slice(&crc.to_be_bytes());
+        let err = decode_message(&frame).unwrap_err();
+        assert!(
+            err.to_string().contains("requires protocol version 2"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn truncated_and_garbage_scale_fields_are_rejected() {
+        let q = QTensorBatch::quantize_batch(&Tensor::from_fn(&[2, 4], |i| i as f32 + 1.0));
+        let good = encode_message(&Message::ServerOutputsRequestQ {
+            transmitted: q.clone(),
+        });
+
+        // Truncate inside the scale section: drop the last data bytes so the
+        // payload ends mid-scale, re-stamp length and CRC so framing is valid.
+        let cut = 8; // removes all 8 i8 values: payload now ends inside scales
+        let mut frame = good[..good.len() - FRAME_TRAILER_BYTES - cut].to_vec();
+        let payload_len = (frame.len() - FRAME_HEADER_BYTES) as u32;
+        frame[8..12].copy_from_slice(&payload_len.to_be_bytes());
+        let crc = crc32(&frame);
+        frame.extend_from_slice(&crc.to_be_bytes());
+        let err = decode_message(&frame).unwrap_err();
+        assert!(err.to_string().contains("malformed"), "{err}");
+
+        // Garbage scale: an infinite per-sample scale must be rejected.
+        let mut frame = good;
+        let scale_offset = FRAME_HEADER_BYTES + 4 + 4 + 2 * 4;
+        frame[scale_offset..scale_offset + 4].copy_from_slice(&f32::INFINITY.to_le_bytes());
+        let crc_offset = frame.len() - FRAME_TRAILER_BYTES;
+        let crc = crc32(&frame[..crc_offset]);
+        frame[crc_offset..].copy_from_slice(&crc.to_be_bytes());
+        let err = decode_message(&frame).unwrap_err();
+        assert!(err.to_string().contains("finite"), "{err}");
     }
 
     #[test]

@@ -16,7 +16,7 @@ use crate::protocol::{
     DEFAULT_MAX_PAYLOAD_BYTES, PROTOCOL_VERSION,
 };
 use ensembler::{Defense, EngineConfig, InferenceEngine};
-use ensembler_tensor::Tensor;
+use ensembler_tensor::{QTensorBatch, Tensor};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -288,6 +288,17 @@ fn serve_connection(
                     }
                 }
             }
+            Ok(Message::ServerOutputsRequestQ { transmitted }) => {
+                match run_request_quantized(engine, transmitted) {
+                    Ok(maps) => {
+                        stats.requests.fetch_add(1, Ordering::Relaxed);
+                        write_message(&mut stream, &Message::ServerOutputsResponseQ { maps })?;
+                    }
+                    Err(error) => {
+                        send_error(&mut stream, stats, ErrorCode::Inference, error.to_string())
+                    }
+                }
+            }
             Ok(Message::Error(_)) => return Ok(()), // client gave up; hang up
             Ok(other) => {
                 send_error(
@@ -326,15 +337,8 @@ fn run_request(
     engine: &InferenceEngine<dyn Defense>,
     transmitted: Tensor,
 ) -> Result<Vec<Tensor>, ensembler::EnsemblerError> {
-    let expected = engine.defense().config().head_output_shape();
-    let shape = transmitted.shape();
-    if shape.len() != 4 || shape[0] == 0 || shape[1..] != expected[..] {
-        return Err(ensembler::EnsemblerError::ShapeMismatch(format!(
-            "request features {shape:?} do not match the served head output [B, {}, {}, {}]",
-            expected[0], expected[1], expected[2]
-        )));
-    }
-    if shape[0] == 1 {
+    check_request_shape(engine, transmitted.shape())?;
+    if transmitted.shape()[0] == 1 {
         // The engine catches pipeline panics itself.
         engine.server_outputs_one(transmitted)
     } else {
@@ -350,4 +354,46 @@ fn run_request(
             )))
         })
     }
+}
+
+/// The quantized (protocol-v2) sibling of [`run_request`]: single-sample
+/// requests coalesce through the engine's quantized queue — so v2 requests
+/// from different connections batch together, with answers bit-identical to
+/// isolated evaluation — and pre-batched requests run direct.
+fn run_request_quantized(
+    engine: &InferenceEngine<dyn Defense>,
+    transmitted: QTensorBatch,
+) -> Result<Vec<QTensorBatch>, ensembler::EnsemblerError> {
+    check_request_shape(engine, transmitted.shape())?;
+    if transmitted.batch() == 1 {
+        engine.server_outputs_quantized_one(transmitted)
+    } else {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.defense().server_outputs_quantized(&transmitted)
+        }))
+        .unwrap_or_else(|payload| {
+            Err(ensembler::EnsemblerError::Engine(format!(
+                "server_outputs_quantized panicked: {}",
+                ensembler::engine::panic_message(payload.as_ref())
+            )))
+        })
+    }
+}
+
+/// Validates a request's feature shape against the served backbone *before*
+/// it can reach a coalescing queue: an untrusted peer's malformed request
+/// must fail alone, never poison a mini-batch it shares with honest requests
+/// from other connections.
+fn check_request_shape(
+    engine: &InferenceEngine<dyn Defense>,
+    shape: &[usize],
+) -> Result<(), ensembler::EnsemblerError> {
+    let expected = engine.defense().config().head_output_shape();
+    if shape.len() != 4 || shape[0] == 0 || shape[1..] != expected[..] {
+        return Err(ensembler::EnsemblerError::ShapeMismatch(format!(
+            "request features {shape:?} do not match the served head output [B, {}, {}, {}]",
+            expected[0], expected[1], expected[2]
+        )));
+    }
+    Ok(())
 }

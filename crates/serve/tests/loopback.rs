@@ -2,13 +2,15 @@
 //! one set of threads, [`RemoteDefense`] clients (or raw protocol frames) on
 //! the other side, and bit-identical results as the acceptance bar.
 
-use ensembler::{Defense, EngineConfig, EnsemblerError, InferenceEngine};
+use ensembler::{
+    Defense, EngineConfig, EnsemblerError, InferenceEngine, Precision, QuantizedDefense,
+};
 use ensembler_serve::protocol::{
     crc32, encode_message, read_message, write_message, ErrorCode, Hello, Message,
-    DEFAULT_MAX_PAYLOAD_BYTES, FRAME_TRAILER_BYTES,
+    DEFAULT_MAX_PAYLOAD_BYTES, FRAME_HEADER_BYTES, FRAME_TRAILER_BYTES, PROTOCOL_VERSION,
 };
 use ensembler_serve::{demo_pipeline, DefenseServer, RemoteDefense, ServeError, ServerConfig};
-use ensembler_tensor::{Rng, Tensor};
+use ensembler_tensor::{QTensorBatch, Rng, Tensor};
 use std::net::TcpStream;
 use std::sync::Arc;
 
@@ -31,12 +33,28 @@ fn random_images(batch: usize, seed: u64) -> Tensor {
     Tensor::from_fn(&[batch, 3, 16, 16], |_| rng.uniform(-1.0, 1.0))
 }
 
+/// Binds a demo server over the int8-quantized demo pipeline.
+fn demo_server_int8(n: usize, p: usize, seed: u64) -> (DefenseServer, Arc<dyn Defense>) {
+    let pipeline: Arc<dyn Defense> = Arc::new(QuantizedDefense::quantize(Arc::new(
+        demo_pipeline(n, p, seed).unwrap(),
+    )));
+    let server = DefenseServer::bind(
+        Arc::clone(&pipeline),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .unwrap();
+    (server, pipeline)
+}
+
 #[test]
 fn remote_predict_is_bit_identical_to_in_process() {
     let (server, pipeline) = demo_server(3, 2, 21);
     let remote = RemoteDefense::connect(Arc::clone(&pipeline), server.local_addr()).unwrap();
-    assert_eq!(remote.negotiated_version(), 1);
+    assert_eq!(remote.negotiated_version(), PROTOCOL_VERSION);
     assert_eq!(remote.peer_label(), "Ensembler");
+    // An f32 replica never uses quantized frames, whatever the version.
+    assert!(!remote.uses_quantized_frames());
 
     // Batched request: travels the direct server path.
     let batch = random_images(4, 1);
@@ -115,6 +133,169 @@ fn a_remote_defense_can_sit_behind_a_local_inference_engine() {
     let expected = pipeline.predict(&image).unwrap();
     let logits = engine.predict_one(image.batch_item(0)).unwrap();
     assert_eq!(logits.data(), expected.data());
+}
+
+#[test]
+fn quantized_remote_predict_is_bit_identical_to_in_process_int8() {
+    let (server, int8) = demo_server_int8(3, 2, 41);
+    let remote = RemoteDefense::connect(Arc::clone(&int8), server.local_addr()).unwrap();
+    assert_eq!(remote.negotiated_version(), 2);
+    assert_eq!(remote.peer_label(), "Ensembler+int8");
+    assert_eq!(remote.precision(), Precision::Int8);
+    assert!(remote.uses_quantized_frames());
+
+    // Batched request (direct server path) and single-image request (the
+    // engine's quantized coalescing path): both bit-identical to in-process.
+    for (batch, seed) in [(4usize, 51u64), (1, 52)] {
+        let images = random_images(batch, seed);
+        assert_eq!(
+            remote.predict(&images).unwrap(),
+            int8.predict(&images).unwrap(),
+            "batch {batch}"
+        );
+    }
+    assert_eq!(server.stats().requests_served, 2);
+    assert_eq!(server.stats().errors_sent, 0);
+}
+
+#[test]
+fn concurrent_quantized_clients_coalesce_across_connections() {
+    let (server, int8) = demo_server_int8(2, 1, 43);
+    let expected: Vec<Tensor> = (0..5)
+        .map(|k| int8.predict(&random_images(1, 200 + k)).unwrap())
+        .collect();
+
+    let answers: Vec<Tensor> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..5)
+            .map(|k| {
+                let int8 = Arc::clone(&int8);
+                let addr = server.local_addr();
+                scope.spawn(move || {
+                    let remote = RemoteDefense::connect(int8, addr).unwrap();
+                    remote.predict(&random_images(1, 200 + k)).unwrap()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    assert_eq!(answers, expected);
+    // All five quantized single-image requests coalesced through the engine.
+    assert_eq!(server.engine_stats().requests_served, 5);
+}
+
+#[test]
+fn a_version_1_client_negotiates_down_to_f32_frames() {
+    // A v2 server with an f32 pipeline serves a legacy (max_version = 1)
+    // client over f32 frames, bit-identically.
+    let (server, pipeline) = demo_server(2, 1, 45);
+    let remote =
+        RemoteDefense::connect_with_max_version(Arc::clone(&pipeline), server.local_addr(), 1)
+            .unwrap();
+    assert_eq!(remote.negotiated_version(), 1);
+    assert!(!remote.uses_quantized_frames());
+    let images = random_images(2, 46);
+    assert_eq!(
+        remote.predict(&images).unwrap(),
+        pipeline.predict(&images).unwrap()
+    );
+
+    // An int8 replica capped at v1 also works — the quantize→dequantize
+    // round trips are part of the pipeline's own semantics, so shipping the
+    // split tensors in f32 frames preserves bit-exactness.
+    let (server, int8) = demo_server_int8(2, 1, 47);
+    let remote =
+        RemoteDefense::connect_with_max_version(Arc::clone(&int8), server.local_addr(), 1).unwrap();
+    assert_eq!(remote.negotiated_version(), 1);
+    assert!(!remote.uses_quantized_frames());
+    let images = random_images(2, 48);
+    assert_eq!(
+        remote.predict(&images).unwrap(),
+        int8.predict(&images).unwrap()
+    );
+
+    // Offering an unsupported version is rejected client-side.
+    assert!(matches!(
+        RemoteDefense::connect_with_max_version(int8, server.local_addr(), 0),
+        Err(ServeError::UnsupportedVersion { .. })
+    ));
+}
+
+#[test]
+fn f32_client_against_int8_server_fails_the_handshake() {
+    // Same architecture, different precision: the label check must refuse to
+    // pair them, otherwise predictions silently diverge from both pipelines.
+    let (server, _int8) = demo_server_int8(3, 2, 49);
+    let f32_replica: Arc<dyn Defense> = Arc::new(demo_pipeline(3, 2, 49).unwrap());
+    let err = RemoteDefense::connect(f32_replica, server.local_addr()).unwrap_err();
+    assert!(err.to_string().contains("does not match"), "{err}");
+}
+
+#[test]
+fn truncated_and_garbage_quantized_requests_get_error_frames() {
+    use std::io::Write;
+
+    let (server, int8) = demo_server_int8(2, 1, 53);
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    write_message(&mut stream, &Message::Hello(Hello { max_version: 2 })).unwrap();
+    let Message::HelloAck(ack) = read_message(&mut stream, DEFAULT_MAX_PAYLOAD_BYTES).unwrap()
+    else {
+        panic!("handshake failed");
+    };
+    assert_eq!(ack.version, 2);
+
+    // A quantized request whose scale field is garbage (NaN): the frame
+    // itself is well-formed (CRC re-stamped), so the decode layer must
+    // reject the payload and report a malformed frame.
+    let features = int8
+        .client_features(&random_images(1, 54))
+        .map(|t| QTensorBatch::quantize_batch(&t))
+        .unwrap();
+    let mut frame = encode_message(&Message::ServerOutputsRequestQ {
+        transmitted: features,
+    });
+    let scale_offset = FRAME_HEADER_BYTES + 4 + 4 + 4 * 4; // magic+rank+dims
+    frame[scale_offset..scale_offset + 4].copy_from_slice(&f32::NAN.to_le_bytes());
+    let crc_offset = frame.len() - FRAME_TRAILER_BYTES;
+    let crc = crc32(&frame[..crc_offset]);
+    frame[crc_offset..].copy_from_slice(&crc.to_be_bytes());
+    stream.write_all(&frame).unwrap();
+    stream.flush().unwrap();
+    match read_message(&mut stream, DEFAULT_MAX_PAYLOAD_BYTES).unwrap() {
+        Message::Error(wire) => {
+            assert_eq!(wire.code, ErrorCode::MalformedFrame);
+            assert!(wire.message.contains("finite"), "{}", wire.message);
+        }
+        other => panic!("expected an error frame, got {other:?}"),
+    }
+
+    // A truncated quantized request (payload cut mid-data, framing fixed up)
+    // is likewise rejected; the server then still serves honest clients.
+    drop(stream);
+    let remote = RemoteDefense::connect(Arc::clone(&int8), server.local_addr()).unwrap();
+    let images = random_images(1, 55);
+    assert_eq!(
+        remote.predict(&images).unwrap(),
+        int8.predict(&images).unwrap()
+    );
+}
+
+#[test]
+fn quantized_shape_mismatches_are_rejected_before_the_queue() {
+    let (server, int8) = demo_server_int8(2, 1, 57);
+    let remote = RemoteDefense::connect(Arc::clone(&int8), server.local_addr()).unwrap();
+    for bad in [
+        Tensor::ones(&[4, 4]),
+        Tensor::ones(&[2, 5, 8, 8]),
+        Tensor::ones(&[1, 5, 9, 9]),
+    ] {
+        let err = remote.server_outputs(&bad).unwrap_err();
+        assert!(
+            err.to_string().contains("head output"),
+            "expected an up-front shape rejection, got {err}"
+        );
+    }
+    assert_eq!(server.engine_stats().requests_served, 0);
 }
 
 #[test]

@@ -9,7 +9,7 @@ use ensembler_latency::network_cost;
 use ensembler_nn::models::ResNetConfig;
 use ensembler_serve::demo_pipeline;
 use ensembler_serve::protocol::{encode_message, Message, WIRE_OVERHEAD};
-use ensembler_tensor::Tensor;
+use ensembler_tensor::{QTensorBatch, Tensor};
 
 fn configs() -> Vec<(&'static str, ResNetConfig)> {
     vec![
@@ -60,6 +60,66 @@ fn return_frame_bytes_match_the_encoder_for_every_backbone() {
 }
 
 #[test]
+fn quantized_upload_frame_bytes_match_the_encoder_for_every_backbone() {
+    for (name, config) in configs() {
+        let cost = network_cost(&config);
+        let head = config.head_output_shape();
+        for batch in [1usize, 8] {
+            let transmitted = QTensorBatch::quantize_batch(&Tensor::from_fn(
+                &[batch, head[0], head[1], head[2]],
+                |i| (i as f32 * 0.01).sin(),
+            ));
+            let frame = encode_message(&Message::ServerOutputsRequestQ { transmitted });
+            assert_eq!(
+                frame.len() as u64,
+                cost.upload_frame_bytes_q(batch as u64, &WIRE_OVERHEAD),
+                "quantized upload frame size drifted from the analytic model \
+                 for {name} batch {batch}"
+            );
+        }
+    }
+}
+
+#[test]
+fn quantized_return_frame_bytes_match_the_encoder_for_every_backbone() {
+    for (name, config) in configs() {
+        let cost = network_cost(&config);
+        let features = config.body_output_features();
+        for batch in [1usize, 8] {
+            for ensemble_size in [1usize, 4] {
+                let maps: Vec<QTensorBatch> = (0..ensemble_size)
+                    .map(|k| {
+                        QTensorBatch::quantize_batch(&Tensor::from_fn(&[batch, features], |i| {
+                            ((i + k) as f32 * 0.1).cos()
+                        }))
+                    })
+                    .collect();
+                let frame = encode_message(&Message::ServerOutputsResponseQ { maps });
+                assert_eq!(
+                    frame.len() as u64,
+                    cost.return_frame_bytes_q(batch as u64, ensemble_size as u64, &WIRE_OVERHEAD),
+                    "quantized return frame size drifted from the analytic model \
+                     for {name} batch {batch} N {ensemble_size}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn the_quantized_response_is_roughly_a_quarter_of_the_f32_one() {
+    // The headline byte saving of protocol v2, asserted on real frames.
+    let config = ResNetConfig::paper_resnet18(10, 32, true);
+    let cost = network_cost(&config);
+    let f32_bytes = cost.return_frame_bytes(32, 10, &WIRE_OVERHEAD) as f64;
+    let q_bytes = cost.return_frame_bytes_q(32, 10, &WIRE_OVERHEAD) as f64;
+    assert!(
+        q_bytes < 0.27 * f32_bytes,
+        "quantized response {q_bytes} B should be about a quarter of {f32_bytes} B"
+    );
+}
+
+#[test]
 fn a_live_pipelines_frames_match_the_model_end_to_end() {
     // Not just synthetic zero tensors: run a real pipeline's client and
     // server stages and check the frames they would put on the wire.
@@ -82,6 +142,26 @@ fn a_live_pipelines_frames_match_the_model_end_to_end() {
     assert_eq!(
         response.len() as u64,
         cost.return_frame_bytes(
+            batch as u64,
+            pipeline.ensemble_size() as u64,
+            &WIRE_OVERHEAD
+        )
+    );
+
+    // And the same stages through the quantized (v2) encoding.
+    let qf = QTensorBatch::quantize_batch(&transmitted);
+    let request = encode_message(&Message::ServerOutputsRequestQ {
+        transmitted: qf.clone(),
+    });
+    assert_eq!(
+        request.len() as u64,
+        cost.upload_frame_bytes_q(batch as u64, &WIRE_OVERHEAD)
+    );
+    let qmaps = pipeline.server_outputs_quantized(&qf).unwrap();
+    let response = encode_message(&Message::ServerOutputsResponseQ { maps: qmaps });
+    assert_eq!(
+        response.len() as u64,
+        cost.return_frame_bytes_q(
             batch as u64,
             pipeline.ensemble_size() as u64,
             &WIRE_OVERHEAD

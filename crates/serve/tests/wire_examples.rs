@@ -5,7 +5,7 @@
 //! side without the other fails this test.
 
 use ensembler_serve::protocol::{encode_message, ErrorCode, Hello, HelloAck, Message, WireError};
-use ensembler_tensor::Tensor;
+use ensembler_tensor::{QTensorBatch, Tensor};
 use std::collections::BTreeMap;
 
 /// The example messages the document walks through, by marker name.
@@ -33,6 +33,23 @@ fn documented_examples() -> BTreeMap<&'static str, Message> {
             maps: vec![
                 Tensor::from_vec(vec![1.0, -0.5], &[1, 2]).unwrap(),
                 Tensor::from_vec(vec![0.25, 4.0], &[1, 2]).unwrap(),
+            ],
+        },
+    );
+    examples.insert(
+        "server-outputs-request-q",
+        Message::ServerOutputsRequestQ {
+            transmitted: QTensorBatch::quantize_batch(
+                &Tensor::from_vec(vec![0.0, 0.5, -1.0, 2.0], &[1, 1, 2, 2]).unwrap(),
+            ),
+        },
+    );
+    examples.insert(
+        "server-outputs-response-q",
+        Message::ServerOutputsResponseQ {
+            maps: vec![
+                QTensorBatch::quantize_batch(&Tensor::from_vec(vec![1.0, -0.5], &[1, 2]).unwrap()),
+                QTensorBatch::quantize_batch(&Tensor::from_vec(vec![0.25, 4.0], &[1, 2]).unwrap()),
             ],
         },
     );

@@ -34,13 +34,15 @@ mod init;
 pub mod json;
 mod ops;
 pub mod parallel;
+pub mod quant;
 mod shape;
 mod tensor;
 
-pub use conv::{col2im, im2col, Conv2dGeometry};
+pub use conv::{col2im, im2col, im2col_i8, Conv2dGeometry};
 pub use error::ShapeError;
 pub use init::{Init, Rng};
 pub use json::{JsonError, JsonValue};
 pub use parallel::par_map;
+pub use quant::{qgemm_nn, QTensor, QTensorBatch};
 pub use shape::{broadcast_compatible, stride_for, Shape};
 pub use tensor::Tensor;

@@ -3,8 +3,31 @@
 use ensembler_tensor::gemm::{
     gemm_nn_with, gemm_nt_with, gemm_tn_with, Parallelism, MR, NR, SMALL_THRESHOLD,
 };
-use ensembler_tensor::{col2im, im2col, Conv2dGeometry, Rng, Tensor};
+use ensembler_tensor::quant::{qgemm_nn_with, QKC, QSMALL_THRESHOLD};
+use ensembler_tensor::{
+    col2im, im2col, im2col_i8, Conv2dGeometry, QTensor, QTensorBatch, Rng, Tensor,
+};
 use proptest::prelude::*;
+
+/// Textbook O(m·k·n) integer product used as the oracle for the packed int8
+/// kernel.
+fn naive_qgemm(a: &[i8], b: &[i8], m: usize, k: usize, n: usize) -> Vec<i32> {
+    let mut out = vec![0i32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0i32;
+            for p in 0..k {
+                acc += a[i * k + p] as i32 * b[p * n + j] as i32;
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    out
+}
+
+fn fill_i8(len: usize, rng: &mut Rng) -> Vec<i8> {
+    (0..len).map(|_| rng.below(255) as i8).collect()
+}
 
 /// Textbook O(m·k·n) product used as the oracle for the blocked kernels.
 fn naive_gemm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
@@ -282,5 +305,112 @@ proptest! {
             let out = geom.output_extent(h);
             prop_assert_eq!(geom.transposed_output_extent(out), h);
         }
+    }
+
+    #[test]
+    fn quantize_dequantize_error_is_at_most_half_a_step(
+        len in 1usize..200,
+        magnitude in 0.001f32..1000.0,
+        seed in any::<u64>()
+    ) {
+        // The defining bound of symmetric int8 quantization: every element
+        // reconstructs to within scale/2 (up to f32 rounding slack).
+        let mut rng = Rng::seed_from(seed);
+        let t = Tensor::from_fn(&[len], |_| rng.uniform(-magnitude, magnitude));
+        let q = QTensor::quantize(&t);
+        let back = q.dequantize();
+        for (x, y) in t.data().iter().zip(back.data()) {
+            prop_assert!(
+                (x - y).abs() <= q.scale() * 0.500001,
+                "roundtrip error {} exceeds scale/2 = {}",
+                (x - y).abs(),
+                q.scale() / 2.0
+            );
+        }
+        // Per-sample batch quantization obeys the same bound per row.
+        let rows = Tensor::from_fn(&[4, 16], |_| rng.uniform(-magnitude, magnitude));
+        let qb = QTensorBatch::quantize_batch(&rows);
+        let back = qb.dequantize();
+        for (i, (x, y)) in rows.data().iter().zip(back.data()).enumerate() {
+            prop_assert!((x - y).abs() <= qb.scales()[i / 16] * 0.500001);
+        }
+    }
+
+    #[test]
+    fn qgemm_matches_the_naive_i32_oracle((m, k, n) in gemm_shape(), seed in any::<u64>()) {
+        // Same shape strategy as the f32 oracle suite: unit dims, ragged
+        // register-tile edges, both sides of the packing threshold. Integer
+        // accumulation is exact, so equality is bitwise on every path.
+        let mut rng = Rng::seed_from(seed);
+        let a = fill_i8(m * k, &mut rng);
+        let b = fill_i8(k * n, &mut rng);
+        let want = naive_qgemm(&a, &b, m, k, n);
+        prop_assert_eq!(qgemm_nn_with(&a, &b, m, k, n, Parallelism::Serial), want.clone());
+        prop_assert_eq!(qgemm_nn_with(&a, &b, m, k, n, Parallelism::Parallel), want);
+    }
+
+    #[test]
+    fn qgemm_edge_shapes_match_the_oracle(seed in any::<u64>()) {
+        // Explicit degenerate and boundary shapes: empty dims, 1x1, odd k
+        // (the kernel walks k in pairs), k spanning multiple KC blocks, and
+        // k*n straddling the small-product threshold.
+        let mut rng = Rng::seed_from(seed);
+        for (m, k, n) in [
+            (0usize, 3usize, 4usize),
+            (3, 0, 4),
+            (3, 4, 0),
+            (1, 1, 1),
+            (2, 7, 3),
+            (5, QKC + 3, 2),
+            (4, 33, 31), // k*n just below QSMALL_THRESHOLD: small-product loop
+            (4, 32, 32), // k*n exactly at the threshold: packed kernel
+        ] {
+            assert!((k * n < QSMALL_THRESHOLD) == (k * n < 32 * 32));
+            let a = fill_i8(m * k, &mut rng);
+            let b = fill_i8(k * n, &mut rng);
+            let want = naive_qgemm(&a, &b, m, k, n);
+            prop_assert_eq!(qgemm_nn_with(&a, &b, m, k, n, Parallelism::Serial), want);
+        }
+    }
+
+    #[test]
+    fn qgemm_rows_are_batch_invariant((m, k, n) in gemm_shape(), seed in any::<u64>()) {
+        // Same invariant the engine's coalescer relies on for f32, in int8.
+        let mut rng = Rng::seed_from(seed);
+        if m == 0 {
+            continue;
+        }
+        let a = fill_i8(m * k, &mut rng);
+        let b = fill_i8(k * n, &mut rng);
+        let whole = qgemm_nn_with(&a, &b, m, k, n, Parallelism::Serial);
+        let row0 = qgemm_nn_with(&a[..k], &b, 1, k, n, Parallelism::Serial);
+        prop_assert_eq!(&whole[..n], &row0[..]);
+    }
+
+    #[test]
+    fn i8_lowering_commutes_with_quantization(x in small_nchw(), seed in any::<u64>()) {
+        // im2col_i8(quantize(x)) must equal elementwise-quantizing im2col(x)
+        // with the same per-sample scales: zero padding maps to quantized
+        // zero, which is what the int8 convolution path relies on.
+        let _ = seed;
+        let geom = Conv2dGeometry::new(3, 1, 1);
+        let [b, c, h, w] = [x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]];
+        let q = QTensorBatch::quantize_batch(&x);
+        let got = im2col_i8(q.data(), b, c, h, w, geom);
+
+        let cols = im2col(&x, geom);
+        let rows_per_item = cols.shape()[0] / b;
+        let row_len = cols.shape()[1];
+        let expect: Vec<i8> = cols
+            .data()
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                let sample = (i / row_len) / rows_per_item;
+                let inv = 1.0 / q.scales()[sample];
+                (v * inv).round().clamp(-127.0, 127.0) as i8
+            })
+            .collect();
+        prop_assert_eq!(got, expect);
     }
 }

@@ -5,8 +5,12 @@
 //! `RemoteDefense` is just another `Defense`.
 //!
 //! Run with: `cargo run --example networked_inference --release`
+//! Add `--int8` to serve the int8 backend over protocol-v2 quantized frames
+//! (about a quarter of the response bytes). Either way the example
+//! cross-checks that both precisions put the same labels on the demo batch,
+//! so it doubles as a quantization smoke test.
 
-use ensembler_suite::core::{Defense, EngineConfig, InferenceEngine};
+use ensembler_suite::core::{Defense, EngineConfig, InferenceEngine, QuantizedDefense};
 use ensembler_suite::latency::{network_cost, LinkProfile};
 use ensembler_suite::serve::{
     demo_pipeline, DefenseServer, RemoteDefense, ServerConfig, WIRE_OVERHEAD,
@@ -15,10 +19,17 @@ use ensembler_suite::tensor::{Rng, Tensor};
 use std::sync::Arc;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let int8 = std::env::args().any(|a| a == "--int8");
+
     // Both sides hold the same deterministic weights — the role a shared
     // checkpoint plays in a real deployment.
     let (n, p, seed) = (4, 2, 17);
-    let pipeline: Arc<dyn Defense> = Arc::new(demo_pipeline(n, p, seed)?);
+    let f32_pipeline: Arc<dyn Defense> = Arc::new(demo_pipeline(n, p, seed)?);
+    let pipeline: Arc<dyn Defense> = if int8 {
+        Arc::new(QuantizedDefense::quantize(Arc::clone(&f32_pipeline)))
+    } else {
+        Arc::clone(&f32_pipeline)
+    };
 
     // The untrusted cloud: serves all N bodies over TCP.
     let server = DefenseServer::bind(
@@ -36,8 +47,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // server_outputs travels the socket.
     let remote = RemoteDefense::connect(Arc::clone(&pipeline), server.local_addr())?;
     println!(
-        "edge:  connected, negotiated protocol v{}",
-        remote.negotiated_version()
+        "edge:  connected, negotiated protocol v{}{}",
+        remote.negotiated_version(),
+        if remote.uses_quantized_frames() {
+            " (quantized frames)"
+        } else {
+            ""
+        }
     );
 
     let mut rng = Rng::seed_from(99);
@@ -47,10 +63,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(remote_logits, local_logits);
     println!("edge:  batch of 8 predicted over the wire, bit-identical to in-process");
 
+    // Smoke test for the quantized backend: both precisions must label the
+    // demo batch identically (whichever one went over the wire).
+    assert_eq!(
+        remote_logits.argmax_rows(),
+        f32_pipeline.predict(&images)?.argmax_rows(),
+        "f32 and int8 must agree on the demo labels"
+    );
+    println!("edge:  f32 and int8 agree on all 8 demo labels");
+
     // What those requests cost on the wire, from the validated cost model.
     let cost = network_cost(pipeline.config());
-    let upload = cost.upload_frame_bytes(8, &WIRE_OVERHEAD);
-    let ret = cost.return_frame_bytes(8, n as u64, &WIRE_OVERHEAD);
+    let (upload, ret) = if int8 {
+        (
+            cost.upload_frame_bytes_q(8, &WIRE_OVERHEAD),
+            cost.return_frame_bytes_q(8, n as u64, &WIRE_OVERHEAD),
+        )
+    } else {
+        (
+            cost.upload_frame_bytes(8, &WIRE_OVERHEAD),
+            cost.return_frame_bytes(8, n as u64, &WIRE_OVERHEAD),
+        )
+    };
     let link = LinkProfile::paper_lan();
     println!(
         "wire:  {upload} B up + {ret} B down per batch -> {:.1} ms on the paper's LAN",

@@ -2,12 +2,17 @@
 //! inspect what each training stage produced (the walk-through of Fig. 2).
 //!
 //! Run with: `cargo run --example quickstart --release`
+//! Add `--int8` to serve the trained pipeline through the int8 backend.
+//! Either way the example cross-checks that both precisions put the same
+//! labels on the test set, so it doubles as a quantization smoke test.
 
-use ensembler_suite::core::{Defense, EnsemblerTrainer, EvalConfig, TrainConfig};
+use ensembler_suite::core::{Defense, EnsemblerTrainer, EvalConfig, QuantizedDefense, TrainConfig};
 use ensembler_suite::data::SyntheticSpec;
 use ensembler_suite::nn::models::ResNetConfig;
+use std::sync::Arc;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let int8_requested = std::env::args().any(|a| a == "--int8");
     // A scaled-down CIFAR-10 stand-in (see DESIGN.md for the substitution).
     let data = SyntheticSpec::cifar10_like()
         .with_samples(16, 6)
@@ -25,8 +30,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trainer = EnsemblerTrainer::new(
         ResNetConfig::cifar10_like(),
         TrainConfig {
-            epochs_stage1: 3,
-            epochs_stage3: 4,
+            epochs_stage1: 4,
+            epochs_stage3: 6,
             batch_size: 16,
             learning_rate: 0.05,
             lambda: 1.0,
@@ -60,10 +65,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         pipeline.ensemble_size(),
         pipeline.selector().search_space()
     );
+
+    // Smoke test for the quantized backend: both precisions must put the
+    // same labels on the demo test set.
+    let pipeline: Arc<dyn Defense> = Arc::new(pipeline);
+    let int8 = QuantizedDefense::quantize(Arc::clone(&pipeline));
+    let (test_images, _) = data.test.batch(0, data.test.len());
+    let f32_labels = pipeline.predict(&test_images)?.argmax_rows();
+    let int8_labels = int8.predict(&test_images)?.argmax_rows();
+    assert_eq!(
+        f32_labels, int8_labels,
+        "f32 and int8 must agree on the demo labels"
+    );
     println!(
-        "train accuracy {:.1}%, test accuracy {:.1}%",
+        "precision check: f32 and int8 agree on all {} test labels",
+        f32_labels.len()
+    );
+
+    let serving: &dyn Defense = if int8_requested { &int8 } else { &*pipeline };
+    println!(
+        "train accuracy {:.1}%, test accuracy {:.1}% ({} inference)",
         report.train_accuracy * 100.0,
-        pipeline.evaluate(&data.test, &EvalConfig::default())? * 100.0
+        serving.evaluate(&data.test, &EvalConfig::default())? * 100.0,
+        if int8_requested { "int8" } else { "f32" },
     );
     Ok(())
 }
