@@ -25,7 +25,9 @@ use ensembler_data::SyntheticSpec;
 use ensembler_latency::network_cost;
 use ensembler_nn::models::{build_body, build_head, build_tail, ResNetConfig};
 use ensembler_nn::{Conv2d, FixedNoise, Layer, Linear, Mode};
-use ensembler_serve::{demo_pipeline, DefenseServer, RemoteDefense, ServerConfig, WIRE_OVERHEAD};
+use ensembler_serve::{
+    demo_pipeline, DefenseServer, ModelRegistry, RemoteDefense, ServerConfig, WIRE_OVERHEAD,
+};
 use ensembler_tensor::gemm::{gemm_nn_with, Parallelism};
 use ensembler_tensor::quant::qgemm_nn_with;
 use ensembler_tensor::{JsonValue, Rng, Tensor};
@@ -187,52 +189,123 @@ fn end_to_end_case(ensemble_size: usize, budget: Duration) -> JsonValue {
     ])
 }
 
-/// Serves the demo Ensembler on a loopback socket and times batched
-/// `predict` with the `server_outputs` stage remote vs fully in-process,
-/// alongside the wire bytes each request moves.
+/// Serves the demo Ensembler on a loopback socket — twice over, as the
+/// `"default"` (f32) and `"int8"` models of one multi-model registry — and
+/// times batched `predict` with the `server_outputs` stage remote vs fully
+/// in-process for each model, alongside the wire bytes each request moves
+/// and the final [`ensembler_serve::ServerStats`] snapshot (the numbers
+/// `docs/SERVING.md` plans capacity from).
 fn serving_case(ensemble_size: usize, selected: usize, budget: Duration) -> JsonValue {
     let pipeline: Arc<dyn Defense> =
         Arc::new(demo_pipeline(ensemble_size, selected, 7).expect("valid demo pipeline"));
-    let server = DefenseServer::bind(
-        Arc::clone(&pipeline),
-        "127.0.0.1:0",
-        ServerConfig::default(),
-    )
-    .expect("bind loopback server");
-    let remote =
-        RemoteDefense::connect(Arc::clone(&pipeline), server.local_addr()).expect("connect");
+    let int8: Arc<dyn Defense> = Arc::new(QuantizedDefense::quantize(Arc::clone(&pipeline)));
+    let config = ServerConfig::default();
+    let registry = ModelRegistry::new("default", Arc::clone(&pipeline), config.engine)
+        .and_then(|r| r.with_model("int8", Arc::clone(&int8), config.engine))
+        .expect("valid registry");
+    let server = DefenseServer::bind_registry(registry, "127.0.0.1:0", config)
+        .expect("bind loopback server");
 
-    let config = pipeline.config().clone();
+    let backbone = pipeline.config().clone();
     let batch = 32usize;
     let mut rng = Rng::seed_from(11);
     let images = Tensor::from_fn(
         &[
             batch,
-            config.input_channels,
-            config.image_size,
-            config.image_size,
+            backbone.input_channels,
+            backbone.image_size,
+            backbone.image_size,
         ],
         |_| rng.uniform(-1.0, 1.0),
     );
+    let cost = network_cost(&backbone);
 
-    let in_process_ms = time_ms(budget, || pipeline.predict(&images).expect("predict"));
-    let loopback_ms = time_ms(budget, || remote.predict(&images).expect("remote predict"));
+    let mut models = Vec::new();
+    let mut default_summary = None;
+    for (name, local) in [("default", &pipeline), ("int8", &int8)] {
+        let remote = RemoteDefense::connect_model(Arc::clone(local), server.local_addr(), name)
+            .expect("connect");
+        let in_process_ms = time_ms(budget, || local.predict(&images).expect("predict"));
+        let loopback_ms = time_ms(budget, || remote.predict(&images).expect("remote predict"));
+        let (upload_bytes, return_bytes) = if remote.uses_quantized_frames() {
+            (
+                cost.upload_frame_bytes_q(batch as u64, &WIRE_OVERHEAD),
+                cost.return_frame_bytes_q(batch as u64, ensemble_size as u64, &WIRE_OVERHEAD),
+            )
+        } else {
+            (
+                cost.upload_frame_bytes(batch as u64, &WIRE_OVERHEAD),
+                cost.return_frame_bytes(batch as u64, ensemble_size as u64, &WIRE_OVERHEAD),
+            )
+        };
+        println!(
+            "  model {name}: in-process {in_process_ms:8.3} ms ({:7.1} img/s) | loopback TCP {loopback_ms:8.3} ms ({:7.1} img/s) | +{:5.3} ms wire ({} B up, {} B down)",
+            batch as f64 / (in_process_ms * 1e-3),
+            batch as f64 / (loopback_ms * 1e-3),
+            loopback_ms - in_process_ms,
+            upload_bytes,
+            return_bytes,
+        );
+        let entry = obj(vec![
+            ("model", JsonValue::String(name.to_string())),
+            ("in_process_ms", num(in_process_ms)),
+            ("loopback_tcp_ms", num(loopback_ms)),
+            (
+                "in_process_images_per_s",
+                num(batch as f64 / (in_process_ms * 1e-3)),
+            ),
+            (
+                "loopback_images_per_s",
+                num(batch as f64 / (loopback_ms * 1e-3)),
+            ),
+            ("wire_overhead_ms", num(loopback_ms - in_process_ms)),
+            ("upload_frame_bytes", JsonValue::Number(upload_bytes as f64)),
+            ("return_frame_bytes", JsonValue::Number(return_bytes as f64)),
+        ]);
+        if name == "default" {
+            default_summary = Some((in_process_ms, loopback_ms, upload_bytes, return_bytes));
+        }
+        models.push(entry);
+    }
 
-    let cost = network_cost(&config);
-    let upload_bytes = cost.upload_frame_bytes(batch as u64, &WIRE_OVERHEAD);
-    let return_bytes = cost.return_frame_bytes(batch as u64, ensemble_size as u64, &WIRE_OVERHEAD);
+    let stats = server.stats();
+    let per_model: Vec<JsonValue> = stats
+        .per_model
+        .iter()
+        .map(|m| {
+            obj(vec![
+                ("model", JsonValue::String(m.model.clone())),
+                (
+                    "coalesced_requests",
+                    JsonValue::Number(m.engine.requests_served as f64),
+                ),
+                (
+                    "batches_executed",
+                    JsonValue::Number(m.engine.batches_executed as f64),
+                ),
+                ("mean_batch_occupancy", num(m.engine.mean_batch_occupancy())),
+                (
+                    "queue_depth",
+                    JsonValue::Number(m.engine.queue_depth as f64),
+                ),
+            ])
+        })
+        .collect();
     println!(
-        "  predict N={ensemble_size} batch={batch}: in-process {in_process_ms:8.3} ms ({:7.1} img/s) | loopback TCP {loopback_ms:8.3} ms ({:7.1} img/s) | +{:5.3} ms wire ({} B up, {} B down)",
-        batch as f64 / (in_process_ms * 1e-3),
-        batch as f64 / (loopback_ms * 1e-3),
-        loopback_ms - in_process_ms,
-        upload_bytes,
-        return_bytes,
+        "  server: {} connections, {} served, {} rejected over {} model(s)",
+        stats.connections_accepted,
+        stats.requests_served,
+        stats.requests_rejected,
+        stats.per_model.len(),
     );
+
+    let (in_process_ms, loopback_ms, upload_bytes, return_bytes) =
+        default_summary.expect("default model measured");
     obj(vec![
         ("ensemble_size", JsonValue::Number(ensemble_size as f64)),
         ("selected", JsonValue::Number(selected as f64)),
         ("batch", JsonValue::Number(batch as f64)),
+        // Default-model summary, kept flat for cross-checkout diffs.
         ("in_process_ms", num(in_process_ms)),
         ("loopback_tcp_ms", num(loopback_ms)),
         (
@@ -246,6 +319,27 @@ fn serving_case(ensemble_size: usize, selected: usize, budget: Duration) -> Json
         ("wire_overhead_ms", num(loopback_ms - in_process_ms)),
         ("upload_frame_bytes", JsonValue::Number(upload_bytes as f64)),
         ("return_frame_bytes", JsonValue::Number(return_bytes as f64)),
+        // The multi-model picture.
+        ("models", JsonValue::Array(models)),
+        (
+            "server_stats",
+            obj(vec![
+                (
+                    "connections_accepted",
+                    JsonValue::Number(stats.connections_accepted as f64),
+                ),
+                (
+                    "requests_served",
+                    JsonValue::Number(stats.requests_served as f64),
+                ),
+                (
+                    "requests_rejected",
+                    JsonValue::Number(stats.requests_rejected as f64),
+                ),
+                ("errors_sent", JsonValue::Number(stats.errors_sent as f64)),
+                ("per_model", JsonValue::Array(per_model)),
+            ]),
+        ),
     ])
 }
 
@@ -392,7 +486,7 @@ fn main() {
     println!("End-to-end inference:");
     let e2e = end_to_end_case(4, budget);
 
-    println!("Loopback-TCP serving (crates/serve) vs in-process:");
+    println!("Loopback-TCP serving (crates/serve, two-model registry) vs in-process:");
     let serving = serving_case(4, 2, budget);
 
     println!("Int8 quantized backend (qgemm + QuantizedDefense):");
@@ -411,7 +505,7 @@ fn main() {
 
     let report = obj(vec![
         ("report", JsonValue::String("perf_report".to_string())),
-        ("version", JsonValue::Number(3.0)),
+        ("version", JsonValue::Number(4.0)),
         ("unix_time_s", JsonValue::Number(epoch_s as f64)),
         ("cores", JsonValue::Number(cores as f64)),
         ("scale", JsonValue::String(format!("{scale:?}"))),

@@ -77,6 +77,11 @@ pub struct EngineStats {
     pub batches_executed: u64,
     /// Largest batch that was coalesced.
     pub max_batch_observed: u64,
+    /// Requests submitted but not yet drained into a worker's mini-batch at
+    /// snapshot time. A persistently non-zero depth means the workers cannot
+    /// keep up with the arrival rate — the signal the serving layer's
+    /// admission control watches for (see `docs/SERVING.md`).
+    pub queue_depth: u64,
 }
 
 impl EngineStats {
@@ -95,6 +100,7 @@ struct StatsCells {
     requests: AtomicU64,
     batches: AtomicU64,
     max_batch: AtomicU64,
+    queued: AtomicU64,
 }
 
 /// One queued unit of work. The engine coalesces both kinds through the same
@@ -194,6 +200,35 @@ impl<D: Defense + ?Sized + 'static> InferenceEngine<D> {
         })
     }
 
+    /// Starts an engine behind an `Arc` — the shape a serving registry that
+    /// maps model names to shared engines stores (one engine per model, each
+    /// handed to many connection threads).
+    ///
+    /// # Errors
+    ///
+    /// As for [`InferenceEngine::new`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ensembler::{Defense, DefenseKind, EngineConfig, InferenceEngine, SinglePipeline};
+    /// use ensembler_nn::models::ResNetConfig;
+    /// use std::sync::Arc;
+    ///
+    /// let pipeline: Arc<dyn Defense> = Arc::new(SinglePipeline::new(
+    ///     ResNetConfig::tiny_for_tests(),
+    ///     DefenseKind::NoDefense,
+    ///     1,
+    /// )?);
+    /// let engine = InferenceEngine::shared(pipeline, EngineConfig::default())?;
+    /// let for_a_connection = Arc::clone(&engine); // cheap per-connection handle
+    /// assert_eq!(for_a_connection.stats().requests_served, 0);
+    /// # Ok::<(), ensembler::EnsemblerError>(())
+    /// ```
+    pub fn shared(defense: Arc<D>, config: EngineConfig) -> Result<Arc<Self>, EnsemblerError> {
+        Ok(Arc::new(Self::new(defense, config)?))
+    }
+
     /// The defence this engine serves.
     pub fn defense(&self) -> &D {
         &self.defense
@@ -280,11 +315,24 @@ impl<D: Defense + ?Sized + 'static> InferenceEngine<D> {
 
     /// Enqueues one unit of work for the worker pool.
     fn submit(&self, work: Work) -> Result<(), EnsemblerError> {
+        self.stats.queued.fetch_add(1, Ordering::Relaxed);
         self.sender
             .as_ref()
             .expect("sender lives until the engine is dropped")
             .send(work)
-            .map_err(|_| EnsemblerError::Engine("request queue is closed".to_string()))
+            .map_err(|_| {
+                self.stats.queued.fetch_sub(1, Ordering::Relaxed);
+                EnsemblerError::Engine("request queue is closed".to_string())
+            })
+    }
+
+    /// Requests currently submitted but not yet drained into a mini-batch.
+    ///
+    /// This is the live value behind [`EngineStats::queue_depth`], exposed
+    /// separately so serving layers can poll it without snapshotting every
+    /// counter.
+    pub fn queue_depth(&self) -> u64 {
+        self.stats.queued.load(Ordering::Relaxed)
     }
 
     /// Classifies a pre-assembled `[B, C, H, W]` batch directly on the
@@ -303,6 +351,7 @@ impl<D: Defense + ?Sized + 'static> InferenceEngine<D> {
             requests_served: self.stats.requests.load(Ordering::Relaxed),
             batches_executed: self.stats.batches.load(Ordering::Relaxed),
             max_batch_observed: self.stats.max_batch.load(Ordering::Relaxed),
+            queue_depth: self.stats.queued.load(Ordering::Relaxed),
         }
     }
 }
@@ -368,6 +417,9 @@ fn worker_loop<D: Defense + ?Sized>(
             }
             batch
         };
+        stats
+            .queued
+            .fetch_sub(batch.len() as u64, Ordering::Relaxed);
 
         // The queue mixes all work kinds; each kind batches among itself.
         let mut predicts = Vec::new();
@@ -644,6 +696,9 @@ mod tests {
         assert!(stats.batches_executed <= stats.requests_served);
         assert!(stats.mean_batch_occupancy() >= 1.0);
         assert!(stats.max_batch_observed >= 1);
+        // Every submitted request has been drained and answered.
+        assert_eq!(stats.queue_depth, 0);
+        assert_eq!(engine.queue_depth(), 0);
     }
 
     #[test]

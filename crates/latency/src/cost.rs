@@ -69,6 +69,74 @@ pub struct WireOverhead {
     /// Bytes for each per-sample quantization scale carried by a protocol-v2
     /// quantized tensor (one `f32` per batch item).
     pub per_scale_bytes: u64,
+    /// Bytes for the length prefix in front of every wire string (model
+    /// names, pipeline labels, error messages — protocol v3 handshakes carry
+    /// two of them).
+    pub per_string_bytes: u64,
+}
+
+impl WireOverhead {
+    /// Exact byte length of a `Hello` frame: the fixed frame overhead, the
+    /// two-byte version offer and — for a protocol-v3 hello that requests a
+    /// model by name — a length-prefixed string of `model_name_bytes` bytes.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ensembler_latency::WireOverhead;
+    ///
+    /// let overhead = WireOverhead {
+    ///     frame_bytes: 16,
+    ///     tensor_base_bytes: 8,
+    ///     per_dim_bytes: 4,
+    ///     list_header_bytes: 4,
+    ///     per_tensor_prefix_bytes: 4,
+    ///     per_scale_bytes: 4,
+    ///     per_string_bytes: 4,
+    /// };
+    /// // A legacy hello spends only the version word on top of the frame.
+    /// assert_eq!(overhead.hello_frame_bytes(None), 16 + 2);
+    /// // Requesting the model "alpha" adds a 4-byte prefix + 5 name bytes.
+    /// assert_eq!(overhead.hello_frame_bytes(Some(5)), 16 + 2 + 4 + 5);
+    /// ```
+    pub fn hello_frame_bytes(&self, model_name_bytes: Option<u64>) -> u64 {
+        self.frame_bytes + 2 + model_name_bytes.map_or(0, |name| self.per_string_bytes + name)
+    }
+
+    /// Exact byte length of a `HelloAck` frame: the fixed frame overhead, the
+    /// two-byte negotiated version, the length-prefixed pipeline label, the
+    /// `N` and `P` words (4 bytes each) and — when the server echoes the
+    /// resolved model name to a v3 client — one more length-prefixed string.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ensembler_latency::WireOverhead;
+    ///
+    /// let overhead = WireOverhead {
+    ///     frame_bytes: 16,
+    ///     tensor_base_bytes: 8,
+    ///     per_dim_bytes: 4,
+    ///     list_header_bytes: 4,
+    ///     per_tensor_prefix_bytes: 4,
+    ///     per_scale_bytes: 4,
+    ///     per_string_bytes: 4,
+    /// };
+    /// // "Ensembler" is 9 bytes; N and P spend 4 bytes each.
+    /// assert_eq!(overhead.hello_ack_frame_bytes(9, None), 16 + 2 + 4 + 9 + 8);
+    /// assert_eq!(
+    ///     overhead.hello_ack_frame_bytes(9, Some(5)),
+    ///     16 + 2 + 4 + 9 + 8 + 4 + 5
+    /// );
+    /// ```
+    pub fn hello_ack_frame_bytes(&self, label_bytes: u64, model_name_bytes: Option<u64>) -> u64 {
+        self.frame_bytes
+            + 2
+            + self.per_string_bytes
+            + label_bytes
+            + 8
+            + model_name_bytes.map_or(0, |name| self.per_string_bytes + name)
+    }
 }
 
 /// Per-partition cost of the split backbone for a single sample.
@@ -280,6 +348,7 @@ mod tests {
             list_header_bytes: 4,
             per_tensor_prefix_bytes: 4,
             per_scale_bytes: 4,
+            per_string_bytes: 4,
         };
         assert_eq!(
             cost.upload_frame_bytes(2, &overhead),
@@ -301,6 +370,7 @@ mod tests {
             list_header_bytes: 4,
             per_tensor_prefix_bytes: 4,
             per_scale_bytes: 4,
+            per_string_bytes: 4,
         };
         assert_eq!(
             cost.upload_frame_bytes_q(2, &overhead),

@@ -3,38 +3,90 @@
 //! and cross-checks the result against a fully local prediction.
 //!
 //! Usage: `cargo run -p ensembler-serve --bin remote_client --release \
-//!     [-- ADDR [N] [P] [SEED] [BATCH]]`
-//! Defaults: `127.0.0.1:7878 4 2 17 8` — the `N P SEED` triple must match
-//! the server's so both processes hold bit-identical weights.
+//!     [-- ADDR [N] [P] [SEED] [BATCH] [--model NAME] [--int8]]`
+//! Defaults: `127.0.0.1:7878 4 2 17 8` — the `N P SEED` triple (and the
+//! `--int8` flag) must match the server-side model so both processes hold
+//! bit-identical weights. `--model NAME` asks a multi-model server for one
+//! of its named models over the protocol-v3 handshake; without it the server
+//! serves its default model.
 
-use ensembler::Defense;
+use ensembler::{Defense, QuantizedDefense};
+use ensembler_serve::cli::positional;
 use ensembler_serve::{demo_pipeline, RemoteDefense};
 use ensembler_tensor::{Rng, Tensor};
 use std::sync::Arc;
 use std::time::Instant;
 
-fn parse_arg<T: std::str::FromStr>(position: usize, default: T) -> T {
-    std::env::args()
-        .nth(position)
-        .and_then(|raw| raw.parse().ok())
-        .unwrap_or(default)
+/// Parsed command line: positional arguments, `--model NAME`, `--int8`.
+struct Args {
+    positional: Vec<String>,
+    model: Option<String>,
+    int8: bool,
+}
+
+/// Splits the command line into positional arguments and the flags.
+fn parse_args() -> Result<Args, Box<dyn std::error::Error>> {
+    let mut positional = Vec::new();
+    let mut model = None;
+    let mut int8 = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--model" {
+            model = Some(args.next().ok_or("--model needs a NAME argument")?);
+        } else if let Some(name) = arg.strip_prefix("--model=") {
+            model = Some(name.to_string());
+        } else if arg == "--int8" {
+            int8 = true;
+        } else {
+            positional.push(arg);
+        }
+    }
+    Ok(Args {
+        positional,
+        model,
+        int8,
+    })
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let addr = std::env::args()
-        .nth(1)
+    let Args {
+        positional: args,
+        model,
+        int8,
+    } = parse_args()?;
+    let addr = args
+        .first()
+        .cloned()
         .unwrap_or_else(|| "127.0.0.1:7878".to_string());
-    let n: usize = parse_arg(2, 4);
-    let p: usize = parse_arg(3, 2);
-    let seed: u64 = parse_arg(4, 17);
-    let batch: usize = parse_arg(5, 8);
+    let n: usize = positional(&args, 1, 4);
+    let p: usize = positional(&args, 2, 2);
+    let seed: u64 = positional(&args, 3, 17);
+    let batch: usize = positional(&args, 4, 8);
 
-    let local: Arc<dyn Defense> = Arc::new(demo_pipeline(n, p, seed)?);
-    let remote = RemoteDefense::connect(Arc::clone(&local), addr.as_str())?;
+    let local: Arc<dyn Defense> = if int8 {
+        Arc::new(QuantizedDefense::quantize(Arc::new(demo_pipeline(
+            n, p, seed,
+        )?)))
+    } else {
+        Arc::new(demo_pipeline(n, p, seed)?)
+    };
+    let remote = match &model {
+        Some(name) => RemoteDefense::connect_model(Arc::clone(&local), addr.as_str(), name)?,
+        None => RemoteDefense::connect(Arc::clone(&local), addr.as_str())?,
+    };
     println!(
-        "connected to {} at {addr} (protocol v{})",
+        "connected to {} at {addr} (protocol v{}{}{})",
         remote.peer_label(),
-        remote.negotiated_version()
+        remote.negotiated_version(),
+        match remote.model() {
+            Some(name) => format!(", model {name}"),
+            None => ", default model".to_string(),
+        },
+        if remote.uses_quantized_frames() {
+            ", quantized frames"
+        } else {
+            ""
+        }
     );
 
     let config = local.config().clone();
@@ -71,7 +123,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if max_diff == 0.0 {
             "bit-identical"
         } else {
-            "MISMATCH — do N/P/SEED match the server?"
+            "MISMATCH — do N/P/SEED/--int8 match the served model?"
         }
     );
     if max_diff != 0.0 {

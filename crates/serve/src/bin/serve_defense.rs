@@ -1,46 +1,88 @@
-//! Stand-alone defense server: the untrusted-cloud process of the paper's
-//! deployment.
+//! Stand-alone multi-model defense server: the untrusted-cloud process of
+//! the paper's deployment.
 //!
-//! Builds the deterministic demo Ensembler (so a `remote_client` given the
-//! same `N P SEED` holds a bit-identical replica) and serves its
-//! `server_outputs` stage over TCP until killed.
+//! Builds deterministic demo Ensemblers (so a `remote_client` given the same
+//! `N P SEED` holds a bit-identical replica) and serves their
+//! `server_outputs` stages over TCP until killed, logging a stats line
+//! whenever the counters move.
 //!
 //! Usage: `cargo run -p ensembler-serve --bin serve_defense --release \
-//!     [-- ADDR [N] [P] [SEED]]`
+//!     [-- ADDR [N] [P] [SEED] [--model NAME=N,P,SEED[,int8]]...]`
 //! Defaults: `127.0.0.1:7878 4 2 17`.
+//!
+//! The positional `N P SEED` triple defines the **default** model (the one
+//! legacy clients and nameless hellos get). Each repeatable `--model` flag
+//! registers one more pipeline under its own name; protocol-v3 clients pick
+//! it with `remote_client --model NAME`. The operator guide, including
+//! admission-control tuning, lives in `docs/SERVING.md`.
 
-use ensembler::Defense;
-use ensembler_serve::{demo_pipeline, DefenseServer, ServerConfig};
+use ensembler_serve::cli::positional;
+use ensembler_serve::{demo_pipeline, DefenseServer, ModelRegistry, ModelSpec, ServerConfig};
 use std::sync::Arc;
 
-fn parse_arg<T: std::str::FromStr>(position: usize, default: T) -> T {
-    std::env::args()
-        .nth(position)
-        .and_then(|raw| raw.parse().ok())
-        .unwrap_or(default)
+/// Splits the command line into positional arguments and `--model` specs.
+fn parse_args() -> Result<(Vec<String>, Vec<ModelSpec>), Box<dyn std::error::Error>> {
+    let mut positional = Vec::new();
+    let mut models = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--model" {
+            let spec = args
+                .next()
+                .ok_or("--model needs a NAME=N,P,SEED[,int8] argument")?;
+            models.push(ModelSpec::parse(&spec)?);
+        } else if let Some(spec) = arg.strip_prefix("--model=") {
+            models.push(ModelSpec::parse(spec)?);
+        } else {
+            positional.push(arg);
+        }
+    }
+    Ok((positional, models))
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let addr = std::env::args()
-        .nth(1)
+    let (args, extra_models) = parse_args()?;
+    let addr = args
+        .first()
+        .cloned()
         .unwrap_or_else(|| "127.0.0.1:7878".to_string());
-    let n: usize = parse_arg(2, 4);
-    let p: usize = parse_arg(3, 2);
-    let seed: u64 = parse_arg(4, 17);
+    let n: usize = positional(&args, 1, 4);
+    let p: usize = positional(&args, 2, 2);
+    let seed: u64 = positional(&args, 3, 17);
 
-    let pipeline: Arc<dyn Defense> = Arc::new(demo_pipeline(n, p, seed)?);
-    let server = DefenseServer::bind(
-        Arc::clone(&pipeline),
-        addr.as_str(),
-        ServerConfig::default(),
+    let config = ServerConfig::default();
+    let mut registry = ModelRegistry::new(
+        "default",
+        Arc::new(demo_pipeline(n, p, seed)?),
+        config.engine,
     )?;
+    for spec in &extra_models {
+        registry.register(spec.name.clone(), spec.build()?, config.engine)?;
+    }
+    let server = DefenseServer::bind_registry(registry, addr.as_str(), config)?;
+
     println!(
-        "serving {} (N={} P={} seed={}) on {}",
-        pipeline.label(),
-        n,
-        p,
-        seed,
+        "serving {} model(s) on {} — default: Ensembler (N={n} P={p} seed={seed})",
+        server.registry().len(),
         server.local_addr()
+    );
+    for spec in &extra_models {
+        println!(
+            "  model {}: N={} P={} seed={}{}",
+            spec.name,
+            spec.n,
+            spec.p,
+            spec.seed,
+            if spec.int8 { " int8" } else { "" }
+        );
+    }
+    println!(
+        "admission: {} connections; {} reqs / {} MiB per server, {} reqs / {} MiB per connection",
+        config.admission.max_connections,
+        config.admission.max_inflight_requests,
+        config.admission.max_inflight_bytes >> 20,
+        config.admission.max_connection_inflight_requests,
+        config.admission.max_connection_inflight_bytes >> 20,
     );
     println!("stop with Ctrl-C; connect with:");
     println!(
@@ -56,15 +98,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         std::thread::sleep(std::time::Duration::from_secs(5));
         let stats = server.stats();
         if stats != last {
-            let engine = server.engine_stats();
             println!(
-                "{} connections, {} requests served, {} errors sent | engine: {} batches, mean occupancy {:.2}",
+                "{} connections | {} served, {} rejected, {} errors | {} in flight ({} B)",
                 stats.connections_accepted,
                 stats.requests_served,
+                stats.requests_rejected,
                 stats.errors_sent,
-                engine.batches_executed,
-                engine.mean_batch_occupancy()
+                stats.inflight_requests,
+                stats.inflight_bytes,
             );
+            for model in &stats.per_model {
+                if model.engine.requests_served > 0 || model.engine.queue_depth > 0 {
+                    println!(
+                        "  {}: {} coalesced requests in {} batches (mean occupancy {:.2}, queue depth {})",
+                        model.model,
+                        model.engine.requests_served,
+                        model.engine.batches_executed,
+                        model.engine.mean_batch_occupancy(),
+                        model.engine.queue_depth,
+                    );
+                }
+            }
             last = stats;
         }
     }

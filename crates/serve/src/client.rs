@@ -56,7 +56,53 @@ impl RemoteDefense {
         local: std::sync::Arc<dyn Defense>,
         addr: impl ToSocketAddrs,
     ) -> Result<Self, ServeError> {
-        Self::connect_with_max_version(local, addr, PROTOCOL_VERSION)
+        Self::connect_inner(local, addr, PROTOCOL_VERSION, None)
+    }
+
+    /// Connects to a multi-model [`crate::DefenseServer`] and requests the
+    /// registered model `model` — the protocol-v3 connect path.
+    ///
+    /// The hello travels in a version-3 frame carrying the model name; the
+    /// server resolves it in its registry, pins the connection to that
+    /// model's engine and echoes the resolved name in the ack, which this
+    /// constructor cross-checks along with the usual label/`N`/`P` replica
+    /// validation. A nameless [`RemoteDefense::connect`] gets the server's
+    /// default model instead.
+    ///
+    /// # Errors
+    ///
+    /// As for [`RemoteDefense::connect`], plus a typed
+    /// [`crate::ErrorCode::UnknownModel`] report (surfaced as
+    /// [`ServeError::Remote`]) when the server does not serve `model`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ensembler::{Defense, EngineConfig};
+    /// use ensembler_serve::{demo_pipeline, DefenseServer, ModelRegistry, RemoteDefense, ServerConfig};
+    /// use ensembler_tensor::Tensor;
+    /// use std::sync::Arc;
+    ///
+    /// // One process, two models.
+    /// let alpha: Arc<dyn Defense> = Arc::new(demo_pipeline(2, 1, 5)?);
+    /// let beta: Arc<dyn Defense> = Arc::new(demo_pipeline(3, 2, 6)?);
+    /// let registry = ModelRegistry::new("alpha", Arc::clone(&alpha), EngineConfig::default())?
+    ///     .with_model("beta", Arc::clone(&beta), EngineConfig::default())?;
+    /// let server = DefenseServer::bind_registry(registry, "127.0.0.1:0", ServerConfig::default())?;
+    ///
+    /// // A v3 client picks its model by name and gets bit-identical results.
+    /// let remote = RemoteDefense::connect_model(Arc::clone(&beta), server.local_addr(), "beta")?;
+    /// assert_eq!(remote.model(), Some("beta"));
+    /// let images = Tensor::ones(&[1, 3, 16, 16]);
+    /// assert_eq!(remote.predict(&images)?, beta.predict(&images)?);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn connect_model(
+        local: std::sync::Arc<dyn Defense>,
+        addr: impl ToSocketAddrs,
+        model: &str,
+    ) -> Result<Self, ServeError> {
+        Self::connect_inner(local, addr, PROTOCOL_VERSION, Some(model.to_string()))
     }
 
     /// [`RemoteDefense::connect`] with an explicit cap on the protocol
@@ -77,15 +123,35 @@ impl RemoteDefense {
         addr: impl ToSocketAddrs,
         max_version: u16,
     ) -> Result<Self, ServeError> {
+        Self::connect_inner(local, addr, max_version, None)
+    }
+
+    fn connect_inner(
+        local: std::sync::Arc<dyn Defense>,
+        addr: impl ToSocketAddrs,
+        max_version: u16,
+        model: Option<String>,
+    ) -> Result<Self, ServeError> {
         if max_version == 0 || max_version > PROTOCOL_VERSION {
             return Err(ServeError::UnsupportedVersion {
                 offered: max_version,
                 supported: PROTOCOL_VERSION,
             });
         }
+        if model.is_some() && max_version < 3 {
+            return Err(ServeError::Protocol(format!(
+                "requesting a model by name needs protocol v3, but the version cap is {max_version}"
+            )));
+        }
         let mut stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
-        write_message(&mut stream, &Message::Hello(Hello { max_version }))?;
+        write_message(
+            &mut stream,
+            &Message::Hello(Hello {
+                max_version,
+                model: model.clone(),
+            }),
+        )?;
         let peer = match read_message(&mut stream, DEFAULT_MAX_PAYLOAD_BYTES)? {
             Message::HelloAck(ack) => ack,
             Message::Error(wire) => return Err(ServeError::Remote(wire)),
@@ -101,6 +167,13 @@ impl RemoteDefense {
                 offered: peer.version,
                 supported: max_version,
             });
+        }
+        if model.is_some() && peer.model != model {
+            return Err(ServeError::Protocol(format!(
+                "requested model {:?} but the server pinned the connection to {:?}",
+                model.as_deref().unwrap_or(""),
+                peer.model.as_deref().unwrap_or("<unnamed>")
+            )));
         }
         if peer.label != local.label()
             || peer.ensemble_size as usize != local.ensemble_size()
@@ -132,6 +205,13 @@ impl RemoteDefense {
     /// The pipeline description the server reported at handshake time.
     pub fn peer_label(&self) -> &str {
         &self.peer.label
+    }
+
+    /// The registry model name this connection is pinned to, as echoed by
+    /// the server — `None` on a legacy or nameless connection (which the
+    /// server pins to its default model without naming it).
+    pub fn model(&self) -> Option<&str> {
+        self.peer.model.as_deref()
     }
 
     /// Whether this connection ships the `server_outputs` stage in quantized

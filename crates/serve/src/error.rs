@@ -41,6 +41,9 @@ pub enum ServeError {
     /// The peer sent a legal message that is not valid in the current
     /// connection state.
     Protocol(String),
+    /// A model registry was misconfigured (bad model name or spec, duplicate
+    /// registration).
+    Registry(String),
     /// The local defense pipeline failed.
     Defense(EnsemblerError),
 }
@@ -62,6 +65,7 @@ impl fmt::Display for ServeError {
                 write!(f, "peer reported {:?}: {}", wire.code, wire.message)
             }
             ServeError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            ServeError::Registry(msg) => write!(f, "model registry error: {msg}"),
             ServeError::Defense(e) => write!(f, "defense failure: {e}"),
         }
     }

@@ -7,20 +7,31 @@
 //!
 //! * [`protocol`] — a versioned, length-framed binary protocol (magic,
 //!   version, message enum, CRC-32 checksums, exhaustive decode-error
-//!   handling), specified byte-for-byte in `docs/WIRE_PROTOCOL.md`;
-//! * [`DefenseServer`] — a multi-threaded TCP server wrapping any
-//!   `Arc<dyn Defense>`: per-connection reader threads feed the shared
-//!   [`ensembler::InferenceEngine`], so single-image requests from different
-//!   connections coalesce into joint mini-batches;
+//!   handling), specified byte-for-byte in `docs/WIRE_PROTOCOL.md`.
+//!   Protocol v3 adds a model name to the handshake;
+//! * [`ModelRegistry`] — the model-name → pipeline map of a multi-model
+//!   server: one `Arc<dyn Defense>` plus one coalescing
+//!   [`ensembler::InferenceEngine`] per registered model, with a default
+//!   model for legacy clients;
+//! * [`DefenseServer`] — a multi-threaded TCP server over a registry:
+//!   per-connection reader threads feed the pinned model's shared engine,
+//!   so single-image requests from different connections coalesce into
+//!   joint mini-batches. Admission control ([`AdmissionConfig`]) bounds
+//!   in-flight requests and bytes per connection and per server, answering
+//!   over-budget work with typed `Overloaded` frames instead of queueing
+//!   it, and [`DefenseServer::shutdown`] drains in-flight batches before
+//!   stopping;
 //! * [`RemoteDefense`] — a client that implements [`ensembler::Defense`] by
-//!   sending the `server_outputs` stage over the wire, so every existing
+//!   sending the `server_outputs` stage over the wire (optionally pinned to
+//!   a named model via [`RemoteDefense::connect_model`]), so every existing
 //!   attack, benchmark, latency and example path runs unchanged against a
 //!   genuinely remote server;
-//! * two binaries, `serve_defense` and `remote_client`, for running the two
-//!   halves as separate OS processes.
+//! * two binaries, `serve_defense` (with a repeatable `--model name=spec`
+//!   flag) and `remote_client`, for running the two halves as separate OS
+//!   processes.
 //!
 //! The request sequence and the crate's place in the workspace are drawn out
-//! in `docs/ARCHITECTURE.md`.
+//! in `docs/ARCHITECTURE.md`; `docs/SERVING.md` is the operator guide.
 //!
 //! # Examples
 //!
@@ -46,15 +57,18 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod cli;
 pub mod client;
 pub mod error;
 pub mod protocol;
+pub mod registry;
 pub mod server;
 
 pub use client::RemoteDefense;
 pub use error::ServeError;
 pub use protocol::{ErrorCode, Hello, HelloAck, Message, MessageType, WireError, WIRE_OVERHEAD};
-pub use server::{DefenseServer, ServerConfig, ServerStats};
+pub use registry::{ModelRegistry, ModelSpec, ModelStats};
+pub use server::{AdmissionConfig, DefenseServer, ServerConfig, ServerStats};
 
 use ensembler::{EnsemblerError, EnsemblerPipeline, Selector};
 use ensembler_nn::models::{build_body, build_head, build_tail, ResNetConfig};

@@ -15,12 +15,15 @@
 //! 12+n    4     CRC-32 (IEEE) over header + payload, big-endian
 //! ```
 //!
-//! Every frame is stamped with the **minimum** protocol version that defines
-//! its message type ([`frame_version`]): the handshake and all `f32` traffic
-//! travel in version-1 frames byte-identical to what a version-1 build
-//! produces, while the quantized message types added in version 2 travel in
-//! version-2 frames — which is exactly what makes a v1 peer reject them
-//! cleanly and lets mixed-version deployments negotiate down to `f32`.
+//! Every frame is stamped with the **minimum** protocol version able to
+//! parse it ([`Message::wire_version`]): the plain handshake and all `f32`
+//! traffic travel in version-1 frames byte-identical to what a version-1
+//! build produces, the quantized message types added in version 2 travel in
+//! version-2 frames, and a handshake that names a model (the multi-model
+//! extension of version 3) travels in a version-3 frame — which is exactly
+//! what makes legacy peers reject only what they genuinely cannot
+//! understand, and lets mixed-version deployments negotiate down to the
+//! `f32` single-model exchange.
 //!
 //! Tensors inside payloads reuse the workspace wire formats
 //! ([`ensembler::split::encode_features`] for `f32`,
@@ -38,7 +41,7 @@
 //! ```
 //! use ensembler_serve::protocol::{decode_message, encode_message, Hello, Message};
 //!
-//! let frame = encode_message(&Message::Hello(Hello { max_version: 1 }));
+//! let frame = encode_message(&Message::Hello(Hello::legacy(1)));
 //! assert_eq!(&frame[..4], &0x454E5357u32.to_be_bytes());
 //! match decode_message(&frame)? {
 //!     Message::Hello(hello) => assert_eq!(hello.max_version, 1),
@@ -55,19 +58,25 @@ use ensembler_tensor::{QTensorBatch, Tensor};
 /// Magic word opening every frame ("ENSW", for ENSembler Wire).
 pub const FRAME_MAGIC: u32 = 0x454E_5357;
 
-/// The highest protocol version this build speaks. Version 2 adds the
+/// The highest protocol version this build speaks. Version 2 added the
 /// quantized message types [`MessageType::ServerOutputsRequestQ`] and
-/// [`MessageType::ServerOutputsResponseQ`]; every version-1 frame is
-/// unchanged.
-pub const PROTOCOL_VERSION: u16 = 2;
+/// [`MessageType::ServerOutputsResponseQ`]; version 3 adds the optional
+/// model name carried by [`Hello`] and echoed by [`HelloAck`] — the
+/// multi-model handshake. Every version-1 and version-2 frame is unchanged.
+pub const PROTOCOL_VERSION: u16 = 3;
 
-/// Returns the version stamped into a frame carrying `message_type`: the
-/// **minimum** protocol version that defines the type.
+/// Returns the **minimum** protocol version that defines `message_type`.
 ///
 /// Stamping the minimum (rather than the negotiated maximum) keeps every
 /// legacy frame byte-identical to what a version-1 build produces — a v1
 /// peer can parse everything a v2 peer sends it during negotiation, and
 /// naturally rejects the quantized types it cannot understand.
+///
+/// Version 3 adds no message *types*, only optional handshake *fields*, so
+/// this function never returns 3: the stamped version of a handshake frame
+/// additionally depends on its content ([`Message::wire_version`]). A
+/// `Hello`/`HelloAck` without a model name still travels in a version-1
+/// frame.
 pub fn frame_version(message_type: MessageType) -> u16 {
     match message_type {
         MessageType::ServerOutputsRequestQ | MessageType::ServerOutputsResponseQ => 2,
@@ -103,6 +112,8 @@ pub const WIRE_OVERHEAD: WireOverhead = WireOverhead {
     per_tensor_prefix_bytes: 4,
     // One little-endian f32 scale per batch sample in a quantized tensor.
     per_scale_bytes: 4,
+    // Wire strings (model names, labels, error text) carry a u32 length.
+    per_string_bytes: 4,
 };
 
 /// Message type discriminants as they appear in byte 6 of the frame header.
@@ -161,6 +172,15 @@ pub enum ErrorCode {
     Inference = 5,
     /// Any other server-side failure.
     Internal = 6,
+    /// The handshake requested a model name the server does not serve (v3).
+    UnknownModel = 7,
+    /// Admission control rejected the work (v3): accepting the request would
+    /// exceed an in-flight request/byte budget, or the server is at its
+    /// connection limit. On a request rejection the connection stays open
+    /// and the client may retry once earlier work drains — unless the
+    /// message says the request exceeds a budget *outright*, in which case
+    /// no amount of draining helps and the client must split the batch.
+    Overloaded = 8,
 }
 
 impl ErrorCode {
@@ -173,19 +193,39 @@ impl ErrorCode {
             3 => ErrorCode::ChecksumMismatch,
             4 => ErrorCode::UnexpectedMessage,
             5 => ErrorCode::Inference,
+            7 => ErrorCode::UnknownModel,
+            8 => ErrorCode::Overloaded,
             _ => ErrorCode::Internal,
         }
     }
 }
 
 /// Payload of a [`Message::Hello`]: the highest protocol version the client
-/// can speak. The server answers with the version both sides will use
-/// (the minimum of the two maxima) or an
-/// [`ErrorCode::UnsupportedVersion`] error.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// can speak, and optionally (protocol v3) the name of the model it wants
+/// served. The server answers with the version both sides will use (the
+/// minimum of the two maxima) or an [`ErrorCode::UnsupportedVersion`] error.
+///
+/// A hello without a model name encodes exactly as it did in version 1 and
+/// travels in a version-1 frame, so legacy peers keep working byte for byte;
+/// a hello *with* a model name travels in a version-3 frame. A server that
+/// receives no model name serves its process-default model.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Hello {
     /// Highest protocol version the sender supports.
     pub max_version: u16,
+    /// Model the client requests from a multi-model server (v3); `None`
+    /// selects the server's default model and keeps the frame version-1.
+    pub model: Option<String>,
+}
+
+impl Hello {
+    /// A legacy hello: offer `max_version`, serve the default model.
+    pub fn legacy(max_version: u16) -> Self {
+        Self {
+            max_version,
+            model: None,
+        }
+    }
 }
 
 /// Payload of a [`Message::HelloAck`]: the negotiated version plus enough
@@ -201,6 +241,10 @@ pub struct HelloAck {
     pub ensemble_size: u32,
     /// Selected count `P` of the served pipeline.
     pub selected_count: u32,
+    /// The registry name of the model this connection is pinned to (v3).
+    /// Echoed only when the hello requested a model by name, so acks to
+    /// legacy clients stay byte-identical to a version-1 build's.
+    pub model: Option<String>,
 }
 
 /// Payload of a [`Message::Error`]: a machine-readable code and a
@@ -260,6 +304,19 @@ impl Message {
             Message::ServerOutputsRequestQ { .. } => MessageType::ServerOutputsRequestQ,
             Message::ServerOutputsResponseQ { .. } => MessageType::ServerOutputsResponseQ,
             Message::Error(_) => MessageType::Error,
+        }
+    }
+
+    /// The version stamped into this message's frame: the minimum protocol
+    /// version able to parse it. Unlike [`frame_version`] this depends on
+    /// content, not just type — a handshake message carrying a model name
+    /// needs a version-3 frame, while the same message without one stays in
+    /// a version-1 frame a legacy peer can read.
+    pub fn wire_version(&self) -> u16 {
+        match self {
+            Message::Hello(hello) if hello.model.is_some() => 3,
+            Message::HelloAck(ack) if ack.model.is_some() => 3,
+            other => frame_version(other.message_type()),
         }
     }
 }
@@ -424,12 +481,18 @@ pub fn encode_message(message: &Message) -> Vec<u8> {
     match message {
         Message::Hello(hello) => {
             payload.extend_from_slice(&hello.max_version.to_be_bytes());
+            if let Some(model) = &hello.model {
+                put_string(&mut payload, model);
+            }
         }
         Message::HelloAck(ack) => {
             payload.extend_from_slice(&ack.version.to_be_bytes());
             put_string(&mut payload, &ack.label);
             put_u32(&mut payload, ack.ensemble_size);
             put_u32(&mut payload, ack.selected_count);
+            if let Some(model) = &ack.model {
+                put_string(&mut payload, model);
+            }
         }
         Message::ServerOutputsRequest { transmitted } => {
             payload.extend_from_slice(&encode_features(transmitted));
@@ -451,7 +514,7 @@ pub fn encode_message(message: &Message) -> Vec<u8> {
 
     let mut frame = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len() + FRAME_TRAILER_BYTES);
     frame.extend_from_slice(&FRAME_MAGIC.to_be_bytes());
-    frame.extend_from_slice(&frame_version(message.message_type()).to_be_bytes());
+    frame.extend_from_slice(&message.wire_version().to_be_bytes());
     frame.push(message.message_type() as u8);
     frame.push(0); // flags
     frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
@@ -525,20 +588,33 @@ pub fn decode_message(frame: &[u8]) -> Result<Message, ServeError> {
     let message = match message_type {
         MessageType::Hello => {
             let max_version = cursor.take_u16("Hello payload")?;
-            cursor.finish("Hello payload")?;
-            Message::Hello(Hello { max_version })
+            // The optional model name is a version-3 construct; in an older
+            // frame any extra bytes fall through to the trailing-bytes error.
+            let model = if version >= 3 && !cursor.rest.is_empty() {
+                Some(cursor.take_string("Hello model name")?)
+            } else {
+                None
+            };
+            cursor.finish("Hello payload (a model name requires a version-3 frame)")?;
+            Message::Hello(Hello { max_version, model })
         }
         MessageType::HelloAck => {
-            let version = cursor.take_u16("HelloAck payload")?;
+            let version_field = cursor.take_u16("HelloAck payload")?;
             let label = cursor.take_string("HelloAck label")?;
             let ensemble_size = cursor.take_u32("HelloAck payload")?;
             let selected_count = cursor.take_u32("HelloAck payload")?;
-            cursor.finish("HelloAck payload")?;
+            let model = if version >= 3 && !cursor.rest.is_empty() {
+                Some(cursor.take_string("HelloAck model name")?)
+            } else {
+                None
+            };
+            cursor.finish("HelloAck payload (a model name requires a version-3 frame)")?;
             Message::HelloAck(HelloAck {
-                version,
+                version: version_field,
                 label,
                 ensemble_size,
                 selected_count,
+                model,
             })
         }
         MessageType::ServerOutputsRequest => {
@@ -632,12 +708,13 @@ mod tests {
     #[test]
     fn every_message_kind_round_trips() {
         let messages = vec![
-            Message::Hello(Hello { max_version: 7 }),
+            Message::Hello(Hello::legacy(7)),
             Message::HelloAck(HelloAck {
                 version: 1,
                 label: "Ensembler".to_string(),
                 ensemble_size: 10,
                 selected_count: 4,
+                model: None,
             }),
             Message::ServerOutputsRequest {
                 transmitted: Tensor::from_fn(&[2, 3, 4, 4], |i| (i as f32 * 0.1).sin()),
@@ -687,12 +764,13 @@ mod tests {
         // Byte-level compatibility: everything a v1 build understands is
         // still stamped v1, so a v1 peer can parse it.
         for message in [
-            Message::Hello(Hello { max_version: 2 }),
+            Message::Hello(Hello::legacy(2)),
             Message::HelloAck(HelloAck {
                 version: 1,
                 label: "Ensembler".to_string(),
                 ensemble_size: 2,
                 selected_count: 1,
+                model: None,
             }),
             Message::ServerOutputsRequest {
                 transmitted: Tensor::ones(&[1, 1, 2, 2]),
@@ -705,6 +783,71 @@ mod tests {
             let frame = encode_message(&message);
             assert_eq!(&frame[4..6], &1u16.to_be_bytes(), "{message:?}");
         }
+    }
+
+    #[test]
+    fn model_carrying_handshakes_round_trip_in_version_3_frames() {
+        let hello = Message::Hello(Hello {
+            max_version: 3,
+            model: Some("alpha".to_string()),
+        });
+        let frame = encode_message(&hello);
+        assert_eq!(&frame[4..6], &3u16.to_be_bytes(), "v3 frame stamp");
+        assert_eq!(round_trip(hello.clone()), hello);
+
+        let ack = Message::HelloAck(HelloAck {
+            version: 3,
+            label: "Ensembler".to_string(),
+            ensemble_size: 4,
+            selected_count: 2,
+            model: Some("alpha".to_string()),
+        });
+        let frame = encode_message(&ack);
+        assert_eq!(&frame[4..6], &3u16.to_be_bytes(), "v3 frame stamp");
+        assert_eq!(round_trip(ack.clone()), ack);
+    }
+
+    #[test]
+    fn model_names_are_rejected_in_pre_v3_frames() {
+        for message in [
+            Message::Hello(Hello {
+                max_version: 3,
+                model: Some("alpha".to_string()),
+            }),
+            Message::HelloAck(HelloAck {
+                version: 3,
+                label: "Ensembler".to_string(),
+                ensemble_size: 4,
+                selected_count: 2,
+                model: Some("alpha".to_string()),
+            }),
+        ] {
+            let mut frame = encode_message(&message);
+            frame[4..6].copy_from_slice(&2u16.to_be_bytes());
+            let crc_offset = frame.len() - FRAME_TRAILER_BYTES;
+            let crc = crc32(&frame[..crc_offset]);
+            frame[crc_offset..].copy_from_slice(&crc.to_be_bytes());
+            let err = decode_message(&frame).unwrap_err();
+            assert!(
+                err.to_string().contains("requires a version-3 frame"),
+                "{err}"
+            );
+        }
+    }
+
+    #[test]
+    fn new_error_codes_round_trip_and_degrade_gracefully() {
+        assert_eq!(ErrorCode::from_u16(7), ErrorCode::UnknownModel);
+        assert_eq!(ErrorCode::from_u16(8), ErrorCode::Overloaded);
+        // Error frames stay version-1, so a legacy peer parses the frame and
+        // maps the unknown code to Internal instead of choking on it.
+        let message = Message::Error(WireError {
+            code: ErrorCode::Overloaded,
+            message: "budget".to_string(),
+        });
+        let frame = encode_message(&message);
+        assert_eq!(&frame[4..6], &1u16.to_be_bytes());
+        assert_eq!(round_trip(message.clone()), message);
     }
 
     #[test]
@@ -753,14 +896,14 @@ mod tests {
 
     #[test]
     fn bad_magic_is_rejected() {
-        let mut frame = encode_message(&Message::Hello(Hello { max_version: 1 }));
+        let mut frame = encode_message(&Message::Hello(Hello::legacy(1)));
         frame[0] ^= 0xFF;
         assert!(matches!(decode_message(&frame), Err(ServeError::Frame(_))));
     }
 
     #[test]
     fn future_version_is_rejected_as_unsupported() {
-        let mut frame = encode_message(&Message::Hello(Hello { max_version: 1 }));
+        let mut frame = encode_message(&Message::Hello(Hello::legacy(1)));
         frame[4..6].copy_from_slice(&99u16.to_be_bytes());
         // Re-stamp the checksum so the version check is what fires.
         let crc_offset = frame.len() - FRAME_TRAILER_BYTES;
@@ -790,7 +933,7 @@ mod tests {
 
     #[test]
     fn unknown_message_type_is_rejected() {
-        let mut frame = encode_message(&Message::Hello(Hello { max_version: 1 }));
+        let mut frame = encode_message(&Message::Hello(Hello::legacy(1)));
         frame[6] = 0x42;
         let crc_offset = frame.len() - FRAME_TRAILER_BYTES;
         let crc = crc32(&frame[..crc_offset]);
@@ -801,7 +944,7 @@ mod tests {
 
     #[test]
     fn nonzero_flags_are_rejected() {
-        let mut frame = encode_message(&Message::Hello(Hello { max_version: 1 }));
+        let mut frame = encode_message(&Message::Hello(Hello::legacy(1)));
         frame[7] = 0x80;
         let crc_offset = frame.len() - FRAME_TRAILER_BYTES;
         let crc = crc32(&frame[..crc_offset]);
@@ -811,7 +954,7 @@ mod tests {
 
     #[test]
     fn truncated_and_oversized_frames_are_rejected() {
-        let frame = encode_message(&Message::Hello(Hello { max_version: 1 }));
+        let frame = encode_message(&Message::Hello(Hello::legacy(1)));
         assert!(decode_message(&frame[..frame.len() - 1]).is_err());
         assert!(decode_message(&frame[..4]).is_err());
         assert!(decode_message(&[]).is_err());
@@ -822,10 +965,11 @@ mod tests {
 
     #[test]
     fn trailing_payload_bytes_are_rejected() {
-        // Hand-build a Hello frame whose payload is one byte too long.
+        // Hand-build a version-1 Hello frame whose payload is one byte too
+        // long (in a v3 frame those bytes would parse as a model name).
         let mut frame = Vec::new();
         frame.extend_from_slice(&FRAME_MAGIC.to_be_bytes());
-        frame.extend_from_slice(&PROTOCOL_VERSION.to_be_bytes());
+        frame.extend_from_slice(&1u16.to_be_bytes());
         frame.push(MessageType::Hello as u8);
         frame.push(0);
         frame.extend_from_slice(&3u32.to_be_bytes());

@@ -1,0 +1,357 @@
+//! [`ModelRegistry`]: the model-name → pipeline map behind a multi-model
+//! [`DefenseServer`](crate::DefenseServer).
+//!
+//! One server process hosts any number of [`Defense`] pipelines, each behind
+//! its own coalescing [`InferenceEngine`]. The protocol-v3 handshake carries
+//! the model name a client wants; legacy (v1/v2) clients, which cannot name
+//! a model, are pinned to the registry's **default** model, so a registry
+//! with one model behaves exactly like the single-model servers of earlier
+//! protocol versions.
+//!
+//! Engines are per model on purpose: requests for the same model coalesce
+//! into shared mini-batches across connections, while requests for different
+//! models never meet in a queue (they could not be stacked into one batch
+//! anyway, and a slow model must not add latency to a fast one).
+
+use crate::error::ServeError;
+use ensembler::{Defense, EngineConfig, EngineStats, InferenceEngine, QuantizedDefense};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A snapshot of one registered model's serving counters, as reported inside
+/// [`ServerStats`](crate::ServerStats).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelStats {
+    /// The registry name of the model.
+    pub model: String,
+    /// The counters of the engine serving it (requests, batches, queue
+    /// depth).
+    pub engine: EngineStats,
+}
+
+/// Maps model names to served pipelines, one [`InferenceEngine`] per model.
+///
+/// The registry is immutable once the server binds: connections resolve
+/// their model at handshake time and hold the engine for their lifetime, so
+/// there is no lock on the request path.
+///
+/// # Examples
+///
+/// Two models in one registry — connections that do not name a model get
+/// `"default"`:
+///
+/// ```
+/// use ensembler::EngineConfig;
+/// use ensembler_serve::{demo_pipeline, ModelRegistry};
+/// use std::sync::Arc;
+///
+/// let registry = ModelRegistry::new(
+///     "default",
+///     Arc::new(demo_pipeline(2, 1, 7)?),
+///     EngineConfig::default(),
+/// )?
+/// .with_model("alpha", Arc::new(demo_pipeline(3, 2, 8)?), EngineConfig::default())?;
+///
+/// assert_eq!(registry.len(), 2);
+/// assert_eq!(registry.resolve(None).unwrap().0, "default");
+/// assert_eq!(registry.resolve(Some("alpha")).unwrap().0, "alpha");
+/// assert!(registry.resolve(Some("missing")).is_none());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct ModelRegistry {
+    default_name: String,
+    models: BTreeMap<String, Arc<InferenceEngine<dyn Defense>>>,
+}
+
+impl ModelRegistry {
+    /// Creates a registry whose default model is `default_name` serving
+    /// `defense` through an engine configured by `engine`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an invalid model name or engine configuration.
+    pub fn new(
+        default_name: impl Into<String>,
+        defense: Arc<dyn Defense>,
+        engine: EngineConfig,
+    ) -> Result<Self, ServeError> {
+        let default_name = default_name.into();
+        let mut registry = Self {
+            default_name: default_name.clone(),
+            models: BTreeMap::new(),
+        };
+        registry.register(default_name, defense, engine)?;
+        Ok(registry)
+    }
+
+    /// Registers one more model under `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `name` is empty, contains whitespace or `=` (the
+    /// `--model name=spec` flag separator), is already registered, or the
+    /// engine configuration is invalid.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        defense: Arc<dyn Defense>,
+        engine: EngineConfig,
+    ) -> Result<(), ServeError> {
+        let name = name.into();
+        if name.is_empty() || name.contains(char::is_whitespace) || name.contains('=') {
+            return Err(ServeError::Registry(format!(
+                "invalid model name {name:?}: names must be non-empty and free of whitespace and '='"
+            )));
+        }
+        if self.models.contains_key(&name) {
+            return Err(ServeError::Registry(format!(
+                "model {name:?} is already registered"
+            )));
+        }
+        let engine = InferenceEngine::shared(defense, engine).map_err(ServeError::Defense)?;
+        self.models.insert(name, engine);
+        Ok(())
+    }
+
+    /// Builder-style [`ModelRegistry::register`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`ModelRegistry::register`].
+    pub fn with_model(
+        mut self,
+        name: impl Into<String>,
+        defense: Arc<dyn Defense>,
+        engine: EngineConfig,
+    ) -> Result<Self, ServeError> {
+        self.register(name, defense, engine)?;
+        Ok(self)
+    }
+
+    /// Resolves a handshake's (optional) model request to the canonical name
+    /// and the engine serving it; `None` requests the default model.
+    /// Returns `None` for a name this registry does not serve.
+    pub fn resolve(
+        &self,
+        requested: Option<&str>,
+    ) -> Option<(&str, &Arc<InferenceEngine<dyn Defense>>)> {
+        let name = requested.unwrap_or(&self.default_name);
+        self.models
+            .get_key_value(name)
+            .map(|(name, engine)| (name.as_str(), engine))
+    }
+
+    /// The engine serving `name`, if registered.
+    pub fn get(&self, name: &str) -> Option<&Arc<InferenceEngine<dyn Defense>>> {
+        self.models.get(name)
+    }
+
+    /// The name legacy (pre-v3) connections and nameless hellos resolve to.
+    pub fn default_name(&self) -> &str {
+        &self.default_name
+    }
+
+    /// The engine serving the default model.
+    pub fn default_engine(&self) -> &Arc<InferenceEngine<dyn Defense>> {
+        self.models
+            .get(&self.default_name)
+            .expect("the constructor registers the default model")
+    }
+
+    /// Registered model names, in sorted order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.models.keys().map(String::as_str)
+    }
+
+    /// Number of registered models (always at least 1).
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Whether the registry is empty — never true, the constructor requires
+    /// a default model; provided because clippy expects `is_empty` next to
+    /// `len`.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// Per-model engine counters, in sorted name order.
+    pub fn stats(&self) -> Vec<ModelStats> {
+        self.models
+            .iter()
+            .map(|(name, engine)| ModelStats {
+                model: name.clone(),
+                engine: engine.stats(),
+            })
+            .collect()
+    }
+}
+
+/// A parsed `--model name=N,P,SEED[,int8]` flag: everything `serve_defense`
+/// (or a client building the matching replica) needs to construct one
+/// deterministic demo pipeline and register it under `name`.
+///
+/// # Examples
+///
+/// ```
+/// use ensembler_serve::ModelSpec;
+///
+/// let spec = ModelSpec::parse("alpha=3,2,17")?;
+/// assert_eq!(
+///     (spec.name.as_str(), spec.n, spec.p, spec.seed, spec.int8),
+///     ("alpha", 3, 2, 17, false)
+/// );
+/// let spec = ModelSpec::parse("beta=2,1,9,int8")?;
+/// assert!(spec.int8);
+/// // The spec builds the pipeline it describes.
+/// let defense = spec.build()?;
+/// assert_eq!(defense.ensemble_size(), 2);
+/// assert!(defense.label().ends_with("+int8"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelSpec {
+    /// Registry name the model is served under.
+    pub name: String,
+    /// Ensemble size `N`.
+    pub n: usize,
+    /// Secretly selected count `P`.
+    pub p: usize,
+    /// Weight seed shared by server and replica.
+    pub seed: u64,
+    /// Whether to serve the int8-quantized pipeline.
+    pub int8: bool,
+}
+
+impl ModelSpec {
+    /// Parses `name=N,P,SEED` or `name=N,P,SEED,int8`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Registry`] when the spec does not match that
+    /// shape.
+    pub fn parse(raw: &str) -> Result<Self, ServeError> {
+        let bad = |why: &str| {
+            ServeError::Registry(format!(
+                "bad model spec {raw:?}: {why} (expected name=N,P,SEED[,int8])"
+            ))
+        };
+        let (name, rest) = raw.split_once('=').ok_or_else(|| bad("missing '='"))?;
+        if name.is_empty() || name.contains(char::is_whitespace) {
+            return Err(bad("empty or whitespace model name"));
+        }
+        let fields: Vec<&str> = rest.split(',').collect();
+        let int8 = match fields.as_slice() {
+            [_, _, _] => false,
+            [_, _, _, "int8"] => true,
+            _ => return Err(bad("expected 3 fields, or 4 ending in 'int8'")),
+        };
+        let n = fields[0].parse().map_err(|_| bad("N is not a number"))?;
+        let p = fields[1].parse().map_err(|_| bad("P is not a number"))?;
+        let seed = fields[2].parse().map_err(|_| bad("SEED is not a number"))?;
+        Ok(Self {
+            name: name.to_string(),
+            n,
+            p,
+            seed,
+            int8,
+        })
+    }
+
+    /// Builds the deterministic demo pipeline this spec describes (see
+    /// [`crate::demo_pipeline`]), quantized when the spec says `int8`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `P` is not a valid selection from `N` networks.
+    pub fn build(&self) -> Result<Arc<dyn Defense>, ServeError> {
+        let pipeline = Arc::new(crate::demo_pipeline(self.n, self.p, self.seed)?);
+        Ok(if self.int8 {
+            Arc::new(QuantizedDefense::quantize(pipeline))
+        } else {
+            pipeline
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demo_pipeline;
+
+    fn demo(n: usize, p: usize, seed: u64) -> Arc<dyn Defense> {
+        Arc::new(demo_pipeline(n, p, seed).unwrap())
+    }
+
+    #[test]
+    fn duplicate_and_invalid_names_are_rejected() {
+        let mut registry =
+            ModelRegistry::new("default", demo(2, 1, 1), EngineConfig::default()).unwrap();
+        for bad in ["", "two words", "a=b"] {
+            let err = registry
+                .register(bad, demo(2, 1, 2), EngineConfig::default())
+                .unwrap_err();
+            assert!(matches!(err, ServeError::Registry(_)), "{bad:?}: {err}");
+        }
+        let err = registry
+            .register("default", demo(2, 1, 3), EngineConfig::default())
+            .unwrap_err();
+        assert!(err.to_string().contains("already registered"), "{err}");
+    }
+
+    #[test]
+    fn resolution_prefers_the_requested_name_and_falls_back_to_default() {
+        let registry = ModelRegistry::new("main", demo(2, 1, 4), EngineConfig::default())
+            .unwrap()
+            .with_model("aux", demo(3, 1, 5), EngineConfig::default())
+            .unwrap();
+        assert_eq!(registry.resolve(None).unwrap().0, "main");
+        assert_eq!(registry.resolve(Some("aux")).unwrap().0, "aux");
+        assert!(registry.resolve(Some("nope")).is_none());
+        assert_eq!(registry.names().collect::<Vec<_>>(), vec!["aux", "main"]);
+        assert_eq!(registry.default_engine().defense().ensemble_size(), 2);
+        assert!(!registry.is_empty());
+    }
+
+    #[test]
+    fn stats_cover_every_model() {
+        let registry = ModelRegistry::new("a", demo(2, 1, 6), EngineConfig::default())
+            .unwrap()
+            .with_model("b", demo(2, 1, 7), EngineConfig::default())
+            .unwrap();
+        let stats = registry.stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].model, "a");
+        assert_eq!(stats[1].model, "b");
+        assert_eq!(stats[0].engine.requests_served, 0);
+    }
+
+    #[test]
+    fn model_specs_reject_malformed_input() {
+        for bad in [
+            "noequals",
+            "=2,1,3",
+            "x=2,1",
+            "x=2,1,3,f16",
+            "x=a,1,3",
+            "x=2,b,3",
+            "x=2,1,c",
+            "x=2,1,3,int8,extra",
+        ] {
+            assert!(ModelSpec::parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn model_specs_build_matching_pipelines() {
+        let spec = ModelSpec::parse("m=3,2,11").unwrap();
+        let a = spec.build().unwrap();
+        let b = spec.build().unwrap();
+        assert_eq!(a.ensemble_size(), 3);
+        assert_eq!(a.selected_count(), 2);
+        // Deterministic: two builds of the same spec agree bit for bit.
+        let images = ensembler_tensor::Tensor::ones(&[1, 3, 16, 16]);
+        assert_eq!(a.predict(&images).unwrap(), b.predict(&images).unwrap());
+    }
+}

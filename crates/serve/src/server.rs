@@ -1,31 +1,110 @@
-//! The multi-threaded TCP [`DefenseServer`]: the untrusted-cloud half of the
-//! paper's deployment, serving [`ensembler::Defense::server_outputs`] over
-//! sockets.
+//! The multi-threaded, multi-model TCP [`DefenseServer`]: the untrusted-cloud
+//! half of the paper's deployment, serving the
+//! [`ensembler::Defense::server_outputs`] stage of every model in a
+//! [`ModelRegistry`] over sockets.
 //!
 //! Each accepted connection gets a reader thread that speaks the framed
-//! protocol of [`crate::protocol`]. Single-image requests are fed through the
-//! shared [`InferenceEngine`] queue, so feature maps arriving on *different*
-//! connections coalesce into joint mini-batches exactly like local callers
-//! do; pre-batched requests run directly on the reader thread (they are
-//! already a batch, and inside [`ensembler::Defense::server_outputs`] the `N`
-//! bodies still fan out over the cores).
+//! protocol of [`crate::protocol`]. The handshake pins the connection to one
+//! registered model (protocol-v3 clients name it, legacy clients get the
+//! default model); single-image requests are fed through that model's shared
+//! [`ensembler::InferenceEngine`] queue, so feature maps arriving on
+//! *different* connections coalesce into joint mini-batches exactly like
+//! local callers do, while pre-batched requests run directly on the reader
+//! thread.
+//!
+//! Before any request reaches an engine it must pass **admission control**
+//! ([`AdmissionConfig`]): a budget on in-flight requests and bytes, per
+//! connection and per server. Over-budget work is answered with a typed
+//! [`ErrorCode::Overloaded`] frame and never queued, so a misbehaving client
+//! degrades into rejections instead of queueing the process into the ground.
+//! `docs/SERVING.md` is the operator guide to tuning these budgets.
 
 use crate::error::ServeError;
 use crate::protocol::{
-    read_message, write_message, ErrorCode, Hello, HelloAck, Message, WireError,
+    read_message, write_message, ErrorCode, HelloAck, Message, WireError,
     DEFAULT_MAX_PAYLOAD_BYTES, PROTOCOL_VERSION,
 };
+use crate::registry::{ModelRegistry, ModelStats};
 use ensembler::{Defense, EngineConfig, InferenceEngine};
 use ensembler_tensor::{QTensorBatch, Tensor};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::cell::Cell;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+
+/// In-flight budgets enforced before any request may touch an inference
+/// queue.
+///
+/// "In flight" covers a request from the moment it is admitted until its
+/// result has been computed (the budget is released just before the
+/// response bytes are written, so a client holding its answer already sees
+/// the budget freed). Byte budgets count the raw tensor payload of each
+/// admitted request (`f32` elements at 4 bytes, quantized elements at
+/// 1 byte plus one 4-byte scale per sample).
+///
+/// Because a connection's reader thread processes requests strictly one at a
+/// time, the per-connection *request* budget only fires for values below 1
+/// (which the server rejects at bind time); the per-connection *byte* budget
+/// is the binding one today — it caps the largest single request a
+/// connection may submit, independent of the parse-level
+/// [`ServerConfig::max_payload_bytes`] cap.
+///
+/// # Examples
+///
+/// ```
+/// use ensembler_serve::AdmissionConfig;
+///
+/// let default = AdmissionConfig::default();
+/// assert!(default.max_inflight_requests >= 1);
+///
+/// // An operator tightening a small box: at most 8 requests / 8 MiB in
+/// // flight across the whole process, 2 MiB per connection.
+/// let tight = AdmissionConfig {
+///     max_inflight_requests: 8,
+///     max_inflight_bytes: 8 << 20,
+///     max_connection_inflight_bytes: 2 << 20,
+///     ..AdmissionConfig::default()
+/// };
+/// assert!(tight.max_connection_inflight_bytes < tight.max_inflight_bytes);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Most requests admitted concurrently across the whole server.
+    pub max_inflight_requests: u64,
+    /// Most admitted-but-unanswered payload bytes across the whole server.
+    pub max_inflight_bytes: u64,
+    /// Most requests one connection may have in flight (must be ≥ 1).
+    pub max_connection_inflight_requests: u64,
+    /// Most in-flight payload bytes one connection may hold — effectively
+    /// the largest single request a connection can submit.
+    pub max_connection_inflight_bytes: u64,
+    /// Most connections served concurrently. Each live connection costs one
+    /// reader thread plus up to [`ServerConfig::max_payload_bytes`] of
+    /// receive buffer *before* per-request admission runs, so this cap is
+    /// what actually bounds a thundering herd of sockets; over-limit
+    /// connections are answered with an `Overloaded` frame and hung up on.
+    pub max_connections: u64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        Self {
+            max_inflight_requests: 64,
+            max_inflight_bytes: 256 << 20,
+            max_connection_inflight_requests: 4,
+            max_connection_inflight_bytes: 64 << 20,
+            max_connections: 256,
+        }
+    }
+}
 
 /// Tuning knobs of a [`DefenseServer`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServerConfig {
-    /// Configuration of the shared [`InferenceEngine`] behind the sockets.
+    /// Configuration of the per-model [`InferenceEngine`]s behind the
+    /// sockets (used by [`DefenseServer::bind`]; [`ModelRegistry`] callers
+    /// configure each engine at registration time).
     pub engine: EngineConfig,
     /// Largest request payload a connection will accept, in bytes.
     pub max_payload_bytes: u32,
@@ -34,6 +113,14 @@ pub struct ServerConfig {
     /// how long an idle, trickling or half-open peer can pin an OS thread;
     /// a timed-out client simply reconnects.
     pub read_timeout: Option<std::time::Duration>,
+    /// How long a response write may block before the connection is closed
+    /// (`None` = wait forever). The default (1 minute) bounds how long a
+    /// client that stops reading its responses can pin a reader thread —
+    /// and therefore how long a draining [`DefenseServer::shutdown`] can be
+    /// held up by one misbehaving peer.
+    pub write_timeout: Option<std::time::Duration>,
+    /// In-flight request/byte budgets enforced before queueing any work.
+    pub admission: AdmissionConfig,
 }
 
 impl Default for ServerConfig {
@@ -42,34 +129,231 @@ impl Default for ServerConfig {
             engine: EngineConfig::default(),
             max_payload_bytes: DEFAULT_MAX_PAYLOAD_BYTES,
             read_timeout: Some(std::time::Duration::from_secs(120)),
+            write_timeout: Some(std::time::Duration::from_secs(60)),
+            admission: AdmissionConfig::default(),
         }
     }
 }
 
-/// Counters describing what a server has done so far.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// A snapshot of everything a server has done and is doing: global counters,
+/// the live admission state, and the per-model engine counters.
+///
+/// # Examples
+///
+/// ```
+/// use ensembler::Defense;
+/// use ensembler_serve::{demo_pipeline, DefenseServer, RemoteDefense, ServerConfig};
+/// use ensembler_tensor::Tensor;
+/// use std::sync::Arc;
+///
+/// let pipeline: Arc<dyn Defense> = Arc::new(demo_pipeline(2, 1, 3)?);
+/// let server = DefenseServer::bind(
+///     Arc::clone(&pipeline),
+///     "127.0.0.1:0",
+///     ServerConfig::default(),
+/// )?;
+/// let remote = RemoteDefense::connect(Arc::clone(&pipeline), server.local_addr())?;
+/// remote.predict(&Tensor::ones(&[2, 3, 16, 16]))?;
+///
+/// let stats = server.stats();
+/// assert_eq!(stats.connections_accepted, 1);
+/// assert_eq!(stats.requests_served, 1);
+/// assert_eq!(stats.requests_rejected, 0);
+/// assert_eq!(stats.inflight_requests, 0); // everything answered
+/// // One engine per registered model; `bind` registers one model.
+/// assert_eq!(stats.per_model.len(), 1);
+/// assert_eq!(stats.per_model[0].model, "default");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ServerStats {
     /// TCP connections accepted (including ones that failed the handshake).
     pub connections_accepted: u64,
-    /// `ServerOutputsRequest` frames answered with a response.
+    /// Request frames answered with a response, over all models.
     pub requests_served: u64,
-    /// Error frames sent to clients.
+    /// Requests refused by admission control with an `Overloaded` frame.
+    pub requests_rejected: u64,
+    /// Error frames sent to clients (rejections included).
     pub errors_sent: u64,
+    /// Requests admitted but not yet answered at snapshot time.
+    pub inflight_requests: u64,
+    /// Payload bytes admitted but not yet answered at snapshot time.
+    pub inflight_bytes: u64,
+    /// Per-model engine counters (requests, batches, queue depth), sorted by
+    /// model name.
+    pub per_model: Vec<ModelStats>,
 }
 
 #[derive(Debug, Default)]
 struct ServerStatsCells {
     connections: AtomicU64,
     requests: AtomicU64,
+    rejected: AtomicU64,
     errors: AtomicU64,
 }
 
-/// A TCP frontend serving any [`Defense`]'s `server_outputs` stage.
+#[derive(Debug, Default, Clone, Copy)]
+struct InflightCounters {
+    requests: u64,
+    bytes: u64,
+}
+
+/// Shared admission state: the budgets plus the server-wide in-flight
+/// counters.
+#[derive(Debug)]
+struct Admission {
+    config: AdmissionConfig,
+    inflight: Mutex<InflightCounters>,
+}
+
+/// Per-connection in-flight counters. The reader thread is the only writer,
+/// so plain `Cell`s suffice.
+#[derive(Debug, Default)]
+struct ConnectionBudget {
+    requests: Cell<u64>,
+    bytes: Cell<u64>,
+}
+
+/// An admitted request's hold on the budgets; dropping it releases them.
+struct AdmissionPermit<'a> {
+    admission: &'a Admission,
+    connection: &'a ConnectionBudget,
+    bytes: u64,
+}
+
+impl Admission {
+    fn new(config: AdmissionConfig) -> Self {
+        Self {
+            config,
+            inflight: Mutex::new(InflightCounters::default()),
+        }
+    }
+
+    /// Admits a request of `bytes` payload bytes or explains the refusal.
+    fn try_admit<'a>(
+        &'a self,
+        connection: &'a ConnectionBudget,
+        bytes: u64,
+    ) -> Result<AdmissionPermit<'a>, String> {
+        let cfg = &self.config;
+        // Permanently inadmissible requests are told so first, whatever the
+        // transient state: the "outright" wording is the client's signal to
+        // split the batch instead of retrying forever.
+        if bytes > cfg.max_connection_inflight_bytes {
+            return Err(format!(
+                "request of {bytes} B exceeds the per-connection in-flight byte budget \
+                 ({} B) outright; it will never be admitted — split the batch",
+                cfg.max_connection_inflight_bytes
+            ));
+        }
+        if bytes > cfg.max_inflight_bytes {
+            return Err(format!(
+                "request of {bytes} B exceeds the server in-flight byte budget ({} B) \
+                 outright; it will never be admitted — split the batch",
+                cfg.max_inflight_bytes
+            ));
+        }
+        if connection.requests.get() >= cfg.max_connection_inflight_requests {
+            return Err(format!(
+                "connection already has {} requests in flight (per-connection budget {})",
+                connection.requests.get(),
+                cfg.max_connection_inflight_requests
+            ));
+        }
+        if connection.bytes.get() + bytes > cfg.max_connection_inflight_bytes {
+            return Err(format!(
+                "request of {bytes} B would exceed the per-connection in-flight byte \
+                 budget ({} B); retry after earlier requests drain",
+                cfg.max_connection_inflight_bytes
+            ));
+        }
+        let mut inflight = self
+            .inflight
+            .lock()
+            .expect("admission mutex is never poisoned");
+        if inflight.requests >= cfg.max_inflight_requests {
+            return Err(format!(
+                "server already has {} requests in flight (budget {})",
+                inflight.requests, cfg.max_inflight_requests
+            ));
+        }
+        if inflight.bytes + bytes > cfg.max_inflight_bytes {
+            return Err(format!(
+                "request of {bytes} B would exceed the server in-flight byte budget \
+                 ({} B, {} B already in flight); retry after earlier requests drain",
+                cfg.max_inflight_bytes, inflight.bytes
+            ));
+        }
+        inflight.requests += 1;
+        inflight.bytes += bytes;
+        connection.requests.set(connection.requests.get() + 1);
+        connection.bytes.set(connection.bytes.get() + bytes);
+        Ok(AdmissionPermit {
+            admission: self,
+            connection,
+            bytes,
+        })
+    }
+
+    fn snapshot(&self) -> InflightCounters {
+        *self
+            .inflight
+            .lock()
+            .expect("admission mutex is never poisoned")
+    }
+}
+
+impl Drop for AdmissionPermit<'_> {
+    fn drop(&mut self) {
+        let mut inflight = self
+            .admission
+            .inflight
+            .lock()
+            .expect("admission mutex is never poisoned");
+        inflight.requests -= 1;
+        inflight.bytes -= self.bytes;
+        self.connection
+            .requests
+            .set(self.connection.requests.get() - 1);
+        self.connection
+            .bytes
+            .set(self.connection.bytes.get() - self.bytes);
+    }
+}
+
+/// The live connections a server has spawned: the reader-thread handles (so
+/// a draining shutdown can join them) and a read-half clone of each stream
+/// (so it can unblock readers parked in `read`), keyed by connection id.
 ///
-/// Binding spawns an accept loop plus one reader thread per connection;
-/// dropping the server stops accepting new connections and joins the accept
-/// loop (established connections end when their clients disconnect or after
-/// [`ServerConfig::read_timeout`] of idleness).
+/// A connection removes its own stream clone when it ends — a lingering
+/// clone would hold the socket open after the reader exits, so an idle
+/// timeout or error would never surface to the client as EOF. The accept
+/// loop sweeps finished thread handles on each new connection, so neither
+/// vector grows with the lifetime total of connections.
+#[derive(Debug, Default)]
+struct ConnectionTable {
+    streams: Mutex<Vec<(u64, TcpStream)>>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl ConnectionTable {
+    fn forget_stream(&self, id: u64) {
+        self.streams
+            .lock()
+            .expect("connection table mutex is never poisoned")
+            .retain(|(stream_id, _)| *stream_id != id);
+    }
+}
+
+/// A TCP frontend serving the `server_outputs` stage of every model in a
+/// [`ModelRegistry`].
+///
+/// Binding spawns an accept loop plus one reader thread per connection.
+/// [`DefenseServer::shutdown`] drains gracefully: it stops accepting, lets
+/// every in-flight request finish and answers it, then joins all connection
+/// threads. Merely dropping the server only stops accepting new connections
+/// (established connections keep their engines alive until their clients
+/// disconnect or time out).
 ///
 /// # Examples
 ///
@@ -103,56 +387,139 @@ struct ServerStatsCells {
 pub struct DefenseServer {
     local_addr: SocketAddr,
     running: Arc<AtomicBool>,
+    draining: Arc<AtomicBool>,
     accept_handle: Option<JoinHandle<()>>,
     stats: Arc<ServerStatsCells>,
-    engine: Arc<InferenceEngine<dyn Defense>>,
+    registry: Arc<ModelRegistry>,
+    admission: Arc<Admission>,
+    connections: Arc<ConnectionTable>,
 }
 
 impl DefenseServer {
-    /// Binds a listener on `addr` (use port 0 for an ephemeral port) and
-    /// starts serving `defense`.
+    /// Binds a single-model server on `addr` (use port 0 for an ephemeral
+    /// port): `defense` is registered as the `"default"` model, which is
+    /// what every legacy client and every nameless v3 hello resolves to.
     ///
     /// # Errors
     ///
-    /// Returns an error if the bind fails or the engine configuration is
-    /// invalid.
+    /// Returns an error if the bind fails or a configuration is invalid.
     pub fn bind(
         defense: Arc<dyn Defense>,
         addr: impl ToSocketAddrs,
         config: ServerConfig,
     ) -> Result<Self, ServeError> {
+        let registry = ModelRegistry::new("default", defense, config.engine)?;
+        Self::bind_registry(registry, addr, config)
+    }
+
+    /// Binds a multi-model server on `addr` serving every model in
+    /// `registry`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the bind fails or the admission budgets are
+    /// degenerate (a zero budget would reject every request).
+    pub fn bind_registry(
+        registry: ModelRegistry,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> Result<Self, ServeError> {
+        let admission = config.admission;
+        if admission.max_inflight_requests == 0
+            || admission.max_inflight_bytes == 0
+            || admission.max_connection_inflight_requests == 0
+            || admission.max_connection_inflight_bytes == 0
+            || admission.max_connections == 0
+        {
+            return Err(ServeError::Registry(
+                "admission budgets must all be positive (a zero budget rejects everything)"
+                    .to_string(),
+            ));
+        }
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
-        let engine = Arc::new(InferenceEngine::new(defense, config.engine)?);
+        let registry = Arc::new(registry);
         let running = Arc::new(AtomicBool::new(true));
+        let draining = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(ServerStatsCells::default());
+        let admission = Arc::new(Admission::new(admission));
+        let connections = Arc::new(ConnectionTable::default());
 
         let accept_running = Arc::clone(&running);
-        let accept_engine = Arc::clone(&engine);
+        let accept_draining = Arc::clone(&draining);
+        let accept_registry = Arc::clone(&registry);
         let accept_stats = Arc::clone(&stats);
+        let accept_admission = Arc::clone(&admission);
+        let accept_connections = Arc::clone(&connections);
         let accept_handle = std::thread::spawn(move || {
+            let mut next_id = 0u64;
             for stream in listener.incoming() {
                 if !accept_running.load(Ordering::SeqCst) {
                     break;
                 }
                 let Ok(stream) = stream else { continue };
                 accept_stats.connections.fetch_add(1, Ordering::Relaxed);
-                let engine = Arc::clone(&accept_engine);
+                // The connection cap is what bounds reader threads and
+                // pre-admission receive buffers; over-limit peers get a
+                // typed rejection and a hangup instead of a reader thread.
+                let live = accept_connections
+                    .streams
+                    .lock()
+                    .expect("connection table mutex is never poisoned")
+                    .len() as u64;
+                if live >= config.admission.max_connections {
+                    let stats = Arc::clone(&accept_stats);
+                    let limit = config.admission.max_connections;
+                    // A short-lived thread, so a peer slow to send its Hello
+                    // cannot stall the accept loop.
+                    std::thread::spawn(move || reject_connection(stream, &stats, limit));
+                    continue;
+                }
+                let id = next_id;
+                next_id += 1;
+                // Without a trackable read-half clone a draining shutdown
+                // could never unblock this reader, so refuse the connection
+                // (the close reads as EOF; the client reconnects).
+                let Ok(read_half) = stream.try_clone() else {
+                    continue;
+                };
+                accept_connections
+                    .streams
+                    .lock()
+                    .expect("connection table mutex is never poisoned")
+                    .push((id, read_half));
+                let registry = Arc::clone(&accept_registry);
                 let stats = Arc::clone(&accept_stats);
-                std::thread::spawn(move || {
+                let admission = Arc::clone(&accept_admission);
+                let draining = Arc::clone(&accept_draining);
+                let connections = Arc::clone(&accept_connections);
+                let handle = std::thread::spawn(move || {
                     // Connection failures only affect that client; the error
                     // has already been reported over the wire where possible.
-                    let _ = serve_connection(stream, &engine, &stats, config);
+                    let _ =
+                        serve_connection(stream, &registry, &stats, &admission, &draining, config);
+                    // Drop the table's clone too, so the peer sees the
+                    // connection actually close.
+                    connections.forget_stream(id);
                 });
+                let mut handles = accept_connections
+                    .handles
+                    .lock()
+                    .expect("connection table mutex is never poisoned");
+                handles.retain(|h| !h.is_finished());
+                handles.push(handle);
             }
         });
 
         Ok(Self {
             local_addr,
             running,
+            draining,
             accept_handle: Some(accept_handle),
             stats,
-            engine,
+            registry,
+            admission,
+            connections,
         })
     }
 
@@ -162,28 +529,75 @@ impl DefenseServer {
         self.local_addr
     }
 
-    /// The defense this server exposes.
-    pub fn defense(&self) -> &dyn Defense {
-        self.engine.defense()
+    /// The model registry this server serves.
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.registry
     }
 
-    /// A snapshot of the serving counters.
+    /// The default model's pipeline (what legacy clients are served).
+    pub fn defense(&self) -> &dyn Defense {
+        self.registry.default_engine().defense()
+    }
+
+    /// A snapshot of the serving counters, admission state and per-model
+    /// engine counters.
     pub fn stats(&self) -> ServerStats {
+        let inflight = self.admission.snapshot();
         ServerStats {
             connections_accepted: self.stats.connections.load(Ordering::Relaxed),
             requests_served: self.stats.requests.load(Ordering::Relaxed),
+            requests_rejected: self.stats.rejected.load(Ordering::Relaxed),
             errors_sent: self.stats.errors.load(Ordering::Relaxed),
+            inflight_requests: inflight.requests,
+            inflight_bytes: inflight.bytes,
+            per_model: self.registry.stats(),
         }
     }
 
-    /// Coalescing statistics of the engine behind the sockets.
+    /// Coalescing statistics of the **default** model's engine (multi-model
+    /// callers read every engine through [`DefenseServer::stats`]).
     pub fn engine_stats(&self) -> ensembler::EngineStats {
-        self.engine.stats()
+        self.registry.default_engine().stats()
     }
-}
 
-impl Drop for DefenseServer {
-    fn drop(&mut self) {
+    /// Gracefully shuts the server down: stops accepting, lets every
+    /// admitted request finish and deliver its response, then joins all
+    /// connection threads and returns the final counters.
+    ///
+    /// In-flight batches are *drained*, never abandoned — a client whose
+    /// request was admitted before shutdown began receives its complete,
+    /// bit-identical response. Clients merely connected but idle are hung up
+    /// on.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.stop_accepting();
+        self.draining.store(true, Ordering::SeqCst);
+        // Unblock readers parked in `read`: shut the read half of every
+        // connection. Threads mid-request keep computing and still write
+        // their response (the write half stays open), then exit.
+        for (_, stream) in self
+            .connections
+            .streams
+            .lock()
+            .expect("connection table mutex is never poisoned")
+            .iter()
+        {
+            let _ = stream.shutdown(Shutdown::Read);
+        }
+        let handles: Vec<JoinHandle<()>> = std::mem::take(
+            &mut *self
+                .connections
+                .handles
+                .lock()
+                .expect("connection table mutex is never poisoned"),
+        );
+        for handle in handles {
+            let _ = handle.join();
+        }
+        self.stats()
+    }
+
+    /// Stops the accept loop and joins it (idempotent).
+    fn stop_accepting(&mut self) {
         self.running.store(false, Ordering::SeqCst);
         // Unblock the accept loop with a throwaway connection to ourselves.
         // A wildcard bind address (0.0.0.0 / ::) is not connectable on every
@@ -200,6 +614,33 @@ impl Drop for DefenseServer {
             let _ = handle.join();
         }
     }
+}
+
+impl Drop for DefenseServer {
+    fn drop(&mut self) {
+        // Dropping (without `shutdown`) only stops accepting: established
+        // connections hold their own engine handles and drain naturally.
+        self.stop_accepting();
+    }
+}
+
+/// Refuses a connection that arrived over the [`AdmissionConfig`] limit:
+/// reads (and discards) the client's hello first, then answers with a typed
+/// `Overloaded` frame and hangs up. Reading first matters — closing a
+/// socket with unread data in its receive queue resets the connection, and
+/// a reset discards the error frame before the client can read it.
+fn reject_connection(mut stream: TcpStream, stats: &ServerStatsCells, limit: u64) {
+    stream.set_nodelay(true).ok();
+    let brief = Some(std::time::Duration::from_millis(500));
+    stream.set_read_timeout(brief).ok();
+    stream.set_write_timeout(brief).ok();
+    let _ = read_message(&mut stream, 512); // hello payloads are tiny
+    send_error(
+        &mut stream,
+        stats,
+        ErrorCode::Overloaded,
+        format!("server is at its connection limit ({limit}); retry later"),
+    );
 }
 
 /// Sends an error frame, counting it; I/O failures while reporting are
@@ -222,62 +663,136 @@ fn receive_failure_report(error: &ServeError) -> Option<(ErrorCode, String)> {
     }
 }
 
-/// Drives one connection: handshake, then a request/response loop.
-fn serve_connection(
-    mut stream: TcpStream,
-    engine: &InferenceEngine<dyn Defense>,
+/// Performs the handshake and resolves the model this connection serves.
+/// Returns `None` when the connection should end (the error, if any, has
+/// been reported over the wire).
+fn handshake<'a>(
+    stream: &mut TcpStream,
+    registry: &'a ModelRegistry,
     stats: &ServerStatsCells,
-    config: ServerConfig,
-) -> Result<(), ServeError> {
-    stream.set_nodelay(true).ok();
-    stream.set_read_timeout(config.read_timeout).ok();
-
-    // Handshake: the first frame must be a Hello offering a version range we
-    // overlap with; everything else is answered with an error and a hangup.
-    match read_message(&mut stream, config.max_payload_bytes) {
-        Ok(Message::Hello(Hello { max_version })) => {
-            if max_version < 1 {
-                send_error(
-                    &mut stream,
-                    stats,
-                    ErrorCode::UnsupportedVersion,
-                    format!("client speaks up to v{max_version}, server requires at least v1"),
-                );
-                return Ok(());
-            }
-            let defense = engine.defense();
-            let ack = HelloAck {
-                version: PROTOCOL_VERSION.min(max_version),
-                label: defense.label().to_string(),
-                ensemble_size: defense.ensemble_size() as u32,
-                selected_count: defense.selected_count() as u32,
-            };
-            write_message(&mut stream, &Message::HelloAck(ack))?;
-        }
+    config: &ServerConfig,
+) -> Result<Option<&'a Arc<InferenceEngine<dyn Defense>>>, ServeError> {
+    let hello = match read_message(stream, config.max_payload_bytes) {
+        Ok(Message::Hello(hello)) => hello,
         Ok(other) => {
             send_error(
-                &mut stream,
+                stream,
                 stats,
                 ErrorCode::UnexpectedMessage,
                 format!("expected Hello, got {:?}", other.message_type()),
             );
-            return Ok(());
+            return Ok(None);
         }
         Err(error) => {
             if let Some((code, message)) = receive_failure_report(&error) {
-                send_error(&mut stream, stats, code, message);
+                send_error(stream, stats, code, message);
             }
             return Err(error);
         }
+    };
+    if hello.max_version < 1 {
+        send_error(
+            stream,
+            stats,
+            ErrorCode::UnsupportedVersion,
+            format!(
+                "client speaks up to v{}, server requires at least v1",
+                hello.max_version
+            ),
+        );
+        return Ok(None);
     }
+    if hello.model.is_some() && hello.max_version < 3 {
+        send_error(
+            stream,
+            stats,
+            ErrorCode::UnsupportedVersion,
+            format!(
+                "naming a model requires offering at least v3, client offered v{}",
+                hello.max_version
+            ),
+        );
+        return Ok(None);
+    }
+    let Some((name, engine)) = registry.resolve(hello.model.as_deref()) else {
+        let requested = hello.model.as_deref().unwrap_or("<default>");
+        send_error(
+            stream,
+            stats,
+            ErrorCode::UnknownModel,
+            format!(
+                "model {requested:?} is not served here; available models: {}",
+                registry.names().collect::<Vec<_>>().join(", ")
+            ),
+        );
+        return Ok(None);
+    };
+    let defense = engine.defense();
+    let ack = HelloAck {
+        version: PROTOCOL_VERSION.min(hello.max_version),
+        label: defense.label().to_string(),
+        ensemble_size: defense.ensemble_size() as u32,
+        selected_count: defense.selected_count() as u32,
+        // Echo the resolved name only to clients that asked by name, so acks
+        // to legacy clients stay byte-identical to a version-1 build's.
+        model: hello.model.as_ref().map(|_| name.to_string()),
+    };
+    write_message(stream, &Message::HelloAck(ack))?;
+    Ok(Some(engine))
+}
+
+/// Payload bytes a request holds against the admission budgets: raw element
+/// bytes for `f32` tensors, element + per-sample scale bytes for quantized
+/// ones.
+fn f32_request_bytes(transmitted: &Tensor) -> u64 {
+    4 * transmitted.len() as u64
+}
+
+/// Quantized sibling of [`f32_request_bytes`].
+fn q_request_bytes(transmitted: &QTensorBatch) -> u64 {
+    let elements: usize = transmitted.shape().iter().product();
+    elements as u64 + 4 * transmitted.batch() as u64
+}
+
+/// Drives one connection: handshake, then a request/response loop against
+/// the model the handshake pinned.
+fn serve_connection(
+    mut stream: TcpStream,
+    registry: &ModelRegistry,
+    stats: &ServerStatsCells,
+    admission: &Admission,
+    draining: &AtomicBool,
+    config: ServerConfig,
+) -> Result<(), ServeError> {
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(config.read_timeout).ok();
+    stream.set_write_timeout(config.write_timeout).ok();
+
+    let Some(engine) = handshake(&mut stream, registry, stats, &config)? else {
+        return Ok(());
+    };
+    let budget = ConnectionBudget::default();
 
     loop {
+        if draining.load(Ordering::SeqCst) {
+            return Ok(());
+        }
         match read_message(&mut stream, config.max_payload_bytes) {
             Ok(Message::ServerOutputsRequest { transmitted }) => {
-                match run_request(engine, transmitted) {
+                let permit = match admission.try_admit(&budget, f32_request_bytes(&transmitted)) {
+                    Ok(permit) => permit,
+                    Err(reason) => {
+                        stats.rejected.fetch_add(1, Ordering::Relaxed);
+                        send_error(&mut stream, stats, ErrorCode::Overloaded, reason);
+                        continue;
+                    }
+                };
+                let result = run_request(engine, transmitted);
+                // Release before writing: a client that has its answer must
+                // already see the budget freed (and itself in the stats).
+                drop(permit);
+                match result {
                     Ok(maps) => {
-                        // Count before writing: a client that has its answer
-                        // must already see itself in the stats.
                         stats.requests.fetch_add(1, Ordering::Relaxed);
                         write_message(&mut stream, &Message::ServerOutputsResponse { maps })?;
                     }
@@ -289,7 +804,17 @@ fn serve_connection(
                 }
             }
             Ok(Message::ServerOutputsRequestQ { transmitted }) => {
-                match run_request_quantized(engine, transmitted) {
+                let permit = match admission.try_admit(&budget, q_request_bytes(&transmitted)) {
+                    Ok(permit) => permit,
+                    Err(reason) => {
+                        stats.rejected.fetch_add(1, Ordering::Relaxed);
+                        send_error(&mut stream, stats, ErrorCode::Overloaded, reason);
+                        continue;
+                    }
+                };
+                let result = run_request_quantized(engine, transmitted);
+                drop(permit);
+                match result {
                     Ok(maps) => {
                         stats.requests.fetch_add(1, Ordering::Relaxed);
                         write_message(&mut stream, &Message::ServerOutputsResponseQ { maps })?;
@@ -319,15 +844,16 @@ fn serve_connection(
                         send_error(&mut stream, stats, code, message);
                         Err(error)
                     }
-                    None => Ok(()), // client disconnected
+                    None => Ok(()), // client disconnected (or shutdown drain)
                 };
             }
         }
     }
 }
 
-/// Evaluates one request batch, routing single images through the shared
-/// coalescing queue and pre-assembled batches straight to the pipeline.
+/// Evaluates one request batch, routing single images through the model's
+/// shared coalescing queue and pre-assembled batches straight to the
+/// pipeline.
 ///
 /// The feature shape is validated against the served backbone *before* the
 /// request can reach the coalescing queue: an untrusted peer's malformed

@@ -9,10 +9,13 @@ use ensembler_serve::protocol::{
     crc32, encode_message, read_message, write_message, ErrorCode, Hello, Message,
     DEFAULT_MAX_PAYLOAD_BYTES, FRAME_HEADER_BYTES, FRAME_TRAILER_BYTES, PROTOCOL_VERSION,
 };
-use ensembler_serve::{demo_pipeline, DefenseServer, RemoteDefense, ServeError, ServerConfig};
+use ensembler_serve::{
+    demo_pipeline, AdmissionConfig, DefenseServer, ModelRegistry, RemoteDefense, ServeError,
+    ServerConfig,
+};
 use ensembler_tensor::{QTensorBatch, Rng, Tensor};
 use std::net::TcpStream;
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Binds a demo server on an ephemeral loopback port and returns it with the
 /// shared pipeline (the test's stand-in for both sides holding the same
@@ -139,7 +142,8 @@ fn a_remote_defense_can_sit_behind_a_local_inference_engine() {
 fn quantized_remote_predict_is_bit_identical_to_in_process_int8() {
     let (server, int8) = demo_server_int8(3, 2, 41);
     let remote = RemoteDefense::connect(Arc::clone(&int8), server.local_addr()).unwrap();
-    assert_eq!(remote.negotiated_version(), 2);
+    // Quantized frames need v2+; a v3 build negotiates the full version.
+    assert_eq!(remote.negotiated_version(), PROTOCOL_VERSION);
     assert_eq!(remote.peer_label(), "Ensembler+int8");
     assert_eq!(remote.precision(), Precision::Int8);
     assert!(remote.uses_quantized_frames());
@@ -237,7 +241,7 @@ fn truncated_and_garbage_quantized_requests_get_error_frames() {
 
     let (server, int8) = demo_server_int8(2, 1, 53);
     let mut stream = TcpStream::connect(server.local_addr()).unwrap();
-    write_message(&mut stream, &Message::Hello(Hello { max_version: 2 })).unwrap();
+    write_message(&mut stream, &Message::Hello(Hello::legacy(2))).unwrap();
     let Message::HelloAck(ack) = read_message(&mut stream, DEFAULT_MAX_PAYLOAD_BYTES).unwrap()
     else {
         panic!("handshake failed");
@@ -312,7 +316,7 @@ fn mismatched_replica_is_rejected_at_connect_time() {
 fn unsupported_client_version_gets_a_version_error() {
     let (server, _pipeline) = demo_server(2, 1, 12);
     let mut stream = TcpStream::connect(server.local_addr()).unwrap();
-    write_message(&mut stream, &Message::Hello(Hello { max_version: 0 })).unwrap();
+    write_message(&mut stream, &Message::Hello(Hello::legacy(0))).unwrap();
     match read_message(&mut stream, DEFAULT_MAX_PAYLOAD_BYTES).unwrap() {
         Message::Error(wire) => {
             assert_eq!(wire.code, ErrorCode::UnsupportedVersion);
@@ -328,7 +332,7 @@ fn garbage_bytes_are_answered_with_a_malformed_frame_error() {
 
     let (server, pipeline) = demo_server(2, 1, 13);
     let mut stream = TcpStream::connect(server.local_addr()).unwrap();
-    write_message(&mut stream, &Message::Hello(Hello { max_version: 1 })).unwrap();
+    write_message(&mut stream, &Message::Hello(Hello::legacy(1))).unwrap();
     let Message::HelloAck(_) = read_message(&mut stream, DEFAULT_MAX_PAYLOAD_BYTES).unwrap() else {
         panic!("handshake failed");
     };
@@ -356,7 +360,7 @@ fn corrupted_checksums_are_detected_and_reported() {
 
     let (server, pipeline) = demo_server(2, 1, 15);
     let mut stream = TcpStream::connect(server.local_addr()).unwrap();
-    write_message(&mut stream, &Message::Hello(Hello { max_version: 1 })).unwrap();
+    write_message(&mut stream, &Message::Hello(Hello::legacy(1))).unwrap();
     let Message::HelloAck(_) = read_message(&mut stream, DEFAULT_MAX_PAYLOAD_BYTES).unwrap() else {
         panic!("handshake failed");
     };
@@ -468,4 +472,445 @@ fn dropping_the_server_stops_new_connections() {
     assert!(RemoteDefense::connect(Arc::clone(&pipeline), addr).is_err());
     // ...but the established connection drains gracefully.
     assert_eq!(remote.predict(&images).unwrap(), expected);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-model serving, admission control and graceful shutdown (protocol v3)
+// ---------------------------------------------------------------------------
+
+/// A test-only defense whose `server_outputs` blocks on a gate until the
+/// test releases it: the deterministic way to hold a request "in flight" on
+/// the server while the test probes admission control and shutdown draining.
+#[derive(Debug)]
+struct GatedDefense {
+    inner: Arc<dyn Defense>,
+    gate: Arc<(Mutex<GateState>, Condvar)>,
+}
+
+#[derive(Debug, Default)]
+struct GateState {
+    entered: u64,
+    released: bool,
+}
+
+impl GatedDefense {
+    fn new(inner: Arc<dyn Defense>) -> (Arc<Self>, Arc<(Mutex<GateState>, Condvar)>) {
+        let gate = Arc::new((Mutex::new(GateState::default()), Condvar::new()));
+        let defense = Arc::new(Self {
+            inner,
+            gate: Arc::clone(&gate),
+        });
+        (defense, gate)
+    }
+}
+
+/// Blocks until `entered >= n` server_outputs calls are inside the gate.
+fn wait_entered(gate: &(Mutex<GateState>, Condvar), n: u64) {
+    let (lock, condvar) = gate;
+    let mut state = lock.lock().unwrap();
+    while state.entered < n {
+        state = condvar.wait(state).unwrap();
+    }
+}
+
+/// Opens the gate for every blocked and future call.
+fn release(gate: &(Mutex<GateState>, Condvar)) {
+    let (lock, condvar) = gate;
+    lock.lock().unwrap().released = true;
+    condvar.notify_all();
+}
+
+impl Defense for GatedDefense {
+    fn config(&self) -> &ensembler_nn::models::ResNetConfig {
+        self.inner.config()
+    }
+
+    fn label(&self) -> &str {
+        self.inner.label()
+    }
+
+    fn server_bodies(&self) -> &[ensembler_nn::Sequential] {
+        self.inner.server_bodies()
+    }
+
+    fn selected_count(&self) -> usize {
+        self.inner.selected_count()
+    }
+
+    fn client_features(&self, images: &Tensor) -> Result<Tensor, EnsemblerError> {
+        self.inner.client_features(images)
+    }
+
+    fn server_outputs(&self, transmitted: &Tensor) -> Result<Vec<Tensor>, EnsemblerError> {
+        let (lock, condvar) = &*self.gate;
+        let mut state = lock.lock().unwrap();
+        state.entered += 1;
+        condvar.notify_all();
+        while !state.released {
+            state = condvar.wait(state).unwrap();
+        }
+        drop(state);
+        self.inner.server_outputs(transmitted)
+    }
+
+    fn classify(&self, server_maps: &[Tensor]) -> Result<Tensor, EnsemblerError> {
+        self.inner.classify(server_maps)
+    }
+}
+
+#[test]
+fn two_models_are_served_bit_identically_from_one_process() {
+    // One process, two models at different precisions: protocol-v3 clients
+    // pick theirs by name and every prediction is bit-identical to the
+    // matching in-process pipeline.
+    let alpha: Arc<dyn Defense> = Arc::new(demo_pipeline(3, 2, 61).unwrap());
+    let beta: Arc<dyn Defense> = Arc::new(QuantizedDefense::quantize(Arc::new(
+        demo_pipeline(2, 1, 62).unwrap(),
+    )));
+    let config = ServerConfig::default();
+    let registry = ModelRegistry::new("alpha", Arc::clone(&alpha), config.engine)
+        .unwrap()
+        .with_model("beta", Arc::clone(&beta), config.engine)
+        .unwrap();
+    let server = DefenseServer::bind_registry(registry, "127.0.0.1:0", config).unwrap();
+
+    let remote_alpha =
+        RemoteDefense::connect_model(Arc::clone(&alpha), server.local_addr(), "alpha").unwrap();
+    assert_eq!(remote_alpha.negotiated_version(), PROTOCOL_VERSION);
+    assert_eq!(remote_alpha.model(), Some("alpha"));
+    assert!(!remote_alpha.uses_quantized_frames());
+
+    let remote_beta =
+        RemoteDefense::connect_model(Arc::clone(&beta), server.local_addr(), "beta").unwrap();
+    assert_eq!(remote_beta.model(), Some("beta"));
+    assert_eq!(remote_beta.peer_label(), "Ensembler+int8");
+    // A v3 connection to an int8 model ships quantized frames.
+    assert!(remote_beta.uses_quantized_frames());
+
+    for seed in [301u64, 302] {
+        let images = random_images(2, seed);
+        assert_eq!(
+            remote_alpha.predict(&images).unwrap(),
+            alpha.predict(&images).unwrap(),
+            "alpha seed {seed}"
+        );
+        assert_eq!(
+            remote_beta.predict(&images).unwrap(),
+            beta.predict(&images).unwrap(),
+            "beta seed {seed}"
+        );
+    }
+
+    // A nameless legacy connect gets the default model ("alpha").
+    let legacy = RemoteDefense::connect(Arc::clone(&alpha), server.local_addr()).unwrap();
+    assert_eq!(legacy.model(), None);
+    let images = random_images(1, 303);
+    assert_eq!(
+        legacy.predict(&images).unwrap(),
+        alpha.predict(&images).unwrap()
+    );
+
+    // Per-model engines: the single-image request coalesced through alpha's
+    // engine; beta's engine saw nothing (batched requests run direct).
+    let stats = server.stats();
+    assert_eq!(stats.requests_served, 5);
+    assert_eq!(stats.requests_rejected, 0);
+    assert_eq!(stats.per_model.len(), 2);
+    assert_eq!(stats.per_model[0].model, "alpha");
+    assert_eq!(stats.per_model[1].model, "beta");
+    assert_eq!(stats.per_model[0].engine.requests_served, 1);
+    assert_eq!(stats.per_model[1].engine.requests_served, 0);
+}
+
+#[test]
+fn unknown_model_requests_get_a_typed_error() {
+    let (server, pipeline) = demo_server(2, 1, 63);
+    let err = RemoteDefense::connect_model(Arc::clone(&pipeline), server.local_addr(), "nope")
+        .unwrap_err();
+    match err {
+        ServeError::Remote(wire) => {
+            assert_eq!(wire.code, ErrorCode::UnknownModel);
+            assert!(wire.message.contains("default"), "{}", wire.message);
+        }
+        other => panic!("expected a typed UnknownModel error, got {other}"),
+    }
+    // The server is unharmed and still serves known models.
+    let remote =
+        RemoteDefense::connect_model(Arc::clone(&pipeline), server.local_addr(), "default")
+            .unwrap();
+    assert_eq!(remote.model(), Some("default"));
+    let images = random_images(1, 64);
+    assert_eq!(
+        remote.predict(&images).unwrap(),
+        pipeline.predict(&images).unwrap()
+    );
+}
+
+#[test]
+fn version_1_and_2_clients_work_unchanged_against_a_v3_server() {
+    // The v3 server serves legacy clients at their version: v1 over plain
+    // f32 frames, v2 (int8 replica) over quantized frames — bit-identically.
+    let (server, pipeline) = demo_server(2, 1, 65);
+    let v1 = RemoteDefense::connect_with_max_version(Arc::clone(&pipeline), server.local_addr(), 1)
+        .unwrap();
+    assert_eq!(v1.negotiated_version(), 1);
+    let images = random_images(2, 66);
+    assert_eq!(
+        v1.predict(&images).unwrap(),
+        pipeline.predict(&images).unwrap()
+    );
+
+    let (server, int8) = demo_server_int8(2, 1, 67);
+    let v2 =
+        RemoteDefense::connect_with_max_version(Arc::clone(&int8), server.local_addr(), 2).unwrap();
+    assert_eq!(v2.negotiated_version(), 2);
+    assert!(v2.uses_quantized_frames());
+    let images = random_images(2, 68);
+    assert_eq!(v2.predict(&images).unwrap(), int8.predict(&images).unwrap());
+
+    // A pre-v3 cap cannot name a model — rejected locally, before any I/O.
+    let err = RemoteDefense::connect_with_max_version(int8, server.local_addr(), 0).unwrap_err();
+    assert!(
+        matches!(err, ServeError::UnsupportedVersion { .. }),
+        "{err}"
+    );
+}
+
+#[test]
+fn over_budget_requests_get_typed_overloaded_rejections() {
+    use std::io::Write;
+
+    // Budget: two single-sample requests' worth of bytes per connection, so
+    // a batch of 4 must be rejected while singles sail through.
+    let pipeline: Arc<dyn Defense> = Arc::new(demo_pipeline(2, 1, 71).unwrap());
+    let head = pipeline.config().head_output_shape();
+    let sample_bytes = 4 * head.iter().product::<usize>() as u64;
+    let server = DefenseServer::bind(
+        Arc::clone(&pipeline),
+        "127.0.0.1:0",
+        ServerConfig {
+            admission: AdmissionConfig {
+                max_connection_inflight_bytes: 2 * sample_bytes,
+                ..AdmissionConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    write_message(
+        &mut stream,
+        &Message::Hello(Hello::legacy(PROTOCOL_VERSION)),
+    )
+    .unwrap();
+    let Message::HelloAck(_) = read_message(&mut stream, DEFAULT_MAX_PAYLOAD_BYTES).unwrap() else {
+        panic!("handshake failed");
+    };
+
+    // Over budget: a 4-sample batch (4 x sample_bytes > 2 x sample_bytes).
+    let big = pipeline.client_features(&random_images(4, 72)).unwrap();
+    let frame = encode_message(&Message::ServerOutputsRequest { transmitted: big });
+    stream.write_all(&frame).unwrap();
+    stream.flush().unwrap();
+    match read_message(&mut stream, DEFAULT_MAX_PAYLOAD_BYTES).unwrap() {
+        Message::Error(wire) => {
+            assert_eq!(wire.code, ErrorCode::Overloaded);
+            assert!(wire.message.contains("per-connection"), "{}", wire.message);
+        }
+        other => panic!("expected a typed Overloaded error, got {other:?}"),
+    }
+
+    // The same connection stays open and an in-budget request on it returns
+    // the bit-identical answer.
+    let transmitted = pipeline.client_features(&random_images(1, 73)).unwrap();
+    let expected = pipeline.server_outputs(&transmitted).unwrap();
+    let frame = encode_message(&Message::ServerOutputsRequest { transmitted });
+    stream.write_all(&frame).unwrap();
+    stream.flush().unwrap();
+    match read_message(&mut stream, DEFAULT_MAX_PAYLOAD_BYTES).unwrap() {
+        Message::ServerOutputsResponse { maps } => assert_eq!(maps, expected),
+        other => panic!("expected a response, got {other:?}"),
+    }
+
+    // Bounded settle loop for scheduler noise before asserting the drain.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while server.stats().inflight_requests > 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    let stats = server.stats();
+    assert_eq!(stats.requests_rejected, 1);
+    assert_eq!(stats.requests_served, 1);
+    assert_eq!(stats.errors_sent, 1);
+    assert_eq!(stats.inflight_requests, 0);
+    assert_eq!(stats.inflight_bytes, 0);
+}
+
+#[test]
+fn a_saturated_server_rejects_new_work_instead_of_queueing_it() {
+    // Server-wide budget of one in-flight request, occupied by a gated
+    // request from connection A: connection B must get a typed rejection
+    // (never a hang), and A's answer must still be bit-identical once the
+    // gate opens.
+    let inner: Arc<dyn Defense> = Arc::new(demo_pipeline(2, 1, 75).unwrap());
+    let (gated, gate) = GatedDefense::new(Arc::clone(&inner));
+    let server = DefenseServer::bind(
+        gated,
+        "127.0.0.1:0",
+        ServerConfig {
+            admission: AdmissionConfig {
+                max_inflight_requests: 1,
+                ..AdmissionConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+
+    let images = random_images(2, 76);
+    let expected = inner.predict(&images).unwrap();
+    let remote_a = RemoteDefense::connect(Arc::clone(&inner), server.local_addr()).unwrap();
+    let blocked = std::thread::spawn(move || remote_a.predict(&images).unwrap());
+    wait_entered(&gate, 1);
+
+    // The budget is saturated: B's request is rejected, typed, immediately.
+    let remote_b = RemoteDefense::connect(Arc::clone(&inner), server.local_addr()).unwrap();
+    let features = inner.client_features(&random_images(1, 77)).unwrap();
+    let err = remote_b.server_outputs(&features).unwrap_err();
+    assert!(
+        err.to_string().contains("Overloaded") || err.to_string().contains("budget"),
+        "expected an admission rejection, got {err}"
+    );
+    assert_eq!(server.stats().requests_rejected, 1);
+    assert_eq!(server.stats().inflight_requests, 1);
+
+    // Release the gate: A's long-held request completes bit-identically and
+    // the budget frees up for B (with a brief, bounded retry for scheduler
+    // noise — retrying is the client contract for Overloaded rejections
+    // anyway).
+    release(&gate);
+    assert_eq!(blocked.join().unwrap(), expected);
+    let mut attempts = 0;
+    let maps = loop {
+        match remote_b.server_outputs(&features) {
+            Ok(maps) => break maps,
+            Err(err) if err.to_string().contains("budget") && attempts < 100 => {
+                attempts += 1;
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+            Err(err) => panic!("unexpected error while retrying: {err}"),
+        }
+    };
+    assert_eq!(maps, inner.server_outputs(&features).unwrap());
+    // Bounded settle loop for scheduler noise before asserting the drain.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while server.stats().inflight_requests > 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    let stats = server.stats();
+    assert_eq!(stats.inflight_requests, 0);
+    assert_eq!(stats.inflight_bytes, 0);
+    assert_eq!(stats.requests_served, 2);
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_batches() {
+    let inner: Arc<dyn Defense> = Arc::new(demo_pipeline(2, 1, 81).unwrap());
+    let (gated, gate) = GatedDefense::new(Arc::clone(&inner));
+    let server = DefenseServer::bind(gated, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    // A client's request is mid-flight (blocked on the gate) when shutdown
+    // begins.
+    let images = random_images(2, 82);
+    let expected = inner.predict(&images).unwrap();
+    let remote = RemoteDefense::connect(Arc::clone(&inner), addr).unwrap();
+    let in_flight = std::thread::spawn(move || remote.predict(&images).unwrap());
+    wait_entered(&gate, 1);
+
+    let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let done_flag = Arc::clone(&done);
+    let shutdown = std::thread::spawn(move || {
+        let stats = server.shutdown();
+        done_flag.store(true, std::sync::atomic::Ordering::SeqCst);
+        stats
+    });
+
+    // Shutdown must wait for the in-flight batch, not abandon it.
+    std::thread::sleep(std::time::Duration::from_millis(200));
+    assert!(
+        !done.load(std::sync::atomic::Ordering::SeqCst),
+        "shutdown returned while a request was still in flight"
+    );
+
+    release(&gate);
+    // The drained request delivers its complete, bit-identical response...
+    assert_eq!(in_flight.join().unwrap(), expected);
+    // ...and shutdown then completes with the final counters.
+    let stats = shutdown.join().unwrap();
+    assert_eq!(stats.requests_served, 1);
+    assert_eq!(stats.inflight_requests, 0);
+    // The listener is gone: no new connections.
+    assert!(RemoteDefense::connect(Arc::clone(&inner), addr).is_err());
+}
+
+#[test]
+fn connections_over_the_limit_are_rejected_with_a_typed_error() {
+    let pipeline: Arc<dyn Defense> = Arc::new(demo_pipeline(2, 1, 91).unwrap());
+    let server = DefenseServer::bind(
+        Arc::clone(&pipeline),
+        "127.0.0.1:0",
+        ServerConfig {
+            admission: AdmissionConfig {
+                max_connections: 1,
+                ..AdmissionConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+
+    // The first connection occupies the only slot...
+    let first = RemoteDefense::connect(Arc::clone(&pipeline), server.local_addr()).unwrap();
+
+    // ...so the second is refused with a typed Overloaded frame before it
+    // ever gets a reader thread.
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    match read_message(&mut stream, DEFAULT_MAX_PAYLOAD_BYTES).unwrap() {
+        Message::Error(wire) => {
+            assert_eq!(wire.code, ErrorCode::Overloaded);
+            assert!(
+                wire.message.contains("connection limit"),
+                "{}",
+                wire.message
+            );
+        }
+        other => panic!("expected a connection-limit rejection, got {other:?}"),
+    }
+    drop(stream);
+
+    // The admitted connection is unaffected.
+    let images = random_images(1, 92);
+    assert_eq!(
+        first.predict(&images).unwrap(),
+        pipeline.predict(&images).unwrap()
+    );
+
+    // Once the slot frees up, new connections are admitted again.
+    drop(first);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    let second = loop {
+        match RemoteDefense::connect(Arc::clone(&pipeline), server.local_addr()) {
+            Ok(remote) => break remote,
+            Err(_) if std::time::Instant::now() < deadline => {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+            Err(err) => panic!("slot never freed: {err}"),
+        }
+    };
+    let images = random_images(1, 93);
+    assert_eq!(
+        second.predict(&images).unwrap(),
+        pipeline.predict(&images).unwrap()
+    );
 }

@@ -168,3 +168,49 @@ fn a_live_pipelines_frames_match_the_model_end_to_end() {
         )
     );
 }
+
+#[test]
+fn handshake_frame_bytes_match_the_encoder() {
+    use ensembler_serve::protocol::{Hello, HelloAck};
+
+    // Legacy (nameless) handshake frames.
+    let hello = encode_message(&Message::Hello(Hello::legacy(1)));
+    assert_eq!(hello.len() as u64, WIRE_OVERHEAD.hello_frame_bytes(None));
+    let ack = encode_message(&Message::HelloAck(HelloAck {
+        version: 1,
+        label: "Ensembler".to_string(),
+        ensemble_size: 3,
+        selected_count: 2,
+        model: None,
+    }));
+    assert_eq!(
+        ack.len() as u64,
+        WIRE_OVERHEAD.hello_ack_frame_bytes("Ensembler".len() as u64, None)
+    );
+
+    // Protocol-v3 handshakes carrying a model name, across name lengths.
+    for model in ["a", "alpha", "a-rather-long-model-name"] {
+        let hello = encode_message(&Message::Hello(Hello {
+            max_version: 3,
+            model: Some(model.to_string()),
+        }));
+        assert_eq!(
+            hello.len() as u64,
+            WIRE_OVERHEAD.hello_frame_bytes(Some(model.len() as u64)),
+            "hello bytes drifted for model {model:?}"
+        );
+        let ack = encode_message(&Message::HelloAck(HelloAck {
+            version: 3,
+            label: "Ensembler+int8".to_string(),
+            ensemble_size: 4,
+            selected_count: 2,
+            model: Some(model.to_string()),
+        }));
+        assert_eq!(
+            ack.len() as u64,
+            WIRE_OVERHEAD
+                .hello_ack_frame_bytes("Ensembler+int8".len() as u64, Some(model.len() as u64)),
+            "ack bytes drifted for model {model:?}"
+        );
+    }
+}

@@ -11,7 +11,31 @@ use std::collections::BTreeMap;
 /// The example messages the document walks through, by marker name.
 fn documented_examples() -> BTreeMap<&'static str, Message> {
     let mut examples = BTreeMap::new();
-    examples.insert("hello", Message::Hello(Hello { max_version: 1 }));
+    examples.insert("hello", Message::Hello(Hello::legacy(1)));
+    examples.insert(
+        "hello-v3",
+        Message::Hello(Hello {
+            max_version: 3,
+            model: Some("alpha".to_string()),
+        }),
+    );
+    examples.insert(
+        "hello-ack-v3",
+        Message::HelloAck(HelloAck {
+            version: 3,
+            label: "Ensembler".to_string(),
+            ensemble_size: 3,
+            selected_count: 2,
+            model: Some("alpha".to_string()),
+        }),
+    );
+    examples.insert(
+        "error-overloaded",
+        Message::Error(WireError {
+            code: ErrorCode::Overloaded,
+            message: "budget".to_string(),
+        }),
+    );
     examples.insert(
         "hello-ack",
         Message::HelloAck(HelloAck {
@@ -19,6 +43,7 @@ fn documented_examples() -> BTreeMap<&'static str, Message> {
             label: "Ensembler".to_string(),
             ensemble_size: 3,
             selected_count: 2,
+            model: None,
         }),
     );
     examples.insert(

@@ -1,101 +1,113 @@
-//! The paper's deployment, for real: a `DefenseServer` (the untrusted cloud)
-//! and a `RemoteDefense` client (the trusted edge) talking the framed wire
-//! protocol over a loopback TCP socket — then the same client code served
+//! The paper's deployment, for real: a multi-model `DefenseServer` (the
+//! untrusted cloud) serving an f32 and an int8 pipeline from one process,
+//! and `RemoteDefense` clients (the trusted edge) picking their model by
+//! name over the protocol-v3 handshake — then the same client code served
 //! through the coalescing `InferenceEngine`, unchanged, because
 //! `RemoteDefense` is just another `Defense`.
 //!
 //! Run with: `cargo run --example networked_inference --release`
-//! Add `--int8` to serve the int8 backend over protocol-v2 quantized frames
-//! (about a quarter of the response bytes). Either way the example
-//! cross-checks that both precisions put the same labels on the demo batch,
-//! so it doubles as a quantization smoke test.
+//! Add `--int8` to route the engine-composition section through the int8
+//! model and its protocol-v2 quantized frames (about a quarter of the
+//! response bytes). Either way the example cross-checks that both models
+//! put the same labels on the demo batch, so it doubles as a quantization
+//! smoke test.
 
 use ensembler_suite::core::{Defense, EngineConfig, InferenceEngine, QuantizedDefense};
 use ensembler_suite::latency::{network_cost, LinkProfile};
 use ensembler_suite::serve::{
-    demo_pipeline, DefenseServer, RemoteDefense, ServerConfig, WIRE_OVERHEAD,
+    demo_pipeline, DefenseServer, ModelRegistry, RemoteDefense, ServerConfig, WIRE_OVERHEAD,
 };
 use ensembler_suite::tensor::{Rng, Tensor};
 use std::sync::Arc;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let int8 = std::env::args().any(|a| a == "--int8");
+    let int8_engine_demo = std::env::args().any(|a| a == "--int8");
 
     // Both sides hold the same deterministic weights — the role a shared
-    // checkpoint plays in a real deployment.
+    // checkpoint plays in a real deployment. One process serves the same
+    // backbone at both precisions, as two named models.
     let (n, p, seed) = (4, 2, 17);
     let f32_pipeline: Arc<dyn Defense> = Arc::new(demo_pipeline(n, p, seed)?);
-    let pipeline: Arc<dyn Defense> = if int8 {
-        Arc::new(QuantizedDefense::quantize(Arc::clone(&f32_pipeline)))
-    } else {
-        Arc::clone(&f32_pipeline)
-    };
+    let int8_pipeline: Arc<dyn Defense> =
+        Arc::new(QuantizedDefense::quantize(Arc::clone(&f32_pipeline)));
 
-    // The untrusted cloud: serves all N bodies over TCP.
-    let server = DefenseServer::bind(
-        Arc::clone(&pipeline),
-        "127.0.0.1:0",
-        ServerConfig::default(),
-    )?;
+    let config = ServerConfig::default();
+    let registry = ModelRegistry::new("f32", Arc::clone(&f32_pipeline), config.engine)?
+        .with_model("int8", Arc::clone(&int8_pipeline), config.engine)?;
+    let server = DefenseServer::bind_registry(registry, "127.0.0.1:0", config)?;
     println!(
-        "cloud: serving {} (N={n}, P={p}) on {}",
-        pipeline.label(),
+        "cloud: serving models [{}] (N={n}, P={p}) on {}",
+        server.registry().names().collect::<Vec<_>>().join(", "),
         server.local_addr()
     );
 
     // The trusted edge: head + noise + secret selector + tail stay local,
-    // server_outputs travels the socket.
-    let remote = RemoteDefense::connect(Arc::clone(&pipeline), server.local_addr())?;
-    println!(
-        "edge:  connected, negotiated protocol v{}{}",
-        remote.negotiated_version(),
-        if remote.uses_quantized_frames() {
-            " (quantized frames)"
-        } else {
-            ""
-        }
-    );
-
+    // server_outputs travels the socket — to the model each client names.
     let mut rng = Rng::seed_from(99);
     let images = Tensor::from_fn(&[8, 3, 16, 16], |_| rng.uniform(-1.0, 1.0));
-    let remote_logits = remote.predict(&images)?;
-    let local_logits = pipeline.predict(&images)?;
-    assert_eq!(remote_logits, local_logits);
-    println!("edge:  batch of 8 predicted over the wire, bit-identical to in-process");
+    let mut logits_by_model = Vec::new();
+    for (name, local) in [("f32", &f32_pipeline), ("int8", &int8_pipeline)] {
+        let remote = RemoteDefense::connect_model(Arc::clone(local), server.local_addr(), name)?;
+        println!(
+            "edge:  connected to model {:?}, negotiated protocol v{}{}",
+            remote.model().expect("v3 ack echoes the model"),
+            remote.negotiated_version(),
+            if remote.uses_quantized_frames() {
+                " (quantized frames)"
+            } else {
+                ""
+            }
+        );
+        let remote_logits = remote.predict(&images)?;
+        assert_eq!(remote_logits, local.predict(&images)?);
+        println!("edge:  batch of 8 over the wire, bit-identical to in-process {name}");
+        logits_by_model.push(remote_logits);
+    }
 
-    // Smoke test for the quantized backend: both precisions must label the
-    // demo batch identically (whichever one went over the wire).
+    // Smoke test for the quantized backend: both models must label the demo
+    // batch identically even though one of them served int8 frames.
     assert_eq!(
-        remote_logits.argmax_rows(),
-        f32_pipeline.predict(&images)?.argmax_rows(),
+        logits_by_model[0].argmax_rows(),
+        logits_by_model[1].argmax_rows(),
         "f32 and int8 must agree on the demo labels"
     );
     println!("edge:  f32 and int8 agree on all 8 demo labels");
 
     // What those requests cost on the wire, from the validated cost model.
-    let cost = network_cost(pipeline.config());
-    let (upload, ret) = if int8 {
+    let cost = network_cost(f32_pipeline.config());
+    for (name, upload, ret) in [
         (
-            cost.upload_frame_bytes_q(8, &WIRE_OVERHEAD),
-            cost.return_frame_bytes_q(8, n as u64, &WIRE_OVERHEAD),
-        )
-    } else {
-        (
+            "f32",
             cost.upload_frame_bytes(8, &WIRE_OVERHEAD),
             cost.return_frame_bytes(8, n as u64, &WIRE_OVERHEAD),
-        )
-    };
-    let link = LinkProfile::paper_lan();
-    println!(
-        "wire:  {upload} B up + {ret} B down per batch -> {:.1} ms on the paper's LAN",
-        link.round_trip_s(upload as f64, ret as f64) * 1e3
-    );
+        ),
+        (
+            "int8",
+            cost.upload_frame_bytes_q(8, &WIRE_OVERHEAD),
+            cost.return_frame_bytes_q(8, n as u64, &WIRE_OVERHEAD),
+        ),
+    ] {
+        let link = LinkProfile::paper_lan();
+        println!(
+            "wire:  {name}: {upload} B up + {ret} B down per batch -> {:.1} ms on the paper's LAN",
+            link.round_trip_s(upload as f64, ret as f64) * 1e3
+        );
+    }
+
     // RemoteDefense is a Defense, so the coalescing engine serves it as-is:
-    // many concurrent edge callers, one shared remote connection.
+    // many concurrent edge callers, one shared remote connection to the
+    // chosen model.
+    let engine_model = if int8_engine_demo { "int8" } else { "f32" };
+    let engine_replica = if int8_engine_demo {
+        &int8_pipeline
+    } else {
+        &f32_pipeline
+    };
     let engine = Arc::new(InferenceEngine::new(
-        Arc::new(RemoteDefense::connect(
-            Arc::clone(&pipeline),
+        Arc::new(RemoteDefense::connect_model(
+            Arc::clone(engine_replica),
             server.local_addr(),
+            engine_model,
         )?),
         EngineConfig::default(),
     )?);
@@ -113,9 +125,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
     println!(
-        "edge:  {} concurrent callers served through engine + wire; server saw {} requests",
+        "edge:  {} concurrent callers served through engine + wire against model {engine_model}",
         answers.len(),
-        server.stats().requests_served
     );
+
+    // Graceful shutdown: in-flight work has drained, the counters survive.
+    let stats = server.shutdown();
+    println!(
+        "cloud: drained and stopped — {} connections, {} requests served, {} rejected",
+        stats.connections_accepted, stats.requests_served, stats.requests_rejected
+    );
+    for model in &stats.per_model {
+        println!(
+            "cloud:   model {}: {} coalesced requests in {} batches",
+            model.model, model.engine.requests_served, model.engine.batches_executed
+        );
+    }
     Ok(())
 }

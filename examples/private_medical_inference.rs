@@ -93,8 +93,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     });
     let stats = engine.stats();
     println!(
-        "engine served {} concurrent requests in {} coalesced batch(es)",
-        stats.requests_served, stats.batches_executed
+        "engine served {} concurrent requests in {} coalesced batch(es); queue drained to {}",
+        stats.requests_served, stats.batches_executed, stats.queue_depth
     );
     assert_eq!(served.len(), images.shape()[0]);
     Ok(())

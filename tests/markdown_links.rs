@@ -1,7 +1,11 @@
-//! A self-contained markdown link checker over `README.md` and `docs/`:
-//! every relative link target must exist on disk (the build environment has
-//! no network, so external URLs are only sanity-checked for scheme). CI runs
-//! this as its link-check step.
+//! A self-contained markdown freshness checker over `README.md` and
+//! `docs/`: every relative link target must exist on disk (the build
+//! environment has no network, so external URLs are only sanity-checked for
+//! scheme), and every mention of a repository code path — `crates/...`,
+//! `examples/...`, `tests/...`, `docs/...`, `.github/...`, in prose,
+//! backticks or fenced blocks — must name something that actually exists,
+//! so refactors cannot quietly strand the documentation. CI runs this as
+//! its link-check step.
 
 use std::path::{Path, PathBuf};
 
@@ -90,6 +94,80 @@ fn every_relative_markdown_link_resolves() {
         broken.is_empty(),
         "broken relative markdown links:\n{}",
         broken.join("\n")
+    );
+}
+
+/// Extracts every token that looks like a repository code path: it starts
+/// with one of the tracked top-level prefixes and contains a `/`. Tokens
+/// with placeholder characters (`<`, `*`, `…`) are skipped — they are
+/// templates, not paths.
+fn extract_code_paths(markdown: &str) -> Vec<String> {
+    const PREFIXES: [&str; 5] = ["crates/", "examples/", "tests/", "docs/", ".github/"];
+    let mut paths = Vec::new();
+    for raw in markdown.split(|c: char| {
+        c.is_whitespace() || matches!(c, '(' | ')' | '[' | ']' | '`' | '"' | '|' | ',' | ';')
+    }) {
+        // Strip markdown emphasis wrappers (`**path**`, `_path_`) so styled
+        // mentions stay covered; only *interior* wildcards mark a template.
+        let raw = raw.trim_matches(['*', '_']);
+        // `path.rs::item` names an item inside a file; check the file part.
+        let raw = raw.split("::").next().unwrap_or(raw);
+        let token = raw.trim_end_matches(['.', ':', '…', '—']);
+        if !PREFIXES.iter().any(|prefix| token.starts_with(prefix)) {
+            continue;
+        }
+        if !token.contains('/') || token.contains(['<', '>', '*', '…']) {
+            continue;
+        }
+        paths.push(token.to_string());
+    }
+    paths
+}
+
+#[test]
+fn every_mentioned_code_path_exists() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut stale = Vec::new();
+    let mut checked = 0usize;
+    for file in markdown_files() {
+        let text = std::fs::read_to_string(&file)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", file.display()));
+        for path in extract_code_paths(&text) {
+            checked += 1;
+            if !root.join(&path).exists() {
+                stale.push(format!("{}: {path}", file.display()));
+            }
+        }
+    }
+    assert!(
+        checked >= 10,
+        "code-path extraction found suspiciously few mentions ({checked}); parser regression?"
+    );
+    assert!(
+        stale.is_empty(),
+        "documentation mentions code paths that do not exist:\n{}",
+        stale.join("\n")
+    );
+}
+
+#[test]
+fn code_path_extraction_handles_the_basics() {
+    let sample = "see `crates/serve/src/protocol.rs` and (docs/SERVING.md), \
+                  the template crates/<x>/src/<y>.rs is skipped, \
+                  the glob crates/*/src is skipped, \
+                  **docs/ARCHITECTURE.md** is bold but still checked, \
+                  tests/markdown_links.rs ends a sentence. \
+                  .github/workflows/ci.yml runs it; plain words stay out.";
+    let paths = extract_code_paths(sample);
+    assert_eq!(
+        paths,
+        vec![
+            "crates/serve/src/protocol.rs",
+            "docs/SERVING.md",
+            "docs/ARCHITECTURE.md",
+            "tests/markdown_links.rs",
+            ".github/workflows/ci.yml",
+        ]
     );
 }
 
