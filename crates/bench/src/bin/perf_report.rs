@@ -28,6 +28,7 @@ use ensembler_nn::{Conv2d, FixedNoise, Layer, Linear, Mode};
 use ensembler_serve::{
     demo_pipeline, DefenseServer, ModelRegistry, RemoteDefense, ServerConfig, WIRE_OVERHEAD,
 };
+use ensembler_shard::{Placement, RouterConfig, ShardRouter};
 use ensembler_tensor::gemm::{gemm_nn_with, Parallelism};
 use ensembler_tensor::quant::qgemm_nn_with;
 use ensembler_tensor::{JsonValue, Rng, Tensor};
@@ -343,6 +344,99 @@ fn serving_case(ensemble_size: usize, selected: usize, budget: Duration) -> Json
     ])
 }
 
+/// Times `Defense::predict` through a loopback [`ShardRouter`] over
+/// `worker_count` range-serving workers, against the in-process baseline.
+fn sharded_deployment_case(
+    pipeline: &Arc<dyn Defense>,
+    worker_count: usize,
+    images: &Tensor,
+    in_process_ms: f64,
+    budget: Duration,
+) -> JsonValue {
+    let ensemble_size = pipeline.ensemble_size();
+    let workers: Vec<DefenseServer> = (0..worker_count)
+        .map(|_| {
+            DefenseServer::bind(Arc::clone(pipeline), "127.0.0.1:0", ServerConfig::default())
+                .expect("bind worker")
+        })
+        .collect();
+    // Even tiling of 0..N over the workers (N divisible by worker_count for
+    // every case this report runs).
+    let span = ensemble_size / worker_count;
+    let specs: Vec<String> = workers
+        .iter()
+        .enumerate()
+        .map(|(k, w)| format!("{}={}..{}", w.local_addr(), k * span, (k + 1) * span))
+        .collect();
+    let placement = Placement::parse(&specs, ensemble_size).expect("valid placement");
+    let router = ShardRouter::new(Arc::clone(pipeline), placement, RouterConfig::default())
+        .expect("router over loopback workers");
+
+    let batch = images.shape()[0];
+    let sharded_ms = time_ms(budget, || router.predict(images).expect("sharded predict"));
+    let shard_stats = router.shard_stats();
+    let requests: u64 = shard_stats.iter().map(|s| s.requests).sum();
+    let hedges: u64 = shard_stats.iter().map(|s| s.hedges_fired).sum();
+    let flaps: u64 = shard_stats.iter().map(|s| s.health_flaps).sum();
+    println!(
+        "  {worker_count} worker(s): {sharded_ms:8.3} ms ({:7.1} img/s) | {:5.3} ms over in-process | {requests} range requests, {hedges} hedges, {flaps} flaps",
+        batch as f64 / (sharded_ms * 1e-3),
+        sharded_ms - in_process_ms,
+    );
+    obj(vec![
+        ("workers", JsonValue::Number(worker_count as f64)),
+        ("sharded_ms", num(sharded_ms)),
+        (
+            "sharded_images_per_s",
+            num(batch as f64 / (sharded_ms * 1e-3)),
+        ),
+        ("scatter_overhead_ms", num(sharded_ms - in_process_ms)),
+        ("range_requests", JsonValue::Number(requests as f64)),
+        ("hedges_fired", JsonValue::Number(hedges as f64)),
+        ("health_flaps", JsonValue::Number(flaps as f64)),
+    ])
+}
+
+/// The scatter-gather serving tier (`crates/shard`): one process vs 2- and
+/// 4-worker loopback deployments of the same pipeline, all bit-identical by
+/// construction (the sharded e2e suite proves it; this measures the cost).
+fn sharded_case(ensemble_size: usize, selected: usize, budget: Duration) -> JsonValue {
+    let pipeline: Arc<dyn Defense> =
+        Arc::new(demo_pipeline(ensemble_size, selected, 7).expect("valid demo pipeline"));
+    let config = pipeline.config().clone();
+    let batch = 32usize;
+    let mut rng = Rng::seed_from(29);
+    let images = Tensor::from_fn(
+        &[
+            batch,
+            config.input_channels,
+            config.image_size,
+            config.image_size,
+        ],
+        |_| rng.uniform(-1.0, 1.0),
+    );
+    let in_process_ms = time_ms(budget, || pipeline.predict(&images).expect("predict"));
+    println!(
+        "  1 process:   {in_process_ms:8.3} ms ({:7.1} img/s)",
+        batch as f64 / (in_process_ms * 1e-3)
+    );
+    let deployments: Vec<JsonValue> = [2usize, 4]
+        .iter()
+        .map(|&workers| sharded_deployment_case(&pipeline, workers, &images, in_process_ms, budget))
+        .collect();
+    obj(vec![
+        ("ensemble_size", JsonValue::Number(ensemble_size as f64)),
+        ("selected", JsonValue::Number(selected as f64)),
+        ("batch", JsonValue::Number(batch as f64)),
+        ("in_process_ms", num(in_process_ms)),
+        (
+            "in_process_images_per_s",
+            num(batch as f64 / (in_process_ms * 1e-3)),
+        ),
+        ("deployments", JsonValue::Array(deployments)),
+    ])
+}
+
 /// Times one `[m,k] x [k,n]` product with the blocked f32 kernel and the
 /// packed int8 kernel (`qgemm_nn`): GFLOP/s vs integer GOP/s on identical
 /// shapes.
@@ -489,6 +583,9 @@ fn main() {
     println!("Loopback-TCP serving (crates/serve, two-model registry) vs in-process:");
     let serving = serving_case(4, 2, budget);
 
+    println!("Scatter-gather sharded serving (crates/shard) vs one process:");
+    let sharded = sharded_case(4, 2, budget);
+
     println!("Int8 quantized backend (qgemm + QuantizedDefense):");
     let mut qgemm = Vec::new();
     for size in [256usize, 512] {
@@ -505,7 +602,7 @@ fn main() {
 
     let report = obj(vec![
         ("report", JsonValue::String("perf_report".to_string())),
-        ("version", JsonValue::Number(4.0)),
+        ("version", JsonValue::Number(5.0)),
         ("unix_time_s", JsonValue::Number(epoch_s as f64)),
         ("cores", JsonValue::Number(cores as f64)),
         ("scale", JsonValue::String(format!("{scale:?}"))),
@@ -513,6 +610,7 @@ fn main() {
         ("layers", JsonValue::Array(layers)),
         ("end_to_end", e2e),
         ("serving", serving),
+        ("sharded", sharded),
         ("quantized", quantized),
     ]);
 

@@ -202,6 +202,54 @@ pub trait Defense: Send + Sync + std::fmt::Debug {
         Ok(maps.iter().map(QTensorBatch::quantize_batch).collect())
     }
 
+    /// [`Defense::server_outputs`] restricted to the bodies `lo..hi`: the
+    /// sub-ensemble serving mode a sharded worker runs in, returning
+    /// `hi - lo` feature maps in index order.
+    ///
+    /// The default implementation evaluates the full ensemble and slices the
+    /// result, which is always correct (each body's output is independent of
+    /// the others) but does `N` bodies' worth of work; pipelines that own
+    /// their bodies override this to evaluate only the requested slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the range is empty or out of bounds, or when the
+    /// features do not match the server input shape.
+    fn server_outputs_range(
+        &self,
+        transmitted: &Tensor,
+        lo: usize,
+        hi: usize,
+    ) -> Result<Vec<Tensor>, EnsemblerError> {
+        check_body_range(lo, hi, self.ensemble_size())?;
+        let mut maps = self.server_outputs(transmitted)?;
+        maps.truncate(hi);
+        Ok(maps.split_off(lo))
+    }
+
+    /// [`Defense::server_outputs_quantized`] restricted to the bodies
+    /// `lo..hi` — the quantized twin of [`Defense::server_outputs_range`].
+    ///
+    /// Slicing commutes with per-map re-quantization (scales are per sample
+    /// within each map), so the default full-evaluate-then-slice
+    /// implementation is bit-identical to evaluating only the slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the range is empty or out of bounds, or when the
+    /// features do not match the server input shape.
+    fn server_outputs_quantized_range(
+        &self,
+        transmitted: &QTensorBatch,
+        lo: usize,
+        hi: usize,
+    ) -> Result<Vec<QTensorBatch>, EnsemblerError> {
+        check_body_range(lo, hi, self.ensemble_size())?;
+        let mut maps = self.server_outputs_quantized(transmitted)?;
+        maps.truncate(hi);
+        Ok(maps.split_off(lo))
+    }
+
     /// Applies the client-side post-processing (secret selection and tail
     /// classifier) to the server's feature maps, producing class logits.
     ///
@@ -271,6 +319,36 @@ pub trait Defense: Send + Sync + std::fmt::Debug {
         }
         Ok(correct_weighted / dataset.len() as f32)
     }
+}
+
+/// Validates a half-open server-body range `lo..hi` against an ensemble of
+/// `ensemble_size` bodies: the range must be non-empty and in bounds.
+///
+/// Shared by every layer that handles sub-range requests (the trait defaults
+/// above, the inference engine, the wire server and the shard router), so
+/// they all reject malformed ranges with the same message.
+///
+/// # Errors
+///
+/// Returns [`EnsemblerError::InvalidConfig`] when the range is empty or ends
+/// past the ensemble.
+///
+/// # Examples
+///
+/// ```
+/// use ensembler::check_body_range;
+///
+/// assert!(check_body_range(0, 4, 4).is_ok());
+/// assert!(check_body_range(2, 2, 4).is_err()); // empty
+/// assert!(check_body_range(2, 5, 4).is_err()); // past the end
+/// ```
+pub fn check_body_range(lo: usize, hi: usize, ensemble_size: usize) -> Result<(), EnsemblerError> {
+    if lo >= hi || hi > ensemble_size {
+        return Err(EnsemblerError::InvalidConfig(format!(
+            "server body range {lo}..{hi} is invalid for an ensemble of {ensemble_size}"
+        )));
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -127,6 +127,24 @@ enum Work {
         features: QTensorBatch,
         respond: Sender<Result<Vec<QTensorBatch>, EnsemblerError>>,
     },
+    /// A single feature map awaiting the maps of bodies `lo..hi` only
+    /// ([`InferenceEngine::server_outputs_range_one`]) — the unit a sharded
+    /// worker serves. Requests coalesce only with requests for the *same*
+    /// range, so a batch never mixes slices.
+    ServerOutputsRange {
+        features: Tensor,
+        lo: usize,
+        hi: usize,
+        respond: Sender<Result<Vec<Tensor>, EnsemblerError>>,
+    },
+    /// The quantized twin of [`Work::ServerOutputsRange`]
+    /// ([`InferenceEngine::server_outputs_quantized_range_one`]).
+    ServerOutputsRangeQ {
+        features: QTensorBatch,
+        lo: usize,
+        hi: usize,
+        respond: Sender<Result<Vec<QTensorBatch>, EnsemblerError>>,
+    },
 }
 
 /// A thread-safe serving frontend over a shared [`Defense`].
@@ -313,6 +331,73 @@ impl<D: Defense + ?Sized + 'static> InferenceEngine<D> {
             .map_err(|_| EnsemblerError::Engine("worker dropped the request".to_string()))?
     }
 
+    /// Evaluates only the server bodies `lo..hi` on one transmitted feature
+    /// map — the sharded-worker sibling of
+    /// [`InferenceEngine::server_outputs_one`]. Returns the `hi - lo` maps in
+    /// index order, each with a leading batch axis of 1.
+    ///
+    /// Requests coalesce only with other requests for the same `lo..hi`
+    /// range, never across ranges, so a mini-batch is always answered by one
+    /// [`Defense::server_outputs_range`] call and stays bit-identical to an
+    /// isolated evaluation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the feature shape or the range is wrong, the
+    /// evaluation fails, or the engine is shutting down.
+    pub fn server_outputs_range_one(
+        &self,
+        features: Tensor,
+        lo: usize,
+        hi: usize,
+    ) -> Result<Vec<Tensor>, EnsemblerError> {
+        crate::check_body_range(lo, hi, self.defense.ensemble_size())?;
+        let features = ensure_single_item("server_outputs_range_one", "feature map", features)?;
+        let (respond, receive) = channel();
+        self.submit(Work::ServerOutputsRange {
+            features,
+            lo,
+            hi,
+            respond,
+        })?;
+        receive
+            .recv()
+            .map_err(|_| EnsemblerError::Engine("worker dropped the request".to_string()))?
+    }
+
+    /// Evaluates only the server bodies `lo..hi` on one quantized feature map
+    /// — the quantized twin of [`InferenceEngine::server_outputs_range_one`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the feature batch is not a single rank-4 sample,
+    /// the range is wrong, the evaluation fails, or the engine is shutting
+    /// down.
+    pub fn server_outputs_quantized_range_one(
+        &self,
+        features: QTensorBatch,
+        lo: usize,
+        hi: usize,
+    ) -> Result<Vec<QTensorBatch>, EnsemblerError> {
+        crate::check_body_range(lo, hi, self.defense.ensemble_size())?;
+        if features.shape().len() != 4 || features.batch() != 1 {
+            return Err(EnsemblerError::ShapeMismatch(format!(
+                "server_outputs_quantized_range_one expects one [1, C, H, W] feature map, got {:?}",
+                features.shape()
+            )));
+        }
+        let (respond, receive) = channel();
+        self.submit(Work::ServerOutputsRangeQ {
+            features,
+            lo,
+            hi,
+            respond,
+        })?;
+        receive
+            .recv()
+            .map_err(|_| EnsemblerError::Engine("worker dropped the request".to_string()))?
+    }
+
     /// Enqueues one unit of work for the worker pool.
     fn submit(&self, work: Work) -> Result<(), EnsemblerError> {
         self.stats.queued.fetch_add(1, Ordering::Relaxed);
@@ -422,14 +507,38 @@ fn worker_loop<D: Defense + ?Sized>(
             .fetch_sub(batch.len() as u64, Ordering::Relaxed);
 
         // The queue mixes all work kinds; each kind batches among itself.
+        // Range requests additionally batch per `(lo, hi)` — two different
+        // slices must never coalesce into one stacked evaluation.
         let mut predicts = Vec::new();
         let mut outputs = Vec::new();
         let mut outputs_q = Vec::new();
+        let mut ranges: std::collections::BTreeMap<(usize, usize), Vec<_>> =
+            std::collections::BTreeMap::new();
+        let mut ranges_q: std::collections::BTreeMap<(usize, usize), Vec<_>> =
+            std::collections::BTreeMap::new();
         for work in batch {
             match work {
                 Work::Predict { image, respond } => predicts.push((image, respond)),
                 Work::ServerOutputs { features, respond } => outputs.push((features, respond)),
                 Work::ServerOutputsQ { features, respond } => outputs_q.push((features, respond)),
+                Work::ServerOutputsRange {
+                    features,
+                    lo,
+                    hi,
+                    respond,
+                } => ranges
+                    .entry((lo, hi))
+                    .or_default()
+                    .push((features, respond)),
+                Work::ServerOutputsRangeQ {
+                    features,
+                    lo,
+                    hi,
+                    respond,
+                } => ranges_q
+                    .entry((lo, hi))
+                    .or_default()
+                    .push((features, respond)),
             }
         }
         if !predicts.is_empty() {
@@ -440,6 +549,16 @@ fn worker_loop<D: Defense + ?Sized>(
         }
         if !outputs_q.is_empty() {
             execute_group(defense, stats, outputs_q, run_server_outputs_q_batch);
+        }
+        for ((lo, hi), group) in ranges {
+            execute_group(defense, stats, group, |defense, features| {
+                run_server_outputs_range_batch(defense, features, lo, hi)
+            });
+        }
+        for ((lo, hi), group) in ranges_q {
+            execute_group(defense, stats, group, |defense, features| {
+                run_server_outputs_range_q_batch(defense, features, lo, hi)
+            });
         }
     }
 }
@@ -454,7 +573,7 @@ fn execute_group<D: Defense + ?Sized, I: Clone, R: Clone>(
     defense: &D,
     stats: &StatsCells,
     group: Vec<(I, Sender<Result<R, EnsemblerError>>)>,
-    run: fn(&D, &[I]) -> Result<Vec<R>, EnsemblerError>,
+    run: impl Fn(&D, &[I]) -> Result<Vec<R>, EnsemblerError>,
 ) {
     let inputs: Vec<I> = group.iter().map(|(input, _)| input.clone()).collect();
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(defense, &inputs)))
@@ -583,6 +702,75 @@ fn run_server_outputs_q_batch<D: Defense + ?Sized>(
     }
     let stacked = QTensorBatch::stack(features);
     let maps = defense.server_outputs_quantized(&stacked)?;
+    let rows = features.len();
+    for map in &maps {
+        if map.batch() != rows {
+            return Err(EnsemblerError::ShapeMismatch(format!(
+                "server body returned shape {:?} for a batch of {rows} quantized feature maps",
+                map.shape()
+            )));
+        }
+    }
+    Ok((0..rows)
+        .map(|row| maps.iter().map(|map| map.sample(row)).collect())
+        .collect())
+}
+
+/// The `lo..hi` variant of [`run_server_outputs_batch`]: one shared
+/// [`Defense::server_outputs_range`] over the stacked maps, split back into
+/// per-request rows. Every request in the group asks for the same range.
+fn run_server_outputs_range_batch<D: Defense + ?Sized>(
+    defense: &D,
+    features: &[Tensor],
+    lo: usize,
+    hi: usize,
+) -> Result<Vec<Vec<Tensor>>, EnsemblerError> {
+    ensure_uniform_shapes(features)?;
+    let stacked = Tensor::stack_batch(features);
+    let maps = defense.server_outputs_range(&stacked, lo, hi)?;
+    let rows = features.len();
+    for map in &maps {
+        if map.shape().first() != Some(&rows) {
+            return Err(EnsemblerError::ShapeMismatch(format!(
+                "server body returned shape {:?} for a batch of {rows} feature maps",
+                map.shape()
+            )));
+        }
+    }
+    Ok((0..rows)
+        .map(|row| {
+            maps.iter()
+                .map(|map| {
+                    let row_len = map.len() / rows;
+                    let mut shape = map.shape().to_vec();
+                    shape[0] = 1;
+                    let data = map.data()[row * row_len..(row + 1) * row_len].to_vec();
+                    Tensor::from_vec(data, &shape).expect("row slice matches shape")
+                })
+                .collect()
+        })
+        .collect())
+}
+
+/// The `lo..hi` variant of [`run_server_outputs_q_batch`].
+fn run_server_outputs_range_q_batch<D: Defense + ?Sized>(
+    defense: &D,
+    features: &[QTensorBatch],
+    lo: usize,
+    hi: usize,
+) -> Result<Vec<Vec<QTensorBatch>>, EnsemblerError> {
+    let first_shape = features[0].shape();
+    for item in &features[1..] {
+        if item.shape() != first_shape {
+            return Err(EnsemblerError::ShapeMismatch(format!(
+                "cannot batch quantized items of shapes {:?} and {:?}",
+                first_shape,
+                item.shape()
+            )));
+        }
+    }
+    let stacked = QTensorBatch::stack(features);
+    let maps = defense.server_outputs_quantized_range(&stacked, lo, hi)?;
     let rows = features.len();
     for map in &maps {
         if map.batch() != rows {
@@ -800,6 +988,88 @@ mod tests {
 
         // Coalesced quantized answers are byte-identical to isolated calls.
         assert_eq!(answers, expected);
+    }
+
+    #[test]
+    fn range_requests_coalesce_only_within_their_range() {
+        use crate::{EnsemblerPipeline, Selector};
+        use ensembler_nn::models::{build_body, build_head, build_tail};
+        use ensembler_nn::FixedNoise;
+        use ensembler_tensor::Rng;
+
+        let config = ResNetConfig::tiny_for_tests();
+        let mut rng = Rng::seed_from(23);
+        let head = build_head(&config, &mut rng);
+        let noise = FixedNoise::new(&config.head_output_shape(), 0.1, &mut rng);
+        let bodies = (0..4).map(|_| build_body(&config, &mut rng)).collect();
+        let selector = Selector::random(4, 2, &mut rng).unwrap();
+        let tail = build_tail(&config, 2 * config.body_output_features(), &mut rng);
+        let pipeline: Arc<dyn Defense> =
+            Arc::new(EnsemblerPipeline::new(config, head, noise, bodies, selector, tail).unwrap());
+        let engine = Arc::new(
+            InferenceEngine::new(
+                Arc::clone(&pipeline),
+                EngineConfig {
+                    max_batch: 8,
+                    batch_window: Duration::from_millis(10),
+                    workers: 2,
+                },
+            )
+            .unwrap(),
+        );
+
+        // Concurrent requests for two different slices plus full-ensemble
+        // requests: each must get exactly its own slice's answer even when
+        // drained into the same worker wake-up.
+        let features: Vec<Tensor> = (0..6)
+            .map(|k| {
+                let image = Tensor::from_fn(&[1, 3, 8, 8], |i| ((i + 7 * k) as f32 * 0.02).sin());
+                pipeline.client_features(&image).unwrap()
+            })
+            .collect();
+        let qfeatures: Vec<QTensorBatch> =
+            features.iter().map(QTensorBatch::quantize_batch).collect();
+        let expected: Vec<(Vec<Tensor>, Vec<Tensor>, Vec<QTensorBatch>)> = features
+            .iter()
+            .zip(&qfeatures)
+            .map(|(f, qf)| {
+                (
+                    pipeline.server_outputs_range(f, 0, 2).unwrap(),
+                    pipeline.server_outputs_range(f, 2, 4).unwrap(),
+                    pipeline.server_outputs_quantized_range(qf, 1, 3).unwrap(),
+                )
+            })
+            .collect();
+
+        let answers: Vec<(Vec<Tensor>, Vec<Tensor>, Vec<QTensorBatch>)> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = features
+                    .iter()
+                    .zip(&qfeatures)
+                    .map(|(f, qf)| {
+                        let engine = Arc::clone(&engine);
+                        scope.spawn(move || {
+                            (
+                                engine.server_outputs_range_one(f.clone(), 0, 2).unwrap(),
+                                engine.server_outputs_range_one(f.clone(), 2, 4).unwrap(),
+                                engine
+                                    .server_outputs_quantized_range_one(qf.clone(), 1, 3)
+                                    .unwrap(),
+                            )
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+        assert_eq!(answers, expected);
+
+        // Malformed ranges are rejected before touching the queue.
+        assert!(engine
+            .server_outputs_range_one(features[0].clone(), 2, 2)
+            .is_err());
+        assert!(engine
+            .server_outputs_quantized_range_one(qfeatures[0].clone(), 0, 9)
+            .is_err());
     }
 
     #[test]

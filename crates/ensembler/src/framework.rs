@@ -153,6 +153,21 @@ impl Defense for EnsemblerPipeline {
         }))
     }
 
+    /// Evaluates only the bodies `lo..hi` — the sharded-worker serving mode.
+    /// Bit-identical to slicing the full [`Defense::server_outputs`] because
+    /// each body's forward is independent of the others.
+    fn server_outputs_range(
+        &self,
+        transmitted: &Tensor,
+        lo: usize,
+        hi: usize,
+    ) -> Result<Vec<Tensor>, EnsemblerError> {
+        crate::check_body_range(lo, hi, self.bodies.len())?;
+        Ok(par_map(&self.bodies[lo..hi], |body| {
+            body.forward(transmitted, Mode::Eval)
+        }))
+    }
+
     /// Applies the private selector and the client tail to the server's
     /// feature maps, producing class logits.
     fn classify(&self, server_maps: &[Tensor]) -> Result<Tensor, EnsemblerError> {
@@ -246,6 +261,24 @@ mod tests {
         }
         // Independently initialised bodies produce different feature maps.
         assert_ne!(maps_a[0], maps_a[1]);
+    }
+
+    #[test]
+    fn range_outputs_equal_the_sliced_full_evaluation() {
+        let pipeline = tiny_pipeline(4, 2, 13);
+        let images = Tensor::ones(&[2, 3, 8, 8]);
+        let transmitted = pipeline.client_features(&images).unwrap();
+        let full = pipeline.server_outputs(&transmitted).unwrap();
+        for (lo, hi) in [(0usize, 4usize), (0, 2), (2, 4), (1, 3)] {
+            assert_eq!(
+                pipeline.server_outputs_range(&transmitted, lo, hi).unwrap(),
+                full[lo..hi],
+                "range {lo}..{hi}"
+            );
+        }
+        // Malformed ranges are typed errors, never silent truncation.
+        assert!(pipeline.server_outputs_range(&transmitted, 2, 2).is_err());
+        assert!(pipeline.server_outputs_range(&transmitted, 0, 5).is_err());
     }
 
     #[test]

@@ -28,6 +28,9 @@
 //!   via [`EvalConfig`]'s [`Precision`].
 //! * [`split`] — the byte-level wire format for the transmitted features
 //!   (`f32` and quantized variants).
+//! * [`subensemble`] — [`SubEnsembleView`], a pipeline restricted to a
+//!   contiguous slice of another pipeline's server bodies: the serving mode
+//!   a sharded worker runs in.
 //! * [`trainer`] — the three-stage training procedure (Sec. III-C) including
 //!   the cosine-similarity regularizer of Eq. 3.
 //!
@@ -71,9 +74,10 @@ pub mod framework;
 pub mod quant;
 pub mod selector;
 pub mod split;
+pub mod subensemble;
 pub mod trainer;
 
-pub use defense::{Defense, EvalConfig, Precision};
+pub use defense::{check_body_range, Defense, EvalConfig, Precision};
 pub use defenses::{DefenseKind, SinglePipeline};
 pub use engine::{EngineConfig, EngineStats, InferenceEngine};
 pub use error::EnsemblerError;
@@ -83,4 +87,5 @@ pub use selector::Selector;
 pub use split::{
     decode_features, decode_qfeatures, encode_features, encode_qfeatures, SplitFeatures,
 };
+pub use subensemble::SubEnsembleView;
 pub use trainer::{EnsemblerTrainer, StageOneNetwork, TrainConfig, TrainReport, TrainedEnsembler};

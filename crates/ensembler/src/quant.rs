@@ -140,6 +140,35 @@ impl Defense for QuantizedDefense {
         }))
     }
 
+    /// The range twin of [`Defense::server_outputs`]: quantize, evaluate the
+    /// `lo..hi` quantized bodies, dequantize — bit-identical to slicing the
+    /// full evaluation because scales are per sample within each map.
+    fn server_outputs_range(
+        &self,
+        transmitted: &Tensor,
+        lo: usize,
+        hi: usize,
+    ) -> Result<Vec<Tensor>, EnsemblerError> {
+        let qf = QTensorBatch::quantize_batch(transmitted);
+        let qmaps = self.server_outputs_quantized_range(&qf, lo, hi)?;
+        Ok(qmaps.iter().map(QTensorBatch::dequantize).collect())
+    }
+
+    /// Evaluates only the quantized bodies `lo..hi` — the sharded-worker
+    /// serving mode of the int8 backend.
+    fn server_outputs_quantized_range(
+        &self,
+        transmitted: &QTensorBatch,
+        lo: usize,
+        hi: usize,
+    ) -> Result<Vec<QTensorBatch>, EnsemblerError> {
+        crate::check_body_range(lo, hi, self.qbodies.len())?;
+        let features = transmitted.dequantize();
+        Ok(par_map(&self.qbodies[lo..hi], |body| {
+            QTensorBatch::quantize_batch(&body.forward(&features))
+        }))
+    }
+
     fn classify(&self, server_maps: &[Tensor]) -> Result<Tensor, EnsemblerError> {
         self.inner.classify(server_maps)
     }
@@ -201,6 +230,44 @@ mod tests {
             &together.data()[2 * classes..3 * classes],
             "a sample's int8 logits must not depend on its batch mates"
         );
+    }
+
+    #[test]
+    fn quantized_range_outputs_equal_the_sliced_full_evaluation() {
+        use crate::{EnsemblerPipeline, Selector};
+        use ensembler_nn::models::{build_body, build_head, build_tail};
+        use ensembler_nn::FixedNoise;
+        use ensembler_tensor::Rng;
+
+        let config = ResNetConfig::tiny_for_tests();
+        let mut rng = Rng::seed_from(19);
+        let head = build_head(&config, &mut rng);
+        let noise = FixedNoise::new(&config.head_output_shape(), 0.1, &mut rng);
+        let bodies = (0..4).map(|_| build_body(&config, &mut rng)).collect();
+        let selector = Selector::random(4, 2, &mut rng).unwrap();
+        let tail = build_tail(&config, 2 * config.body_output_features(), &mut rng);
+        let inner: Arc<dyn Defense> =
+            Arc::new(EnsemblerPipeline::new(config, head, noise, bodies, selector, tail).unwrap());
+        let int8 = QuantizedDefense::quantize(inner);
+
+        let transmitted = int8.client_features(&images(2)).unwrap();
+        let full = int8.server_outputs(&transmitted).unwrap();
+        let qf = QTensorBatch::quantize_batch(&transmitted);
+        let qfull = int8.server_outputs_quantized(&qf).unwrap();
+        for (lo, hi) in [(0usize, 4usize), (0, 2), (2, 4), (1, 3)] {
+            assert_eq!(
+                int8.server_outputs_range(&transmitted, lo, hi).unwrap(),
+                full[lo..hi],
+                "f32 range {lo}..{hi}"
+            );
+            assert_eq!(
+                int8.server_outputs_quantized_range(&qf, lo, hi).unwrap(),
+                qfull[lo..hi],
+                "quantized range {lo}..{hi}"
+            );
+        }
+        assert!(int8.server_outputs_quantized_range(&qf, 3, 3).is_err());
+        assert!(int8.server_outputs_range(&transmitted, 2, 9).is_err());
     }
 
     #[test]

@@ -1,0 +1,233 @@
+//! [`SubEnsembleView`]: a [`Defense`] restricted to a contiguous slice of
+//! another pipeline's server bodies.
+//!
+//! This is the in-process embodiment of a **shard**: in a scatter-gather
+//! deployment each worker owns the full checkpoint but only ever evaluates
+//! the bodies `lo..hi` assigned to it by the placement. The view makes that
+//! assignment a first-class `Defense` — `server_outputs` on the view equals
+//! the matching slice of the inner pipeline's `server_outputs`, bit for bit
+//! — so engines, servers and tests can exercise the sliced serving mode
+//! without any networking.
+//!
+//! A view is strictly the *server half* of the split: it has no selector and
+//! no tail, so [`Defense::classify`] (and therefore `predict`) returns a
+//! typed error instead of silently classifying from partial maps.
+
+use crate::defense::{check_body_range, Defense, Precision};
+use crate::EnsemblerError;
+use ensembler_nn::models::ResNetConfig;
+use ensembler_nn::Sequential;
+use ensembler_tensor::{QTensorBatch, Tensor};
+use std::sync::Arc;
+
+/// A [`Defense`] that evaluates only the server bodies `lo..hi` of an inner
+/// pipeline.
+///
+/// # Examples
+///
+/// ```
+/// use ensembler::{Defense, DefenseKind, SinglePipeline, SubEnsembleView};
+/// use ensembler_nn::models::ResNetConfig;
+/// use ensembler_tensor::Tensor;
+/// use std::sync::Arc;
+///
+/// let inner: Arc<dyn Defense> = Arc::new(SinglePipeline::new(
+///     ResNetConfig::tiny_for_tests(),
+///     DefenseKind::NoDefense,
+///     7,
+/// )?);
+/// let view = SubEnsembleView::new(Arc::clone(&inner), 0, 1)?;
+/// assert_eq!(view.ensemble_size(), 1);
+/// assert_eq!(view.label(), "None[0..1]");
+///
+/// let transmitted = inner.client_features(&Tensor::ones(&[1, 3, 8, 8]))?;
+/// assert_eq!(
+///     view.server_outputs(&transmitted)?,
+///     inner.server_outputs(&transmitted)?
+/// );
+/// // The view is the server half only: it cannot classify.
+/// assert!(view.classify(&[]).is_err());
+/// # Ok::<(), ensembler::EnsemblerError>(())
+/// ```
+#[derive(Debug)]
+pub struct SubEnsembleView {
+    inner: Arc<dyn Defense>,
+    lo: usize,
+    hi: usize,
+    label: String,
+}
+
+impl SubEnsembleView {
+    /// Restricts `inner` to the server bodies `lo..hi`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the range is empty or out of bounds for the
+    /// inner ensemble.
+    pub fn new(inner: Arc<dyn Defense>, lo: usize, hi: usize) -> Result<Self, EnsemblerError> {
+        check_body_range(lo, hi, inner.ensemble_size())?;
+        let label = format!("{}[{lo}..{hi}]", inner.label());
+        Ok(Self {
+            inner,
+            lo,
+            hi,
+            label,
+        })
+    }
+
+    /// The full pipeline this view slices.
+    pub fn inner(&self) -> &Arc<dyn Defense> {
+        &self.inner
+    }
+
+    /// The slice `lo..hi` of the inner ensemble this view evaluates.
+    pub fn body_range(&self) -> (usize, usize) {
+        (self.lo, self.hi)
+    }
+}
+
+impl Defense for SubEnsembleView {
+    fn config(&self) -> &ResNetConfig {
+        self.inner.config()
+    }
+
+    /// The inner label with the slice appended, e.g. `Ensembler[2..4]` —
+    /// distinct from the full pipeline so a handshake can never silently
+    /// pair a sliced server with a full-ensemble client.
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn server_bodies(&self) -> &[Sequential] {
+        &self.inner.server_bodies()[self.lo..self.hi]
+    }
+
+    fn selected_count(&self) -> usize {
+        self.inner.selected_count()
+    }
+
+    fn precision(&self) -> Precision {
+        self.inner.precision()
+    }
+
+    fn client_features(&self, images: &Tensor) -> Result<Tensor, EnsemblerError> {
+        self.inner.client_features(images)
+    }
+
+    /// The inner pipeline's bodies `lo..hi`, evaluated through its own
+    /// range path (int8 pipelines keep their quantization semantics).
+    fn server_outputs(&self, transmitted: &Tensor) -> Result<Vec<Tensor>, EnsemblerError> {
+        self.inner
+            .server_outputs_range(transmitted, self.lo, self.hi)
+    }
+
+    fn server_outputs_quantized(
+        &self,
+        transmitted: &QTensorBatch,
+    ) -> Result<Vec<QTensorBatch>, EnsemblerError> {
+        self.inner
+            .server_outputs_quantized_range(transmitted, self.lo, self.hi)
+    }
+
+    /// A range *within* the view: `lo..hi` in view coordinates maps to
+    /// `self.lo + lo .. self.lo + hi` of the inner ensemble.
+    fn server_outputs_range(
+        &self,
+        transmitted: &Tensor,
+        lo: usize,
+        hi: usize,
+    ) -> Result<Vec<Tensor>, EnsemblerError> {
+        check_body_range(lo, hi, self.hi - self.lo)?;
+        self.inner
+            .server_outputs_range(transmitted, self.lo + lo, self.lo + hi)
+    }
+
+    fn server_outputs_quantized_range(
+        &self,
+        transmitted: &QTensorBatch,
+        lo: usize,
+        hi: usize,
+    ) -> Result<Vec<QTensorBatch>, EnsemblerError> {
+        check_body_range(lo, hi, self.hi - self.lo)?;
+        self.inner
+            .server_outputs_quantized_range(transmitted, self.lo + lo, self.lo + hi)
+    }
+
+    /// Always an error: the secret selector and the tail live with the full
+    /// client, never on a shard.
+    fn classify(&self, _server_maps: &[Tensor]) -> Result<Tensor, EnsemblerError> {
+        Err(EnsemblerError::InvalidConfig(format!(
+            "{} is a server-side sub-ensemble view; only the full client can classify",
+            self.label
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EnsemblerPipeline, Selector};
+    use ensembler_nn::models::{build_body, build_head, build_tail};
+    use ensembler_nn::FixedNoise;
+    use ensembler_tensor::Rng;
+
+    fn pipeline(n: usize, p: usize, seed: u64) -> Arc<dyn Defense> {
+        let config = ResNetConfig::tiny_for_tests();
+        let mut rng = Rng::seed_from(seed);
+        let head = build_head(&config, &mut rng);
+        let noise = FixedNoise::new(&config.head_output_shape(), 0.1, &mut rng);
+        let bodies = (0..n).map(|_| build_body(&config, &mut rng)).collect();
+        let selector = Selector::random(n, p, &mut rng).unwrap();
+        let tail = build_tail(&config, p * config.body_output_features(), &mut rng);
+        Arc::new(EnsemblerPipeline::new(config, head, noise, bodies, selector, tail).unwrap())
+    }
+
+    #[test]
+    fn views_partition_the_full_evaluation_bit_exactly() {
+        let full = pipeline(4, 2, 31);
+        let images = Tensor::from_fn(&[2, 3, 8, 8], |i| (i as f32 * 0.01).sin());
+        let transmitted = full.client_features(&images).unwrap();
+        let reference = full.server_outputs(&transmitted).unwrap();
+
+        let left = SubEnsembleView::new(Arc::clone(&full), 0, 2).unwrap();
+        let right = SubEnsembleView::new(Arc::clone(&full), 2, 4).unwrap();
+        assert_eq!(left.ensemble_size(), 2);
+        assert_eq!(left.label(), "Ensembler[0..2]");
+        assert_eq!(right.body_range(), (2, 4));
+
+        let mut merged = left.server_outputs(&transmitted).unwrap();
+        merged.extend(right.server_outputs(&transmitted).unwrap());
+        assert_eq!(merged, reference);
+
+        // Quantized maps partition the same way.
+        let qf = QTensorBatch::quantize_batch(&transmitted);
+        let qreference = full.server_outputs_quantized(&qf).unwrap();
+        let mut qmerged = left.server_outputs_quantized(&qf).unwrap();
+        qmerged.extend(right.server_outputs_quantized(&qf).unwrap());
+        assert_eq!(qmerged, qreference);
+    }
+
+    #[test]
+    fn nested_ranges_compose_in_inner_coordinates() {
+        let full = pipeline(4, 2, 37);
+        let transmitted = full.client_features(&Tensor::ones(&[1, 3, 8, 8])).unwrap();
+        let view = SubEnsembleView::new(Arc::clone(&full), 1, 4).unwrap();
+        assert_eq!(
+            view.server_outputs_range(&transmitted, 1, 3).unwrap(),
+            full.server_outputs_range(&transmitted, 2, 4).unwrap()
+        );
+        // Out-of-bounds in *view* coordinates is rejected even though the
+        // inner ensemble would have room.
+        assert!(view.server_outputs_range(&transmitted, 0, 4).is_err());
+    }
+
+    #[test]
+    fn construction_and_classification_reject_misuse() {
+        let full = pipeline(2, 1, 41);
+        assert!(SubEnsembleView::new(Arc::clone(&full), 1, 1).is_err());
+        assert!(SubEnsembleView::new(Arc::clone(&full), 0, 3).is_err());
+        let view = SubEnsembleView::new(full, 0, 1).unwrap();
+        let err = view.classify(&[]).unwrap_err();
+        assert!(err.to_string().contains("sub-ensemble"), "{err}");
+    }
+}

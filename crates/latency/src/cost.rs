@@ -73,6 +73,10 @@ pub struct WireOverhead {
     /// names, pipeline labels, error messages — protocol v3 handshakes carry
     /// two of them).
     pub per_string_bytes: u64,
+    /// Bytes for the `lo`/`hi` body-range words carried by a protocol-v4
+    /// sub-range request (one `u32` each) — what a shard router spends per
+    /// request to name the slice a worker should evaluate.
+    pub range_header_bytes: u64,
 }
 
 impl WireOverhead {
@@ -93,6 +97,7 @@ impl WireOverhead {
     ///     per_tensor_prefix_bytes: 4,
     ///     per_scale_bytes: 4,
     ///     per_string_bytes: 4,
+    ///     range_header_bytes: 8,
     /// };
     /// // A legacy hello spends only the version word on top of the frame.
     /// assert_eq!(overhead.hello_frame_bytes(None), 16 + 2);
@@ -121,6 +126,7 @@ impl WireOverhead {
     ///     per_tensor_prefix_bytes: 4,
     ///     per_scale_bytes: 4,
     ///     per_string_bytes: 4,
+    ///     range_header_bytes: 8,
     /// };
     /// // "Ensembler" is 9 bytes; N and P spend 4 bytes each.
     /// assert_eq!(overhead.hello_ack_frame_bytes(9, None), 16 + 2 + 4 + 9 + 8);
@@ -228,6 +234,24 @@ impl NetworkCost {
                     + 2 * overhead.per_dim_bytes
                     + batch * overhead.per_scale_bytes
                     + self.return_bytes / 4 * batch)
+    }
+
+    /// Exact byte length of a protocol-v4 **sub-range** request frame: the
+    /// plain upload frame plus the `lo..hi` range words
+    /// ([`WireOverhead::range_header_bytes`]).
+    ///
+    /// This is what a shard router uploads to each worker — the range header
+    /// is the entire per-request wire cost of sharding the ensemble, since a
+    /// worker's response is just [`NetworkCost::return_frame_bytes`] with the
+    /// slice length `hi - lo` as the ensemble size.
+    pub fn upload_frame_bytes_range(&self, batch: u64, overhead: &WireOverhead) -> u64 {
+        self.upload_frame_bytes(batch, overhead) + overhead.range_header_bytes
+    }
+
+    /// The quantized twin of [`NetworkCost::upload_frame_bytes_range`]: the
+    /// quantized upload frame plus the `lo..hi` range words.
+    pub fn upload_frame_bytes_range_q(&self, batch: u64, overhead: &WireOverhead) -> u64 {
+        self.upload_frame_bytes_q(batch, overhead) + overhead.range_header_bytes
     }
 }
 
@@ -349,6 +373,7 @@ mod tests {
             per_tensor_prefix_bytes: 4,
             per_scale_bytes: 4,
             per_string_bytes: 4,
+            range_header_bytes: 8,
         };
         assert_eq!(
             cost.upload_frame_bytes(2, &overhead),
@@ -371,6 +396,7 @@ mod tests {
             per_tensor_prefix_bytes: 4,
             per_scale_bytes: 4,
             per_string_bytes: 4,
+            range_header_bytes: 8,
         };
         assert_eq!(
             cost.upload_frame_bytes_q(2, &overhead),
@@ -384,6 +410,29 @@ mod tests {
         let f32_bytes = cost.return_frame_bytes(8, 4, &overhead) as f64;
         let q_bytes = cost.return_frame_bytes_q(8, 4, &overhead) as f64;
         assert!(q_bytes < 0.3 * f32_bytes, "{q_bytes} vs {f32_bytes}");
+    }
+
+    #[test]
+    fn range_requests_cost_one_range_header_on_top_of_the_upload() {
+        let cost = network_cost(&ResNetConfig::paper_resnet18(10, 32, true));
+        let overhead = WireOverhead {
+            frame_bytes: 16,
+            tensor_base_bytes: 8,
+            per_dim_bytes: 4,
+            list_header_bytes: 4,
+            per_tensor_prefix_bytes: 4,
+            per_scale_bytes: 4,
+            per_string_bytes: 4,
+            range_header_bytes: 8,
+        };
+        assert_eq!(
+            cost.upload_frame_bytes_range(2, &overhead),
+            cost.upload_frame_bytes(2, &overhead) + 8
+        );
+        assert_eq!(
+            cost.upload_frame_bytes_range_q(2, &overhead),
+            cost.upload_frame_bytes_q(2, &overhead) + 8
+        );
     }
 
     #[test]

@@ -3,25 +3,36 @@
 //! and cross-checks the result against a fully local prediction.
 //!
 //! Usage: `cargo run -p ensembler-serve --bin remote_client --release \
-//!     [-- ADDR [N] [P] [SEED] [BATCH] [--model NAME] [--int8]]`
+//!     [-- ADDR [N] [P] [SEED] [BATCH] [--model NAME] [--int8] \
+//!      [--retries K] [--backoff-ms MS]]`
 //! Defaults: `127.0.0.1:7878 4 2 17 8` — the `N P SEED` triple (and the
 //! `--int8` flag) must match the server-side model so both processes hold
 //! bit-identical weights. `--model NAME` asks a multi-model server for one
 //! of its named models over the protocol-v3 handshake; without it the server
 //! serves its default model.
+//!
+//! Transient `Overloaded` rejections (admission budgets, the connection
+//! limit, a draining replica) are retried with capped exponential backoff:
+//! up to `--retries` extra attempts (default 3), starting at `--backoff-ms`
+//! (default 50) and doubling per attempt, capped at five seconds. The
+//! retry-on-Overloaded loop is the client half of the server's admission
+//! contract; `--retries 0` restores fail-on-first-rejection.
 
 use ensembler::{Defense, QuantizedDefense};
 use ensembler_serve::cli::positional;
 use ensembler_serve::{demo_pipeline, RemoteDefense};
 use ensembler_tensor::{Rng, Tensor};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-/// Parsed command line: positional arguments, `--model NAME`, `--int8`.
+/// Parsed command line: positional arguments, `--model NAME`, `--int8`, and
+/// the Overloaded-retry policy.
 struct Args {
     positional: Vec<String>,
     model: Option<String>,
     int8: bool,
+    retries: u32,
+    backoff_ms: u64,
 }
 
 /// Splits the command line into positional arguments and the flags.
@@ -29,6 +40,8 @@ fn parse_args() -> Result<Args, Box<dyn std::error::Error>> {
     let mut positional = Vec::new();
     let mut model = None;
     let mut int8 = false;
+    let mut retries = 3;
+    let mut backoff_ms = 50;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--model" {
@@ -37,6 +50,17 @@ fn parse_args() -> Result<Args, Box<dyn std::error::Error>> {
             model = Some(name.to_string());
         } else if arg == "--int8" {
             int8 = true;
+        } else if arg == "--retries" {
+            retries = args.next().ok_or("--retries needs a count")?.parse()?;
+        } else if let Some(count) = arg.strip_prefix("--retries=") {
+            retries = count.parse()?;
+        } else if arg == "--backoff-ms" {
+            backoff_ms = args
+                .next()
+                .ok_or("--backoff-ms needs milliseconds")?
+                .parse()?;
+        } else if let Some(ms) = arg.strip_prefix("--backoff-ms=") {
+            backoff_ms = ms.parse()?;
         } else {
             positional.push(arg);
         }
@@ -45,7 +69,39 @@ fn parse_args() -> Result<Args, Box<dyn std::error::Error>> {
         positional,
         model,
         int8,
+        retries,
+        backoff_ms,
     })
+}
+
+/// The longest a single backoff sleep may grow, whatever `--backoff-ms` and
+/// the doubling say.
+const BACKOFF_CAP: Duration = Duration::from_secs(5);
+
+/// Runs `op`, retrying typed `Overloaded` rejections (and only those) with
+/// capped exponential backoff. Any other failure propagates immediately —
+/// a checksum mismatch or replica mismatch never gets better by waiting.
+fn retry_overloaded<T, E: std::fmt::Display>(
+    what: &str,
+    retries: u32,
+    backoff_ms: u64,
+    mut op: impl FnMut() -> Result<T, E>,
+) -> Result<T, E> {
+    let mut delay = Duration::from_millis(backoff_ms);
+    for attempt in 0..retries {
+        match op() {
+            Err(error) if error.to_string().contains("Overloaded") => {
+                eprintln!(
+                    "{what} rejected ({error}); retry {}/{retries} in {delay:?}",
+                    attempt + 1
+                );
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(BACKOFF_CAP);
+            }
+            outcome => return outcome,
+        }
+    }
+    op()
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -53,6 +109,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         positional: args,
         model,
         int8,
+        retries,
+        backoff_ms,
     } = parse_args()?;
     let addr = args
         .first()
@@ -70,10 +128,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     } else {
         Arc::new(demo_pipeline(n, p, seed)?)
     };
-    let remote = match &model {
-        Some(name) => RemoteDefense::connect_model(Arc::clone(&local), addr.as_str(), name)?,
-        None => RemoteDefense::connect(Arc::clone(&local), addr.as_str())?,
-    };
+    let remote = retry_overloaded("handshake", retries, backoff_ms, || match &model {
+        Some(name) => RemoteDefense::connect_model(Arc::clone(&local), addr.as_str(), name),
+        None => RemoteDefense::connect(Arc::clone(&local), addr.as_str()),
+    })?;
     println!(
         "connected to {} at {addr} (protocol v{}{}{})",
         remote.peer_label(),
@@ -102,7 +160,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let start = Instant::now();
-    let remote_logits = remote.predict(&images)?;
+    let remote_logits =
+        retry_overloaded("request", retries, backoff_ms, || remote.predict(&images))?;
     let remote_ms = start.elapsed().as_secs_f64() * 1e3;
 
     let start = Instant::now();

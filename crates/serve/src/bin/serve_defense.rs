@@ -7,15 +7,19 @@
 //! whenever the counters move.
 //!
 //! Usage: `cargo run -p ensembler-serve --bin serve_defense --release \
-//!     [-- ADDR [N] [P] [SEED] [--model NAME=N,P,SEED[,int8]]...]`
+//!     [-- ADDR [N] [P] [SEED[,int8]] [--model NAME=N,P,SEED[,int8]]...]`
 //! Defaults: `127.0.0.1:7878 4 2 17`.
 //!
 //! The positional `N P SEED` triple defines the **default** model (the one
-//! legacy clients and nameless hellos get). Each repeatable `--model` flag
-//! registers one more pipeline under its own name; protocol-v3 clients pick
-//! it with `remote_client --model NAME`. The operator guide, including
-//! admission-control tuning, lives in `docs/SERVING.md`.
+//! legacy clients and nameless hellos get); an `,int8` suffix on the seed
+//! quantizes it, which is how a `shard_router` int8 worker is launched —
+//! the router's nameless handshake reaches the default model. Each
+//! repeatable `--model` flag registers one more pipeline under its own
+//! name; protocol-v3 clients pick it with `remote_client --model NAME`.
+//! The operator guide, including admission-control tuning, lives in
+//! `docs/SERVING.md`.
 
+use ensembler::{Defense, QuantizedDefense};
 use ensembler_serve::cli::positional;
 use ensembler_serve::{demo_pipeline, DefenseServer, ModelRegistry, ModelSpec, ServerConfig};
 use std::sync::Arc;
@@ -48,23 +52,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .unwrap_or_else(|| "127.0.0.1:7878".to_string());
     let n: usize = positional(&args, 1, 4);
     let p: usize = positional(&args, 2, 2);
-    let seed: u64 = positional(&args, 3, 17);
+    // `SEED,int8` quantizes the default model — the launch syntax for a
+    // shard_router int8 worker (see docs/SERVING.md).
+    let (seed_arg, int8) = match args.get(3).map(String::as_str) {
+        Some(raw) => match raw.strip_suffix(",int8") {
+            Some(seed) => (seed, true),
+            None => (raw, false),
+        },
+        None => ("", false),
+    };
+    let seed: u64 = seed_arg.parse().unwrap_or(17);
 
+    let mut default_model: Arc<dyn Defense> = Arc::new(demo_pipeline(n, p, seed)?);
+    if int8 {
+        default_model = Arc::new(QuantizedDefense::quantize(default_model));
+    }
     let config = ServerConfig::default();
-    let mut registry = ModelRegistry::new(
-        "default",
-        Arc::new(demo_pipeline(n, p, seed)?),
-        config.engine,
-    )?;
+    let mut registry = ModelRegistry::new("default", default_model, config.engine)?;
     for spec in &extra_models {
         registry.register(spec.name.clone(), spec.build()?, config.engine)?;
     }
     let server = DefenseServer::bind_registry(registry, addr.as_str(), config)?;
 
     println!(
-        "serving {} model(s) on {} — default: Ensembler (N={n} P={p} seed={seed})",
+        "serving {} model(s) on {} — default: Ensembler{} (N={n} P={p} seed={seed})",
         server.registry().len(),
-        server.local_addr()
+        server.local_addr(),
+        if int8 { "+int8" } else { "" },
     );
     for spec in &extra_models {
         println!(
@@ -86,11 +100,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("stop with Ctrl-C; connect with:");
     println!(
-        "  cargo run -p ensembler-serve --bin remote_client --release -- {} {} {} {}",
+        "  cargo run -p ensembler-serve --bin remote_client --release -- {} {} {} {}{}",
         server.local_addr(),
         n,
         p,
-        seed
+        seed,
+        if int8 { " --int8" } else { "" },
     );
 
     let mut last = server.stats();

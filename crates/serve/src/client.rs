@@ -268,6 +268,99 @@ impl RemoteDefense {
         }
     }
 
+    /// One sub-range (protocol-v4) exchange: asks the server to evaluate
+    /// only its bodies `lo..hi` and returns the `hi - lo` feature maps —
+    /// the per-worker leg of a scatter-gather router.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the connection negotiated a version below 4,
+    /// when the wire exchange fails, when the server reports a typed error
+    /// (e.g. an out-of-range `lo..hi`), or when the map count disagrees
+    /// with `hi - lo`.
+    pub fn server_outputs_range(
+        &self,
+        transmitted: &Tensor,
+        lo: usize,
+        hi: usize,
+    ) -> Result<Vec<Tensor>, ServeError> {
+        self.check_range_version()?;
+        let mut stream = self
+            .stream
+            .lock()
+            .map_err(|_| ServeError::Protocol("connection mutex poisoned".to_string()))?;
+        write_message(
+            &mut *stream,
+            &Message::ServerOutputsRequestRange {
+                lo: lo as u32,
+                hi: hi as u32,
+                transmitted: transmitted.clone(),
+            },
+        )?;
+        let maps = match read_message(&mut *stream, self.max_payload_bytes)? {
+            Message::ServerOutputsResponse { maps } => maps,
+            Message::Error(wire) => return Err(ServeError::Remote(wire)),
+            other => {
+                return Err(ServeError::Protocol(format!(
+                    "expected ServerOutputsResponse, got {:?}",
+                    other.message_type()
+                )))
+            }
+        };
+        check_range_map_count(maps.len(), lo, hi)?;
+        Ok(maps)
+    }
+
+    /// The quantized sibling of [`RemoteDefense::server_outputs_range`]:
+    /// ships the range request in int8 frames and returns `hi - lo`
+    /// quantized maps.
+    ///
+    /// # Errors
+    ///
+    /// As for [`RemoteDefense::server_outputs_range`].
+    pub fn server_outputs_quantized_range(
+        &self,
+        transmitted: &QTensorBatch,
+        lo: usize,
+        hi: usize,
+    ) -> Result<Vec<QTensorBatch>, ServeError> {
+        self.check_range_version()?;
+        let mut stream = self
+            .stream
+            .lock()
+            .map_err(|_| ServeError::Protocol("connection mutex poisoned".to_string()))?;
+        write_message(
+            &mut *stream,
+            &Message::ServerOutputsRequestRangeQ {
+                lo: lo as u32,
+                hi: hi as u32,
+                transmitted: transmitted.clone(),
+            },
+        )?;
+        let maps = match read_message(&mut *stream, self.max_payload_bytes)? {
+            Message::ServerOutputsResponseQ { maps } => maps,
+            Message::Error(wire) => return Err(ServeError::Remote(wire)),
+            other => {
+                return Err(ServeError::Protocol(format!(
+                    "expected ServerOutputsResponseQ, got {:?}",
+                    other.message_type()
+                )))
+            }
+        };
+        check_range_map_count(maps.len(), lo, hi)?;
+        Ok(maps)
+    }
+
+    fn check_range_version(&self) -> Result<(), ServeError> {
+        if self.peer.version < 4 {
+            return Err(ServeError::Protocol(format!(
+                "sub-range requests need protocol v4, connection negotiated v{}",
+                self.peer.version
+            )));
+        }
+        Ok(())
+    }
+
     fn check_map_count(&self, got: usize) -> Result<(), EnsemblerError> {
         if got != self.local.ensemble_size() {
             return Err(EnsemblerError::Transport(format!(
@@ -277,6 +370,16 @@ impl RemoteDefense {
         }
         Ok(())
     }
+}
+
+/// Validates that a range response carries exactly `hi - lo` maps.
+fn check_range_map_count(got: usize, lo: usize, hi: usize) -> Result<(), ServeError> {
+    if got != hi - lo {
+        return Err(ServeError::Protocol(format!(
+            "server returned {got} maps for the body range {lo}..{hi}"
+        )));
+    }
+    Ok(())
 }
 
 impl Defense for RemoteDefense {

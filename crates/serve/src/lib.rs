@@ -8,7 +8,8 @@
 //! * [`protocol`] — a versioned, length-framed binary protocol (magic,
 //!   version, message enum, CRC-32 checksums, exhaustive decode-error
 //!   handling), specified byte-for-byte in `docs/WIRE_PROTOCOL.md`.
-//!   Protocol v3 adds a model name to the handshake;
+//!   Protocol v3 adds a model name to the handshake; protocol v4 adds the
+//!   sub-range requests a scatter-gather shard router fans out;
 //! * [`ModelRegistry`] — the model-name → pipeline map of a multi-model
 //!   server: one `Arc<dyn Defense>` plus one coalescing
 //!   [`ensembler::InferenceEngine`] per registered model, with a default
@@ -68,7 +69,7 @@ pub use client::RemoteDefense;
 pub use error::ServeError;
 pub use protocol::{ErrorCode, Hello, HelloAck, Message, MessageType, WireError, WIRE_OVERHEAD};
 pub use registry::{ModelRegistry, ModelSpec, ModelStats};
-pub use server::{AdmissionConfig, DefenseServer, ServerConfig, ServerStats};
+pub use server::{AdmissionConfig, DefenseServer, ServerConfig, ServerStats, ShardStats};
 
 use ensembler::{EnsemblerError, EnsemblerPipeline, Selector};
 use ensembler_nn::models::{build_body, build_head, build_tail, ResNetConfig};

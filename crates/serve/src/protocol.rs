@@ -19,11 +19,12 @@
 //! parse it ([`Message::wire_version`]): the plain handshake and all `f32`
 //! traffic travel in version-1 frames byte-identical to what a version-1
 //! build produces, the quantized message types added in version 2 travel in
-//! version-2 frames, and a handshake that names a model (the multi-model
-//! extension of version 3) travels in a version-3 frame — which is exactly
-//! what makes legacy peers reject only what they genuinely cannot
-//! understand, and lets mixed-version deployments negotiate down to the
-//! `f32` single-model exchange.
+//! version-2 frames, a handshake that names a model (the multi-model
+//! extension of version 3) travels in a version-3 frame, and the sub-range
+//! request types used by the scatter-gather router (version 4) travel in
+//! version-4 frames — which is exactly what makes legacy peers reject only
+//! what they genuinely cannot understand, and lets mixed-version
+//! deployments negotiate down to the `f32` single-model exchange.
 //!
 //! Tensors inside payloads reuse the workspace wire formats
 //! ([`ensembler::split::encode_features`] for `f32`,
@@ -60,10 +61,13 @@ pub const FRAME_MAGIC: u32 = 0x454E_5357;
 
 /// The highest protocol version this build speaks. Version 2 added the
 /// quantized message types [`MessageType::ServerOutputsRequestQ`] and
-/// [`MessageType::ServerOutputsResponseQ`]; version 3 adds the optional
+/// [`MessageType::ServerOutputsResponseQ`]; version 3 added the optional
 /// model name carried by [`Hello`] and echoed by [`HelloAck`] — the
-/// multi-model handshake. Every version-1 and version-2 frame is unchanged.
-pub const PROTOCOL_VERSION: u16 = 3;
+/// multi-model handshake; version 4 adds the sub-range request types
+/// [`MessageType::ServerOutputsRequestRange`] and
+/// [`MessageType::ServerOutputsRequestRangeQ`] used by the scatter-gather
+/// shard router. Every pre-existing frame is unchanged.
+pub const PROTOCOL_VERSION: u16 = 4;
 
 /// Returns the **minimum** protocol version that defines `message_type`.
 ///
@@ -79,6 +83,7 @@ pub const PROTOCOL_VERSION: u16 = 3;
 /// frame.
 pub fn frame_version(message_type: MessageType) -> u16 {
     match message_type {
+        MessageType::ServerOutputsRequestRange | MessageType::ServerOutputsRequestRangeQ => 4,
         MessageType::ServerOutputsRequestQ | MessageType::ServerOutputsResponseQ => 2,
         _ => 1,
     }
@@ -114,6 +119,8 @@ pub const WIRE_OVERHEAD: WireOverhead = WireOverhead {
     per_scale_bytes: 4,
     // Wire strings (model names, labels, error text) carry a u32 length.
     per_string_bytes: 4,
+    // Sub-range requests (v4) prefix the tensor with `lo` and `hi` u32s.
+    range_header_bytes: 8,
 };
 
 /// Message type discriminants as they appear in byte 6 of the frame header.
@@ -133,6 +140,15 @@ pub enum MessageType {
     ServerOutputsRequestQ = 0x05,
     /// Server → client (v2): the `N` quantized per-network feature maps.
     ServerOutputsResponseQ = 0x06,
+    /// Client → server (v4): a batch of transmitted feature maps to
+    /// evaluate on the server bodies `lo..hi` only — the scatter half of
+    /// sharded serving. Answered with a [`MessageType::ServerOutputsResponse`]
+    /// carrying `hi - lo` maps.
+    ServerOutputsRequestRange = 0x07,
+    /// Client → server (v4): the quantized sibling of
+    /// [`MessageType::ServerOutputsRequestRange`], answered with a
+    /// [`MessageType::ServerOutputsResponseQ`] carrying `hi - lo` maps.
+    ServerOutputsRequestRangeQ = 0x08,
     /// Either direction: a terminal or per-request error report.
     Error = 0x7F,
 }
@@ -146,6 +162,8 @@ impl MessageType {
             0x04 => MessageType::ServerOutputsResponse,
             0x05 => MessageType::ServerOutputsRequestQ,
             0x06 => MessageType::ServerOutputsResponseQ,
+            0x07 => MessageType::ServerOutputsRequestRange,
+            0x08 => MessageType::ServerOutputsRequestRangeQ,
             0x7F => MessageType::Error,
             other => {
                 return Err(ServeError::Frame(format!(
@@ -289,6 +307,30 @@ pub enum Message {
         /// One quantized `[B, F]` feature map per server body.
         maps: Vec<QTensorBatch>,
     },
+    /// A `[B, C, H, W]` batch of transmitted feature maps to evaluate on
+    /// the server bodies `lo..hi` only (protocol v4) — the scatter half of
+    /// sharded serving. The server answers with a
+    /// [`Message::ServerOutputsResponse`] of `hi - lo` maps.
+    ServerOutputsRequestRange {
+        /// First server body index to evaluate (inclusive).
+        lo: u32,
+        /// One past the last server body index to evaluate (exclusive).
+        hi: u32,
+        /// The client-protected features, as produced by
+        /// [`ensembler::Defense::client_features`].
+        transmitted: Tensor,
+    },
+    /// The quantized sibling of [`Message::ServerOutputsRequestRange`]
+    /// (protocol v4), answered with a [`Message::ServerOutputsResponseQ`]
+    /// of `hi - lo` maps.
+    ServerOutputsRequestRangeQ {
+        /// First server body index to evaluate (inclusive).
+        lo: u32,
+        /// One past the last server body index to evaluate (exclusive).
+        hi: u32,
+        /// The quantized client-protected features.
+        transmitted: QTensorBatch,
+    },
     /// An error report.
     Error(WireError),
 }
@@ -303,6 +345,8 @@ impl Message {
             Message::ServerOutputsResponse { .. } => MessageType::ServerOutputsResponse,
             Message::ServerOutputsRequestQ { .. } => MessageType::ServerOutputsRequestQ,
             Message::ServerOutputsResponseQ { .. } => MessageType::ServerOutputsResponseQ,
+            Message::ServerOutputsRequestRange { .. } => MessageType::ServerOutputsRequestRange,
+            Message::ServerOutputsRequestRangeQ { .. } => MessageType::ServerOutputsRequestRangeQ,
             Message::Error(_) => MessageType::Error,
         }
     }
@@ -506,6 +550,24 @@ pub fn encode_message(message: &Message) -> Vec<u8> {
         Message::ServerOutputsResponseQ { maps } => {
             put_qtensor_list(&mut payload, maps);
         }
+        Message::ServerOutputsRequestRange {
+            lo,
+            hi,
+            transmitted,
+        } => {
+            put_u32(&mut payload, *lo);
+            put_u32(&mut payload, *hi);
+            payload.extend_from_slice(&encode_features(transmitted));
+        }
+        Message::ServerOutputsRequestRangeQ {
+            lo,
+            hi,
+            transmitted,
+        } => {
+            put_u32(&mut payload, *lo);
+            put_u32(&mut payload, *hi);
+            payload.extend_from_slice(&encode_qfeatures(transmitted));
+        }
         Message::Error(error) => {
             payload.extend_from_slice(&(error.code as u16).to_be_bytes());
             put_string(&mut payload, &error.message);
@@ -639,6 +701,32 @@ pub fn decode_message(frame: &[u8]) -> Result<Message, ServeError> {
             let maps = cursor.take_qtensor_list("quantized response payload")?;
             cursor.finish("quantized response payload")?;
             Message::ServerOutputsResponseQ { maps }
+        }
+        MessageType::ServerOutputsRequestRange => {
+            let lo = cursor.take_u32("range request payload")?;
+            let hi = cursor.take_u32("range request payload")?;
+            let blob = cursor.rest;
+            let transmitted = decode_features(blob).map_err(|e| {
+                ServeError::Frame(format!("range request tensor is malformed: {e}"))
+            })?;
+            Message::ServerOutputsRequestRange {
+                lo,
+                hi,
+                transmitted,
+            }
+        }
+        MessageType::ServerOutputsRequestRangeQ => {
+            let lo = cursor.take_u32("quantized range request payload")?;
+            let hi = cursor.take_u32("quantized range request payload")?;
+            let blob = cursor.rest;
+            let transmitted = decode_qfeatures(blob).map_err(|e| {
+                ServeError::Frame(format!("quantized range request tensor is malformed: {e}"))
+            })?;
+            Message::ServerOutputsRequestRangeQ {
+                lo,
+                hi,
+                transmitted,
+            }
         }
         MessageType::Error => {
             let code = ErrorCode::from_u16(cursor.take_u16("Error payload")?);
@@ -848,6 +936,73 @@ mod tests {
         let frame = encode_message(&message);
         assert_eq!(&frame[4..6], &1u16.to_be_bytes());
         assert_eq!(round_trip(message.clone()), message);
+    }
+
+    #[test]
+    fn range_requests_round_trip_in_version_4_frames() {
+        let transmitted = Tensor::from_fn(&[2, 3, 4, 4], |i| (i as f32 * 0.1).cos());
+        let request = Message::ServerOutputsRequestRange {
+            lo: 2,
+            hi: 5,
+            transmitted: transmitted.clone(),
+        };
+        let frame = encode_message(&request);
+        assert_eq!(&frame[4..6], &4u16.to_be_bytes(), "v4 frame stamp");
+        assert_eq!(round_trip(request.clone()), request);
+
+        let qrequest = Message::ServerOutputsRequestRangeQ {
+            lo: 0,
+            hi: 2,
+            transmitted: QTensorBatch::quantize_batch(&transmitted),
+        };
+        let frame = encode_message(&qrequest);
+        assert_eq!(&frame[4..6], &4u16.to_be_bytes(), "v4 frame stamp");
+        assert_eq!(round_trip(qrequest.clone()), qrequest);
+    }
+
+    #[test]
+    fn range_requests_cost_exactly_one_range_header_over_the_full_request() {
+        let transmitted = Tensor::ones(&[2, 3, 4, 4]);
+        let full = encode_message(&Message::ServerOutputsRequest {
+            transmitted: transmitted.clone(),
+        });
+        let ranged = encode_message(&Message::ServerOutputsRequestRange {
+            lo: 1,
+            hi: 3,
+            transmitted,
+        });
+        assert_eq!(
+            ranged.len() as u64,
+            full.len() as u64 + WIRE_OVERHEAD.range_header_bytes
+        );
+    }
+
+    #[test]
+    fn range_requests_are_rejected_in_pre_v4_frames() {
+        let transmitted = Tensor::ones(&[1, 1, 2, 2]);
+        for message in [
+            Message::ServerOutputsRequestRange {
+                lo: 0,
+                hi: 1,
+                transmitted: transmitted.clone(),
+            },
+            Message::ServerOutputsRequestRangeQ {
+                lo: 0,
+                hi: 1,
+                transmitted: QTensorBatch::quantize_batch(&transmitted),
+            },
+        ] {
+            let mut frame = encode_message(&message);
+            frame[4..6].copy_from_slice(&3u16.to_be_bytes());
+            let crc_offset = frame.len() - FRAME_TRAILER_BYTES;
+            let crc = crc32(&frame[..crc_offset]);
+            frame[crc_offset..].copy_from_slice(&crc.to_be_bytes());
+            let err = decode_message(&frame).unwrap_err();
+            assert!(
+                err.to_string().contains("requires protocol version 4"),
+                "{err}"
+            );
+        }
     }
 
     #[test]

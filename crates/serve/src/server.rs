@@ -182,6 +182,57 @@ pub struct ServerStats {
     /// Per-model engine counters (requests, batches, queue depth), sorted by
     /// model name.
     pub per_model: Vec<ModelStats>,
+    /// Per-shard router counters. Empty on an ordinary server; the
+    /// `shard_router` binary fills one entry per worker from
+    /// `ensembler_shard::ShardRouter::shard_stats` when it snapshots its
+    /// frontend server.
+    pub per_shard: Vec<ShardStats>,
+}
+
+/// Counters for one worker of a scatter-gather shard router, as surfaced
+/// through [`ServerStats::per_shard`].
+///
+/// The struct lives here (rather than in the shard crate) so the serving
+/// stats type can carry it without a circular dependency; the router crate
+/// produces the values.
+///
+/// # Examples
+///
+/// ```
+/// use ensembler_serve::ShardStats;
+///
+/// let shard = ShardStats {
+///     addr: "10.0.0.7:7000".to_string(),
+///     lo: 4,
+///     hi: 8,
+///     quantized: true,
+///     healthy: true,
+///     requests: 128,
+///     hedges_fired: 3,
+///     health_flaps: 1,
+/// };
+/// assert_eq!(shard.hi - shard.lo, 4); // four bodies placed on this worker
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ShardStats {
+    /// The worker's address, as given in the placement.
+    pub addr: String,
+    /// First server body index placed on this worker (inclusive).
+    pub lo: u32,
+    /// One past the last server body index placed on this worker.
+    pub hi: u32,
+    /// Whether the router ships this worker quantized (int8) frames.
+    pub quantized: bool,
+    /// Whether the worker answered its most recent health probe (or
+    /// request).
+    pub healthy: bool,
+    /// Range requests this worker has answered successfully.
+    pub requests: u64,
+    /// Hedged duplicate requests fired at this worker after the primary
+    /// exchange stayed silent past the hedge threshold.
+    pub hedges_fired: u64,
+    /// Healthy↔unhealthy transitions observed by the health monitor.
+    pub health_flaps: u64,
 }
 
 #[derive(Debug, Default)]
@@ -551,6 +602,7 @@ impl DefenseServer {
             inflight_requests: inflight.requests,
             inflight_bytes: inflight.bytes,
             per_model: self.registry.stats(),
+            per_shard: Vec::new(),
         }
     }
 
@@ -670,6 +722,7 @@ fn handshake<'a>(
     stream: &mut TcpStream,
     registry: &'a ModelRegistry,
     stats: &ServerStatsCells,
+    draining: &AtomicBool,
     config: &ServerConfig,
 ) -> Result<Option<&'a Arc<InferenceEngine<dyn Defense>>>, ServeError> {
     let hello = match read_message(stream, config.max_payload_bytes) {
@@ -684,8 +737,19 @@ fn handshake<'a>(
             return Ok(None);
         }
         Err(error) => {
-            if let Some((code, message)) = receive_failure_report(&error) {
-                send_error(stream, stats, code, message);
+            match receive_failure_report(&error) {
+                Some((code, message)) => send_error(stream, stats, code, message),
+                // A read cut short by a draining shutdown must surface to
+                // the client as a typed error, not a raw EOF/reset: the
+                // write half is still open, so tell the peer to retry
+                // elsewhere before hanging up.
+                None if draining.load(Ordering::SeqCst) => send_error(
+                    stream,
+                    stats,
+                    ErrorCode::Overloaded,
+                    "server is draining for shutdown; retry against another replica".to_string(),
+                ),
+                None => {}
             }
             return Err(error);
         }
@@ -768,7 +832,7 @@ fn serve_connection(
     stream.set_read_timeout(config.read_timeout).ok();
     stream.set_write_timeout(config.write_timeout).ok();
 
-    let Some(engine) = handshake(&mut stream, registry, stats, &config)? else {
+    let Some(engine) = handshake(&mut stream, registry, stats, draining, &config)? else {
         return Ok(());
     };
     let budget = ConnectionBudget::default();
@@ -813,6 +877,57 @@ fn serve_connection(
                     }
                 };
                 let result = run_request_quantized(engine, transmitted);
+                drop(permit);
+                match result {
+                    Ok(maps) => {
+                        stats.requests.fetch_add(1, Ordering::Relaxed);
+                        write_message(&mut stream, &Message::ServerOutputsResponseQ { maps })?;
+                    }
+                    Err(error) => {
+                        send_error(&mut stream, stats, ErrorCode::Inference, error.to_string())
+                    }
+                }
+            }
+            Ok(Message::ServerOutputsRequestRange {
+                lo,
+                hi,
+                transmitted,
+            }) => {
+                let permit = match admission.try_admit(&budget, f32_request_bytes(&transmitted)) {
+                    Ok(permit) => permit,
+                    Err(reason) => {
+                        stats.rejected.fetch_add(1, Ordering::Relaxed);
+                        send_error(&mut stream, stats, ErrorCode::Overloaded, reason);
+                        continue;
+                    }
+                };
+                let result = run_request_range(engine, transmitted, lo as usize, hi as usize);
+                drop(permit);
+                match result {
+                    Ok(maps) => {
+                        stats.requests.fetch_add(1, Ordering::Relaxed);
+                        write_message(&mut stream, &Message::ServerOutputsResponse { maps })?;
+                    }
+                    Err(error) => {
+                        send_error(&mut stream, stats, ErrorCode::Inference, error.to_string())
+                    }
+                }
+            }
+            Ok(Message::ServerOutputsRequestRangeQ {
+                lo,
+                hi,
+                transmitted,
+            }) => {
+                let permit = match admission.try_admit(&budget, q_request_bytes(&transmitted)) {
+                    Ok(permit) => permit,
+                    Err(reason) => {
+                        stats.rejected.fetch_add(1, Ordering::Relaxed);
+                        send_error(&mut stream, stats, ErrorCode::Overloaded, reason);
+                        continue;
+                    }
+                };
+                let result =
+                    run_request_range_quantized(engine, transmitted, lo as usize, hi as usize);
                 drop(permit);
                 match result {
                     Ok(maps) => {
@@ -900,6 +1015,60 @@ fn run_request_quantized(
         .unwrap_or_else(|payload| {
             Err(ensembler::EnsemblerError::Engine(format!(
                 "server_outputs_quantized panicked: {}",
+                ensembler::engine::panic_message(payload.as_ref())
+            )))
+        })
+    }
+}
+
+/// The sub-range (protocol-v4) sibling of [`run_request`]: evaluates only
+/// the server bodies `lo..hi`, the scatter half of sharded serving.
+/// Single-image requests coalesce through the engine's per-range queues
+/// (requests for the *same* range batch together; different ranges never
+/// mix), pre-batched requests run direct.
+fn run_request_range(
+    engine: &InferenceEngine<dyn Defense>,
+    transmitted: Tensor,
+    lo: usize,
+    hi: usize,
+) -> Result<Vec<Tensor>, ensembler::EnsemblerError> {
+    check_request_shape(engine, transmitted.shape())?;
+    if transmitted.shape()[0] == 1 {
+        engine.server_outputs_range_one(transmitted, lo, hi)
+    } else {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            ensembler::check_body_range(lo, hi, engine.defense().ensemble_size())?;
+            engine.defense().server_outputs_range(&transmitted, lo, hi)
+        }))
+        .unwrap_or_else(|payload| {
+            Err(ensembler::EnsemblerError::Engine(format!(
+                "server_outputs_range panicked: {}",
+                ensembler::engine::panic_message(payload.as_ref())
+            )))
+        })
+    }
+}
+
+/// The quantized sub-range (protocol-v4) sibling of [`run_request_range`].
+fn run_request_range_quantized(
+    engine: &InferenceEngine<dyn Defense>,
+    transmitted: QTensorBatch,
+    lo: usize,
+    hi: usize,
+) -> Result<Vec<QTensorBatch>, ensembler::EnsemblerError> {
+    check_request_shape(engine, transmitted.shape())?;
+    if transmitted.batch() == 1 {
+        engine.server_outputs_quantized_range_one(transmitted, lo, hi)
+    } else {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            ensembler::check_body_range(lo, hi, engine.defense().ensemble_size())?;
+            engine
+                .defense()
+                .server_outputs_quantized_range(&transmitted, lo, hi)
+        }))
+        .unwrap_or_else(|payload| {
+            Err(ensembler::EnsemblerError::Engine(format!(
+                "server_outputs_quantized_range panicked: {}",
                 ensembler::engine::panic_message(payload.as_ref())
             )))
         })

@@ -855,6 +855,38 @@ fn graceful_shutdown_drains_in_flight_batches() {
 }
 
 #[test]
+fn shutdown_during_an_in_flight_handshake_yields_a_typed_error() {
+    use std::io::Write;
+
+    let (server, _pipeline) = demo_server(2, 1, 95);
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+
+    // Put the handshake in flight: send only half the hello frame, so the
+    // server's reader has consumed every byte we sent and is blocked waiting
+    // for the rest (an empty receive queue also guarantees the eventual
+    // close is a FIN, not a reset).
+    let hello = encode_message(&Message::Hello(Hello::legacy(PROTOCOL_VERSION)));
+    stream.write_all(&hello[..hello.len() / 2]).unwrap();
+    stream.flush().unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(50));
+
+    // Shut down while the hello is half-read. The cut-short handshake must
+    // surface to the client as a *typed* retry-elsewhere error frame — not a
+    // raw EOF or connection reset.
+    let shutdown = std::thread::spawn(move || server.shutdown());
+    match read_message(&mut stream, DEFAULT_MAX_PAYLOAD_BYTES).unwrap() {
+        Message::Error(wire) => {
+            assert_eq!(wire.code, ErrorCode::Overloaded);
+            assert!(wire.message.contains("draining"), "{}", wire.message);
+        }
+        other => panic!("expected a typed draining error, got {other:?}"),
+    }
+    let stats = shutdown.join().unwrap();
+    assert_eq!(stats.requests_served, 0);
+    assert_eq!(stats.errors_sent, 1);
+}
+
+#[test]
 fn connections_over_the_limit_are_rejected_with_a_typed_error() {
     let pipeline: Arc<dyn Defense> = Arc::new(demo_pipeline(2, 1, 91).unwrap());
     let server = DefenseServer::bind(

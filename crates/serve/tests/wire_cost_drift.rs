@@ -107,6 +107,44 @@ fn quantized_return_frame_bytes_match_the_encoder_for_every_backbone() {
 }
 
 #[test]
+fn range_request_frame_bytes_match_the_encoder_for_every_backbone() {
+    // The sub-range requests a shard router fans out (protocol v4) cost the
+    // full upload plus exactly one `lo..hi` range header — for both wire
+    // precisions.
+    for (name, config) in configs() {
+        let cost = network_cost(&config);
+        let head = config.head_output_shape();
+        for batch in [1usize, 8] {
+            let transmitted = Tensor::zeros(&[batch, head[0], head[1], head[2]]);
+            let frame = encode_message(&Message::ServerOutputsRequestRange {
+                lo: 1,
+                hi: 3,
+                transmitted: transmitted.clone(),
+            });
+            assert_eq!(
+                frame.len() as u64,
+                cost.upload_frame_bytes_range(batch as u64, &WIRE_OVERHEAD),
+                "range upload frame size drifted from the analytic model \
+                 for {name} batch {batch}"
+            );
+
+            let quantized = QTensorBatch::quantize_batch(&transmitted);
+            let frame = encode_message(&Message::ServerOutputsRequestRangeQ {
+                lo: 1,
+                hi: 3,
+                transmitted: quantized,
+            });
+            assert_eq!(
+                frame.len() as u64,
+                cost.upload_frame_bytes_range_q(batch as u64, &WIRE_OVERHEAD),
+                "quantized range upload frame size drifted from the analytic \
+                 model for {name} batch {batch}"
+            );
+        }
+    }
+}
+
+#[test]
 fn the_quantized_response_is_roughly_a_quarter_of_the_f32_one() {
     // The headline byte saving of protocol v2, asserted on real frames.
     let config = ResNetConfig::paper_resnet18(10, 32, true);

@@ -79,6 +79,21 @@ fn documented_examples() -> BTreeMap<&'static str, Message> {
         },
     );
     examples.insert(
+        "server-outputs-request-range",
+        Message::ServerOutputsRequestRange {
+            lo: 1,
+            hi: 3,
+            transmitted: Tensor::from_vec(vec![0.0, 0.5, -1.0, 2.0], &[1, 1, 2, 2]).unwrap(),
+        },
+    );
+    examples.insert(
+        "error-unknown-model",
+        Message::Error(WireError {
+            code: ErrorCode::UnknownModel,
+            message: "model \"beta\" is not served (serving: alpha)".to_string(),
+        }),
+    );
+    examples.insert(
         "error-unsupported-version",
         Message::Error(WireError {
             code: ErrorCode::UnsupportedVersion,

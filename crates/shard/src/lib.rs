@@ -1,0 +1,921 @@
+//! Scatter-gather sharded serving for the Ensembler reproduction.
+//!
+//! The paper's server cost is `O(N)` in the ensemble size; one process
+//! parallelises that across cores, this crate parallelises it across
+//! *machines*. A [`ShardRouter`] implements [`ensembler::Defense`] by
+//! fanning each `server_outputs` call out over the protocol-v4 sub-range
+//! requests of `ensembler-serve` to a pool of ordinary
+//! [`ensembler_serve::DefenseServer`] workers — each holding the full
+//! checkpoint but evaluating only the body slice `lo..hi` a [`Placement`]
+//! assigns it — then merging the partial maps back into the full `N`-map
+//! answer, bit-identical to a single-process evaluation.
+//!
+//! The router half of the deployment:
+//!
+//! * [`Placement`] / [`ShardSpec`] — which worker serves which body range,
+//!   and whether its leg of the fan-out travels in `f32` or int8 frames;
+//!   parsed from repeatable `--shard HOST:PORT=lo..hi[,int8]` flags or a
+//!   placement file of the same one-shard-per-line syntax;
+//! * [`ShardRouter`] — the fan-out/merge [`ensembler::Defense`], with a
+//!   background health monitor (periodic probe, mark-unhealthy, reconnect
+//!   with capped exponential backoff) and hedged retries (a duplicate
+//!   request on a fresh connection once the primary stays silent past
+//!   [`RouterConfig::hedge_after`], first response wins);
+//! * [`ShardError`] — typed degradation: a worker that cannot serve its
+//!   range fails the whole request with
+//!   [`ShardError::ShardUnavailable`], never a silent partial sum;
+//! * the `shard_router` binary — serves the merged pipeline behind a
+//!   normal [`ensembler_serve::DefenseServer`], so clients connect to a
+//!   router exactly as they would to a single worker.
+//!
+//! `docs/SERVING.md` covers topology, placement files and tuning.
+//!
+//! # Examples
+//!
+//! A two-worker loopback deployment in one process:
+//!
+//! ```
+//! use ensembler::Defense;
+//! use ensembler_serve::{demo_pipeline, DefenseServer, ServerConfig};
+//! use ensembler_shard::{Placement, RouterConfig, ShardRouter};
+//! use ensembler_tensor::Tensor;
+//! use std::sync::Arc;
+//!
+//! let pipeline: Arc<dyn Defense> = Arc::new(demo_pipeline(4, 2, 11)?);
+//! let a = DefenseServer::bind(Arc::clone(&pipeline), "127.0.0.1:0", ServerConfig::default())?;
+//! let b = DefenseServer::bind(Arc::clone(&pipeline), "127.0.0.1:0", ServerConfig::default())?;
+//!
+//! let placement = Placement::parse(
+//!     &[
+//!         format!("{}=0..2", a.local_addr()),
+//!         format!("{}=2..4", b.local_addr()),
+//!     ],
+//!     pipeline.ensemble_size(),
+//! )?;
+//! let router = ShardRouter::new(Arc::clone(&pipeline), placement, RouterConfig::default())?;
+//!
+//! let images = Tensor::ones(&[1, 3, 16, 16]);
+//! // The scatter-gather answer is bit-identical to the single process.
+//! assert_eq!(router.predict(&images)?, pipeline.predict(&images)?);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use ensembler::{Defense, EnsemblerError, Precision, QuantizedDefense};
+use ensembler_nn::models::ResNetConfig;
+use ensembler_nn::Sequential;
+use ensembler_serve::{RemoteDefense, ServeError, ShardStats};
+use ensembler_tensor::{QTensorBatch, Tensor};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Everything that can go wrong assembling or running a sharded deployment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardError {
+    /// A shard flag, placement file or placement as a whole is invalid
+    /// (syntax errors, ranges that overlap or leave bodies unserved).
+    Placement(String),
+    /// A worker could not serve its body range: it is down, in reconnect
+    /// backoff, or failed the request and its immediate retry. The router
+    /// fails the whole request with this typed error — it never returns a
+    /// silent partial merge.
+    ShardUnavailable {
+        /// The worker's address, as given in the placement.
+        addr: String,
+        /// First body index the worker was responsible for (inclusive).
+        lo: usize,
+        /// One past the last body index the worker was responsible for.
+        hi: usize,
+        /// What actually failed (connect error, wire error, retry error).
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::Placement(msg) => write!(f, "invalid placement: {msg}"),
+            ShardError::ShardUnavailable {
+                addr,
+                lo,
+                hi,
+                reason,
+            } => write!(
+                f,
+                "shard {addr} serving bodies {lo}..{hi} is unavailable: {reason}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+impl From<ShardError> for EnsemblerError {
+    /// Collapses a sharding failure into [`EnsemblerError::Transport`] so
+    /// [`ShardRouter`] can satisfy the [`Defense`] signatures.
+    fn from(e: ShardError) -> Self {
+        EnsemblerError::Transport(e.to_string())
+    }
+}
+
+/// One worker of a [`Placement`]: an address, the body range it serves, and
+/// the wire precision of its leg of the fan-out.
+///
+/// # Examples
+///
+/// ```
+/// use ensembler_shard::ShardSpec;
+///
+/// let spec = ShardSpec::parse("10.0.0.7:7000=4..8,int8")?;
+/// assert_eq!(spec.addr, "10.0.0.7:7000");
+/// assert_eq!((spec.lo, spec.hi), (4, 8));
+/// assert!(spec.quantized);
+/// assert_eq!(spec.to_string(), "10.0.0.7:7000=4..8,int8");
+/// # Ok::<(), ensembler_shard::ShardError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// `HOST:PORT` of the worker's `DefenseServer`.
+    pub addr: String,
+    /// First server body index placed on this worker (inclusive).
+    pub lo: usize,
+    /// One past the last server body index placed on this worker.
+    pub hi: usize,
+    /// Ship this worker int8 (quantized) frames instead of `f32` ones. The
+    /// worker must then serve the int8 pipeline
+    /// ([`ensembler::QuantizedDefense`]) of the same checkpoint.
+    pub quantized: bool,
+}
+
+impl ShardSpec {
+    /// Parses the `HOST:PORT=lo..hi[,int8]` syntax of the `--shard` flag
+    /// (and of placement-file lines).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShardError::Placement`] describing the malformed part.
+    pub fn parse(spec: &str) -> Result<Self, ShardError> {
+        let bad = |why: &str| ShardError::Placement(format!("{why} in shard spec {spec:?}"));
+        let (addr, rest) = spec
+            .split_once('=')
+            .ok_or_else(|| bad("expected HOST:PORT=lo..hi[,int8]"))?;
+        if addr.is_empty() || !addr.contains(':') {
+            return Err(bad("worker address must look like HOST:PORT"));
+        }
+        let mut parts = rest.split(',');
+        let range = parts.next().unwrap_or("");
+        let (lo, hi) = range
+            .split_once("..")
+            .ok_or_else(|| bad("body range must look like lo..hi"))?;
+        let lo: usize = lo.parse().map_err(|_| bad("range start is not a number"))?;
+        let hi: usize = hi.parse().map_err(|_| bad("range end is not a number"))?;
+        if lo >= hi {
+            return Err(bad("body range is empty"));
+        }
+        let mut quantized = false;
+        for option in parts {
+            match option.trim() {
+                "int8" => quantized = true,
+                other => {
+                    return Err(ShardError::Placement(format!(
+                        "unknown shard option {other:?} in {spec:?} (supported: int8)"
+                    )))
+                }
+            }
+        }
+        Ok(Self {
+            addr: addr.to_string(),
+            lo,
+            hi,
+            quantized,
+        })
+    }
+}
+
+impl std::fmt::Display for ShardSpec {
+    /// The flag syntax back, so `parse` ∘ `to_string` is the identity.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}={}..{}", self.addr, self.lo, self.hi)?;
+        if self.quantized {
+            write!(f, ",int8")?;
+        }
+        Ok(())
+    }
+}
+
+/// A complete assignment of an `N`-body ensemble to workers: every body
+/// index in `0..N` is served by exactly one shard.
+///
+/// Shards are kept sorted by their range, so merged partial results
+/// concatenate back into index order.
+///
+/// # Examples
+///
+/// ```
+/// use ensembler_shard::Placement;
+///
+/// let placement = Placement::parse(
+///     &["127.0.0.1:7001=0..2".to_string(), "127.0.0.1:7002=2..4,int8".to_string()],
+///     4,
+/// )?;
+/// assert_eq!(placement.shards().len(), 2);
+///
+/// // The file form round-trips (one shard per line, same syntax).
+/// let text = placement.to_config_string();
+/// assert_eq!(Placement::from_config_str(&text, 4)?, placement);
+///
+/// // Gaps and overlaps are rejected.
+/// assert!(Placement::parse(&["127.0.0.1:7001=0..3".to_string()], 4).is_err());
+/// # Ok::<(), ensembler_shard::ShardError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    shards: Vec<ShardSpec>,
+    ensemble_size: usize,
+}
+
+impl Placement {
+    /// Validates that `shards` tile `0..ensemble_size` exactly — no body
+    /// unserved, none served twice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShardError::Placement`] naming the first gap or overlap.
+    pub fn new(mut shards: Vec<ShardSpec>, ensemble_size: usize) -> Result<Self, ShardError> {
+        if shards.is_empty() {
+            return Err(ShardError::Placement(
+                "a placement needs at least one shard".to_string(),
+            ));
+        }
+        shards.sort_by_key(|s| (s.lo, s.hi));
+        let mut covered = 0usize;
+        for shard in &shards {
+            if shard.lo != covered {
+                return Err(ShardError::Placement(format!(
+                    "bodies {covered}..{} are {} (shard {} starts at {})",
+                    shard.lo.max(covered),
+                    if shard.lo > covered {
+                        "unserved"
+                    } else {
+                        "served twice"
+                    },
+                    shard.addr,
+                    shard.lo
+                )));
+            }
+            covered = shard.hi;
+        }
+        if covered != ensemble_size {
+            return Err(ShardError::Placement(format!(
+                "shards cover bodies 0..{covered} of an ensemble of {ensemble_size}"
+            )));
+        }
+        Ok(Self {
+            shards,
+            ensemble_size,
+        })
+    }
+
+    /// Parses one `HOST:PORT=lo..hi[,int8]` spec per element (the
+    /// repeatable `--shard` flag) and validates the tiling.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ShardSpec::parse`] and [`Placement::new`].
+    pub fn parse(specs: &[String], ensemble_size: usize) -> Result<Self, ShardError> {
+        let shards = specs
+            .iter()
+            .map(|spec| ShardSpec::parse(spec))
+            .collect::<Result<Vec<_>, _>>()?;
+        Self::new(shards, ensemble_size)
+    }
+
+    /// Parses a placement file: one shard spec per line, blank lines and
+    /// `#` comments ignored.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Placement::parse`].
+    pub fn from_config_str(text: &str, ensemble_size: usize) -> Result<Self, ShardError> {
+        let shards = text
+            .lines()
+            .map(str::trim)
+            .filter(|line| !line.is_empty() && !line.starts_with('#'))
+            .map(ShardSpec::parse)
+            .collect::<Result<Vec<_>, _>>()?;
+        Self::new(shards, ensemble_size)
+    }
+
+    /// Serializes to the placement-file form [`Placement::from_config_str`]
+    /// parses: one shard per line in range order.
+    pub fn to_config_string(&self) -> String {
+        let mut text = String::from("# shard placement: HOST:PORT=lo..hi[,int8]\n");
+        for shard in &self.shards {
+            text.push_str(&shard.to_string());
+            text.push('\n');
+        }
+        text
+    }
+
+    /// The shards, sorted by body range.
+    pub fn shards(&self) -> &[ShardSpec] {
+        &self.shards
+    }
+
+    /// The ensemble size `N` this placement tiles.
+    pub fn ensemble_size(&self) -> usize {
+        self.ensemble_size
+    }
+}
+
+/// Tuning knobs of a [`ShardRouter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouterConfig {
+    /// Fire a hedged duplicate request on a *fresh* connection once a
+    /// worker's primary exchange has stayed silent this long; the first
+    /// response wins and the loser's connection is dropped (so its late
+    /// response can never be read as the answer to a later request).
+    /// `None` disables hedging.
+    pub hedge_after: Option<Duration>,
+    /// How often the background health monitor probes every worker (a TCP
+    /// connect) and repopulates dropped connections. `None` disables the
+    /// monitor; workers are then only probed by the requests themselves.
+    pub health_interval: Option<Duration>,
+    /// First delay after a failed connect before that worker may be dialed
+    /// again; doubles per consecutive failure.
+    pub initial_backoff: Duration,
+    /// Cap on the doubling reconnect backoff.
+    pub max_backoff: Duration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            hedge_after: Some(Duration::from_millis(500)),
+            health_interval: Some(Duration::from_secs(5)),
+            initial_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Reconnect throttling for one worker: the next allowed dial time and the
+/// current (doubling) delay.
+#[derive(Debug)]
+struct Backoff {
+    delay: Duration,
+    blocked_until: Option<Instant>,
+}
+
+/// The router's view of one worker: its spec, the local replica its
+/// connections validate against, the pooled connection, and counters.
+struct WorkerLink {
+    spec: ShardSpec,
+    replica: Arc<dyn Defense>,
+    conn: Mutex<Option<RemoteDefense>>,
+    healthy: AtomicBool,
+    requests: AtomicU64,
+    hedges: AtomicU64,
+    flaps: AtomicU64,
+    backoff: Mutex<Backoff>,
+}
+
+impl std::fmt::Debug for WorkerLink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerLink")
+            .field("spec", &self.spec)
+            .field("healthy", &self.healthy.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl WorkerLink {
+    fn new(spec: ShardSpec, replica: Arc<dyn Defense>, config: &RouterConfig) -> Self {
+        Self {
+            spec,
+            replica,
+            conn: Mutex::new(None),
+            healthy: AtomicBool::new(true),
+            requests: AtomicU64::new(0),
+            hedges: AtomicU64::new(0),
+            flaps: AtomicU64::new(0),
+            backoff: Mutex::new(Backoff {
+                delay: config.initial_backoff,
+                blocked_until: None,
+            }),
+        }
+    }
+
+    fn unavailable(&self, reason: impl Into<String>) -> ShardError {
+        ShardError::ShardUnavailable {
+            addr: self.spec.addr.clone(),
+            lo: self.spec.lo,
+            hi: self.spec.hi,
+            reason: reason.into(),
+        }
+    }
+
+    /// Records an observed health state, counting the transition.
+    fn note_health(&self, healthy: bool) {
+        if self.healthy.swap(healthy, Ordering::SeqCst) != healthy {
+            self.flaps.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Dials the worker, respecting the reconnect backoff: inside the
+    /// blocked window this fails immediately (so a dead worker costs one
+    /// failed dial per backoff period, not one per request), and each
+    /// consecutive failure doubles the window up to the cap.
+    fn connect_fresh(&self, config: &RouterConfig) -> Result<RemoteDefense, ShardError> {
+        {
+            let backoff = self
+                .backoff
+                .lock()
+                .expect("backoff mutex is never poisoned");
+            if let Some(until) = backoff.blocked_until {
+                if Instant::now() < until {
+                    return Err(self.unavailable(format!(
+                        "in reconnect backoff for {:?} more",
+                        until.saturating_duration_since(Instant::now())
+                    )));
+                }
+            }
+        }
+        match RemoteDefense::connect(Arc::clone(&self.replica), self.spec.addr.as_str()) {
+            Ok(conn) => {
+                let mut backoff = self
+                    .backoff
+                    .lock()
+                    .expect("backoff mutex is never poisoned");
+                backoff.delay = config.initial_backoff;
+                backoff.blocked_until = None;
+                drop(backoff);
+                self.note_health(true);
+                Ok(conn)
+            }
+            Err(error) => {
+                let mut backoff = self
+                    .backoff
+                    .lock()
+                    .expect("backoff mutex is never poisoned");
+                backoff.blocked_until = Some(Instant::now() + backoff.delay);
+                backoff.delay = (backoff.delay * 2).min(config.max_backoff);
+                drop(backoff);
+                self.note_health(false);
+                Err(self.unavailable(format!("connect failed: {error}")))
+            }
+        }
+    }
+}
+
+/// The per-worker exchange a [`ShardRouter`] fans out: each leg runs it
+/// against its own [`RemoteDefense`] connection, possibly twice (hedging).
+type Exchange<T> = Arc<dyn Fn(&RemoteDefense) -> Result<T, ServeError> + Send + Sync>;
+
+/// Runs one exchange on its own thread so the caller can time it out (for
+/// hedging) without abandoning the connection mid-frame.
+fn spawn_exchange<T: Send + 'static>(
+    run: Exchange<T>,
+    conn: RemoteDefense,
+    tx: mpsc::Sender<(Result<T, ServeError>, RemoteDefense)>,
+) {
+    std::thread::spawn(move || {
+        let result = run(&conn);
+        // A losing hedge finds the receiver gone; its connection (with the
+        // duplicate response inside) is dropped right here.
+        let _ = tx.send((result, conn));
+    });
+}
+
+/// A [`Defense`] that scatters `server_outputs` over a worker pool and
+/// gathers the partial maps back into the full answer.
+///
+/// The client-side stages (`client_features`, the secret selector,
+/// `classify`) stay on the local replica; only the body evaluation fans
+/// out. See the crate docs for a complete loopback example.
+#[derive(Debug)]
+pub struct ShardRouter {
+    client: Arc<dyn Defense>,
+    links: Vec<Arc<WorkerLink>>,
+    config: RouterConfig,
+    monitor: Option<JoinHandle<()>>,
+    stop: Arc<(Mutex<bool>, Condvar)>,
+}
+
+impl ShardRouter {
+    /// Connects to every worker of `placement` and validates each handshake
+    /// against the local replica: `client` itself for `f32` shards, the
+    /// int8 pipeline [`QuantizedDefense::quantize`] derives from it for
+    /// `int8` shards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShardError::Placement`] when the placement does not tile
+    /// `client`'s ensemble, and [`ShardError::ShardUnavailable`] when a
+    /// worker cannot be reached or serves a different pipeline.
+    pub fn new(
+        client: Arc<dyn Defense>,
+        placement: Placement,
+        config: RouterConfig,
+    ) -> Result<Self, ShardError> {
+        if placement.ensemble_size() != client.ensemble_size() {
+            return Err(ShardError::Placement(format!(
+                "placement tiles an ensemble of {}, the client pipeline has {} bodies",
+                placement.ensemble_size(),
+                client.ensemble_size()
+            )));
+        }
+        let quantized_replica: Option<Arc<dyn Defense>> =
+            if placement.shards().iter().any(|s| s.quantized) {
+                Some(Arc::new(QuantizedDefense::quantize(Arc::clone(&client))))
+            } else {
+                None
+            };
+        let links: Vec<Arc<WorkerLink>> = placement
+            .shards()
+            .iter()
+            .map(|spec| {
+                let replica = if spec.quantized {
+                    Arc::clone(
+                        quantized_replica
+                            .as_ref()
+                            .expect("int8 shard implies a quantized replica"),
+                    )
+                } else {
+                    Arc::clone(&client)
+                };
+                Arc::new(WorkerLink::new(spec.clone(), replica, &config))
+            })
+            .collect();
+        // Eager connect: a misconfigured deployment (wrong worker, wrong
+        // checkpoint, wrong precision) fails at construction, not on the
+        // first request. The handshake cross-checks label, N and P.
+        for link in &links {
+            let conn = link.connect_fresh(&config)?;
+            *link
+                .conn
+                .lock()
+                .expect("connection mutex is never poisoned") = Some(conn);
+        }
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let monitor = config.health_interval.map(|interval| {
+            let links = links.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || monitor_loop(&links, &config, interval, &stop))
+        });
+        Ok(Self {
+            client,
+            links,
+            config,
+            monitor,
+            stop,
+        })
+    }
+
+    /// Per-worker counters (requests, hedges fired, health flaps) in
+    /// placement order — what the `shard_router` binary surfaces through
+    /// [`ensembler_serve::ServerStats::per_shard`].
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.links
+            .iter()
+            .map(|link| ShardStats {
+                addr: link.spec.addr.clone(),
+                lo: link.spec.lo as u32,
+                hi: link.spec.hi as u32,
+                quantized: link.spec.quantized,
+                healthy: link.healthy.load(Ordering::SeqCst),
+                requests: link.requests.load(Ordering::Relaxed),
+                hedges_fired: link.hedges.load(Ordering::Relaxed),
+                health_flaps: link.flaps.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// One worker's leg of the fan-out, with hedging and one reconnect
+    /// retry. The pooled connection is *taken out* of the slot for the
+    /// duration of the exchange, so concurrent router callers each dial
+    /// their own connection instead of interleaving frames on one socket.
+    fn ranged<T: Send + 'static>(
+        &self,
+        link: &Arc<WorkerLink>,
+        run: Exchange<T>,
+    ) -> Result<T, ShardError> {
+        let pooled = link
+            .conn
+            .lock()
+            .expect("connection mutex is never poisoned")
+            .take();
+        let conn = match pooled {
+            Some(conn) => conn,
+            None => link.connect_fresh(&self.config)?,
+        };
+        let (tx, rx) = mpsc::channel();
+        spawn_exchange(Arc::clone(&run), conn, tx.clone());
+        let first = match self.config.hedge_after {
+            Some(delay) => match rx.recv_timeout(delay) {
+                Ok(pair) => Some(pair),
+                Err(mpsc::RecvTimeoutError::Timeout) => None,
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    return Err(link.unavailable("exchange thread died"))
+                }
+            },
+            None => Some(
+                rx.recv()
+                    .map_err(|_| link.unavailable("exchange thread died"))?,
+            ),
+        };
+        let (result, conn) = match first {
+            Some(pair) => pair,
+            None => {
+                // The primary stayed silent past the hedge threshold: fire
+                // a duplicate on a fresh connection (never the same socket
+                // — the primary's response is still owed on it) and take
+                // whichever answers first.
+                link.hedges.fetch_add(1, Ordering::Relaxed);
+                if let Ok(fresh) = link.connect_fresh(&self.config) {
+                    spawn_exchange(Arc::clone(&run), fresh, tx.clone());
+                }
+                rx.recv()
+                    .map_err(|_| link.unavailable("all exchanges died"))?
+            }
+        };
+        // Dropping the receiver makes the losing hedge discard its
+        // connection: a duplicate response must never be mistaken for the
+        // answer to a later request.
+        drop(rx);
+        match result {
+            Ok(value) => {
+                link.requests.fetch_add(1, Ordering::Relaxed);
+                link.note_health(true);
+                *link
+                    .conn
+                    .lock()
+                    .expect("connection mutex is never poisoned") = Some(conn);
+                Ok(value)
+            }
+            Err(error) => {
+                // The socket may hold a half-read frame; never pool it
+                // again. One immediate reconnect-and-retry covers a worker
+                // that was restarted between requests; anything more is a
+                // typed ShardUnavailable for the caller.
+                drop(conn);
+                link.note_health(false);
+                let fresh = link.connect_fresh(&self.config).map_err(|retry| {
+                    link.unavailable(format!("{error}; reconnect failed: {retry}"))
+                })?;
+                match run(&fresh) {
+                    Ok(value) => {
+                        link.requests.fetch_add(1, Ordering::Relaxed);
+                        link.note_health(true);
+                        *link
+                            .conn
+                            .lock()
+                            .expect("connection mutex is never poisoned") = Some(fresh);
+                        Ok(value)
+                    }
+                    Err(retry_error) => {
+                        link.note_health(false);
+                        Err(link.unavailable(format!("{error}; retry failed: {retry_error}")))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Scatters one request to every worker concurrently and gathers the
+    /// partial maps in placement order.
+    fn scatter<T: Send>(
+        &self,
+        leg: impl Fn(&Arc<WorkerLink>) -> Result<Vec<T>, ShardError> + Sync,
+    ) -> Result<Vec<T>, EnsemblerError> {
+        let partials: Vec<Result<Vec<T>, ShardError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .links
+                .iter()
+                .map(|link| scope.spawn(|| leg(link)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("scatter legs never panic"))
+                .collect()
+        });
+        let mut merged = Vec::with_capacity(self.client.ensemble_size());
+        for partial in partials {
+            merged.extend(partial?);
+        }
+        Ok(merged)
+    }
+}
+
+impl Drop for ShardRouter {
+    fn drop(&mut self) {
+        let (lock, cvar) = &*self.stop;
+        *lock.lock().expect("stop mutex is never poisoned") = true;
+        cvar.notify_all();
+        if let Some(handle) = self.monitor.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The background health monitor: every `interval`, probe each worker with
+/// a TCP connect, record the health transition, and redial dropped
+/// connection slots (respecting the backoff) so a recovered worker is ready
+/// before the next request needs it.
+fn monitor_loop(
+    links: &[Arc<WorkerLink>],
+    config: &RouterConfig,
+    interval: Duration,
+    stop: &(Mutex<bool>, Condvar),
+) {
+    let (lock, cvar) = stop;
+    loop {
+        {
+            let stopped = lock.lock().expect("stop mutex is never poisoned");
+            let (stopped, _) = cvar
+                .wait_timeout_while(stopped, interval, |stopped| !*stopped)
+                .expect("stop mutex is never poisoned");
+            if *stopped {
+                return;
+            }
+        }
+        for link in links {
+            let alive = std::net::TcpStream::connect(link.spec.addr.as_str()).is_ok();
+            link.note_health(alive);
+            if alive {
+                let empty = link
+                    .conn
+                    .lock()
+                    .expect("connection mutex is never poisoned")
+                    .is_none();
+                if empty {
+                    if let Ok(conn) = link.connect_fresh(config) {
+                        *link
+                            .conn
+                            .lock()
+                            .expect("connection mutex is never poisoned") = Some(conn);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Defense for ShardRouter {
+    fn config(&self) -> &ResNetConfig {
+        self.client.config()
+    }
+
+    fn label(&self) -> &str {
+        self.client.label()
+    }
+
+    /// The local replica's bodies (under the threat model the adversary
+    /// owns the server weights wherever they are placed).
+    fn server_bodies(&self) -> &[Sequential] {
+        self.client.server_bodies()
+    }
+
+    fn selected_count(&self) -> usize {
+        self.client.selected_count()
+    }
+
+    fn precision(&self) -> Precision {
+        self.client.precision()
+    }
+
+    fn client_features(&self, images: &Tensor) -> Result<Tensor, EnsemblerError> {
+        self.client.client_features(images)
+    }
+
+    /// The scatter-gather evaluation: each worker evaluates its placed
+    /// range (`f32` shards over `f32` frames, int8 shards over quantized
+    /// frames against the derived int8 pipeline), and the partial maps
+    /// concatenate back into index order. With an all-`f32` placement the
+    /// merged answer is bit-identical to `client.server_outputs`; an int8
+    /// shard contributes exactly what the int8 pipeline would contribute
+    /// for its indices.
+    fn server_outputs(&self, transmitted: &Tensor) -> Result<Vec<Tensor>, EnsemblerError> {
+        self.scatter(|link| {
+            let (lo, hi) = (link.spec.lo, link.spec.hi);
+            if link.spec.quantized {
+                let qf = QTensorBatch::quantize_batch(transmitted);
+                let run = Arc::new(move |conn: &RemoteDefense| {
+                    conn.server_outputs_quantized_range(&qf, lo, hi)
+                });
+                let qmaps = self.ranged(link, run)?;
+                Ok(qmaps.iter().map(QTensorBatch::dequantize).collect())
+            } else {
+                let features = transmitted.clone();
+                let run = Arc::new(move |conn: &RemoteDefense| {
+                    conn.server_outputs_range(&features, lo, hi)
+                });
+                self.ranged(link, run)
+            }
+        })
+    }
+
+    /// The quantized stage, scattered in quantized frames to every worker
+    /// regardless of its placement precision (the response is quantized
+    /// either way).
+    fn server_outputs_quantized(
+        &self,
+        transmitted: &QTensorBatch,
+    ) -> Result<Vec<QTensorBatch>, EnsemblerError> {
+        self.scatter(|link| {
+            let (lo, hi) = (link.spec.lo, link.spec.hi);
+            let qf = transmitted.clone();
+            let run = Arc::new(move |conn: &RemoteDefense| {
+                conn.server_outputs_quantized_range(&qf, lo, hi)
+            });
+            self.ranged(link, run)
+        })
+    }
+
+    fn classify(&self, server_maps: &[Tensor]) -> Result<Tensor, EnsemblerError> {
+        self.client.classify(server_maps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_specs_parse_and_round_trip() {
+        let spec = ShardSpec::parse("127.0.0.1:7001=0..4").unwrap();
+        assert_eq!(
+            spec,
+            ShardSpec {
+                addr: "127.0.0.1:7001".to_string(),
+                lo: 0,
+                hi: 4,
+                quantized: false,
+            }
+        );
+        let spec = ShardSpec::parse("host.example:9=2..3,int8").unwrap();
+        assert!(spec.quantized);
+        assert_eq!(ShardSpec::parse(&spec.to_string()).unwrap(), spec);
+
+        for bad in [
+            "no-equals",
+            "noport=0..2",
+            "=0..2",
+            "h:1=2",
+            "h:1=x..2",
+            "h:1=0..y",
+            "h:1=3..3",
+            "h:1=4..2",
+            "h:1=0..2,int7",
+        ] {
+            assert!(ShardSpec::parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn placements_must_tile_the_ensemble_exactly() {
+        let spec = |s: &str| ShardSpec::parse(s).unwrap();
+        assert!(Placement::new(vec![spec("a:1=0..2"), spec("b:1=2..4")], 4).is_ok());
+        // Unsorted input is fine; the placement sorts by range.
+        let placement = Placement::new(vec![spec("b:1=2..4"), spec("a:1=0..2")], 4).unwrap();
+        assert_eq!(placement.shards()[0].addr, "a:1");
+
+        let gap = Placement::new(vec![spec("a:1=0..1"), spec("b:1=2..4")], 4).unwrap_err();
+        assert!(gap.to_string().contains("unserved"), "{gap}");
+        let overlap = Placement::new(vec![spec("a:1=0..3"), spec("b:1=2..4")], 4).unwrap_err();
+        assert!(overlap.to_string().contains("served twice"), "{overlap}");
+        let short = Placement::new(vec![spec("a:1=0..3")], 4).unwrap_err();
+        assert!(short.to_string().contains("0..3"), "{short}");
+        let long = Placement::new(vec![spec("a:1=0..5")], 4).unwrap_err();
+        assert!(long.to_string().contains("ensemble of 4"), "{long}");
+        assert!(Placement::new(vec![], 4).is_err());
+    }
+
+    #[test]
+    fn placement_files_round_trip_with_comments() {
+        let text = "# router placement\n\n127.0.0.1:7001=0..2\n  127.0.0.1:7002=2..4,int8  \n";
+        let placement = Placement::from_config_str(text, 4).unwrap();
+        assert_eq!(placement.shards().len(), 2);
+        assert!(placement.shards()[1].quantized);
+        assert_eq!(
+            Placement::from_config_str(&placement.to_config_string(), 4).unwrap(),
+            placement
+        );
+    }
+
+    #[test]
+    fn shard_errors_are_typed_and_informative() {
+        let err = ShardError::ShardUnavailable {
+            addr: "10.0.0.7:7000".to_string(),
+            lo: 4,
+            hi: 8,
+            reason: "connection refused".to_string(),
+        };
+        assert!(err.to_string().contains("10.0.0.7:7000"));
+        assert!(err.to_string().contains("4..8"));
+        let transport: EnsemblerError = err.into();
+        assert!(matches!(transport, EnsemblerError::Transport(_)));
+    }
+}

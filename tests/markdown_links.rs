@@ -156,6 +156,7 @@ fn code_path_extraction_handles_the_basics() {
                   the template crates/<x>/src/<y>.rs is skipped, \
                   the glob crates/*/src is skipped, \
                   **docs/ARCHITECTURE.md** is bold but still checked, \
+                  the router tier lives in crates/shard/src/lib.rs, \
                   tests/markdown_links.rs ends a sentence. \
                   .github/workflows/ci.yml runs it; plain words stay out.";
     let paths = extract_code_paths(sample);
@@ -165,6 +166,7 @@ fn code_path_extraction_handles_the_basics() {
             "crates/serve/src/protocol.rs",
             "docs/SERVING.md",
             "docs/ARCHITECTURE.md",
+            "crates/shard/src/lib.rs",
             "tests/markdown_links.rs",
             ".github/workflows/ci.yml",
         ]
