@@ -20,13 +20,15 @@ use ensembler::{
     Defense, EnsemblerPipeline, EnsemblerTrainer, EvalConfig, QuantizedDefense, Selector,
     TrainConfig,
 };
+use ensembler_bench::load::{run_open_loop, LoadConfig, LoadRequest};
 use ensembler_bench::ExperimentScale;
 use ensembler_data::SyntheticSpec;
 use ensembler_latency::network_cost;
 use ensembler_nn::models::{build_body, build_head, build_tail, ResNetConfig};
 use ensembler_nn::{Conv2d, FixedNoise, Layer, Linear, Mode};
 use ensembler_serve::{
-    demo_pipeline, DefenseServer, ModelRegistry, RemoteDefense, ServerConfig, WIRE_OVERHEAD,
+    demo_pipeline, AdmissionConfig, DefenseServer, ModelRegistry, RemoteDefense, ServerConfig,
+    WIRE_OVERHEAD,
 };
 use ensembler_shard::{Placement, RouterConfig, ShardRouter};
 use ensembler_tensor::gemm::{gemm_nn_with, Parallelism};
@@ -344,6 +346,129 @@ fn serving_case(ensemble_size: usize, selected: usize, budget: Duration) -> Json
     ])
 }
 
+/// Open-loop tail latency over one multiplexed protocol-v5 connection — the
+/// `load_gen` binary's scenarios at report scale. Steady points hold a fixed
+/// arrival schedule against a default-config server; the churn point dials a
+/// fresh connection per request; the overload point saturates a deliberately
+/// tight per-connection in-flight budget and checks every shed request was a
+/// typed `Overloaded` rejection, never a transport failure.
+fn load_case(ensemble_size: usize, selected: usize, scale: ExperimentScale) -> JsonValue {
+    let (steady_requests, churn_requests, overload_requests) = match scale {
+        ExperimentScale::Quick => (60usize, 20usize, 80usize),
+        ExperimentScale::Full => (200, 50, 200),
+    };
+    let pipeline: Arc<dyn Defense> =
+        Arc::new(demo_pipeline(ensemble_size, selected, 7).expect("valid demo pipeline"));
+    let server = DefenseServer::bind(
+        Arc::clone(&pipeline),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .expect("bind loopback server");
+    let remote = Arc::new(
+        RemoteDefense::connect(Arc::clone(&pipeline), server.local_addr()).expect("connect"),
+    );
+    let backbone = pipeline.config().clone();
+    let image = Tensor::ones(&[
+        1,
+        backbone.input_channels,
+        backbone.image_size,
+        backbone.image_size,
+    ]);
+    // The invariant the tail numbers rest on.
+    assert_eq!(
+        remote.predict(&image).expect("remote predict"),
+        pipeline.predict(&image).expect("in-process predict"),
+        "multiplexed remote predict must be bit-identical to in-process"
+    );
+    let features = pipeline
+        .client_features(&image)
+        .expect("client features for load requests");
+
+    let steady_request = |remote: &Arc<RemoteDefense>| -> LoadRequest {
+        let remote = Arc::clone(remote);
+        let features = features.clone();
+        Arc::new(move || {
+            remote
+                .server_outputs_range(&features, 0, ensemble_size)
+                .map(|_| ())
+        })
+    };
+
+    let mut steady = Vec::new();
+    for qps in [25.0, 100.0] {
+        let report = run_open_loop(
+            &steady_request(&remote),
+            &LoadConfig {
+                target_qps: qps,
+                requests: steady_requests,
+            },
+        );
+        println!("  steady {}", report.summary());
+        steady.push(report.to_json());
+    }
+
+    let churn_addr = server.local_addr();
+    let churn_pipeline = Arc::clone(&pipeline);
+    let churn_features = features.clone();
+    let churn: LoadRequest = Arc::new(move || {
+        let conn = RemoteDefense::connect(Arc::clone(&churn_pipeline), churn_addr)?;
+        conn.server_outputs_range(&churn_features, 0, ensemble_size)
+            .map(|_| ())
+    });
+    let churn_report = run_open_loop(
+        &churn,
+        &LoadConfig {
+            target_qps: 25.0,
+            requests: churn_requests,
+        },
+    );
+    println!("  churn  {}", churn_report.summary());
+
+    let tight = ServerConfig {
+        admission: AdmissionConfig {
+            max_connection_inflight_requests: 2,
+            ..AdmissionConfig::default()
+        },
+        ..ServerConfig::default()
+    };
+    let overload_server =
+        DefenseServer::bind(Arc::clone(&pipeline), "127.0.0.1:0", tight).expect("bind");
+    let overload_remote = Arc::new(
+        RemoteDefense::connect(Arc::clone(&pipeline), overload_server.local_addr())
+            .expect("connect"),
+    );
+    let overload_report = run_open_loop(
+        &steady_request(&overload_remote),
+        &LoadConfig {
+            target_qps: 1000.0,
+            requests: overload_requests,
+        },
+    );
+    println!("  overload {}", overload_report.summary());
+    assert_eq!(
+        overload_report.failed, 0,
+        "overload must shed load with typed Overloaded frames, never transport failures"
+    );
+    assert_eq!(
+        overload_report.ok + overload_report.rejected,
+        overload_report.requests,
+        "every overload request must be answered or typed-rejected"
+    );
+
+    obj(vec![
+        ("ensemble_size", JsonValue::Number(ensemble_size as f64)),
+        ("selected", JsonValue::Number(selected as f64)),
+        (
+            "protocol_version",
+            JsonValue::Number(remote.negotiated_version() as f64),
+        ),
+        ("steady", JsonValue::Array(steady)),
+        ("churn", churn_report.to_json()),
+        ("overload", overload_report.to_json()),
+    ])
+}
+
 /// Times `Defense::predict` through a loopback [`ShardRouter`] over
 /// `worker_count` range-serving workers, against the in-process baseline.
 fn sharded_deployment_case(
@@ -583,6 +708,9 @@ fn main() {
     println!("Loopback-TCP serving (crates/serve, two-model registry) vs in-process:");
     let serving = serving_case(4, 2, budget);
 
+    println!("Open-loop load (one multiplexed v5 connection, tail latency):");
+    let load = load_case(4, 2, scale);
+
     println!("Scatter-gather sharded serving (crates/shard) vs one process:");
     let sharded = sharded_case(4, 2, budget);
 
@@ -602,7 +730,7 @@ fn main() {
 
     let report = obj(vec![
         ("report", JsonValue::String("perf_report".to_string())),
-        ("version", JsonValue::Number(5.0)),
+        ("version", JsonValue::Number(6.0)),
         ("unix_time_s", JsonValue::Number(epoch_s as f64)),
         ("cores", JsonValue::Number(cores as f64)),
         ("scale", JsonValue::String(format!("{scale:?}"))),
@@ -610,6 +738,7 @@ fn main() {
         ("layers", JsonValue::Array(layers)),
         ("end_to_end", e2e),
         ("serving", serving),
+        ("load", load),
         ("sharded", sharded),
         ("quantized", quantized),
     ]);

@@ -14,6 +14,11 @@
 //! `quick` (default) runs a scaled-down configuration that finishes in a few
 //! minutes on a laptop CPU; `full` runs the larger configuration described in
 //! `DESIGN.md`.
+//!
+//! The [`load`] module is the open-loop load-generation harness behind the
+//! `load_gen` binary and the `load` section of `BENCH_PERF.json`.
+
+pub mod load;
 
 use ensembler::{
     Defense, DefenseKind, EnsemblerError, EnsemblerTrainer, EvalConfig, SinglePipeline, TrainConfig,

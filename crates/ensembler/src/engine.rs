@@ -95,6 +95,35 @@ impl EngineStats {
     }
 }
 
+/// A submitted-but-not-yet-answered engine request: the completion half of
+/// the split submit/wait API ([`InferenceEngine::server_outputs_begin`] and
+/// siblings).
+///
+/// The blocking `*_one` methods are `*_begin(…)?.wait()`. Splitting the two
+/// halves is what lets a multiplexed server thread enqueue many pipelined
+/// requests in arrival order — so they coalesce into shared mini-batches —
+/// and then let each response complete out of order on its own thread.
+/// Dropping a `Pending` abandons the request: the worker's answer simply
+/// finds no receiver.
+#[derive(Debug)]
+pub struct Pending<T> {
+    receive: Receiver<Result<T, EnsemblerError>>,
+}
+
+impl<T> Pending<T> {
+    /// Blocks until the worker pool answers this request.
+    ///
+    /// # Errors
+    ///
+    /// Returns the evaluation's own error, or [`EnsemblerError::Engine`] if
+    /// the engine shut down before answering.
+    pub fn wait(self) -> Result<T, EnsemblerError> {
+        self.receive
+            .recv()
+            .map_err(|_| EnsemblerError::Engine("worker dropped the request".to_string()))?
+    }
+}
+
 #[derive(Debug, Default)]
 struct StatsCells {
     requests: AtomicU64,
@@ -264,12 +293,21 @@ impl<D: Defense + ?Sized + 'static> InferenceEngine<D> {
     /// Returns an error if the image shape is wrong, prediction fails, or
     /// the engine is shutting down.
     pub fn predict_one(&self, image: Tensor) -> Result<Tensor, EnsemblerError> {
+        self.predict_begin(image)?.wait()
+    }
+
+    /// Enqueues one image for classification without waiting for the answer
+    /// — the non-blocking half of [`InferenceEngine::predict_one`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the image shape is wrong or the engine is
+    /// shutting down; evaluation errors surface from [`Pending::wait`].
+    pub fn predict_begin(&self, image: Tensor) -> Result<Pending<Tensor>, EnsemblerError> {
         let image = ensure_single_item("predict_one", "image", image)?;
         let (respond, receive) = channel();
         self.submit(Work::Predict { image, respond })?;
-        receive
-            .recv()
-            .map_err(|_| EnsemblerError::Engine("worker dropped the request".to_string()))?
+        Ok(Pending { receive })
     }
 
     /// Evaluates all `N` server bodies on one transmitted feature map
@@ -290,12 +328,29 @@ impl<D: Defense + ?Sized + 'static> InferenceEngine<D> {
     /// Returns an error if the feature shape is wrong, the evaluation fails,
     /// or the engine is shutting down.
     pub fn server_outputs_one(&self, features: Tensor) -> Result<Vec<Tensor>, EnsemblerError> {
+        self.server_outputs_begin(features)?.wait()
+    }
+
+    /// Enqueues one transmitted feature map without waiting for the answer —
+    /// the non-blocking half of [`InferenceEngine::server_outputs_one`].
+    ///
+    /// A multiplexed server thread submits every pipelined request through
+    /// this in arrival order (so concurrent requests coalesce into shared
+    /// mini-batches) and parks each [`Pending`] on its own completion thread,
+    /// letting responses finish out of order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the feature shape is wrong or the engine is
+    /// shutting down; evaluation errors surface from [`Pending::wait`].
+    pub fn server_outputs_begin(
+        &self,
+        features: Tensor,
+    ) -> Result<Pending<Vec<Tensor>>, EnsemblerError> {
         let features = ensure_single_item("server_outputs_one", "feature map", features)?;
         let (respond, receive) = channel();
         self.submit(Work::ServerOutputs { features, respond })?;
-        receive
-            .recv()
-            .map_err(|_| EnsemblerError::Engine("worker dropped the request".to_string()))?
+        Ok(Pending { receive })
     }
 
     /// Evaluates all `N` server bodies on one quantized transmitted feature
@@ -318,6 +373,22 @@ impl<D: Defense + ?Sized + 'static> InferenceEngine<D> {
         &self,
         features: QTensorBatch,
     ) -> Result<Vec<QTensorBatch>, EnsemblerError> {
+        self.server_outputs_quantized_begin(features)?.wait()
+    }
+
+    /// Enqueues one quantized feature map without waiting for the answer —
+    /// the non-blocking half of
+    /// [`InferenceEngine::server_outputs_quantized_one`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the feature batch is not a single rank-4 sample
+    /// or the engine is shutting down; evaluation errors surface from
+    /// [`Pending::wait`].
+    pub fn server_outputs_quantized_begin(
+        &self,
+        features: QTensorBatch,
+    ) -> Result<Pending<Vec<QTensorBatch>>, EnsemblerError> {
         if features.shape().len() != 4 || features.batch() != 1 {
             return Err(EnsemblerError::ShapeMismatch(format!(
                 "server_outputs_quantized_one expects one [1, C, H, W] feature map, got {:?}",
@@ -326,9 +397,7 @@ impl<D: Defense + ?Sized + 'static> InferenceEngine<D> {
         }
         let (respond, receive) = channel();
         self.submit(Work::ServerOutputsQ { features, respond })?;
-        receive
-            .recv()
-            .map_err(|_| EnsemblerError::Engine("worker dropped the request".to_string()))?
+        Ok(Pending { receive })
     }
 
     /// Evaluates only the server bodies `lo..hi` on one transmitted feature
@@ -351,6 +420,23 @@ impl<D: Defense + ?Sized + 'static> InferenceEngine<D> {
         lo: usize,
         hi: usize,
     ) -> Result<Vec<Tensor>, EnsemblerError> {
+        self.server_outputs_range_begin(features, lo, hi)?.wait()
+    }
+
+    /// Enqueues one sub-range request without waiting for the answer — the
+    /// non-blocking half of [`InferenceEngine::server_outputs_range_one`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the feature shape or the range is wrong, or the
+    /// engine is shutting down; evaluation errors surface from
+    /// [`Pending::wait`].
+    pub fn server_outputs_range_begin(
+        &self,
+        features: Tensor,
+        lo: usize,
+        hi: usize,
+    ) -> Result<Pending<Vec<Tensor>>, EnsemblerError> {
         crate::check_body_range(lo, hi, self.defense.ensemble_size())?;
         let features = ensure_single_item("server_outputs_range_one", "feature map", features)?;
         let (respond, receive) = channel();
@@ -360,9 +446,7 @@ impl<D: Defense + ?Sized + 'static> InferenceEngine<D> {
             hi,
             respond,
         })?;
-        receive
-            .recv()
-            .map_err(|_| EnsemblerError::Engine("worker dropped the request".to_string()))?
+        Ok(Pending { receive })
     }
 
     /// Evaluates only the server bodies `lo..hi` on one quantized feature map
@@ -379,6 +463,25 @@ impl<D: Defense + ?Sized + 'static> InferenceEngine<D> {
         lo: usize,
         hi: usize,
     ) -> Result<Vec<QTensorBatch>, EnsemblerError> {
+        self.server_outputs_quantized_range_begin(features, lo, hi)?
+            .wait()
+    }
+
+    /// Enqueues one quantized sub-range request without waiting for the
+    /// answer — the non-blocking half of
+    /// [`InferenceEngine::server_outputs_quantized_range_one`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the feature batch is not a single rank-4 sample,
+    /// the range is wrong, or the engine is shutting down; evaluation errors
+    /// surface from [`Pending::wait`].
+    pub fn server_outputs_quantized_range_begin(
+        &self,
+        features: QTensorBatch,
+        lo: usize,
+        hi: usize,
+    ) -> Result<Pending<Vec<QTensorBatch>>, EnsemblerError> {
         crate::check_body_range(lo, hi, self.defense.ensemble_size())?;
         if features.shape().len() != 4 || features.batch() != 1 {
             return Err(EnsemblerError::ShapeMismatch(format!(
@@ -393,9 +496,7 @@ impl<D: Defense + ?Sized + 'static> InferenceEngine<D> {
             hi,
             respond,
         })?;
-        receive
-            .recv()
-            .map_err(|_| EnsemblerError::Engine("worker dropped the request".to_string()))?
+        Ok(Pending { receive })
     }
 
     /// Enqueues one unit of work for the worker pool.
@@ -1070,6 +1171,25 @@ mod tests {
         assert!(engine
             .server_outputs_quantized_range_one(qfeatures[0].clone(), 0, 9)
             .is_err());
+    }
+
+    #[test]
+    fn begin_and_wait_split_completes_out_of_submission_order() {
+        let engine = tiny_engine(2, 4);
+        let image = Tensor::from_fn(&[1, 3, 8, 8], |i| (i as f32 * 0.017).sin());
+        let features = engine.defense().client_features(&image).unwrap();
+        let direct = engine.defense().server_outputs(&features).unwrap();
+
+        // Two pipelined submissions, awaited in reverse order: each Pending
+        // holds exactly its own answer.
+        let a = engine.server_outputs_begin(features.clone()).unwrap();
+        let b = engine.server_outputs_begin(features.clone()).unwrap();
+        assert_eq!(b.wait().unwrap(), direct);
+        assert_eq!(a.wait().unwrap(), direct);
+
+        // A dropped Pending abandons its request without wedging the engine.
+        drop(engine.server_outputs_begin(features.clone()).unwrap());
+        assert_eq!(engine.server_outputs_one(features).unwrap(), direct);
     }
 
     #[test]

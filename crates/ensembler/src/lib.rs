@@ -79,7 +79,7 @@ pub mod trainer;
 
 pub use defense::{check_body_range, Defense, EvalConfig, Precision};
 pub use defenses::{DefenseKind, SinglePipeline};
-pub use engine::{EngineConfig, EngineStats, InferenceEngine};
+pub use engine::{EngineConfig, EngineStats, InferenceEngine, Pending};
 pub use error::EnsemblerError;
 pub use framework::EnsemblerPipeline;
 pub use quant::QuantizedDefense;

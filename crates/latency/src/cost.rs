@@ -77,6 +77,11 @@ pub struct WireOverhead {
     /// sub-range request (one `u32` each) — what a shard router spends per
     /// request to name the slice a worker should evaluate.
     pub range_header_bytes: u64,
+    /// Bytes for the request-id word carried in the extended header of a
+    /// protocol-v5 *tagged* frame (one big-endian `u64`) — the entire
+    /// per-frame wire cost of pipelined connection multiplexing. Untagged
+    /// frames (protocol v1–v4) spend zero of these.
+    pub request_id_bytes: u64,
 }
 
 impl WireOverhead {
@@ -98,6 +103,7 @@ impl WireOverhead {
     ///     per_scale_bytes: 4,
     ///     per_string_bytes: 4,
     ///     range_header_bytes: 8,
+    ///     request_id_bytes: 8,
     /// };
     /// // A legacy hello spends only the version word on top of the frame.
     /// assert_eq!(overhead.hello_frame_bytes(None), 16 + 2);
@@ -127,6 +133,7 @@ impl WireOverhead {
     ///     per_scale_bytes: 4,
     ///     per_string_bytes: 4,
     ///     range_header_bytes: 8,
+    ///     request_id_bytes: 8,
     /// };
     /// // "Ensembler" is 9 bytes; N and P spend 4 bytes each.
     /// assert_eq!(overhead.hello_ack_frame_bytes(9, None), 16 + 2 + 4 + 9 + 8);
@@ -374,6 +381,7 @@ mod tests {
             per_scale_bytes: 4,
             per_string_bytes: 4,
             range_header_bytes: 8,
+            request_id_bytes: 8,
         };
         assert_eq!(
             cost.upload_frame_bytes(2, &overhead),
@@ -397,6 +405,7 @@ mod tests {
             per_scale_bytes: 4,
             per_string_bytes: 4,
             range_header_bytes: 8,
+            request_id_bytes: 8,
         };
         assert_eq!(
             cost.upload_frame_bytes_q(2, &overhead),
@@ -424,6 +433,7 @@ mod tests {
             per_scale_bytes: 4,
             per_string_bytes: 4,
             range_header_bytes: 8,
+            request_id_bytes: 8,
         };
         assert_eq!(
             cost.upload_frame_bytes_range(2, &overhead),

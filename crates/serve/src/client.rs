@@ -4,15 +4,245 @@
 
 use crate::error::ServeError;
 use crate::protocol::{
-    read_message, write_message, Hello, HelloAck, Message, DEFAULT_MAX_PAYLOAD_BYTES,
-    PROTOCOL_VERSION,
+    read_message, read_tagged, write_message, write_tagged, Hello, HelloAck, Message,
+    DEFAULT_MAX_PAYLOAD_BYTES, PROTOCOL_VERSION, TAGGED_WIRE_VERSION,
 };
 use ensembler::{Defense, EnsemblerError, Precision};
 use ensembler_nn::models::ResNetConfig;
 use ensembler_nn::Sequential;
 use ensembler_tensor::{QTensorBatch, Tensor};
-use std::net::{TcpStream, ToSocketAddrs};
-use std::sync::Mutex;
+use std::collections::HashMap;
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Per-request completion routing for a multiplexed connection: each
+/// in-flight request registers a slot under its request id, and the
+/// demultiplexer thread completes the slot whose id the response frame
+/// echoes.
+///
+/// Misuse is a typed error, never a panic or a misroute: registering a
+/// duplicate id fails, completing an unknown id fails (the demultiplexer
+/// treats that as a broken peer and fails the connection), and once the
+/// connection has failed every further registration is refused with the
+/// stored reason.
+#[derive(Debug, Default)]
+pub struct CompletionSlots {
+    inner: Mutex<SlotsInner>,
+}
+
+#[derive(Debug, Default)]
+struct SlotsInner {
+    waiting: HashMap<u64, Sender<Result<Message, ServeError>>>,
+    failure: Option<String>,
+}
+
+impl CompletionSlots {
+    /// An empty slot table for a fresh connection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new in-flight request under `id` and returns the receiver
+    /// its response will arrive on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Protocol`] if `id` is already in flight, or if
+    /// the connection has already failed ([`CompletionSlots::fail_all`]).
+    pub fn register(&self, id: u64) -> Result<Receiver<Result<Message, ServeError>>, ServeError> {
+        let mut inner = self
+            .inner
+            .lock()
+            .map_err(|_| ServeError::Protocol("completion slots mutex poisoned".to_string()))?;
+        if let Some(reason) = &inner.failure {
+            return Err(ServeError::Protocol(format!(
+                "multiplexed connection already failed: {reason}"
+            )));
+        }
+        if inner.waiting.contains_key(&id) {
+            return Err(ServeError::Protocol(format!(
+                "request id {id} is already in flight"
+            )));
+        }
+        let (send, receive) = channel();
+        inner.waiting.insert(id, send);
+        Ok(receive)
+    }
+
+    /// Delivers `result` to the request registered under `id` and frees the
+    /// slot. A requester that gave up (dropped its receiver) is skipped
+    /// silently.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Protocol`] when no request with this id is in
+    /// flight — a response for an unknown (or already-answered) id must
+    /// never be routed anywhere.
+    pub fn complete(&self, id: u64, result: Result<Message, ServeError>) -> Result<(), ServeError> {
+        let sender = self
+            .inner
+            .lock()
+            .map_err(|_| ServeError::Protocol("completion slots mutex poisoned".to_string()))?
+            .waiting
+            .remove(&id);
+        match sender {
+            Some(sender) => {
+                let _ = sender.send(result);
+                Ok(())
+            }
+            None => Err(ServeError::Protocol(format!(
+                "response for unknown request id {id}"
+            ))),
+        }
+    }
+
+    /// Drops the slot registered under `id` without answering it — what a
+    /// sender does when its request never made it onto the wire.
+    pub fn forget(&self, id: u64) {
+        if let Ok(mut inner) = self.inner.lock() {
+            inner.waiting.remove(&id);
+        }
+    }
+
+    /// Fails every in-flight request with a typed error and refuses all
+    /// future registrations with the same reason — the terminal transition a
+    /// demultiplexer takes when the connection itself breaks.
+    pub fn fail_all(&self, reason: &str) {
+        let Ok(mut inner) = self.inner.lock() else {
+            return;
+        };
+        inner.failure = Some(reason.to_string());
+        for (_, sender) in inner.waiting.drain() {
+            let _ = sender.send(Err(ServeError::Protocol(format!(
+                "multiplexed connection failed: {reason}"
+            ))));
+        }
+    }
+
+    /// Number of requests currently awaiting their response.
+    pub fn in_flight(&self) -> usize {
+        self.inner
+            .lock()
+            .map(|inner| inner.waiting.len())
+            .unwrap_or(0)
+    }
+}
+
+/// The multiplexed transport of a protocol-v5 connection: writers tag each
+/// request with a fresh id and park on a completion slot; one demultiplexer
+/// thread reads every response frame and routes it to the slot its id names.
+#[derive(Debug)]
+struct Mux {
+    writer: Mutex<TcpStream>,
+    slots: Arc<CompletionSlots>,
+    next_id: AtomicU64,
+    demux: Option<JoinHandle<()>>,
+}
+
+impl Mux {
+    fn start(stream: TcpStream, max_payload_bytes: u32) -> Result<Self, ServeError> {
+        let mut read_half = stream.try_clone()?;
+        let slots = Arc::new(CompletionSlots::new());
+        let demux_slots = Arc::clone(&slots);
+        let demux = std::thread::spawn(move || {
+            demux_loop(&mut read_half, &demux_slots, max_payload_bytes);
+        });
+        Ok(Self {
+            writer: Mutex::new(stream),
+            slots,
+            next_id: AtomicU64::new(1),
+            demux: Some(demux),
+        })
+    }
+
+    /// One pipelined request/response exchange: register a slot, write the
+    /// tagged request (briefly holding the write lock), then block on the
+    /// slot while other callers' requests and responses interleave freely.
+    fn call(&self, request: &Message) -> Result<Message, ServeError> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let receiver = self.slots.register(id)?;
+        {
+            let mut writer = self
+                .writer
+                .lock()
+                .map_err(|_| ServeError::Protocol("connection mutex poisoned".to_string()))?;
+            if let Err(error) = write_tagged(&mut *writer, request, Some(id)) {
+                self.slots.forget(id);
+                return Err(error);
+            }
+        }
+        receiver.recv().map_err(|_| {
+            ServeError::Protocol(
+                "multiplexed connection closed while awaiting a response".to_string(),
+            )
+        })?
+    }
+}
+
+impl Drop for Mux {
+    fn drop(&mut self) {
+        // Shutting the socket down unblocks the demultiplexer's read; it
+        // fails any stragglers and exits, and the join below reaps it.
+        if let Ok(writer) = self.writer.lock() {
+            let _ = writer.shutdown(Shutdown::Both);
+        }
+        if let Some(handle) = self.demux.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The demultiplexer: reads frames until the connection dies. Tagged frames
+/// complete the slot their id names (a tagged `Error` frame too — it fails
+/// only that one request). An untagged frame or an unknown id is a protocol
+/// breach by the peer and fails the whole connection, as does any read
+/// error.
+fn demux_loop(read_half: &mut TcpStream, slots: &CompletionSlots, max_payload_bytes: u32) {
+    loop {
+        match read_tagged(read_half, max_payload_bytes) {
+            Ok(tagged) => match tagged.request_id {
+                Some(id) => {
+                    if slots.complete(id, Ok(tagged.message)).is_err() {
+                        slots.fail_all(&format!("server answered unknown request id {id}"));
+                        return;
+                    }
+                }
+                None => {
+                    let reason = match tagged.message {
+                        Message::Error(wire) => format!(
+                            "server reported a connection-level error: {} ({:?})",
+                            wire.message, wire.code
+                        ),
+                        other => format!(
+                            "unexpected untagged {:?} on a multiplexed connection",
+                            other.message_type()
+                        ),
+                    };
+                    slots.fail_all(&reason);
+                    return;
+                }
+            },
+            Err(error) => {
+                slots.fail_all(&format!("connection lost: {error}"));
+                return;
+            }
+        }
+    }
+}
+
+/// How a [`RemoteDefense`] talks to its server: lockstep (one request, then
+/// its response — protocol v1–v4) or multiplexed over tagged frames
+/// (protocol v5).
+#[derive(Debug)]
+enum Transport {
+    /// Pre-v5 request/response in lockstep under one connection lock.
+    Lockstep(Mutex<TcpStream>),
+    /// Tagged, pipelined exchanges sharing one socket.
+    Mux(Mux),
+}
 
 /// A [`Defense`] implementation that keeps the client-side stages
 /// ([`Defense::client_features`], [`Defense::classify`]) on a local replica
@@ -31,13 +261,22 @@ use std::sync::Mutex;
 /// the engine — programs against `&dyn Defense`, swapping an in-process
 /// pipeline for a `RemoteDefense` requires no change anywhere else.
 ///
+/// On a protocol-v5 connection the transport is *multiplexed*: every request
+/// frame carries a fresh id, a demultiplexer thread routes each (possibly
+/// out-of-order) response to the caller that sent its request, and many
+/// threads can have requests in flight on the one socket concurrently. A
+/// server-reported typed error (e.g. `Overloaded`) fails only the request it
+/// is tagged with — the connection and its other in-flight requests carry
+/// on. Connections that negotiate v4 or below keep the original lockstep
+/// one-request-then-its-response discipline.
+///
 /// # Examples
 ///
 /// See [`crate::DefenseServer`] for a complete loopback round trip.
 #[derive(Debug)]
 pub struct RemoteDefense {
     local: std::sync::Arc<dyn Defense>,
-    stream: Mutex<TcpStream>,
+    transport: Transport,
     peer: HelloAck,
     max_payload_bytes: u32,
 }
@@ -189,9 +428,14 @@ impl RemoteDefense {
                 local.selected_count()
             )));
         }
+        let transport = if peer.version >= TAGGED_WIRE_VERSION {
+            Transport::Mux(Mux::start(stream, DEFAULT_MAX_PAYLOAD_BYTES)?)
+        } else {
+            Transport::Lockstep(Mutex::new(stream))
+        };
         Ok(Self {
             local,
-            stream: Mutex::new(stream),
+            transport,
             peer,
             max_payload_bytes: DEFAULT_MAX_PAYLOAD_BYTES,
         })
@@ -221,21 +465,40 @@ impl RemoteDefense {
         self.peer.version >= 2 && self.local.precision() == Precision::Int8
     }
 
+    /// One request/response exchange, dispatched through whichever transport
+    /// the handshake negotiated. On a lockstep connection this holds the
+    /// connection lock across the write *and* the read; on a multiplexed one
+    /// it holds the write lock only long enough to put the tagged request on
+    /// the wire, then parks on the request's completion slot, so concurrent
+    /// callers pipeline freely.
+    ///
+    /// A server-reported [`Message::Error`] is returned as
+    /// [`ServeError::Remote`] *for this request only* — on a multiplexed
+    /// connection it neither tears down the socket nor disturbs other
+    /// in-flight requests.
+    fn call(&self, request: &Message) -> Result<Message, ServeError> {
+        let response = match &self.transport {
+            Transport::Lockstep(stream) => {
+                let mut stream = stream
+                    .lock()
+                    .map_err(|_| ServeError::Protocol("connection mutex poisoned".to_string()))?;
+                write_message(&mut *stream, request)?;
+                read_message(&mut *stream, self.max_payload_bytes)?
+            }
+            Transport::Mux(mux) => mux.call(request)?,
+        };
+        match response {
+            Message::Error(wire) => Err(ServeError::Remote(wire)),
+            other => Ok(other),
+        }
+    }
+
     /// One `f32` request/response exchange on the shared connection.
     fn exchange(&self, transmitted: &Tensor) -> Result<Vec<Tensor>, ServeError> {
-        let mut stream = self
-            .stream
-            .lock()
-            .map_err(|_| ServeError::Protocol("connection mutex poisoned".to_string()))?;
-        write_message(
-            &mut *stream,
-            &Message::ServerOutputsRequest {
-                transmitted: transmitted.clone(),
-            },
-        )?;
-        match read_message(&mut *stream, self.max_payload_bytes)? {
+        match self.call(&Message::ServerOutputsRequest {
+            transmitted: transmitted.clone(),
+        })? {
             Message::ServerOutputsResponse { maps } => Ok(maps),
-            Message::Error(wire) => Err(ServeError::Remote(wire)),
             other => Err(ServeError::Protocol(format!(
                 "expected ServerOutputsResponse, got {:?}",
                 other.message_type()
@@ -248,19 +511,10 @@ impl RemoteDefense {
         &self,
         transmitted: &QTensorBatch,
     ) -> Result<Vec<QTensorBatch>, ServeError> {
-        let mut stream = self
-            .stream
-            .lock()
-            .map_err(|_| ServeError::Protocol("connection mutex poisoned".to_string()))?;
-        write_message(
-            &mut *stream,
-            &Message::ServerOutputsRequestQ {
-                transmitted: transmitted.clone(),
-            },
-        )?;
-        match read_message(&mut *stream, self.max_payload_bytes)? {
+        match self.call(&Message::ServerOutputsRequestQ {
+            transmitted: transmitted.clone(),
+        })? {
             Message::ServerOutputsResponseQ { maps } => Ok(maps),
-            Message::Error(wire) => Err(ServeError::Remote(wire)),
             other => Err(ServeError::Protocol(format!(
                 "expected ServerOutputsResponseQ, got {:?}",
                 other.message_type()
@@ -285,21 +539,12 @@ impl RemoteDefense {
         hi: usize,
     ) -> Result<Vec<Tensor>, ServeError> {
         self.check_range_version()?;
-        let mut stream = self
-            .stream
-            .lock()
-            .map_err(|_| ServeError::Protocol("connection mutex poisoned".to_string()))?;
-        write_message(
-            &mut *stream,
-            &Message::ServerOutputsRequestRange {
-                lo: lo as u32,
-                hi: hi as u32,
-                transmitted: transmitted.clone(),
-            },
-        )?;
-        let maps = match read_message(&mut *stream, self.max_payload_bytes)? {
+        let maps = match self.call(&Message::ServerOutputsRequestRange {
+            lo: lo as u32,
+            hi: hi as u32,
+            transmitted: transmitted.clone(),
+        })? {
             Message::ServerOutputsResponse { maps } => maps,
-            Message::Error(wire) => return Err(ServeError::Remote(wire)),
             other => {
                 return Err(ServeError::Protocol(format!(
                     "expected ServerOutputsResponse, got {:?}",
@@ -325,21 +570,12 @@ impl RemoteDefense {
         hi: usize,
     ) -> Result<Vec<QTensorBatch>, ServeError> {
         self.check_range_version()?;
-        let mut stream = self
-            .stream
-            .lock()
-            .map_err(|_| ServeError::Protocol("connection mutex poisoned".to_string()))?;
-        write_message(
-            &mut *stream,
-            &Message::ServerOutputsRequestRangeQ {
-                lo: lo as u32,
-                hi: hi as u32,
-                transmitted: transmitted.clone(),
-            },
-        )?;
-        let maps = match read_message(&mut *stream, self.max_payload_bytes)? {
+        let maps = match self.call(&Message::ServerOutputsRequestRangeQ {
+            lo: lo as u32,
+            hi: hi as u32,
+            transmitted: transmitted.clone(),
+        })? {
             Message::ServerOutputsResponseQ { maps } => maps,
-            Message::Error(wire) => return Err(ServeError::Remote(wire)),
             other => {
                 return Err(ServeError::Protocol(format!(
                     "expected ServerOutputsResponseQ, got {:?}",

@@ -9,7 +9,9 @@
 //!   version, message enum, CRC-32 checksums, exhaustive decode-error
 //!   handling), specified byte-for-byte in `docs/WIRE_PROTOCOL.md`.
 //!   Protocol v3 adds a model name to the handshake; protocol v4 adds the
-//!   sub-range requests a scatter-gather shard router fans out;
+//!   sub-range requests a scatter-gather shard router fans out; protocol v5
+//!   adds a per-frame request id so one connection carries many concurrent
+//!   in-flight requests with out-of-order responses;
 //! * [`ModelRegistry`] — the model-name → pipeline map of a multi-model
 //!   server: one `Arc<dyn Defense>` plus one coalescing
 //!   [`ensembler::InferenceEngine`] per registered model, with a default
@@ -65,9 +67,11 @@ pub mod protocol;
 pub mod registry;
 pub mod server;
 
-pub use client::RemoteDefense;
+pub use client::{CompletionSlots, RemoteDefense};
 pub use error::ServeError;
-pub use protocol::{ErrorCode, Hello, HelloAck, Message, MessageType, WireError, WIRE_OVERHEAD};
+pub use protocol::{
+    ErrorCode, Hello, HelloAck, Message, MessageType, TaggedMessage, WireError, WIRE_OVERHEAD,
+};
 pub use registry::{ModelRegistry, ModelSpec, ModelStats};
 pub use server::{AdmissionConfig, DefenseServer, ServerConfig, ServerStats, ShardStats};
 

@@ -11,8 +11,9 @@
 //! 6       1     message type
 //! 7       1     flags (must be zero)
 //! 8       4     payload length in bytes, big-endian
-//! 12      n     payload (layout depends on the message type)
-//! 12+n    4     CRC-32 (IEEE) over header + payload, big-endian
+//! 12      8     request id, big-endian u64 — only in frames stamped ≥ 5
+//! 12|20   n     payload (layout depends on the message type)
+//! ...     4     CRC-32 (IEEE) over everything before it, big-endian
 //! ```
 //!
 //! Every frame is stamped with the **minimum** protocol version able to
@@ -25,6 +26,18 @@
 //! version-4 frames — which is exactly what makes legacy peers reject only
 //! what they genuinely cannot understand, and lets mixed-version
 //! deployments negotiate down to the `f32` single-model exchange.
+//!
+//! Version 5 adds no message types; it adds the **tagged** frame for
+//! pipelined connection multiplexing. A frame stamped at or above
+//! [`TAGGED_WIRE_VERSION`] carries an 8-byte big-endian request id between
+//! the fixed header and the payload ([`encode_tagged`] / [`decode_tagged`]);
+//! the payload-length field still counts only the payload, and the CRC
+//! covers header, request id and payload alike. Tagging lets one connection
+//! hold many concurrent in-flight requests and return the responses out of
+//! order — each response echoes the id of the request it answers. Untagged
+//! messages keep their minimum-version stamp, so every pre-v5 byte stream is
+//! unchanged, and handshake messages are *never* tagged (multiplexing is a
+//! property of the connection, negotiated by the handshake itself).
 //!
 //! Tensors inside payloads reuse the workspace wire formats
 //! ([`ensembler::split::encode_features`] for `f32`,
@@ -63,11 +76,20 @@ pub const FRAME_MAGIC: u32 = 0x454E_5357;
 /// quantized message types [`MessageType::ServerOutputsRequestQ`] and
 /// [`MessageType::ServerOutputsResponseQ`]; version 3 added the optional
 /// model name carried by [`Hello`] and echoed by [`HelloAck`] — the
-/// multi-model handshake; version 4 adds the sub-range request types
+/// multi-model handshake; version 4 added the sub-range request types
 /// [`MessageType::ServerOutputsRequestRange`] and
 /// [`MessageType::ServerOutputsRequestRangeQ`] used by the scatter-gather
-/// shard router. Every pre-existing frame is unchanged.
-pub const PROTOCOL_VERSION: u16 = 4;
+/// shard router; version 5 adds the tagged frame (an 8-byte request id in an
+/// extended header) for pipelined connection multiplexing. Every
+/// pre-existing frame is unchanged.
+pub const PROTOCOL_VERSION: u16 = 5;
+
+/// The first protocol version whose frames carry a request id. A frame
+/// stamped at or above this version has the 8-byte extended header
+/// ([`REQUEST_ID_BYTES`]); a frame stamped below it never does. Tagged
+/// messages are stamped exactly this version — no taggable message type
+/// needs a newer frame.
+pub const TAGGED_WIRE_VERSION: u16 = 5;
 
 /// Returns the **minimum** protocol version that defines `message_type`.
 ///
@@ -80,7 +102,9 @@ pub const PROTOCOL_VERSION: u16 = 4;
 /// this function never returns 3: the stamped version of a handshake frame
 /// additionally depends on its content ([`Message::wire_version`]). A
 /// `Hello`/`HelloAck` without a model name still travels in a version-1
-/// frame.
+/// frame. Version 5 likewise adds no types — it is never returned here
+/// either; a frame is stamped [`TAGGED_WIRE_VERSION`] exactly when
+/// [`encode_tagged`] gives it a request id.
 pub fn frame_version(message_type: MessageType) -> u16 {
     match message_type {
         MessageType::ServerOutputsRequestRange | MessageType::ServerOutputsRequestRangeQ => 4,
@@ -94,6 +118,11 @@ pub const FRAME_HEADER_BYTES: usize = 12;
 
 /// Fixed frame trailer size: the CRC-32 checksum.
 pub const FRAME_TRAILER_BYTES: usize = 4;
+
+/// Size of the request id in the extended header of a tagged
+/// (version ≥ [`TAGGED_WIRE_VERSION`]) frame: one big-endian `u64` between
+/// the fixed header and the payload.
+pub const REQUEST_ID_BYTES: usize = 8;
 
 /// Default cap on the payload length a peer will accept (64 MiB), protecting
 /// the receiver from allocating on behalf of a corrupt or hostile length
@@ -121,6 +150,8 @@ pub const WIRE_OVERHEAD: WireOverhead = WireOverhead {
     per_string_bytes: 4,
     // Sub-range requests (v4) prefix the tensor with `lo` and `hi` u32s.
     range_header_bytes: 8,
+    // Tagged frames (v5) carry a u64 request id between header and payload.
+    request_id_bytes: REQUEST_ID_BYTES as u64,
 };
 
 /// Message type discriminants as they appear in byte 6 of the frame header.
@@ -519,8 +550,47 @@ impl<'a> Cursor<'a> {
     }
 }
 
-/// Encodes one message into a complete frame (header, payload, checksum).
+/// A decoded frame: the message plus the request id its frame carried, if
+/// any.
+///
+/// Produced by [`decode_tagged`] / [`read_tagged`]. The lockstep
+/// [`decode_message`] / [`read_message`] refuse tagged frames with a typed
+/// error instead of silently dropping the id, so a response a multiplexing
+/// peer is waiting on can never be misread as a lockstep answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaggedMessage {
+    /// The protocol message the frame carried.
+    pub message: Message,
+    /// The request id from the frame's extended header — `Some` exactly when
+    /// the frame was stamped version [`TAGGED_WIRE_VERSION`] or newer.
+    pub request_id: Option<u64>,
+}
+
+/// Encodes one message into a complete untagged frame (header, payload,
+/// checksum): [`encode_tagged`] with no request id, byte-identical to what
+/// every pre-v5 build produces.
 pub fn encode_message(message: &Message) -> Vec<u8> {
+    encode_tagged(message, None)
+}
+
+/// Encodes one message into a complete frame, optionally tagged with a
+/// request id.
+///
+/// With `request_id: None` this is the classic minimum-version encoding.
+/// With `Some(id)` the frame is stamped [`TAGGED_WIRE_VERSION`] and carries
+/// `id` as an 8-byte big-endian word between the fixed header and the
+/// payload; the payload-length field still counts only the payload, and the
+/// CRC covers header, id and payload alike.
+///
+/// Handshake messages are never tagged — [`decode_tagged`] rejects such
+/// frames — so tagging a [`Message::Hello`] or [`Message::HelloAck`] here is
+/// a programming error (it panics in debug builds and produces an
+/// undecodable frame in release builds).
+pub fn encode_tagged(message: &Message, request_id: Option<u64>) -> Vec<u8> {
+    debug_assert!(
+        request_id.is_none() || !matches!(message, Message::Hello(_) | Message::HelloAck(_)),
+        "handshake messages are never tagged"
+    );
     let mut payload = Vec::new();
     match message {
         Message::Hello(hello) => {
@@ -574,27 +644,60 @@ pub fn encode_message(message: &Message) -> Vec<u8> {
         }
     }
 
-    let mut frame = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len() + FRAME_TRAILER_BYTES);
+    let version = match request_id {
+        Some(_) => TAGGED_WIRE_VERSION.max(message.wire_version()),
+        None => message.wire_version(),
+    };
+    let id_bytes = if request_id.is_some() {
+        REQUEST_ID_BYTES
+    } else {
+        0
+    };
+    let mut frame =
+        Vec::with_capacity(FRAME_HEADER_BYTES + id_bytes + payload.len() + FRAME_TRAILER_BYTES);
     frame.extend_from_slice(&FRAME_MAGIC.to_be_bytes());
-    frame.extend_from_slice(&message.wire_version().to_be_bytes());
+    frame.extend_from_slice(&version.to_be_bytes());
     frame.push(message.message_type() as u8);
     frame.push(0); // flags
     frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    if let Some(id) = request_id {
+        frame.extend_from_slice(&id.to_be_bytes());
+    }
     frame.extend_from_slice(&payload);
     let checksum = crc32(&frame);
     frame.extend_from_slice(&checksum.to_be_bytes());
     frame
 }
 
-/// Decodes one complete frame produced by [`encode_message`].
+/// Decodes one complete *untagged* frame produced by [`encode_message`].
+///
+/// # Errors
+///
+/// As for [`decode_tagged`], plus [`ServeError::Frame`] for a tagged
+/// (version ≥ 5) frame — a lockstep code path must never silently discard a
+/// request id a multiplexing peer is waiting on.
+pub fn decode_message(frame: &[u8]) -> Result<Message, ServeError> {
+    let tagged = decode_tagged(frame)?;
+    if tagged.request_id.is_some() {
+        return Err(ServeError::Frame(
+            "unexpected tagged (version-5) frame on a lockstep connection".to_string(),
+        ));
+    }
+    Ok(tagged.message)
+}
+
+/// Decodes one complete frame produced by [`encode_tagged`] (or, for
+/// untagged frames, [`encode_message`]), returning the message together with
+/// the request id of a version-5 extended header when the frame carries one.
 ///
 /// # Errors
 ///
 /// Returns [`ServeError::Frame`] for any structural problem (bad magic,
 /// unknown type, non-zero flags, truncation, trailing bytes, malformed
-/// tensors), [`ServeError::UnsupportedVersion`] for a version this build
-/// cannot parse, and [`ServeError::Checksum`] when the CRC-32 disagrees.
-pub fn decode_message(frame: &[u8]) -> Result<Message, ServeError> {
+/// tensors, a tagged handshake), [`ServeError::UnsupportedVersion`] for a
+/// version this build cannot parse, and [`ServeError::Checksum`] when the
+/// CRC-32 disagrees.
+pub fn decode_tagged(frame: &[u8]) -> Result<TaggedMessage, ServeError> {
     if frame.len() < FRAME_HEADER_BYTES + FRAME_TRAILER_BYTES {
         return Err(ServeError::Frame(format!(
             "frame of {} bytes is shorter than header + checksum",
@@ -628,14 +731,24 @@ pub fn decode_message(frame: &[u8]) -> Result<Message, ServeError> {
             frame[7]
         )));
     }
+    let tagged = version >= TAGGED_WIRE_VERSION;
+    if tagged && matches!(message_type, MessageType::Hello | MessageType::HelloAck) {
+        return Err(ServeError::Frame(format!(
+            "handshake message type {:#04x} is never tagged, but the frame is stamped \
+             version {version}",
+            frame[6]
+        )));
+    }
+    let id_bytes = if tagged { REQUEST_ID_BYTES } else { 0 };
     let payload_len = u32::from_be_bytes(frame[8..12].try_into().expect("4 bytes")) as usize;
-    if frame.len() != FRAME_HEADER_BYTES + payload_len + FRAME_TRAILER_BYTES {
+    if frame.len() != FRAME_HEADER_BYTES + id_bytes + payload_len + FRAME_TRAILER_BYTES {
         return Err(ServeError::Frame(format!(
             "frame of {} bytes disagrees with declared payload length {payload_len}",
             frame.len()
         )));
     }
-    let checksum_offset = FRAME_HEADER_BYTES + payload_len;
+    let payload_offset = FRAME_HEADER_BYTES + id_bytes;
+    let checksum_offset = payload_offset + payload_len;
     let expected = crc32(&frame[..checksum_offset]);
     let found = u32::from_be_bytes(
         frame[checksum_offset..checksum_offset + 4]
@@ -645,8 +758,17 @@ pub fn decode_message(frame: &[u8]) -> Result<Message, ServeError> {
     if expected != found {
         return Err(ServeError::Checksum { expected, found });
     }
+    let request_id = if tagged {
+        Some(u64::from_be_bytes(
+            frame[FRAME_HEADER_BYTES..payload_offset]
+                .try_into()
+                .expect("8 bytes"),
+        ))
+    } else {
+        None
+    };
 
-    let mut cursor = Cursor::new(&frame[FRAME_HEADER_BYTES..checksum_offset]);
+    let mut cursor = Cursor::new(&frame[payload_offset..checksum_offset]);
     let message = match message_type {
         MessageType::Hello => {
             let max_version = cursor.take_u16("Hello payload")?;
@@ -735,7 +857,10 @@ pub fn decode_message(frame: &[u8]) -> Result<Message, ServeError> {
             Message::Error(WireError { code, message })
         }
     };
-    Ok(message)
+    Ok(TaggedMessage {
+        message,
+        request_id,
+    })
 }
 
 /// Writes one framed message to `writer` and flushes it.
@@ -747,35 +872,83 @@ pub fn write_message(
     writer: &mut impl std::io::Write,
     message: &Message,
 ) -> Result<(), ServeError> {
-    writer.write_all(&encode_message(message))?;
+    write_tagged(writer, message, None)
+}
+
+/// Writes one framed message — tagged with `request_id` when given — to
+/// `writer` and flushes it.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_tagged(
+    writer: &mut impl std::io::Write,
+    message: &Message,
+    request_id: Option<u64>,
+) -> Result<(), ServeError> {
+    writer.write_all(&encode_tagged(message, request_id))?;
     writer.flush()?;
     Ok(())
 }
 
-/// Reads exactly one framed message from `reader`, refusing payloads longer
-/// than `max_payload_bytes` before allocating for them.
+/// Reads exactly one framed *untagged* message from `reader`, refusing
+/// payloads longer than `max_payload_bytes` before allocating for them.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors (including clean EOF as
 /// [`std::io::ErrorKind::UnexpectedEof`]) and every [`decode_message`]
-/// error.
+/// error — in particular a typed [`ServeError::Frame`] for a tagged frame,
+/// which only [`read_tagged`] accepts.
 pub fn read_message(
     reader: &mut impl std::io::Read,
     max_payload_bytes: u32,
 ) -> Result<Message, ServeError> {
+    let tagged = read_tagged(reader, max_payload_bytes)?;
+    if tagged.request_id.is_some() {
+        return Err(ServeError::Frame(
+            "unexpected tagged (version-5) frame on a lockstep connection".to_string(),
+        ));
+    }
+    Ok(tagged.message)
+}
+
+/// Reads exactly one framed message — tagged or untagged — from `reader`,
+/// refusing payloads longer than `max_payload_bytes` before allocating for
+/// them.
+///
+/// The version stamp in the fixed header decides whether an 8-byte request
+/// id follows it: only versions this build understands are given the
+/// extended header, so an unknown future version is rejected by
+/// [`decode_tagged`] without guessing at its header shape.
+///
+/// # Errors
+///
+/// Propagates I/O errors (including clean EOF as
+/// [`std::io::ErrorKind::UnexpectedEof`]) and every [`decode_tagged`] error.
+pub fn read_tagged(
+    reader: &mut impl std::io::Read,
+    max_payload_bytes: u32,
+) -> Result<TaggedMessage, ServeError> {
     let mut header = [0u8; FRAME_HEADER_BYTES];
     reader.read_exact(&mut header)?;
+    let version = u16::from_be_bytes(header[4..6].try_into().expect("2 bytes"));
     let payload_len = u32::from_be_bytes(header[8..12].try_into().expect("4 bytes"));
     if payload_len > max_payload_bytes {
         return Err(ServeError::Frame(format!(
             "declared payload of {payload_len} bytes exceeds the {max_payload_bytes}-byte limit"
         )));
     }
-    let mut frame = vec![0u8; FRAME_HEADER_BYTES + payload_len as usize + FRAME_TRAILER_BYTES];
+    let id_bytes = if (TAGGED_WIRE_VERSION..=PROTOCOL_VERSION).contains(&version) {
+        REQUEST_ID_BYTES
+    } else {
+        0
+    };
+    let mut frame =
+        vec![0u8; FRAME_HEADER_BYTES + id_bytes + payload_len as usize + FRAME_TRAILER_BYTES];
     frame[..FRAME_HEADER_BYTES].copy_from_slice(&header);
     reader.read_exact(&mut frame[FRAME_HEADER_BYTES..])?;
-    decode_message(&frame)
+    decode_tagged(&frame)
 }
 
 #[cfg(test)]
@@ -1137,9 +1310,11 @@ mod tests {
 
     #[test]
     fn absurd_tensor_count_is_rejected_before_allocating() {
+        // Untagged frame (stamped with the newest version that carries no
+        // request id) …
         let mut frame = Vec::new();
         frame.extend_from_slice(&FRAME_MAGIC.to_be_bytes());
-        frame.extend_from_slice(&PROTOCOL_VERSION.to_be_bytes());
+        frame.extend_from_slice(&(TAGGED_WIRE_VERSION - 1).to_be_bytes());
         frame.push(MessageType::ServerOutputsResponse as u8);
         frame.push(0);
         frame.extend_from_slice(&4u32.to_be_bytes());
@@ -1147,6 +1322,20 @@ mod tests {
         let crc = crc32(&frame);
         frame.extend_from_slice(&crc.to_be_bytes());
         let err = decode_message(&frame).unwrap_err();
+        assert!(err.to_string().contains("tensors"), "{err}");
+
+        // … and its tagged twin hit the same allocation guard.
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&FRAME_MAGIC.to_be_bytes());
+        frame.extend_from_slice(&TAGGED_WIRE_VERSION.to_be_bytes());
+        frame.push(MessageType::ServerOutputsResponse as u8);
+        frame.push(0);
+        frame.extend_from_slice(&4u32.to_be_bytes());
+        frame.extend_from_slice(&77u64.to_be_bytes()); // request id
+        frame.extend_from_slice(&u32::MAX.to_be_bytes()); // tensor count
+        let crc = crc32(&frame);
+        frame.extend_from_slice(&crc.to_be_bytes());
+        let err = decode_tagged(&frame).unwrap_err();
         assert!(err.to_string().contains("tensors"), "{err}");
     }
 
@@ -1166,6 +1355,137 @@ mod tests {
     fn unknown_error_codes_degrade_to_internal() {
         assert_eq!(ErrorCode::from_u16(999), ErrorCode::Internal);
         assert_eq!(ErrorCode::from_u16(5), ErrorCode::Inference);
+    }
+
+    #[test]
+    fn tagged_frames_round_trip_with_their_request_id() {
+        let q = QTensorBatch::quantize_batch(&Tensor::ones(&[1, 1, 2, 2]));
+        let messages = vec![
+            Message::ServerOutputsRequest {
+                transmitted: Tensor::ones(&[1, 1, 2, 2]),
+            },
+            Message::ServerOutputsResponse {
+                maps: vec![Tensor::ones(&[1, 4])],
+            },
+            Message::ServerOutputsRequestQ {
+                transmitted: q.clone(),
+            },
+            Message::ServerOutputsResponseQ {
+                maps: vec![QTensorBatch::quantize_batch(&Tensor::ones(&[1, 4]))],
+            },
+            Message::ServerOutputsRequestRange {
+                lo: 0,
+                hi: 1,
+                transmitted: Tensor::ones(&[1, 1, 2, 2]),
+            },
+            Message::ServerOutputsRequestRangeQ {
+                lo: 0,
+                hi: 1,
+                transmitted: q,
+            },
+            Message::Error(WireError {
+                code: ErrorCode::Overloaded,
+                message: "busy".to_string(),
+            }),
+        ];
+        for (k, message) in messages.into_iter().enumerate() {
+            let id = u64::MAX - k as u64;
+            let frame = encode_tagged(&message, Some(id));
+            assert_eq!(
+                &frame[4..6],
+                &TAGGED_WIRE_VERSION.to_be_bytes(),
+                "{message:?}"
+            );
+            let tagged = decode_tagged(&frame).expect("tagged round trip");
+            assert_eq!(tagged.request_id, Some(id));
+            assert_eq!(tagged.message, message);
+        }
+    }
+
+    #[test]
+    fn tagging_costs_exactly_the_request_id_bytes() {
+        let message = Message::ServerOutputsRequest {
+            transmitted: Tensor::ones(&[2, 3, 4, 4]),
+        };
+        let untagged = encode_message(&message);
+        let tagged = encode_tagged(&message, Some(7));
+        assert_eq!(tagged.len(), untagged.len() + REQUEST_ID_BYTES);
+        assert_eq!(
+            tagged.len() as u64,
+            untagged.len() as u64 + WIRE_OVERHEAD.request_id_bytes
+        );
+        // The payload bytes are identical: only the version stamp, the id
+        // word and the checksum differ between the twins.
+        assert_eq!(
+            &tagged[FRAME_HEADER_BYTES + REQUEST_ID_BYTES..tagged.len() - FRAME_TRAILER_BYTES],
+            &untagged[FRAME_HEADER_BYTES..untagged.len() - FRAME_TRAILER_BYTES]
+        );
+    }
+
+    #[test]
+    fn untagged_frames_are_unchanged_through_the_tagged_api() {
+        let message = Message::Hello(Hello::legacy(5));
+        assert_eq!(encode_tagged(&message, None), encode_message(&message));
+        let tagged = decode_tagged(&encode_message(&message)).expect("untagged decode");
+        assert_eq!(tagged.request_id, None);
+        assert_eq!(tagged.message, message);
+    }
+
+    #[test]
+    fn lockstep_decoders_reject_tagged_frames() {
+        let frame = encode_tagged(&Message::ServerOutputsResponse { maps: vec![] }, Some(3));
+        let err = decode_message(&frame).unwrap_err();
+        assert!(err.to_string().contains("tagged"), "{err}");
+        let mut reader = frame.as_slice();
+        let err = read_message(&mut reader, DEFAULT_MAX_PAYLOAD_BYTES).unwrap_err();
+        assert!(err.to_string().contains("tagged"), "{err}");
+    }
+
+    #[test]
+    fn handshake_frames_are_never_tagged() {
+        // Hand-build a v5-stamped Hello frame carrying an id: the decoder
+        // rejects it before touching the payload.
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&FRAME_MAGIC.to_be_bytes());
+        frame.extend_from_slice(&TAGGED_WIRE_VERSION.to_be_bytes());
+        frame.push(MessageType::Hello as u8);
+        frame.push(0);
+        frame.extend_from_slice(&2u32.to_be_bytes());
+        frame.extend_from_slice(&9u64.to_be_bytes()); // request id
+        frame.extend_from_slice(&5u16.to_be_bytes()); // payload: max_version
+        let crc = crc32(&frame);
+        frame.extend_from_slice(&crc.to_be_bytes());
+        let err = decode_tagged(&frame).unwrap_err();
+        assert!(err.to_string().contains("never tagged"), "{err}");
+    }
+
+    #[test]
+    fn read_tagged_reads_the_extended_header() {
+        let message = Message::ServerOutputsRequest {
+            transmitted: Tensor::ones(&[1, 1, 2, 2]),
+        };
+        let frame = encode_tagged(&message, Some(42));
+        let mut reader = frame.as_slice();
+        let tagged = read_tagged(&mut reader, DEFAULT_MAX_PAYLOAD_BYTES).expect("read tagged");
+        assert_eq!(tagged.request_id, Some(42));
+        assert_eq!(tagged.message, message);
+        assert!(reader.is_empty(), "the whole frame is consumed");
+        // An untagged frame travels through the same reader unchanged.
+        let frame = encode_message(&message);
+        let mut reader = frame.as_slice();
+        let tagged = read_tagged(&mut reader, DEFAULT_MAX_PAYLOAD_BYTES).expect("read untagged");
+        assert_eq!(tagged.request_id, None);
+    }
+
+    #[test]
+    fn truncated_tagged_frames_are_rejected() {
+        let frame = encode_tagged(&Message::ServerOutputsResponse { maps: vec![] }, Some(1));
+        for cut in 1..frame.len() {
+            assert!(
+                decode_tagged(&frame[..frame.len() - cut]).is_err(),
+                "a frame cut {cut} bytes short must not decode"
+            );
+        }
     }
 
     #[test]

@@ -9,8 +9,15 @@
 //! default model); single-image requests are fed through that model's shared
 //! [`ensembler::InferenceEngine`] queue, so feature maps arriving on
 //! *different* connections coalesce into joint mini-batches exactly like
-//! local callers do, while pre-batched requests run directly on the reader
-//! thread.
+//! local callers do, while pre-batched requests run directly.
+//!
+//! A connection that negotiates protocol v5 is **multiplexed**: its requests
+//! arrive tagged with request ids, the reader submits them to the engine in
+//! arrival order (so coalescing keeps batching across the pipeline) and each
+//! one is answered by its own completion thread through a shared write half —
+//! out of order whenever the work finishes out of order. Connections at v4
+//! and below keep the original lockstep one-request-then-its-response loop,
+//! byte for byte.
 //!
 //! Before any request reaches an engine it must pass **admission control**
 //! ([`AdmissionConfig`]): a budget on in-flight requests and bytes, per
@@ -21,13 +28,12 @@
 
 use crate::error::ServeError;
 use crate::protocol::{
-    read_message, write_message, ErrorCode, HelloAck, Message, WireError,
-    DEFAULT_MAX_PAYLOAD_BYTES, PROTOCOL_VERSION,
+    read_message, read_tagged, write_message, write_tagged, ErrorCode, HelloAck, Message,
+    TaggedMessage, WireError, DEFAULT_MAX_PAYLOAD_BYTES, PROTOCOL_VERSION, TAGGED_WIRE_VERSION,
 };
 use crate::registry::{ModelRegistry, ModelStats};
 use ensembler::{Defense, EngineConfig, InferenceEngine};
 use ensembler_tensor::{QTensorBatch, Tensor};
-use std::cell::Cell;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -43,12 +49,16 @@ use std::thread::JoinHandle;
 /// admitted request (`f32` elements at 4 bytes, quantized elements at
 /// 1 byte plus one 4-byte scale per sample).
 ///
-/// Because a connection's reader thread processes requests strictly one at a
-/// time, the per-connection *request* budget only fires for values below 1
-/// (which the server rejects at bind time); the per-connection *byte* budget
-/// is the binding one today — it caps the largest single request a
-/// connection may submit, independent of the parse-level
-/// [`ServerConfig::max_payload_bytes`] cap.
+/// On a multiplexed (protocol-v5) connection many requests are in flight at
+/// once, so the per-connection *request* budget is what bounds how deep one
+/// client may pipeline — and, since each admitted tagged request occupies a
+/// completion thread until answered, how many threads one connection can
+/// cost the server. The per-connection *byte* budget caps the payload those
+/// in-flight requests may hold between them (and therefore the largest
+/// single request), independent of the parse-level
+/// [`ServerConfig::max_payload_bytes`] cap. On a lockstep (v1–v4)
+/// connection the reader still processes requests strictly one at a time,
+/// so only the byte budget ever fires there.
 ///
 /// # Examples
 ///
@@ -257,18 +267,21 @@ struct Admission {
     inflight: Mutex<InflightCounters>,
 }
 
-/// Per-connection in-flight counters. The reader thread is the only writer,
-/// so plain `Cell`s suffice.
+/// Per-connection in-flight counters. The reader thread is the only
+/// admitter, but on a multiplexed connection the *releases* come from
+/// per-request completion threads, so the counters are atomics.
 #[derive(Debug, Default)]
 struct ConnectionBudget {
-    requests: Cell<u64>,
-    bytes: Cell<u64>,
+    requests: AtomicU64,
+    bytes: AtomicU64,
 }
 
 /// An admitted request's hold on the budgets; dropping it releases them.
-struct AdmissionPermit<'a> {
-    admission: &'a Admission,
-    connection: &'a ConnectionBudget,
+/// The permit owns its books (`Arc`s, not borrows) so it can ride into the
+/// completion thread of a multiplexed request and release from there.
+struct AdmissionPermit {
+    admission: Arc<Admission>,
+    connection: Arc<ConnectionBudget>,
     bytes: u64,
 }
 
@@ -281,11 +294,11 @@ impl Admission {
     }
 
     /// Admits a request of `bytes` payload bytes or explains the refusal.
-    fn try_admit<'a>(
-        &'a self,
-        connection: &'a ConnectionBudget,
+    fn try_admit(
+        self: &Arc<Self>,
+        connection: &Arc<ConnectionBudget>,
         bytes: u64,
-    ) -> Result<AdmissionPermit<'a>, String> {
+    ) -> Result<AdmissionPermit, String> {
         let cfg = &self.config;
         // Permanently inadmissible requests are told so first, whatever the
         // transient state: the "outright" wording is the client's signal to
@@ -304,14 +317,14 @@ impl Admission {
                 cfg.max_inflight_bytes
             ));
         }
-        if connection.requests.get() >= cfg.max_connection_inflight_requests {
+        if connection.requests.load(Ordering::Relaxed) >= cfg.max_connection_inflight_requests {
             return Err(format!(
                 "connection already has {} requests in flight (per-connection budget {})",
-                connection.requests.get(),
+                connection.requests.load(Ordering::Relaxed),
                 cfg.max_connection_inflight_requests
             ));
         }
-        if connection.bytes.get() + bytes > cfg.max_connection_inflight_bytes {
+        if connection.bytes.load(Ordering::Relaxed) + bytes > cfg.max_connection_inflight_bytes {
             return Err(format!(
                 "request of {bytes} B would exceed the per-connection in-flight byte \
                  budget ({} B); retry after earlier requests drain",
@@ -337,11 +350,11 @@ impl Admission {
         }
         inflight.requests += 1;
         inflight.bytes += bytes;
-        connection.requests.set(connection.requests.get() + 1);
-        connection.bytes.set(connection.bytes.get() + bytes);
+        connection.requests.fetch_add(1, Ordering::Relaxed);
+        connection.bytes.fetch_add(bytes, Ordering::Relaxed);
         Ok(AdmissionPermit {
-            admission: self,
-            connection,
+            admission: Arc::clone(self),
+            connection: Arc::clone(connection),
             bytes,
         })
     }
@@ -354,7 +367,7 @@ impl Admission {
     }
 }
 
-impl Drop for AdmissionPermit<'_> {
+impl Drop for AdmissionPermit {
     fn drop(&mut self) {
         let mut inflight = self
             .admission
@@ -363,12 +376,10 @@ impl Drop for AdmissionPermit<'_> {
             .expect("admission mutex is never poisoned");
         inflight.requests -= 1;
         inflight.bytes -= self.bytes;
-        self.connection
-            .requests
-            .set(self.connection.requests.get() - 1);
+        self.connection.requests.fetch_sub(1, Ordering::Relaxed);
         self.connection
             .bytes
-            .set(self.connection.bytes.get() - self.bytes);
+            .fetch_sub(self.bytes, Ordering::Relaxed);
     }
 }
 
@@ -715,16 +726,20 @@ fn receive_failure_report(error: &ServeError) -> Option<(ErrorCode, String)> {
     }
 }
 
-/// Performs the handshake and resolves the model this connection serves.
-/// Returns `None` when the connection should end (the error, if any, has
-/// been reported over the wire).
+/// What a successful handshake pins the connection to: the resolved model's
+/// engine and the negotiated protocol version. `None` means the connection
+/// should end (the error, if any, has been reported over the wire).
+type NegotiatedEngine<'a> = Option<(&'a Arc<InferenceEngine<dyn Defense>>, u16)>;
+
+/// Performs the handshake and resolves the model this connection serves,
+/// along with the protocol version the ack committed to.
 fn handshake<'a>(
     stream: &mut TcpStream,
     registry: &'a ModelRegistry,
     stats: &ServerStatsCells,
     draining: &AtomicBool,
     config: &ServerConfig,
-) -> Result<Option<&'a Arc<InferenceEngine<dyn Defense>>>, ServeError> {
+) -> Result<NegotiatedEngine<'a>, ServeError> {
     let hello = match read_message(stream, config.max_payload_bytes) {
         Ok(Message::Hello(hello)) => hello,
         Ok(other) => {
@@ -792,8 +807,9 @@ fn handshake<'a>(
         return Ok(None);
     };
     let defense = engine.defense();
+    let version = PROTOCOL_VERSION.min(hello.max_version);
     let ack = HelloAck {
-        version: PROTOCOL_VERSION.min(hello.max_version),
+        version,
         label: defense.label().to_string(),
         ensemble_size: defense.ensemble_size() as u32,
         selected_count: defense.selected_count() as u32,
@@ -802,7 +818,7 @@ fn handshake<'a>(
         model: hello.model.as_ref().map(|_| name.to_string()),
     };
     write_message(stream, &Message::HelloAck(ack))?;
-    Ok(Some(engine))
+    Ok(Some((engine, version)))
 }
 
 /// Payload bytes a request holds against the admission budgets: raw element
@@ -819,12 +835,14 @@ fn q_request_bytes(transmitted: &QTensorBatch) -> u64 {
 }
 
 /// Drives one connection: handshake, then a request/response loop against
-/// the model the handshake pinned.
+/// the model the handshake pinned. A connection that negotiated protocol v5
+/// runs the multiplexed loop (tagged frames, out-of-order completion); older
+/// connections keep the original lockstep loop, byte for byte.
 fn serve_connection(
     mut stream: TcpStream,
     registry: &ModelRegistry,
-    stats: &ServerStatsCells,
-    admission: &Admission,
+    stats: &Arc<ServerStatsCells>,
+    admission: &Arc<Admission>,
     draining: &AtomicBool,
     config: ServerConfig,
 ) -> Result<(), ServeError> {
@@ -832,10 +850,28 @@ fn serve_connection(
     stream.set_read_timeout(config.read_timeout).ok();
     stream.set_write_timeout(config.write_timeout).ok();
 
-    let Some(engine) = handshake(&mut stream, registry, stats, draining, &config)? else {
+    let Some((engine, version)) = handshake(&mut stream, registry, stats, draining, &config)?
+    else {
         return Ok(());
     };
-    let budget = ConnectionBudget::default();
+    if version >= TAGGED_WIRE_VERSION {
+        serve_multiplexed(stream, engine, stats, admission, draining, &config)
+    } else {
+        serve_lockstep(stream, engine, stats, admission, draining, &config)
+    }
+}
+
+/// The pre-v5 request/response loop: one request at a time, answered in
+/// place on the reader thread.
+fn serve_lockstep(
+    mut stream: TcpStream,
+    engine: &Arc<InferenceEngine<dyn Defense>>,
+    stats: &ServerStatsCells,
+    admission: &Arc<Admission>,
+    draining: &AtomicBool,
+    config: &ServerConfig,
+) -> Result<(), ServeError> {
+    let budget = Arc::new(ConnectionBudget::default());
 
     loop {
         if draining.load(Ordering::SeqCst) {
@@ -963,6 +999,358 @@ fn serve_connection(
                 };
             }
         }
+    }
+}
+
+/// A request's evaluation, packaged to run on whichever thread answers it.
+type Compute<T> = Box<dyn FnOnce() -> Result<Vec<T>, ensembler::EnsemblerError> + Send>;
+
+/// The protocol-v5 request loop: requests arrive tagged, are admitted and
+/// submitted to the engine *in arrival order* on the reader thread (so
+/// coalescing still sees them in sequence), and each one is answered by its
+/// own completion thread through a shared write half — so responses complete
+/// strictly out of order whenever the work does.
+///
+/// Every exit path joins the outstanding completion threads first, which is
+/// what keeps the draining-shutdown guarantee: an admitted request always
+/// delivers its response before the connection ends.
+fn serve_multiplexed(
+    mut stream: TcpStream,
+    engine: &Arc<InferenceEngine<dyn Defense>>,
+    stats: &Arc<ServerStatsCells>,
+    admission: &Arc<Admission>,
+    draining: &AtomicBool,
+    config: &ServerConfig,
+) -> Result<(), ServeError> {
+    let writer = Arc::new(Mutex::new(stream.try_clone()?));
+    let budget = Arc::new(ConnectionBudget::default());
+    let mut handles: Vec<JoinHandle<()>> = Vec::new();
+    let result = multiplexed_loop(
+        &mut stream,
+        &writer,
+        engine,
+        stats,
+        admission,
+        draining,
+        config,
+        &budget,
+        &mut handles,
+    );
+    for handle in handles {
+        let _ = handle.join();
+    }
+    result
+}
+
+#[allow(clippy::too_many_arguments)]
+fn multiplexed_loop(
+    stream: &mut TcpStream,
+    writer: &Arc<Mutex<TcpStream>>,
+    engine: &Arc<InferenceEngine<dyn Defense>>,
+    stats: &Arc<ServerStatsCells>,
+    admission: &Arc<Admission>,
+    draining: &AtomicBool,
+    config: &ServerConfig,
+    budget: &Arc<ConnectionBudget>,
+    handles: &mut Vec<JoinHandle<()>>,
+) -> Result<(), ServeError> {
+    loop {
+        if draining.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        handles.retain(|handle| !handle.is_finished());
+        let TaggedMessage {
+            message,
+            request_id,
+        } = match read_tagged(stream, config.max_payload_bytes) {
+            Ok(tagged) => tagged,
+            Err(error) => {
+                return match receive_failure_report(&error) {
+                    // Framing errors are connection-level: the report goes
+                    // out untagged, which a multiplexed client reads as
+                    // "this connection is dead" and fails its in-flight
+                    // requests with a typed error.
+                    Some((code, message)) => {
+                        send_mux_error(writer, stats, None, code, message);
+                        Err(error)
+                    }
+                    None => Ok(()), // client disconnected (or shutdown drain)
+                };
+            }
+        };
+        match message {
+            Message::ServerOutputsRequest { transmitted } => {
+                let bytes = f32_request_bytes(&transmitted);
+                let Some(permit) = admit(writer, stats, admission, budget, request_id, bytes)
+                else {
+                    continue;
+                };
+                let compute = begin_f32(engine, transmitted);
+                finish_request(
+                    writer,
+                    stats,
+                    permit,
+                    request_id,
+                    compute,
+                    handles,
+                    |maps| Message::ServerOutputsResponse { maps },
+                );
+            }
+            Message::ServerOutputsRequestQ { transmitted } => {
+                let bytes = q_request_bytes(&transmitted);
+                let Some(permit) = admit(writer, stats, admission, budget, request_id, bytes)
+                else {
+                    continue;
+                };
+                let compute = begin_quantized(engine, transmitted);
+                finish_request(
+                    writer,
+                    stats,
+                    permit,
+                    request_id,
+                    compute,
+                    handles,
+                    |maps| Message::ServerOutputsResponseQ { maps },
+                );
+            }
+            Message::ServerOutputsRequestRange {
+                lo,
+                hi,
+                transmitted,
+            } => {
+                let bytes = f32_request_bytes(&transmitted);
+                let Some(permit) = admit(writer, stats, admission, budget, request_id, bytes)
+                else {
+                    continue;
+                };
+                let compute = begin_f32_range(engine, transmitted, lo as usize, hi as usize);
+                finish_request(
+                    writer,
+                    stats,
+                    permit,
+                    request_id,
+                    compute,
+                    handles,
+                    |maps| Message::ServerOutputsResponse { maps },
+                );
+            }
+            Message::ServerOutputsRequestRangeQ {
+                lo,
+                hi,
+                transmitted,
+            } => {
+                let bytes = q_request_bytes(&transmitted);
+                let Some(permit) = admit(writer, stats, admission, budget, request_id, bytes)
+                else {
+                    continue;
+                };
+                let compute = begin_quantized_range(engine, transmitted, lo as usize, hi as usize);
+                finish_request(
+                    writer,
+                    stats,
+                    permit,
+                    request_id,
+                    compute,
+                    handles,
+                    |maps| Message::ServerOutputsResponseQ { maps },
+                );
+            }
+            Message::Error(_) => return Ok(()), // client gave up; hang up
+            other => {
+                // Connection-level breach: reported untagged, then hang up
+                // (in-flight requests still get their answers — the caller
+                // joins the completion threads).
+                send_mux_error(
+                    writer,
+                    stats,
+                    None,
+                    ErrorCode::UnexpectedMessage,
+                    format!(
+                        "expected ServerOutputsRequest, got {:?}",
+                        other.message_type()
+                    ),
+                );
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// Admission check for one multiplexed request; a refusal is answered with a
+/// typed `Overloaded` frame tagged with the request's own id, so it fails
+/// only that request while the connection and its other in-flight requests
+/// carry on.
+fn admit(
+    writer: &Arc<Mutex<TcpStream>>,
+    stats: &ServerStatsCells,
+    admission: &Arc<Admission>,
+    budget: &Arc<ConnectionBudget>,
+    request_id: Option<u64>,
+    bytes: u64,
+) -> Option<AdmissionPermit> {
+    match admission.try_admit(budget, bytes) {
+        Ok(permit) => Some(permit),
+        Err(reason) => {
+            stats.rejected.fetch_add(1, Ordering::Relaxed);
+            send_mux_error(writer, stats, request_id, ErrorCode::Overloaded, reason);
+            None
+        }
+    }
+}
+
+/// Answers one request: releases its admission permit, then writes the
+/// response (or a typed per-request error) through the shared write half,
+/// tagged with the request's id when it has one.
+fn complete_request<T>(
+    writer: &Arc<Mutex<TcpStream>>,
+    stats: &ServerStatsCells,
+    permit: AdmissionPermit,
+    request_id: Option<u64>,
+    result: Result<Vec<T>, ensembler::EnsemblerError>,
+    respond: fn(Vec<T>) -> Message,
+) {
+    // Release before writing: a client that has its answer must already see
+    // the budget freed (and itself in the stats).
+    drop(permit);
+    match result {
+        Ok(maps) => {
+            stats.requests.fetch_add(1, Ordering::Relaxed);
+            if let Ok(mut writer) = writer.lock() {
+                let _ = write_tagged(&mut *writer, &respond(maps), request_id);
+            }
+        }
+        Err(error) => send_mux_error(
+            writer,
+            stats,
+            request_id,
+            ErrorCode::Inference,
+            error.to_string(),
+        ),
+    }
+}
+
+/// Completes one admitted request: a tagged request gets its own completion
+/// thread (so the reader can pipeline straight into the next frame), while
+/// an untagged request on a v5 connection is answered in place, lockstep
+/// style.
+fn finish_request<T: Send + 'static>(
+    writer: &Arc<Mutex<TcpStream>>,
+    stats: &Arc<ServerStatsCells>,
+    permit: AdmissionPermit,
+    request_id: Option<u64>,
+    compute: Compute<T>,
+    handles: &mut Vec<JoinHandle<()>>,
+    respond: fn(Vec<T>) -> Message,
+) {
+    match request_id {
+        Some(id) => {
+            let writer = Arc::clone(writer);
+            let stats = Arc::clone(stats);
+            handles.push(std::thread::spawn(move || {
+                complete_request(&writer, &stats, permit, Some(id), compute(), respond);
+            }));
+        }
+        None => complete_request(writer, stats, permit, None, compute(), respond),
+    }
+}
+
+/// Packages one `f32` request: single images are submitted to the coalescing
+/// queue *now* (on the reader thread, preserving arrival order) and merely
+/// awaited by the completion thread; pre-batched requests carry the direct
+/// evaluation into the completion thread instead.
+fn begin_f32(engine: &Arc<InferenceEngine<dyn Defense>>, transmitted: Tensor) -> Compute<Tensor> {
+    if let Err(error) = check_request_shape(engine, transmitted.shape()) {
+        return Box::new(move || Err(error));
+    }
+    if transmitted.shape()[0] == 1 {
+        match engine.server_outputs_begin(transmitted) {
+            Ok(pending) => Box::new(move || pending.wait()),
+            Err(error) => Box::new(move || Err(error)),
+        }
+    } else {
+        let engine = Arc::clone(engine);
+        Box::new(move || run_request(&engine, transmitted))
+    }
+}
+
+/// The quantized sibling of [`begin_f32`].
+fn begin_quantized(
+    engine: &Arc<InferenceEngine<dyn Defense>>,
+    transmitted: QTensorBatch,
+) -> Compute<QTensorBatch> {
+    if let Err(error) = check_request_shape(engine, transmitted.shape()) {
+        return Box::new(move || Err(error));
+    }
+    if transmitted.batch() == 1 {
+        match engine.server_outputs_quantized_begin(transmitted) {
+            Ok(pending) => Box::new(move || pending.wait()),
+            Err(error) => Box::new(move || Err(error)),
+        }
+    } else {
+        let engine = Arc::clone(engine);
+        Box::new(move || run_request_quantized(&engine, transmitted))
+    }
+}
+
+/// The sub-range sibling of [`begin_f32`].
+fn begin_f32_range(
+    engine: &Arc<InferenceEngine<dyn Defense>>,
+    transmitted: Tensor,
+    lo: usize,
+    hi: usize,
+) -> Compute<Tensor> {
+    if let Err(error) = check_request_shape(engine, transmitted.shape()) {
+        return Box::new(move || Err(error));
+    }
+    if transmitted.shape()[0] == 1 {
+        match engine.server_outputs_range_begin(transmitted, lo, hi) {
+            Ok(pending) => Box::new(move || pending.wait()),
+            Err(error) => Box::new(move || Err(error)),
+        }
+    } else {
+        let engine = Arc::clone(engine);
+        Box::new(move || run_request_range(&engine, transmitted, lo, hi))
+    }
+}
+
+/// The quantized sub-range sibling of [`begin_f32`].
+fn begin_quantized_range(
+    engine: &Arc<InferenceEngine<dyn Defense>>,
+    transmitted: QTensorBatch,
+    lo: usize,
+    hi: usize,
+) -> Compute<QTensorBatch> {
+    if let Err(error) = check_request_shape(engine, transmitted.shape()) {
+        return Box::new(move || Err(error));
+    }
+    if transmitted.batch() == 1 {
+        match engine.server_outputs_quantized_range_begin(transmitted, lo, hi) {
+            Ok(pending) => Box::new(move || pending.wait()),
+            Err(error) => Box::new(move || Err(error)),
+        }
+    } else {
+        let engine = Arc::clone(engine);
+        Box::new(move || run_request_range_quantized(&engine, transmitted, lo, hi))
+    }
+}
+
+/// The multiplexed sibling of [`send_error`]: writes a typed error frame
+/// through the shared write half, tagged with `request_id` when the failure
+/// is scoped to one request and untagged when it concerns the connection.
+fn send_mux_error(
+    writer: &Arc<Mutex<TcpStream>>,
+    stats: &ServerStatsCells,
+    request_id: Option<u64>,
+    code: ErrorCode,
+    message: String,
+) {
+    stats.errors.fetch_add(1, Ordering::Relaxed);
+    if let Ok(mut writer) = writer.lock() {
+        let _ = write_tagged(
+            &mut *writer,
+            &Message::Error(WireError { code, message }),
+            request_id,
+        );
     }
 }
 

@@ -480,11 +480,15 @@ fn dropping_the_server_stops_new_connections() {
 
 /// A test-only defense whose `server_outputs` blocks on a gate until the
 /// test releases it: the deterministic way to hold a request "in flight" on
-/// the server while the test probes admission control and shutdown draining.
+/// the server while the test probes admission control, shutdown draining and
+/// out-of-order multiplexed completion.
 #[derive(Debug)]
 struct GatedDefense {
     inner: Arc<dyn Defense>,
     gate: Arc<(Mutex<GateState>, Condvar)>,
+    /// Only `server_outputs` calls with at least this many samples block on
+    /// the gate; smaller batches pass straight through. `0` gates everything.
+    gate_min_batch: usize,
 }
 
 #[derive(Debug, Default)]
@@ -495,10 +499,21 @@ struct GateState {
 
 impl GatedDefense {
     fn new(inner: Arc<dyn Defense>) -> (Arc<Self>, Arc<(Mutex<GateState>, Condvar)>) {
+        Self::gating_batches_of_at_least(inner, 0)
+    }
+
+    /// Gates only calls whose batch has at least `min_batch` samples — the
+    /// deterministic "slow request" for pipelining tests, with smaller
+    /// requests staying fast.
+    fn gating_batches_of_at_least(
+        inner: Arc<dyn Defense>,
+        min_batch: usize,
+    ) -> (Arc<Self>, Arc<(Mutex<GateState>, Condvar)>) {
         let gate = Arc::new((Mutex::new(GateState::default()), Condvar::new()));
         let defense = Arc::new(Self {
             inner,
             gate: Arc::clone(&gate),
+            gate_min_batch: min_batch,
         });
         (defense, gate)
     }
@@ -542,6 +557,9 @@ impl Defense for GatedDefense {
     }
 
     fn server_outputs(&self, transmitted: &Tensor) -> Result<Vec<Tensor>, EnsemblerError> {
+        if transmitted.shape()[0] < self.gate_min_batch {
+            return self.inner.server_outputs(transmitted);
+        }
         let (lock, condvar) = &*self.gate;
         let mut state = lock.lock().unwrap();
         state.entered += 1;
@@ -674,6 +692,159 @@ fn version_1_and_2_clients_work_unchanged_against_a_v3_server() {
         matches!(err, ServeError::UnsupportedVersion { .. }),
         "{err}"
     );
+}
+
+#[test]
+fn every_legacy_version_cap_negotiates_down_against_a_v5_server() {
+    // v1 through v4 clients against today's v5 server: each lands exactly on
+    // its cap (lockstep, no request ids on the wire — the frames themselves
+    // are pinned byte-exactly by the wire_examples suite) and predicts
+    // bit-identically to in-process.
+    let (server, pipeline) = demo_server(2, 1, 201);
+    for cap in 1..=4u16 {
+        let remote = RemoteDefense::connect_with_max_version(
+            Arc::clone(&pipeline),
+            server.local_addr(),
+            cap,
+        )
+        .unwrap();
+        assert_eq!(remote.negotiated_version(), cap, "cap {cap}");
+        let images = random_images(2, 202 + u64::from(cap));
+        assert_eq!(
+            remote.predict(&images).unwrap(),
+            pipeline.predict(&images).unwrap(),
+            "cap {cap}"
+        );
+    }
+    // And the int8 replica downgrades the same way over quantized frames.
+    let (server, int8) = demo_server_int8(2, 1, 203);
+    let v2 =
+        RemoteDefense::connect_with_max_version(Arc::clone(&int8), server.local_addr(), 2).unwrap();
+    assert_eq!(v2.negotiated_version(), 2);
+    assert!(v2.uses_quantized_frames());
+    let images = random_images(1, 204);
+    assert_eq!(v2.predict(&images).unwrap(), int8.predict(&images).unwrap());
+}
+
+#[test]
+fn pipelined_requests_on_one_connection_complete_out_of_order() {
+    // The tentpole invariant: one multiplexed v5 connection, a slow request
+    // and a fast request in flight simultaneously, the fast response arriving
+    // while the slow request is still blocked on the server — and both
+    // answers bit-identical to in-process.
+    let inner: Arc<dyn Defense> = Arc::new(demo_pipeline(2, 1, 211).unwrap());
+    // Only batch >= 2 calls block on the gate: the slow request is a 2-sample
+    // batch, the fast request a single sample.
+    let (gated, gate) = GatedDefense::gating_batches_of_at_least(Arc::clone(&inner), 2);
+    let server = DefenseServer::bind(gated, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let remote = Arc::new(RemoteDefense::connect(Arc::clone(&inner), server.local_addr()).unwrap());
+    assert_eq!(remote.negotiated_version(), PROTOCOL_VERSION);
+
+    let slow_features = inner.client_features(&random_images(2, 212)).unwrap();
+    let fast_features = inner.client_features(&random_images(1, 213)).unwrap();
+    let expected_slow = inner.server_outputs(&slow_features).unwrap();
+    let expected_fast = inner.server_outputs(&fast_features).unwrap();
+
+    // Issue the slow request and wait until it is provably in flight on the
+    // server (inside the gate).
+    let slow_remote = Arc::clone(&remote);
+    let slow = std::thread::spawn(move || slow_remote.server_outputs(&slow_features).unwrap());
+    wait_entered(&gate, 1);
+
+    // The fast request goes down the SAME connection and completes while the
+    // slow one is still held: out-of-order completion, two requests in
+    // flight on one socket.
+    let fast_maps = remote.server_outputs(&fast_features).unwrap();
+    assert_eq!(fast_maps, expected_fast);
+    assert!(
+        !slow.is_finished(),
+        "the slow request must still be in flight when the fast response lands"
+    );
+
+    release(&gate);
+    assert_eq!(slow.join().unwrap(), expected_slow);
+
+    let stats = server.stats();
+    assert_eq!(stats.connections_accepted, 1, "one multiplexed connection");
+    assert_eq!(stats.requests_served, 2);
+    assert_eq!(stats.errors_sent, 0);
+}
+
+#[test]
+fn an_overloaded_rejection_fails_only_its_own_request() {
+    // Regression: RemoteDefense used to treat any Error frame as fatal to
+    // the connection. On a multiplexed connection a typed Overloaded
+    // rejection is per-request — the other in-flight request must complete
+    // untouched and the connection must stay usable afterwards.
+    let inner: Arc<dyn Defense> = Arc::new(demo_pipeline(2, 1, 221).unwrap());
+    let (gated, gate) = GatedDefense::gating_batches_of_at_least(Arc::clone(&inner), 2);
+    let server = DefenseServer::bind(
+        gated,
+        "127.0.0.1:0",
+        ServerConfig {
+            admission: AdmissionConfig {
+                max_connection_inflight_requests: 1,
+                ..AdmissionConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let remote = Arc::new(RemoteDefense::connect(Arc::clone(&inner), server.local_addr()).unwrap());
+
+    let slow_features = inner.client_features(&random_images(2, 222)).unwrap();
+    let fast_features = inner.client_features(&random_images(1, 223)).unwrap();
+    let expected_slow = inner.server_outputs(&slow_features).unwrap();
+
+    // The slow request occupies the connection's whole in-flight budget.
+    let slow_remote = Arc::clone(&remote);
+    let slow_input = slow_features.clone();
+    let slow = std::thread::spawn(move || slow_remote.server_outputs(&slow_input).unwrap());
+    wait_entered(&gate, 1);
+
+    // A second request on the same connection is shed with a typed
+    // per-request Overloaded frame (via the inherent range call, which keeps
+    // the typed ServeError instead of collapsing it to a transport string)...
+    match remote
+        .server_outputs_range(&fast_features, 0, inner.ensemble_size())
+        .unwrap_err()
+    {
+        ServeError::Remote(wire) => {
+            assert_eq!(wire.code, ErrorCode::Overloaded);
+            assert!(wire.message.contains("per-connection"), "{}", wire.message);
+        }
+        other => panic!("expected a typed Overloaded rejection, got {other}"),
+    }
+    // ...while the slow request it shared the socket with is unharmed.
+    assert!(
+        !slow.is_finished(),
+        "the rejection must not disturb the other in-flight request"
+    );
+    release(&gate);
+    assert_eq!(slow.join().unwrap(), expected_slow);
+
+    // The connection survived the rejection: the same request now succeeds
+    // bit-identically (with a bounded retry while the permit drains).
+    let mut attempts = 0;
+    let maps = loop {
+        match remote.server_outputs_range(&fast_features, 0, inner.ensemble_size()) {
+            Ok(maps) => break maps,
+            Err(ServeError::Remote(wire))
+                if wire.code == ErrorCode::Overloaded && attempts < 100 =>
+            {
+                attempts += 1;
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+            Err(err) => panic!("unexpected error while retrying: {err}"),
+        }
+    };
+    assert_eq!(maps, inner.server_outputs(&fast_features).unwrap());
+
+    let stats = server.stats();
+    assert_eq!(stats.connections_accepted, 1);
+    assert_eq!(stats.requests_served, 2);
+    assert!(stats.requests_rejected >= 1);
+    assert_eq!(stats.requests_rejected, stats.errors_sent);
 }
 
 #[test]

@@ -208,6 +208,101 @@ fn a_live_pipelines_frames_match_the_model_end_to_end() {
 }
 
 #[test]
+fn tagged_frames_cost_exactly_the_modelled_request_id_bytes() {
+    use ensembler_serve::protocol::{encode_tagged, ErrorCode, WireError};
+
+    // Protocol v5's multiplexing header: for EVERY taggable message type, a
+    // tagged frame is byte-for-byte the untagged frame plus exactly the
+    // `request_id_bytes` the analytic model charges — across backbones,
+    // batch sizes and request ids.
+    let config = ResNetConfig::tiny_for_tests();
+    let head = config.head_output_shape();
+    let features = config.body_output_features();
+    let batch = 2usize;
+    let transmitted = Tensor::from_fn(&[batch, head[0], head[1], head[2]], |i| i as f32 * 0.01);
+    let quantized = QTensorBatch::quantize_batch(&transmitted);
+    let maps: Vec<Tensor> = (0..3).map(|_| Tensor::zeros(&[batch, features])).collect();
+    let qmaps: Vec<QTensorBatch> = maps.iter().map(QTensorBatch::quantize_batch).collect();
+    let messages = vec![
+        Message::ServerOutputsRequest {
+            transmitted: transmitted.clone(),
+        },
+        Message::ServerOutputsResponse { maps },
+        Message::ServerOutputsRequestQ {
+            transmitted: quantized.clone(),
+        },
+        Message::ServerOutputsResponseQ { maps: qmaps },
+        Message::ServerOutputsRequestRange {
+            lo: 0,
+            hi: 2,
+            transmitted,
+        },
+        Message::ServerOutputsRequestRangeQ {
+            lo: 1,
+            hi: 3,
+            transmitted: quantized,
+        },
+        Message::Error(WireError {
+            code: ErrorCode::Overloaded,
+            message: "per-connection budget".to_string(),
+        }),
+    ];
+    for message in messages {
+        let untagged = encode_message(&message);
+        for id in [0u64, 1, u64::MAX] {
+            let tagged = encode_tagged(&message, Some(id));
+            assert_eq!(
+                tagged.len() as u64,
+                untagged.len() as u64 + WIRE_OVERHEAD.request_id_bytes,
+                "tagged frame cost drifted from the analytic model for {:?} id {id}",
+                message.message_type(),
+            );
+        }
+    }
+    assert_eq!(
+        WIRE_OVERHEAD.request_id_bytes,
+        ensembler_serve::protocol::REQUEST_ID_BYTES as u64,
+        "the analytic model and the wire constant must agree on the id width"
+    );
+}
+
+#[test]
+fn frame_size_model_matches_real_tagged_frames_for_every_backbone() {
+    // The tentpole byte-accounting check on the multiplexed request path:
+    // the model's upload/return predictions plus its request-id term equal
+    // real v5 tagged frames, for every backbone the workspace ships.
+    use ensembler_serve::protocol::encode_tagged;
+
+    for (name, config) in configs() {
+        let cost = network_cost(&config);
+        let head = config.head_output_shape();
+        let features = config.body_output_features();
+        for batch in [1usize, 8] {
+            let transmitted = Tensor::zeros(&[batch, head[0], head[1], head[2]]);
+            let frame = encode_tagged(
+                &Message::ServerOutputsRequest { transmitted },
+                Some(0x0123_4567_89AB_CDEF),
+            );
+            assert_eq!(
+                frame.len() as u64,
+                cost.upload_frame_bytes(batch as u64, &WIRE_OVERHEAD)
+                    + WIRE_OVERHEAD.request_id_bytes,
+                "tagged upload frame size drifted for {name} batch {batch}"
+            );
+
+            let maps: Vec<Tensor> = (0..4).map(|_| Tensor::zeros(&[batch, features])).collect();
+            let frame = encode_tagged(&Message::ServerOutputsResponse { maps }, Some(7));
+            assert_eq!(
+                frame.len() as u64,
+                cost.return_frame_bytes(batch as u64, 4, &WIRE_OVERHEAD)
+                    + WIRE_OVERHEAD.request_id_bytes,
+                "tagged return frame size drifted for {name} batch {batch}"
+            );
+        }
+    }
+}
+
+#[test]
 fn handshake_frame_bytes_match_the_encoder() {
     use ensembler_serve::protocol::{Hello, HelloAck};
 

@@ -4,22 +4,28 @@
 //! example this test knows about must appear in the document. Editing either
 //! side without the other fails this test.
 
-use ensembler_serve::protocol::{encode_message, ErrorCode, Hello, HelloAck, Message, WireError};
+use ensembler_serve::protocol::{encode_tagged, ErrorCode, Hello, HelloAck, Message, WireError};
 use ensembler_tensor::{QTensorBatch, Tensor};
 use std::collections::BTreeMap;
 
-/// The example messages the document walks through, by marker name.
-fn documented_examples() -> BTreeMap<&'static str, Message> {
-    let mut examples = BTreeMap::new();
-    examples.insert("hello", Message::Hello(Hello::legacy(1)));
-    examples.insert(
+/// The example messages the document walks through, by marker name, each
+/// with the request id of its v5 extended header (`None` = untagged frame,
+/// as every pre-v5 peer sends).
+fn documented_examples() -> BTreeMap<&'static str, (Message, Option<u64>)> {
+    let mut examples: BTreeMap<&'static str, (Message, Option<u64>)> = BTreeMap::new();
+    let mut insert = |name: &'static str, message: Message, request_id: Option<u64>| {
+        examples.insert(name, (message, request_id));
+    };
+    insert("hello", Message::Hello(Hello::legacy(1)), None);
+    insert(
         "hello-v3",
         Message::Hello(Hello {
             max_version: 3,
             model: Some("alpha".to_string()),
         }),
+        None,
     );
-    examples.insert(
+    insert(
         "hello-ack-v3",
         Message::HelloAck(HelloAck {
             version: 3,
@@ -28,15 +34,17 @@ fn documented_examples() -> BTreeMap<&'static str, Message> {
             selected_count: 2,
             model: Some("alpha".to_string()),
         }),
+        None,
     );
-    examples.insert(
+    insert(
         "error-overloaded",
         Message::Error(WireError {
             code: ErrorCode::Overloaded,
             message: "budget".to_string(),
         }),
+        None,
     );
-    examples.insert(
+    insert(
         "hello-ack",
         Message::HelloAck(HelloAck {
             version: 1,
@@ -45,14 +53,16 @@ fn documented_examples() -> BTreeMap<&'static str, Message> {
             selected_count: 2,
             model: None,
         }),
+        None,
     );
-    examples.insert(
+    insert(
         "server-outputs-request",
         Message::ServerOutputsRequest {
             transmitted: Tensor::from_vec(vec![0.0, 0.5, -1.0, 2.0], &[1, 1, 2, 2]).unwrap(),
         },
+        None,
     );
-    examples.insert(
+    insert(
         "server-outputs-response",
         Message::ServerOutputsResponse {
             maps: vec![
@@ -60,16 +70,18 @@ fn documented_examples() -> BTreeMap<&'static str, Message> {
                 Tensor::from_vec(vec![0.25, 4.0], &[1, 2]).unwrap(),
             ],
         },
+        None,
     );
-    examples.insert(
+    insert(
         "server-outputs-request-q",
         Message::ServerOutputsRequestQ {
             transmitted: QTensorBatch::quantize_batch(
                 &Tensor::from_vec(vec![0.0, 0.5, -1.0, 2.0], &[1, 1, 2, 2]).unwrap(),
             ),
         },
+        None,
     );
-    examples.insert(
+    insert(
         "server-outputs-response-q",
         Message::ServerOutputsResponseQ {
             maps: vec![
@@ -77,28 +89,59 @@ fn documented_examples() -> BTreeMap<&'static str, Message> {
                 QTensorBatch::quantize_batch(&Tensor::from_vec(vec![0.25, 4.0], &[1, 2]).unwrap()),
             ],
         },
+        None,
     );
-    examples.insert(
+    insert(
         "server-outputs-request-range",
         Message::ServerOutputsRequestRange {
             lo: 1,
             hi: 3,
             transmitted: Tensor::from_vec(vec![0.0, 0.5, -1.0, 2.0], &[1, 1, 2, 2]).unwrap(),
         },
+        None,
     );
-    examples.insert(
+    insert(
         "error-unknown-model",
         Message::Error(WireError {
             code: ErrorCode::UnknownModel,
             message: "model \"beta\" is not served (serving: alpha)".to_string(),
         }),
+        None,
     );
-    examples.insert(
+    insert(
         "error-unsupported-version",
         Message::Error(WireError {
             code: ErrorCode::UnsupportedVersion,
             message: "server speaks up to v1".to_string(),
         }),
+        None,
+    );
+    // Protocol v5: the same request/response payloads, tagged with request
+    // ids, as a multiplexing peer puts them on the wire.
+    insert(
+        "server-outputs-request-v5",
+        Message::ServerOutputsRequest {
+            transmitted: Tensor::from_vec(vec![0.0, 0.5, -1.0, 2.0], &[1, 1, 2, 2]).unwrap(),
+        },
+        Some(1),
+    );
+    insert(
+        "server-outputs-response-v5",
+        Message::ServerOutputsResponse {
+            maps: vec![
+                Tensor::from_vec(vec![1.0, -0.5], &[1, 2]).unwrap(),
+                Tensor::from_vec(vec![0.25, 4.0], &[1, 2]).unwrap(),
+            ],
+        },
+        Some(1),
+    );
+    insert(
+        "error-overloaded-v5",
+        Message::Error(WireError {
+            code: ErrorCode::Overloaded,
+            message: "budget".to_string(),
+        }),
+        Some(2),
     );
     examples
 }
@@ -182,8 +225,8 @@ fn documented_frames_match_the_encoder_exactly() {
     let expected = documented_examples();
     let found = parse_doc_examples(&protocol_doc());
 
-    for (name, message) in &expected {
-        let frame = encode_message(message);
+    for (name, (message, request_id)) in &expected {
+        let frame = encode_tagged(message, *request_id);
         match found.get(*name) {
             Some(documented) => assert_eq!(
                 documented,

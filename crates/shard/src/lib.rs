@@ -370,11 +370,12 @@ struct Backoff {
 }
 
 /// The router's view of one worker: its spec, the local replica its
-/// connections validate against, the pooled connection, and counters.
+/// connections validate against, the pooled (shared, multiplexed)
+/// connection, and counters.
 struct WorkerLink {
     spec: ShardSpec,
     replica: Arc<dyn Defense>,
-    conn: Mutex<Option<RemoteDefense>>,
+    conn: Mutex<Option<Arc<RemoteDefense>>>,
     healthy: AtomicBool,
     requests: AtomicU64,
     hedges: AtomicU64,
@@ -428,7 +429,7 @@ impl WorkerLink {
     /// blocked window this fails immediately (so a dead worker costs one
     /// failed dial per backoff period, not one per request), and each
     /// consecutive failure doubles the window up to the cap.
-    fn connect_fresh(&self, config: &RouterConfig) -> Result<RemoteDefense, ShardError> {
+    fn connect_fresh(&self, config: &RouterConfig) -> Result<Arc<RemoteDefense>, ShardError> {
         {
             let backoff = self
                 .backoff
@@ -453,7 +454,7 @@ impl WorkerLink {
                 backoff.blocked_until = None;
                 drop(backoff);
                 self.note_health(true);
-                Ok(conn)
+                Ok(Arc::new(conn))
             }
             Err(error) => {
                 let mut backoff = self
@@ -475,16 +476,18 @@ impl WorkerLink {
 type Exchange<T> = Arc<dyn Fn(&RemoteDefense) -> Result<T, ServeError> + Send + Sync>;
 
 /// Runs one exchange on its own thread so the caller can time it out (for
-/// hedging) without abandoning the connection mid-frame.
+/// hedging) without abandoning the request mid-frame.
 fn spawn_exchange<T: Send + 'static>(
     run: Exchange<T>,
-    conn: RemoteDefense,
-    tx: mpsc::Sender<(Result<T, ServeError>, RemoteDefense)>,
+    conn: Arc<RemoteDefense>,
+    tx: mpsc::Sender<(Result<T, ServeError>, Arc<RemoteDefense>)>,
 ) {
     std::thread::spawn(move || {
         let result = run(&conn);
-        // A losing hedge finds the receiver gone; its connection (with the
-        // duplicate response inside) is dropped right here.
+        // A losing hedge finds the receiver gone and releases its handle
+        // right here; the multiplexed pooled connection itself lives on in
+        // the pool, where the demultiplexer keeps late responses routed by
+        // request id instead of poisoning the stream.
         let _ = tx.send((result, conn));
     });
 }
@@ -594,9 +597,10 @@ impl ShardRouter {
     }
 
     /// One worker's leg of the fan-out, with hedging and one reconnect
-    /// retry. The pooled connection is *taken out* of the slot for the
-    /// duration of the exchange, so concurrent router callers each dial
-    /// their own connection instead of interleaving frames on one socket.
+    /// retry. The pooled connection is *shared*: concurrent router callers
+    /// clone its handle and multiplex their exchanges over the one
+    /// (protocol-v5) socket per worker, each response finding its caller by
+    /// request id — no per-caller dialing, no frame interleaving hazard.
     fn ranged<T: Send + 'static>(
         &self,
         link: &Arc<WorkerLink>,
@@ -606,10 +610,17 @@ impl ShardRouter {
             .conn
             .lock()
             .expect("connection mutex is never poisoned")
-            .take();
+            .clone();
         let conn = match pooled {
             Some(conn) => conn,
-            None => link.connect_fresh(&self.config)?,
+            None => {
+                let fresh = link.connect_fresh(&self.config)?;
+                *link
+                    .conn
+                    .lock()
+                    .expect("connection mutex is never poisoned") = Some(Arc::clone(&fresh));
+                fresh
+            }
         };
         let (tx, rx) = mpsc::channel();
         spawn_exchange(Arc::clone(&run), conn, tx.clone());
@@ -641,27 +652,53 @@ impl ShardRouter {
                     .map_err(|_| link.unavailable("all exchanges died"))?
             }
         };
-        // Dropping the receiver makes the losing hedge discard its
-        // connection: a duplicate response must never be mistaken for the
-        // answer to a later request.
+        // Dropping the receiver makes the losing hedge release its handle:
+        // on the shared multiplexed connection its late response is routed
+        // (and discarded) by request id, never mistaken for the answer to a
+        // later request.
         drop(rx);
         match result {
             Ok(value) => {
                 link.requests.fetch_add(1, Ordering::Relaxed);
                 link.note_health(true);
-                *link
+                // The winner is usually the still-pooled shared connection;
+                // only a hedge that won over an empty slot needs pooling.
+                let mut slot = link
                     .conn
                     .lock()
-                    .expect("connection mutex is never poisoned") = Some(conn);
+                    .expect("connection mutex is never poisoned");
+                if slot.is_none() {
+                    *slot = Some(conn);
+                }
                 Ok(value)
             }
             Err(error) => {
-                // The socket may hold a half-read frame; never pool it
-                // again. One immediate reconnect-and-retry covers a worker
-                // that was restarted between requests; anything more is a
-                // typed ShardUnavailable for the caller.
+                // A transport failure poisons the shared socket for every
+                // caller: evict it from the pool (if some other caller has
+                // not already replaced it) so nobody else multiplexes onto
+                // a dead connection. A typed per-request rejection
+                // (`ServeError::Remote`, e.g. `Overloaded`) leaves the
+                // connection healthy — other in-flight exchanges on it are
+                // unharmed — so it stays pooled.
+                let transport_failure = !matches!(error, ServeError::Remote(_));
+                if transport_failure {
+                    let mut slot = link
+                        .conn
+                        .lock()
+                        .expect("connection mutex is never poisoned");
+                    if slot
+                        .as_ref()
+                        .is_some_and(|pooled| Arc::ptr_eq(pooled, &conn))
+                    {
+                        *slot = None;
+                    }
+                    drop(slot);
+                    link.note_health(false);
+                }
                 drop(conn);
-                link.note_health(false);
+                // One immediate reconnect-and-retry covers a worker that was
+                // restarted between requests; anything more is a typed
+                // ShardUnavailable for the caller.
                 let fresh = link.connect_fresh(&self.config).map_err(|retry| {
                     link.unavailable(format!("{error}; reconnect failed: {retry}"))
                 })?;
@@ -669,10 +706,13 @@ impl ShardRouter {
                     Ok(value) => {
                         link.requests.fetch_add(1, Ordering::Relaxed);
                         link.note_health(true);
-                        *link
+                        let mut slot = link
                             .conn
                             .lock()
-                            .expect("connection mutex is never poisoned") = Some(fresh);
+                            .expect("connection mutex is never poisoned");
+                        if slot.is_none() {
+                            *slot = Some(fresh);
+                        }
                         Ok(value)
                     }
                     Err(retry_error) => {
