@@ -13,6 +13,7 @@
 //! Set `ENSEMBLER_SCALE=full` for more shapes and longer measurement budgets.
 //! See `docs/PERFORMANCE.md` for how to read and compare the JSON output.
 
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -26,6 +27,7 @@ use ensembler_data::SyntheticSpec;
 use ensembler_latency::network_cost;
 use ensembler_nn::models::{build_body, build_head, build_tail, ResNetConfig};
 use ensembler_nn::{Conv2d, FixedNoise, Layer, Linear, Mode};
+use ensembler_serve::registry::route_key;
 use ensembler_serve::{
     demo_pipeline, AdmissionConfig, DefenseServer, ModelRegistry, RemoteDefense, ServerConfig,
     WIRE_OVERHEAD,
@@ -469,6 +471,194 @@ fn load_case(ensemble_size: usize, selected: usize, scale: ExperimentScale) -> J
     ])
 }
 
+/// The model-lifecycle promises, measured rather than asserted: how long a
+/// hot swap stalls a connection hammering the server (the reload pause —
+/// both the registry call itself and the worst inter-response gap the
+/// client observes across the swap), and how closely the deterministic
+/// canary split tracks the requested percentage. The lifecycle e2e suite
+/// proves zero drops and bit-exact routing; this reports the numbers.
+fn lifecycle_case(ensemble_size: usize, selected: usize, scale: ExperimentScale) -> JsonValue {
+    let (hammer_requests, canary_requests) = match scale {
+        ExperimentScale::Quick => (60usize, 120usize),
+        ExperimentScale::Full => (160, 400),
+    };
+    let version_a: Arc<dyn Defense> =
+        Arc::new(demo_pipeline(ensemble_size, selected, 901).expect("valid demo pipeline"));
+    let version_b: Arc<dyn Defense> =
+        Arc::new(demo_pipeline(ensemble_size, selected, 902).expect("valid demo pipeline"));
+    let config = ServerConfig::default();
+    let registry =
+        ModelRegistry::new("default", Arc::clone(&version_a), config.engine).expect("registry");
+    let server = DefenseServer::bind_registry(registry, "127.0.0.1:0", config).expect("bind");
+    let registry = Arc::clone(server.registry());
+    let remote = Arc::new(
+        RemoteDefense::connect(Arc::clone(&version_a), server.local_addr()).expect("connect"),
+    );
+
+    let backbone = version_a.config().clone();
+    let mut rng = Rng::seed_from(907);
+    let mut fresh_features = || {
+        let image = Tensor::from_fn(
+            &[
+                1,
+                backbone.input_channels,
+                backbone.image_size,
+                backbone.image_size,
+            ],
+            |_| rng.uniform(-1.0, 1.0),
+        );
+        version_a
+            .client_features(&image)
+            .expect("client features for lifecycle requests")
+    };
+
+    // Hot swap under load: one connection hammers sequential requests while
+    // the registry swaps the slot mid-stream. Every response must match
+    // exactly one version bit-for-bit, so drops and misroutes are impossible
+    // to miss; the timing tells us what a reload costs a live client.
+    let features = fresh_features();
+    let expected_a = version_a.server_outputs(&features).expect("outputs A");
+    let expected_b = version_b.server_outputs(&features).expect("outputs B");
+    let served = Arc::new(AtomicU64::new(0));
+    let stop = Arc::new(AtomicBool::new(false));
+    let hammer = {
+        let remote = Arc::clone(&remote);
+        let features = features.clone();
+        let expected_a = expected_a.clone();
+        let expected_b = expected_b.clone();
+        let served = Arc::clone(&served);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut latencies_ms: Vec<f64> = Vec::new();
+            let mut on_new: Vec<bool> = Vec::new();
+            let mut max_gap_ms = 0.0f64;
+            let mut last_done = Instant::now();
+            while !stop.load(Ordering::Acquire) {
+                let start = Instant::now();
+                let out = remote
+                    .server_outputs(&features)
+                    .expect("requests never drop across a swap");
+                let done = Instant::now();
+                latencies_ms.push(done.duration_since(start).as_secs_f64() * 1e3);
+                max_gap_ms = max_gap_ms.max(done.duration_since(last_done).as_secs_f64() * 1e3);
+                last_done = done;
+                let new = out == expected_b;
+                assert!(
+                    new || out == expected_a,
+                    "every response must match exactly one version bit-for-bit"
+                );
+                on_new.push(new);
+                served.fetch_add(1, Ordering::Release);
+            }
+            (latencies_ms, on_new, max_gap_ms)
+        })
+    };
+    while served.load(Ordering::Acquire) < hammer_requests as u64 / 2 {
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    let swap_start = Instant::now();
+    registry
+        .swap("default", "v2", Arc::clone(&version_b), config.engine)
+        .expect("swap under load");
+    let swap_call_ms = swap_start.elapsed().as_secs_f64() * 1e3;
+    while served.load(Ordering::Acquire) < hammer_requests as u64 {
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    stop.store(true, Ordering::Release);
+    let (latencies_ms, on_new, max_gap_ms) = hammer.join().expect("hammer thread");
+    let served_new = on_new.iter().filter(|&&new| new).count();
+    let served_old = on_new.len() - served_new;
+    let max_request_ms = latencies_ms.iter().fold(0.0f64, |a, &b| a.max(b));
+    println!(
+        "  hot swap: call {swap_call_ms:6.3} ms | worst gap {max_gap_ms:6.3} ms | {} on v0 + {} on v2, 0 dropped",
+        served_old, served_new,
+    );
+
+    // Canary split: requested percent vs what the deterministic router
+    // actually serves, cross-checked request by request against the
+    // route-key mirror (a mismatch would be a routing bug, not noise).
+    const PERCENT: u8 = 20;
+    let version_c: Arc<dyn Defense> =
+        Arc::new(demo_pipeline(ensemble_size, selected, 903).expect("valid demo pipeline"));
+    registry
+        .set_canary(
+            "default",
+            "v3",
+            PERCENT,
+            Arc::clone(&version_c),
+            config.engine,
+        )
+        .expect("set canary");
+    let mut canary_served = 0usize;
+    let mut routing_mismatches = 0usize;
+    for _ in 0..canary_requests {
+        let features = fresh_features();
+        let out = remote.server_outputs(&features).expect("canary request");
+        let on_canary = out == version_c.server_outputs(&features).expect("outputs C");
+        if !on_canary {
+            assert_eq!(
+                out,
+                version_b.server_outputs(&features).expect("outputs B"),
+                "non-canary traffic must come from the primary, bit-for-bit"
+            );
+        }
+        let key = route_key(
+            features
+                .data()
+                .iter()
+                .flat_map(|v| v.to_bits().to_le_bytes()),
+        );
+        if on_canary != (key % 100 < u64::from(PERCENT)) {
+            routing_mismatches += 1;
+        }
+        if on_canary {
+            canary_served += 1;
+        }
+    }
+    assert_eq!(
+        routing_mismatches, 0,
+        "canary assignment must agree with the route-key mirror on every request"
+    );
+    let observed_percent = 100.0 * canary_served as f64 / canary_requests as f64;
+    let promote_start = Instant::now();
+    registry.promote("default").expect("promote");
+    let promote_ms = promote_start.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "  canary: requested {PERCENT}% | observed {observed_percent:5.2}% over {canary_requests} requests (0 mirror mismatches) | promote {promote_ms:6.3} ms",
+    );
+
+    obj(vec![
+        ("ensemble_size", JsonValue::Number(ensemble_size as f64)),
+        ("selected", JsonValue::Number(selected as f64)),
+        (
+            "hot_swap",
+            obj(vec![
+                ("requests", JsonValue::Number(on_new.len() as f64)),
+                ("served_old", JsonValue::Number(served_old as f64)),
+                ("served_new", JsonValue::Number(served_new as f64)),
+                ("dropped", JsonValue::Number(0.0)),
+                ("swap_call_ms", num(swap_call_ms)),
+                ("max_request_ms", num(max_request_ms)),
+                ("max_gap_ms", num(max_gap_ms)),
+            ]),
+        ),
+        (
+            "canary",
+            obj(vec![
+                ("requested_percent", JsonValue::Number(f64::from(PERCENT))),
+                ("requests", JsonValue::Number(canary_requests as f64)),
+                ("canary_served", JsonValue::Number(canary_served as f64)),
+                ("observed_percent", num(observed_percent)),
+                (
+                    "routing_mismatches",
+                    JsonValue::Number(routing_mismatches as f64),
+                ),
+                ("promote_ms", num(promote_ms)),
+            ]),
+        ),
+    ])
+}
+
 /// Times `Defense::predict` through a loopback [`ShardRouter`] over
 /// `worker_count` range-serving workers, against the in-process baseline.
 fn sharded_deployment_case(
@@ -711,6 +901,9 @@ fn main() {
     println!("Open-loop load (one multiplexed v5 connection, tail latency):");
     let load = load_case(4, 2, scale);
 
+    println!("Model lifecycle (hot-swap reload pause + canary split, live registry):");
+    let lifecycle = lifecycle_case(4, 2, scale);
+
     println!("Scatter-gather sharded serving (crates/shard) vs one process:");
     let sharded = sharded_case(4, 2, budget);
 
@@ -730,7 +923,7 @@ fn main() {
 
     let report = obj(vec![
         ("report", JsonValue::String("perf_report".to_string())),
-        ("version", JsonValue::Number(6.0)),
+        ("version", JsonValue::Number(7.0)),
         ("unix_time_s", JsonValue::Number(epoch_s as f64)),
         ("cores", JsonValue::Number(cores as f64)),
         ("scale", JsonValue::String(format!("{scale:?}"))),
@@ -739,6 +932,7 @@ fn main() {
         ("end_to_end", e2e),
         ("serving", serving),
         ("load", load),
+        ("lifecycle", lifecycle),
         ("sharded", sharded),
         ("quantized", quantized),
     ]);

@@ -1,0 +1,349 @@
+//! Export and reconstruction of [`EnsemblerPipeline`]s as binary model
+//! artifacts.
+//!
+//! The byte container itself lives in [`ensembler_nn::artifact`]; this module
+//! owns the *semantic* layer: capturing a live pipeline's architecture,
+//! selector, noise, dropout and every parameter tensor into a
+//! [`ModelArtifact`], and rebuilding a bit-identical pipeline from one. The
+//! reconstruction path re-runs the deterministic architecture builders
+//! (`build_head` / `build_body` / `build_tail`) with a throwaway RNG and then
+//! overwrites every parameter positionally, checkpoint-style, so a loaded
+//! model computes exactly what the exported one did — including the fixed
+//! noise pattern and the dropout seed the client's privacy depends on.
+//!
+//! Int8 artifacts store the same `f32` tensors as f32 artifacts plus a
+//! precision flag: quantization is deterministic from the float weights, so
+//! [`load_defense`] re-quantizes at load time and reproduces the exact int8
+//! serving model.
+//!
+//! # Examples
+//!
+//! ```
+//! use ensembler::artifact::{load_defense, save_pipeline};
+//! use ensembler::{Defense, EnsemblerPipeline, Selector};
+//! use ensembler_nn::models::{build_body, build_head, build_tail, ResNetConfig};
+//! use ensembler_nn::{ArtifactPrecision, FixedNoise};
+//! use ensembler_tensor::{Rng, Tensor};
+//!
+//! let config = ResNetConfig::tiny_for_tests();
+//! let mut rng = Rng::seed_from(7);
+//! let head = build_head(&config, &mut rng);
+//! let noise = FixedNoise::new(&config.head_output_shape(), 0.1, &mut rng);
+//! let bodies = vec![build_body(&config, &mut rng), build_body(&config, &mut rng)];
+//! let selector = Selector::random(2, 1, &mut rng)?;
+//! let tail = build_tail(&config, config.body_output_features(), &mut rng);
+//! let pipeline = EnsemblerPipeline::new(config, head, noise, bodies, selector, tail)?;
+//!
+//! let artifact = save_pipeline(&pipeline, "demo", ArtifactPrecision::F32);
+//! let loaded = load_defense(&artifact).unwrap();
+//! let images = Tensor::ones(&[2, 3, 8, 8]);
+//! assert_eq!(loaded.predict(&images)?, pipeline.predict(&images)?);
+//! # Ok::<(), ensembler::EnsemblerError>(())
+//! ```
+
+use crate::defense::Defense;
+use crate::framework::EnsemblerPipeline;
+use crate::quant::QuantizedDefense;
+use crate::selector::Selector;
+use ensembler_nn::models::{build_body, build_head, build_tail};
+use ensembler_nn::{
+    ArtifactError, ArtifactPrecision, Checkpoint, FixedNoise, Layer, ModelArtifact,
+};
+use ensembler_tensor::Rng;
+use std::sync::Arc;
+
+/// Upper bound on any single architecture dimension a loaded artifact may
+/// declare. The checksum already rejects accidental corruption; this guard
+/// stops a *well-formed* but hostile artifact from making the loader attempt
+/// a multi-terabyte allocation while building the declared architecture.
+const MAX_CONFIG_DIMENSION: usize = 1 << 20;
+
+/// Captures a pipeline into a self-contained artifact served under `name`.
+///
+/// The artifact stores `f32` weights regardless of `precision`; an
+/// [`ArtifactPrecision::Int8`] flag makes [`load_defense`] re-quantize the
+/// bodies deterministically at load time.
+pub fn save_pipeline(
+    pipeline: &EnsemblerPipeline,
+    name: &str,
+    precision: ArtifactPrecision,
+) -> ModelArtifact {
+    let tensors_of = |layer: &dyn Layer| Checkpoint::capture(layer).tensors().to_vec();
+    ModelArtifact {
+        name: name.to_string(),
+        label: pipeline.label().to_string(),
+        n: pipeline.ensemble_size() as u32,
+        p: pipeline.selected_count() as u32,
+        precision,
+        config: pipeline.config().clone(),
+        selector: pipeline
+            .selector()
+            .active_indices()
+            .iter()
+            .map(|&i| i as u32)
+            .collect(),
+        noise_sigma: pipeline.noise().sigma(),
+        noise_pattern: pipeline.noise().pattern().clone(),
+        dropout: pipeline
+            .feature_dropout()
+            .map(|d| (d.probability(), d.seed())),
+        head: tensors_of(pipeline.head()),
+        bodies: pipeline
+            .server_bodies()
+            .iter()
+            .map(|b| tensors_of(b))
+            .collect(),
+        tail: tensors_of(pipeline.tail()),
+    }
+}
+
+/// Rebuilds the exact [`EnsemblerPipeline`] an artifact was exported from.
+///
+/// # Errors
+///
+/// Returns [`ArtifactError::Invalid`] if the artifact does not describe a
+/// buildable pipeline: inconsistent `n`/`p` against the stored groups, an
+/// invalid architecture, an out-of-range selector, a noise pattern whose
+/// shape disagrees with the head output, an out-of-range dropout
+/// probability, or parameter tensors whose count or shapes do not match the
+/// declared architecture. The check set is deliberately exhaustive — a
+/// malformed artifact must never yield a silently wrong model.
+pub fn load_pipeline(artifact: &ModelArtifact) -> Result<EnsemblerPipeline, ArtifactError> {
+    let invalid = |message: String| ArtifactError::Invalid(message);
+    let config = artifact.config.clone();
+    config
+        .validate()
+        .map_err(|e| invalid(format!("architecture does not validate: {e}")))?;
+    let oversized = [
+        config.input_channels,
+        config.image_size,
+        config.stem_channels,
+        config.blocks_per_stage,
+        config.num_classes,
+        config.stage_channels.len(),
+    ]
+    .into_iter()
+    .chain(config.stage_channels.iter().copied())
+    .any(|dim| dim > MAX_CONFIG_DIMENSION);
+    if oversized {
+        return Err(invalid(format!(
+            "architecture dimension exceeds the loader cap of {MAX_CONFIG_DIMENSION}"
+        )));
+    }
+
+    let n = artifact.n as usize;
+    if n != artifact.bodies.len() {
+        return Err(invalid(format!(
+            "artifact declares n = {n} but stores {} body groups",
+            artifact.bodies.len()
+        )));
+    }
+    let indices: Vec<usize> = artifact.selector.iter().map(|&i| i as usize).collect();
+    let selector = Selector::from_indices(n, indices)
+        .map_err(|e| invalid(format!("selector does not validate: {e}")))?;
+    if selector.active_count() != artifact.p as usize {
+        return Err(invalid(format!(
+            "artifact declares p = {} but the selector activates {} indices",
+            artifact.p,
+            selector.active_count()
+        )));
+    }
+
+    if !(artifact.noise_sigma.is_finite() && artifact.noise_sigma >= 0.0) {
+        return Err(invalid(format!(
+            "noise sigma {} is not a finite non-negative value",
+            artifact.noise_sigma
+        )));
+    }
+    let head_shape = config.head_output_shape();
+    if artifact.noise_pattern.shape() != head_shape.as_slice() {
+        return Err(invalid(format!(
+            "noise pattern shape {:?} does not match the head output shape {head_shape:?}",
+            artifact.noise_pattern.shape()
+        )));
+    }
+    if let Some((probability, _)) = artifact.dropout {
+        if !(probability.is_finite() && (0.0..1.0).contains(&probability)) {
+            return Err(invalid(format!(
+                "dropout probability {probability} is not in [0, 1)"
+            )));
+        }
+    }
+
+    // Rebuild the architecture with a throwaway RNG, then overwrite every
+    // parameter positionally — shape mismatches become typed errors here.
+    let mut rng = Rng::seed_from(0);
+    let mut head = build_head(&config, &mut rng);
+    Checkpoint::from_tensors(artifact.head.clone())
+        .restore(&mut head)
+        .map_err(|e| invalid(format!("head parameters do not fit: {e}")))?;
+    let mut bodies = Vec::with_capacity(n);
+    for (index, group) in artifact.bodies.iter().enumerate() {
+        let mut body = build_body(&config, &mut rng);
+        Checkpoint::from_tensors(group.clone())
+            .restore(&mut body)
+            .map_err(|e| invalid(format!("body {index} parameters do not fit: {e}")))?;
+        bodies.push(body);
+    }
+    let tail_features = selector.active_count() * config.body_output_features();
+    let mut tail = build_tail(&config, tail_features, &mut rng);
+    Checkpoint::from_tensors(artifact.tail.clone())
+        .restore(&mut tail)
+        .map_err(|e| invalid(format!("tail parameters do not fit: {e}")))?;
+
+    let noise = FixedNoise::from_pattern(artifact.noise_pattern.clone(), artifact.noise_sigma);
+    let pipeline = EnsemblerPipeline::new(config, head, noise, bodies, selector, tail)
+        .map_err(|e| invalid(format!("pipeline does not assemble: {e}")))?;
+    Ok(match artifact.dropout {
+        Some((probability, seed)) => pipeline.with_feature_dropout(probability, seed),
+        None => pipeline,
+    })
+}
+
+/// Rebuilds the artifact's *serving* model: the pipeline itself for
+/// [`ArtifactPrecision::F32`], or the pipeline wrapped in a deterministic
+/// [`QuantizedDefense`] for [`ArtifactPrecision::Int8`].
+///
+/// # Errors
+///
+/// Propagates every [`load_pipeline`] error.
+pub fn load_defense(artifact: &ModelArtifact) -> Result<Arc<dyn Defense>, ArtifactError> {
+    let pipeline = Arc::new(load_pipeline(artifact)?);
+    Ok(match artifact.precision {
+        ArtifactPrecision::F32 => pipeline,
+        ArtifactPrecision::Int8 => Arc::new(QuantizedDefense::quantize(pipeline)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ensembler_nn::models::ResNetConfig;
+    use ensembler_tensor::Tensor;
+
+    fn tiny_pipeline(n: usize, p: usize, seed: u64) -> EnsemblerPipeline {
+        let config = ResNetConfig::tiny_for_tests();
+        let mut rng = Rng::seed_from(seed);
+        let head = build_head(&config, &mut rng);
+        let noise = FixedNoise::new(&config.head_output_shape(), 0.1, &mut rng);
+        let bodies = (0..n).map(|_| build_body(&config, &mut rng)).collect();
+        let selector = Selector::random(n, p, &mut rng).unwrap();
+        let tail = build_tail(&config, p * config.body_output_features(), &mut rng);
+        EnsemblerPipeline::new(config, head, noise, bodies, selector, tail).unwrap()
+    }
+
+    #[test]
+    fn f32_round_trip_is_bit_exact() {
+        let pipeline = tiny_pipeline(3, 2, 42).with_feature_dropout(0.3, 77);
+        let artifact = save_pipeline(&pipeline, "demo", ArtifactPrecision::F32);
+        let decoded = ModelArtifact::decode(&artifact.encode()).unwrap();
+        let loaded = load_defense(&decoded).unwrap();
+        let images = Tensor::from_fn(&[3, 3, 8, 8], |i| (i as f32 * 0.017).sin());
+        assert_eq!(
+            loaded.predict(&images).unwrap(),
+            pipeline.predict(&images).unwrap()
+        );
+        assert_eq!(loaded.label(), pipeline.label());
+        assert_eq!(loaded.ensemble_size(), 3);
+        assert_eq!(loaded.selected_count(), 2);
+    }
+
+    #[test]
+    fn int8_round_trip_matches_requantized_original() {
+        let pipeline = Arc::new(tiny_pipeline(2, 1, 9));
+        let artifact = save_pipeline(&pipeline, "demo", ArtifactPrecision::Int8);
+        let loaded = load_defense(&artifact).unwrap();
+        let original = QuantizedDefense::quantize(Arc::clone(&pipeline) as Arc<dyn Defense>);
+        let images = Tensor::from_fn(&[2, 3, 8, 8], |i| (i as f32 * 0.013).cos());
+        assert_eq!(
+            loaded.predict(&images).unwrap(),
+            original.predict(&images).unwrap()
+        );
+        assert_eq!(loaded.label(), original.label());
+    }
+
+    #[test]
+    fn inconsistent_counts_are_invalid() {
+        let pipeline = tiny_pipeline(2, 1, 3);
+        let mut artifact = save_pipeline(&pipeline, "demo", ArtifactPrecision::F32);
+        artifact.n = 3;
+        assert!(matches!(
+            load_pipeline(&artifact),
+            Err(ArtifactError::Invalid(_))
+        ));
+
+        let mut artifact = save_pipeline(&pipeline, "demo", ArtifactPrecision::F32);
+        artifact.p = 2;
+        assert!(matches!(
+            load_pipeline(&artifact),
+            Err(ArtifactError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn out_of_range_selector_is_invalid() {
+        let mut artifact = save_pipeline(&tiny_pipeline(2, 1, 4), "demo", ArtifactPrecision::F32);
+        artifact.selector = vec![5];
+        assert!(matches!(
+            load_pipeline(&artifact),
+            Err(ArtifactError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn hostile_architecture_and_noise_are_invalid() {
+        let base = save_pipeline(&tiny_pipeline(2, 1, 5), "demo", ArtifactPrecision::F32);
+
+        let mut artifact = base.clone();
+        artifact.config.stem_channels = MAX_CONFIG_DIMENSION + 1;
+        assert!(matches!(
+            load_pipeline(&artifact),
+            Err(ArtifactError::Invalid(_))
+        ));
+
+        let mut artifact = base.clone();
+        artifact.config.num_classes = 0;
+        assert!(matches!(
+            load_pipeline(&artifact),
+            Err(ArtifactError::Invalid(_))
+        ));
+
+        let mut artifact = base.clone();
+        artifact.noise_sigma = f32::NAN;
+        assert!(matches!(
+            load_pipeline(&artifact),
+            Err(ArtifactError::Invalid(_))
+        ));
+
+        let mut artifact = base.clone();
+        artifact.noise_pattern = Tensor::zeros(&[1]);
+        assert!(matches!(
+            load_pipeline(&artifact),
+            Err(ArtifactError::Invalid(_))
+        ));
+
+        let mut artifact = base;
+        artifact.dropout = Some((1.5, 0));
+        assert!(matches!(
+            load_pipeline(&artifact),
+            Err(ArtifactError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn mismatched_parameter_shapes_are_invalid() {
+        let mut artifact = save_pipeline(&tiny_pipeline(2, 1, 6), "demo", ArtifactPrecision::F32);
+        artifact.tail.pop();
+        assert!(matches!(
+            load_pipeline(&artifact),
+            Err(ArtifactError::Invalid(_))
+        ));
+
+        let mut artifact = save_pipeline(&tiny_pipeline(2, 1, 6), "demo", ArtifactPrecision::F32);
+        artifact.head[0] = Tensor::zeros(&[3, 3]);
+        assert!(matches!(
+            load_pipeline(&artifact),
+            Err(ArtifactError::Invalid(_))
+        ));
+    }
+}

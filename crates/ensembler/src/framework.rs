@@ -90,6 +90,26 @@ impl EnsemblerPipeline {
         &self.selector
     }
 
+    /// The client head `M_c,h` (artifact export reads its parameters).
+    pub fn head(&self) -> &Sequential {
+        &self.head
+    }
+
+    /// The client tail `M_c,t` (artifact export reads its parameters).
+    pub fn tail(&self) -> &Sequential {
+        &self.tail
+    }
+
+    /// The client's fixed noise layer.
+    pub fn noise(&self) -> &FixedNoise {
+        &self.noise
+    }
+
+    /// The inference-time feature dropout, if the DR-N defence is enabled.
+    pub fn feature_dropout(&self) -> Option<&Dropout> {
+        self.dropout.as_ref()
+    }
+
     /// The standard deviation of the client's fixed noise.
     pub fn noise_sigma(&self) -> f32 {
         self.noise.sigma()

@@ -7,6 +7,9 @@
 //! workspace substrates (`ensembler-tensor`, `ensembler-nn`,
 //! `ensembler-data`, `ensembler-metrics`) and provides:
 //!
+//! * [`artifact`] — export/import of pipelines as versioned, checksummed
+//!   binary model artifacts ([`save_pipeline`] / [`load_defense`]), the
+//!   boundary between training and the serving tier's model lifecycle.
 //! * [`defense`] — the unified [`Defense`] trait: one object-safe,
 //!   immutable (`&self`), `Result`-returning inference API
 //!   (`client_features` → `server_outputs` → `classify`, plus `predict` and
@@ -66,6 +69,7 @@
 //! # Ok::<(), ensembler::EnsemblerError>(())
 //! ```
 
+pub mod artifact;
 pub mod defense;
 pub mod defenses;
 pub mod engine;
@@ -77,6 +81,7 @@ pub mod split;
 pub mod subensemble;
 pub mod trainer;
 
+pub use artifact::{load_defense, load_pipeline, save_pipeline};
 pub use defense::{check_body_range, Defense, EvalConfig, Precision};
 pub use defenses::{DefenseKind, SinglePipeline};
 pub use engine::{EngineConfig, EngineStats, InferenceEngine, Pending};

@@ -1,0 +1,734 @@
+//! Versioned, checksummed binary model artifacts.
+//!
+//! This is the boundary between training and serving: a trained split
+//! pipeline is exported once into a self-describing byte container and every
+//! serving binary loads it back without re-running training (or, today,
+//! without re-deriving weights from a seed). The container is designed in the
+//! spirit of the serving wire codec — a magic word, an explicit format
+//! version, length-prefixed fields, and a CRC-32 trailer over everything that
+//! precedes it — so a corrupted, truncated or stale file is always rejected
+//! with a typed [`ArtifactError`], never loaded as a silently wrong model.
+//!
+//! Byte layout (all integers big-endian, tensor data little-endian `f32`,
+//! matching the wire tensor blobs):
+//!
+//! ```text
+//! u32  magic            0x454E534D ("ENSM")
+//! u16  format version   1
+//! str  name             u32 length + UTF-8 bytes
+//! str  label            u32 length + UTF-8 bytes
+//! u32  n                ensemble size
+//! u32  p                selected count
+//! u8   precision        0 = f32, 1 = int8
+//! —    architecture     ResNetConfig fields (see below)
+//! u32  selector count   + that many u32 active indices
+//! f32  noise sigma      (bit pattern, big-endian)
+//! —    noise pattern    one tensor blob
+//! u8   dropout flag     0 = none; 1 = f32 probability + u64 seed follow
+//! —    head             tensor group (u32 count + tensors)
+//! u32  body count       + that many tensor groups
+//! —    tail             tensor group
+//! u32  CRC-32 trailer   IEEE 802.3, over every byte above
+//! ```
+//!
+//! A tensor blob is `u32 rank + rank × u32 dims + dims-product × f32 LE`.
+//! Decoding is structural only — bounds-checked reads, sane rank/count
+//! guards, no trailing bytes — while *semantic* validation (does this
+//! describe a buildable pipeline?) happens when the `ensembler` crate
+//! reconstructs a model from the artifact, so a hand-written tiny artifact
+//! still round-trips bytes exactly for documentation and tests.
+//!
+//! # Examples
+//!
+//! ```
+//! use ensembler_nn::{ArtifactPrecision, ModelArtifact};
+//! use ensembler_nn::models::ResNetConfig;
+//! use ensembler_tensor::Tensor;
+//!
+//! let artifact = ModelArtifact {
+//!     name: "demo".to_string(),
+//!     label: "Ensembler".to_string(),
+//!     n: 1,
+//!     p: 1,
+//!     precision: ArtifactPrecision::F32,
+//!     config: ResNetConfig::tiny_for_tests(),
+//!     selector: vec![0],
+//!     noise_sigma: 0.0,
+//!     noise_pattern: Tensor::zeros(&[1]),
+//!     dropout: None,
+//!     head: vec![Tensor::zeros(&[2])],
+//!     bodies: vec![vec![Tensor::zeros(&[2])]],
+//!     tail: vec![Tensor::zeros(&[2])],
+//! };
+//! let bytes = artifact.encode();
+//! let back = ModelArtifact::decode(&bytes)?;
+//! assert_eq!(back, artifact);
+//! # Ok::<(), ensembler_nn::ArtifactError>(())
+//! ```
+
+use crate::models::ResNetConfig;
+use ensembler_tensor::Tensor;
+use std::path::Path;
+
+/// Magic word opening every model artifact: `"ENSM"` as a big-endian `u32`.
+pub const ARTIFACT_MAGIC: u32 = 0x454E_534D;
+
+/// The current (and only) artifact format version.
+pub const ARTIFACT_VERSION: u16 = 1;
+
+/// Tensor rank above which a blob is considered malformed rather than merely
+/// exotic — the same bound the wire codec enforces.
+const MAX_TENSOR_RANK: usize = 8;
+
+/// Numeric precision the artifact's weights are intended to serve at.
+///
+/// Int8 artifacts still store `f32` tensors: quantization is deterministic
+/// from the float weights, so re-quantizing at load time reproduces the
+/// exact serving model while keeping one canonical weight encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArtifactPrecision {
+    /// Serve the weights as plain `f32`.
+    F32,
+    /// Quantize the server bodies to int8 at load time.
+    Int8,
+}
+
+impl ArtifactPrecision {
+    fn to_byte(self) -> u8 {
+        match self {
+            ArtifactPrecision::F32 => 0,
+            ArtifactPrecision::Int8 => 1,
+        }
+    }
+
+    fn from_byte(byte: u8) -> Result<Self, ArtifactError> {
+        match byte {
+            0 => Ok(ArtifactPrecision::F32),
+            1 => Ok(ArtifactPrecision::Int8),
+            other => Err(ArtifactError::Malformed(format!(
+                "unknown precision byte {other:#04x}"
+            ))),
+        }
+    }
+}
+
+/// A decoded (or to-be-encoded) model artifact: metadata, architecture and
+/// every parameter tensor of a split-inference pipeline.
+///
+/// The struct is plain data on purpose — the `ensembler` crate owns the
+/// conversion to and from a live pipeline, and tests can hand-craft tiny
+/// artifacts without building a real model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelArtifact {
+    /// Registry name the model is served under.
+    pub name: String,
+    /// Human-readable defence label (e.g. `"Ensembler"`).
+    pub label: String,
+    /// Ensemble size `N` (number of server bodies).
+    pub n: u32,
+    /// Selected count `P` (number of active bodies).
+    pub p: u32,
+    /// Serving precision the exporter intended.
+    pub precision: ArtifactPrecision,
+    /// The backbone architecture; rebuilt deterministically at load time.
+    pub config: ResNetConfig,
+    /// The client's private selector: active body indices, sorted ascending.
+    pub selector: Vec<u32>,
+    /// Standard deviation the fixed noise pattern was drawn with.
+    pub noise_sigma: f32,
+    /// The fixed per-sample noise pattern added to transmitted features.
+    pub noise_pattern: Tensor,
+    /// Optional feature-dropout defence: `(probability, seed)`.
+    pub dropout: Option<(f32, u64)>,
+    /// Parameter tensors of the client head, in [`crate::Layer::params`]
+    /// order.
+    pub head: Vec<Tensor>,
+    /// Parameter tensors of each server body, one group per body.
+    pub bodies: Vec<Vec<Tensor>>,
+    /// Parameter tensors of the client tail.
+    pub tail: Vec<Tensor>,
+}
+
+/// Typed rejection of an artifact that cannot be decoded or loaded.
+///
+/// Every corruption mode — truncation, bit flips, absurd declared sizes,
+/// stale versions — maps to one of these variants; decoding never panics and
+/// never returns a partially-filled artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArtifactError {
+    /// The file does not start with [`ARTIFACT_MAGIC`].
+    Magic {
+        /// The word actually found where the magic should be.
+        found: u32,
+    },
+    /// The format version is newer (or older) than this build understands.
+    UnsupportedVersion {
+        /// The version stamped on the artifact.
+        found: u16,
+        /// The version this build supports.
+        supported: u16,
+    },
+    /// The CRC-32 trailer does not match the preceding bytes.
+    Checksum {
+        /// Checksum recomputed over the received bytes.
+        expected: u32,
+        /// Checksum stored in the trailer.
+        found: u32,
+    },
+    /// The byte structure is invalid: truncated fields, implausible counts,
+    /// bad UTF-8 or trailing garbage.
+    Malformed(String),
+    /// The bytes decoded cleanly but do not describe a buildable model
+    /// (inconsistent architecture, out-of-range selector, shape mismatches).
+    Invalid(String),
+    /// Reading or writing the artifact file failed.
+    Io(String),
+}
+
+impl std::fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArtifactError::Magic { found } => {
+                write!(f, "not a model artifact: magic word {found:#010x}")
+            }
+            ArtifactError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "artifact format version {found} is not supported (this build reads version {supported})"
+            ),
+            ArtifactError::Checksum { expected, found } => write!(
+                f,
+                "artifact checksum mismatch: computed {expected:#010x}, trailer says {found:#010x}"
+            ),
+            ArtifactError::Malformed(message) => write!(f, "malformed artifact: {message}"),
+            ArtifactError::Invalid(message) => write!(f, "invalid model artifact: {message}"),
+            ArtifactError::Io(message) => write!(f, "artifact I/O error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+/// CRC-32 (IEEE 802.3, the zlib polynomial) over `bytes` — the artifact
+/// trailer checksum, identical to the one the serving wire protocol uses.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const fn make_table() -> [u32; 256] {
+        let mut table = [0u32; 256];
+        let mut n = 0usize;
+        while n < 256 {
+            let mut c = n as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            table[n] = c;
+            n += 1;
+        }
+        table
+    }
+    const TABLE: [u32; 256] = make_table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in bytes {
+        crc = TABLE[((crc ^ byte as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+fn put_u8(buf: &mut Vec<u8>, value: u8) {
+    buf.push(value);
+}
+
+fn put_u16(buf: &mut Vec<u8>, value: u16) {
+    buf.extend_from_slice(&value.to_be_bytes());
+}
+
+fn put_u32(buf: &mut Vec<u8>, value: u32) {
+    buf.extend_from_slice(&value.to_be_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, value: u64) {
+    buf.extend_from_slice(&value.to_be_bytes());
+}
+
+fn put_f32(buf: &mut Vec<u8>, value: f32) {
+    put_u32(buf, value.to_bits());
+}
+
+fn put_string(buf: &mut Vec<u8>, value: &str) {
+    put_u32(buf, value.len() as u32);
+    buf.extend_from_slice(value.as_bytes());
+}
+
+fn put_tensor(buf: &mut Vec<u8>, tensor: &Tensor) {
+    put_u32(buf, tensor.rank() as u32);
+    for &dim in tensor.shape() {
+        put_u32(buf, dim as u32);
+    }
+    for &v in tensor.data() {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn put_tensor_group(buf: &mut Vec<u8>, tensors: &[Tensor]) {
+    put_u32(buf, tensors.len() as u32);
+    for tensor in tensors {
+        put_tensor(buf, tensor);
+    }
+}
+
+/// A strict bounds-checked reader over the artifact payload, mirroring the
+/// wire codec's parser: no read past the end, no allocation driven by an
+/// unchecked declared count, and trailing bytes are rejected.
+struct Cursor<'a> {
+    rest: &'a [u8],
+}
+
+impl<'a> Cursor<'a> {
+    fn new(rest: &'a [u8]) -> Self {
+        Self { rest }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], ArtifactError> {
+        if self.rest.len() < n {
+            return Err(ArtifactError::Malformed(format!(
+                "truncated inside the {what}: need {n} bytes, have {}",
+                self.rest.len()
+            )));
+        }
+        let (head, rest) = self.rest.split_at(n);
+        self.rest = rest;
+        Ok(head)
+    }
+
+    fn take_u8(&mut self, what: &str) -> Result<u8, ArtifactError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn take_u32(&mut self, what: &str) -> Result<u32, ArtifactError> {
+        Ok(u32::from_be_bytes(
+            self.take(4, what)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn take_u64(&mut self, what: &str) -> Result<u64, ArtifactError> {
+        Ok(u64::from_be_bytes(
+            self.take(8, what)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn take_f32(&mut self, what: &str) -> Result<f32, ArtifactError> {
+        Ok(f32::from_bits(self.take_u32(what)?))
+    }
+
+    fn take_string(&mut self, what: &str) -> Result<String, ArtifactError> {
+        let len = self.take_u32(what)? as usize;
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| ArtifactError::Malformed(format!("{what} is not valid UTF-8")))
+    }
+
+    /// Guards a declared element count against the bytes actually remaining
+    /// (each element costs at least `min_bytes`), so an absurd count cannot
+    /// force an absurd allocation.
+    fn check_count(&self, count: usize, min_bytes: usize, what: &str) -> Result<(), ArtifactError> {
+        if count > self.rest.len() / min_bytes.max(1) {
+            return Err(ArtifactError::Malformed(format!(
+                "{what} declares {count} entries but only {} bytes remain",
+                self.rest.len()
+            )));
+        }
+        Ok(())
+    }
+
+    fn take_tensor(&mut self, what: &str) -> Result<Tensor, ArtifactError> {
+        let rank = self.take_u32(what)? as usize;
+        if rank > MAX_TENSOR_RANK {
+            return Err(ArtifactError::Malformed(format!(
+                "{what} declares implausible tensor rank {rank}"
+            )));
+        }
+        let mut shape = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            shape.push(self.take_u32(what)? as usize);
+        }
+        let elements = shape
+            .iter()
+            .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+            .ok_or_else(|| {
+                ArtifactError::Malformed(format!("{what} tensor shape {shape:?} overflows"))
+            })?;
+        let byte_len = elements.checked_mul(4).ok_or_else(|| {
+            ArtifactError::Malformed(format!("{what} tensor shape {shape:?} overflows"))
+        })?;
+        let bytes = self.take(byte_len, what)?;
+        let data = bytes
+            .chunks_exact(4)
+            .map(|chunk| f32::from_le_bytes(chunk.try_into().expect("4 bytes")))
+            .collect();
+        Tensor::from_vec(data, &shape)
+            .map_err(|e| ArtifactError::Malformed(format!("{what} tensor is malformed: {e}")))
+    }
+
+    fn take_tensor_group(&mut self, what: &str) -> Result<Vec<Tensor>, ArtifactError> {
+        let count = self.take_u32(what)? as usize;
+        // Each tensor costs at least its rank word.
+        self.check_count(count, 4, what)?;
+        let mut tensors = Vec::with_capacity(count);
+        for index in 0..count {
+            tensors.push(self.take_tensor(&format!("{what} tensor {index}"))?);
+        }
+        Ok(tensors)
+    }
+
+    fn finish(self, what: &str) -> Result<(), ArtifactError> {
+        if self.rest.is_empty() {
+            Ok(())
+        } else {
+            Err(ArtifactError::Malformed(format!(
+                "{} trailing bytes after the {what}",
+                self.rest.len()
+            )))
+        }
+    }
+}
+
+impl ModelArtifact {
+    /// Serialises the artifact into its canonical byte form, CRC trailer
+    /// included. Encoding is deterministic: the same artifact always produces
+    /// the same bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, ARTIFACT_MAGIC);
+        put_u16(&mut buf, ARTIFACT_VERSION);
+        put_string(&mut buf, &self.name);
+        put_string(&mut buf, &self.label);
+        put_u32(&mut buf, self.n);
+        put_u32(&mut buf, self.p);
+        put_u8(&mut buf, self.precision.to_byte());
+        put_u32(&mut buf, self.config.input_channels as u32);
+        put_u32(&mut buf, self.config.image_size as u32);
+        put_u32(&mut buf, self.config.stem_channels as u32);
+        put_u32(&mut buf, self.config.stage_channels.len() as u32);
+        for &channels in &self.config.stage_channels {
+            put_u32(&mut buf, channels as u32);
+        }
+        put_u32(&mut buf, self.config.blocks_per_stage as u32);
+        put_u32(&mut buf, self.config.num_classes as u32);
+        put_u8(&mut buf, u8::from(self.config.use_stem_pool));
+        put_u32(&mut buf, self.selector.len() as u32);
+        for &index in &self.selector {
+            put_u32(&mut buf, index);
+        }
+        put_f32(&mut buf, self.noise_sigma);
+        put_tensor(&mut buf, &self.noise_pattern);
+        match self.dropout {
+            None => put_u8(&mut buf, 0),
+            Some((probability, seed)) => {
+                put_u8(&mut buf, 1);
+                put_f32(&mut buf, probability);
+                put_u64(&mut buf, seed);
+            }
+        }
+        put_tensor_group(&mut buf, &self.head);
+        put_u32(&mut buf, self.bodies.len() as u32);
+        for body in &self.bodies {
+            put_tensor_group(&mut buf, body);
+        }
+        put_tensor_group(&mut buf, &self.tail);
+        let checksum = crc32(&buf);
+        put_u32(&mut buf, checksum);
+        buf
+    }
+
+    /// Decodes an artifact from its byte form.
+    ///
+    /// Validation here is *structural*: magic, version, checksum and byte
+    /// layout. Whether the decoded artifact describes a buildable model is
+    /// checked when a pipeline is reconstructed from it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the matching [`ArtifactError`] variant for a wrong magic word,
+    /// an unsupported format version, a checksum mismatch, or any structural
+    /// defect (truncation, implausible counts, trailing bytes).
+    pub fn decode(bytes: &[u8]) -> Result<Self, ArtifactError> {
+        // magic + version + trailer is the absolute minimum.
+        if bytes.len() < 10 {
+            return Err(ArtifactError::Malformed(format!(
+                "{} bytes is too short for an artifact header and trailer",
+                bytes.len()
+            )));
+        }
+        let magic = u32::from_be_bytes(bytes[0..4].try_into().expect("4 bytes"));
+        if magic != ARTIFACT_MAGIC {
+            return Err(ArtifactError::Magic { found: magic });
+        }
+        let version = u16::from_be_bytes(bytes[4..6].try_into().expect("2 bytes"));
+        if version != ARTIFACT_VERSION {
+            return Err(ArtifactError::UnsupportedVersion {
+                found: version,
+                supported: ARTIFACT_VERSION,
+            });
+        }
+        let (body, trailer) = bytes.split_at(bytes.len() - 4);
+        let found = u32::from_be_bytes(trailer.try_into().expect("4 bytes"));
+        let expected = crc32(body);
+        if expected != found {
+            return Err(ArtifactError::Checksum { expected, found });
+        }
+
+        let mut cursor = Cursor::new(&body[6..]);
+        let name = cursor.take_string("model name")?;
+        let label = cursor.take_string("model label")?;
+        let n = cursor.take_u32("ensemble size")?;
+        let p = cursor.take_u32("selected count")?;
+        let precision = ArtifactPrecision::from_byte(cursor.take_u8("precision")?)?;
+
+        let input_channels = cursor.take_u32("architecture")? as usize;
+        let image_size = cursor.take_u32("architecture")? as usize;
+        let stem_channels = cursor.take_u32("architecture")? as usize;
+        let stage_count = cursor.take_u32("architecture")? as usize;
+        cursor.check_count(stage_count, 4, "stage channel list")?;
+        let mut stage_channels = Vec::with_capacity(stage_count);
+        for _ in 0..stage_count {
+            stage_channels.push(cursor.take_u32("stage channels")? as usize);
+        }
+        let blocks_per_stage = cursor.take_u32("architecture")? as usize;
+        let num_classes = cursor.take_u32("architecture")? as usize;
+        let use_stem_pool = match cursor.take_u8("stem pool flag")? {
+            0 => false,
+            1 => true,
+            other => {
+                return Err(ArtifactError::Malformed(format!(
+                    "stem pool flag must be 0 or 1, found {other}"
+                )))
+            }
+        };
+        let config = ResNetConfig {
+            input_channels,
+            image_size,
+            stem_channels,
+            stage_channels,
+            blocks_per_stage,
+            num_classes,
+            use_stem_pool,
+        };
+
+        let selector_count = cursor.take_u32("selector")? as usize;
+        cursor.check_count(selector_count, 4, "selector index list")?;
+        let mut selector = Vec::with_capacity(selector_count);
+        for _ in 0..selector_count {
+            selector.push(cursor.take_u32("selector indices")?);
+        }
+
+        let noise_sigma = cursor.take_f32("noise sigma")?;
+        let noise_pattern = cursor.take_tensor("noise pattern")?;
+        let dropout = match cursor.take_u8("dropout flag")? {
+            0 => None,
+            1 => {
+                let probability = cursor.take_f32("dropout probability")?;
+                let seed = cursor.take_u64("dropout seed")?;
+                Some((probability, seed))
+            }
+            other => {
+                return Err(ArtifactError::Malformed(format!(
+                    "dropout flag must be 0 or 1, found {other}"
+                )))
+            }
+        };
+
+        let head = cursor.take_tensor_group("head")?;
+        let body_count = cursor.take_u32("body count")? as usize;
+        // Each body group costs at least its count word.
+        cursor.check_count(body_count, 4, "body list")?;
+        let mut bodies = Vec::with_capacity(body_count);
+        for index in 0..body_count {
+            bodies.push(cursor.take_tensor_group(&format!("body {index}"))?);
+        }
+        let tail = cursor.take_tensor_group("tail")?;
+        cursor.finish("artifact payload")?;
+
+        Ok(Self {
+            name,
+            label,
+            n,
+            p,
+            precision,
+            config,
+            selector,
+            noise_sigma,
+            noise_pattern,
+            dropout,
+            head,
+            bodies,
+            tail,
+        })
+    }
+
+    /// Writes the encoded artifact to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArtifactError::Io`] if the file cannot be written.
+    pub fn write_to_file(&self, path: impl AsRef<Path>) -> Result<(), ArtifactError> {
+        let path = path.as_ref();
+        std::fs::write(path, self.encode())
+            .map_err(|e| ArtifactError::Io(format!("cannot write {}: {e}", path.display())))
+    }
+
+    /// Reads and decodes an artifact from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArtifactError::Io`] if the file cannot be read, or any
+    /// [`ModelArtifact::decode`] error if its contents are not a valid
+    /// artifact.
+    pub fn read_from_file(path: impl AsRef<Path>) -> Result<Self, ArtifactError> {
+        let path = path.as_ref();
+        let bytes = std::fs::read(path)
+            .map_err(|e| ArtifactError::Io(format!("cannot read {}: {e}", path.display())))?;
+        Self::decode(&bytes)
+    }
+
+    /// Total number of parameter scalars stored across head, bodies and tail.
+    pub fn scalar_count(&self) -> usize {
+        let group: usize = self.head.iter().map(Tensor::len).sum::<usize>()
+            + self.tail.iter().map(Tensor::len).sum::<usize>();
+        group
+            + self
+                .bodies
+                .iter()
+                .flat_map(|body| body.iter().map(Tensor::len))
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: Vec<f32>, shape: &[usize]) -> Tensor {
+        Tensor::from_vec(data, shape).unwrap()
+    }
+
+    fn tiny_artifact() -> ModelArtifact {
+        ModelArtifact {
+            name: "m".to_string(),
+            label: "Ensembler".to_string(),
+            n: 2,
+            p: 1,
+            precision: ArtifactPrecision::Int8,
+            config: ResNetConfig::tiny_for_tests(),
+            selector: vec![1],
+            noise_sigma: 0.25,
+            noise_pattern: t(vec![0.5, -0.5], &[2]),
+            dropout: Some((0.5, 99)),
+            head: vec![t(vec![1.0], &[1])],
+            bodies: vec![vec![t(vec![2.0], &[1])], vec![t(vec![3.0], &[1])]],
+            tail: vec![t(vec![4.0, 5.0], &[2, 1])],
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let artifact = tiny_artifact();
+        let bytes = artifact.encode();
+        let back = ModelArtifact::decode(&bytes).unwrap();
+        assert_eq!(back, artifact);
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let artifact = tiny_artifact();
+        assert_eq!(artifact.encode(), artifact.encode());
+    }
+
+    #[test]
+    fn wrong_magic_is_a_typed_error() {
+        let mut bytes = tiny_artifact().encode();
+        bytes[0] = b'X';
+        // Re-stamp the trailer so the magic check (not the CRC) fires.
+        let len = bytes.len();
+        let crc = crc32(&bytes[..len - 4]);
+        bytes[len - 4..].copy_from_slice(&crc.to_be_bytes());
+        assert!(matches!(
+            ModelArtifact::decode(&bytes),
+            Err(ArtifactError::Magic { .. })
+        ));
+    }
+
+    #[test]
+    fn stale_version_is_a_typed_error() {
+        let mut bytes = tiny_artifact().encode();
+        bytes[4..6].copy_from_slice(&(ARTIFACT_VERSION + 1).to_be_bytes());
+        let len = bytes.len();
+        let crc = crc32(&bytes[..len - 4]);
+        bytes[len - 4..].copy_from_slice(&crc.to_be_bytes());
+        assert_eq!(
+            ModelArtifact::decode(&bytes),
+            Err(ArtifactError::UnsupportedVersion {
+                found: ARTIFACT_VERSION + 1,
+                supported: ARTIFACT_VERSION
+            })
+        );
+    }
+
+    #[test]
+    fn flipped_payload_byte_is_a_checksum_error() {
+        let mut bytes = tiny_artifact().encode();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        assert!(matches!(
+            ModelArtifact::decode(&bytes),
+            Err(ArtifactError::Checksum { .. })
+        ));
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        let bytes = tiny_artifact().encode();
+        for len in 0..bytes.len() {
+            assert!(
+                ModelArtifact::decode(&bytes[..len]).is_err(),
+                "prefix of {len} bytes decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let artifact = tiny_artifact();
+        let mut bytes = artifact.encode();
+        let len = bytes.len();
+        bytes.splice(len - 4..len - 4, [0u8; 4]);
+        let crc = crc32(&bytes[..len]);
+        bytes[len..].copy_from_slice(&crc.to_be_bytes());
+        assert!(matches!(
+            ModelArtifact::decode(&bytes),
+            Err(ArtifactError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn file_round_trip_and_io_errors() {
+        let artifact = tiny_artifact();
+        let dir = std::env::temp_dir().join("ensembler-artifact-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.bin");
+        artifact.write_to_file(&path).unwrap();
+        let back = ModelArtifact::read_from_file(&path).unwrap();
+        assert_eq!(back, artifact);
+        let missing = ModelArtifact::read_from_file(dir.join("nope.bin"));
+        assert!(matches!(missing, Err(ArtifactError::Io(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn scalar_count_sums_all_groups() {
+        assert_eq!(tiny_artifact().scalar_count(), 1 + 1 + 1 + 2);
+    }
+}

@@ -62,6 +62,18 @@ impl Checkpoint {
         }
     }
 
+    /// Builds a snapshot directly from an ordered tensor list (the model
+    /// artifact loader's path: tensors decoded from disk, matched
+    /// positionally against a freshly built architecture).
+    pub fn from_tensors(tensors: Vec<Tensor>) -> Self {
+        Self { tensors }
+    }
+
+    /// The captured parameter tensors, in [`Layer::params`] order.
+    pub fn tensors(&self) -> &[Tensor] {
+        &self.tensors
+    }
+
     /// Number of parameter tensors in the snapshot.
     pub fn len(&self) -> usize {
         self.tensors.len()

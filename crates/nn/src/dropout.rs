@@ -84,6 +84,12 @@ impl Dropout {
         self.p
     }
 
+    /// The private seed the per-sample masks are derived from (exported into
+    /// model artifacts so a reloaded defence masks identically).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// Makes the layer drop activations even in [`Mode::Eval`].
     ///
     /// This is how the dropout *defence* (as opposed to dropout

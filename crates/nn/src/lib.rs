@@ -41,6 +41,7 @@
 //! ```
 
 mod activation;
+pub mod artifact;
 mod checkpoint;
 mod container;
 mod conv;
@@ -57,6 +58,7 @@ mod pool;
 pub mod quant;
 
 pub use activation::{LeakyRelu, Relu, Sigmoid, Tanh};
+pub use artifact::{ArtifactError, ArtifactPrecision, ModelArtifact};
 pub use checkpoint::{Checkpoint, RestoreCheckpointError};
 pub use container::{Flatten, Identity, ResidualBlock, Sequential};
 pub use conv::{Conv2d, ConvTranspose2d};

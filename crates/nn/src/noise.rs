@@ -48,6 +48,22 @@ impl FixedNoise {
         Self { pattern, sigma }
     }
 
+    /// Reconstructs a layer from a previously sampled `pattern` (the model
+    /// artifact loader's path). The pattern is adopted verbatim, so a
+    /// restored client transmits bit-identical features.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or not finite; artifact loading
+    /// validates the stored sigma before calling this.
+    pub fn from_pattern(pattern: Tensor, sigma: f32) -> Self {
+        assert!(
+            sigma.is_finite() && sigma >= 0.0,
+            "noise standard deviation must be finite and non-negative"
+        );
+        Self { pattern, sigma }
+    }
+
     /// Creates a noiseless layer (identity), useful for the "None" baseline.
     pub fn disabled(shape: &[usize]) -> Self {
         Self {

@@ -1,0 +1,153 @@
+//! Keeps `docs/MODEL_ARTIFACTS.md` byte-exact: every
+//! `<!-- artifact-example: … -->` block in the document is decoded from its
+//! hex listing and compared against the bytes the real encoder produces for
+//! the same artifact, and every example this test knows about must appear in
+//! the document. Editing either side without the other fails this test —
+//! the same contract `wire_examples` enforces for the protocol document.
+
+use ensembler_nn::models::ResNetConfig;
+use ensembler_nn::{ArtifactPrecision, ModelArtifact};
+use ensembler_tensor::Tensor;
+use std::collections::BTreeMap;
+
+/// The artifact the document walks through byte by byte: the smallest
+/// structurally valid container exercising every section — a one-body
+/// "ensemble" with a two-element noise pattern, a dropout seed, and
+/// single-tensor head/body/tail groups. Semantically it describes no
+/// buildable pipeline (decoding is structural only), which keeps the hex
+/// listing short enough to annotate.
+fn documented_examples() -> BTreeMap<&'static str, ModelArtifact> {
+    let mut examples = BTreeMap::new();
+    examples.insert(
+        "tiny",
+        ModelArtifact {
+            name: "tiny".to_string(),
+            label: "Ensembler".to_string(),
+            n: 1,
+            p: 1,
+            precision: ArtifactPrecision::F32,
+            config: ResNetConfig::tiny_for_tests(),
+            selector: vec![0],
+            noise_sigma: 0.5,
+            noise_pattern: Tensor::from_vec(vec![0.0, -1.0], &[2]).unwrap(),
+            dropout: Some((0.25, 7)),
+            head: vec![Tensor::from_vec(vec![1.0], &[1]).unwrap()],
+            bodies: vec![vec![Tensor::from_vec(vec![0.5, 2.0], &[2]).unwrap()]],
+            tail: vec![Tensor::from_vec(vec![-0.5], &[1]).unwrap()],
+        },
+    );
+    examples
+}
+
+/// Extracts `<!-- artifact-example: name -->` hex listings from the
+/// document: the marker comment is followed (within a few lines) by a fenced
+/// code block whose lines contain hex byte pairs, optionally followed by a
+/// `|`-separated commentary column.
+fn parse_doc_examples(doc: &str) -> BTreeMap<String, Vec<u8>> {
+    let mut examples = BTreeMap::new();
+    let mut lines = doc.lines().peekable();
+    while let Some(line) = lines.next() {
+        let trimmed = line.trim();
+        let Some(rest) = trimmed.strip_prefix("<!-- artifact-example:") else {
+            continue;
+        };
+        let name = rest
+            .strip_suffix("-->")
+            .map(|n| n.trim().to_string())
+            .unwrap_or_else(|| panic!("unterminated artifact-example marker: {trimmed}"));
+
+        let mut in_block = false;
+        let mut bytes = Vec::new();
+        for line in lines.by_ref() {
+            let trimmed = line.trim();
+            if trimmed.starts_with("```") {
+                if in_block {
+                    break;
+                }
+                in_block = true;
+                continue;
+            }
+            if !in_block {
+                assert!(
+                    trimmed.is_empty(),
+                    "artifact-example {name}: expected a fenced code block, found {trimmed:?}"
+                );
+                continue;
+            }
+            let data = trimmed.split('|').next().unwrap_or("");
+            for token in data.split_whitespace() {
+                let byte = u8::from_str_radix(token, 16).unwrap_or_else(|_| {
+                    panic!("artifact-example {name}: {token:?} is not a hex byte")
+                });
+                bytes.push(byte);
+            }
+        }
+        assert!(
+            in_block,
+            "artifact-example {name}: no fenced code block follows the marker"
+        );
+        examples.insert(name, bytes);
+    }
+    examples
+}
+
+/// Renders bytes the way the document lists them, for error messages.
+fn hex_dump(bytes: &[u8]) -> String {
+    bytes
+        .chunks(16)
+        .map(|chunk| {
+            chunk
+                .iter()
+                .map(|b| format!("{b:02x}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn artifact_doc() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/MODEL_ARTIFACTS.md");
+    std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("docs/MODEL_ARTIFACTS.md must exist next to the workspace: {e}"))
+}
+
+#[test]
+fn documented_artifacts_match_the_encoder_exactly() {
+    let expected = documented_examples();
+    let found = parse_doc_examples(&artifact_doc());
+
+    for (name, artifact) in &expected {
+        let bytes = artifact.encode();
+        match found.get(*name) {
+            Some(documented) => assert_eq!(
+                documented,
+                &bytes,
+                "docs/MODEL_ARTIFACTS.md example `{name}` drifted from the encoder.\n\
+                 The encoder produces:\n{}\n",
+                hex_dump(&bytes)
+            ),
+            None => panic!(
+                "docs/MODEL_ARTIFACTS.md is missing `<!-- artifact-example: {name} -->`.\n\
+                 The encoder produces:\n{}\n",
+                hex_dump(&bytes)
+            ),
+        }
+        // The example must also survive the real decoder: the document shows
+        // bytes a reader can feed back through `ModelArtifact::decode`.
+        let decoded = ModelArtifact::decode(&bytes).expect("documented example decodes");
+        assert_eq!(&decoded, artifact, "documented example must round-trip");
+    }
+}
+
+#[test]
+fn the_document_has_no_unknown_examples() {
+    let expected = documented_examples();
+    for name in parse_doc_examples(&artifact_doc()).keys() {
+        assert!(
+            expected.contains_key(name.as_str()),
+            "docs/MODEL_ARTIFACTS.md documents `{name}`, which this test does not check — \
+             add it to documented_examples() so it cannot drift"
+        );
+    }
+}

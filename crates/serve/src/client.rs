@@ -4,7 +4,7 @@
 
 use crate::error::ServeError;
 use crate::protocol::{
-    read_message, read_tagged, write_message, write_tagged, Hello, HelloAck, Message,
+    read_message, read_tagged, write_message, write_tagged, Hello, HelloAck, Message, WireError,
     DEFAULT_MAX_PAYLOAD_BYTES, PROTOCOL_VERSION, TAGGED_WIRE_VERSION,
 };
 use ensembler::{Defense, EnsemblerError, Precision};
@@ -36,7 +36,29 @@ pub struct CompletionSlots {
 #[derive(Debug, Default)]
 struct SlotsInner {
     waiting: HashMap<u64, Sender<Result<Message, ServeError>>>,
-    failure: Option<String>,
+    failure: Option<ConnectionFailure>,
+}
+
+/// Why a multiplexed connection died, preserved with its type: a
+/// server-reported error frame stays a [`ServeError::Remote`] (so callers
+/// can match on its [`crate::ErrorCode`] — e.g. `Overloaded` from a
+/// draining server means "retry elsewhere"), everything else is a
+/// [`ServeError::Protocol`].
+#[derive(Debug, Clone)]
+enum ConnectionFailure {
+    Remote(WireError),
+    Protocol(String),
+}
+
+impl ConnectionFailure {
+    fn to_error(&self) -> ServeError {
+        match self {
+            ConnectionFailure::Remote(wire) => ServeError::Remote(wire.clone()),
+            ConnectionFailure::Protocol(reason) => {
+                ServeError::Protocol(format!("multiplexed connection failed: {reason}"))
+            }
+        }
+    }
 }
 
 impl CompletionSlots {
@@ -57,10 +79,8 @@ impl CompletionSlots {
             .inner
             .lock()
             .map_err(|_| ServeError::Protocol("completion slots mutex poisoned".to_string()))?;
-        if let Some(reason) = &inner.failure {
-            return Err(ServeError::Protocol(format!(
-                "multiplexed connection already failed: {reason}"
-            )));
+        if let Some(failure) = &inner.failure {
+            return Err(failure.to_error());
         }
         if inner.waiting.contains_key(&id) {
             return Err(ServeError::Protocol(format!(
@@ -111,14 +131,25 @@ impl CompletionSlots {
     /// future registrations with the same reason — the terminal transition a
     /// demultiplexer takes when the connection itself breaks.
     pub fn fail_all(&self, reason: &str) {
+        self.fail_all_with(ConnectionFailure::Protocol(reason.to_string()));
+    }
+
+    /// [`CompletionSlots::fail_all`] for a connection-level error frame the
+    /// *server* reported: in-flight and future requests fail with
+    /// [`ServeError::Remote`], keeping the server's typed [`crate::ErrorCode`]
+    /// (a draining server's `Overloaded`, say) instead of flattening it into
+    /// a string.
+    pub fn fail_all_remote(&self, error: WireError) {
+        self.fail_all_with(ConnectionFailure::Remote(error));
+    }
+
+    fn fail_all_with(&self, failure: ConnectionFailure) {
         let Ok(mut inner) = self.inner.lock() else {
             return;
         };
-        inner.failure = Some(reason.to_string());
+        inner.failure = Some(failure.clone());
         for (_, sender) in inner.waiting.drain() {
-            let _ = sender.send(Err(ServeError::Protocol(format!(
-                "multiplexed connection failed: {reason}"
-            ))));
+            let _ = sender.send(Err(failure.to_error()));
         }
     }
 
@@ -211,17 +242,16 @@ fn demux_loop(read_half: &mut TcpStream, slots: &CompletionSlots, max_payload_by
                     }
                 }
                 None => {
-                    let reason = match tagged.message {
-                        Message::Error(wire) => format!(
-                            "server reported a connection-level error: {} ({:?})",
-                            wire.message, wire.code
-                        ),
-                        other => format!(
+                    match tagged.message {
+                        // The server's typed report (e.g. `Overloaded` from a
+                        // draining server) must survive to every caller as a
+                        // `ServeError::Remote`, not a flattened string.
+                        Message::Error(wire) => slots.fail_all_remote(wire),
+                        other => slots.fail_all(&format!(
                             "unexpected untagged {:?} on a multiplexed connection",
                             other.message_type()
-                        ),
-                    };
-                    slots.fail_all(&reason);
+                        )),
+                    }
                     return;
                 }
             },

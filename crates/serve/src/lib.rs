@@ -14,8 +14,12 @@
 //!   in-flight requests with out-of-order responses;
 //! * [`ModelRegistry`] — the model-name → pipeline map of a multi-model
 //!   server: one `Arc<dyn Defense>` plus one coalescing
-//!   [`ensembler::InferenceEngine`] per registered model, with a default
-//!   model for legacy clients;
+//!   [`ensembler::InferenceEngine`] per registered model *version*, with a
+//!   default model for legacy clients. Since PR 8 the registry is mutable on
+//!   a live server — [`ModelRegistry::swap`] hot-reloads a model with zero
+//!   dropped requests and [`ModelRegistry::set_canary`] splits its traffic
+//!   with a second version deterministically (`docs/MODEL_ARTIFACTS.md`
+//!   covers the artifact files and the rollout lifecycle);
 //! * [`DefenseServer`] — a multi-threaded TCP server over a registry:
 //!   per-connection reader threads feed the pinned model's shared engine,
 //!   so single-image requests from different connections coalesce into
@@ -72,7 +76,9 @@ pub use error::ServeError;
 pub use protocol::{
     ErrorCode, Hello, HelloAck, Message, MessageType, TaggedMessage, WireError, WIRE_OVERHEAD,
 };
-pub use registry::{ModelRegistry, ModelSpec, ModelStats};
+pub use registry::{
+    CanarySpec, Manifest, ModelRegistry, ModelSlot, ModelSource, ModelSpec, ModelStats, VersionRole,
+};
 pub use server::{AdmissionConfig, DefenseServer, ServerConfig, ServerStats, ShardStats};
 
 use ensembler::{EnsemblerError, EnsemblerPipeline, Selector};

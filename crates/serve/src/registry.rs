@@ -1,5 +1,5 @@
 //! [`ModelRegistry`]: the model-name → pipeline map behind a multi-model
-//! [`DefenseServer`](crate::DefenseServer).
+//! [`DefenseServer`](crate::DefenseServer), mutable on a live server.
 //!
 //! One server process hosts any number of [`Defense`] pipelines, each behind
 //! its own coalescing [`InferenceEngine`]. The protocol-v3 handshake carries
@@ -8,37 +8,232 @@
 //! with one model behaves exactly like the single-model servers of earlier
 //! protocol versions.
 //!
-//! Engines are per model on purpose: requests for the same model coalesce
-//! into shared mini-batches across connections, while requests for different
-//! models never meet in a queue (they could not be stacked into one batch
-//! anyway, and a slow model must not add latency to a fast one).
+//! Engines are per model *version* on purpose: requests for the same version
+//! coalesce into shared mini-batches across connections, while requests for
+//! different models (or different versions of one model) never meet in a
+//! queue.
+//!
+//! # The model lifecycle
+//!
+//! Since PR 8 the registry is **mutable at runtime**. Each name maps to a
+//! [`ModelSlot`] — a stable handle connections pin at handshake time — and
+//! the slot's *contents* (the primary [`InferenceEngine`] plus an optional
+//! weighted canary version) can be replaced while the server runs:
+//!
+//! * [`ModelRegistry::register`] / [`ModelRegistry::remove`] add and retire
+//!   whole model names.
+//! * [`ModelRegistry::swap`] replaces a slot's primary engine. In-flight
+//!   requests hold an `Arc` to the old engine and drain to completion on it
+//!   (the same ingredient the PR-5 shutdown drain uses), while every request
+//!   arriving after the swap routes to the new engine — zero requests are
+//!   dropped.
+//! * [`ModelRegistry::set_canary`] installs a second version under the same
+//!   name with a deterministic traffic split; [`ModelRegistry::promote`]
+//!   makes it the primary and [`ModelRegistry::clear_canary`] rolls it back.
+//!
+//! Swapped-in versions must stay **handshake-compatible** with the slot
+//! (same defence label, ensemble size, selected count and head shape):
+//! connected clients verified those against their local replica at hello
+//! time, so an incompatible "upgrade" would silently break them mid-stream.
+//! An incompatible model is a new *name*, not a new version.
 
 use crate::error::ServeError;
+use ensembler::artifact::load_defense;
 use ensembler::{Defense, EngineConfig, EngineStats, InferenceEngine, QuantizedDefense};
+use ensembler_nn::ModelArtifact;
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::path::PathBuf;
+use std::sync::{Arc, RwLock};
 
-/// A snapshot of one registered model's serving counters, as reported inside
-/// [`ServerStats`](crate::ServerStats).
+/// Which version of a model slot served (or would serve) a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VersionRole {
+    /// The slot's primary version: the default route.
+    Primary,
+    /// The slot's canary version, receiving its configured traffic share.
+    Canary,
+}
+
+impl std::fmt::Display for VersionRole {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VersionRole::Primary => write!(f, "primary"),
+            VersionRole::Canary => write!(f, "canary"),
+        }
+    }
+}
+
+/// A snapshot of one registered model *version*'s serving counters, as
+/// reported inside [`ServerStats`](crate::ServerStats). A slot with a live
+/// canary contributes two entries (one per version), which is what lets an
+/// operator compare request counts and batch behaviour before promoting.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ModelStats {
     /// The registry name of the model.
     pub model: String,
+    /// The version tag of this entry's engine.
+    pub version: String,
+    /// Whether this entry is the slot's primary or its canary.
+    pub role: VersionRole,
     /// The counters of the engine serving it (requests, batches, queue
     /// depth).
     pub engine: EngineStats,
 }
 
-/// Maps model names to served pipelines, one [`InferenceEngine`] per model.
+/// One served model version: a tag the operator chose (typically the source
+/// spec or artifact file name) plus the engine serving it.
+#[derive(Debug, Clone)]
+struct ModelVersion {
+    version: String,
+    engine: Arc<InferenceEngine<dyn Defense>>,
+}
+
+#[derive(Debug)]
+struct Canary {
+    version: ModelVersion,
+    /// Share of requests routed to the canary, in percent (1..=99).
+    percent: u8,
+}
+
+#[derive(Debug)]
+struct SlotState {
+    primary: ModelVersion,
+    canary: Option<Canary>,
+}
+
+/// The stable per-name handle connections pin at handshake time.
 ///
-/// The registry is immutable once the server binds: connections resolve
-/// their model at handshake time and hold the engine for their lifetime, so
-/// there is no lock on the request path.
+/// The slot outlives every version it has ever served: a connection holds an
+/// `Arc<ModelSlot>` for its lifetime and resolves the *current* engine per
+/// request, so a [`ModelRegistry::swap`] takes effect for the very next
+/// request on every live connection while requests already submitted drain
+/// on the engine they started on.
+#[derive(Debug)]
+pub struct ModelSlot {
+    name: String,
+    state: RwLock<SlotState>,
+}
+
+impl ModelSlot {
+    fn new(name: String, version: ModelVersion) -> Self {
+        Self {
+            name,
+            state: RwLock::new(SlotState {
+                primary: version,
+                canary: None,
+            }),
+        }
+    }
+
+    /// The registry name this slot serves.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The current primary engine (handshakes describe this version to the
+    /// client).
+    pub fn primary_engine(&self) -> Arc<InferenceEngine<dyn Defense>> {
+        Arc::clone(
+            &self
+                .state
+                .read()
+                .expect("model slot lock is never poisoned")
+                .primary
+                .engine,
+        )
+    }
+
+    /// The current primary version tag.
+    pub fn primary_version(&self) -> String {
+        self.state
+            .read()
+            .expect("model slot lock is never poisoned")
+            .primary
+            .version
+            .clone()
+    }
+
+    /// The current canary version tag and traffic percentage, if a canary is
+    /// installed.
+    pub fn canary(&self) -> Option<(String, u8)> {
+        self.state
+            .read()
+            .expect("model slot lock is never poisoned")
+            .canary
+            .as_ref()
+            .map(|c| (c.version.version.clone(), c.percent))
+    }
+
+    /// Routes one request: returns the engine that must serve a request whose
+    /// deterministic routing key is `route_key`, plus which role it plays.
+    ///
+    /// The split is deterministic in the key — the same request bytes always
+    /// land on the same version — so a retried or replayed request cannot
+    /// flap between versions, and a test can verify the observed split
+    /// exactly.
+    pub fn engine_for(&self, route_key: u64) -> (Arc<InferenceEngine<dyn Defense>>, VersionRole) {
+        let state = self
+            .state
+            .read()
+            .expect("model slot lock is never poisoned");
+        if let Some(canary) = &state.canary {
+            if (route_key % 100) < u64::from(canary.percent) {
+                return (Arc::clone(&canary.version.engine), VersionRole::Canary);
+            }
+        }
+        (Arc::clone(&state.primary.engine), VersionRole::Primary)
+    }
+
+    /// Stats entries for every live version of this slot.
+    fn stats(&self) -> Vec<ModelStats> {
+        let state = self
+            .state
+            .read()
+            .expect("model slot lock is never poisoned");
+        let mut stats = vec![ModelStats {
+            model: self.name.clone(),
+            version: state.primary.version.clone(),
+            role: VersionRole::Primary,
+            engine: state.primary.engine.stats(),
+        }];
+        if let Some(canary) = &state.canary {
+            stats.push(ModelStats {
+                model: self.name.clone(),
+                version: canary.version.version.clone(),
+                role: VersionRole::Canary,
+                engine: canary.version.engine.stats(),
+            });
+        }
+        stats
+    }
+}
+
+/// The deterministic per-request canary routing key: FNV-1a over a request's
+/// raw payload bytes. Stable across processes and versions, cheap relative
+/// to inference, and — because it hashes the request *content* — independent
+/// of which connection or retry attempt carried the request.
+pub fn route_key(payload: impl Iterator<Item = u8>) -> u64 {
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for byte in payload {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Maps model names to served pipelines, one [`InferenceEngine`] per model
+/// version, mutable while the server runs.
+///
+/// Connections resolve their [`ModelSlot`] at handshake time and the current
+/// engine per request, so a slot mutation ([`ModelRegistry::swap`],
+/// [`ModelRegistry::set_canary`], [`ModelRegistry::promote`]) is visible to
+/// every live connection at its next request without dropping any request in
+/// flight.
 ///
 /// # Examples
 ///
 /// Two models in one registry — connections that do not name a model get
-/// `"default"`:
+/// `"default"` — then a zero-downtime swap of one of them:
 ///
 /// ```
 /// use ensembler::EngineConfig;
@@ -53,16 +248,29 @@ pub struct ModelStats {
 /// .with_model("alpha", Arc::new(demo_pipeline(3, 2, 8)?), EngineConfig::default())?;
 ///
 /// assert_eq!(registry.len(), 2);
-/// assert_eq!(registry.resolve(None).unwrap().0, "default");
-/// assert_eq!(registry.resolve(Some("alpha")).unwrap().0, "alpha");
+/// assert_eq!(registry.resolve(None).unwrap().name(), "default");
+/// assert_eq!(registry.resolve(Some("alpha")).unwrap().name(), "alpha");
 /// assert!(registry.resolve(Some("missing")).is_none());
+///
+/// // Hot-swap alpha to new weights (same shape, different seed): takes
+/// // effect immediately, no `&mut` required.
+/// registry.swap(
+///     "alpha",
+///     "3,2,99",
+///     Arc::new(demo_pipeline(3, 2, 99)?),
+///     EngineConfig::default(),
+/// )?;
+/// assert_eq!(registry.get("alpha").unwrap().primary_version(), "3,2,99");
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug)]
 pub struct ModelRegistry {
     default_name: String,
-    models: BTreeMap<String, Arc<InferenceEngine<dyn Defense>>>,
+    slots: RwLock<BTreeMap<String, Arc<ModelSlot>>>,
 }
+
+/// The version tag models registered without an explicit version get.
+const INITIAL_VERSION: &str = "v0";
 
 impl ModelRegistry {
     /// Creates a registry whose default model is `default_name` serving
@@ -77,15 +285,17 @@ impl ModelRegistry {
         engine: EngineConfig,
     ) -> Result<Self, ServeError> {
         let default_name = default_name.into();
-        let mut registry = Self {
+        let registry = Self {
             default_name: default_name.clone(),
-            models: BTreeMap::new(),
+            slots: RwLock::new(BTreeMap::new()),
         };
         registry.register(default_name, defense, engine)?;
         Ok(registry)
     }
 
-    /// Registers one more model under `name`.
+    /// Registers one more model under `name` with the initial version tag.
+    ///
+    /// Takes `&self`: models can be added to a live server's registry.
     ///
     /// # Errors
     ///
@@ -93,8 +303,24 @@ impl ModelRegistry {
     /// `--model name=spec` flag separator), is already registered, or the
     /// engine configuration is invalid.
     pub fn register(
-        &mut self,
+        &self,
         name: impl Into<String>,
+        defense: Arc<dyn Defense>,
+        engine: EngineConfig,
+    ) -> Result<(), ServeError> {
+        self.register_version(name, INITIAL_VERSION, defense, engine)
+    }
+
+    /// Registers one more model under `name` with an explicit version tag
+    /// (conventionally the source spec or artifact file name).
+    ///
+    /// # Errors
+    ///
+    /// As for [`ModelRegistry::register`].
+    pub fn register_version(
+        &self,
+        name: impl Into<String>,
+        version: impl Into<String>,
         defense: Arc<dyn Defense>,
         engine: EngineConfig,
     ) -> Result<(), ServeError> {
@@ -104,13 +330,18 @@ impl ModelRegistry {
                 "invalid model name {name:?}: names must be non-empty and free of whitespace and '='"
             )));
         }
-        if self.models.contains_key(&name) {
+        let mut slots = self.slots.write().expect("registry lock is never poisoned");
+        if slots.contains_key(&name) {
             return Err(ServeError::Registry(format!(
                 "model {name:?} is already registered"
             )));
         }
         let engine = InferenceEngine::shared(defense, engine).map_err(ServeError::Defense)?;
-        self.models.insert(name, engine);
+        let version = ModelVersion {
+            version: version.into(),
+            engine,
+        };
+        slots.insert(name.clone(), Arc::new(ModelSlot::new(name, version)));
         Ok(())
     }
 
@@ -120,7 +351,7 @@ impl ModelRegistry {
     ///
     /// As for [`ModelRegistry::register`].
     pub fn with_model(
-        mut self,
+        self,
         name: impl Into<String>,
         defense: Arc<dyn Defense>,
         engine: EngineConfig,
@@ -129,22 +360,178 @@ impl ModelRegistry {
         Ok(self)
     }
 
-    /// Resolves a handshake's (optional) model request to the canonical name
-    /// and the engine serving it; `None` requests the default model.
-    /// Returns `None` for a name this registry does not serve.
-    pub fn resolve(
-        &self,
-        requested: Option<&str>,
-    ) -> Option<(&str, &Arc<InferenceEngine<dyn Defense>>)> {
-        let name = requested.unwrap_or(&self.default_name);
-        self.models
-            .get_key_value(name)
-            .map(|(name, engine)| (name.as_str(), engine))
+    /// Retires a model name. Connections already pinned to the slot keep
+    /// serving (they drain away as their clients disconnect); new handshakes
+    /// for the name are refused.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an unknown name, or for the default model —
+    /// legacy clients depend on it, so it can be swapped but never removed.
+    pub fn remove(&self, name: &str) -> Result<(), ServeError> {
+        if name == self.default_name {
+            return Err(ServeError::Registry(format!(
+                "the default model {name:?} cannot be removed (swap it instead)"
+            )));
+        }
+        let mut slots = self.slots.write().expect("registry lock is never poisoned");
+        if slots.remove(name).is_none() {
+            return Err(ServeError::Registry(format!(
+                "model {name:?} is not registered"
+            )));
+        }
+        Ok(())
     }
 
-    /// The engine serving `name`, if registered.
-    pub fn get(&self, name: &str) -> Option<&Arc<InferenceEngine<dyn Defense>>> {
-        self.models.get(name)
+    /// Replaces the primary version of a live model slot. Requests already
+    /// submitted drain on the old engine; every request arriving after the
+    /// swap is served by the new one. Any installed canary is cleared — it
+    /// was staged against the version that just left.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an unknown name, an invalid engine
+    /// configuration, or a replacement that is not handshake-compatible
+    /// with the current primary (label, ensemble size, selected count and
+    /// head shape must match — connected clients verified those at hello
+    /// time).
+    pub fn swap(
+        &self,
+        name: &str,
+        version: impl Into<String>,
+        defense: Arc<dyn Defense>,
+        engine: EngineConfig,
+    ) -> Result<(), ServeError> {
+        let slot = self.require(name)?;
+        check_compatible(&slot.primary_engine(), defense.as_ref(), name)?;
+        let engine = InferenceEngine::shared(defense, engine).map_err(ServeError::Defense)?;
+        let mut state = slot
+            .state
+            .write()
+            .expect("model slot lock is never poisoned");
+        // Displace rather than drop-in-place: tearing the old engine down
+        // joins its workers, which must wait for in-flight requests — that
+        // happens on whichever serving thread releases the last pin, never
+        // here under the slot lock.
+        let displaced = std::mem::replace(
+            &mut state.primary,
+            ModelVersion {
+                version: version.into(),
+                engine,
+            },
+        );
+        let displaced_canary = state.canary.take();
+        drop(state);
+        drop(displaced_canary);
+        drop(displaced);
+        Ok(())
+    }
+
+    /// Installs (or replaces) a canary version under `name`, receiving
+    /// `percent` of the slot's traffic (deterministically per request).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an unknown name, a percentage outside `1..=99`,
+    /// an invalid engine configuration, or a canary that is not
+    /// handshake-compatible with the slot's primary.
+    pub fn set_canary(
+        &self,
+        name: &str,
+        version: impl Into<String>,
+        percent: u8,
+        defense: Arc<dyn Defense>,
+        engine: EngineConfig,
+    ) -> Result<(), ServeError> {
+        if !(1..=99).contains(&percent) {
+            return Err(ServeError::Registry(format!(
+                "canary percentage must be in 1..=99, got {percent} \
+                 (0% is no canary, 100% is a swap)"
+            )));
+        }
+        let slot = self.require(name)?;
+        check_compatible(&slot.primary_engine(), defense.as_ref(), name)?;
+        let engine = InferenceEngine::shared(defense, engine).map_err(ServeError::Defense)?;
+        let mut state = slot
+            .state
+            .write()
+            .expect("model slot lock is never poisoned");
+        let displaced = state.canary.replace(Canary {
+            version: ModelVersion {
+                version: version.into(),
+                engine,
+            },
+            percent,
+        });
+        drop(state);
+        drop(displaced);
+        Ok(())
+    }
+
+    /// Promotes the canary to primary: the canary engine (with its warm
+    /// caches and counters) becomes the slot's primary and the canary slot
+    /// empties. The outgoing primary drains exactly like a swapped-out
+    /// engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an unknown name or a slot with no canary.
+    pub fn promote(&self, name: &str) -> Result<(), ServeError> {
+        let slot = self.require(name)?;
+        let mut state = slot
+            .state
+            .write()
+            .expect("model slot lock is never poisoned");
+        match state.canary.take() {
+            Some(canary) => {
+                let displaced = std::mem::replace(&mut state.primary, canary.version);
+                drop(state);
+                drop(displaced);
+                Ok(())
+            }
+            None => Err(ServeError::Registry(format!(
+                "model {name:?} has no canary to promote"
+            ))),
+        }
+    }
+
+    /// Rolls a canary back: removes it (if any) and routes all traffic to
+    /// the primary again.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an unknown name.
+    pub fn clear_canary(&self, name: &str) -> Result<(), ServeError> {
+        let slot = self.require(name)?;
+        let displaced = slot
+            .state
+            .write()
+            .expect("model slot lock is never poisoned")
+            .canary
+            .take();
+        drop(displaced);
+        Ok(())
+    }
+
+    fn require(&self, name: &str) -> Result<Arc<ModelSlot>, ServeError> {
+        self.get(name)
+            .ok_or_else(|| ServeError::Registry(format!("model {name:?} is not registered")))
+    }
+
+    /// Resolves a handshake's (optional) model request to the slot serving
+    /// it; `None` requests the default model. Returns `None` for a name this
+    /// registry does not serve.
+    pub fn resolve(&self, requested: Option<&str>) -> Option<Arc<ModelSlot>> {
+        self.get(requested.unwrap_or(&self.default_name))
+    }
+
+    /// The slot serving `name`, if registered.
+    pub fn get(&self, name: &str) -> Option<Arc<ModelSlot>> {
+        self.slots
+            .read()
+            .expect("registry lock is never poisoned")
+            .get(name)
+            .map(Arc::clone)
     }
 
     /// The name legacy (pre-v3) connections and nameless hellos resolve to.
@@ -152,96 +539,148 @@ impl ModelRegistry {
         &self.default_name
     }
 
-    /// The engine serving the default model.
-    pub fn default_engine(&self) -> &Arc<InferenceEngine<dyn Defense>> {
-        self.models
-            .get(&self.default_name)
-            .expect("the constructor registers the default model")
+    /// The engine currently serving the default model's primary version.
+    pub fn default_engine(&self) -> Arc<InferenceEngine<dyn Defense>> {
+        self.get(&self.default_name)
+            .expect("the constructor registers the default model and remove() refuses it")
+            .primary_engine()
     }
 
     /// Registered model names, in sorted order.
-    pub fn names(&self) -> impl Iterator<Item = &str> {
-        self.models.keys().map(String::as_str)
+    pub fn names(&self) -> Vec<String> {
+        self.slots
+            .read()
+            .expect("registry lock is never poisoned")
+            .keys()
+            .cloned()
+            .collect()
     }
 
     /// Number of registered models (always at least 1).
     pub fn len(&self) -> usize {
-        self.models.len()
+        self.slots
+            .read()
+            .expect("registry lock is never poisoned")
+            .len()
     }
 
     /// Whether the registry is empty — never true, the constructor requires
     /// a default model; provided because clippy expects `is_empty` next to
     /// `len`.
     pub fn is_empty(&self) -> bool {
-        self.models.is_empty()
+        self.len() == 0
     }
 
-    /// Per-model engine counters, in sorted name order.
+    /// Per-version engine counters, in sorted name order (a slot with a
+    /// canary contributes two entries).
     pub fn stats(&self) -> Vec<ModelStats> {
-        self.models
-            .iter()
-            .map(|(name, engine)| ModelStats {
-                model: name.clone(),
-                engine: engine.stats(),
-            })
-            .collect()
+        let slots: Vec<Arc<ModelSlot>> = self
+            .slots
+            .read()
+            .expect("registry lock is never poisoned")
+            .values()
+            .map(Arc::clone)
+            .collect();
+        slots.iter().flat_map(|slot| slot.stats()).collect()
     }
 }
 
-/// A parsed `--model name=N,P,SEED[,int8]` flag: everything `serve_defense`
-/// (or a client building the matching replica) needs to construct one
-/// deterministic demo pipeline and register it under `name`.
-///
-/// # Examples
-///
-/// ```
-/// use ensembler_serve::ModelSpec;
-///
-/// let spec = ModelSpec::parse("alpha=3,2,17")?;
-/// assert_eq!(
-///     (spec.name.as_str(), spec.n, spec.p, spec.seed, spec.int8),
-///     ("alpha", 3, 2, 17, false)
-/// );
-/// let spec = ModelSpec::parse("beta=2,1,9,int8")?;
-/// assert!(spec.int8);
-/// // The spec builds the pipeline it describes.
-/// let defense = spec.build()?;
-/// assert_eq!(defense.ensemble_size(), 2);
-/// assert!(defense.label().ends_with("+int8"));
-/// # Ok::<(), Box<dyn std::error::Error>>(())
-/// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ModelSpec {
-    /// Registry name the model is served under.
-    pub name: String,
-    /// Ensemble size `N`.
-    pub n: usize,
-    /// Secretly selected count `P`.
-    pub p: usize,
-    /// Weight seed shared by server and replica.
-    pub seed: u64,
-    /// Whether to serve the int8-quantized pipeline.
-    pub int8: bool,
+/// The handshake-compatibility gate for swaps and canaries: connected
+/// clients cross-checked the ack's label / N / P against their local replica
+/// and validate response shapes against the head output, so a version that
+/// changes any of those must be a new model *name*.
+fn check_compatible(
+    current: &Arc<InferenceEngine<dyn Defense>>,
+    replacement: &dyn Defense,
+    name: &str,
+) -> Result<(), ServeError> {
+    let current = current.defense();
+    let mismatches = [
+        ("label", current.label() != replacement.label()),
+        (
+            "ensemble size",
+            current.ensemble_size() != replacement.ensemble_size(),
+        ),
+        (
+            "selected count",
+            current.selected_count() != replacement.selected_count(),
+        ),
+        (
+            "head output shape",
+            current.config().head_output_shape() != replacement.config().head_output_shape(),
+        ),
+    ];
+    if let Some((what, _)) = mismatches.iter().find(|(_, differs)| *differs) {
+        return Err(ServeError::Registry(format!(
+            "replacement for model {name:?} changes its {what}; connected clients verified that \
+             at handshake time — register an incompatible model under a new name instead"
+        )));
+    }
+    Ok(())
 }
 
-impl ModelSpec {
-    /// Parses `name=N,P,SEED` or `name=N,P,SEED,int8`.
+/// Where a served model comes from: a deterministic demo-pipeline spec
+/// (`N,P,SEED[,int8]`) or a binary model artifact file exported by
+/// `export_model`.
+///
+/// The [`std::fmt::Display`] form is the canonical *version tag* the
+/// registry records for the model, which is what makes manifest
+/// reconciliation idempotent: a model is re-swapped only when its source
+/// text changes. Artifact edits therefore belong in a *new file name* —
+/// which versioned artifacts want anyway.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelSource {
+    /// Build [`crate::demo_pipeline`]`(n, p, seed)`, quantized if `int8`.
+    Demo {
+        /// Ensemble size `N`.
+        n: usize,
+        /// Secretly selected count `P`.
+        p: usize,
+        /// Weight seed shared by server and replica.
+        seed: u64,
+        /// Whether to serve the int8-quantized pipeline.
+        int8: bool,
+    },
+    /// Load a binary model artifact from this path.
+    Artifact(PathBuf),
+}
+
+impl std::fmt::Display for ModelSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelSource::Demo { n, p, seed, int8 } => {
+                write!(f, "{n},{p},{seed}")?;
+                if *int8 {
+                    write!(f, ",int8")?;
+                }
+                Ok(())
+            }
+            ModelSource::Artifact(path) => write!(f, "{}", path.display()),
+        }
+    }
+}
+
+impl ModelSource {
+    /// Parses a source: text containing a comma is a `N,P,SEED[,int8]` demo
+    /// spec; anything else names an artifact file.
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::Registry`] when the spec does not match that
-    /// shape.
+    /// Returns [`ServeError::Registry`] for a malformed demo spec or an
+    /// empty path.
     pub fn parse(raw: &str) -> Result<Self, ServeError> {
         let bad = |why: &str| {
             ServeError::Registry(format!(
-                "bad model spec {raw:?}: {why} (expected name=N,P,SEED[,int8])"
+                "bad model source {raw:?}: {why} (expected N,P,SEED[,int8] or an artifact path)"
             ))
         };
-        let (name, rest) = raw.split_once('=').ok_or_else(|| bad("missing '='"))?;
-        if name.is_empty() || name.contains(char::is_whitespace) {
-            return Err(bad("empty or whitespace model name"));
+        if raw.is_empty() {
+            return Err(bad("empty source"));
         }
-        let fields: Vec<&str> = rest.split(',').collect();
+        if !raw.contains(',') {
+            return Ok(ModelSource::Artifact(PathBuf::from(raw)));
+        }
+        let fields: Vec<&str> = raw.split(',').collect();
         let int8 = match fields.as_slice() {
             [_, _, _] => false,
             [_, _, _, "int8"] => true,
@@ -250,28 +689,312 @@ impl ModelSpec {
         let n = fields[0].parse().map_err(|_| bad("N is not a number"))?;
         let p = fields[1].parse().map_err(|_| bad("P is not a number"))?;
         let seed = fields[2].parse().map_err(|_| bad("SEED is not a number"))?;
-        Ok(Self {
-            name: name.to_string(),
-            n,
-            p,
-            seed,
-            int8,
-        })
+        Ok(ModelSource::Demo { n, p, seed, int8 })
     }
 
-    /// Builds the deterministic demo pipeline this spec describes (see
-    /// [`crate::demo_pipeline`]), quantized when the spec says `int8`.
+    /// Builds the pipeline this source describes: the deterministic demo
+    /// pipeline (see [`crate::demo_pipeline`]), or the model reconstructed
+    /// from the named artifact file.
     ///
     /// # Errors
     ///
-    /// Returns an error if `P` is not a valid selection from `N` networks.
+    /// Returns an error if the demo spec is not a valid selection, or if the
+    /// artifact cannot be read, fails its checksum, or does not describe a
+    /// buildable model.
     pub fn build(&self) -> Result<Arc<dyn Defense>, ServeError> {
-        let pipeline = Arc::new(crate::demo_pipeline(self.n, self.p, self.seed)?);
-        Ok(if self.int8 {
-            Arc::new(QuantizedDefense::quantize(pipeline))
-        } else {
-            pipeline
+        match self {
+            ModelSource::Demo { n, p, seed, int8 } => {
+                let pipeline = Arc::new(crate::demo_pipeline(*n, *p, *seed)?);
+                Ok(if *int8 {
+                    Arc::new(QuantizedDefense::quantize(pipeline))
+                } else {
+                    pipeline
+                })
+            }
+            ModelSource::Artifact(path) => {
+                let artifact = ModelArtifact::read_from_file(path)
+                    .map_err(|e| ServeError::Registry(e.to_string()))?;
+                load_defense(&artifact).map_err(|e| ServeError::Registry(e.to_string()))
+            }
+        }
+    }
+}
+
+/// A parsed `--model name=SOURCE` flag (or manifest line): everything
+/// `serve_defense` (or a client building the matching replica) needs to
+/// construct one model and register it under `name`.
+///
+/// # Examples
+///
+/// ```
+/// use ensembler_serve::{ModelSource, ModelSpec};
+///
+/// let spec = ModelSpec::parse("alpha=3,2,17")?;
+/// assert_eq!(spec.name, "alpha");
+/// assert_eq!(
+///     spec.source,
+///     ModelSource::Demo { n: 3, p: 2, seed: 17, int8: false }
+/// );
+/// let spec = ModelSpec::parse("beta=2,1,9,int8")?;
+/// // The spec builds the pipeline it describes.
+/// let defense = spec.build()?;
+/// assert_eq!(defense.ensemble_size(), 2);
+/// assert!(defense.label().ends_with("+int8"));
+/// // A source without commas names an artifact file.
+/// let spec = ModelSpec::parse("gamma=models/gamma-2026-08.bin")?;
+/// assert!(matches!(spec.source, ModelSource::Artifact(_)));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelSpec {
+    /// Registry name the model is served under.
+    pub name: String,
+    /// Where the served pipeline comes from.
+    pub source: ModelSource,
+}
+
+impl ModelSpec {
+    /// Parses `name=N,P,SEED[,int8]` or `name=path/to/artifact.bin`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Registry`] when the spec does not match that
+    /// shape.
+    pub fn parse(raw: &str) -> Result<Self, ServeError> {
+        let (name, rest) = raw.split_once('=').ok_or_else(|| {
+            ServeError::Registry(format!(
+                "bad model spec {raw:?}: missing '=' (expected name=N,P,SEED[,int8] or name=artifact.bin)"
+            ))
+        })?;
+        if name.is_empty() || name.contains(char::is_whitespace) {
+            return Err(ServeError::Registry(format!(
+                "bad model spec {raw:?}: empty or whitespace model name"
+            )));
+        }
+        Ok(Self {
+            name: name.to_string(),
+            source: ModelSource::parse(rest)?,
         })
+    }
+
+    /// Builds the pipeline this spec describes (see [`ModelSource::build`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`ModelSource::build`].
+    pub fn build(&self) -> Result<Arc<dyn Defense>, ServeError> {
+        self.source.build()
+    }
+
+    /// The canonical version tag for this spec's source.
+    pub fn version(&self) -> String {
+        self.source.to_string()
+    }
+}
+
+/// A parsed `--canary name=SOURCE@PCT%` flag (or manifest line): a second
+/// version to serve under an existing model name, taking `percent` of its
+/// traffic.
+///
+/// # Examples
+///
+/// ```
+/// use ensembler_serve::CanarySpec;
+///
+/// let canary = CanarySpec::parse("alpha=3,2,99@25%")?;
+/// assert_eq!((canary.spec.name.as_str(), canary.percent), ("alpha", 25));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CanarySpec {
+    /// The model name and canary source.
+    pub spec: ModelSpec,
+    /// Share of the model's traffic the canary receives, in percent.
+    pub percent: u8,
+}
+
+impl CanarySpec {
+    /// Parses `name=SOURCE@PCT%` (the `%` is optional).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Registry`] for a malformed spec or a percentage
+    /// outside `1..=99`.
+    pub fn parse(raw: &str) -> Result<Self, ServeError> {
+        let bad = |why: &str| {
+            ServeError::Registry(format!(
+                "bad canary spec {raw:?}: {why} (expected name=SOURCE@PCT%)"
+            ))
+        };
+        let (spec, percent) = raw.rsplit_once('@').ok_or_else(|| bad("missing '@'"))?;
+        let percent: u8 = percent
+            .strip_suffix('%')
+            .unwrap_or(percent)
+            .parse()
+            .map_err(|_| bad("percentage is not a number"))?;
+        if !(1..=99).contains(&percent) {
+            return Err(bad("percentage must be in 1..=99"));
+        }
+        Ok(Self {
+            spec: ModelSpec::parse(spec)?,
+            percent,
+        })
+    }
+}
+
+/// A parsed model manifest: the desired set of served models (and canaries)
+/// a running server should converge to.
+///
+/// The format is line-oriented: blank lines and `#` comments are skipped,
+/// every other line is a [`ModelSpec`] (`name=SOURCE`) or, with an `@PCT%`
+/// suffix, a [`CanarySpec`] (`name=SOURCE@PCT%`, which also requires a
+/// primary line for `name`). `serve_defense --manifest FILE` watches the
+/// file and [reconciles][ModelRegistry::reconcile] the registry whenever it
+/// changes — the operator story in `docs/MODEL_ARTIFACTS.md`.
+///
+/// # Examples
+///
+/// ```
+/// use ensembler_serve::Manifest;
+///
+/// let manifest = Manifest::parse(
+///     "# the fleet\n\
+///      default=4,2,17\n\
+///      alpha=models/alpha-v3.bin\n\
+///      alpha=models/alpha-v4.bin@10%\n",
+/// )?;
+/// assert_eq!(manifest.models.len(), 2);
+/// assert_eq!(manifest.canaries.len(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Manifest {
+    /// Primary version per model name, in file order.
+    pub models: Vec<ModelSpec>,
+    /// Canary versions, in file order.
+    pub canaries: Vec<CanarySpec>,
+}
+
+impl Manifest {
+    /// Parses a manifest file's text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Registry`] for an unparsable line, a duplicate
+    /// model or canary name, or a canary without a primary line.
+    pub fn parse(text: &str) -> Result<Self, ServeError> {
+        let mut manifest = Manifest::default();
+        for (idx, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let context =
+                |e: ServeError| ServeError::Registry(format!("manifest line {}: {e}", idx + 1));
+            if line.contains('@') {
+                manifest
+                    .canaries
+                    .push(CanarySpec::parse(line).map_err(context)?);
+            } else {
+                manifest
+                    .models
+                    .push(ModelSpec::parse(line).map_err(context)?);
+            }
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for spec in &manifest.models {
+            if !seen.insert(spec.name.as_str()) {
+                return Err(ServeError::Registry(format!(
+                    "manifest lists model {:?} twice",
+                    spec.name
+                )));
+            }
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for canary in &manifest.canaries {
+            if !seen.insert(canary.spec.name.as_str()) {
+                return Err(ServeError::Registry(format!(
+                    "manifest lists two canaries for model {:?}",
+                    canary.spec.name
+                )));
+            }
+            if !manifest
+                .models
+                .iter()
+                .any(|spec| spec.name == canary.spec.name)
+            {
+                return Err(ServeError::Registry(format!(
+                    "manifest canary for {:?} has no primary line",
+                    canary.spec.name
+                )));
+            }
+        }
+        Ok(manifest)
+    }
+}
+
+impl ModelRegistry {
+    /// Converges the registry to a [`Manifest`]: registers missing models,
+    /// swaps models whose primary version tag differs, installs / replaces /
+    /// clears canaries to match, and removes models (other than the default)
+    /// the manifest no longer lists. Idempotent — reconciling an unchanged
+    /// manifest is a no-op.
+    ///
+    /// Returns one human-readable line per action taken (empty = already
+    /// converged), for the operator log.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error encountered (a model that fails to build, an
+    /// incompatible swap, …). Actions already applied stay applied — every
+    /// individual action is atomic, so a partially applied manifest is a
+    /// valid intermediate state and the next reconcile retries the rest.
+    pub fn reconcile(
+        &self,
+        manifest: &Manifest,
+        engine: EngineConfig,
+    ) -> Result<Vec<String>, ServeError> {
+        let mut actions = Vec::new();
+        for spec in &manifest.models {
+            let version = spec.version();
+            match self.get(&spec.name) {
+                None => {
+                    self.register_version(spec.name.clone(), &version, spec.build()?, engine)?;
+                    actions.push(format!("registered model {} at {version}", spec.name));
+                }
+                Some(slot) if slot.primary_version() != version => {
+                    self.swap(&spec.name, &version, spec.build()?, engine)?;
+                    actions.push(format!("swapped model {} to {version}", spec.name));
+                }
+                Some(_) => {}
+            }
+        }
+        for canary in &manifest.canaries {
+            let name = &canary.spec.name;
+            let version = canary.spec.version();
+            let current = self.get(name).and_then(|slot| slot.canary());
+            if current != Some((version.clone(), canary.percent)) {
+                self.set_canary(name, &version, canary.percent, canary.spec.build()?, engine)?;
+                actions.push(format!(
+                    "canary on model {name}: {version} at {}%",
+                    canary.percent
+                ));
+            }
+        }
+        for name in self.names() {
+            let listed = manifest.models.iter().any(|spec| spec.name == name);
+            if !listed && name != self.default_name() {
+                self.remove(&name)?;
+                actions.push(format!("removed model {name}"));
+                continue;
+            }
+            let has_canary_line = manifest.canaries.iter().any(|c| c.spec.name == name);
+            if !has_canary_line && self.get(&name).is_some_and(|slot| slot.canary().is_some()) {
+                self.clear_canary(&name)?;
+                actions.push(format!("cleared canary on model {name}"));
+            }
+        }
+        Ok(actions)
     }
 }
 
@@ -286,7 +1009,7 @@ mod tests {
 
     #[test]
     fn duplicate_and_invalid_names_are_rejected() {
-        let mut registry =
+        let registry =
             ModelRegistry::new("default", demo(2, 1, 1), EngineConfig::default()).unwrap();
         for bad in ["", "two words", "a=b"] {
             let err = registry
@@ -306,16 +1029,16 @@ mod tests {
             .unwrap()
             .with_model("aux", demo(3, 1, 5), EngineConfig::default())
             .unwrap();
-        assert_eq!(registry.resolve(None).unwrap().0, "main");
-        assert_eq!(registry.resolve(Some("aux")).unwrap().0, "aux");
+        assert_eq!(registry.resolve(None).unwrap().name(), "main");
+        assert_eq!(registry.resolve(Some("aux")).unwrap().name(), "aux");
         assert!(registry.resolve(Some("nope")).is_none());
-        assert_eq!(registry.names().collect::<Vec<_>>(), vec!["aux", "main"]);
+        assert_eq!(registry.names(), vec!["aux", "main"]);
         assert_eq!(registry.default_engine().defense().ensemble_size(), 2);
         assert!(!registry.is_empty());
     }
 
     #[test]
-    fn stats_cover_every_model() {
+    fn stats_cover_every_model_and_version() {
         let registry = ModelRegistry::new("a", demo(2, 1, 6), EngineConfig::default())
             .unwrap()
             .with_model("b", demo(2, 1, 7), EngineConfig::default())
@@ -325,6 +1048,115 @@ mod tests {
         assert_eq!(stats[0].model, "a");
         assert_eq!(stats[1].model, "b");
         assert_eq!(stats[0].engine.requests_served, 0);
+        assert_eq!(stats[0].role, VersionRole::Primary);
+
+        registry
+            .set_canary("a", "canary-v1", 10, demo(2, 1, 8), EngineConfig::default())
+            .unwrap();
+        let stats = registry.stats();
+        assert_eq!(stats.len(), 3);
+        assert_eq!(stats[1].model, "a");
+        assert_eq!(stats[1].role, VersionRole::Canary);
+        assert_eq!(stats[1].version, "canary-v1");
+    }
+
+    #[test]
+    fn swap_replaces_the_primary_without_a_mut_registry() {
+        let registry = ModelRegistry::new("m", demo(2, 1, 10), EngineConfig::default()).unwrap();
+        let before = registry.get("m").unwrap().primary_engine();
+        registry
+            .swap("m", "2,1,11", demo(2, 1, 11), EngineConfig::default())
+            .unwrap();
+        let slot = registry.get("m").unwrap();
+        assert_eq!(slot.primary_version(), "2,1,11");
+        // The old engine is still alive for whoever holds it (drain), but
+        // the slot routes to the new one.
+        assert!(!Arc::ptr_eq(&before, &slot.primary_engine()));
+    }
+
+    #[test]
+    fn swap_enforces_handshake_compatibility() {
+        let registry = ModelRegistry::new("m", demo(2, 1, 12), EngineConfig::default()).unwrap();
+        for (incompatible, what) in [
+            (demo(3, 1, 12), "ensemble size"),
+            (demo(2, 2, 12), "selected count"),
+        ] {
+            let err = registry
+                .swap("m", "bad", incompatible, EngineConfig::default())
+                .unwrap_err();
+            assert!(err.to_string().contains(what), "{what}: {err}");
+        }
+        let err = registry
+            .swap("missing", "v", demo(2, 1, 13), EngineConfig::default())
+            .unwrap_err();
+        assert!(err.to_string().contains("not registered"), "{err}");
+    }
+
+    #[test]
+    fn canary_routing_is_deterministic_and_promotable() {
+        let registry = ModelRegistry::new("m", demo(2, 1, 14), EngineConfig::default()).unwrap();
+        assert!(registry.get("m").unwrap().canary().is_none());
+        registry
+            .set_canary("m", "next", 30, demo(2, 1, 15), EngineConfig::default())
+            .unwrap();
+        let slot = registry.get("m").unwrap();
+        assert_eq!(slot.canary(), Some(("next".to_string(), 30)));
+
+        // Deterministic: the same key always routes to the same version, and
+        // exactly the keys with key % 100 < 30 hit the canary.
+        for key in 0..200u64 {
+            let (_, role) = slot.engine_for(key);
+            let expected = if key % 100 < 30 {
+                VersionRole::Canary
+            } else {
+                VersionRole::Primary
+            };
+            assert_eq!(role, expected, "key {key}");
+        }
+
+        registry.promote("m").unwrap();
+        let slot = registry.get("m").unwrap();
+        assert_eq!(slot.primary_version(), "next");
+        assert!(slot.canary().is_none());
+        assert!(registry.promote("m").is_err(), "no canary left to promote");
+    }
+
+    #[test]
+    fn canary_validation_and_rollback() {
+        let registry = ModelRegistry::new("m", demo(2, 1, 16), EngineConfig::default()).unwrap();
+        for percent in [0u8, 100] {
+            assert!(registry
+                .set_canary("m", "x", percent, demo(2, 1, 17), EngineConfig::default())
+                .is_err());
+        }
+        assert!(registry
+            .set_canary("m", "x", 10, demo(3, 1, 17), EngineConfig::default())
+            .is_err());
+        registry
+            .set_canary("m", "x", 10, demo(2, 1, 17), EngineConfig::default())
+            .unwrap();
+        registry.clear_canary("m").unwrap();
+        assert!(registry.get("m").unwrap().canary().is_none());
+        // Swapping also clears a staged canary.
+        registry
+            .set_canary("m", "x", 10, demo(2, 1, 17), EngineConfig::default())
+            .unwrap();
+        registry
+            .swap("m", "v2", demo(2, 1, 18), EngineConfig::default())
+            .unwrap();
+        assert!(registry.get("m").unwrap().canary().is_none());
+    }
+
+    #[test]
+    fn remove_refuses_the_default_model() {
+        let registry = ModelRegistry::new("main", demo(2, 1, 19), EngineConfig::default())
+            .unwrap()
+            .with_model("aux", demo(2, 1, 20), EngineConfig::default())
+            .unwrap();
+        assert!(registry.remove("main").is_err());
+        assert!(registry.remove("missing").is_err());
+        registry.remove("aux").unwrap();
+        assert_eq!(registry.names(), vec!["main"]);
     }
 
     #[test]
@@ -338,6 +1170,7 @@ mod tests {
             "x=2,b,3",
             "x=2,1,c",
             "x=2,1,3,int8,extra",
+            "x=",
         ] {
             assert!(ModelSpec::parse(bad).is_err(), "{bad:?} should not parse");
         }
@@ -353,5 +1186,131 @@ mod tests {
         // Deterministic: two builds of the same spec agree bit for bit.
         let images = ensembler_tensor::Tensor::ones(&[1, 3, 16, 16]);
         assert_eq!(a.predict(&images).unwrap(), b.predict(&images).unwrap());
+        // The version tag round-trips the source text.
+        assert_eq!(spec.version(), "3,2,11");
+        assert_eq!(
+            ModelSpec::parse("m=2,1,9,int8").unwrap().version(),
+            "2,1,9,int8"
+        );
+    }
+
+    #[test]
+    fn artifact_sources_load_from_disk() {
+        let pipeline = demo_pipeline(2, 1, 21).unwrap();
+        let artifact = ensembler::artifact::save_pipeline(
+            &pipeline,
+            "m",
+            ensembler_nn::ArtifactPrecision::F32,
+        );
+        let dir = std::env::temp_dir().join("ensembler-registry-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m-v1.bin");
+        artifact.write_to_file(&path).unwrap();
+
+        let spec = ModelSpec::parse(&format!("m={}", path.display())).unwrap();
+        let loaded = spec.build().unwrap();
+        let images = ensembler_tensor::Tensor::ones(&[1, 3, 16, 16]);
+        assert_eq!(
+            loaded.predict(&images).unwrap(),
+            pipeline.predict(&images).unwrap()
+        );
+
+        // A missing or corrupt artifact is a typed registry error.
+        assert!(ModelSpec::parse("m=missing.bin").unwrap().build().is_err());
+        std::fs::write(dir.join("bad.bin"), b"not an artifact").unwrap();
+        let err = ModelSpec::parse(&format!("m={}", dir.join("bad.bin").display()))
+            .unwrap()
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Registry(_)), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn manifests_parse_and_reconcile_idempotently() {
+        let registry =
+            ModelRegistry::new("default", demo(4, 2, 17), EngineConfig::default()).unwrap();
+        let manifest = Manifest::parse(
+            "# two models, one canary\n\
+             default=4,2,17\n\
+             alpha=2,1,5\n\
+             alpha=2,1,6@20%\n",
+        )
+        .unwrap();
+        // Three actions: the default (registered at "v0") converges to its
+        // manifest version, alpha is registered, alpha's canary installed.
+        let actions = registry
+            .reconcile(&manifest, EngineConfig::default())
+            .unwrap();
+        assert_eq!(actions.len(), 3, "{actions:?}");
+        assert_eq!(registry.names(), vec!["alpha", "default"]);
+        assert_eq!(registry.get("default").unwrap().primary_version(), "4,2,17");
+        assert_eq!(
+            registry.get("alpha").unwrap().canary(),
+            Some(("2,1,6".to_string(), 20))
+        );
+        // Idempotent: the same manifest converges to nothing.
+        assert!(registry
+            .reconcile(&manifest, EngineConfig::default())
+            .unwrap()
+            .is_empty());
+
+        // Promote by editing the manifest: canary source becomes primary.
+        let promoted = Manifest::parse("default=4,2,17\nalpha=2,1,6\n").unwrap();
+        // One action: the swap to the canary's source clears the canary too.
+        let actions = registry
+            .reconcile(&promoted, EngineConfig::default())
+            .unwrap();
+        assert_eq!(actions.len(), 1, "{actions:?}");
+        let slot = registry.get("alpha").unwrap();
+        assert_eq!(slot.primary_version(), "2,1,6");
+        assert!(slot.canary().is_none());
+
+        // Dropping the model removes it; the default stays.
+        let shrunk = Manifest::parse("default=4,2,17\n").unwrap();
+        registry
+            .reconcile(&shrunk, EngineConfig::default())
+            .unwrap();
+        assert_eq!(registry.names(), vec!["default"]);
+
+        for bad in [
+            "default=4,2,17\ndefault=4,2,18\n",    // duplicate primary
+            "a=2,1,5@10%\n",                       // canary without primary
+            "a=2,1,5\na=2,1,6@10%\na=2,1,7@20%\n", // duplicate canary
+            "what even is this\n",                 // unparsable line
+        ] {
+            assert!(Manifest::parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn canary_specs_parse_and_validate() {
+        let canary = CanarySpec::parse("m=2,1,9,int8@10%").unwrap();
+        assert_eq!(canary.percent, 10);
+        assert_eq!(canary.spec.version(), "2,1,9,int8");
+        let canary = CanarySpec::parse("m=model.bin@5").unwrap();
+        assert_eq!(canary.percent, 5);
+        for bad in [
+            "m=2,1,9",
+            "m=2,1,9@0%",
+            "m=2,1,9@100%",
+            "m=2,1,9@x%",
+            "=x@5%",
+        ] {
+            assert!(CanarySpec::parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn route_keys_are_stable_and_spread() {
+        let a = route_key([1u8, 2, 3].into_iter());
+        assert_eq!(a, route_key([1u8, 2, 3].into_iter()));
+        assert_ne!(a, route_key([1u8, 2, 4].into_iter()));
+        // A crude spread check: over 1000 distinct payloads, a 10% split
+        // lands within a few points of 10%.
+        let hits = (0..1000u32)
+            .filter(|i| route_key(i.to_le_bytes().into_iter()) % 100 < 10)
+            .count();
+        assert!((50..200).contains(&hits), "10% split routed {hits}/1000");
     }
 }

@@ -31,7 +31,7 @@ use crate::protocol::{
     read_message, read_tagged, write_message, write_tagged, ErrorCode, HelloAck, Message,
     TaggedMessage, WireError, DEFAULT_MAX_PAYLOAD_BYTES, PROTOCOL_VERSION, TAGGED_WIRE_VERSION,
 };
-use crate::registry::{ModelRegistry, ModelStats};
+use crate::registry::{route_key, ModelRegistry, ModelSlot, ModelStats};
 use ensembler::{Defense, EngineConfig, InferenceEngine};
 use ensembler_tensor::{QTensorBatch, Tensor};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -591,14 +591,13 @@ impl DefenseServer {
         self.local_addr
     }
 
-    /// The model registry this server serves.
-    pub fn registry(&self) -> &ModelRegistry {
+    /// The model registry this server serves. The registry is mutable from
+    /// `&self` — [`ModelRegistry::swap`] / [`ModelRegistry::set_canary`] /
+    /// [`ModelRegistry::promote`] reconfigure a *live* server with zero
+    /// dropped requests. Returned as the shared handle so a reload thread
+    /// (e.g. `serve_defense`'s manifest watcher) can own a clone.
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
         &self.registry
-    }
-
-    /// The default model's pipeline (what legacy clients are served).
-    pub fn defense(&self) -> &dyn Defense {
-        self.registry.default_engine().defense()
     }
 
     /// A snapshot of the serving counters, admission state and per-model
@@ -727,19 +726,21 @@ fn receive_failure_report(error: &ServeError) -> Option<(ErrorCode, String)> {
 }
 
 /// What a successful handshake pins the connection to: the resolved model's
-/// engine and the negotiated protocol version. `None` means the connection
-/// should end (the error, if any, has been reported over the wire).
-type NegotiatedEngine<'a> = Option<(&'a Arc<InferenceEngine<dyn Defense>>, u16)>;
+/// *slot* (stable across hot swaps — each request resolves the slot's
+/// current engine) and the negotiated protocol version. `None` means the
+/// connection should end (the error, if any, has been reported over the
+/// wire).
+type NegotiatedSlot = Option<(Arc<ModelSlot>, u16)>;
 
 /// Performs the handshake and resolves the model this connection serves,
 /// along with the protocol version the ack committed to.
-fn handshake<'a>(
+fn handshake(
     stream: &mut TcpStream,
-    registry: &'a ModelRegistry,
+    registry: &ModelRegistry,
     stats: &ServerStatsCells,
     draining: &AtomicBool,
     config: &ServerConfig,
-) -> Result<NegotiatedEngine<'a>, ServeError> {
+) -> Result<NegotiatedSlot, ServeError> {
     let hello = match read_message(stream, config.max_payload_bytes) {
         Ok(Message::Hello(hello)) => hello,
         Ok(other) => {
@@ -793,7 +794,7 @@ fn handshake<'a>(
         );
         return Ok(None);
     }
-    let Some((name, engine)) = registry.resolve(hello.model.as_deref()) else {
+    let Some(slot) = registry.resolve(hello.model.as_deref()) else {
         let requested = hello.model.as_deref().unwrap_or("<default>");
         send_error(
             stream,
@@ -801,11 +802,15 @@ fn handshake<'a>(
             ErrorCode::UnknownModel,
             format!(
                 "model {requested:?} is not served here; available models: {}",
-                registry.names().collect::<Vec<_>>().join(", ")
+                registry.names().join(", ")
             ),
         );
         return Ok(None);
     };
+    // The ack describes the primary version; swaps and canaries are
+    // handshake-compatible by construction (the registry enforces it), so
+    // the description stays true for the connection's whole life.
+    let engine = slot.primary_engine();
     let defense = engine.defense();
     let version = PROTOCOL_VERSION.min(hello.max_version);
     let ack = HelloAck {
@@ -815,10 +820,10 @@ fn handshake<'a>(
         selected_count: defense.selected_count() as u32,
         // Echo the resolved name only to clients that asked by name, so acks
         // to legacy clients stay byte-identical to a version-1 build's.
-        model: hello.model.as_ref().map(|_| name.to_string()),
+        model: hello.model.as_ref().map(|_| slot.name().to_string()),
     };
     write_message(stream, &Message::HelloAck(ack))?;
-    Ok(Some((engine, version)))
+    Ok(Some((slot, version)))
 }
 
 /// Payload bytes a request holds against the admission budgets: raw element
@@ -832,6 +837,30 @@ fn f32_request_bytes(transmitted: &Tensor) -> u64 {
 fn q_request_bytes(transmitted: &QTensorBatch) -> u64 {
     let elements: usize = transmitted.shape().iter().product();
     elements as u64 + 4 * transmitted.batch() as u64
+}
+
+/// The canary routing key of an `f32` request: a hash of the transmitted
+/// feature bits, so the same request content always routes to the same
+/// version whatever connection or retry carried it.
+fn f32_route_key(transmitted: &Tensor) -> u64 {
+    route_key(
+        transmitted
+            .data()
+            .iter()
+            .flat_map(|v| v.to_bits().to_le_bytes()),
+    )
+}
+
+/// Quantized sibling of [`f32_route_key`] (hashes elements and scales).
+fn q_route_key(transmitted: &QTensorBatch) -> u64 {
+    route_key(
+        transmitted.data().iter().map(|b| *b as u8).chain(
+            transmitted
+                .scales()
+                .iter()
+                .flat_map(|s| s.to_bits().to_le_bytes()),
+        ),
+    )
 }
 
 /// Drives one connection: handshake, then a request/response loop against
@@ -850,22 +879,23 @@ fn serve_connection(
     stream.set_read_timeout(config.read_timeout).ok();
     stream.set_write_timeout(config.write_timeout).ok();
 
-    let Some((engine, version)) = handshake(&mut stream, registry, stats, draining, &config)?
-    else {
+    let Some((slot, version)) = handshake(&mut stream, registry, stats, draining, &config)? else {
         return Ok(());
     };
     if version >= TAGGED_WIRE_VERSION {
-        serve_multiplexed(stream, engine, stats, admission, draining, &config)
+        serve_multiplexed(stream, &slot, stats, admission, draining, &config)
     } else {
-        serve_lockstep(stream, engine, stats, admission, draining, &config)
+        serve_lockstep(stream, &slot, stats, admission, draining, &config)
     }
 }
 
 /// The pre-v5 request/response loop: one request at a time, answered in
-/// place on the reader thread.
+/// place on the reader thread. The engine is resolved from the slot per
+/// request, so a hot swap or canary change takes effect on the very next
+/// request of an already-connected client.
 fn serve_lockstep(
     mut stream: TcpStream,
-    engine: &Arc<InferenceEngine<dyn Defense>>,
+    slot: &ModelSlot,
     stats: &ServerStatsCells,
     admission: &Arc<Admission>,
     draining: &AtomicBool,
@@ -887,7 +917,8 @@ fn serve_lockstep(
                         continue;
                     }
                 };
-                let result = run_request(engine, transmitted);
+                let (engine, _) = slot.engine_for(f32_route_key(&transmitted));
+                let result = run_request(&engine, transmitted);
                 // Release before writing: a client that has its answer must
                 // already see the budget freed (and itself in the stats).
                 drop(permit);
@@ -912,7 +943,8 @@ fn serve_lockstep(
                         continue;
                     }
                 };
-                let result = run_request_quantized(engine, transmitted);
+                let (engine, _) = slot.engine_for(q_route_key(&transmitted));
+                let result = run_request_quantized(&engine, transmitted);
                 drop(permit);
                 match result {
                     Ok(maps) => {
@@ -937,7 +969,8 @@ fn serve_lockstep(
                         continue;
                     }
                 };
-                let result = run_request_range(engine, transmitted, lo as usize, hi as usize);
+                let (engine, _) = slot.engine_for(f32_route_key(&transmitted));
+                let result = run_request_range(&engine, transmitted, lo as usize, hi as usize);
                 drop(permit);
                 match result {
                     Ok(maps) => {
@@ -962,8 +995,9 @@ fn serve_lockstep(
                         continue;
                     }
                 };
+                let (engine, _) = slot.engine_for(q_route_key(&transmitted));
                 let result =
-                    run_request_range_quantized(engine, transmitted, lo as usize, hi as usize);
+                    run_request_range_quantized(&engine, transmitted, lo as usize, hi as usize);
                 drop(permit);
                 match result {
                     Ok(maps) => {
@@ -1016,7 +1050,7 @@ type Compute<T> = Box<dyn FnOnce() -> Result<Vec<T>, ensembler::EnsemblerError> 
 /// delivers its response before the connection ends.
 fn serve_multiplexed(
     mut stream: TcpStream,
-    engine: &Arc<InferenceEngine<dyn Defense>>,
+    slot: &ModelSlot,
     stats: &Arc<ServerStatsCells>,
     admission: &Arc<Admission>,
     draining: &AtomicBool,
@@ -1028,7 +1062,7 @@ fn serve_multiplexed(
     let result = multiplexed_loop(
         &mut stream,
         &writer,
-        engine,
+        slot,
         stats,
         admission,
         draining,
@@ -1046,7 +1080,7 @@ fn serve_multiplexed(
 fn multiplexed_loop(
     stream: &mut TcpStream,
     writer: &Arc<Mutex<TcpStream>>,
-    engine: &Arc<InferenceEngine<dyn Defense>>,
+    slot: &ModelSlot,
     stats: &Arc<ServerStatsCells>,
     admission: &Arc<Admission>,
     draining: &AtomicBool,
@@ -1085,7 +1119,8 @@ fn multiplexed_loop(
                 else {
                     continue;
                 };
-                let compute = begin_f32(engine, transmitted);
+                let (engine, _) = slot.engine_for(f32_route_key(&transmitted));
+                let compute = begin_f32(&engine, transmitted);
                 finish_request(
                     writer,
                     stats,
@@ -1102,7 +1137,8 @@ fn multiplexed_loop(
                 else {
                     continue;
                 };
-                let compute = begin_quantized(engine, transmitted);
+                let (engine, _) = slot.engine_for(q_route_key(&transmitted));
+                let compute = begin_quantized(&engine, transmitted);
                 finish_request(
                     writer,
                     stats,
@@ -1123,7 +1159,8 @@ fn multiplexed_loop(
                 else {
                     continue;
                 };
-                let compute = begin_f32_range(engine, transmitted, lo as usize, hi as usize);
+                let (engine, _) = slot.engine_for(f32_route_key(&transmitted));
+                let compute = begin_f32_range(&engine, transmitted, lo as usize, hi as usize);
                 finish_request(
                     writer,
                     stats,
@@ -1144,7 +1181,8 @@ fn multiplexed_loop(
                 else {
                     continue;
                 };
-                let compute = begin_quantized_range(engine, transmitted, lo as usize, hi as usize);
+                let (engine, _) = slot.engine_for(q_route_key(&transmitted));
+                let compute = begin_quantized_range(&engine, transmitted, lo as usize, hi as usize);
                 finish_request(
                     writer,
                     stats,
@@ -1264,7 +1302,19 @@ fn begin_f32(engine: &Arc<InferenceEngine<dyn Defense>>, transmitted: Tensor) ->
     }
     if transmitted.shape()[0] == 1 {
         match engine.server_outputs_begin(transmitted) {
-            Ok(pending) => Box::new(move || pending.wait()),
+            // The closure pins the engine: a request in flight on a version
+            // that a registry swap just displaced keeps that engine alive
+            // until its answer is delivered, and the displaced engine's
+            // teardown runs on the completion thread releasing the last pin
+            // — never on the thread performing the swap.
+            Ok(pending) => {
+                let pin = Arc::clone(engine);
+                Box::new(move || {
+                    let result = pending.wait();
+                    drop(pin);
+                    result
+                })
+            }
             Err(error) => Box::new(move || Err(error)),
         }
     } else {
@@ -1283,7 +1333,15 @@ fn begin_quantized(
     }
     if transmitted.batch() == 1 {
         match engine.server_outputs_quantized_begin(transmitted) {
-            Ok(pending) => Box::new(move || pending.wait()),
+            // Pins the engine across the wait — see `begin_f32`.
+            Ok(pending) => {
+                let pin = Arc::clone(engine);
+                Box::new(move || {
+                    let result = pending.wait();
+                    drop(pin);
+                    result
+                })
+            }
             Err(error) => Box::new(move || Err(error)),
         }
     } else {
@@ -1304,7 +1362,15 @@ fn begin_f32_range(
     }
     if transmitted.shape()[0] == 1 {
         match engine.server_outputs_range_begin(transmitted, lo, hi) {
-            Ok(pending) => Box::new(move || pending.wait()),
+            // Pins the engine across the wait — see `begin_f32`.
+            Ok(pending) => {
+                let pin = Arc::clone(engine);
+                Box::new(move || {
+                    let result = pending.wait();
+                    drop(pin);
+                    result
+                })
+            }
             Err(error) => Box::new(move || Err(error)),
         }
     } else {
@@ -1325,7 +1391,15 @@ fn begin_quantized_range(
     }
     if transmitted.batch() == 1 {
         match engine.server_outputs_quantized_range_begin(transmitted, lo, hi) {
-            Ok(pending) => Box::new(move || pending.wait()),
+            // Pins the engine across the wait — see `begin_f32`.
+            Ok(pending) => {
+                let pin = Arc::clone(engine);
+                Box::new(move || {
+                    let result = pending.wait();
+                    drop(pin);
+                    result
+                })
+            }
             Err(error) => Box::new(move || Err(error)),
         }
     } else {

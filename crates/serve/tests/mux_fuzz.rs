@@ -214,10 +214,43 @@ fn completion_slots_fail_all_poisons_later_registrations() {
     }
     // ...and new registrations are refused, not silently queued forever.
     match slots.register(6) {
-        Err(ServeError::Protocol(reason)) => assert!(reason.contains("already failed")),
+        Err(ServeError::Protocol(reason)) => {
+            assert!(
+                reason.contains("failed") && reason.contains("simulated"),
+                "{reason}"
+            );
+        }
         other => panic!("register after failure must error, got {other:?}"),
     }
     assert_eq!(slots.in_flight(), 0);
+}
+
+#[test]
+fn untagged_server_error_frames_keep_their_typed_code() {
+    // An untagged Error frame (e.g. a server draining mid-handshake) must
+    // surface to every waiter — and every later registration — as a typed
+    // `ServeError::Remote` with the server's code intact, so a client can
+    // match `Overloaded` and retry against another replica.
+    let slots = CompletionSlots::new();
+    let receiver = slots.register(1).expect("register");
+    slots.fail_all_remote(WireError {
+        code: ErrorCode::Overloaded,
+        message: "server is draining for shutdown; retry against another replica".to_string(),
+    });
+    for result in [
+        receiver.recv().expect("failure delivered"),
+        slots
+            .register(2)
+            .map(|_| unreachable!("registration after failure must error")),
+    ] {
+        match result {
+            Err(ServeError::Remote(wire)) => {
+                assert_eq!(wire.code, ErrorCode::Overloaded);
+                assert!(wire.message.contains("draining"), "{}", wire.message);
+            }
+            other => panic!("expected the typed Overloaded report, got {other:?}"),
+        }
+    }
 }
 
 #[test]

@@ -9,32 +9,41 @@
 //! whenever they move.
 //!
 //! Usage: `cargo run -p ensembler-shard --bin shard_router --release -- \
-//!     [ADDR [N] [P] [SEED]] --shard HOST:PORT=lo..hi[,int8]... | --placement FILE`
+//!     [ADDR [N] [P] [SEED]] [--model SOURCE] \
+//!     --shard HOST:PORT=lo..hi[,int8]... | --placement FILE`
 //! Defaults: `127.0.0.1:7900 4 2 17`.
 //!
+//! `--model SOURCE` replaces the demo replica with any model source the
+//! serving tier accepts — `N,P,SEED[,int8]` or a versioned artifact file
+//! exported by `export_model` (see `docs/MODEL_ARTIFACTS.md`) — so a sharded
+//! deployment rolls a new version by pointing the router and its workers at
+//! the same artifact. The ensemble size then comes from the loaded model and
+//! the `N P SEED` positionals are ignored.
+//!
 //! Each worker is an ordinary `serve_defense` process started with the same
-//! `N P SEED` (plus `--model` int8 variants for `int8` shards). The
-//! placement must tile `0..N` exactly; `--placement FILE` reads the same
-//! one-shard-per-line syntax `Placement::to_config_string` writes. The
-//! operator guide, including health-check and hedging tuning, lives in
-//! `docs/SERVING.md`.
+//! `N P SEED` (or the same `--model` artifact, for artifact-driven rollouts;
+//! plus int8 variants for `int8` shards). The placement must tile `0..N`
+//! exactly; `--placement FILE` reads the same one-shard-per-line syntax
+//! `Placement::to_config_string` writes. The operator guide, including
+//! health-check and hedging tuning, lives in `docs/SERVING.md`.
 
 use ensembler::Defense;
 use ensembler_serve::cli::positional;
-use ensembler_serve::{demo_pipeline, DefenseServer, ServerConfig};
+use ensembler_serve::{demo_pipeline, DefenseServer, ModelSource, ServerConfig};
 use ensembler_shard::{Placement, RouterConfig, ShardRouter};
 use std::sync::Arc;
 
-/// The command line split three ways: positional arguments, `--shard`
-/// specs, and an optional `--placement` file.
-type ParsedArgs = (Vec<String>, Vec<String>, Option<String>);
+/// The command line split four ways: positional arguments, `--shard` specs,
+/// an optional `--placement` file and an optional `--model` source.
+type ParsedArgs = (Vec<String>, Vec<String>, Option<String>, Option<String>);
 
-/// Splits the command line into positional arguments, `--shard` specs and
-/// an optional `--placement` file.
+/// Splits the command line into positional arguments, `--shard` specs, an
+/// optional `--placement` file and an optional `--model` source.
 fn parse_args() -> Result<ParsedArgs, Box<dyn std::error::Error>> {
     let mut positional = Vec::new();
     let mut shards = Vec::new();
     let mut placement_file = None;
+    let mut model = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--shard" {
@@ -45,15 +54,22 @@ fn parse_args() -> Result<ParsedArgs, Box<dyn std::error::Error>> {
             placement_file = Some(args.next().ok_or("--placement needs a file path")?);
         } else if let Some(path) = arg.strip_prefix("--placement=") {
             placement_file = Some(path.to_string());
+        } else if arg == "--model" {
+            model = Some(
+                args.next()
+                    .ok_or("--model needs N,P,SEED[,int8] or an artifact path")?,
+            );
+        } else if let Some(source) = arg.strip_prefix("--model=") {
+            model = Some(source.to_string());
         } else {
             positional.push(arg);
         }
     }
-    Ok((positional, shards, placement_file))
+    Ok((positional, shards, placement_file, model))
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let (args, shard_flags, placement_file) = parse_args()?;
+    let (args, shard_flags, placement_file, model) = parse_args()?;
     let addr = args
         .first()
         .cloned()
@@ -61,6 +77,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n: usize = positional(&args, 1, 4);
     let p: usize = positional(&args, 2, 2);
     let seed: u64 = positional(&args, 3, 17);
+
+    // The replica the router scatters for: the demo pipeline by default, or
+    // any model source — including a versioned artifact file — with the
+    // ensemble size coming from the model itself.
+    let (client, label): (Arc<dyn Defense>, String) = match &model {
+        Some(source) => {
+            let source = ModelSource::parse(source)?;
+            let client = source.build()?;
+            let label = format!("{} from {source}", client.label());
+            (client, label)
+        }
+        None => (
+            Arc::new(demo_pipeline(n, p, seed)?),
+            format!("Ensembler (N={n} P={p} seed={seed})"),
+        ),
+    };
+    let n = client.ensemble_size();
 
     let placement = match (&placement_file, shard_flags.is_empty()) {
         (Some(path), true) => Placement::from_config_str(&std::fs::read_to_string(path)?, n)?,
@@ -75,7 +108,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     };
 
-    let client: Arc<dyn Defense> = Arc::new(demo_pipeline(n, p, seed)?);
     let router_config = RouterConfig::default();
     let router = Arc::new(ShardRouter::new(
         Arc::clone(&client),
@@ -89,7 +121,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ServerConfig::default(),
     )?;
     println!(
-        "routing Ensembler (N={n} P={p} seed={seed}) on {} over {} worker(s):",
+        "routing {label} on {} over {} worker(s):",
         server.local_addr(),
         placement.shards().len()
     );

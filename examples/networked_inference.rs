@@ -37,7 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let server = DefenseServer::bind_registry(registry, "127.0.0.1:0", config)?;
     println!(
         "cloud: serving models [{}] (N={n}, P={p}) on {}",
-        server.registry().names().collect::<Vec<_>>().join(", "),
+        server.registry().names().join(", "),
         server.local_addr()
     );
 
