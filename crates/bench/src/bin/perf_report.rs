@@ -26,7 +26,7 @@ use ensembler_bench::ExperimentScale;
 use ensembler_data::SyntheticSpec;
 use ensembler_latency::network_cost;
 use ensembler_nn::models::{build_body, build_head, build_tail, ResNetConfig};
-use ensembler_nn::{Conv2d, FixedNoise, Layer, Linear, Mode};
+use ensembler_nn::{Conv2d, FixedNoise, FusionConfig, Layer, Linear, Mode};
 use ensembler_serve::registry::route_key;
 use ensembler_serve::{
     demo_pipeline, AdmissionConfig, DefenseServer, ModelRegistry, RemoteDefense, ServerConfig,
@@ -857,6 +857,102 @@ fn quantized_case(ensemble_size: usize, selected: usize, budget: Duration) -> Js
     ])
 }
 
+/// The compiled fused forward path (graph IR + fusion passes in
+/// `crates/nn/src/compiler.rs`) vs the eager per-layer forwards, end to end
+/// at both precisions. `bit_exact` fuses relu into the GEMM epilogues (and
+/// is asserted bit-identical to eager before timing); `full` additionally
+/// folds conv+bn and is compared under the conformance suite's tolerance
+/// instead.
+fn fusion_case(ensemble_size: usize, selected: usize, budget: Duration) -> JsonValue {
+    let fused = demo_pipeline(ensemble_size, selected, 7).expect("valid demo pipeline");
+    let eager = demo_pipeline(ensemble_size, selected, 7)
+        .expect("valid demo pipeline")
+        .with_fusion(FusionConfig::none());
+    let folded = demo_pipeline(ensemble_size, selected, 7)
+        .expect("valid demo pipeline")
+        .with_fusion(FusionConfig::full());
+    let config = fused.config().clone();
+    let batch = 32usize;
+    let mut rng = Rng::seed_from(37);
+    let images = Tensor::from_fn(
+        &[
+            batch,
+            config.input_channels,
+            config.image_size,
+            config.image_size,
+        ],
+        |_| rng.uniform(-1.0, 1.0),
+    );
+    // The invariant the timings rest on: the default (bit_exact) plans are
+    // indistinguishable from the eager forwards.
+    assert_eq!(
+        fused.predict(&images).expect("fused predict"),
+        eager.predict(&images).expect("eager predict"),
+        "bit_exact fused plans must reproduce the eager forward bit-for-bit"
+    );
+    let eager_ms = time_ms(budget, || eager.predict(&images).expect("eager predict"));
+    let fused_ms = time_ms(budget, || fused.predict(&images).expect("fused predict"));
+    let folded_ms = time_ms(budget, || folded.predict(&images).expect("folded predict"));
+
+    // Int8: the quantized wrapper compiles its own fused plans over the
+    // folded-or-not bodies; eager is the per-stage QSequential forward.
+    let inner: Arc<dyn Defense> =
+        Arc::new(demo_pipeline(ensemble_size, selected, 7).expect("valid demo pipeline"));
+    let int8_fused = QuantizedDefense::quantize(Arc::clone(&inner));
+    let int8_eager = QuantizedDefense::quantize_with(Arc::clone(&inner), FusionConfig::none());
+    // Folding happens *before* quantization, so the folded int8 plan both
+    // skips the bn passes and exposes conv+relu adjacencies to the epilogue.
+    let int8_folded = QuantizedDefense::quantize_with(Arc::clone(&inner), FusionConfig::full());
+    assert_eq!(
+        int8_fused.predict(&images).expect("fused int8 predict"),
+        int8_eager.predict(&images).expect("eager int8 predict"),
+        "bit_exact fused int8 plans must reproduce the eager quantized forward"
+    );
+    let int8_eager_ms = time_ms(budget, || {
+        int8_eager.predict(&images).expect("eager int8 predict")
+    });
+    let int8_fused_ms = time_ms(budget, || {
+        int8_fused.predict(&images).expect("fused int8 predict")
+    });
+    let int8_folded_ms = time_ms(budget, || {
+        int8_folded.predict(&images).expect("folded int8 predict")
+    });
+
+    println!(
+        "  f32  N={ensemble_size} P={selected} batch={batch}: eager {eager_ms:8.3} ms | fused {fused_ms:8.3} ms ({:4.2}x) | folded {folded_ms:8.3} ms ({:4.2}x)",
+        eager_ms / fused_ms,
+        eager_ms / folded_ms,
+    );
+    println!(
+        "  int8 N={ensemble_size} P={selected} batch={batch}: eager {int8_eager_ms:8.3} ms | fused {int8_fused_ms:8.3} ms ({:4.2}x) | folded {int8_folded_ms:8.3} ms ({:4.2}x)",
+        int8_eager_ms / int8_fused_ms,
+        int8_eager_ms / int8_folded_ms,
+    );
+    obj(vec![
+        ("ensemble_size", JsonValue::Number(ensemble_size as f64)),
+        ("selected", JsonValue::Number(selected as f64)),
+        ("batch", JsonValue::Number(batch as f64)),
+        ("f32_eager_ms", num(eager_ms)),
+        ("f32_fused_ms", num(fused_ms)),
+        ("f32_folded_ms", num(folded_ms)),
+        ("f32_fused_speedup", num(eager_ms / fused_ms)),
+        ("f32_folded_speedup", num(eager_ms / folded_ms)),
+        (
+            "f32_fused_images_per_s",
+            num(batch as f64 / (fused_ms * 1e-3)),
+        ),
+        ("int8_eager_ms", num(int8_eager_ms)),
+        ("int8_fused_ms", num(int8_fused_ms)),
+        ("int8_folded_ms", num(int8_folded_ms)),
+        ("int8_fused_speedup", num(int8_eager_ms / int8_fused_ms)),
+        ("int8_folded_speedup", num(int8_eager_ms / int8_folded_ms)),
+        (
+            "int8_fused_images_per_s",
+            num(batch as f64 / (int8_fused_ms * 1e-3)),
+        ),
+    ])
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
@@ -895,6 +991,9 @@ fn main() {
     println!("End-to-end inference:");
     let e2e = end_to_end_case(4, budget);
 
+    println!("Fused compiled plans vs eager layer forwards (crates/nn compiler):");
+    let fusion = fusion_case(4, 2, budget);
+
     println!("Loopback-TCP serving (crates/serve, two-model registry) vs in-process:");
     let serving = serving_case(4, 2, budget);
 
@@ -923,13 +1022,14 @@ fn main() {
 
     let report = obj(vec![
         ("report", JsonValue::String("perf_report".to_string())),
-        ("version", JsonValue::Number(7.0)),
+        ("version", JsonValue::Number(8.0)),
         ("unix_time_s", JsonValue::Number(epoch_s as f64)),
         ("cores", JsonValue::Number(cores as f64)),
         ("scale", JsonValue::String(format!("{scale:?}"))),
         ("gemm", JsonValue::Array(gemm)),
         ("layers", JsonValue::Array(layers)),
         ("end_to_end", e2e),
+        ("fusion", fusion),
         ("serving", serving),
         ("load", load),
         ("lifecycle", lifecycle),

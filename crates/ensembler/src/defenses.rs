@@ -15,13 +15,14 @@
 //! ensembled analogue and lives in [`crate::trainer::EnsemblerTrainer::train_joint`].
 
 use crate::defense::Defense;
+use crate::plans::PlanCell;
 use crate::trainer::TrainConfig;
 use crate::EnsemblerError;
 use ensembler_data::Dataset;
 use ensembler_nn::models::{build_body, build_head, build_tail, ResNetConfig};
 use ensembler_nn::{
-    CrossEntropyLoss, Dropout, FixedNoise, Identity, Layer, LearnedNoise, Mode, Optimizer, Param,
-    Sequential, Sgd,
+    CompiledPlan, CrossEntropyLoss, Dropout, FixedNoise, FusionConfig, Identity, Layer,
+    LearnedNoise, Mode, Optimizer, Param, Sequential, Sgd,
 };
 use ensembler_tensor::{Rng, Tensor};
 
@@ -142,6 +143,10 @@ pub struct SinglePipeline {
     defense: DefenseLayer,
     body: [Sequential; 1],
     tail: Sequential,
+    fusion: FusionConfig,
+    // Plans for [head, body, tail], compiled lazily and invalidated by
+    // training and `body_mut`.
+    plans: PlanCell,
 }
 
 impl SinglePipeline {
@@ -194,6 +199,8 @@ impl SinglePipeline {
             defense,
             body: [body],
             tail,
+            fusion: FusionConfig::default(),
+            plans: PlanCell::new(),
         })
     }
 
@@ -202,9 +209,35 @@ impl SinglePipeline {
         self.kind
     }
 
+    /// Recompiles the pipeline's execution plans with a different
+    /// [`FusionConfig`].
+    pub fn with_fusion(mut self, fusion: FusionConfig) -> Self {
+        self.fusion = fusion;
+        self.plans.invalidate();
+        self
+    }
+
+    /// The fusion configuration the pipeline's plans are compiled with.
+    pub fn fusion(&self) -> FusionConfig {
+        self.fusion
+    }
+
+    /// The compiled plans for `[head, body, tail]`, recompiling them if the
+    /// weights changed since the last inference.
+    fn plans(&self) -> std::sync::Arc<Vec<CompiledPlan>> {
+        self.plans.get_or_compile(|| {
+            vec![
+                CompiledPlan::compile(&self.head, self.fusion),
+                CompiledPlan::compile(&self.body[0], self.fusion),
+                CompiledPlan::compile(&self.tail, self.fusion),
+            ]
+        })
+    }
+
     /// Mutable access to the server body (training only; inference uses the
-    /// immutable [`Defense`] methods).
+    /// immutable [`Defense`] methods). Invalidates the cached plans.
     pub fn body_mut(&mut self) -> &mut Sequential {
+        self.plans.invalidate();
         &mut self.body[0]
     }
 
@@ -234,6 +267,9 @@ impl SinglePipeline {
         if data.is_empty() {
             return Err(EnsemblerError::EmptyDataset);
         }
+        // Training mutates every stage; drop the compiled plans now so
+        // inference after training recompiles against the new weights.
+        self.plans.invalidate();
         let mut rng = Rng::seed_from(train.seed);
         let mut optimizer = Sgd::new(train.learning_rate).with_momentum(0.9);
         let loss_fn = CrossEntropyLoss::new();
@@ -292,12 +328,12 @@ impl Defense for SinglePipeline {
 
     /// Computes the features the client transmits (head output plus defence).
     fn client_features(&self, images: &Tensor) -> Result<Tensor, EnsemblerError> {
-        let features = self.head.forward(images, Mode::Eval);
+        let features = self.plans()[0].run(images)?;
         Ok(self.defense.forward(&features, Mode::Eval))
     }
 
     fn server_outputs(&self, transmitted: &Tensor) -> Result<Vec<Tensor>, EnsemblerError> {
-        Ok(vec![self.body[0].forward(transmitted, Mode::Eval)])
+        Ok(vec![self.plans()[1].run(transmitted)?])
     }
 
     fn classify(&self, server_maps: &[Tensor]) -> Result<Tensor, EnsemblerError> {
@@ -307,7 +343,7 @@ impl Defense for SinglePipeline {
                 server_maps.len()
             )));
         }
-        Ok(self.tail.forward(&server_maps[0], Mode::Eval))
+        Ok(self.plans()[2].run(&server_maps[0])?)
     }
 }
 

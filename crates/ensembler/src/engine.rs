@@ -1217,18 +1217,82 @@ mod tests {
     }
 
     #[test]
-    fn a_panicking_prediction_does_not_kill_the_worker() {
-        // [4, 8, 8] passes the rank check but trips the Conv2d channel assert
-        // deep inside the pipeline. The single worker must survive the panic
-        // and keep serving; without the catch, the next request would hang
-        // forever on a dead queue.
+    fn a_malformed_shape_is_a_typed_error_and_the_worker_survives() {
+        // [4, 8, 8] passes the rank check but has the wrong channel count.
+        // The compiled plans turn what used to be a Conv2d panic into a
+        // typed shape error, and the single worker keeps serving.
         let engine = tiny_engine(1, 2);
         let err = engine.predict_one(Tensor::ones(&[4, 8, 8])).unwrap_err();
+        assert!(
+            matches!(err, EnsemblerError::ShapeMismatch(_)),
+            "channel mismatch should be a typed shape error, got {err:?}"
+        );
+        let logits = engine.predict_one(Tensor::ones(&[3, 8, 8])).unwrap();
+        assert_eq!(logits.len(), 3, "worker must still be alive");
+    }
+
+    /// A defense whose forward panics unconditionally, standing in for any
+    /// bug the shape validation does not catch.
+    #[derive(Debug)]
+    struct PanickingDefense {
+        config: ResNetConfig,
+    }
+
+    impl Defense for PanickingDefense {
+        fn config(&self) -> &ResNetConfig {
+            &self.config
+        }
+
+        fn label(&self) -> &str {
+            "panicker"
+        }
+
+        fn server_bodies(&self) -> &[ensembler_nn::Sequential] {
+            &[]
+        }
+
+        fn selected_count(&self) -> usize {
+            1
+        }
+
+        fn client_features(&self, _images: &Tensor) -> Result<Tensor, EnsemblerError> {
+            panic!("injected client_features failure")
+        }
+
+        fn server_outputs(&self, _transmitted: &Tensor) -> Result<Vec<Tensor>, EnsemblerError> {
+            panic!("injected server_outputs failure")
+        }
+
+        fn classify(&self, _server_maps: &[Tensor]) -> Result<Tensor, EnsemblerError> {
+            panic!("injected classify failure")
+        }
+    }
+
+    #[test]
+    fn a_panicking_prediction_does_not_kill_the_worker() {
+        // Shape validation can't catch everything; a genuine panic inside
+        // the defense must still surface as an engine error without wedging
+        // the worker queue.
+        let defense = Arc::new(PanickingDefense {
+            config: ResNetConfig::tiny_for_tests(),
+        });
+        let engine = InferenceEngine::new(
+            defense,
+            EngineConfig {
+                max_batch: 2,
+                batch_window: Duration::from_millis(10),
+                workers: 1,
+            },
+        )
+        .unwrap();
+        let err = engine.predict_one(Tensor::ones(&[3, 8, 8])).unwrap_err();
         assert!(
             matches!(err, EnsemblerError::Engine(_)),
             "panic should surface as an engine error, got {err:?}"
         );
-        let logits = engine.predict_one(Tensor::ones(&[3, 8, 8])).unwrap();
-        assert_eq!(logits.len(), 3, "worker must still be alive");
+        // The worker thread survives: a second request gets an answer (the
+        // same injected panic) instead of hanging on a dead queue.
+        let err = engine.predict_one(Tensor::ones(&[3, 8, 8])).unwrap_err();
+        assert!(matches!(err, EnsemblerError::Engine(_)));
     }
 }

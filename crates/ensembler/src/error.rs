@@ -60,6 +60,14 @@ impl fmt::Display for EnsemblerError {
 
 impl Error for EnsemblerError {}
 
+impl From<ensembler_tensor::ShapeError> for EnsemblerError {
+    /// A typed shape failure from a compiled plan surfaces as
+    /// [`EnsemblerError::ShapeMismatch`] at the pipeline boundary.
+    fn from(err: ensembler_tensor::ShapeError) -> Self {
+        EnsemblerError::ShapeMismatch(err.message().to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,9 +1,10 @@
 //! The Ensembler inference pipeline (Fig. 2 of the paper).
 
 use crate::defense::Defense;
+use crate::plans::PlanCell;
 use crate::{EnsemblerError, Selector};
 use ensembler_nn::models::ResNetConfig;
-use ensembler_nn::{Dropout, FixedNoise, Layer, Mode, Sequential};
+use ensembler_nn::{CompiledPlan, Dropout, FixedNoise, FusionConfig, Layer, Mode, Sequential};
 use ensembler_tensor::{par_map, Tensor};
 
 /// The full Ensembler collaborative-inference pipeline.
@@ -23,6 +24,13 @@ use ensembler_tensor::{par_map, Tensor};
 /// realisation of the paper's argument that the `O(N)` server cost
 /// parallelises away.
 ///
+/// Inference does not call `Layer::forward` directly: head, bodies and tail
+/// are lowered through [`ensembler_nn::graph`] and compiled into fused
+/// [`CompiledPlan`]s (see [`FusionConfig`]) — once per pipeline, cached, and
+/// invalidated when [`EnsemblerPipeline::bodies_mut`] hands out mutable
+/// weights. The plans also validate request shapes, so a malformed batch
+/// returns [`EnsemblerError::ShapeMismatch`] instead of panicking.
+///
 /// The pipeline exposes the pieces an adversarial server legitimately has
 /// access to under the paper's threat model — the bodies
 /// ([`Defense::server_bodies`]) and the architecture ([`Defense::config`]) —
@@ -37,6 +45,10 @@ pub struct EnsemblerPipeline {
     bodies: Vec<Sequential>,
     selector: Selector,
     tail: Sequential,
+    fusion: FusionConfig,
+    head_plan: CompiledPlan,
+    tail_plan: CompiledPlan,
+    body_plans: PlanCell,
 }
 
 impl EnsemblerPipeline {
@@ -65,6 +77,9 @@ impl EnsemblerPipeline {
                 available: bodies.len(),
             });
         }
+        let fusion = FusionConfig::default();
+        let head_plan = CompiledPlan::compile(&head, fusion);
+        let tail_plan = CompiledPlan::compile(&tail, fusion);
         Ok(Self {
             config,
             head,
@@ -73,6 +88,37 @@ impl EnsemblerPipeline {
             bodies,
             selector,
             tail,
+            fusion,
+            head_plan,
+            tail_plan,
+            body_plans: PlanCell::new(),
+        })
+    }
+
+    /// Recompiles the pipeline's execution plans with a different
+    /// [`FusionConfig`] (e.g. [`FusionConfig::none`] for an eager baseline or
+    /// [`FusionConfig::full`] for conv+bn folding).
+    pub fn with_fusion(mut self, fusion: FusionConfig) -> Self {
+        self.fusion = fusion;
+        self.head_plan = CompiledPlan::compile(&self.head, fusion);
+        self.tail_plan = CompiledPlan::compile(&self.tail, fusion);
+        self.body_plans.invalidate();
+        self
+    }
+
+    /// The fusion configuration the pipeline's plans are compiled with.
+    pub fn fusion(&self) -> FusionConfig {
+        self.fusion
+    }
+
+    /// The compiled body plans, recompiling them if weights changed since the
+    /// last inference.
+    fn body_plans(&self) -> std::sync::Arc<Vec<CompiledPlan>> {
+        self.body_plans.get_or_compile(|| {
+            self.bodies
+                .iter()
+                .map(|body| CompiledPlan::compile(body, self.fusion))
+                .collect()
         })
     }
 
@@ -117,7 +163,11 @@ impl EnsemblerPipeline {
 
     /// Mutable access to the server bodies (training and weight surgery; all
     /// inference goes through the immutable [`Defense`] methods).
+    ///
+    /// Invalidates the cached body plans: the next inference recompiles them
+    /// against the mutated weights.
     pub fn bodies_mut(&mut self) -> &mut [Sequential] {
+        self.body_plans.invalidate();
         &mut self.bodies
     }
 
@@ -153,7 +203,7 @@ impl Defense for EnsemblerPipeline {
     /// Computes the features the client transmits for a batch of images:
     /// `M_c,h(x) + N(0, σ)` (plus dropout if the DR-N defence is enabled).
     fn client_features(&self, images: &Tensor) -> Result<Tensor, EnsemblerError> {
-        let features = self.head.forward(images, Mode::Eval);
+        let features = self.head_plan.run(images)?;
         let noisy = self.noise.forward(&features, Mode::Eval);
         Ok(match &self.dropout {
             Some(dropout) => dropout.forward(&noisy, Mode::Eval),
@@ -168,9 +218,11 @@ impl Defense for EnsemblerPipeline {
     /// shared `&self` — the property the paper uses to argue the `O(N)`
     /// server cost parallelises away in multi-GPU or multi-party deployments.
     fn server_outputs(&self, transmitted: &Tensor) -> Result<Vec<Tensor>, EnsemblerError> {
-        Ok(par_map(&self.bodies, |body| {
-            body.forward(transmitted, Mode::Eval)
-        }))
+        let plans = self.body_plans();
+        let maps = par_map(&plans, |plan| plan.run(transmitted));
+        maps.into_iter()
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(EnsemblerError::from)
     }
 
     /// Evaluates only the bodies `lo..hi` — the sharded-worker serving mode.
@@ -183,16 +235,18 @@ impl Defense for EnsemblerPipeline {
         hi: usize,
     ) -> Result<Vec<Tensor>, EnsemblerError> {
         crate::check_body_range(lo, hi, self.bodies.len())?;
-        Ok(par_map(&self.bodies[lo..hi], |body| {
-            body.forward(transmitted, Mode::Eval)
-        }))
+        let plans = self.body_plans();
+        let maps = par_map(&plans[lo..hi], |plan| plan.run(transmitted));
+        maps.into_iter()
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(EnsemblerError::from)
     }
 
     /// Applies the private selector and the client tail to the server's
     /// feature maps, producing class logits.
     fn classify(&self, server_maps: &[Tensor]) -> Result<Tensor, EnsemblerError> {
         let combined = self.selector.combine(server_maps)?;
-        Ok(self.tail.forward(&combined, Mode::Eval))
+        Ok(self.tail_plan.run(&combined)?)
     }
 }
 

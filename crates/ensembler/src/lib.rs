@@ -75,6 +75,7 @@ pub mod defenses;
 pub mod engine;
 mod error;
 pub mod framework;
+mod plans;
 pub mod quant;
 pub mod selector;
 pub mod split;

@@ -19,7 +19,7 @@
 use crate::defense::{Defense, Precision};
 use crate::EnsemblerError;
 use ensembler_nn::models::ResNetConfig;
-use ensembler_nn::{QSequential, Sequential};
+use ensembler_nn::{FusionConfig, QCompiledPlan, QSequential, Sequential};
 use ensembler_tensor::{par_map, QTensorBatch, Tensor};
 use std::sync::Arc;
 
@@ -56,26 +56,52 @@ pub struct QuantizedDefense {
     inner: Arc<dyn Defense>,
     label: String,
     qbodies: Vec<QSequential>,
+    fusion: FusionConfig,
+    qplans: Vec<QCompiledPlan>,
 }
 
 impl QuantizedDefense {
-    /// Quantizes the server bodies of `inner` for int8 serving.
+    /// Quantizes the server bodies of `inner` for int8 serving with the
+    /// default (bit-exact) fusion configuration.
     ///
     /// The label gains an `+int8` suffix so the serving handshake refuses to
     /// pair an int8 client replica with an `f32` deployment (or vice versa)
     /// — mixing them would silently produce logits that differ from both.
     pub fn quantize(inner: Arc<dyn Defense>) -> Self {
-        let qbodies = inner
+        Self::quantize_with(inner, FusionConfig::default())
+    }
+
+    /// Quantizes the server bodies of `inner`, compiling the int8 execution
+    /// plans with an explicit [`FusionConfig`].
+    ///
+    /// Under [`FusionConfig::none`] and [`FusionConfig::bit_exact`] the
+    /// plans reproduce the eager [`QSequential`] forward bit-for-bit; only
+    /// [`FusionConfig::full`] (conv+bn folding before quantization) changes
+    /// the arithmetic, within the documented fold tolerance.
+    pub fn quantize_with(inner: Arc<dyn Defense>, fusion: FusionConfig) -> Self {
+        let qbodies: Vec<QSequential> = inner
             .server_bodies()
             .iter()
             .map(QSequential::from_sequential)
+            .collect();
+        let qplans = inner
+            .server_bodies()
+            .iter()
+            .map(|body| QCompiledPlan::compile(body, fusion))
             .collect();
         let label = format!("{}+int8", inner.label());
         Self {
             inner,
             label,
             qbodies,
+            fusion,
+            qplans,
         }
+    }
+
+    /// The fusion configuration the int8 plans are compiled with.
+    pub fn fusion(&self) -> FusionConfig {
+        self.fusion
     }
 
     /// The wrapped full-precision pipeline.
@@ -135,9 +161,13 @@ impl Defense for QuantizedDefense {
         transmitted: &QTensorBatch,
     ) -> Result<Vec<QTensorBatch>, EnsemblerError> {
         let features = transmitted.dequantize();
-        Ok(par_map(&self.qbodies, |body| {
-            QTensorBatch::quantize_batch(&body.forward(&features))
-        }))
+        let maps = par_map(&self.qplans, |plan| {
+            plan.run(&features)
+                .map(|out| QTensorBatch::quantize_batch(&out))
+        });
+        maps.into_iter()
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(EnsemblerError::from)
     }
 
     /// The range twin of [`Defense::server_outputs`]: quantize, evaluate the
@@ -162,11 +192,15 @@ impl Defense for QuantizedDefense {
         lo: usize,
         hi: usize,
     ) -> Result<Vec<QTensorBatch>, EnsemblerError> {
-        crate::check_body_range(lo, hi, self.qbodies.len())?;
+        crate::check_body_range(lo, hi, self.qplans.len())?;
         let features = transmitted.dequantize();
-        Ok(par_map(&self.qbodies[lo..hi], |body| {
-            QTensorBatch::quantize_batch(&body.forward(&features))
-        }))
+        let maps = par_map(&self.qplans[lo..hi], |plan| {
+            plan.run(&features)
+                .map(|out| QTensorBatch::quantize_batch(&out))
+        });
+        maps.into_iter()
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(EnsemblerError::from)
     }
 
     fn classify(&self, server_maps: &[Tensor]) -> Result<Tensor, EnsemblerError> {

@@ -59,6 +59,10 @@ impl Layer for Relu {
     fn name(&self) -> &'static str {
         "relu"
     }
+
+    fn lower(&self) -> crate::graph::GraphOp {
+        crate::graph::GraphOp::Relu
+    }
 }
 
 /// Leaky rectified linear unit: `x` for positive inputs, `alpha * x` otherwise.

@@ -1,0 +1,1026 @@
+//! Compilation of the lazy graph IR into fused, panic-free execution plans.
+//!
+//! [`CompiledPlan::compile`] lowers a [`Sequential`] pipeline through
+//! [`crate::graph`] and runs two fusion passes over the op list:
+//!
+//! 1. **Conv+bn folding** ([`FusionConfig::fold_conv_bn`]): an eval-mode
+//!    batch norm directly after a convolution is folded into the conv's
+//!    weights and bias (`w'_c = w_c * gamma_c / sqrt(var_c + eps)`,
+//!    `b'_c = (b_c - mean_c) * gamma_c / sqrt(var_c + eps) + beta_c`),
+//!    removing a full pass over the feature map. Folding reassociates float
+//!    arithmetic, so outputs match the eager pipeline to a small tolerance
+//!    rather than bit-exactly.
+//! 2. **Epilogue fusion** ([`FusionConfig::fuse_epilogue`]): the bias add
+//!    and a directly following ReLU are applied inside the GEMM epilogue
+//!    while the output band is cache-hot
+//!    ([`ensembler_tensor::gemm::gemm_nt_fused`]), an eval-mode batch norm
+//!    (and the ReLU after it) directly following a conv is merged into the
+//!    conv's single output pass, and the int8 conv stages dequantize their
+//!    `i32` accumulators, apply bias, the merged batch norm and ReLU, and
+//!    transpose into NCHW in one pass (the int8 linear stages keep the
+//!    dequantize in the qgemm epilogue,
+//!    [`ensembler_tensor::qgemm_nn_dequant`]). Epilogue fusion performs
+//!    exactly the eager per-element expressions, so it is bit-exact.
+//!
+//! Every typed stage validates its input shape first and returns a
+//! [`ShapeError`] instead of panicking, so a hostile or corrupt request
+//! shape surfaces as a typed error at the pipeline boundary rather than
+//! unwinding a server thread.
+//!
+//! # Examples
+//!
+//! ```
+//! use ensembler_nn::compiler::{CompiledPlan, FusionConfig};
+//! use ensembler_nn::{Conv2d, Layer, Mode, Relu, Sequential};
+//! use ensembler_tensor::{Rng, Tensor};
+//!
+//! let mut rng = Rng::seed_from(0);
+//! let net = Sequential::new(vec![
+//!     Box::new(Conv2d::new(3, 8, 3, 1, 1, &mut rng)),
+//!     Box::new(Relu::new()),
+//! ]);
+//! let plan = CompiledPlan::compile(&net, FusionConfig::bit_exact());
+//! let x = Tensor::ones(&[2, 3, 8, 8]);
+//! let fused = plan.run(&x).unwrap();
+//! assert_eq!(fused, net.forward(&x, Mode::Eval));
+//! // A hostile shape is a typed error, not a panic:
+//! assert!(plan.run(&Tensor::ones(&[2, 5, 8, 8])).is_err());
+//! ```
+
+use crate::conv::rows_to_nchw;
+use crate::graph::{lower_sequential, GraphOp};
+use crate::quant::{QConv2d, QLinear};
+use crate::{BatchNorm2d, Conv2d, Layer, Linear, MaxPool2d, Mode, Sequential};
+use ensembler_tensor::gemm::{gemm_nt_fused, GemmEpilogue, Parallelism};
+use ensembler_tensor::{
+    im2col, im2col_i8, qgemm_nn, qgemm_nn_dequant, Conv2dGeometry, QGemmEpilogue, QTensorBatch,
+    ShapeError, Tensor,
+};
+
+/// Which fusion passes a compiled plan applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FusionConfig {
+    /// Fold eval-mode batch norms into the preceding convolution's weights.
+    /// Reassociates float math: outputs match eager to a tolerance, not
+    /// bit-exactly.
+    pub fold_conv_bn: bool,
+    /// Apply bias (and a directly following batch norm and ReLU) in the
+    /// conv/GEMM output pass and keep int8 `i32` accumulators live through
+    /// a fused dequantize. Bit-exact with respect to the eager pipeline.
+    pub fuse_epilogue: bool,
+}
+
+impl FusionConfig {
+    /// No fusion: the plan validates shapes and then runs each layer's own
+    /// eager forward. The baseline the `fusion` benchmarks compare against.
+    pub fn none() -> Self {
+        Self {
+            fold_conv_bn: false,
+            fuse_epilogue: false,
+        }
+    }
+
+    /// Epilogue fusion only — every optimization that is bit-exact with the
+    /// eager pipeline. The default for serving pipelines.
+    pub fn bit_exact() -> Self {
+        Self {
+            fold_conv_bn: false,
+            fuse_epilogue: true,
+        }
+    }
+
+    /// All passes, including conv+bn folding (documented tolerance vs eager).
+    pub fn full() -> Self {
+        Self {
+            fold_conv_bn: true,
+            fuse_epilogue: true,
+        }
+    }
+}
+
+impl Default for FusionConfig {
+    fn default() -> Self {
+        Self::bit_exact()
+    }
+}
+
+/// Folds an eval-mode [`BatchNorm2d`] into the preceding [`Conv2d`],
+/// producing a single convolution computing `bn(conv(x))` with the running
+/// statistics frozen.
+///
+/// # Panics
+///
+/// Panics if the batch norm's channel count differs from the convolution's
+/// output channels (the fold pass only calls this when they match).
+pub fn fold_conv_bn(conv: &Conv2d, bn: &BatchNorm2d) -> Conv2d {
+    let cout = conv.out_channels();
+    assert_eq!(bn.channels(), cout, "bn channels must match conv output");
+    let fan_in = conv.weight().value.shape()[1];
+    let mut weight = conv.weight().value.data().to_vec();
+    let mut bias = vec![0.0f32; cout];
+    let gamma = bn.gamma().value.data();
+    let beta = bn.beta().value.data();
+    let mean = bn.running_mean().data();
+    let var = bn.running_var().data();
+    let conv_bias = conv.bias().value.data();
+    for c in 0..cout {
+        let inv_std = 1.0 / (var[c] + bn.eps()).sqrt();
+        let scale = gamma[c] * inv_std;
+        for v in &mut weight[c * fan_in..(c + 1) * fan_in] {
+            *v *= scale;
+        }
+        bias[c] = (conv_bias[c] - mean[c]) * scale + beta[c];
+    }
+    Conv2d::from_parts(
+        Tensor::from_vec(weight, &[cout, fan_in]).expect("folded weight keeps its shape"),
+        Tensor::from_vec(bias, &[cout]).expect("folded bias is [out_channels]"),
+        conv.in_channels(),
+        conv.geometry(),
+    )
+}
+
+/// The fold pass: rewrites `Conv, BatchNorm` pairs into a single folded
+/// conv, recursing into residual branches.
+fn fold_pass(ops: Vec<GraphOp>) -> Vec<GraphOp> {
+    let mut out = Vec::with_capacity(ops.len());
+    let mut iter = ops.into_iter().peekable();
+    while let Some(op) = iter.next() {
+        match op {
+            GraphOp::Conv(conv) => {
+                let foldable = matches!(
+                    iter.peek(),
+                    Some(GraphOp::BatchNorm(bn)) if bn.channels() == conv.out_channels()
+                );
+                if foldable {
+                    let Some(GraphOp::BatchNorm(bn)) = iter.next() else {
+                        unreachable!("peeked a batch norm")
+                    };
+                    out.push(GraphOp::Conv(fold_conv_bn(&conv, &bn)));
+                } else {
+                    out.push(GraphOp::Conv(conv));
+                }
+            }
+            GraphOp::Residual { main, shortcut } => out.push(GraphOp::Residual {
+                main: fold_pass(main),
+                shortcut: shortcut.map(fold_pass),
+            }),
+            GraphOp::Sequence(seq) => out.push(GraphOp::Sequence(fold_pass(seq))),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Shared shape validation (typed errors instead of the eager asserts)
+// ---------------------------------------------------------------------------
+
+fn expect_rank4(shape: &[usize], what: &str) -> Result<(usize, usize, usize, usize), ShapeError> {
+    if let [b, c, h, w] = *shape {
+        Ok((b, c, h, w))
+    } else {
+        Err(ShapeError::new(format!(
+            "{what} expects NCHW input, got rank-{} shape {shape:?}",
+            shape.len()
+        )))
+    }
+}
+
+fn check_conv_input(
+    shape: &[usize],
+    in_channels: usize,
+    geometry: Conv2dGeometry,
+    what: &str,
+) -> Result<(usize, usize, usize), ShapeError> {
+    let (b, c, h, w) = expect_rank4(shape, what)?;
+    if c != in_channels {
+        return Err(ShapeError::new(format!(
+            "{what} expected {in_channels} input channels, got {c}"
+        )));
+    }
+    let k = geometry.kernel;
+    let p = geometry.padding;
+    if h + 2 * p < k || w + 2 * p < k {
+        return Err(ShapeError::new(format!(
+            "{what} kernel {k} exceeds padded input extent ({h}x{w}, padding {p})"
+        )));
+    }
+    let oh = (h + 2 * p - k) / geometry.stride + 1;
+    let ow = (w + 2 * p - k) / geometry.stride + 1;
+    Ok((b, oh, ow))
+}
+
+fn check_linear_input(
+    shape: &[usize],
+    in_features: usize,
+    what: &str,
+) -> Result<usize, ShapeError> {
+    if let [batch, features] = *shape {
+        if features == in_features {
+            Ok(batch)
+        } else {
+            Err(ShapeError::new(format!(
+                "{what} expected {in_features} input features, got {features}"
+            )))
+        }
+    } else {
+        Err(ShapeError::new(format!(
+            "{what} expects [batch, features] input, got rank-{} shape {shape:?}",
+            shape.len()
+        )))
+    }
+}
+
+fn relu_mask(x: &Tensor) -> Tensor {
+    let mask = x.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+    x.mul(&mask)
+}
+
+/// Turns `[b*oh*ow, c]` GEMM rows into an NCHW tensor while applying a merged
+/// eval-mode batch norm (and optionally the mask-multiply ReLU) in the same
+/// pass. Every per-element expression matches the standalone
+/// [`BatchNorm2d`]/ReLU forwards exactly, so the merge is bit-exact; the win
+/// is running one pass over the feature map instead of three.
+fn bn_relu_rows_to_nchw(
+    rows: &[f32],
+    b: usize,
+    c: usize,
+    oh: usize,
+    ow: usize,
+    bn: &BatchNorm2d,
+    relu: bool,
+) -> Tensor {
+    let plane = oh * ow;
+    debug_assert_eq!(rows.len(), b * plane * c);
+    let mean = bn.running_mean().data();
+    let var = bn.running_var().data();
+    let gamma = bn.gamma().value.data();
+    let beta = bn.beta().value.data();
+    let inv_std: Vec<f32> = var.iter().map(|v| 1.0 / (v + bn.eps()).sqrt()).collect();
+    let mut out = vec![0.0f32; b * c * plane];
+    for n in 0..b {
+        for p in 0..plane {
+            let row = &rows[(n * plane + p) * c..(n * plane + p + 1) * c];
+            for (ch, &v) in row.iter().enumerate() {
+                let mut t = gamma[ch] * ((v - mean[ch]) * inv_std[ch]) + beta[ch];
+                if relu {
+                    t *= if t > 0.0 { 1.0 } else { 0.0 };
+                }
+                out[n * c * plane + ch * plane + p] = t;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[b, c, oh, ow]).expect("output sized to NCHW shape")
+}
+
+// ---------------------------------------------------------------------------
+// f32 plan
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Stage {
+    /// Convolution; `bn` records a directly following eval-mode batch norm
+    /// and `relu` a ReLU after it, both fused into the conv's output pass.
+    /// The batch norm applies the eager per-element expression
+    /// `gamma*((x-mean)*inv_std)+beta` and the ReLU the eager mask multiply,
+    /// so the merge is bit-exact with the standalone layers.
+    Conv {
+        conv: Conv2d,
+        bn: Option<Box<BatchNorm2d>>,
+        relu: bool,
+    },
+    BatchNorm(BatchNorm2d),
+    Relu,
+    MaxPool(MaxPool2d),
+    GlobalAvgPool,
+    Flatten,
+    Linear {
+        linear: Linear,
+        relu: bool,
+    },
+    Residual {
+        main: Vec<Stage>,
+        shortcut: Option<Vec<Stage>>,
+    },
+    Opaque(Box<dyn Layer>),
+}
+
+impl Stage {
+    fn run(&self, input: &Tensor, config: FusionConfig) -> Result<Tensor, ShapeError> {
+        match self {
+            Stage::Conv { conv, bn, relu } => {
+                let (b, oh, ow) =
+                    check_conv_input(input.shape(), conv.in_channels(), conv.geometry(), "conv")?;
+                if !config.fuse_epilogue {
+                    return Ok(conv.forward(input, Mode::Eval));
+                }
+                let g = conv.geometry();
+                let cols = im2col(input, g);
+                let m = b * oh * ow;
+                let k = conv.in_channels() * g.kernel * g.kernel;
+                let n = conv.out_channels();
+                let rows = gemm_nt_fused(
+                    cols.data(),
+                    conv.weight().value.data(),
+                    m,
+                    k,
+                    n,
+                    Parallelism::Auto,
+                    GemmEpilogue {
+                        bias: Some(conv.bias().value.data()),
+                        // With a merged batch norm the ReLU comes after it,
+                        // so it moves out of the GEMM epilogue into the
+                        // combined output pass below.
+                        relu: *relu && bn.is_none(),
+                    },
+                );
+                match bn {
+                    None => {
+                        let rows = Tensor::from_vec(rows, &[m, n]).expect("fused rows sized m*n");
+                        Ok(rows_to_nchw(&rows, b, n, oh, ow))
+                    }
+                    Some(bn) => Ok(bn_relu_rows_to_nchw(&rows, b, n, oh, ow, bn, *relu)),
+                }
+            }
+            Stage::BatchNorm(bn) => {
+                let (_, c, _, _) = expect_rank4(input.shape(), "batch_norm")?;
+                if c != bn.channels() {
+                    return Err(ShapeError::new(format!(
+                        "batch_norm expected {} channels, got {c}",
+                        bn.channels()
+                    )));
+                }
+                Ok(bn.forward(input, Mode::Eval))
+            }
+            Stage::Relu => Ok(relu_mask(input)),
+            Stage::MaxPool(pool) => {
+                let (_, _, h, w) = expect_rank4(input.shape(), "max_pool")?;
+                let k = pool.window();
+                if h % k != 0 || w % k != 0 {
+                    return Err(ShapeError::new(format!(
+                        "max_pool window {k} must divide spatial dims ({h}x{w})"
+                    )));
+                }
+                Ok(pool.forward(input, Mode::Eval))
+            }
+            Stage::GlobalAvgPool => {
+                expect_rank4(input.shape(), "global_avg_pool")?;
+                Ok(crate::GlobalAvgPool::new().forward(input, Mode::Eval))
+            }
+            Stage::Flatten => {
+                if input.rank() < 1 {
+                    return Err(ShapeError::new("flatten expects at least rank-1 input"));
+                }
+                Ok(input.flatten_batch())
+            }
+            Stage::Linear { linear, relu } => {
+                let m = check_linear_input(input.shape(), linear.in_features(), "linear")?;
+                if !config.fuse_epilogue {
+                    return Ok(linear.forward(input, Mode::Eval));
+                }
+                let n = linear.out_features();
+                let out = gemm_nt_fused(
+                    input.data(),
+                    linear.weight().value.data(),
+                    m,
+                    linear.in_features(),
+                    n,
+                    Parallelism::Auto,
+                    GemmEpilogue {
+                        bias: Some(linear.bias().value.data()),
+                        relu: *relu,
+                    },
+                );
+                Ok(Tensor::from_vec(out, &[m, n]).expect("fused output sized m*n"))
+            }
+            Stage::Residual { main, shortcut } => {
+                let mut x = input.clone();
+                for stage in main {
+                    x = stage.run(&x, config)?;
+                }
+                let skip = match shortcut {
+                    Some(stages) => {
+                        let mut s = input.clone();
+                        for stage in stages {
+                            s = stage.run(&s, config)?;
+                        }
+                        s
+                    }
+                    None => input.clone(),
+                };
+                if x.shape() != skip.shape() {
+                    return Err(ShapeError::new(format!(
+                        "residual branches disagree: main {:?} vs shortcut {:?}",
+                        x.shape(),
+                        skip.shape()
+                    )));
+                }
+                Ok(relu_mask(&x.add(&skip)))
+            }
+            Stage::Opaque(layer) => Ok(layer.forward(input, Mode::Eval)),
+        }
+    }
+}
+
+fn build_stages(ops: &[GraphOp], config: FusionConfig) -> Vec<Stage> {
+    let mut stages = Vec::with_capacity(ops.len());
+    let mut i = 0;
+    while i < ops.len() {
+        let fused_relu = config.fuse_epilogue && matches!(ops.get(i + 1), Some(GraphOp::Relu));
+        match &ops[i] {
+            GraphOp::Conv(conv) => {
+                // Merge a following batch norm (channel counts permitting)
+                // and then a following ReLU into the conv's output pass.
+                let fused_bn = if config.fuse_epilogue {
+                    match ops.get(i + 1) {
+                        Some(GraphOp::BatchNorm(bn)) if bn.channels() == conv.out_channels() => {
+                            Some(Box::new(bn.clone()))
+                        }
+                        _ => None,
+                    }
+                } else {
+                    None
+                };
+                let after_bn = i + 1 + usize::from(fused_bn.is_some());
+                let fused_relu =
+                    config.fuse_epilogue && matches!(ops.get(after_bn), Some(GraphOp::Relu));
+                stages.push(Stage::Conv {
+                    conv: conv.clone(),
+                    bn: fused_bn,
+                    relu: fused_relu,
+                });
+                i = after_bn + usize::from(fused_relu);
+                continue;
+            }
+            GraphOp::Linear(linear) => {
+                stages.push(Stage::Linear {
+                    linear: linear.clone(),
+                    relu: fused_relu,
+                });
+                i += 1 + usize::from(fused_relu);
+                continue;
+            }
+            GraphOp::BatchNorm(bn) => stages.push(Stage::BatchNorm(bn.clone())),
+            GraphOp::Relu => stages.push(Stage::Relu),
+            GraphOp::MaxPool(k) => stages.push(Stage::MaxPool(MaxPool2d::new(*k))),
+            GraphOp::GlobalAvgPool => stages.push(Stage::GlobalAvgPool),
+            GraphOp::Flatten => stages.push(Stage::Flatten),
+            GraphOp::Residual { main, shortcut } => stages.push(Stage::Residual {
+                main: build_stages(main, config),
+                shortcut: shortcut.as_ref().map(|s| build_stages(s, config)),
+            }),
+            GraphOp::Sequence(seq) => stages.extend(build_stages(seq, config)),
+            GraphOp::Opaque(layer) => stages.push(Stage::Opaque(layer.clone())),
+        }
+        i += 1;
+    }
+    stages
+}
+
+/// A fused `f32` execution plan, compiled once per pipeline and shared
+/// (immutably) across request threads.
+#[derive(Debug, Clone)]
+pub struct CompiledPlan {
+    stages: Vec<Stage>,
+    config: FusionConfig,
+}
+
+impl CompiledPlan {
+    /// Lowers `net` to the graph IR, runs the fusion passes selected by
+    /// `config` and returns the executable plan.
+    pub fn compile(net: &Sequential, config: FusionConfig) -> Self {
+        let mut ops = lower_sequential(net);
+        if config.fold_conv_bn {
+            ops = fold_pass(ops);
+        }
+        Self {
+            stages: build_stages(&ops, config),
+            config,
+        }
+    }
+
+    /// Runs the plan on an input batch (inference semantics).
+    ///
+    /// Returns a [`ShapeError`] — never panics — when the input shape does
+    /// not fit the pipeline's typed stages.
+    pub fn run(&self, input: &Tensor) -> Result<Tensor, ShapeError> {
+        let mut x = input.clone();
+        for stage in &self.stages {
+            x = stage.run(&x, self.config)?;
+        }
+        Ok(x)
+    }
+
+    /// The fusion configuration the plan was compiled with.
+    pub fn config(&self) -> FusionConfig {
+        self.config
+    }
+
+    /// Number of top-level stages after fusion (a fused conv+relu counts
+    /// once).
+    pub fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// int8 plan
+// ---------------------------------------------------------------------------
+
+/// Which ReLU formulation (if any) is merged into a fused int8 conv's
+/// output pass. The eager quantized pipeline runs standalone ReLUs as the
+/// `f32` mask multiply but residual-internal ones as `max(0,·)`; the merged
+/// pass replicates whichever applies so the plan stays bit-exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum QRelu {
+    None,
+    Mask,
+    Max,
+}
+
+#[derive(Debug, Clone)]
+enum QStage {
+    /// Int8 convolution with the dequantize, bias, a merged eval-mode batch
+    /// norm and the following ReLU all applied in one pass over the `i32`
+    /// accumulators while transposing into NCHW — the eager pipeline's
+    /// per-element expressions, one feature-map pass instead of up to four.
+    Conv {
+        conv: QConv2d,
+        bn: Option<BatchNorm2d>,
+        relu: QRelu,
+    },
+    Linear {
+        linear: QLinear,
+        relu: bool,
+    },
+    BatchNorm(BatchNorm2d),
+    /// Standalone ReLU in the mask-multiply formulation, matching the
+    /// `f32` fallback layer the eager quantized pipeline runs.
+    ReluMask,
+    /// ReLU as `max(0, ·)`, matching the eager quantized residual block.
+    ReluMax,
+    MaxPool(MaxPool2d),
+    GlobalAvgPool,
+    Flatten,
+    Residual {
+        main: Vec<QStage>,
+        shortcut: Option<Vec<QStage>>,
+    },
+    Opaque(Box<dyn Layer>),
+}
+
+impl QStage {
+    fn run(&self, input: &Tensor, config: FusionConfig) -> Result<Tensor, ShapeError> {
+        match self {
+            QStage::Conv { conv, bn, relu } => {
+                let (b, oh, ow) =
+                    check_conv_input(input.shape(), conv.in_channels(), conv.geometry(), "q_conv")?;
+                if !config.fuse_epilogue {
+                    return Ok(conv.forward(input));
+                }
+                let g = conv.geometry();
+                let (c, h, w) = (input.shape()[1], input.shape()[2], input.shape()[3]);
+                let plane = oh * ow;
+                let fan_in = c * g.kernel * g.kernel;
+                let out_c = conv.out_channels();
+                let q = QTensorBatch::quantize_batch(input);
+                let cols = im2col_i8(q.data(), b, c, h, w, g);
+                let acc = qgemm_nn(&cols, conv.weight_t(), b * plane, fan_in, out_c);
+
+                // One pass over the i32 accumulators: dequantize, bias, the
+                // merged batch norm and ReLU, transposed straight into NCHW.
+                // Each expression matches the eager stage it replaces.
+                let bias = conv.bias().data();
+                let bn_params = bn.as_ref().map(|bn| {
+                    let inv_std: Vec<f32> = bn
+                        .running_var()
+                        .data()
+                        .iter()
+                        .map(|v| 1.0 / (v + bn.eps()).sqrt())
+                        .collect();
+                    (
+                        bn.running_mean().data(),
+                        inv_std,
+                        bn.gamma().value.data(),
+                        bn.beta().value.data(),
+                    )
+                });
+                let mut out = vec![0.0f32; b * out_c * plane];
+                for n in 0..b {
+                    let rescale = q.scales()[n] * conv.weight_scale();
+                    for p in 0..plane {
+                        let row = &acc[(n * plane + p) * out_c..(n * plane + p + 1) * out_c];
+                        for (co, &a) in row.iter().enumerate() {
+                            let mut t = a as f32 * rescale + bias[co];
+                            if let Some((mean, inv_std, gamma, beta)) = &bn_params {
+                                t = gamma[co] * ((t - mean[co]) * inv_std[co]) + beta[co];
+                            }
+                            t = match relu {
+                                QRelu::None => t,
+                                QRelu::Mask => t * if t > 0.0 { 1.0 } else { 0.0 },
+                                QRelu::Max => t.max(0.0),
+                            };
+                            out[n * out_c * plane + co * plane + p] = t;
+                        }
+                    }
+                }
+                Ok(Tensor::from_vec(out, &[b, out_c, oh, ow]).expect("output sized to NCHW shape"))
+            }
+            QStage::Linear { linear, relu } => {
+                let batch = check_linear_input(input.shape(), linear.in_features(), "q_linear")?;
+                if !config.fuse_epilogue {
+                    return Ok(linear.forward(input));
+                }
+                let q = QTensorBatch::quantize_batch(input);
+                let row_scales: Vec<f32> = q
+                    .scales()
+                    .iter()
+                    .map(|s| s * linear.weight_scale())
+                    .collect();
+                let out = qgemm_nn_dequant(
+                    q.data(),
+                    linear.weight_t(),
+                    batch,
+                    linear.in_features(),
+                    linear.out_features(),
+                    Parallelism::Auto,
+                    QGemmEpilogue {
+                        row_scales: &row_scales,
+                        bias: Some(linear.bias().data()),
+                        relu: *relu,
+                    },
+                );
+                Ok(Tensor::from_vec(out, &[batch, linear.out_features()])
+                    .expect("fused output sized batch*out"))
+            }
+            QStage::BatchNorm(bn) => {
+                let (_, c, _, _) = expect_rank4(input.shape(), "batch_norm")?;
+                if c != bn.channels() {
+                    return Err(ShapeError::new(format!(
+                        "batch_norm expected {} channels, got {c}",
+                        bn.channels()
+                    )));
+                }
+                Ok(bn.forward(input, Mode::Eval))
+            }
+            QStage::ReluMask => Ok(relu_mask(input)),
+            QStage::ReluMax => Ok(input.map(|v| v.max(0.0))),
+            QStage::MaxPool(pool) => {
+                let (_, _, h, w) = expect_rank4(input.shape(), "max_pool")?;
+                let k = pool.window();
+                if h % k != 0 || w % k != 0 {
+                    return Err(ShapeError::new(format!(
+                        "max_pool window {k} must divide spatial dims ({h}x{w})"
+                    )));
+                }
+                Ok(pool.forward(input, Mode::Eval))
+            }
+            QStage::GlobalAvgPool => {
+                expect_rank4(input.shape(), "global_avg_pool")?;
+                Ok(crate::GlobalAvgPool::new().forward(input, Mode::Eval))
+            }
+            QStage::Flatten => {
+                if input.rank() < 1 {
+                    return Err(ShapeError::new("flatten expects at least rank-1 input"));
+                }
+                Ok(input.flatten_batch())
+            }
+            QStage::Residual { main, shortcut } => {
+                let mut x = input.clone();
+                for stage in main {
+                    x = stage.run(&x, config)?;
+                }
+                let skip = match shortcut {
+                    Some(stages) => {
+                        let mut s = input.clone();
+                        for stage in stages {
+                            s = stage.run(&s, config)?;
+                        }
+                        s
+                    }
+                    None => input.clone(),
+                };
+                if x.shape() != skip.shape() {
+                    return Err(ShapeError::new(format!(
+                        "residual branches disagree: main {:?} vs shortcut {:?}",
+                        x.shape(),
+                        skip.shape()
+                    )));
+                }
+                Ok(x.add(&skip).map(|v| v.max(0.0)))
+            }
+            QStage::Opaque(layer) => Ok(layer.forward(input, Mode::Eval)),
+        }
+    }
+}
+
+/// Builds int8 stages. `in_residual` tracks whether we are inside a
+/// residual branch, where the eager quantized block runs its ReLUs as
+/// `max(0, ·)` while standalone ReLUs use the `f32` layer's mask multiply —
+/// the merged conv output pass replicates whichever flavor applies, so the
+/// int8 plan reproduces [`crate::quant::QSequential`] bit-for-bit either
+/// way. A directly following eval-mode batch norm is merged into the same
+/// pass (the linear stages keep the dequantize in the qgemm epilogue
+/// instead — nothing follows the classifier head).
+fn build_qstages(ops: &[GraphOp], config: FusionConfig, in_residual: bool) -> Vec<QStage> {
+    let mut stages = Vec::with_capacity(ops.len());
+    let mut i = 0;
+    while i < ops.len() {
+        match &ops[i] {
+            GraphOp::Conv(conv) => {
+                let fused_bn = if config.fuse_epilogue {
+                    match ops.get(i + 1) {
+                        Some(GraphOp::BatchNorm(bn)) if bn.channels() == conv.out_channels() => {
+                            Some(bn.clone())
+                        }
+                        _ => None,
+                    }
+                } else {
+                    None
+                };
+                let after_bn = i + 1 + usize::from(fused_bn.is_some());
+                let fused_relu =
+                    config.fuse_epilogue && matches!(ops.get(after_bn), Some(GraphOp::Relu));
+                stages.push(QStage::Conv {
+                    conv: QConv2d::from_conv(conv),
+                    bn: fused_bn,
+                    relu: match (fused_relu, in_residual) {
+                        (false, _) => QRelu::None,
+                        (true, true) => QRelu::Max,
+                        (true, false) => QRelu::Mask,
+                    },
+                });
+                i = after_bn + usize::from(fused_relu);
+                continue;
+            }
+            GraphOp::Linear(linear) => {
+                let fused_relu = config.fuse_epilogue
+                    && in_residual
+                    && matches!(ops.get(i + 1), Some(GraphOp::Relu));
+                stages.push(QStage::Linear {
+                    linear: QLinear::from_linear(linear),
+                    relu: fused_relu,
+                });
+                i += 1 + usize::from(fused_relu);
+                continue;
+            }
+            GraphOp::BatchNorm(bn) => stages.push(QStage::BatchNorm(bn.clone())),
+            GraphOp::Relu => stages.push(if in_residual {
+                QStage::ReluMax
+            } else {
+                QStage::ReluMask
+            }),
+            GraphOp::MaxPool(k) => stages.push(QStage::MaxPool(MaxPool2d::new(*k))),
+            GraphOp::GlobalAvgPool => stages.push(QStage::GlobalAvgPool),
+            GraphOp::Flatten => stages.push(QStage::Flatten),
+            GraphOp::Residual { main, shortcut } => stages.push(QStage::Residual {
+                main: build_qstages(main, config, true),
+                shortcut: shortcut.as_ref().map(|s| build_qstages(s, config, true)),
+            }),
+            GraphOp::Sequence(seq) => stages.extend(build_qstages(seq, config, in_residual)),
+            GraphOp::Opaque(layer) => stages.push(QStage::Opaque(layer.clone())),
+        }
+        i += 1;
+    }
+    stages
+}
+
+/// A fused int8 execution plan: the quantized counterpart of
+/// [`CompiledPlan`], with weights quantized once at compile time (after any
+/// conv+bn folding) and the dequantize kept in the GEMM epilogue.
+#[derive(Debug, Clone)]
+pub struct QCompiledPlan {
+    stages: Vec<QStage>,
+    config: FusionConfig,
+}
+
+impl QCompiledPlan {
+    /// Lowers `net`, runs the fusion passes on the `f32` graph, then
+    /// quantizes the (possibly folded) weights into int8 stages.
+    pub fn compile(net: &Sequential, config: FusionConfig) -> Self {
+        let mut ops = lower_sequential(net);
+        if config.fold_conv_bn {
+            ops = fold_pass(ops);
+        }
+        Self {
+            stages: build_qstages(&ops, config, false),
+            config,
+        }
+    }
+
+    /// Runs the plan on an input batch (inference semantics).
+    ///
+    /// Returns a [`ShapeError`] — never panics — when the input shape does
+    /// not fit the pipeline's typed stages.
+    pub fn run(&self, input: &Tensor) -> Result<Tensor, ShapeError> {
+        let mut x = input.clone();
+        for stage in &self.stages {
+            x = stage.run(&x, self.config)?;
+        }
+        Ok(x)
+    }
+
+    /// The fusion configuration the plan was compiled with.
+    pub fn config(&self) -> FusionConfig {
+        self.config
+    }
+
+    /// Number of top-level stages after fusion.
+    pub fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{build_body, build_full_network, ResNetConfig};
+    use crate::quant::QSequential;
+    use crate::{Flatten, GlobalAvgPool, Relu, ResidualBlock};
+    use ensembler_tensor::Rng;
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
+        assert_eq!(a.shape(), b.shape());
+        for (i, (x, y)) in a.data().iter().zip(b.data()).enumerate() {
+            assert!(
+                (x - y).abs() <= tol * (1.0 + y.abs()),
+                "mismatch at {i}: {x} vs {y}"
+            );
+        }
+    }
+
+    /// A small conv net exercising every typed stage.
+    fn small_net(rng: &mut Rng) -> Sequential {
+        Sequential::new(vec![
+            Box::new(Conv2d::new(3, 8, 3, 1, 1, rng)),
+            Box::new(Relu::new()),
+            Box::new(MaxPool2d::new(2)),
+            Box::new(ResidualBlock::new(8, 16, 2, rng)),
+            Box::new(GlobalAvgPool::new()),
+            Box::new(Flatten::new()),
+            Box::new(Linear::new(16, 5, rng)),
+        ])
+    }
+
+    #[test]
+    fn bit_exact_plan_matches_eager_forward_exactly() {
+        let mut rng = Rng::seed_from(0);
+        let net = small_net(&mut rng);
+        let x = Tensor::from_fn(&[3, 3, 8, 8], |_| rng.uniform(-1.0, 1.0));
+        let eager = net.forward(&x, Mode::Eval);
+        for config in [FusionConfig::none(), FusionConfig::bit_exact()] {
+            let plan = CompiledPlan::compile(&net, config);
+            assert_eq!(
+                plan.run(&x).unwrap(),
+                eager,
+                "config {config:?} must be bit-exact"
+            );
+        }
+    }
+
+    #[test]
+    fn fusion_merges_conv_relu_pairs() {
+        let mut rng = Rng::seed_from(1);
+        let net = small_net(&mut rng);
+        let unfused = CompiledPlan::compile(&net, FusionConfig::none());
+        let fused = CompiledPlan::compile(&net, FusionConfig::bit_exact());
+        // conv+relu merge into one stage; everything else stays.
+        assert_eq!(unfused.stage_count(), 7);
+        assert_eq!(fused.stage_count(), 6);
+        assert_eq!(fused.config(), FusionConfig::bit_exact());
+    }
+
+    #[test]
+    fn fusion_merges_conv_bn_relu_triples_bit_exactly() {
+        // A conv -> bn -> relu chain collapses into ONE stage under
+        // bit_exact (the bn is merged into the conv output pass, not
+        // folded into the weights) and still reproduces eager bit-for-bit.
+        let mut rng = Rng::seed_from(9);
+        let mut net = Sequential::new(vec![
+            Box::new(Conv2d::new(3, 8, 3, 1, 1, &mut rng)),
+            Box::new(BatchNorm2d::new(8)),
+            Box::new(Relu::new()),
+        ]);
+        // Non-trivial running stats, so the merged bn is not an identity.
+        let warm = Tensor::from_fn(&[4, 3, 8, 8], |_| rng.normal_with(0.4, 1.3));
+        let _ = net.forward_cached(&warm, Mode::Train);
+        let fused = CompiledPlan::compile(&net, FusionConfig::bit_exact());
+        assert_eq!(fused.stage_count(), 1);
+        assert_eq!(
+            CompiledPlan::compile(&net, FusionConfig::none()).stage_count(),
+            3
+        );
+        let x = Tensor::from_fn(&[2, 3, 8, 8], |_| rng.uniform(-1.0, 1.0));
+        assert_eq!(fused.run(&x).unwrap(), net.forward(&x, Mode::Eval));
+        // Same for the quantized plan vs the eager quantized pipeline.
+        let qfused = QCompiledPlan::compile(&net, FusionConfig::bit_exact());
+        assert_eq!(qfused.stage_count(), 1);
+        assert_eq!(
+            qfused.run(&x).unwrap(),
+            QSequential::from_sequential(&net).forward(&x)
+        );
+    }
+
+    #[test]
+    fn folded_plan_tracks_eager_forward_within_tolerance() {
+        let config = ResNetConfig::tiny_for_tests();
+        let mut rng = Rng::seed_from(2);
+        let net = build_full_network(&config, &mut rng);
+        // Make the running statistics non-trivial so the fold actually works.
+        let x = Tensor::from_fn(&[2, 3, 8, 8], |_| rng.uniform(-1.0, 1.0));
+        let eager = net.forward(&x, Mode::Eval);
+        let plan = CompiledPlan::compile(&net, FusionConfig::full());
+        assert_close(&plan.run(&x).unwrap(), &eager, 1e-4);
+    }
+
+    #[test]
+    fn fold_conv_bn_reproduces_the_two_layer_computation() {
+        let mut rng = Rng::seed_from(3);
+        let conv = Conv2d::new(2, 4, 3, 1, 1, &mut rng);
+        let mut bn = BatchNorm2d::new(4);
+        // Drive the running stats away from the (0, 1) init.
+        for _ in 0..50 {
+            let x = Tensor::from_fn(&[4, 4, 5, 5], |_| rng.normal_with(0.7, 1.8));
+            let _ = bn.forward_cached(&x, Mode::Train);
+        }
+        let folded = fold_conv_bn(&conv, &bn);
+        let x = Tensor::from_fn(&[2, 2, 6, 6], |_| rng.uniform(-1.0, 1.0));
+        let two_layer = bn.forward(&conv.forward(&x, Mode::Eval), Mode::Eval);
+        assert_close(&folded.forward(&x, Mode::Eval), &two_layer, 1e-4);
+    }
+
+    #[test]
+    fn quantized_plan_matches_eager_quantized_forward_exactly() {
+        let config = ResNetConfig::tiny_for_tests();
+        let mut rng = Rng::seed_from(4);
+        let body = build_body(&config, &mut rng);
+        let qbody = QSequential::from_sequential(&body);
+        let head = config.head_output_shape();
+        let x = Tensor::from_fn(&[3, head[0], head[1], head[2]], |_| rng.uniform(-1.0, 1.0));
+        let eager = qbody.forward(&x);
+        for config in [FusionConfig::none(), FusionConfig::bit_exact()] {
+            let plan = QCompiledPlan::compile(&body, config);
+            assert_eq!(
+                plan.run(&x).unwrap(),
+                eager,
+                "config {config:?} must reproduce the eager int8 pipeline"
+            );
+        }
+    }
+
+    #[test]
+    fn folded_quantized_plan_tracks_the_f32_forward() {
+        let config = ResNetConfig::tiny_for_tests();
+        let mut rng = Rng::seed_from(5);
+        let body = build_body(&config, &mut rng);
+        let head = config.head_output_shape();
+        let x = Tensor::from_fn(&[2, head[0], head[1], head[2]], |_| rng.uniform(-1.0, 1.0));
+        let f32_eager = body.forward(&x, Mode::Eval);
+        let plan = QCompiledPlan::compile(&body, FusionConfig::full());
+        // int8 quantization noise dominates; same tolerance as the eager
+        // quantized-body test.
+        assert_close(&plan.run(&x).unwrap(), &f32_eager, 0.25);
+        assert!(plan.stage_count() > 0);
+        assert_eq!(plan.config(), FusionConfig::full());
+    }
+
+    #[test]
+    fn hostile_shapes_return_typed_errors_not_panics() {
+        let mut rng = Rng::seed_from(6);
+        let net = small_net(&mut rng);
+        for config in [
+            FusionConfig::none(),
+            FusionConfig::bit_exact(),
+            FusionConfig::full(),
+        ] {
+            let plan = CompiledPlan::compile(&net, config);
+            let qplan = QCompiledPlan::compile(&net, config);
+            // Wrong rank, wrong channel count, pool-indivisible extent and
+            // a kernel larger than the padded input.
+            for bad in [
+                Tensor::ones(&[2, 3]),
+                Tensor::ones(&[1, 5, 8, 8]),
+                Tensor::ones(&[1, 3, 5, 5]),
+                Tensor::ones(&[1, 3, 0, 0]),
+            ] {
+                let err = plan.run(&bad).unwrap_err();
+                assert!(!err.message().is_empty());
+                let qerr = qplan.run(&bad).unwrap_err();
+                assert!(!qerr.message().is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn shape_errors_carry_descriptive_messages() {
+        let mut rng = Rng::seed_from(7);
+        let net = Sequential::new(vec![Box::new(Conv2d::new(1, 2, 1, 1, 0, &mut rng))]);
+        let plan = CompiledPlan::compile(&net, FusionConfig::bit_exact());
+        let err = plan.run(&Tensor::ones(&[1, 2, 4, 4])).unwrap_err();
+        assert!(
+            err.message().contains("expected 1 input channels"),
+            "unexpected message: {}",
+            err.message()
+        );
+    }
+}

@@ -78,6 +78,10 @@ impl Layer for Flatten {
     fn name(&self) -> &'static str {
         "flatten"
     }
+
+    fn lower(&self) -> crate::graph::GraphOp {
+        crate::graph::GraphOp::Flatten
+    }
 }
 
 /// An ordered pipeline of layers applied one after another.
@@ -188,6 +192,10 @@ impl Layer for Sequential {
 
     fn quantize_layer(&self) -> crate::quant::QLayer {
         crate::quant::QLayer::Sequential(crate::quant::QSequential::from_sequential(self))
+    }
+
+    fn lower(&self) -> crate::graph::GraphOp {
+        crate::graph::GraphOp::Sequence(self.layers.iter().map(|l| l.lower()).collect())
     }
 }
 
@@ -352,6 +360,22 @@ impl Layer for ResidualBlock {
             &self.bn2,
             self.shortcut.as_ref().map(|(conv, bn)| (conv, bn)),
         )))
+    }
+
+    fn lower(&self) -> crate::graph::GraphOp {
+        use crate::graph::GraphOp;
+        crate::graph::GraphOp::Residual {
+            main: vec![
+                GraphOp::Conv(self.conv1.clone()),
+                GraphOp::BatchNorm(self.bn1.clone()),
+                GraphOp::Relu,
+                GraphOp::Conv(self.conv2.clone()),
+                GraphOp::BatchNorm(self.bn2.clone()),
+            ],
+            shortcut: self.shortcut.as_ref().map(|(conv, bn)| {
+                vec![GraphOp::Conv(conv.clone()), GraphOp::BatchNorm(bn.clone())]
+            }),
+        }
     }
 }
 

@@ -19,8 +19,9 @@ fn nchw_to_rows(t: &Tensor) -> Tensor {
     Tensor::from_vec(out, &[b * plane, c]).expect("row matrix length matches")
 }
 
-/// Inverse of [`nchw_to_rows`].
-fn rows_to_nchw(rows: &Tensor, b: usize, c: usize, h: usize, w: usize) -> Tensor {
+/// Inverse of [`nchw_to_rows`]. Also used by the plan compiler to transpose
+/// fused GEMM output rows back into NCHW.
+pub(crate) fn rows_to_nchw(rows: &Tensor, b: usize, c: usize, h: usize, w: usize) -> Tensor {
     assert_eq!(rows.shape(), &[b * h * w, c], "row matrix shape mismatch");
     let plane = h * w;
     let mut out = vec![0.0f32; b * c * plane];
@@ -85,6 +86,42 @@ impl Conv2d {
         Self {
             weight: Param::new(weight),
             bias: Param::new(Tensor::zeros(&[out_channels])),
+            in_channels,
+            out_channels,
+            geometry,
+            cached_cols: None,
+            cached_input_shape: None,
+        }
+    }
+
+    /// Creates a convolution from explicit weight and bias tensors.
+    ///
+    /// `weight` must be `[out_channels, in_channels * kernel * kernel]` and
+    /// `bias` `[out_channels]`. This is what conv+bn folding uses to build
+    /// the folded convolution at compile time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor shapes are inconsistent with `in_channels` and
+    /// `geometry`.
+    pub fn from_parts(
+        weight: Tensor,
+        bias: Tensor,
+        in_channels: usize,
+        geometry: Conv2dGeometry,
+    ) -> Self {
+        assert_eq!(weight.rank(), 2, "conv weight must be rank-2");
+        let out_channels = weight.shape()[0];
+        let fan_in = in_channels * geometry.kernel * geometry.kernel;
+        assert_eq!(
+            weight.shape()[1],
+            fan_in,
+            "conv weight columns must be in_channels * kernel^2"
+        );
+        assert_eq!(bias.shape(), &[out_channels], "bias must be [out_channels]");
+        Self {
+            weight: Param::new(weight),
+            bias: Param::new(bias),
             in_channels,
             out_channels,
             geometry,
@@ -221,6 +258,10 @@ impl Layer for Conv2d {
 
     fn quantize_layer(&self) -> crate::quant::QLayer {
         crate::quant::QLayer::Conv(crate::quant::QConv2d::from_conv(self))
+    }
+
+    fn lower(&self) -> crate::graph::GraphOp {
+        crate::graph::GraphOp::Conv(self.clone())
     }
 }
 

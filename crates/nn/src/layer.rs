@@ -143,6 +143,17 @@ pub trait Layer: std::fmt::Debug + Send + Sync {
     fn quantize_layer(&self) -> crate::quant::QLayer {
         crate::quant::QLayer::Fallback(self.clone_layer())
     }
+
+    /// Lowers this layer to a node of the lazy compute-graph IR.
+    ///
+    /// Layers with a typed graph representation (convolutions, batch norm,
+    /// ReLU, pooling, flatten, linear, the containers) override this so the
+    /// [`crate::compiler`] can validate shapes and fuse across op
+    /// boundaries; every other layer becomes a [`crate::graph::GraphOp::Opaque`]
+    /// node whose plan stage runs the layer's own `forward` unchanged.
+    fn lower(&self) -> crate::graph::GraphOp {
+        crate::graph::GraphOp::Opaque(self.clone_layer())
+    }
 }
 
 /// Boxed layers can be used wherever a layer is expected, which is what
@@ -178,6 +189,10 @@ impl Layer for Box<dyn Layer> {
 
     fn quantize_layer(&self) -> crate::quant::QLayer {
         self.as_ref().quantize_layer()
+    }
+
+    fn lower(&self) -> crate::graph::GraphOp {
+        self.as_ref().lower()
     }
 }
 

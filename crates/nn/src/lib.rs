@@ -22,6 +22,10 @@
 //! * [`quant`] — int8 inference counterparts of the GEMM-backed layers
 //!   ([`QLinear`], [`QConv2d`], [`QSequential`]), built via
 //!   [`Layer::quantize_layer`].
+//! * [`graph`] — the lazy graph IR layers lower into, and [`compiler`] —
+//!   fusion passes (conv+bn folding, GEMM epilogue fusion) producing
+//!   [`CompiledPlan`] / [`QCompiledPlan`] fused forward paths with typed
+//!   shape errors instead of panics.
 //!
 //! # Examples
 //!
@@ -43,10 +47,12 @@
 mod activation;
 pub mod artifact;
 mod checkpoint;
+pub mod compiler;
 mod container;
 mod conv;
 mod dropout;
 pub mod gradcheck;
+pub mod graph;
 mod layer;
 mod linear;
 mod loss;
@@ -60,9 +66,11 @@ pub mod quant;
 pub use activation::{LeakyRelu, Relu, Sigmoid, Tanh};
 pub use artifact::{ArtifactError, ArtifactPrecision, ModelArtifact};
 pub use checkpoint::{Checkpoint, RestoreCheckpointError};
+pub use compiler::{CompiledPlan, FusionConfig, QCompiledPlan};
 pub use container::{Flatten, Identity, ResidualBlock, Sequential};
 pub use conv::{Conv2d, ConvTranspose2d};
 pub use dropout::Dropout;
+pub use graph::GraphOp;
 pub use layer::{Layer, Mode, Param};
 pub use linear::Linear;
 pub use loss::{cosine_penalty, softmax, CosinePenalty, CrossEntropyLoss, LossValue, MseLoss};

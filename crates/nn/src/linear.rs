@@ -157,6 +157,10 @@ impl Layer for Linear {
     fn quantize_layer(&self) -> crate::quant::QLayer {
         crate::quant::QLayer::Linear(crate::quant::QLinear::from_linear(self))
     }
+
+    fn lower(&self) -> crate::graph::GraphOp {
+        crate::graph::GraphOp::Linear(self.clone())
+    }
 }
 
 #[cfg(test)]

@@ -15,6 +15,13 @@ pub struct LossValue {
 
 /// Row-wise softmax of a `[batch, classes]` logit matrix.
 ///
+/// Degenerate rows are handled explicitly instead of producing NaNs:
+/// a row that is entirely `-inf` (e.g. a fully masked attention row or a
+/// saturated scaled output) yields the uniform distribution, and a row
+/// containing `+inf` puts all mass uniformly on its `+inf` entries (one-hot
+/// when there is a single one). Finite rows use the usual max-shifted
+/// exponentials and are unaffected.
+///
 /// # Panics
 ///
 /// Panics if `logits` is not rank-2.
@@ -37,10 +44,26 @@ pub fn softmax(logits: &Tensor) -> Tensor {
     for r in 0..rows {
         let row = &logits.data()[r * cols..(r + 1) * cols];
         let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let exps: Vec<f32> = row.iter().map(|&x| (x - max).exp()).collect();
-        let sum: f32 = exps.iter().sum();
-        for (c, &e) in exps.iter().enumerate() {
-            out.data_mut()[r * cols + c] = e / sum;
+        if max == f32::NEG_INFINITY {
+            // Every logit is -inf: (x - max) would be NaN. No class is
+            // preferred, so fall back to the uniform distribution.
+            let p = 1.0 / cols as f32;
+            out.data_mut()[r * cols..(r + 1) * cols].fill(p);
+        } else if max == f32::INFINITY {
+            // A +inf logit dominates every finite one: split the mass
+            // uniformly over the +inf entries (one-hot for a single spike)
+            // instead of computing inf/inf = NaN.
+            let spikes = row.iter().filter(|&&x| x == f32::INFINITY).count();
+            let p = 1.0 / spikes as f32;
+            for (c, &x) in row.iter().enumerate() {
+                out.data_mut()[r * cols + c] = if x == f32::INFINITY { p } else { 0.0 };
+            }
+        } else {
+            let exps: Vec<f32> = row.iter().map(|&x| (x - max).exp()).collect();
+            let sum: f32 = exps.iter().sum();
+            for (c, &e) in exps.iter().enumerate() {
+                out.data_mut()[r * cols + c] = e / sum;
+            }
         }
     }
     out
@@ -270,6 +293,74 @@ mod tests {
         for (x, y) in pa.data().iter().zip(pb.data()) {
             assert!((x - y).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn softmax_of_an_all_negative_infinity_row_is_uniform() {
+        let logits = Tensor::from_vec(
+            vec![
+                f32::NEG_INFINITY,
+                f32::NEG_INFINITY,
+                f32::NEG_INFINITY,
+                f32::NEG_INFINITY,
+            ],
+            &[1, 4],
+        )
+        .unwrap();
+        let p = softmax(&logits);
+        assert_eq!(p.data(), &[0.25, 0.25, 0.25, 0.25]);
+    }
+
+    #[test]
+    fn softmax_of_a_positive_infinity_spike_is_one_hot() {
+        let logits = Tensor::from_vec(vec![0.0, f32::INFINITY, -3.0, 7.0], &[1, 4]).unwrap();
+        let p = softmax(&logits);
+        assert_eq!(p.data(), &[0.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn softmax_splits_mass_over_tied_positive_infinities() {
+        let logits = Tensor::from_vec(
+            vec![f32::INFINITY, 1.0, f32::INFINITY, f32::NEG_INFINITY],
+            &[1, 4],
+        )
+        .unwrap();
+        let p = softmax(&logits);
+        assert_eq!(p.data(), &[0.5, 0.0, 0.5, 0.0]);
+    }
+
+    #[test]
+    fn softmax_degenerate_rows_do_not_contaminate_finite_rows() {
+        let logits = Tensor::from_vec(
+            vec![
+                f32::NEG_INFINITY,
+                f32::NEG_INFINITY,
+                1.0,
+                2.0,
+                f32::INFINITY,
+                0.5,
+            ],
+            &[3, 2],
+        )
+        .unwrap();
+        let p = softmax(&logits);
+        let finite = softmax(&Tensor::from_vec(vec![1.0, 2.0], &[1, 2]).unwrap());
+        assert_eq!(p.data()[..2], [0.5, 0.5]);
+        // The finite middle row is bit-identical to a standalone softmax.
+        assert_eq!(p.data()[2..4], finite.data()[..2]);
+        assert_eq!(p.data()[4..6], [1.0, 0.0]);
+        assert!(p.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn cross_entropy_survives_fully_masked_logit_rows() {
+        let mut logits = Tensor::zeros(&[2, 4]);
+        for c in 0..4 {
+            logits.data_mut()[c] = f32::NEG_INFINITY;
+        }
+        let out = CrossEntropyLoss::new().compute(&logits, &[1, 2]);
+        assert!(out.loss.is_finite());
+        assert!(out.grad.data().iter().all(|g| g.is_finite()));
     }
 
     #[test]

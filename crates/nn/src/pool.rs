@@ -126,6 +126,10 @@ impl Layer for MaxPool2d {
     fn name(&self) -> &'static str {
         "max_pool2d"
     }
+
+    fn lower(&self) -> crate::graph::GraphOp {
+        crate::graph::GraphOp::MaxPool(self.window)
+    }
 }
 
 /// Global average pooling: collapses each feature map to its mean, producing
@@ -192,6 +196,10 @@ impl Layer for GlobalAvgPool {
 
     fn name(&self) -> &'static str {
         "global_avg_pool"
+    }
+
+    fn lower(&self) -> crate::graph::GraphOp {
+        crate::graph::GraphOp::GlobalAvgPool
     }
 }
 

@@ -93,6 +93,21 @@ impl QLinear {
         self.out_features
     }
 
+    /// Transposed quantized weight (`[in, out]`), for the fused plan stages.
+    pub(crate) fn weight_t(&self) -> &[i8] {
+        &self.weight_t
+    }
+
+    /// Per-tensor weight scale.
+    pub(crate) fn weight_scale(&self) -> f32 {
+        self.weight_scale
+    }
+
+    /// Full-precision bias.
+    pub(crate) fn bias(&self) -> &Tensor {
+        &self.bias
+    }
+
     /// Computes `y = x W^T + b` with int8 arithmetic: each input row is
     /// quantized with its own scale, so row `i` of the output is independent
     /// of the rest of the batch.
@@ -177,6 +192,37 @@ impl QConv2d {
             self.geometry.output_extent(input_shape[2]),
             self.geometry.output_extent(input_shape[3]),
         ]
+    }
+
+    /// Transposed quantized weight (`[fan_in, out]`), for the fused plan
+    /// stages.
+    pub(crate) fn weight_t(&self) -> &[i8] {
+        &self.weight_t
+    }
+
+    /// Per-tensor weight scale.
+    pub(crate) fn weight_scale(&self) -> f32 {
+        self.weight_scale
+    }
+
+    /// Full-precision bias.
+    pub(crate) fn bias(&self) -> &Tensor {
+        &self.bias
+    }
+
+    /// Number of input channels.
+    pub(crate) fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Number of output channels.
+    pub(crate) fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// The convolution geometry.
+    pub(crate) fn geometry(&self) -> Conv2dGeometry {
+        self.geometry
     }
 
     /// Runs the int8 convolution on an NCHW batch.

@@ -1,0 +1,125 @@
+//! Property-based coverage for quantization of folded conv+bn weights.
+//!
+//! Conv+bn folding rescales every output channel by `gamma / sqrt(var + eps)`,
+//! which can shrink weights to subnormal magnitudes (tiny `gamma`, large
+//! `var`) or inflate them (tiny `var`). Per-tensor int8 quantization of the
+//! folded weights must stay well-defined across that whole range: the scale
+//! must be a normal positive float with a finite inverse, and the int8
+//! round trip must stay within half a quantization step.
+
+use ensembler_nn::compiler::fold_conv_bn;
+use ensembler_nn::quant::QConv2d;
+use ensembler_nn::{BatchNorm2d, Conv2d, Layer, Mode};
+use ensembler_tensor::{QTensor, Rng, Tensor};
+use proptest::prelude::*;
+
+/// A random conv + eval-mode bn pair with adversarial statistics: `magnitude`
+/// scales the conv weights across ~70 orders of magnitude, and variances
+/// range from near-degenerate to large.
+fn conv_bn_pair() -> impl Strategy<Value = (Conv2d, BatchNorm2d)> {
+    (
+        any::<u64>(),
+        1usize..4,   // in channels
+        1usize..5,   // out channels
+        1usize..4,   // kernel
+        -35f32..2.0, // log10 of the weight magnitude
+        -8f32..1.0,  // log10 of the variance floor
+    )
+        .prop_map(|(seed, cin, cout, kernel, mag_exp, var_exp)| {
+            let mut rng = Rng::seed_from(seed);
+            let magnitude = 10.0f32.powf(mag_exp);
+            let mut conv = Conv2d::new(cin, cout, kernel, 1, kernel / 2, &mut rng);
+            for w in conv.weight_mut().value.data_mut() {
+                *w *= magnitude;
+            }
+            let mut bn = BatchNorm2d::new(cout);
+            // Drive the running stats to arbitrary (but finite) values.
+            for v in bn.running_mean_mut().data_mut() {
+                *v = rng.uniform(-2.0, 2.0);
+            }
+            let var_floor = 10.0f32.powf(var_exp);
+            for v in bn.running_var_mut().data_mut() {
+                *v = var_floor * rng.uniform(1.0, 4.0);
+            }
+            for g in bn.gamma_mut().value.data_mut() {
+                *g = rng.uniform(-2.0, 2.0);
+            }
+            for b in bn.beta_mut().value.data_mut() {
+                *b = rng.uniform(-1.0, 1.0);
+            }
+            (conv, bn)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn folded_weights_quantize_with_a_usable_scale((conv, bn) in conv_bn_pair()) {
+        let folded = fold_conv_bn(&conv, &bn);
+        let weight = &folded.weight().value;
+        prop_assert!(weight.data().iter().all(|w| w.is_finite()));
+
+        let q = QTensor::quantize(weight);
+        let scale = q.scale();
+        // The scale is a normal positive float whose inverse is finite —
+        // the subnormal-absmax clamp in `quantization_scale` at work.
+        prop_assert!(scale.is_finite() && scale >= f32::MIN_POSITIVE);
+        prop_assert!((1.0 / scale).is_finite());
+
+        // Round trip stays within half a quantization step per element.
+        let back = q.dequantize();
+        for (orig, rt) in weight.data().iter().zip(back.data()) {
+            prop_assert!(
+                (orig - rt).abs() <= scale * 0.5 + f32::EPSILON,
+                "round trip {orig} -> {rt} exceeds half a step ({scale})"
+            );
+        }
+    }
+
+    #[test]
+    fn quantized_folded_conv_produces_finite_outputs((conv, bn) in conv_bn_pair()) {
+        let folded = fold_conv_bn(&conv, &bn);
+        let qconv = QConv2d::from_conv(&folded);
+        let k = folded.geometry().kernel;
+        let side = k.max(2) * 2;
+        let x = Tensor::from_fn(&[2, conv.in_channels(), side, side], |i| {
+            ((i % 13) as f32 - 6.0) * 0.17
+        });
+        let out = qconv.forward(&x);
+        prop_assert!(out.data().iter().all(|v| v.is_finite()));
+        // And the int8 conv tracks its f32 source: both are finite and share
+        // the output shape contract.
+        prop_assert_eq!(out.shape(), folded.forward(&x, Mode::Eval).shape());
+    }
+
+    #[test]
+    fn folding_reproduces_the_two_layer_computation_for_sane_stats(
+        seed in any::<u64>(),
+        var_scale in 0.01f32..4.0,
+    ) {
+        let mut rng = Rng::seed_from(seed);
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, &mut rng);
+        for w in conv.weight_mut().value.data_mut() {
+            *w *= 1.3;
+        }
+        let mut bn = BatchNorm2d::new(3);
+        for v in bn.running_mean_mut().data_mut() {
+            *v = rng.uniform(-1.0, 1.0);
+        }
+        for v in bn.running_var_mut().data_mut() {
+            *v = var_scale * rng.uniform(0.5, 2.0);
+        }
+        for g in bn.gamma_mut().value.data_mut() {
+            *g = rng.uniform(-1.5, 1.5);
+        }
+        let folded = fold_conv_bn(&conv, &bn);
+        let x = Tensor::from_fn(&[1, 2, 5, 5], |_| rng.uniform(-1.0, 1.0));
+        let eager = bn.forward(&conv.forward(&x, Mode::Eval), Mode::Eval);
+        let fused = folded.forward(&x, Mode::Eval);
+        let bound = 1e-4 * (1.0 + eager.data().iter().fold(0.0f32, |m, v| m.max(v.abs())));
+        for (a, b) in fused.data().iter().zip(eager.data()) {
+            prop_assert!((a - b).abs() <= bound, "{a} vs {b} (bound {bound})");
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Conformance suite pinning compiled fused plans to the eager layer
+//! forwards for every backbone configuration, in `f32` and int8, across
+//! batch sizes.
+//!
+//! The contract enforced here:
+//!
+//! * [`FusionConfig::none`] and [`FusionConfig::bit_exact`] plans reproduce
+//!   the eager `Layer::forward` outputs **bit-exactly** (`assert_eq!` on the
+//!   raw f32 bits via `Tensor`'s `PartialEq`).
+//! * [`FusionConfig::full`] (conv+bn folding) tracks the eager outputs
+//!   within a documented relative tolerance — folding reassociates float
+//!   arithmetic, so bit-exactness is deliberately not claimed.
+//! * The int8 plans reproduce the eager [`QSequential`] forward bit-exactly
+//!   under the non-folding configs.
+
+use ensembler_nn::compiler::{CompiledPlan, FusionConfig, QCompiledPlan};
+use ensembler_nn::models::{build_body, build_full_network, ResNetConfig};
+use ensembler_nn::quant::QSequential;
+use ensembler_nn::{Layer, Mode};
+use ensembler_tensor::{Rng, Tensor};
+
+/// Relative tolerance for the conv+bn fold. The fold is exact in real
+/// arithmetic; this bounds the float reassociation error across the deepest
+/// backbone in the suite.
+const FOLD_TOL: f32 = 2e-3;
+
+fn assert_close(a: &Tensor, b: &Tensor, tol: f32, what: &str) {
+    assert_eq!(a.shape(), b.shape(), "{what}: shape mismatch");
+    for (i, (x, y)) in a.data().iter().zip(b.data()).enumerate() {
+        assert!(
+            (x - y).abs() <= tol * (1.0 + y.abs()),
+            "{what}: mismatch at {i}: {x} vs {y}"
+        );
+    }
+}
+
+/// Runs the full fused-vs-eager contract for one backbone configuration.
+fn conformance_for(config: &ResNetConfig, batches: &[usize], warm_batchnorm: bool, seed: u64) {
+    let name = format!(
+        "backbone(stem={}, stages={:?})",
+        config.stem_channels, config.stage_channels
+    );
+    let mut rng = Rng::seed_from(seed);
+    let mut net = build_full_network(config, &mut rng);
+    let mut body = build_body(config, &mut rng);
+    if warm_batchnorm {
+        // Drive the batch-norm running statistics away from their (0, 1)
+        // init so the conv+bn fold is not a near-identity rescale.
+        let shape = [
+            2,
+            config.input_channels,
+            config.image_size,
+            config.image_size,
+        ];
+        for _ in 0..3 {
+            let warm = Tensor::from_fn(&shape, |_| rng.normal_with(0.3, 1.4));
+            let _ = net.forward_cached(&warm, Mode::Train);
+        }
+        let head = config.head_output_shape();
+        for _ in 0..3 {
+            let warm = Tensor::from_fn(&[2, head[0], head[1], head[2]], |_| {
+                rng.normal_with(-0.2, 0.9)
+            });
+            let _ = body.forward_cached(&warm, Mode::Train);
+        }
+    }
+    let qbody = QSequential::from_sequential(&body);
+    let exact_plans: Vec<(FusionConfig, CompiledPlan)> =
+        [FusionConfig::none(), FusionConfig::bit_exact()]
+            .into_iter()
+            .map(|fc| (fc, CompiledPlan::compile(&net, fc)))
+            .collect();
+    let folded_plan = CompiledPlan::compile(&net, FusionConfig::full());
+    let exact_qplans: Vec<(FusionConfig, QCompiledPlan)> =
+        [FusionConfig::none(), FusionConfig::bit_exact()]
+            .into_iter()
+            .map(|fc| (fc, QCompiledPlan::compile(&body, fc)))
+            .collect();
+
+    let head_shape = config.head_output_shape();
+    for &b in batches {
+        let x = Tensor::from_fn(
+            &[
+                b,
+                config.input_channels,
+                config.image_size,
+                config.image_size,
+            ],
+            |_| rng.uniform(-1.0, 1.0),
+        );
+        let eager = net.forward(&x, Mode::Eval);
+        for (fc, plan) in &exact_plans {
+            assert_eq!(
+                plan.run(&x).unwrap(),
+                eager,
+                "{name}, batch {b}: f32 plan with {fc:?} must be bit-exact"
+            );
+        }
+        assert_close(
+            &folded_plan.run(&x).unwrap(),
+            &eager,
+            FOLD_TOL,
+            &format!("{name}, batch {b}: folded f32 plan"),
+        );
+
+        // int8: the server bodies are the part served quantized.
+        let f = Tensor::from_fn(&[b, head_shape[0], head_shape[1], head_shape[2]], |_| {
+            rng.uniform(-1.0, 1.0)
+        });
+        let qeager = qbody.forward(&f);
+        for (fc, qplan) in &exact_qplans {
+            assert_eq!(
+                qplan.run(&f).unwrap(),
+                qeager,
+                "{name}, batch {b}: int8 plan with {fc:?} must match the eager \
+                 quantized pipeline bit-exactly"
+            );
+        }
+    }
+}
+
+#[test]
+fn tiny_backbone_fused_matches_eager() {
+    conformance_for(&ResNetConfig::tiny_for_tests(), &[1, 2, 3], true, 11);
+}
+
+#[test]
+fn cifar10_backbone_fused_matches_eager() {
+    conformance_for(&ResNetConfig::cifar10_like(), &[1, 2, 3], true, 12);
+}
+
+#[test]
+fn cifar100_backbone_fused_matches_eager() {
+    conformance_for(&ResNetConfig::cifar100_like(), &[1, 2, 3], true, 13);
+}
+
+#[test]
+fn celeba_backbone_fused_matches_eager() {
+    conformance_for(&ResNetConfig::celeba_like(), &[1, 2], true, 14);
+}
+
+#[test]
+fn paper_resnet18_fused_matches_eager() {
+    // The full-width backbone at a reduced image size: deep enough to catch
+    // per-stage fusion bugs, small enough for the test suite.
+    conformance_for(&ResNetConfig::paper_resnet18(10, 16, true), &[2], false, 15);
+}

@@ -432,6 +432,59 @@ fn malformed_shapes_are_rejected_before_reaching_the_batch_queue() {
 }
 
 #[test]
+fn a_raw_bad_shape_frame_gets_a_typed_error_not_a_dropped_connection() {
+    use std::io::Write;
+
+    // Regression for the panic-proofed forward path: a hand-rolled client
+    // (no RemoteDefense shape validation) ships a malformed-shape request
+    // over the wire. The layers no longer panic on bad shapes — the typed
+    // ShapeError must come back as an Inference error *frame* naming the
+    // shape, with the TCP connection intact and serving afterwards.
+    let (server, pipeline) = demo_server(2, 1, 29);
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    write_message(
+        &mut stream,
+        &Message::Hello(Hello::legacy(PROTOCOL_VERSION)),
+    )
+    .unwrap();
+    let Message::HelloAck(_) = read_message(&mut stream, DEFAULT_MAX_PAYLOAD_BYTES).unwrap() else {
+        panic!("handshake failed");
+    };
+
+    // Wrong channel count for the served head output: would have been a
+    // panic inside the conv forward before the typed shape checks.
+    let frame = encode_message(&Message::ServerOutputsRequest {
+        transmitted: Tensor::ones(&[1, 5, 9, 9]),
+    });
+    stream.write_all(&frame).unwrap();
+    stream.flush().unwrap();
+    match read_message(&mut stream, DEFAULT_MAX_PAYLOAD_BYTES).unwrap() {
+        Message::Error(wire) => {
+            assert_eq!(wire.code, ErrorCode::Inference);
+            assert!(
+                wire.message.contains("[1, 5, 9, 9]"),
+                "the typed error must name the offending shape: {}",
+                wire.message
+            );
+        }
+        other => panic!("expected a typed error frame, got {other:?}"),
+    }
+
+    // The SAME connection still serves a well-formed request bit-exactly.
+    let transmitted = pipeline.client_features(&random_images(1, 30)).unwrap();
+    let expected = pipeline.server_outputs(&transmitted).unwrap();
+    let frame = encode_message(&Message::ServerOutputsRequest { transmitted });
+    stream.write_all(&frame).unwrap();
+    stream.flush().unwrap();
+    match read_message(&mut stream, DEFAULT_MAX_PAYLOAD_BYTES).unwrap() {
+        Message::ServerOutputsResponse { maps } => assert_eq!(maps, expected),
+        other => panic!("expected a response on the surviving connection, got {other:?}"),
+    }
+    assert_eq!(server.stats().errors_sent, 1);
+    assert_eq!(server.stats().requests_served, 1);
+}
+
+#[test]
 fn idle_connections_are_closed_after_the_read_timeout() {
     let pipeline: Arc<dyn Defense> = Arc::new(demo_pipeline(2, 1, 25).unwrap());
     let server = DefenseServer::bind(

@@ -124,6 +124,71 @@ pub enum Parallelism {
     Parallel,
 }
 
+/// An element-wise tail applied to each completed output row band while it is
+/// still cache-hot, instead of as separate full passes over the output.
+///
+/// This is the hook the compiled-plan fusion passes in `ensembler-nn` use to
+/// fold a layer's bias add and ReLU into the GEMM that feeds them: the fused
+/// result is bit-identical to running the GEMM and then the separate
+/// per-column bias and mask-multiply ReLU passes, because the epilogue
+/// performs exactly the same scalar operations in the same per-element order —
+/// only the traversal of memory changes.
+///
+/// # Examples
+///
+/// ```
+/// use ensembler_tensor::gemm::{gemm_nn_fused, GemmEpilogue, Parallelism};
+///
+/// let bias = [10.0, 20.0];
+/// let ep = GemmEpilogue { bias: Some(&bias), relu: false };
+/// let c = gemm_nn_fused(&[1.0, 2.0, 3.0, 4.0], &[5.0, 6.0, 7.0, 8.0], 2, 2, 2,
+///                       Parallelism::Auto, ep);
+/// assert_eq!(c, vec![29.0, 42.0, 53.0, 70.0]);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GemmEpilogue<'a> {
+    /// Per-column bias added to every output row (length must be `n`).
+    pub bias: Option<&'a [f32]>,
+    /// Apply a mask-multiply ReLU after the bias: `v * (v > 0 ? 1 : 0)`.
+    ///
+    /// Mask-multiply (rather than `max(0.0)`) mirrors the eager `Relu`
+    /// layer's `x * mask` formulation bit-for-bit, including its treatment of
+    /// `NaN` (preserved) and negative inputs (mapped to `-0.0`).
+    pub relu: bool,
+}
+
+impl GemmEpilogue<'_> {
+    /// The identity epilogue: no bias, no activation.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Returns `true` if the epilogue performs no work.
+    fn is_noop(&self) -> bool {
+        self.bias.is_none() && !self.relu
+    }
+}
+
+/// Applies `ep` to `rows x n` output rows. Element-wise, so applying it per
+/// band is indistinguishable from one pass over the full output.
+fn apply_epilogue(rows: &mut [f32], n: usize, ep: &GemmEpilogue) {
+    if ep.is_noop() || n == 0 {
+        return;
+    }
+    for row in rows.chunks_exact_mut(n) {
+        if let Some(bias) = ep.bias {
+            for (o, &bv) in row.iter_mut().zip(bias) {
+                *o += bv;
+            }
+        }
+        if ep.relu {
+            for o in row.iter_mut() {
+                *o *= if *o > 0.0 { 1.0 } else { 0.0 };
+            }
+        }
+    }
+}
+
 /// Which operands the kernel reads transposed.
 #[derive(Debug, Clone, Copy)]
 enum Op {
@@ -194,7 +259,32 @@ pub fn gemm_nn_with(
 ) -> Vec<f32> {
     assert_eq!(a.len(), m * k, "gemm_nn lhs length must be m*k");
     assert_eq!(b.len(), k * n, "gemm_nn rhs length must be k*n");
-    gemm_impl(a, b, m, k, n, Op::Nn, par)
+    gemm_impl(a, b, m, k, n, Op::Nn, par, GemmEpilogue::none())
+}
+
+/// [`gemm_nn`] with a fused [`GemmEpilogue`] applied to each output band
+/// while it is cache-hot. Bit-identical to [`gemm_nn_with`] followed by the
+/// separate bias/ReLU passes.
+///
+/// # Panics
+///
+/// Panics if `a.len() != m*k`, `b.len() != k*n`, or a bias is present with
+/// length other than `n`.
+pub fn gemm_nn_fused(
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    par: Parallelism,
+    ep: GemmEpilogue,
+) -> Vec<f32> {
+    assert_eq!(a.len(), m * k, "gemm_nn lhs length must be m*k");
+    assert_eq!(b.len(), k * n, "gemm_nn rhs length must be k*n");
+    if let Some(bias) = ep.bias {
+        assert_eq!(bias.len(), n, "epilogue bias length must be n");
+    }
+    gemm_impl(a, b, m, k, n, Op::Nn, par, ep)
 }
 
 /// `C = Aᵀ·B` for row-major `a: [k,m]` and `b: [k,n]`, returning row-major
@@ -234,7 +324,7 @@ pub fn gemm_tn_with(
 ) -> Vec<f32> {
     assert_eq!(a.len(), k * m, "gemm_tn lhs length must be k*m");
     assert_eq!(b.len(), k * n, "gemm_tn rhs length must be k*n");
-    gemm_impl(a, b, m, k, n, Op::Tn, par)
+    gemm_impl(a, b, m, k, n, Op::Tn, par, GemmEpilogue::none())
 }
 
 /// `C = A·Bᵀ` for row-major `a: [m,k]` and `b: [n,k]`, returning row-major
@@ -273,9 +363,37 @@ pub fn gemm_nt_with(
 ) -> Vec<f32> {
     assert_eq!(a.len(), m * k, "gemm_nt lhs length must be m*k");
     assert_eq!(b.len(), n * k, "gemm_nt rhs length must be n*k");
-    gemm_impl(a, b, m, k, n, Op::Nt, par)
+    gemm_impl(a, b, m, k, n, Op::Nt, par, GemmEpilogue::none())
 }
 
+/// [`gemm_nt`] with a fused [`GemmEpilogue`] applied to each output band
+/// while it is cache-hot. Bit-identical to [`gemm_nt_with`] followed by the
+/// separate bias/ReLU passes — this is the entry point the compiled
+/// convolution and linear stages use to fold their bias add (per GEMM
+/// column) and ReLU into the kernel.
+///
+/// # Panics
+///
+/// Panics if `a.len() != m*k`, `b.len() != n*k`, or a bias is present with
+/// length other than `n`.
+pub fn gemm_nt_fused(
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    par: Parallelism,
+    ep: GemmEpilogue,
+) -> Vec<f32> {
+    assert_eq!(a.len(), m * k, "gemm_nt lhs length must be m*k");
+    assert_eq!(b.len(), n * k, "gemm_nt rhs length must be n*k");
+    if let Some(bias) = ep.bias {
+        assert_eq!(bias.len(), n, "epilogue bias length must be n");
+    }
+    gemm_impl(a, b, m, k, n, Op::Nt, par, ep)
+}
+
+#[allow(clippy::too_many_arguments)]
 fn gemm_impl(
     a: &[f32],
     b: &[f32],
@@ -284,13 +402,16 @@ fn gemm_impl(
     n: usize,
     op: Op,
     par: Parallelism,
+    ep: GemmEpilogue,
 ) -> Vec<f32> {
     let mut out = vec![0.0f32; m * n];
     if m == 0 || n == 0 || k == 0 {
+        apply_epilogue(&mut out, n, &ep);
         return out;
     }
     if k * n < SMALL_THRESHOLD {
         gemm_small(a, b, m, k, n, op, &mut out);
+        apply_epilogue(&mut out, n, &ep);
         return out;
     }
     let cfg = kernel_config();
@@ -328,29 +449,26 @@ fn gemm_impl(
 
     if want_parallel && bands.len() > 1 {
         // Each band materialises its rows separately, then they are stitched.
+        // The epilogue runs on the band temporary while it is cache-hot; the
+        // result is identical to one pass over the stitched output because
+        // the epilogue is element-wise.
         let compute = |&(row0, rows): &(usize, usize)| -> Vec<f32> {
             let mut band = vec![0.0f32; rows * n];
             gemm_band(a, &bp, row0, rows, m, k, n, op, cfg, &mut band);
+            apply_epilogue(&mut band, n, &ep);
             band
         };
         for ((row0, rows), band) in bands.iter().zip(par_map(&bands, compute)) {
             out[row0 * n..(row0 + rows) * n].copy_from_slice(&band);
         }
     } else {
-        // Serial: compute straight into the output, no temporaries.
+        // Serial: compute straight into the output, no temporaries. The
+        // epilogue follows each band immediately, so its rows are still
+        // resident in cache.
         for &(row0, rows) in &bands {
-            gemm_band(
-                a,
-                &bp,
-                row0,
-                rows,
-                m,
-                k,
-                n,
-                op,
-                cfg,
-                &mut out[row0 * n..(row0 + rows) * n],
-            );
+            let band = &mut out[row0 * n..(row0 + rows) * n];
+            gemm_band(a, &bp, row0, rows, m, k, n, op, cfg, band);
+            apply_epilogue(band, n, &ep);
         }
     }
     out
@@ -697,5 +815,97 @@ mod tests {
     fn empty_dimensions_yield_zero_filled_output() {
         assert_eq!(gemm_nn(&[], &[], 0, 0, 0), Vec::<f32>::new());
         assert_eq!(gemm_nn(&[], &[], 2, 0, 3), vec![0.0; 6]);
+    }
+
+    /// The unfused equivalent of the epilogue: bias pass, then mask-multiply
+    /// ReLU pass, exactly as the eager layer stack performs them.
+    fn separate_passes(mut out: Vec<f32>, n: usize, bias: Option<&[f32]>, relu: bool) -> Vec<f32> {
+        for row in out.chunks_exact_mut(n) {
+            if let Some(bias) = bias {
+                for (o, &bv) in row.iter_mut().zip(bias) {
+                    *o += bv;
+                }
+            }
+        }
+        if relu {
+            for o in out.iter_mut() {
+                let mask = if *o > 0.0 { 1.0 } else { 0.0 };
+                *o *= mask;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn fused_epilogue_is_bit_exact_on_every_code_path() {
+        // Sizes straddling SMALL_THRESHOLD and the parallel band split; the
+        // fused result must be bit-identical to GEMM + separate passes on all
+        // of them, for both layouts the fused entry points expose.
+        for &(m, k, n) in &[(3usize, 5usize, 7usize), (40, 41, 43), (70, 160, 96)] {
+            let a = pseudo(m * k, 11);
+            let b = pseudo(k * n, 12);
+            let bt = pseudo(n * k, 13);
+            let bias = pseudo(n, 14);
+            for par in [Parallelism::Serial, Parallelism::Parallel] {
+                for (biased, relu) in [(false, true), (true, false), (true, true)] {
+                    let ep = GemmEpilogue {
+                        bias: biased.then_some(bias.as_slice()),
+                        relu,
+                    };
+                    let fused = gemm_nn_fused(&a, &b, m, k, n, par, ep);
+                    let eager =
+                        separate_passes(gemm_nn_with(&a, &b, m, k, n, par), n, ep.bias, relu);
+                    assert_eq!(
+                        fused, eager,
+                        "nn {m}x{k}x{n} {par:?} bias={biased} relu={relu}"
+                    );
+
+                    let fused = gemm_nt_fused(&a, &bt, m, k, n, par, ep);
+                    let eager =
+                        separate_passes(gemm_nt_with(&a, &bt, m, k, n, par), n, ep.bias, relu);
+                    assert_eq!(
+                        fused, eager,
+                        "nt {m}x{k}x{n} {par:?} bias={biased} relu={relu}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_relu_mirrors_the_mask_multiply_semantics() {
+        // The eager Relu layer computes `x * (x > 0 ? 1 : 0)`: negatives
+        // become -0.0 and NaN survives. The fused epilogue must match, or
+        // fused-vs-eager bit-exactness breaks on those payloads.
+        let a = [1.0f32, 0.0, -1.0, 0.0]; // [2,2]
+        let b = [-3.0f32, f32::NAN, 0.0, 0.0]; // [2,2]
+        let ep = GemmEpilogue {
+            bias: None,
+            relu: true,
+        };
+        let fused = gemm_nn_fused(&a, &b, 2, 2, 2, Parallelism::Serial, ep);
+        // Row 0: [-3, NaN] -> [-0.0, NaN]; row 1: [3, NaN] -> [3, NaN].
+        assert!(fused[0] == 0.0 && fused[0].is_sign_negative(), "{fused:?}");
+        assert!(fused[1].is_nan());
+        assert_eq!(fused[2], 3.0);
+        assert!(fused[3].is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "epilogue bias length must be n")]
+    fn fused_rejects_mismatched_bias() {
+        let bias = [1.0f32; 3];
+        let _ = gemm_nt_fused(
+            &[1.0; 4],
+            &[1.0; 4],
+            2,
+            2,
+            2,
+            Parallelism::Serial,
+            GemmEpilogue {
+                bias: Some(&bias),
+                relu: false,
+            },
+        );
     }
 }

@@ -43,6 +43,6 @@ pub use error::ShapeError;
 pub use init::{Init, Rng};
 pub use json::{JsonError, JsonValue};
 pub use parallel::par_map;
-pub use quant::{qgemm_nn, QTensor, QTensorBatch};
+pub use quant::{qgemm_nn, qgemm_nn_dequant, QGemmEpilogue, QTensor, QTensorBatch};
 pub use shape::{broadcast_compatible, stride_for, Shape};
 pub use tensor::Tensor;

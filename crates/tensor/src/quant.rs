@@ -70,16 +70,28 @@ pub const QPAR_THRESHOLD: usize = 1 << 20;
 pub const QGEMM_MAX_K: usize = 1 << 17;
 
 /// The scale mapping a tensor's absolute maximum onto the `i8` grid:
-/// `absmax / 127`, or `1.0` whenever that quotient is not a positive finite
-/// number — an all-zero (or empty) tensor, but also a subnormal `absmax`
-/// whose division underflows to `0.0`. The fallback keeps every scale valid
-/// for the wire codec (which rejects non-positive scales) and still
-/// round-trips within the `scale / 2` bound: values that small all quantize
-/// to `0`.
+/// `absmax / 127`, guarded against two degenerate regions.
+///
+/// * A quotient that is not positive and finite — an all-zero (or empty)
+///   tensor, or a division that underflowed all the way to `0.0` — falls
+///   back to `1.0`.
+/// * A **positive subnormal** quotient (absmax below ~`1.5e-36`, which
+///   conv+bn folding can produce by shrinking a weight tensor's magnitudes)
+///   is clamped up to [`f32::MIN_POSITIVE`]. A subnormal scale passes a
+///   naive `> 0.0` check, but its reciprocal — the factor the quantization
+///   loop multiplies by — overflows to `+inf`, which would send every
+///   non-zero value to `±127` regardless of magnitude and break the
+///   `scale / 2` round-trip bound.
+///
+/// Both fallbacks keep every scale valid for the wire codec (which rejects
+/// non-positive scales), keep `1 / scale` finite, and still round-trip
+/// within the `scale / 2` bound: values that small all quantize to `0`.
 pub fn quantization_scale(absmax: f32) -> f32 {
     let scale = absmax / 127.0;
-    if scale.is_finite() && scale > 0.0 {
+    if scale.is_finite() && scale >= f32::MIN_POSITIVE {
         scale
+    } else if scale > 0.0 {
+        f32::MIN_POSITIVE
     } else {
         1.0
     }
@@ -569,6 +581,159 @@ pub fn qgemm_nn_with(
     out
 }
 
+/// The dequantization tail fused onto [`qgemm_nn_dequant`]: per-output-row
+/// scales, an optional per-column bias and an optional `max(0, ·)` ReLU,
+/// applied to the live `i32` accumulators of each completed row band.
+///
+/// This is what lets the compiled int8 plan stop round-tripping through
+/// separate dequantize / bias / activation passes at every layer boundary:
+/// the `i32` sums leave the kernel already converted with
+/// `acc as f32 * row_scale + bias` — the exact expression the eager
+/// quantized layers use, so fusion is bit-exact.
+#[derive(Debug, Clone, Copy)]
+pub struct QGemmEpilogue<'a> {
+    /// Per-row dequantization factor (length `m`). For the quantized layers
+    /// this is `activation_scale(sample) * weight_scale`, precomputed per
+    /// output row exactly as the eager dequant loop computes it.
+    pub row_scales: &'a [f32],
+    /// Per-column `f32` bias added after dequantization (length `n`).
+    pub bias: Option<&'a [f32]>,
+    /// Apply `max(0.0, v)` after the bias — the formulation the eager
+    /// quantized residual blocks use, so folded conv+bn+relu stages match
+    /// their f32-bn counterparts' activation semantics.
+    pub relu: bool,
+}
+
+/// Converts one band of `i32` accumulators (rows `row0..row0+rows` of the
+/// product) into `f32` through the fused epilogue.
+fn dequant_band(acc: &[i32], row0: usize, n: usize, ep: &QGemmEpilogue, out: &mut [f32]) {
+    if n == 0 {
+        return;
+    }
+    for (r, (arow, orow)) in acc.chunks_exact(n).zip(out.chunks_exact_mut(n)).enumerate() {
+        let s = ep.row_scales[row0 + r];
+        match ep.bias {
+            Some(bias) => {
+                for ((o, &a), &bv) in orow.iter_mut().zip(arow).zip(bias) {
+                    *o = a as f32 * s + bv;
+                }
+            }
+            None => {
+                for (o, &a) in orow.iter_mut().zip(arow) {
+                    *o = a as f32 * s;
+                }
+            }
+        }
+        if ep.relu {
+            for o in orow.iter_mut() {
+                *o = o.max(0.0);
+            }
+        }
+    }
+}
+
+/// [`qgemm_nn`] with the dequantization fused onto the kernel: returns `f32`
+/// directly, converting each row band's `i32` accumulators while they are
+/// cache-hot instead of materialising the integer product and running
+/// separate dequantize / bias / ReLU passes over memory.
+///
+/// Bit-identical to [`qgemm_nn_with`] followed by
+/// `acc as f32 * row_scales[i] + bias[j]` (and `max(0.0)` when `relu` is
+/// set), on every code path — the integer accumulation is exact and the
+/// float conversion applies the same expression per element.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`qgemm_nn`], or if
+/// `ep.row_scales.len() != m`, or if a bias is present with length other
+/// than `n`.
+pub fn qgemm_nn_dequant(
+    a: &[i8],
+    b: &[i8],
+    m: usize,
+    k: usize,
+    n: usize,
+    par: Parallelism,
+    ep: QGemmEpilogue,
+) -> Vec<f32> {
+    assert_eq!(a.len(), m * k, "qgemm_nn lhs length must be m*k");
+    assert_eq!(b.len(), k * n, "qgemm_nn rhs length must be k*n");
+    assert!(
+        k <= QGEMM_MAX_K,
+        "qgemm_nn shared dimension {k} exceeds the i32-overflow bound {QGEMM_MAX_K}"
+    );
+    assert_eq!(
+        ep.row_scales.len(),
+        m,
+        "epilogue row_scales length must be m"
+    );
+    if let Some(bias) = ep.bias {
+        assert_eq!(bias.len(), n, "epilogue bias length must be n");
+    }
+    let mut out = vec![0.0f32; m * n];
+    if m == 0 || n == 0 {
+        return out;
+    }
+    if k == 0 || k * n < QSMALL_THRESHOLD {
+        // Small products: integer triple loop into a reusable one-row
+        // accumulator, dequantized row by row.
+        let mut acc = vec![0i32; n];
+        for i in 0..m {
+            acc.fill(0);
+            qgemm_small(&a[i * k..(i + 1) * k], b, 1, k, n, &mut acc);
+            dequant_band(&acc, i, n, &ep, &mut out[i * n..(i + 1) * n]);
+        }
+        return out;
+    }
+    let cfg = qkernel_config();
+    let bp = pack_b_q(b, k, n, cfg.nr);
+    let kc2_total = k.div_ceil(2);
+
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let want_parallel = match par {
+        Parallelism::Serial => false,
+        Parallelism::Parallel => true,
+        Parallelism::Auto => workers > 1 && m > cfg.mr && m * k * n >= QPAR_THRESHOLD,
+    };
+
+    let band_rows = if want_parallel && m <= QMC {
+        let per_worker = m.div_ceil(workers.max(2));
+        per_worker.div_ceil(cfg.mr) * cfg.mr
+    } else {
+        QMC
+    };
+    let bands: Vec<(usize, usize)> = (0..m)
+        .step_by(band_rows)
+        .map(|row0| (row0, band_rows.min(m - row0)))
+        .collect();
+
+    if want_parallel && bands.len() > 1 {
+        let compute = |&(row0, rows): &(usize, usize)| -> Vec<f32> {
+            let mut acc = vec![0i32; rows * n];
+            qgemm_band(a, &bp, row0, rows, k, kc2_total, n, cfg, &mut acc);
+            let mut band = vec![0.0f32; rows * n];
+            dequant_band(&acc, row0, n, &ep, &mut band);
+            band
+        };
+        for ((row0, rows), band) in bands.iter().zip(par_map(&bands, compute)) {
+            out[row0 * n..(row0 + rows) * n].copy_from_slice(&band);
+        }
+    } else {
+        // Serial: one reusable i32 scratch band, dequantized into the output
+        // right after it is produced (still cache-resident).
+        let mut acc = vec![0i32; band_rows.min(m) * n];
+        for &(row0, rows) in &bands {
+            let scratch = &mut acc[..rows * n];
+            scratch.fill(0);
+            qgemm_band(a, &bp, row0, rows, k, kc2_total, n, cfg, scratch);
+            dequant_band(scratch, row0, n, &ep, &mut out[row0 * n..(row0 + rows) * n]);
+        }
+    }
+    out
+}
+
 /// Plain triple loop for products too small to amortise packing.
 fn qgemm_small(a: &[i8], b: &[i8], m: usize, k: usize, n: usize, out: &mut [i32]) {
     for i in 0..m {
@@ -946,5 +1111,132 @@ mod tests {
     #[should_panic(expected = "i32-overflow bound")]
     fn qgemm_rejects_overflow_prone_k() {
         let _ = qgemm_nn(&[], &[], 0, QGEMM_MAX_K + 1, 0);
+    }
+
+    #[test]
+    fn positive_subnormal_scale_is_clamped_to_a_normal_float() {
+        // absmax/127 lands in the subnormal range: it passes a naive `> 0`
+        // check, but its reciprocal is +inf and quantization would saturate
+        // every nonzero value to ±127. The clamp keeps 1/scale finite.
+        let absmax = f32::MIN_POSITIVE * 64.0; // absmax/127 is subnormal
+        let s = absmax / 127.0;
+        assert!(s > 0.0 && !s.is_normal(), "subnormal by construction");
+        let scale = quantization_scale(absmax);
+        assert_eq!(scale, f32::MIN_POSITIVE);
+        assert!((1.0 / scale).is_finite());
+        let q = QTensor::quantize(&Tensor::from_vec(vec![absmax, -absmax, 0.0], &[3]).unwrap());
+        assert!(q.scale() >= f32::MIN_POSITIVE);
+        let back = q.dequantize();
+        for (x, y) in [absmax, -absmax, 0.0].iter().zip(back.data()) {
+            assert!((x - y).abs() <= q.scale() * 0.500001, "{x} vs {y}");
+        }
+    }
+
+    /// The reference the fused kernel must match bit-for-bit: integer
+    /// product, then the eager layers' dequant expression per element.
+    fn separate_dequant(
+        a: &[i8],
+        b: &[i8],
+        m: usize,
+        k: usize,
+        n: usize,
+        par: Parallelism,
+        ep: &QGemmEpilogue,
+    ) -> Vec<f32> {
+        let acc = qgemm_nn_with(a, b, m, k, n, par);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut v =
+                    acc[i * n + j] as f32 * ep.row_scales[i] + ep.bias.map_or(0.0, |bias| bias[j]);
+                if ep.relu {
+                    v = v.max(0.0);
+                }
+                out[i * n + j] = v;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn fused_dequant_is_bit_exact_on_every_code_path() {
+        // Shapes straddle the small-product threshold and the parallel band
+        // split; scales/bias exercise every epilogue combination.
+        for &(m, k, n) in &[(3, 5, 7), (40, 41, 43), (70, 160, 96), (1, 700, 2)] {
+            let a = pseudo_i8(m * k, (m * 13 + n) as u64);
+            let b = pseudo_i8(k * n, (k * 29 + m) as u64);
+            let row_scales: Vec<f32> = (0..m).map(|i| 0.001 + i as f32 * 1e-4).collect();
+            let bias: Vec<f32> = (0..n).map(|j| (j as f32 - n as f32 / 2.0) * 0.3).collect();
+            for par in [Parallelism::Serial, Parallelism::Parallel] {
+                for (use_bias, relu) in [(false, false), (true, false), (true, true)] {
+                    let ep = QGemmEpilogue {
+                        row_scales: &row_scales,
+                        bias: if use_bias { Some(&bias) } else { None },
+                        relu,
+                    };
+                    assert_eq!(
+                        qgemm_nn_dequant(&a, &b, m, k, n, par, ep),
+                        separate_dequant(&a, &b, m, k, n, par, &ep),
+                        "mismatch at {m}x{k}x{n} par={par:?} bias={use_bias} relu={relu}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_dequant_relu_clamps_negatives_to_positive_zero() {
+        // -3 * 1 * 0.5 = -1.5 -> relu -> 0.0 (positive zero, as `max` gives).
+        let out = qgemm_nn_dequant(
+            &[-3, 3],
+            &[1],
+            2,
+            1,
+            1,
+            Parallelism::Serial,
+            QGemmEpilogue {
+                row_scales: &[0.5, 0.5],
+                bias: None,
+                relu: true,
+            },
+        );
+        assert_eq!(out, vec![0.0, 1.5]);
+        assert!(out[0].is_sign_positive());
+    }
+
+    #[test]
+    #[should_panic(expected = "row_scales length must be m")]
+    fn fused_dequant_rejects_mismatched_scales() {
+        let _ = qgemm_nn_dequant(
+            &[1, 2],
+            &[3, 4],
+            2,
+            1,
+            2,
+            Parallelism::Serial,
+            QGemmEpilogue {
+                row_scales: &[1.0],
+                bias: None,
+                relu: false,
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "bias length must be n")]
+    fn fused_dequant_rejects_mismatched_bias() {
+        let _ = qgemm_nn_dequant(
+            &[1, 2],
+            &[3, 4],
+            2,
+            1,
+            2,
+            Parallelism::Serial,
+            QGemmEpilogue {
+                row_scales: &[1.0, 1.0],
+                bias: Some(&[0.0]),
+                relu: false,
+            },
+        );
     }
 }
