@@ -22,6 +22,8 @@ use ensembler::{
     TrainConfig,
 };
 use ensembler_bench::load::{run_open_loop, LoadConfig, LoadRequest};
+use ensembler_bench::stream::{run_streaming, StreamConfig};
+use ensembler_bench::trace::{demo_bursty_trace, run_trace_replay, RequestKind};
 use ensembler_bench::ExperimentScale;
 use ensembler_data::SyntheticSpec;
 use ensembler_latency::network_cost;
@@ -468,6 +470,162 @@ fn load_case(ensemble_size: usize, selected: usize, scale: ExperimentScale) -> J
         ("steady", JsonValue::Array(steady)),
         ("churn", churn_report.to_json()),
         ("overload", overload_report.to_json()),
+    ])
+}
+
+/// Realistic load shapes (`docs/SERVING.md`'s scenario suite): streaming
+/// sessions pushing frames at a fixed per-session cadence (stall and jitter
+/// accounting on top of the tail), the committed bursty trace replayed
+/// open-loop, and the client-side result cache driven over a
+/// duplicate-heavy workload — with the hit path asserted bit-identical to
+/// an uncached connection before any number is recorded.
+fn scenarios_case(ensemble_size: usize, selected: usize, scale: ExperimentScale) -> JsonValue {
+    let stream_config = match scale {
+        ExperimentScale::Quick => StreamConfig {
+            sessions: 4,
+            frame_hz: 25.0,
+            frames_per_session: 40,
+        },
+        ExperimentScale::Full => StreamConfig {
+            sessions: 8,
+            frame_hz: 40.0,
+            frames_per_session: 120,
+        },
+    };
+    let pipeline: Arc<dyn Defense> =
+        Arc::new(demo_pipeline(ensemble_size, selected, 7).expect("valid demo pipeline"));
+    let server = DefenseServer::bind(
+        Arc::clone(&pipeline),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .expect("bind loopback server");
+    let remote = Arc::new(
+        RemoteDefense::connect(Arc::clone(&pipeline), server.local_addr()).expect("connect"),
+    );
+    let backbone = pipeline.config().clone();
+    let image = Tensor::ones(&[
+        1,
+        backbone.input_channels,
+        backbone.image_size,
+        backbone.image_size,
+    ]);
+    let features = pipeline
+        .client_features(&image)
+        .expect("client features for scenario requests");
+
+    // Streaming sessions over the one multiplexed connection.
+    let stream_report = run_streaming(
+        &|_session| {
+            let remote = Arc::clone(&remote);
+            let features = features.clone();
+            Arc::new(move || {
+                remote
+                    .server_outputs_range(&features, 0, ensemble_size)
+                    .map(|_| ())
+            })
+        },
+        &stream_config,
+    );
+    println!("  {}", stream_report.summary());
+
+    // The committed bursty trace, replayed open-loop. `predict` arrivals do
+    // the full round trip (range exchange + local classification) so typed
+    // rejections stay visible; `outputs` arrivals are the steady exchange.
+    let trace = demo_bursty_trace();
+    let outputs_request: LoadRequest = {
+        let remote = Arc::clone(&remote);
+        let features = features.clone();
+        Arc::new(move || {
+            remote
+                .server_outputs_range(&features, 0, ensemble_size)
+                .map(|_| ())
+        })
+    };
+    let predict_request: LoadRequest = {
+        let remote = Arc::clone(&remote);
+        let features = features.clone();
+        Arc::new(move || {
+            let maps = remote.server_outputs_range(&features, 0, ensemble_size)?;
+            remote
+                .classify(&maps)
+                .map(|_| ())
+                .map_err(ensembler_serve::ServeError::Defense)
+        })
+    };
+    let replay_report = run_trace_replay(&trace, |kind| match kind {
+        RequestKind::Outputs => Arc::clone(&outputs_request),
+        RequestKind::Predict => Arc::clone(&predict_request),
+    });
+    println!("  {}", replay_report.summary());
+    assert_eq!(
+        replay_report.failed, 0,
+        "replay against an unloaded loopback server must not fail"
+    );
+
+    // Client result cache over a duplicate-heavy workload: 6 unique inputs
+    // replayed for several rounds, cached vs uncached, bit-identical by
+    // assertion before the counters are recorded.
+    let cached = RemoteDefense::connect(Arc::clone(&pipeline), server.local_addr())
+        .expect("connect")
+        .with_result_cache(32);
+    let uncached =
+        RemoteDefense::connect(Arc::clone(&pipeline), server.local_addr()).expect("connect");
+    let mut rng = Rng::seed_from(41);
+    let unique: Vec<Tensor> = (0..6)
+        .map(|_| {
+            pipeline
+                .client_features(&Tensor::from_fn(
+                    &[
+                        1,
+                        backbone.input_channels,
+                        backbone.image_size,
+                        backbone.image_size,
+                    ],
+                    |_| rng.uniform(-1.0, 1.0),
+                ))
+                .expect("client features")
+        })
+        .collect();
+    let rounds = 4usize;
+    let cached_start = Instant::now();
+    for _ in 0..rounds {
+        for features in &unique {
+            let hit = cached
+                .server_outputs_range(features, 0, ensemble_size)
+                .expect("cached exchange");
+            let fresh = uncached
+                .server_outputs_range(features, 0, ensemble_size)
+                .expect("uncached exchange");
+            assert_eq!(hit, fresh, "cache hit path must be bit-identical");
+        }
+    }
+    let paired_wall_ms = cached_start.elapsed().as_secs_f64() * 1e3;
+    let stats = cached.cache_stats().expect("cache enabled");
+    println!("  {}", stats.summary());
+    let lookups = (rounds * unique.len()) as u64;
+    assert_eq!(stats.hits + stats.misses, lookups);
+    assert_eq!(stats.misses, unique.len() as u64);
+
+    obj(vec![
+        ("ensemble_size", JsonValue::Number(ensemble_size as f64)),
+        ("selected", JsonValue::Number(selected as f64)),
+        ("streaming", stream_report.to_json()),
+        ("bursty_trace_replay", replay_report.to_json()),
+        (
+            "client_cache",
+            obj(vec![
+                ("capacity", JsonValue::Number(stats.capacity as f64)),
+                ("unique_inputs", JsonValue::Number(unique.len() as f64)),
+                ("rounds", JsonValue::Number(rounds as f64)),
+                ("hits", JsonValue::Number(stats.hits as f64)),
+                ("misses", JsonValue::Number(stats.misses as f64)),
+                ("hit_rate", num(stats.hit_rate())),
+                ("evictions", JsonValue::Number(stats.evictions as f64)),
+                ("paired_wall_ms", num(paired_wall_ms)),
+                ("bit_identical_to_uncached", JsonValue::Bool(true)),
+            ]),
+        ),
     ])
 }
 
@@ -1000,6 +1158,9 @@ fn main() {
     println!("Open-loop load (one multiplexed v5 connection, tail latency):");
     let load = load_case(4, 2, scale);
 
+    println!("Realistic load shapes (streaming sessions, trace replay, client cache):");
+    let scenarios = scenarios_case(4, 2, scale);
+
     println!("Model lifecycle (hot-swap reload pause + canary split, live registry):");
     let lifecycle = lifecycle_case(4, 2, scale);
 
@@ -1022,7 +1183,7 @@ fn main() {
 
     let report = obj(vec![
         ("report", JsonValue::String("perf_report".to_string())),
-        ("version", JsonValue::Number(8.0)),
+        ("version", JsonValue::Number(9.0)),
         ("unix_time_s", JsonValue::Number(epoch_s as f64)),
         ("cores", JsonValue::Number(cores as f64)),
         ("scale", JsonValue::String(format!("{scale:?}"))),
@@ -1032,6 +1193,7 @@ fn main() {
         ("fusion", fusion),
         ("serving", serving),
         ("load", load),
+        ("scenarios", scenarios),
         ("lifecycle", lifecycle),
         ("sharded", sharded),
         ("quantized", quantized),

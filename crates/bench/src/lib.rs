@@ -16,9 +16,15 @@
 //! `DESIGN.md`.
 //!
 //! The [`load`] module is the open-loop load-generation harness behind the
-//! `load_gen` binary and the `load` section of `BENCH_PERF.json`.
+//! `load_gen` binary and the `load` section of `BENCH_PERF.json`; [`stream`]
+//! adds stateful streaming sessions (per-session cadence, jitter and stall
+//! accounting) and [`trace`] a committed text trace format with a
+//! deterministic synthesizer and an open-loop replayer, both feeding the
+//! `scenarios` section.
 
 pub mod load;
+pub mod stream;
+pub mod trace;
 
 use ensembler::{
     Defense, DefenseKind, EnsemblerError, EnsemblerTrainer, EvalConfig, SinglePipeline, TrainConfig,

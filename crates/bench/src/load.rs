@@ -28,6 +28,30 @@ use std::time::{Duration, Instant};
 /// classified into the [`LoadReport`].
 pub type LoadRequest = Arc<dyn Fn() -> Result<(), ServeError> + Send + Sync>;
 
+/// The three outcome classes every harness in this crate tallies: completed,
+/// shed by admission control with a typed `Overloaded` frame, or failed any
+/// other way. One classification function serves the open-loop, streaming
+/// and trace-replay harnesses so their counts always mean the same thing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// The request completed successfully.
+    Ok,
+    /// The server refused it with a typed `Overloaded` frame — load
+    /// shedding, not a failure.
+    Rejected,
+    /// Anything else: transport, protocol or inference errors.
+    Failed,
+}
+
+/// Classifies one request result into its [`Outcome`] class.
+pub fn classify_outcome(result: &Result<(), ServeError>) -> Outcome {
+    match result {
+        Ok(()) => Outcome::Ok,
+        Err(ServeError::Remote(wire)) if wire.code == ErrorCode::Overloaded => Outcome::Rejected,
+        Err(_) => Outcome::Failed,
+    }
+}
+
 /// Shape of one open-loop load scenario.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LoadConfig {
@@ -104,6 +128,33 @@ impl LoadReport {
             self.p999_ms,
         )
     }
+
+    /// Per-outcome-class breakdown with percentages — the line the overload
+    /// scenario prints so CI logs show the shed fraction at a glance, e.g.
+    /// `outcomes: 37/200 ok (18.5%), 163/200 rejected (81.5%), 0/200 failed
+    /// (0.0%) -> 81.5% shed`.
+    pub fn outcome_line(&self) -> String {
+        let pct = |n: usize| {
+            if self.requests == 0 {
+                0.0
+            } else {
+                100.0 * n as f64 / self.requests as f64
+            }
+        };
+        format!(
+            "outcomes: {}/{} ok ({:.1}%), {}/{} rejected ({:.1}%), {}/{} failed ({:.1}%) -> {:.1}% shed",
+            self.ok,
+            self.requests,
+            pct(self.ok),
+            self.rejected,
+            self.requests,
+            pct(self.rejected),
+            self.failed,
+            self.requests,
+            pct(self.failed),
+            pct(self.rejected),
+        )
+    }
 }
 
 /// Nearest-rank percentile of an ascending-sorted latency list (`q` in
@@ -156,13 +207,13 @@ pub fn run_open_loop(request: &LoadRequest, config: &LoadConfig) -> LoadReport {
             failed += 1;
             continue;
         };
-        match result {
-            Ok(()) => {
+        match classify_outcome(&result) {
+            Outcome::Ok => {
                 ok += 1;
                 latencies_ms.push(elapsed.as_secs_f64() * 1e3);
             }
-            Err(ServeError::Remote(wire)) if wire.code == ErrorCode::Overloaded => rejected += 1,
-            Err(_) => failed += 1,
+            Outcome::Rejected => rejected += 1,
+            Outcome::Failed => failed += 1,
         }
     }
     let wall_s = start.elapsed().as_secs_f64();
@@ -235,6 +286,50 @@ mod tests {
         let rendered = json.render_pretty();
         assert!(rendered.contains("p999_ms"));
         assert!(rendered.contains("rejected"));
+    }
+
+    #[test]
+    fn outcome_line_shows_per_class_percentages() {
+        let report = LoadReport {
+            target_qps: 1000.0,
+            requests: 200,
+            ok: 37,
+            rejected: 163,
+            failed: 0,
+            achieved_qps: 0.0,
+            p50_ms: 0.0,
+            p99_ms: 0.0,
+            p999_ms: 0.0,
+            max_ms: 0.0,
+        };
+        let line = report.outcome_line();
+        assert!(line.contains("37/200 ok (18.5%)"), "{line}");
+        assert!(line.contains("163/200 rejected (81.5%)"), "{line}");
+        assert!(line.contains("0/200 failed (0.0%)"), "{line}");
+        assert!(line.ends_with("81.5% shed"), "{line}");
+    }
+
+    #[test]
+    fn classification_is_shared_and_typed() {
+        assert_eq!(classify_outcome(&Ok(())), Outcome::Ok);
+        assert_eq!(
+            classify_outcome(&Err(ServeError::Remote(WireError {
+                code: ErrorCode::Overloaded,
+                message: "budget".to_string(),
+            }))),
+            Outcome::Rejected
+        );
+        assert_eq!(
+            classify_outcome(&Err(ServeError::Remote(WireError {
+                code: ErrorCode::Internal,
+                message: "boom".to_string(),
+            }))),
+            Outcome::Failed
+        );
+        assert_eq!(
+            classify_outcome(&Err(ServeError::Protocol("garbage".to_string()))),
+            Outcome::Failed
+        );
     }
 
     #[test]

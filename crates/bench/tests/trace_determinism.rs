@@ -1,0 +1,133 @@
+//! Determinism properties of the trace subsystem (satellite of the
+//! scenario-diversity PR): the same `(shape, seed)` must synthesize the
+//! byte-identical trace, render∘parse must be the identity, the committed
+//! example trace must match its generator spec, and two replays of the same
+//! trace against the same deterministic deployment must produce the
+//! identical arrival schedule and outcome classification.
+
+use ensembler_bench::trace::{
+    demo_bursty_trace, run_trace_replay, synthesize, RequestKind, Trace, TraceShape,
+};
+use ensembler_serve::{ErrorCode, ServeError, WireError};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A small shape catalogue the properties quantify over.
+fn shape_for(index: usize) -> TraceShape {
+    match index % 3 {
+        0 => TraceShape::Steady {
+            qps: 80.0,
+            duration_s: 1.5,
+        },
+        1 => TraceShape::Bursty {
+            base_qps: 15.0,
+            burst_qps: 90.0,
+            period_s: 0.5,
+            burst_fraction: 0.3,
+            duration_s: 2.0,
+        },
+        _ => TraceShape::Diurnal {
+            low_qps: 10.0,
+            peak_qps: 70.0,
+            period_s: 1.0,
+            duration_s: 2.0,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn synthesis_is_a_pure_function_of_shape_and_seed(
+        seed in any::<u64>(),
+        shape_index in 0usize..3,
+    ) {
+        let shape = shape_for(shape_index);
+        let a = synthesize(&shape, seed).expect("valid shape");
+        let b = synthesize(&shape, seed).expect("valid shape");
+        prop_assert_eq!(a.render(), b.render());
+        prop_assert_eq!(a.schedule(), b.schedule());
+    }
+
+    #[test]
+    fn render_then_parse_is_the_identity(
+        seed in any::<u64>(),
+        shape_index in 0usize..3,
+    ) {
+        let trace = synthesize(&shape_for(shape_index), seed).expect("valid shape");
+        let reparsed = Trace::parse(&trace.render()).expect("canonical form must parse");
+        prop_assert_eq!(&trace, &reparsed);
+        // And rendering the reparse changes nothing either.
+        prop_assert_eq!(trace.render(), reparsed.render());
+    }
+}
+
+#[test]
+fn different_seeds_diverge() {
+    let shape = shape_for(1);
+    let a = synthesize(&shape, 1).unwrap();
+    let b = synthesize(&shape, 2).unwrap();
+    assert_ne!(
+        a.schedule(),
+        b.schedule(),
+        "distinct seeds must give distinct arrival schedules"
+    );
+}
+
+#[test]
+fn committed_demo_trace_matches_its_generator_spec() {
+    let committed_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("traces")
+        .join("bursty_demo.trace");
+    let committed = std::fs::read_to_string(&committed_path)
+        .expect("crates/bench/traces/bursty_demo.trace is committed");
+    assert_eq!(
+        committed,
+        demo_bursty_trace().render(),
+        "the committed trace drifted from demo_bursty_trace(); regenerate it with \
+         `cargo run -p ensembler-bench --bin trace_gen -- --out crates/bench/traces/bursty_demo.trace`"
+    );
+    // And it parses back to the generator's trace exactly.
+    let parsed = Trace::load(&committed_path).expect("committed trace parses");
+    assert_eq!(parsed, demo_bursty_trace());
+}
+
+/// Replaying the same trace twice against the same deterministic deployment
+/// must produce the identical schedule and outcome classification: `predict`
+/// frames always succeed, `outputs` frames are always shed. (Per-request
+/// timing is the machine's and is deliberately excluded.)
+#[test]
+fn replay_outcomes_are_deterministic_across_runs() {
+    let trace = synthesize(
+        &TraceShape::Steady {
+            qps: 150.0,
+            duration_s: 0.4,
+        },
+        42,
+    )
+    .expect("valid shape");
+    assert_eq!(trace.schedule(), trace.schedule());
+
+    let run = || {
+        run_trace_replay(&trace, |kind| match kind {
+            RequestKind::Predict => Arc::new(|| Ok(())),
+            RequestKind::Outputs => Arc::new(|| {
+                Err(ServeError::Remote(WireError {
+                    code: ErrorCode::Overloaded,
+                    message: "deterministic shed".to_string(),
+                }))
+            }),
+        })
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first.outcome_signature(), second.outcome_signature());
+    assert_eq!(first.entries, trace.len());
+    assert_eq!(
+        first.ok + first.rejected + first.failed,
+        trace.len(),
+        "every arrival must be classified exactly once"
+    );
+    assert_eq!(first.failed, 0);
+}

@@ -1,0 +1,260 @@
+//! Error-path coverage for the trace format (satellite of the
+//! scenario-diversity PR), in the same spirit as the artifact codec's
+//! fault-injection suite: every malformed input must map to a typed
+//! [`TraceError`], never a panic — malformed lines, non-monotonic
+//! timestamps, absurd sustained rates, oversized traces, oversized spans and
+//! empty traces all have their own variant, and random corruption of a valid
+//! trace parses or fails cleanly.
+
+use ensembler_bench::trace::{
+    synthesize, RequestKind, Trace, TraceEntry, TraceError, TraceShape, MAX_TRACE_ENTRIES,
+};
+use ensembler_tensor::Rng;
+use proptest::prelude::*;
+
+#[test]
+fn empty_inputs_are_typed_empty() {
+    assert_eq!(Trace::parse(""), Err(TraceError::Empty));
+    assert_eq!(Trace::parse("\n\n\n"), Err(TraceError::Empty));
+    assert_eq!(
+        Trace::parse("# just a comment\n  # another\n"),
+        Err(TraceError::Empty)
+    );
+    assert_eq!(Trace::from_entries(Vec::new()), Err(TraceError::Empty));
+}
+
+#[test]
+fn malformed_lines_carry_their_line_number() {
+    let cases: &[(&str, usize)] = &[
+        ("abc outputs", 1),                // non-numeric offset
+        ("# ok\n1.0", 2),                  // missing kind
+        ("1.0 outputs extra", 1),          // trailing token
+        ("NaN outputs", 1),                // non-finite offset
+        ("inf outputs", 1),                // non-finite offset
+        ("-5 outputs", 1),                 // negative offset
+        ("1.0 fetch", 1),                  // unknown kind
+        ("0.0 outputs\n\n2.0 OUTPUTS", 3), // kinds are case-sensitive
+    ];
+    for (text, expected_line) in cases {
+        match Trace::parse(text) {
+            Err(TraceError::Malformed { line, reason }) => {
+                assert_eq!(
+                    line, *expected_line,
+                    "wrong line for {text:?} (reason {reason:?})"
+                );
+                assert!(!reason.is_empty());
+            }
+            other => panic!("{text:?} must be Malformed, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn backwards_timestamps_are_typed_non_monotonic() {
+    match Trace::parse("5.0 outputs\n2.0 outputs") {
+        Err(TraceError::NonMonotonic {
+            line,
+            previous_ms,
+            offset_ms,
+        }) => {
+            assert_eq!(line, 2);
+            assert_eq!(previous_ms, 5.0);
+            assert_eq!(offset_ms, 2.0);
+        }
+        other => panic!("expected NonMonotonic, got {other:?}"),
+    }
+    // Equal offsets are a legal burst, not a monotonicity violation.
+    assert!(Trace::parse("1.0 outputs\n1.0 outputs").is_ok());
+}
+
+#[test]
+fn sustained_absurd_rates_are_rejected() {
+    // 1100 arrivals all at t=0: any 1000-wide window spans 0 ms, far below
+    // the minimum span for the 100k-QPS sustained-rate cap.
+    let text = "0.000 outputs\n".repeat(1_100);
+    match Trace::parse(&text) {
+        Err(TraceError::AbsurdRate {
+            line,
+            window_span_ms,
+            min_span_ms,
+        }) => {
+            assert_eq!(
+                line, 1_001,
+                "the error points at the end of the first bad window"
+            );
+            assert_eq!(window_span_ms, 0.0);
+            assert!(min_span_ms > 0.0);
+        }
+        other => panic!("expected AbsurdRate, got {other:?}"),
+    }
+    // A short burst (under one window) at the same instant stays legal.
+    assert!(Trace::parse(&"0.000 outputs\n".repeat(900)).is_ok());
+}
+
+#[test]
+fn oversized_traces_and_spans_are_rejected() {
+    // Entry cap, through the validating constructor: spacing of 1 ms keeps
+    // the sustained rate legal so only the length trips.
+    let entries: Vec<TraceEntry> = (0..=MAX_TRACE_ENTRIES as u64)
+        .map(|i| TraceEntry {
+            offset_us: i * 1_000,
+            kind: RequestKind::Outputs,
+        })
+        .collect();
+    match Trace::from_entries(entries) {
+        Err(TraceError::TooLong { entries, max }) => {
+            assert_eq!(max, MAX_TRACE_ENTRIES);
+            assert!(entries > max);
+        }
+        other => panic!("expected TooLong, got {other:?}"),
+    }
+
+    // Entry cap, through the parser (it must stop counting, not allocate
+    // without bound).
+    let mut text = String::new();
+    for i in 0..=MAX_TRACE_ENTRIES {
+        text.push_str(&format!("{i}.0 outputs\n"));
+    }
+    assert!(matches!(
+        Trace::parse(&text),
+        Err(TraceError::TooLong { .. })
+    ));
+
+    // Span cap: one arrival past 24 h.
+    match Trace::parse("90000000 outputs") {
+        Err(TraceError::SpanTooLong { offset_ms, max_ms }) => {
+            assert_eq!(offset_ms, 90_000_000.0);
+            assert_eq!(max_ms, 86_400_000.0);
+        }
+        other => panic!("expected SpanTooLong, got {other:?}"),
+    }
+}
+
+#[test]
+fn missing_files_are_typed_io_errors() {
+    match Trace::load(std::path::Path::new("/nonexistent/definitely.trace")) {
+        Err(TraceError::Io(reason)) => assert!(reason.contains("definitely.trace")),
+        other => panic!("expected Io, got {other:?}"),
+    }
+}
+
+#[test]
+fn invalid_shapes_are_typed_not_panics() {
+    let bad_shapes = [
+        TraceShape::Steady {
+            qps: 0.0,
+            duration_s: 1.0,
+        },
+        TraceShape::Steady {
+            qps: f64::NAN,
+            duration_s: 1.0,
+        },
+        TraceShape::Steady {
+            qps: 10.0,
+            duration_s: -1.0,
+        },
+        TraceShape::Bursty {
+            base_qps: 10.0,
+            burst_qps: 50.0,
+            period_s: 1.0,
+            burst_fraction: 1.0, // must be strictly inside (0, 1)
+            duration_s: 1.0,
+        },
+        TraceShape::Diurnal {
+            low_qps: 10.0,
+            peak_qps: f64::INFINITY,
+            period_s: 1.0,
+            duration_s: 1.0,
+        },
+    ];
+    for shape in bad_shapes {
+        assert!(
+            matches!(synthesize(&shape, 0), Err(TraceError::Malformed { .. })),
+            "shape {shape:?} must be rejected with a typed error"
+        );
+    }
+    // A shape whose legal rate overflows the entry cap is typed too.
+    assert!(matches!(
+        synthesize(
+            &TraceShape::Steady {
+                qps: 90_000.0,
+                duration_s: 3_600.0,
+            },
+            0
+        ),
+        Err(TraceError::TooLong { .. })
+    ));
+}
+
+/// Builds a random blob of trace-adjacent text from a seed: tokens drawn
+/// from digits, kinds, junk words, comments, whitespace and newlines.
+fn random_trace_text(seed: u64) -> String {
+    let mut rng = Rng::seed_from(seed);
+    let vocabulary = [
+        "0",
+        "1.5",
+        "12.500",
+        "-3",
+        "1e300",
+        "NaN",
+        "inf",
+        "outputs",
+        "predict",
+        "fetch",
+        "#",
+        "# comment",
+        "",
+        "  ",
+        "9999999999",
+        "0.0005",
+    ];
+    let mut text = String::new();
+    let lines = rng.below(30);
+    for _ in 0..lines {
+        let tokens = rng.below(4);
+        for t in 0..tokens {
+            if t > 0 {
+                text.push(' ');
+            }
+            text.push_str(vocabulary[rng.below(vocabulary.len())]);
+        }
+        text.push('\n');
+    }
+    text
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Random trace-adjacent text parses or fails with a typed error —
+    /// never a panic, and a success must round-trip through render.
+    #[test]
+    fn random_text_never_panics_the_parser(seed in any::<u64>()) {
+        match Trace::parse(&random_trace_text(seed)) {
+            Ok(trace) => {
+                let reparsed = Trace::parse(&trace.render()).expect("canonical form parses");
+                prop_assert_eq!(trace, reparsed);
+            }
+            Err(e) => {
+                // Every error renders a human-readable message.
+                prop_assert!(!e.to_string().is_empty());
+            }
+        }
+    }
+
+    /// Corrupting one byte of a valid trace parses or fails cleanly.
+    #[test]
+    fn single_byte_corruption_never_panics(seed in any::<u64>(), pos in any::<usize>(), byte in 0u8..=255) {
+        let valid = synthesize(
+            &TraceShape::Steady { qps: 60.0, duration_s: 1.0 },
+            seed,
+        )
+        .expect("valid shape");
+        let mut bytes = valid.render().into_bytes();
+        let index = pos % bytes.len();
+        bytes[index] = byte;
+        if let Ok(text) = String::from_utf8(bytes) {
+            let _ = Trace::parse(&text); // must not panic either way
+        }
+    }
+}

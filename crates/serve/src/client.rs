@@ -2,6 +2,7 @@
 //! [`Defense`] whose `server_outputs` stage travels over TCP to a
 //! [`crate::DefenseServer`] instead of running in-process.
 
+use crate::cache::{f32_key, quantized_key, CacheStats, CachedMaps, ResultCache};
 use crate::error::ServeError;
 use crate::protocol::{
     read_message, read_tagged, write_message, write_tagged, Hello, HelloAck, Message, WireError,
@@ -309,6 +310,7 @@ pub struct RemoteDefense {
     transport: Transport,
     peer: HelloAck,
     max_payload_bytes: u32,
+    cache: Option<ResultCache>,
 }
 
 impl RemoteDefense {
@@ -468,7 +470,92 @@ impl RemoteDefense {
             transport,
             peer,
             max_payload_bytes: DEFAULT_MAX_PAYLOAD_BYTES,
+            cache: None,
         })
+    }
+
+    /// Attaches a client-side result cache bounded at `capacity` entries: a
+    /// repeated `server_outputs` exchange (any kind, any precision) is
+    /// answered from memory instead of the wire. Sound because every mask
+    /// and noise draw is derived from the pipeline seed plus the input
+    /// fingerprint, so duplicate inputs are bit-identical by construction —
+    /// see [`crate::cache`] for the guarantee and its one caveat (clear the
+    /// cache after a known server-side model reload).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ensembler::Defense;
+    /// use ensembler_serve::{demo_pipeline, DefenseServer, RemoteDefense, ServerConfig};
+    /// use ensembler_tensor::Tensor;
+    /// use std::sync::Arc;
+    ///
+    /// let pipeline: Arc<dyn Defense> = Arc::new(demo_pipeline(2, 1, 42)?);
+    /// let server = DefenseServer::bind(Arc::clone(&pipeline), "127.0.0.1:0", ServerConfig::default())?;
+    /// let remote = RemoteDefense::connect(Arc::clone(&pipeline), server.local_addr())?
+    ///     .with_result_cache(64);
+    ///
+    /// let images = Tensor::ones(&[1, 3, 16, 16]);
+    /// let first = remote.predict(&images)?;
+    /// let second = remote.predict(&images)?; // served from the cache
+    /// assert_eq!(first, second);
+    /// let stats = remote.cache_stats().expect("cache attached");
+    /// assert_eq!((stats.hits, stats.misses), (1, 1));
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn with_result_cache(mut self, capacity: usize) -> Self {
+        self.cache = Some(ResultCache::new(capacity));
+        self
+    }
+
+    /// Counters of the attached result cache, `None` when
+    /// [`RemoteDefense::with_result_cache`] was never called.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(ResultCache::stats)
+    }
+
+    /// Drops every cached response (a no-op without a cache). Call when the
+    /// server's model is known to have been reloaded — memoized responses
+    /// describe the old version.
+    pub fn clear_result_cache(&self) {
+        if let Some(cache) = &self.cache {
+            cache.clear();
+        }
+    }
+
+    /// Runs `fetch` through the result cache under `key`, expecting `f32`
+    /// maps; without a cache it is exactly `fetch()`.
+    fn cached_f32<E>(
+        &self,
+        key: Vec<u8>,
+        fetch: impl FnOnce(&Self) -> Result<Vec<Tensor>, E>,
+    ) -> Result<Vec<Tensor>, E> {
+        let Some(cache) = &self.cache else {
+            return fetch(self);
+        };
+        if let Some(CachedMaps::F32(maps)) = cache.get(&key) {
+            return Ok(maps);
+        }
+        let maps = fetch(self)?;
+        cache.insert(key, CachedMaps::F32(maps.clone()));
+        Ok(maps)
+    }
+
+    /// The quantized sibling of [`RemoteDefense::cached_f32`].
+    fn cached_quantized<E>(
+        &self,
+        key: Vec<u8>,
+        fetch: impl FnOnce(&Self) -> Result<Vec<QTensorBatch>, E>,
+    ) -> Result<Vec<QTensorBatch>, E> {
+        let Some(cache) = &self.cache else {
+            return fetch(self);
+        };
+        if let Some(CachedMaps::Quantized(maps)) = cache.get(&key) {
+            return Ok(maps);
+        }
+        let maps = fetch(self)?;
+        cache.insert(key, CachedMaps::Quantized(maps.clone()));
+        Ok(maps)
     }
 
     /// The protocol version negotiated with the server.
@@ -569,21 +656,23 @@ impl RemoteDefense {
         hi: usize,
     ) -> Result<Vec<Tensor>, ServeError> {
         self.check_range_version()?;
-        let maps = match self.call(&Message::ServerOutputsRequestRange {
-            lo: lo as u32,
-            hi: hi as u32,
-            transmitted: transmitted.clone(),
-        })? {
-            Message::ServerOutputsResponse { maps } => maps,
-            other => {
-                return Err(ServeError::Protocol(format!(
-                    "expected ServerOutputsResponse, got {:?}",
-                    other.message_type()
-                )))
-            }
-        };
-        check_range_map_count(maps.len(), lo, hi)?;
-        Ok(maps)
+        self.cached_f32(f32_key(lo, hi, transmitted), |this| {
+            let maps = match this.call(&Message::ServerOutputsRequestRange {
+                lo: lo as u32,
+                hi: hi as u32,
+                transmitted: transmitted.clone(),
+            })? {
+                Message::ServerOutputsResponse { maps } => maps,
+                other => {
+                    return Err(ServeError::Protocol(format!(
+                        "expected ServerOutputsResponse, got {:?}",
+                        other.message_type()
+                    )))
+                }
+            };
+            check_range_map_count(maps.len(), lo, hi)?;
+            Ok(maps)
+        })
     }
 
     /// The quantized sibling of [`RemoteDefense::server_outputs_range`]:
@@ -600,21 +689,23 @@ impl RemoteDefense {
         hi: usize,
     ) -> Result<Vec<QTensorBatch>, ServeError> {
         self.check_range_version()?;
-        let maps = match self.call(&Message::ServerOutputsRequestRangeQ {
-            lo: lo as u32,
-            hi: hi as u32,
-            transmitted: transmitted.clone(),
-        })? {
-            Message::ServerOutputsResponseQ { maps } => maps,
-            other => {
-                return Err(ServeError::Protocol(format!(
-                    "expected ServerOutputsResponseQ, got {:?}",
-                    other.message_type()
-                )))
-            }
-        };
-        check_range_map_count(maps.len(), lo, hi)?;
-        Ok(maps)
+        self.cached_quantized(quantized_key(lo, hi, transmitted), |this| {
+            let maps = match this.call(&Message::ServerOutputsRequestRangeQ {
+                lo: lo as u32,
+                hi: hi as u32,
+                transmitted: transmitted.clone(),
+            })? {
+                Message::ServerOutputsResponseQ { maps } => maps,
+                other => {
+                    return Err(ServeError::Protocol(format!(
+                        "expected ServerOutputsResponseQ, got {:?}",
+                        other.message_type()
+                    )))
+                }
+            };
+            check_range_map_count(maps.len(), lo, hi)?;
+            Ok(maps)
+        })
     }
 
     fn check_range_version(&self) -> Result<(), ServeError> {
@@ -686,15 +777,22 @@ impl Defense for RemoteDefense {
     /// prediction is bit-identical to the in-process int8 one while the
     /// response frame shrinks to roughly a quarter of its `f32` size.
     fn server_outputs(&self, transmitted: &Tensor) -> Result<Vec<Tensor>, EnsemblerError> {
-        if self.uses_quantized_frames() {
-            let qf = QTensorBatch::quantize_batch(transmitted);
-            let qmaps = self.exchange_quantized(&qf)?;
-            self.check_map_count(qmaps.len())?;
-            return Ok(qmaps.iter().map(QTensorBatch::dequantize).collect());
-        }
-        let maps = self.exchange(transmitted)?;
-        self.check_map_count(maps.len())?;
-        Ok(maps)
+        // Keyed as the full body range 0..N, so a cached full exchange also
+        // answers an equivalent `server_outputs_range(_, 0, N)` and vice
+        // versa. On an int8 replica the *dequantized* maps are cached: what
+        // this method returns is what a duplicate call must reproduce.
+        let key = f32_key(0, self.local.ensemble_size(), transmitted);
+        self.cached_f32(key, |this| {
+            if this.uses_quantized_frames() {
+                let qf = QTensorBatch::quantize_batch(transmitted);
+                let qmaps = this.exchange_quantized(&qf)?;
+                this.check_map_count(qmaps.len())?;
+                return Ok(qmaps.iter().map(QTensorBatch::dequantize).collect());
+            }
+            let maps = this.exchange(transmitted)?;
+            this.check_map_count(maps.len())?;
+            Ok(maps)
+        })
     }
 
     /// The quantized stage itself, shipped directly when the connection
@@ -705,14 +803,17 @@ impl Defense for RemoteDefense {
         &self,
         transmitted: &QTensorBatch,
     ) -> Result<Vec<QTensorBatch>, EnsemblerError> {
-        if self.peer.version >= 2 {
-            let qmaps = self.exchange_quantized(transmitted)?;
-            self.check_map_count(qmaps.len())?;
-            return Ok(qmaps);
-        }
-        let maps = self.exchange(&transmitted.dequantize())?;
-        self.check_map_count(maps.len())?;
-        Ok(maps.iter().map(QTensorBatch::quantize_batch).collect())
+        let key = quantized_key(0, self.local.ensemble_size(), transmitted);
+        self.cached_quantized(key, |this| {
+            if this.peer.version >= 2 {
+                let qmaps = this.exchange_quantized(transmitted)?;
+                this.check_map_count(qmaps.len())?;
+                return Ok(qmaps);
+            }
+            let maps = this.exchange(&transmitted.dequantize())?;
+            this.check_map_count(maps.len())?;
+            Ok(maps.iter().map(QTensorBatch::quantize_batch).collect())
+        })
     }
 
     fn classify(&self, server_maps: &[Tensor]) -> Result<Tensor, EnsemblerError> {

@@ -1,0 +1,214 @@
+//! Conformance suite for the client-side result cache: a cache-enabled
+//! [`RemoteDefense`] must be *bit-identical* to a cache-disabled one (and to
+//! the in-process pipeline) across mixed duplicate/unique inputs, concurrent
+//! sessions and both precisions. The cache is sound because dropout masks
+//! are derived from seed + input fingerprint, so duplicate requests are
+//! bit-identical by construction — this suite is the proof that the
+//! memoized hit path preserves that guarantee, extending the defense
+//! conformance suite across the cache boundary.
+
+use ensembler::{Defense, Precision, QuantizedDefense};
+use ensembler_serve::{demo_pipeline, DefenseServer, RemoteDefense, ServerConfig};
+use ensembler_tensor::{Rng, Tensor};
+use std::sync::Arc;
+
+fn random_images(batch: usize, seed: u64) -> Tensor {
+    let mut rng = Rng::seed_from(seed);
+    Tensor::from_fn(&[batch, 3, 16, 16], |_| rng.uniform(-1.0, 1.0))
+}
+
+/// A mixed workload: unique inputs interleaved with exact duplicates.
+fn mixed_inputs() -> Vec<Tensor> {
+    let unique: Vec<Tensor> = (0..4).map(|i| random_images(1, 100 + i)).collect();
+    vec![
+        unique[0].clone(),
+        unique[1].clone(),
+        unique[0].clone(), // duplicate of 0
+        unique[2].clone(),
+        unique[1].clone(), // duplicate of 1
+        unique[0].clone(), // duplicate of 0 again
+        unique[3].clone(),
+        unique[2].clone(), // duplicate of 2
+    ]
+}
+
+fn loopback(pipeline: Arc<dyn Defense>) -> (DefenseServer, Arc<dyn Defense>) {
+    let server = DefenseServer::bind(
+        Arc::clone(&pipeline),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .unwrap();
+    (server, pipeline)
+}
+
+/// Runs the mixed duplicate/unique workload through a cached remote, an
+/// uncached remote and the in-process pipeline, asserting all three agree
+/// bit-for-bit on every request.
+fn assert_cached_predicts_bit_identical(pipeline: Arc<dyn Defense>) {
+    let (server, pipeline) = loopback(pipeline);
+    let cached = RemoteDefense::connect(Arc::clone(&pipeline), server.local_addr())
+        .unwrap()
+        .with_result_cache(16);
+    let uncached = RemoteDefense::connect(Arc::clone(&pipeline), server.local_addr()).unwrap();
+
+    let inputs = mixed_inputs();
+    for (i, image) in inputs.iter().enumerate() {
+        let from_cached = cached.predict(image).unwrap();
+        let from_uncached = uncached.predict(image).unwrap();
+        let in_process = pipeline.predict(image).unwrap();
+        assert_eq!(
+            from_cached, from_uncached,
+            "request {i}: cached remote diverged from uncached remote"
+        );
+        assert_eq!(
+            from_cached, in_process,
+            "request {i}: cached remote diverged from in-process pipeline"
+        );
+    }
+
+    let stats = cached.cache_stats().expect("cache is enabled");
+    assert_eq!(stats.misses, 4, "four unique inputs -> four misses");
+    assert_eq!(stats.hits, 4, "four duplicates -> four hits");
+    assert_eq!(stats.entries, 4);
+    assert_eq!(stats.evictions, 0);
+    assert!(
+        uncached.cache_stats().is_none(),
+        "a remote without the builder flag reports no cache"
+    );
+}
+
+#[test]
+fn cached_predict_is_bit_identical_f32() {
+    let pipeline: Arc<dyn Defense> = Arc::new(demo_pipeline(4, 2, 31).unwrap());
+    assert_eq!(pipeline.precision(), Precision::F32);
+    assert_cached_predicts_bit_identical(pipeline);
+}
+
+#[test]
+fn cached_predict_is_bit_identical_int8() {
+    let pipeline: Arc<dyn Defense> = Arc::new(QuantizedDefense::quantize(Arc::new(
+        demo_pipeline(4, 2, 31).unwrap(),
+    )));
+    assert_eq!(pipeline.precision(), Precision::Int8);
+    assert_cached_predicts_bit_identical(pipeline);
+}
+
+#[test]
+fn concurrent_sessions_hit_one_shared_cache_without_divergence() {
+    let pipeline: Arc<dyn Defense> = Arc::new(demo_pipeline(4, 2, 33).unwrap());
+    let (server, pipeline) = loopback(pipeline);
+    let cached = Arc::new(
+        RemoteDefense::connect(Arc::clone(&pipeline), server.local_addr())
+            .unwrap()
+            .with_result_cache(16),
+    );
+
+    // Every session replays the same mixed workload concurrently over the
+    // one multiplexed, cache-enabled connection.
+    let sessions = 4;
+    let rounds = 3;
+    std::thread::scope(|scope| {
+        for _ in 0..sessions {
+            let cached = Arc::clone(&cached);
+            let pipeline = Arc::clone(&pipeline);
+            scope.spawn(move || {
+                for _ in 0..rounds {
+                    for image in mixed_inputs() {
+                        let remote = cached.predict(&image).unwrap();
+                        let local = pipeline.predict(&image).unwrap();
+                        assert_eq!(remote, local, "concurrent cached predict diverged");
+                    }
+                }
+            });
+        }
+    });
+
+    let stats = cached.cache_stats().expect("cache is enabled");
+    let lookups = sessions * rounds * mixed_inputs().len();
+    assert_eq!(
+        stats.hits + stats.misses,
+        lookups as u64,
+        "every lookup is exactly one hit or one miss"
+    );
+    assert_eq!(stats.entries, 4, "four unique inputs in the workload");
+    // At least the duplicates after the first full round must hit.
+    assert!(
+        stats.hits >= (lookups - sessions * 4) as u64 / 2,
+        "duplicate-heavy workload should be hit-dominated, got {}",
+        stats.summary()
+    );
+}
+
+#[test]
+fn range_and_full_exchanges_share_cache_entries() {
+    let n = 4;
+    let pipeline: Arc<dyn Defense> = Arc::new(demo_pipeline(n, 2, 35).unwrap());
+    let (server, pipeline) = loopback(pipeline);
+    let cached = RemoteDefense::connect(Arc::clone(&pipeline), server.local_addr())
+        .unwrap()
+        .with_result_cache(16);
+    let uncached = RemoteDefense::connect(Arc::clone(&pipeline), server.local_addr()).unwrap();
+
+    let features = pipeline.client_features(&random_images(1, 50)).unwrap();
+
+    // A full-range request and the trait-level full exchange share one key,
+    // and a sub-range request gets its own.
+    let full = cached.server_outputs_range(&features, 0, n).unwrap();
+    let trait_full = cached.server_outputs(&features).unwrap();
+    let sub = cached.server_outputs_range(&features, 1, 3).unwrap();
+    assert_eq!(full, trait_full);
+    assert_eq!(&full[1..3], &sub[..]);
+    assert_eq!(
+        full,
+        uncached.server_outputs_range(&features, 0, n).unwrap()
+    );
+    assert_eq!(sub, uncached.server_outputs_range(&features, 1, 3).unwrap());
+
+    let stats = cached.cache_stats().expect("cache is enabled");
+    assert_eq!(
+        (stats.hits, stats.misses, stats.entries),
+        (1, 2, 2),
+        "full range misses, trait full hits the same entry, sub-range misses: {}",
+        stats.summary()
+    );
+}
+
+#[test]
+fn bounded_cache_evicts_and_clear_empties() {
+    let pipeline: Arc<dyn Defense> = Arc::new(demo_pipeline(3, 2, 37).unwrap());
+    let (server, pipeline) = loopback(pipeline);
+    let cached = RemoteDefense::connect(Arc::clone(&pipeline), server.local_addr())
+        .unwrap()
+        .with_result_cache(2);
+
+    // Six unique inputs through a capacity-2 cache: evictions must occur,
+    // occupancy must stay bounded, and results must stay bit-identical.
+    for seed in 0..6 {
+        let image = random_images(1, 200 + seed);
+        assert_eq!(
+            cached.predict(&image).unwrap(),
+            pipeline.predict(&image).unwrap()
+        );
+    }
+    let stats = cached.cache_stats().expect("cache is enabled");
+    assert_eq!(stats.capacity, 2);
+    assert!(stats.entries <= 2, "occupancy must respect the bound");
+    assert_eq!(stats.evictions, 4, "six uniques through capacity 2");
+    assert_eq!(stats.misses, 6);
+
+    // After a clear (the documented post-hot-swap step) the entries are
+    // gone but the counters keep their history.
+    cached.clear_result_cache();
+    let cleared = cached.cache_stats().expect("cache is enabled");
+    assert_eq!(cleared.entries, 0);
+    assert_eq!(cleared.misses, 6);
+
+    // And an evicted input re-fetches correctly rather than serving a
+    // stale or wrong entry.
+    let image = random_images(1, 200);
+    assert_eq!(
+        cached.predict(&image).unwrap(),
+        pipeline.predict(&image).unwrap()
+    );
+}
